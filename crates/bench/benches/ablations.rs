@@ -1,0 +1,68 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! value-aware vs topological DTA, characterization-kernel length, and
+//! noise clipping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sfi_netlist::alu::{AluDatapath, AluOp};
+use sfi_netlist::{DelayModel, VoltageScaling};
+use sfi_timing::{
+    characterize_alu, CharacterizationConfig, DynamicTimingAnalysis, VoltageNoise,
+};
+
+fn bench_value_awareness(c: &mut Criterion) {
+    let alu = AluDatapath::build(16);
+    let aware = DynamicTimingAnalysis::new(
+        alu.netlist(),
+        &DelayModel::default_28nm(),
+        &VoltageScaling::default_28nm(),
+        0.7,
+    );
+    let blind = aware.clone().with_value_awareness(false);
+    let inputs = alu.encode_inputs(AluOp::Mul, 0xBEEF, 0x1234);
+    let mut group = c.benchmark_group("dta_value_awareness");
+    group.bench_function("value_aware", |b| b.iter(|| aware.analyze(&inputs)));
+    group.bench_function("topological", |b| b.iter(|| blind.analyze(&inputs)));
+    group.finish();
+}
+
+fn bench_characterization_length(c: &mut Criterion) {
+    let alu = AluDatapath::build(8);
+    let mut group = c.benchmark_group("characterization_kernel_length");
+    for cycles in [32usize, 128] {
+        group.bench_function(format!("{cycles}_cycles_per_op"), |b| {
+            b.iter(|| {
+                characterize_alu(
+                    &alu,
+                    &DelayModel::default_28nm(),
+                    &VoltageScaling::default_28nm(),
+                    &CharacterizationConfig { cycles_per_op: cycles, ..Default::default() },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_noise_clipping(c: &mut Criterion) {
+    let clipped = VoltageNoise::with_sigma_mv(25.0);
+    let unclipped = VoltageNoise::with_sigma_mv(25.0).with_clip_sigmas(6.0);
+    let mut group = c.benchmark_group("noise_clipping");
+    group.bench_function("clipped_2_sigma", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| clipped.sample_volts(&mut rng))
+    });
+    group.bench_function("clipped_6_sigma", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| unclipped.sample_volts(&mut rng))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = bench_value_awareness, bench_characterization_length, bench_noise_clipping
+}
+criterion_main!(ablations);

@@ -1,0 +1,67 @@
+//! Criterion benches comparing the per-cycle cost of the four fault models
+//! (the speed/accuracy trade-off the paper positions model C in).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfi_core::study::{CaseStudy, CaseStudyConfig};
+use sfi_cpu::{ExStageContext, FaultInjector};
+use sfi_fault::OperatingPoint;
+use sfi_isa::AluClass;
+
+fn ctx(cycle: u64) -> ExStageContext {
+    ExStageContext {
+        cycle,
+        alu_class: AluClass::Mul,
+        operand_a: 0x1234,
+        operand_b: 0x5678,
+        result: 0x1234 * 0x5678,
+        fi_enabled: true,
+    }
+}
+
+fn bench_models(c: &mut Criterion) {
+    let study = CaseStudy::build(CaseStudyConfig::fast_for_tests());
+    let point = OperatingPoint::new(study.sta_limit_mhz(0.7) * 1.1, 0.7).with_noise_sigma_mv(10.0);
+
+    let mut a = study.model_a(1e-4, 1);
+    let mut b = study.model_b(point);
+    let mut bp = study.model_b_plus(point, 2);
+    let mut cm = study.model_c(point, 3);
+
+    let mut group = c.benchmark_group("fault_model_per_cycle");
+    group.bench_function("model_a_fixed_probability", |bch| {
+        let mut i = 0u64;
+        bch.iter(|| {
+            i += 1;
+            a.inject(&ctx(i))
+        })
+    });
+    group.bench_function("model_b_sta", |bch| {
+        let mut i = 0u64;
+        bch.iter(|| {
+            i += 1;
+            b.inject(&ctx(i))
+        })
+    });
+    group.bench_function("model_b_plus_sta_noise", |bch| {
+        let mut i = 0u64;
+        bch.iter(|| {
+            i += 1;
+            bp.inject(&ctx(i))
+        })
+    });
+    group.bench_function("model_c_statistical_dta", |bch| {
+        let mut i = 0u64;
+        bch.iter(|| {
+            i += 1;
+            cm.inject(&ctx(i))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = fault_models;
+    config = Criterion::default().sample_size(30);
+    targets = bench_models
+}
+criterion_main!(fault_models);

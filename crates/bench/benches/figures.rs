@@ -1,0 +1,95 @@
+//! Criterion benches that regenerate (scaled-down versions of) every paper
+//! figure data series, so `cargo bench` exercises the full experiment
+//! pipeline end to end.  The standalone binaries in `src/bin/` produce the
+//! full-resolution series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfi_core::experiment::{frequency_grid, frequency_sweep, run_experiment, FaultModel};
+use sfi_core::power::{equivalent_voltage_for_gain, PowerModel};
+use sfi_core::study::{CaseStudy, CaseStudyConfig};
+use sfi_fault::OperatingPoint;
+use sfi_kernels::median::MedianBenchmark;
+use sfi_netlist::alu::AluOp;
+
+fn study() -> CaseStudy {
+    CaseStudy::build(CaseStudyConfig { voltages: vec![0.7, 0.8], ..CaseStudyConfig::fast_for_tests() })
+}
+
+fn bench_fig1_series(c: &mut Criterion) {
+    let study = study();
+    let bench = MedianBenchmark::new(21, 1);
+    let sta = study.sta_limit_mhz(0.7);
+    c.bench_function("fig1_model_b_plus_sweep", |b| {
+        b.iter(|| {
+            frequency_sweep(
+                &study,
+                &bench,
+                FaultModel::StaWithNoise,
+                OperatingPoint::new(sta, 0.7).with_noise_sigma_mv(10.0),
+                &frequency_grid(sta * 0.98, sta * 1.01, 3),
+                2,
+                1,
+            )
+        })
+    });
+}
+
+fn bench_fig2_series(c: &mut Criterion) {
+    let study = study();
+    c.bench_function("fig2_cdf_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for f in [700.0, 900.0, 1100.0, 1300.0] {
+                for bit in [1usize, 6] {
+                    for vdd in [0.7, 0.8] {
+                        acc += study
+                            .characterization(vdd)
+                            .error_probability_at_freq(AluOp::Mul, bit, f, 1.0);
+                    }
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_fig5_point(c: &mut Criterion) {
+    let study = study();
+    let bench = MedianBenchmark::new(21, 1);
+    let sta = study.sta_limit_mhz(0.7);
+    c.bench_function("fig5_model_c_single_point", |b| {
+        b.iter(|| {
+            run_experiment(
+                &study,
+                &bench,
+                FaultModel::StatisticalDta,
+                OperatingPoint::new(sta * 1.1, 0.7).with_noise_sigma_mv(10.0),
+                2,
+                5,
+            )
+        })
+    });
+}
+
+fn bench_fig7_tradeoff(c: &mut Criterion) {
+    let study = study();
+    let power = PowerModel::paper_28nm();
+    c.bench_function("fig7_power_mapping", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for i in 0..8 {
+                let gain = 1.0 + 0.02 * i as f64;
+                let v = equivalent_voltage_for_gain(study.vdd_delay_curve(), 0.7, gain);
+                total += power.normalized_power(v, 707.0);
+            }
+            total
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1_series, bench_fig2_series, bench_fig5_point, bench_fig7_tradeoff
+}
+criterion_main!(figures);

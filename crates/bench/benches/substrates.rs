@@ -1,0 +1,53 @@
+//! Criterion benches of the simulation substrates: gate-level DTA
+//! throughput, STA, and ISS execution speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfi_cpu::{Core, RunConfig};
+use sfi_kernels::{median::MedianBenchmark, Benchmark};
+use sfi_netlist::alu::{AluDatapath, AluOp};
+use sfi_netlist::{DelayModel, VoltageScaling};
+use sfi_timing::{DynamicTimingAnalysis, StaticTimingAnalysis};
+
+fn bench_dta(c: &mut Criterion) {
+    let alu = AluDatapath::build(32);
+    let dta = DynamicTimingAnalysis::new(
+        alu.netlist(),
+        &DelayModel::default_28nm(),
+        &VoltageScaling::default_28nm(),
+        0.7,
+    );
+    let inputs = alu.encode_inputs(AluOp::Mul, 0xDEAD_BEEF, 0x1234_5678);
+    c.bench_function("dta_analyze_32bit_alu_vector", |b| b.iter(|| dta.analyze(&inputs)));
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let alu = AluDatapath::build(32);
+    c.bench_function("sta_full_32bit_alu", |b| {
+        b.iter(|| {
+            StaticTimingAnalysis::run(
+                alu.netlist(),
+                &DelayModel::default_28nm(),
+                &VoltageScaling::default_28nm(),
+                0.7,
+            )
+        })
+    });
+}
+
+fn bench_iss(c: &mut Criterion) {
+    let bench = MedianBenchmark::new(21, 1);
+    c.bench_function("iss_median_21_fault_free", |b| {
+        b.iter(|| {
+            let mut core = Core::new(bench.program().clone(), bench.dmem_words());
+            bench.initialize(core.memory_mut());
+            core.run(&RunConfig::default())
+        })
+    });
+}
+
+criterion_group! {
+    name = substrates;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dta, bench_sta, bench_iss
+}
+criterion_main!(substrates);

@@ -1,0 +1,32 @@
+//! Table 1: overview of benchmark properties (type, compute/control
+//! weight, size, kernel cycles, output error metric).
+
+use sfi_bench::{print_header, ExperimentArgs};
+use sfi_core::experiment::golden_cycles;
+use sfi_cpu::{Core, RunConfig};
+use sfi_kernels::paper_suite;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    print_header("Table 1: benchmark properties", &args);
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>10}  {}",
+        "benchmark", "compute", "control", "kernel cyc", "mul/kcyc", "output error metric"
+    );
+    for bench in paper_suite(1) {
+        let cycles = golden_cycles(bench.as_ref());
+        let mut core = Core::new(bench.program().clone(), bench.dmem_words());
+        bench.initialize(core.memory_mut());
+        let _ = core.run(&RunConfig::default());
+        let stats = core.stats();
+        println!(
+            "{:<16} {:>9.1}% {:>9.1}% {:>12} {:>10.1}  {}",
+            bench.name(),
+            100.0 * stats.compute_fraction(),
+            100.0 * stats.control_fraction(),
+            cycles,
+            stats.multiplications as f64 * 1000.0 / stats.cycles as f64,
+            bench.error_metric()
+        );
+    }
+}

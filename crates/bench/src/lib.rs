@@ -1,0 +1,100 @@
+//! Shared helpers for the experiment-reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper.
+//! They all accept the same flags:
+//!
+//! * `--trials N` — Monte-Carlo trials per data point (paper scale is
+//!   100–200; the default is a faster smoke configuration),
+//! * `--points N` — number of frequency points per sweep,
+//! * `--fast` — use a scaled-down 8-bit case study instead of the full
+//!   32-bit one (for quick sanity checks).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sfi_core::study::{CaseStudy, CaseStudyConfig};
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentArgs {
+    /// Monte-Carlo trials per data point.
+    pub trials: usize,
+    /// Frequency points per sweep.
+    pub points: usize,
+    /// Whether to use the scaled-down case study.
+    pub fast: bool,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs { trials: 20, points: 12, fast: false }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parses the standard flags from `std::env::args`, falling back to the
+    /// defaults for anything not given.
+    pub fn from_env() -> Self {
+        let mut args = ExperimentArgs::default();
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--trials" if i + 1 < argv.len() => {
+                    args.trials = argv[i + 1].parse().unwrap_or(args.trials);
+                    i += 1;
+                }
+                "--points" if i + 1 < argv.len() => {
+                    args.points = argv[i + 1].parse().unwrap_or(args.points);
+                    i += 1;
+                }
+                "--fast" => args.fast = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        args
+    }
+
+    /// Builds the case study matching the requested fidelity.
+    pub fn build_study(&self) -> CaseStudy {
+        if self.fast {
+            CaseStudy::build(CaseStudyConfig {
+                voltages: vec![0.7, 0.8],
+                ..CaseStudyConfig::fast_for_tests()
+            })
+        } else {
+            CaseStudy::build(CaseStudyConfig::paper())
+        }
+    }
+}
+
+/// Prints a standard experiment header.
+pub fn print_header(title: &str, args: &ExperimentArgs) {
+    println!("=== {title} ===");
+    println!(
+        "(trials per point: {}, sweep points: {}, case study: {})",
+        args.trials,
+        args.points,
+        if args.fast { "fast 8-bit" } else { "paper 32-bit" }
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let a = ExperimentArgs::default();
+        assert!(a.trials > 0 && a.points > 1 && !a.fast);
+    }
+
+    #[test]
+    fn fast_study_builds() {
+        let args = ExperimentArgs { fast: true, trials: 1, points: 2 };
+        let study = args.build_study();
+        assert_eq!(study.config().alu_width, 8);
+    }
+}

@@ -1,0 +1,352 @@
+//! Monte-Carlo experiments, frequency sweeps and point-of-first-failure
+//! detection.
+
+use crate::study::CaseStudy;
+use sfi_cpu::{Core, FaultInjector, NoFaultInjector, RunConfig};
+use sfi_fault::OperatingPoint;
+use sfi_kernels::Benchmark;
+
+/// Which fault-injection model an experiment uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultModel {
+    /// No fault injection (golden runs).
+    None,
+    /// Model A: fixed per-bit flip probability.
+    FixedProbability(f64),
+    /// Model B: deterministic STA period violation.
+    StaPeriodViolation,
+    /// Model B+: STA period violation modulated by supply noise.
+    StaWithNoise,
+    /// Model C: statistical, instruction-aware DTA CDFs.
+    StatisticalDta,
+}
+
+/// Result of a single Monte-Carlo trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialResult {
+    /// Whether the program ran to completion.
+    pub finished: bool,
+    /// Whether the output was exactly correct (implies `finished`).
+    pub correct: bool,
+    /// Kernel-specific output error (only meaningful if `finished`).
+    pub output_error: f64,
+    /// Injected faults per 1000 kernel cycles.
+    pub fi_rate_per_kcycle: f64,
+    /// Simulated cycles.
+    pub cycles: u64,
+}
+
+/// Aggregated result of a Monte-Carlo campaign at one operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSummary {
+    /// The individual trials.
+    pub trials: Vec<TrialResult>,
+}
+
+impl ExperimentSummary {
+    /// Fraction of trials that ran to completion.
+    pub fn finished_fraction(&self) -> f64 {
+        self.fraction(|t| t.finished)
+    }
+
+    /// Fraction of trials with an exactly correct output.
+    pub fn correct_fraction(&self) -> f64 {
+        self.fraction(|t| t.correct)
+    }
+
+    /// Mean fault-injection rate (faults per kCycle) over all trials.
+    pub fn mean_fi_rate(&self) -> f64 {
+        self.mean(|t| t.fi_rate_per_kcycle)
+    }
+
+    /// Mean output error over the trials that finished (the paper reports
+    /// the output error of the remaining successful runs).
+    pub fn mean_output_error(&self) -> f64 {
+        let finished: Vec<&TrialResult> = self.trials.iter().filter(|t| t.finished).collect();
+        if finished.is_empty() {
+            return f64::NAN;
+        }
+        finished.iter().map(|t| t.output_error).sum::<f64>() / finished.len() as f64
+    }
+
+    /// Mean cycle count over all trials.
+    pub fn mean_cycles(&self) -> f64 {
+        self.mean(|t| t.cycles as f64)
+    }
+
+    fn fraction(&self, predicate: impl Fn(&TrialResult) -> bool) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials.iter().filter(|t| predicate(t)).count() as f64 / self.trials.len() as f64
+    }
+
+    fn mean(&self, value: impl Fn(&TrialResult) -> f64) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials.iter().map(value).sum::<f64>() / self.trials.len() as f64
+    }
+}
+
+/// One point of a frequency sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Clock frequency of this point, in MHz.
+    pub freq_mhz: f64,
+    /// The Monte-Carlo summary at this frequency.
+    pub summary: ExperimentSummary,
+}
+
+fn run_one_trial<F: FaultInjector + ?Sized>(
+    benchmark: &dyn Benchmark,
+    injector: &mut F,
+    max_cycles: u64,
+) -> TrialResult {
+    let mut core = Core::new(benchmark.program().clone(), benchmark.dmem_words());
+    benchmark.initialize(core.memory_mut());
+    let config = RunConfig {
+        max_cycles,
+        fi_window: Some(benchmark.fi_window()),
+        ..RunConfig::default()
+    };
+    let outcome = core.run_with_injector(&config, injector);
+    let finished = outcome.finished();
+    let output_error = if finished { benchmark.output_error(core.memory()) } else { f64::NAN };
+    TrialResult {
+        finished,
+        correct: finished && output_error == 0.0,
+        output_error,
+        fi_rate_per_kcycle: core.stats().fi_rate_per_kcycle(),
+        cycles: core.stats().cycles,
+    }
+}
+
+/// Number of fault-free cycles of a benchmark (used to size the watchdog
+/// and reported in Table 1).
+pub fn golden_cycles(benchmark: &dyn Benchmark) -> u64 {
+    run_one_trial(benchmark, &mut NoFaultInjector, u64::MAX / 4).cycles
+}
+
+/// Runs a Monte-Carlo campaign of `trials` independent runs of `benchmark`
+/// under the given fault model and operating point.
+///
+/// Each trial uses a different injector seed derived from `seed`, matching
+/// the paper's at-least-100-simulations-per-data-point methodology.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero, or if the requested model needs a
+/// characterization voltage the study does not provide.
+pub fn run_experiment(
+    study: &CaseStudy,
+    benchmark: &dyn Benchmark,
+    model: FaultModel,
+    point: OperatingPoint,
+    trials: usize,
+    seed: u64,
+) -> ExperimentSummary {
+    assert!(trials > 0, "at least one trial is required");
+    // Watchdog: generous multiple of the fault-free runtime, so that wrong
+    // branching either terminates (wrong output) or is flagged as fatal.
+    let max_cycles = golden_cycles(benchmark).saturating_mul(8).max(100_000);
+
+    let results = (0..trials)
+        .map(|trial| {
+            let trial_seed = seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            match model {
+                FaultModel::None => run_one_trial(benchmark, &mut NoFaultInjector, max_cycles),
+                FaultModel::FixedProbability(p) => {
+                    let mut injector = study.model_a(p, trial_seed);
+                    run_one_trial(benchmark, &mut injector, max_cycles)
+                }
+                FaultModel::StaPeriodViolation => {
+                    let mut injector = study.model_b(point);
+                    run_one_trial(benchmark, &mut injector, max_cycles)
+                }
+                FaultModel::StaWithNoise => {
+                    let mut injector = study.model_b_plus(point, trial_seed);
+                    run_one_trial(benchmark, &mut injector, max_cycles)
+                }
+                FaultModel::StatisticalDta => {
+                    let mut injector = study.model_c(point, trial_seed);
+                    run_one_trial(benchmark, &mut injector, max_cycles)
+                }
+            }
+        })
+        .collect();
+    ExperimentSummary { trials: results }
+}
+
+/// Sweeps the clock frequency over `freqs_mhz` (keeping voltage and noise
+/// from `base_point`) and returns one [`SweepPoint`] per frequency.
+pub fn frequency_sweep(
+    study: &CaseStudy,
+    benchmark: &dyn Benchmark,
+    model: FaultModel,
+    base_point: OperatingPoint,
+    freqs_mhz: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    freqs_mhz
+        .iter()
+        .map(|&f| SweepPoint {
+            freq_mhz: f,
+            summary: run_experiment(study, benchmark, model, base_point.at_frequency(f), trials, seed),
+        })
+        .collect()
+}
+
+/// The point of first failure: the lowest swept frequency at which the
+/// application no longer finishes with a 100 % correct result.
+pub fn point_of_first_failure(points: &[SweepPoint]) -> Option<f64> {
+    points
+        .iter()
+        .filter(|p| p.summary.correct_fraction() < 1.0)
+        .map(|p| p.freq_mhz)
+        .fold(None, |acc: Option<f64>, f| Some(acc.map_or(f, |a| a.min(f))))
+}
+
+/// Relative frequency-over-scaling gain of a PoFF over the STA limit
+/// (positive values mean the application survives beyond the limit).
+pub fn overscaling_gain(poff_mhz: f64, sta_limit_mhz: f64) -> f64 {
+    poff_mhz / sta_limit_mhz - 1.0
+}
+
+/// Evenly spaced frequency grid helper for sweeps.
+///
+/// # Panics
+///
+/// Panics if `points < 2` or `start >= end`.
+pub fn frequency_grid(start_mhz: f64, end_mhz: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 2, "a grid needs at least two points");
+    assert!(start_mhz < end_mhz, "start must be below end");
+    let step = (end_mhz - start_mhz) / (points - 1) as f64;
+    (0..points).map(|i| start_mhz + step * i as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::CaseStudyConfig;
+    use sfi_kernels::median::MedianBenchmark;
+
+    fn fast_study() -> CaseStudy {
+        CaseStudy::build(CaseStudyConfig::fast_for_tests())
+    }
+
+    #[test]
+    fn golden_runs_are_always_correct() {
+        let study = fast_study();
+        let bench = MedianBenchmark::new(21, 3);
+        let point = OperatingPoint::new(2000.0, 0.7);
+        let summary = run_experiment(&study, &bench, FaultModel::None, point, 3, 5);
+        assert_eq!(summary.finished_fraction(), 1.0);
+        assert_eq!(summary.correct_fraction(), 1.0);
+        assert_eq!(summary.mean_fi_rate(), 0.0);
+        assert_eq!(summary.mean_output_error(), 0.0);
+        assert!(summary.mean_cycles() > 0.0);
+    }
+
+    #[test]
+    fn below_sta_limit_model_c_is_error_free() {
+        let study = fast_study();
+        let bench = MedianBenchmark::new(21, 3);
+        let point = OperatingPoint::new(study.sta_limit_mhz(0.7) * 0.95, 0.7);
+        let summary = run_experiment(&study, &bench, FaultModel::StatisticalDta, point, 3, 5);
+        assert_eq!(summary.correct_fraction(), 1.0);
+        assert_eq!(summary.mean_fi_rate(), 0.0);
+    }
+
+    #[test]
+    fn far_above_the_limit_everything_breaks() {
+        let study = fast_study();
+        let bench = MedianBenchmark::new(21, 3);
+        let point = OperatingPoint::new(study.sta_limit_mhz(0.7) * 2.5, 0.7);
+        let summary = run_experiment(&study, &bench, FaultModel::StatisticalDta, point, 3, 5);
+        assert!(summary.correct_fraction() < 1.0);
+        assert!(summary.mean_fi_rate() > 0.0);
+    }
+
+    #[test]
+    fn model_a_injects_at_any_frequency() {
+        let study = fast_study();
+        let bench = MedianBenchmark::new(21, 3);
+        // Even far below the STA limit model A injects faults — the
+        // disconnect from operating conditions the paper criticises.
+        let point = OperatingPoint::new(100.0, 0.7);
+        let summary =
+            run_experiment(&study, &bench, FaultModel::FixedProbability(0.002), point, 3, 5);
+        assert!(summary.mean_fi_rate() > 0.0);
+    }
+
+    #[test]
+    fn model_b_hard_threshold_at_sta_limit() {
+        let study = fast_study();
+        let bench = MedianBenchmark::new(21, 3);
+        let sta = study.sta_limit_mhz(0.7);
+        let below = run_experiment(
+            &study,
+            &bench,
+            FaultModel::StaPeriodViolation,
+            OperatingPoint::new(sta * 0.99, 0.7),
+            2,
+            5,
+        );
+        let above = run_experiment(
+            &study,
+            &bench,
+            FaultModel::StaPeriodViolation,
+            OperatingPoint::new(sta * 1.02, 0.7),
+            2,
+            5,
+        );
+        assert_eq!(below.correct_fraction(), 1.0);
+        assert!(above.correct_fraction() < 1.0, "model B fails immediately above the STA limit");
+        assert!(above.mean_fi_rate() > 100.0, "model B injects on almost every ALU cycle");
+    }
+
+    #[test]
+    fn sweep_and_poff_detection() {
+        let study = fast_study();
+        let bench = MedianBenchmark::new(21, 3);
+        let sta = study.sta_limit_mhz(0.7);
+        let freqs = frequency_grid(sta * 0.9, sta * 2.2, 5);
+        let points = frequency_sweep(
+            &study,
+            &bench,
+            FaultModel::StatisticalDta,
+            OperatingPoint::new(sta, 0.7),
+            &freqs,
+            2,
+            9,
+        );
+        assert_eq!(points.len(), 5);
+        let poff = point_of_first_failure(&points).expect("the sweep must reach failure");
+        assert!(poff > sta * 0.9 && poff <= sta * 2.2);
+        assert!(overscaling_gain(poff, sta) > -0.2);
+        // The first (lowest) point is still fully correct.
+        assert_eq!(points[0].summary.correct_fraction(), 1.0);
+    }
+
+    #[test]
+    fn golden_cycles_reported() {
+        let bench = MedianBenchmark::new(21, 3);
+        assert!(golden_cycles(&bench) > 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let study = fast_study();
+        let bench = MedianBenchmark::new(21, 3);
+        run_experiment(&study, &bench, FaultModel::None, OperatingPoint::new(700.0, 0.7), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn invalid_grid_panics() {
+        frequency_grid(100.0, 200.0, 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Core power model and the error-vs-power trade-off analysis (Fig. 7).
+//!
+//! The paper translates potential frequency-over-scaling gains (at a fixed
+//! nominal clock of 707 MHz) into an equivalent reduction of the supply
+//! voltage, and computes the corresponding active-power savings by
+//! quadratic scaling between two post-layout reference points:
+//! 10.9 µW/MHz @ 0.6 V and 15.0 µW/MHz @ 0.7 V, with 2 % and 3 % leakage
+//! respectively.
+
+use sfi_timing::VddDelayCurve;
+
+/// Quadratically interpolated active-power model with leakage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// (voltage, active µW/MHz, leakage fraction) at the low reference.
+    low_ref: (f64, f64, f64),
+    /// (voltage, active µW/MHz, leakage fraction) at the high reference.
+    high_ref: (f64, f64, f64),
+}
+
+impl PowerModel {
+    /// The paper's 28 nm reference points.
+    pub fn paper_28nm() -> Self {
+        PowerModel { low_ref: (0.6, 10.9, 0.02), high_ref: (0.7, 15.0, 0.03) }
+    }
+
+    /// Active core power in µW/MHz at supply voltage `vdd`, following the
+    /// quadratic `P ∝ V²` scaling the paper uses between its two reference
+    /// points.
+    pub fn active_uw_per_mhz(&self, vdd: f64) -> f64 {
+        // Fit a single coefficient through both reference points (least
+        // squares over the two samples of P = k·V²).
+        let (v0, p0, _) = self.low_ref;
+        let (v1, p1, _) = self.high_ref;
+        let k = (p0 * v0 * v0 + p1 * v1 * v1) / (v0.powi(4) + v1.powi(4));
+        k * vdd * vdd
+    }
+
+    /// Leakage fraction at supply voltage `vdd` (linear interpolation,
+    /// clamped to the reference range).
+    pub fn leakage_fraction(&self, vdd: f64) -> f64 {
+        let (v0, _, l0) = self.low_ref;
+        let (v1, _, l1) = self.high_ref;
+        let t = ((vdd - v0) / (v1 - v0)).clamp(0.0, 1.0);
+        l0 + t * (l1 - l0)
+    }
+
+    /// Total core power in µW at the given voltage and clock frequency.
+    pub fn total_power_uw(&self, vdd: f64, freq_mhz: f64) -> f64 {
+        let active = self.active_uw_per_mhz(vdd) * freq_mhz;
+        active / (1.0 - self.leakage_fraction(vdd))
+    }
+
+    /// Core power at (`vdd`, `freq_mhz`) normalized to the nominal
+    /// operating point (0.7 V at the same frequency).
+    pub fn normalized_power(&self, vdd: f64, freq_mhz: f64) -> f64 {
+        self.total_power_uw(vdd, freq_mhz) / self.total_power_uw(0.7, freq_mhz)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::paper_28nm()
+    }
+}
+
+/// Finds the supply voltage whose slow-down is equivalent to a
+/// frequency-over-scaling gain at the nominal voltage.
+///
+/// If the application tolerates running at `gain`× the nominal frequency at
+/// `vdd_nominal`, the same timing slack can instead be spent by lowering the
+/// supply to the returned voltage while keeping the nominal clock — this is
+/// how Fig. 7 converts quality loss into power savings.
+///
+/// # Panics
+///
+/// Panics if `gain < 1.0` is not finite or `vdd_nominal` is not covered by
+/// the curve.
+pub fn equivalent_voltage_for_gain(curve: &VddDelayCurve, vdd_nominal: f64, gain: f64) -> f64 {
+    assert!(gain.is_finite() && gain >= 1.0, "gain must be >= 1.0, got {gain}");
+    let target_factor = curve.delay_factor(vdd_nominal) * gain;
+    // The delay factor decreases monotonically with voltage: bisect.
+    let (mut lo, mut hi) = (0.45, vdd_nominal);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if curve.delay_factor(mid) > target_factor {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// One point of the error-vs-power trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Equivalent supply voltage.
+    pub vdd: f64,
+    /// Core power normalized to the nominal operating point.
+    pub normalized_power: f64,
+    /// Average relative output error (0.0–1.0) measured at this point.
+    pub average_relative_error: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_netlist::VoltageScaling;
+
+    #[test]
+    fn reference_points_are_reproduced() {
+        let m = PowerModel::paper_28nm();
+        // The single-coefficient quadratic fit passes close to both
+        // published reference points.
+        assert!((m.active_uw_per_mhz(0.6) - 10.9).abs() < 0.3);
+        assert!((m.active_uw_per_mhz(0.7) - 15.0).abs() < 0.3);
+        assert!((m.leakage_fraction(0.6) - 0.02).abs() < 1e-12);
+        assert!((m.leakage_fraction(0.7) - 0.03).abs() < 1e-12);
+        assert_eq!(PowerModel::default(), m);
+    }
+
+    #[test]
+    fn power_decreases_with_voltage() {
+        let m = PowerModel::paper_28nm();
+        assert!(m.total_power_uw(0.65, 707.0) < m.total_power_uw(0.7, 707.0));
+        assert!((m.normalized_power(0.7, 707.0) - 1.0).abs() < 1e-12);
+        let norm_065 = m.normalized_power(0.65, 707.0);
+        assert!(norm_065 > 0.8 && norm_065 < 0.95);
+    }
+
+    #[test]
+    fn paper_power_saving_magnitudes() {
+        // The paper quotes 0.93x power at 0.667 V and 0.88x at 0.657 V.
+        let m = PowerModel::paper_28nm();
+        let p_667 = m.normalized_power(0.667, 707.0);
+        let p_657 = m.normalized_power(0.657, 707.0);
+        assert!((p_667 - 0.93).abs() < 0.03, "0.667 V -> {p_667:.3}");
+        assert!((p_657 - 0.88).abs() < 0.03, "0.657 V -> {p_657:.3}");
+    }
+
+    #[test]
+    fn equivalent_voltage_is_monotone_in_gain() {
+        let curve = VddDelayCurve::from_scaling(&VoltageScaling::default_28nm(), 0.6, 1.0, 5);
+        let v_small = equivalent_voltage_for_gain(&curve, 0.7, 1.02);
+        let v_large = equivalent_voltage_for_gain(&curve, 0.7, 1.10);
+        assert!(v_small < 0.7);
+        assert!(v_large < v_small);
+        // No gain means no voltage reduction.
+        let v_none = equivalent_voltage_for_gain(&curve, 0.7, 1.0);
+        assert!((v_none - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "gain must be")]
+    fn invalid_gain_panics() {
+        let curve = VddDelayCurve::from_scaling(&VoltageScaling::default_28nm(), 0.6, 1.0, 5);
+        equivalent_voltage_for_gain(&curve, 0.7, 0.5);
+    }
+}

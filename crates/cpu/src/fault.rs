@@ -1,0 +1,130 @@
+//! The execution-stage fault-injection hook.
+//!
+//! The paper injects timing-error faults exclusively into the 32 ALU
+//! endpoint flip-flops of the execution stage, conditioned on the
+//! instruction currently occupying that stage.  [`FaultInjector`] is the
+//! corresponding hook: the ISS calls it once per ALU-instruction cycle with
+//! the full micro-architectural context and XORs the returned mask into the
+//! freshly computed result before write-back.
+
+use sfi_isa::AluClass;
+
+/// Everything the fault model may condition an injection on for one
+/// execution-stage cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExStageContext {
+    /// Cycle counter at the time the instruction is in the execution stage.
+    pub cycle: u64,
+    /// The ALU operation occupying the stage.
+    pub alu_class: AluClass,
+    /// First ALU operand.
+    pub operand_a: u32,
+    /// Second ALU operand (immediate operands are presented here as well,
+    /// after extension, exactly as the datapath sees them).
+    pub operand_b: u32,
+    /// The fault-free result the ALU computed this cycle (for set-flag
+    /// operations bit 0 holds the flag).
+    pub result: u32,
+    /// Whether fault injection is currently enabled (the ISS only enables
+    /// it inside the benchmark's kernel window).
+    pub fi_enabled: bool,
+}
+
+/// A model deciding which execution-stage endpoint bits to flip each cycle.
+///
+/// Implementations live in the `sfi-fault` crate (models A, B, B+ and C of
+/// the paper); the trivial [`NoFaultInjector`] is provided here for
+/// fault-free golden runs.
+pub trait FaultInjector {
+    /// Returns the bit mask to XOR into the execution-stage result register
+    /// for this cycle (0 = no fault).
+    ///
+    /// The ISS calls this for every cycle in which an ALU instruction
+    /// occupies the execution stage, including cycles outside the kernel
+    /// window (with `ctx.fi_enabled == false`) so that models can keep
+    /// cycle-aligned internal state such as per-cycle supply-noise samples.
+    fn inject(&mut self, ctx: &ExStageContext) -> u32;
+
+    /// Called once when a program run starts, so stateful models can reset
+    /// per-run state (e.g. noise sequences) while keeping their expensive
+    /// characterization data.
+    fn begin_run(&mut self) {}
+}
+
+/// A fault injector that never injects anything (golden runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaultInjector;
+
+impl FaultInjector for NoFaultInjector {
+    fn inject(&mut self, _ctx: &ExStageContext) -> u32 {
+        0
+    }
+}
+
+impl<T: FaultInjector + ?Sized> FaultInjector for &mut T {
+    fn inject(&mut self, ctx: &ExStageContext) -> u32 {
+        (**self).inject(ctx)
+    }
+
+    fn begin_run(&mut self) {
+        (**self).begin_run();
+    }
+}
+
+impl<T: FaultInjector + ?Sized> FaultInjector for Box<T> {
+    fn inject(&mut self, ctx: &ExStageContext) -> u32 {
+        (**self).inject(ctx)
+    }
+
+    fn begin_run(&mut self) {
+        (**self).begin_run();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FlipLsbInKernel;
+
+    impl FaultInjector for FlipLsbInKernel {
+        fn inject(&mut self, ctx: &ExStageContext) -> u32 {
+            if ctx.fi_enabled {
+                1
+            } else {
+                0
+            }
+        }
+    }
+
+    fn ctx(fi_enabled: bool) -> ExStageContext {
+        ExStageContext {
+            cycle: 10,
+            alu_class: AluClass::Add,
+            operand_a: 1,
+            operand_b: 2,
+            result: 3,
+            fi_enabled,
+        }
+    }
+
+    #[test]
+    fn no_fault_injector_returns_zero() {
+        let mut inj = NoFaultInjector;
+        assert_eq!(inj.inject(&ctx(true)), 0);
+        inj.begin_run();
+    }
+
+    #[test]
+    fn trait_objects_and_references_work() {
+        let mut inj = FlipLsbInKernel;
+        assert_eq!(inj.inject(&ctx(true)), 1);
+        assert_eq!(inj.inject(&ctx(false)), 0);
+        let mut dynamic: &mut dyn FaultInjector = &mut inj;
+        assert_eq!(FaultInjector::inject(&mut dynamic, &ctx(true)), 1);
+        FaultInjector::begin_run(&mut dynamic);
+        let mut boxed: Box<dyn FaultInjector> = Box::new(FlipLsbInKernel);
+        assert_eq!(boxed.inject(&ctx(true)), 1);
+        boxed.begin_run();
+    }
+}

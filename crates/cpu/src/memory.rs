@@ -1,0 +1,171 @@
+//! Word-addressed data memory (single-cycle SRAM macro model).
+
+use std::fmt;
+
+/// The data memory of the core: a flat array of 32-bit words with
+/// single-cycle access, mirroring the SRAM macros of the case-study chip.
+///
+/// Addresses are byte addresses (as produced by address arithmetic in the
+/// kernels) but must be word-aligned.
+///
+/// # Example
+///
+/// ```
+/// use sfi_cpu::Memory;
+///
+/// let mut mem = Memory::new(256);
+/// mem.store_word(8, 0xDEAD_BEEF)?;
+/// assert_eq!(mem.load_word(8)?, 0xDEAD_BEEF);
+/// # Ok::<(), sfi_cpu::memory::MemoryError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    words: Vec<u32>,
+}
+
+/// Error raised by an out-of-range or misaligned access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryError {
+    /// The offending byte address.
+    pub address: u32,
+    /// Whether the access was a store.
+    pub is_store: bool,
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {} at byte address {:#010x}",
+            if self.is_store { "store" } else { "load" },
+            self.address
+        )
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+impl Memory {
+    /// Creates a zero-initialized memory of `words` 32-bit words.
+    pub fn new(words: usize) -> Self {
+        Memory { words: vec![0; words] }
+    }
+
+    /// Size of the memory in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the memory has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Size of the memory in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    fn word_index(&self, address: u32, is_store: bool) -> Result<usize, MemoryError> {
+        if address % 4 != 0 {
+            return Err(MemoryError { address, is_store });
+        }
+        let index = (address / 4) as usize;
+        if index >= self.words.len() {
+            return Err(MemoryError { address, is_store });
+        }
+        Ok(index)
+    }
+
+    /// Loads the word at byte address `address`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] if the address is misaligned or out of range.
+    pub fn load_word(&self, address: u32) -> Result<u32, MemoryError> {
+        Ok(self.words[self.word_index(address, false)?])
+    }
+
+    /// Stores `value` at byte address `address`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] if the address is misaligned or out of range.
+    pub fn store_word(&mut self, address: u32, value: u32) -> Result<(), MemoryError> {
+        let index = self.word_index(address, true)?;
+        self.words[index] = value;
+        Ok(())
+    }
+
+    /// Bulk-writes `values` starting at byte address `address` (used by the
+    /// experiment harness to place kernel input data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] if any written word would fall outside the
+    /// memory.
+    pub fn write_block(&mut self, address: u32, values: &[u32]) -> Result<(), MemoryError> {
+        for (i, &v) in values.iter().enumerate() {
+            self.store_word(address + 4 * i as u32, v)?;
+        }
+        Ok(())
+    }
+
+    /// Bulk-reads `count` words starting at byte address `address` (used by
+    /// the harness to extract kernel output data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] if any read word would fall outside the
+    /// memory.
+    pub fn read_block(&self, address: u32, count: usize) -> Result<Vec<u32>, MemoryError> {
+        (0..count).map(|i| self.load_word(address + 4 * i as u32)).collect()
+    }
+
+    /// Direct view of the backing words (mainly for tests and metrics).
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut m = Memory::new(16);
+        assert_eq!(m.len(), 16);
+        assert_eq!(m.size_bytes(), 64);
+        assert!(!m.is_empty());
+        m.store_word(0, 1).unwrap();
+        m.store_word(60, 0xFFFF_FFFF).unwrap();
+        assert_eq!(m.load_word(0).unwrap(), 1);
+        assert_eq!(m.load_word(60).unwrap(), 0xFFFF_FFFF);
+        assert_eq!(m.load_word(4).unwrap(), 0);
+    }
+
+    #[test]
+    fn misaligned_and_out_of_range() {
+        let mut m = Memory::new(4);
+        assert!(m.load_word(2).is_err());
+        assert!(m.store_word(17, 1).is_err());
+        assert!(m.load_word(16).is_err());
+        let err = m.store_word(100, 0).unwrap_err();
+        assert!(err.is_store);
+        assert_eq!(err.address, 100);
+        assert!(err.to_string().contains("store"));
+        let err = m.load_word(100).unwrap_err();
+        assert!(!err.is_store);
+    }
+
+    #[test]
+    fn block_transfers() {
+        let mut m = Memory::new(32);
+        m.write_block(8, &[10, 20, 30]).unwrap();
+        assert_eq!(m.read_block(8, 3).unwrap(), vec![10, 20, 30]);
+        assert_eq!(m.words()[2..5], [10, 20, 30]);
+        assert!(m.write_block(120, &[1, 2, 3]).is_err());
+        assert!(m.read_block(120, 3).is_err());
+    }
+}

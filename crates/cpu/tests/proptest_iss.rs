@@ -1,0 +1,54 @@
+//! Property-based tests of the instruction set simulator.
+
+use proptest::prelude::*;
+use sfi_cpu::{Core, RunConfig};
+use sfi_isa::program::ProgramBuilder;
+use sfi_isa::{AluClass, Instruction, Reg};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alu_result_matches_rust_semantics(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(Core::alu_result(AluClass::Add, a, b), a.wrapping_add(b));
+        prop_assert_eq!(Core::alu_result(AluClass::Sub, a, b), a.wrapping_sub(b));
+        prop_assert_eq!(Core::alu_result(AluClass::Mul, a, b), a.wrapping_mul(b));
+        prop_assert_eq!(Core::alu_result(AluClass::And, a, b), a & b);
+        prop_assert_eq!(Core::alu_result(AluClass::Xor, a, b), a ^ b);
+        prop_assert_eq!(Core::alu_result(AluClass::Sll, a, b), a.wrapping_shl(b & 31));
+        prop_assert_eq!(Core::alu_result(AluClass::SfLtu, a, b), (a < b) as u32);
+        prop_assert_eq!(
+            Core::alu_result(AluClass::SfLts, a, b),
+            ((a as i32) < (b as i32)) as u32
+        );
+    }
+
+    #[test]
+    fn countdown_loop_terminates_with_correct_sum(n in 1u32..200) {
+        // r4 = sum(1..=n) computed with a data-dependent loop.
+        let mut p = ProgramBuilder::new();
+        p.push(Instruction::Addi { rd: Reg(3), ra: Reg(0), imm: n as i16 });
+        let head = p.label();
+        p.push(Instruction::Add { rd: Reg(4), ra: Reg(4), rb: Reg(3) });
+        p.push(Instruction::Addi { rd: Reg(3), ra: Reg(3), imm: -1 });
+        p.push(Instruction::Sfne { ra: Reg(3), rb: Reg(0) });
+        p.branch_if_flag(head);
+        let mut core = Core::new(p.build(), 16);
+        let outcome = core.run(&RunConfig::default());
+        prop_assert!(outcome.finished());
+        prop_assert_eq!(core.state().reg(Reg(4)), n * (n + 1) / 2);
+        // Roughly one instruction per cycle plus branch penalties.
+        prop_assert!(core.stats().ipc() > 0.5 && core.stats().ipc() <= 1.0);
+    }
+
+    #[test]
+    fn memory_roundtrip_through_program(value in any::<u32>(), slot in 0u32..16) {
+        let mut p = ProgramBuilder::new();
+        p.load_immediate(Reg(1), value);
+        p.push(Instruction::Sw { ra: Reg(0), rb: Reg(1), offset: (slot * 4) as i16 });
+        p.push(Instruction::Lwz { rd: Reg(2), ra: Reg(0), offset: (slot * 4) as i16 });
+        let mut core = Core::new(p.build(), 32);
+        prop_assert!(core.run(&RunConfig::default()).finished());
+        prop_assert_eq!(core.state().reg(Reg(2)), value);
+    }
+}

@@ -1,0 +1,62 @@
+//! Mapping between the ISA-level ALU classes and the gate-level datapath
+//! operations they activate.
+
+use sfi_isa::AluClass;
+use sfi_netlist::alu::AluOp;
+
+/// The gate-level ALU operation characterized for a given instruction class.
+///
+/// # Example
+///
+/// ```
+/// use sfi_fault::alu_op_for_class;
+/// use sfi_isa::AluClass;
+/// use sfi_netlist::alu::AluOp;
+///
+/// assert_eq!(alu_op_for_class(AluClass::Mul), AluOp::Mul);
+/// assert_eq!(alu_op_for_class(AluClass::SfLtu), AluOp::SfLtu);
+/// ```
+pub fn alu_op_for_class(class: AluClass) -> AluOp {
+    match class {
+        AluClass::Add => AluOp::Add,
+        AluClass::Sub => AluOp::Sub,
+        AluClass::And => AluOp::And,
+        AluClass::Or => AluOp::Or,
+        AluClass::Xor => AluOp::Xor,
+        AluClass::Sll => AluOp::Sll,
+        AluClass::Srl => AluOp::Srl,
+        AluClass::Sra => AluOp::Sra,
+        AluClass::Mul => AluOp::Mul,
+        AluClass::SfEq => AluOp::SfEq,
+        AluClass::SfNe => AluOp::SfNe,
+        AluClass::SfLtu => AluOp::SfLtu,
+        AluClass::SfGeu => AluOp::SfGeu,
+        AluClass::SfLts => AluOp::SfLts,
+        AluClass::SfGes => AluOp::SfGes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_maps_to_a_distinct_op() {
+        let ops: Vec<AluOp> = AluClass::ALL.iter().map(|&c| alu_op_for_class(c)).collect();
+        for (i, a) in ops.iter().enumerate() {
+            for (j, b) in ops.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b);
+                }
+            }
+        }
+        assert_eq!(ops.len(), AluOp::ALL.len());
+    }
+
+    #[test]
+    fn flag_classes_map_to_flag_ops() {
+        for class in AluClass::ALL {
+            assert_eq!(class.is_set_flag(), alu_op_for_class(class).is_set_flag());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Model A: conventional purely random fault injection.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sfi_cpu::{ExStageContext, FaultInjector};
+
+/// Fixed-probability random bit flips (the paper's **model A**).
+///
+/// Every endpoint bit of every ALU cycle flips independently with a fixed
+/// probability, with no link to the operating conditions, the executed
+/// instruction, or the circuit structure — the baseline whose inaccuracy
+/// motivates the statistical model.
+#[derive(Debug, Clone)]
+pub struct FixedProbabilityModel {
+    bit_flip_probability: f64,
+    endpoint_count: usize,
+    rng: SmallRng,
+    seed: u64,
+}
+
+impl FixedProbabilityModel {
+    /// Creates the model with a per-bit, per-cycle flip probability over
+    /// `endpoint_count` endpoint bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is not in `[0, 1]` or `endpoint_count` is
+    /// zero or larger than 32.
+    pub fn new(bit_flip_probability: f64, endpoint_count: usize, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&bit_flip_probability),
+            "flip probability must be in [0, 1], got {bit_flip_probability}"
+        );
+        assert!(
+            endpoint_count > 0 && endpoint_count <= 32,
+            "endpoint count must be in 1..=32, got {endpoint_count}"
+        );
+        FixedProbabilityModel {
+            bit_flip_probability,
+            endpoint_count,
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The per-bit flip probability.
+    pub fn bit_flip_probability(&self) -> f64 {
+        self.bit_flip_probability
+    }
+
+    /// Number of endpoint bits faults can be injected into.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoint_count
+    }
+
+    /// Reseeds the internal random number generator (used to decorrelate
+    /// Monte-Carlo trials).
+    pub fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+        self.rng = SmallRng::seed_from_u64(seed);
+    }
+}
+
+impl FaultInjector for FixedProbabilityModel {
+    fn inject(&mut self, ctx: &ExStageContext) -> u32 {
+        if !ctx.fi_enabled || self.bit_flip_probability == 0.0 {
+            return 0;
+        }
+        let mut mask = 0u32;
+        for bit in 0..self.endpoint_count {
+            if self.rng.gen_bool(self.bit_flip_probability) {
+                mask |= 1 << bit;
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_isa::AluClass;
+
+    fn ctx(fi_enabled: bool) -> ExStageContext {
+        ExStageContext {
+            cycle: 0,
+            alu_class: AluClass::Add,
+            operand_a: 0,
+            operand_b: 0,
+            result: 0,
+            fi_enabled,
+        }
+    }
+
+    #[test]
+    fn zero_probability_never_injects() {
+        let mut m = FixedProbabilityModel::new(0.0, 32, 1);
+        for _ in 0..1000 {
+            assert_eq!(m.inject(&ctx(true)), 0);
+        }
+    }
+
+    #[test]
+    fn unit_probability_always_flips_everything() {
+        let mut m = FixedProbabilityModel::new(1.0, 8, 1);
+        assert_eq!(m.inject(&ctx(true)), 0xFF);
+        assert_eq!(m.endpoint_count(), 8);
+        assert_eq!(m.bit_flip_probability(), 1.0);
+    }
+
+    #[test]
+    fn disabled_window_suppresses_injection() {
+        let mut m = FixedProbabilityModel::new(1.0, 32, 1);
+        assert_eq!(m.inject(&ctx(false)), 0);
+    }
+
+    #[test]
+    fn empirical_rate_matches_probability() {
+        let mut m = FixedProbabilityModel::new(0.01, 32, 7);
+        let trials = 20_000;
+        let mut flips = 0u64;
+        for _ in 0..trials {
+            flips += u64::from(m.inject(&ctx(true)).count_ones());
+        }
+        let rate = flips as f64 / (trials as f64 * 32.0);
+        assert!((0.008..=0.012).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn reseeding_reproduces_sequences() {
+        let mut a = FixedProbabilityModel::new(0.1, 32, 3);
+        let mut b = FixedProbabilityModel::new(0.1, 32, 999);
+        b.reseed(3);
+        for _ in 0..100 {
+            assert_eq!(a.inject(&ctx(true)), b.inject(&ctx(true)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn invalid_probability_panics() {
+        FixedProbabilityModel::new(1.5, 32, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint count")]
+    fn invalid_endpoint_count_panics() {
+        FixedProbabilityModel::new(0.5, 0, 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Model C: the proposed statistical, instruction-aware fault injection.
+
+use crate::map::alu_op_for_class;
+use crate::operating_point::OperatingPoint;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sfi_cpu::{ExStageContext, FaultInjector};
+use sfi_timing::{TimingCharacterization, VddDelayCurve};
+
+/// Probabilistic period violation using DTA-extracted CDFs (the paper's
+/// **model C**).
+///
+/// Every cycle the model:
+///
+/// 1. draws an independent supply-noise sample and converts it into a CDF
+///    scaling factor through the fitted Vdd–delay curve,
+/// 2. looks up the timing-error probability `P_{E,V,I}(f)` of every
+///    endpoint for the instruction currently in the execution stage, and
+/// 3. flips each endpoint bit with that probability.
+///
+/// This is the model that reproduces the gradual transition regions between
+/// error-free operation and complete failure (Figs. 4–7 of the paper).
+#[derive(Debug, Clone)]
+pub struct StatisticalDtaModel {
+    characterization: TimingCharacterization,
+    point: OperatingPoint,
+    curve: VddDelayCurve,
+    rng: SmallRng,
+}
+
+impl StatisticalDtaModel {
+    /// Creates the model from a timing characterization performed at the
+    /// operating point's supply voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the characterization voltage does not match the operating
+    /// point (a different set of CDFs must be used per supply voltage, as
+    /// the paper does).
+    pub fn new(
+        characterization: TimingCharacterization,
+        point: OperatingPoint,
+        curve: VddDelayCurve,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (characterization.vdd() - point.vdd()).abs() < 1e-9,
+            "characterization voltage {} V does not match operating point {} V",
+            characterization.vdd(),
+            point.vdd()
+        );
+        StatisticalDtaModel {
+            characterization,
+            point,
+            curve,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Reseeds the random number generator (used to decorrelate Monte-Carlo
+    /// trials while reusing the expensive characterization).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
+    }
+
+    /// The operating point the model simulates.
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.point
+    }
+
+    /// Returns a copy of the model at a different clock frequency, sharing
+    /// the same characterization data.
+    pub fn at_frequency(&self, freq_mhz: f64, seed: u64) -> Self {
+        StatisticalDtaModel {
+            characterization: self.characterization.clone(),
+            point: self.point.at_frequency(freq_mhz),
+            curve: self.curve.clone(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying characterization (e.g. to query CDFs for reporting).
+    pub fn characterization(&self) -> &TimingCharacterization {
+        &self.characterization
+    }
+}
+
+impl FaultInjector for StatisticalDtaModel {
+    fn inject(&mut self, ctx: &ExStageContext) -> u32 {
+        // Step 1: per-cycle supply-noise sample -> CDF scaling factor.
+        let noise = self.point.noise().sample_volts(&mut self.rng);
+        if !ctx.fi_enabled {
+            return 0;
+        }
+        let delay_factor = self.curve.noise_scaling_factor(self.point.vdd(), noise);
+        let op = alu_op_for_class(ctx.alu_class);
+        let period_ps = self.point.period_ps();
+
+        // Steps 2 + 3: per-endpoint probabilities, independent Bernoulli
+        // draws.
+        let mut mask = 0u32;
+        for endpoint in 0..self.characterization.endpoint_count().min(32) {
+            let p = self.characterization.error_probability(op, endpoint, period_ps, delay_factor);
+            if p > 0.0 && self.rng.gen_bool(p) {
+                mask |= 1 << endpoint;
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_isa::AluClass;
+    use sfi_netlist::alu::AluDatapath;
+    use sfi_netlist::{DelayModel, VoltageScaling};
+    use sfi_timing::{characterize_alu, CharacterizationConfig, VoltageNoise};
+
+    fn characterization() -> TimingCharacterization {
+        let alu = AluDatapath::build(8);
+        characterize_alu(
+            &alu,
+            &DelayModel::default_28nm(),
+            &VoltageScaling::default_28nm(),
+            &CharacterizationConfig { cycles_per_op: 64, ..Default::default() },
+        )
+    }
+
+    fn curve() -> VddDelayCurve {
+        VddDelayCurve::from_scaling(&VoltageScaling::default_28nm(), 0.6, 1.0, 5)
+    }
+
+    fn ctx(class: AluClass) -> ExStageContext {
+        ExStageContext {
+            cycle: 0,
+            alu_class: class,
+            operand_a: 0,
+            operand_b: 0,
+            result: 0,
+            fi_enabled: true,
+        }
+    }
+
+    fn fault_rate(model: &mut StatisticalDtaModel, class: AluClass, cycles: usize) -> f64 {
+        let mut faults = 0usize;
+        for _ in 0..cycles {
+            faults += (model.inject(&ctx(class)) != 0) as usize;
+        }
+        faults as f64 / cycles as f64
+    }
+
+    #[test]
+    fn no_faults_at_sta_limit_without_noise() {
+        let ch = characterization();
+        let point = OperatingPoint::new(ch.sta_limit_mhz(), 0.7);
+        let mut m = StatisticalDtaModel::new(ch, point, curve(), 1);
+        for class in AluClass::ALL {
+            assert_eq!(m.inject(&ctx(class)), 0, "{class}");
+        }
+    }
+
+    #[test]
+    fn instruction_awareness() {
+        let ch = characterization();
+        // Pick a frequency between the multiplier's and the logic unit's
+        // first-failure points: multiplications must fault, XORs must not.
+        let f_mul = ch.first_failure_frequency_mhz(sfi_netlist::alu::AluOp::Mul);
+        let f_xor = ch.first_failure_frequency_mhz(sfi_netlist::alu::AluOp::Xor);
+        let freq = f_mul * 1.2;
+        assert!(freq < f_xor);
+        let point = OperatingPoint::new(freq, 0.7);
+        let mut m = StatisticalDtaModel::new(ch, point, curve(), 2);
+        assert!(fault_rate(&mut m, AluClass::Mul, 500) > 0.0);
+        assert_eq!(fault_rate(&mut m, AluClass::Xor, 500), 0.0);
+    }
+
+    #[test]
+    fn fault_rate_grows_with_frequency() {
+        let ch = characterization();
+        let f0 = ch.first_failure_frequency_mhz(sfi_netlist::alu::AluOp::Mul);
+        let point = OperatingPoint::new(f0 * 1.05, 0.7);
+        let base = StatisticalDtaModel::new(ch, point, curve(), 3);
+        let mut low = base.at_frequency(f0 * 1.05, 3);
+        let mut high = base.at_frequency(f0 * 1.5, 3);
+        let r_low = fault_rate(&mut low, AluClass::Mul, 400);
+        let r_high = fault_rate(&mut high, AluClass::Mul, 400);
+        assert!(r_high > r_low, "rate must grow with frequency ({r_low} vs {r_high})");
+    }
+
+    #[test]
+    fn noise_enables_faults_below_the_nominal_first_failure() {
+        let ch = characterization();
+        let f0 = ch.first_failure_frequency_mhz(sfi_netlist::alu::AluOp::Mul);
+        // Slightly below the nominal first-failure frequency.
+        let quiet_point = OperatingPoint::new(f0 * 0.98, 0.7);
+        let noisy_point = quiet_point.with_noise(VoltageNoise::with_sigma_mv(25.0));
+        let mut quiet = StatisticalDtaModel::new(ch.clone(), quiet_point, curve(), 4);
+        let mut noisy = StatisticalDtaModel::new(ch, noisy_point, curve(), 4);
+        assert_eq!(fault_rate(&mut quiet, AluClass::Mul, 1000), 0.0);
+        assert!(fault_rate(&mut noisy, AluClass::Mul, 1000) > 0.0);
+    }
+
+    #[test]
+    fn reseed_reproduces_sequences() {
+        let ch = characterization();
+        let f0 = ch.first_failure_frequency_mhz(sfi_netlist::alu::AluOp::Mul);
+        let point =
+            OperatingPoint::new(f0 * 1.1, 0.7).with_noise(VoltageNoise::with_sigma_mv(10.0));
+        let mut a = StatisticalDtaModel::new(ch.clone(), point, curve(), 9);
+        let mut b = StatisticalDtaModel::new(ch, point, curve(), 77);
+        b.reseed(9);
+        for _ in 0..200 {
+            assert_eq!(a.inject(&ctx(AluClass::Mul)), b.inject(&ctx(AluClass::Mul)));
+        }
+    }
+
+    #[test]
+    fn disabled_window_suppresses_injection() {
+        let ch = characterization();
+        let point = OperatingPoint::new(ch.sta_limit_mhz() * 2.0, 0.7);
+        let mut m = StatisticalDtaModel::new(ch, point, curve(), 5);
+        let mut off_ctx = ctx(AluClass::Mul);
+        off_ctx.fi_enabled = false;
+        assert_eq!(m.inject(&off_ctx), 0);
+        assert!(m.characterization().endpoint_count() > 0);
+        assert_eq!(m.operating_point().vdd(), 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn voltage_mismatch_panics() {
+        let ch = characterization();
+        StatisticalDtaModel::new(ch, OperatingPoint::new(700.0, 0.8), curve(), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Operating points: clock frequency, supply voltage and supply noise.
+
+use sfi_timing::{freq_mhz_to_period_ps, VoltageNoise};
+use std::fmt;
+
+/// One operating point of the core: the clock frequency it is (over-)clocked
+/// to, the nominal supply voltage, and the supply-noise level.
+///
+/// # Example
+///
+/// ```
+/// use sfi_fault::OperatingPoint;
+///
+/// let op = OperatingPoint::new(750.0, 0.7).with_noise_sigma_mv(10.0);
+/// assert!((op.period_ps() - 1333.3).abs() < 0.1);
+/// assert_eq!(op.noise().sigma_mv(), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    freq_mhz: f64,
+    vdd: f64,
+    noise: VoltageNoise,
+}
+
+impl OperatingPoint {
+    /// Creates a noiseless operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_mhz` or `vdd` is not strictly positive.
+    pub fn new(freq_mhz: f64, vdd: f64) -> Self {
+        assert!(freq_mhz > 0.0, "frequency must be positive, got {freq_mhz}");
+        assert!(vdd > 0.0, "supply voltage must be positive, got {vdd}");
+        OperatingPoint { freq_mhz, vdd, noise: VoltageNoise::none() }
+    }
+
+    /// Sets the supply-noise standard deviation in millivolts.
+    pub fn with_noise_sigma_mv(mut self, sigma_mv: f64) -> Self {
+        self.noise = VoltageNoise::with_sigma_mv(sigma_mv);
+        self
+    }
+
+    /// Sets the supply-noise model explicitly.
+    pub fn with_noise(mut self, noise: VoltageNoise) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Returns a copy at a different clock frequency (used by sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_mhz` is not strictly positive.
+    pub fn at_frequency(mut self, freq_mhz: f64) -> Self {
+        assert!(freq_mhz > 0.0, "frequency must be positive, got {freq_mhz}");
+        self.freq_mhz = freq_mhz;
+        self
+    }
+
+    /// The clock frequency in MHz.
+    pub fn freq_mhz(&self) -> f64 {
+        self.freq_mhz
+    }
+
+    /// The clock period in picoseconds.
+    pub fn period_ps(&self) -> f64 {
+        freq_mhz_to_period_ps(self.freq_mhz)
+    }
+
+    /// The nominal supply voltage in volts.
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// The supply-noise model.
+    pub fn noise(&self) -> VoltageNoise {
+        self.noise
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} MHz @ {:.2} V (noise sigma {:.0} mV)",
+            self.freq_mhz,
+            self.vdd,
+            self.noise.sigma_mv()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        let op = OperatingPoint::new(707.0, 0.7).with_noise_sigma_mv(25.0);
+        assert_eq!(op.freq_mhz(), 707.0);
+        assert_eq!(op.vdd(), 0.7);
+        assert_eq!(op.noise().sigma_mv(), 25.0);
+        assert!((op.period_ps() - 1414.43).abs() < 0.01);
+        assert!(op.to_string().contains("707.0 MHz"));
+        let faster = op.at_frequency(800.0);
+        assert_eq!(faster.freq_mhz(), 800.0);
+        assert_eq!(faster.vdd(), 0.7);
+    }
+
+    #[test]
+    fn explicit_noise_model() {
+        let op = OperatingPoint::new(500.0, 0.8).with_noise(VoltageNoise::with_sigma_mv(10.0).with_clip_sigmas(3.0));
+        assert_eq!(op.noise().clip_sigmas(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_frequency_panics() {
+        OperatingPoint::new(0.0, 0.7);
+    }
+}

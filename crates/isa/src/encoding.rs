@@ -1,0 +1,329 @@
+//! Binary encoding and decoding of instructions.
+//!
+//! The encoding is a compact 32-bit format inspired by (but not identical
+//! to) the OpenRISC ORBIS32 encoding: a 6-bit major opcode in the top bits,
+//! 5-bit register fields, and 16-bit immediates or 26-bit branch offsets in
+//! the low bits.  It exists so programs can be stored in a word-addressed
+//! instruction memory and round-tripped, exactly like on the real core.
+
+use crate::instruction::Instruction;
+use crate::registers::Reg;
+use std::fmt;
+
+/// Error returned when a 32-bit word does not decode to a valid instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_SHIFT: u32 = 26;
+const RD_SHIFT: u32 = 21;
+const RA_SHIFT: u32 = 16;
+const RB_SHIFT: u32 = 11;
+
+const OP_NOP: u32 = 0x00;
+const OP_ADD: u32 = 0x01;
+const OP_SUB: u32 = 0x02;
+const OP_AND: u32 = 0x03;
+const OP_OR: u32 = 0x04;
+const OP_XOR: u32 = 0x05;
+const OP_MUL: u32 = 0x06;
+const OP_SLL: u32 = 0x07;
+const OP_SRL: u32 = 0x08;
+const OP_SRA: u32 = 0x09;
+const OP_ADDI: u32 = 0x0A;
+const OP_ANDI: u32 = 0x0B;
+const OP_ORI: u32 = 0x0C;
+const OP_XORI: u32 = 0x0D;
+const OP_MULI: u32 = 0x0E;
+const OP_SLLI: u32 = 0x0F;
+const OP_SRLI: u32 = 0x10;
+const OP_SRAI: u32 = 0x11;
+const OP_MOVHI: u32 = 0x12;
+const OP_SF: u32 = 0x13;
+const OP_LWZ: u32 = 0x14;
+const OP_SW: u32 = 0x15;
+const OP_BF: u32 = 0x16;
+const OP_BNF: u32 = 0x17;
+const OP_J: u32 = 0x18;
+const OP_JAL: u32 = 0x19;
+const OP_JR: u32 = 0x1A;
+
+const SF_EQ: u32 = 0;
+const SF_NE: u32 = 1;
+const SF_LTU: u32 = 2;
+const SF_GEU: u32 = 3;
+const SF_GTU: u32 = 4;
+const SF_LEU: u32 = 5;
+const SF_LTS: u32 = 6;
+const SF_GES: u32 = 7;
+const SF_GTS: u32 = 8;
+const SF_LES: u32 = 9;
+
+fn r(value: u32, shift: u32) -> Reg {
+    Reg(((value >> shift) & 0x1F) as u8)
+}
+
+fn imm16(value: u32) -> u16 {
+    (value & 0xFFFF) as u16
+}
+
+fn off26(value: u32) -> i32 {
+    // Sign-extend a 26-bit field.
+    ((value << 6) as i32) >> 6
+}
+
+/// Encodes an instruction into its 32-bit binary representation.
+///
+/// # Panics
+///
+/// Panics if a register field is out of range, a shift amount exceeds 31,
+/// or a branch offset does not fit in 26 signed bits.
+///
+/// # Example
+///
+/// ```
+/// use sfi_isa::{encode, decode, Instruction, Reg};
+///
+/// let i = Instruction::Addi { rd: Reg(3), ra: Reg(4), imm: -7 };
+/// assert_eq!(decode(encode(i))?, i);
+/// # Ok::<(), sfi_isa::DecodeError>(())
+/// ```
+pub fn encode(instruction: Instruction) -> u32 {
+    use Instruction::*;
+    let reg = |r: Reg, shift: u32| -> u32 {
+        assert!(r.is_valid(), "register {r} out of range");
+        (r.0 as u32) << shift
+    };
+    let shamt5 = |s: u8| -> u32 {
+        assert!(s < 32, "shift amount {s} out of range");
+        s as u32
+    };
+    let branch26 = |o: i32| -> u32 {
+        assert!((-(1 << 25)..(1 << 25)).contains(&o), "branch offset {o} out of range");
+        (o as u32) & 0x03FF_FFFF
+    };
+    let rtype = |op: u32, rd: Reg, ra: Reg, rb: Reg| {
+        (op << OP_SHIFT) | reg(rd, RD_SHIFT) | reg(ra, RA_SHIFT) | reg(rb, RB_SHIFT)
+    };
+    let itype = |op: u32, rd: Reg, ra: Reg, imm: u16| {
+        (op << OP_SHIFT) | reg(rd, RD_SHIFT) | reg(ra, RA_SHIFT) | imm as u32
+    };
+    let sf = |sub: u32, ra: Reg, rb: Reg| {
+        (OP_SF << OP_SHIFT) | (sub << RD_SHIFT) | reg(ra, RA_SHIFT) | reg(rb, RB_SHIFT)
+    };
+
+    match instruction {
+        Nop => OP_NOP << OP_SHIFT,
+        Add { rd, ra, rb } => rtype(OP_ADD, rd, ra, rb),
+        Sub { rd, ra, rb } => rtype(OP_SUB, rd, ra, rb),
+        And { rd, ra, rb } => rtype(OP_AND, rd, ra, rb),
+        Or { rd, ra, rb } => rtype(OP_OR, rd, ra, rb),
+        Xor { rd, ra, rb } => rtype(OP_XOR, rd, ra, rb),
+        Mul { rd, ra, rb } => rtype(OP_MUL, rd, ra, rb),
+        Sll { rd, ra, rb } => rtype(OP_SLL, rd, ra, rb),
+        Srl { rd, ra, rb } => rtype(OP_SRL, rd, ra, rb),
+        Sra { rd, ra, rb } => rtype(OP_SRA, rd, ra, rb),
+        Addi { rd, ra, imm } => itype(OP_ADDI, rd, ra, imm as u16),
+        Andi { rd, ra, imm } => itype(OP_ANDI, rd, ra, imm),
+        Ori { rd, ra, imm } => itype(OP_ORI, rd, ra, imm),
+        Xori { rd, ra, imm } => itype(OP_XORI, rd, ra, imm),
+        Muli { rd, ra, imm } => itype(OP_MULI, rd, ra, imm as u16),
+        Slli { rd, ra, shamt } => {
+            (OP_SLLI << OP_SHIFT) | reg(rd, RD_SHIFT) | reg(ra, RA_SHIFT) | shamt5(shamt)
+        }
+        Srli { rd, ra, shamt } => {
+            (OP_SRLI << OP_SHIFT) | reg(rd, RD_SHIFT) | reg(ra, RA_SHIFT) | shamt5(shamt)
+        }
+        Srai { rd, ra, shamt } => {
+            (OP_SRAI << OP_SHIFT) | reg(rd, RD_SHIFT) | reg(ra, RA_SHIFT) | shamt5(shamt)
+        }
+        Movhi { rd, imm } => (OP_MOVHI << OP_SHIFT) | reg(rd, RD_SHIFT) | imm as u32,
+        Sfeq { ra, rb } => sf(SF_EQ, ra, rb),
+        Sfne { ra, rb } => sf(SF_NE, ra, rb),
+        Sfltu { ra, rb } => sf(SF_LTU, ra, rb),
+        Sfgeu { ra, rb } => sf(SF_GEU, ra, rb),
+        Sfgtu { ra, rb } => sf(SF_GTU, ra, rb),
+        Sfleu { ra, rb } => sf(SF_LEU, ra, rb),
+        Sflts { ra, rb } => sf(SF_LTS, ra, rb),
+        Sfges { ra, rb } => sf(SF_GES, ra, rb),
+        Sfgts { ra, rb } => sf(SF_GTS, ra, rb),
+        Sfles { ra, rb } => sf(SF_LES, ra, rb),
+        Lwz { rd, ra, offset } => itype(OP_LWZ, rd, ra, offset as u16),
+        Sw { ra, rb, offset } => {
+            (OP_SW << OP_SHIFT) | reg(rb, RD_SHIFT) | reg(ra, RA_SHIFT) | (offset as u16) as u32
+        }
+        Bf { offset } => (OP_BF << OP_SHIFT) | branch26(offset),
+        Bnf { offset } => (OP_BNF << OP_SHIFT) | branch26(offset),
+        J { offset } => (OP_J << OP_SHIFT) | branch26(offset),
+        Jal { offset } => (OP_JAL << OP_SHIFT) | branch26(offset),
+        Jr { ra } => (OP_JR << OP_SHIFT) | reg(ra, RA_SHIFT),
+    }
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the major opcode or a sub-opcode field does
+/// not correspond to any instruction.
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    use Instruction::*;
+    let op = word >> OP_SHIFT;
+    let rd = r(word, RD_SHIFT);
+    let ra = r(word, RA_SHIFT);
+    let rb = r(word, RB_SHIFT);
+    let imm = imm16(word);
+    let shamt = (word & 0x1F) as u8;
+    let instruction = match op {
+        OP_NOP => Nop,
+        OP_ADD => Add { rd, ra, rb },
+        OP_SUB => Sub { rd, ra, rb },
+        OP_AND => And { rd, ra, rb },
+        OP_OR => Or { rd, ra, rb },
+        OP_XOR => Xor { rd, ra, rb },
+        OP_MUL => Mul { rd, ra, rb },
+        OP_SLL => Sll { rd, ra, rb },
+        OP_SRL => Srl { rd, ra, rb },
+        OP_SRA => Sra { rd, ra, rb },
+        OP_ADDI => Addi { rd, ra, imm: imm as i16 },
+        OP_ANDI => Andi { rd, ra, imm },
+        OP_ORI => Ori { rd, ra, imm },
+        OP_XORI => Xori { rd, ra, imm },
+        OP_MULI => Muli { rd, ra, imm: imm as i16 },
+        OP_SLLI => Slli { rd, ra, shamt },
+        OP_SRLI => Srli { rd, ra, shamt },
+        OP_SRAI => Srai { rd, ra, shamt },
+        OP_MOVHI => Movhi { rd, imm },
+        OP_SF => {
+            let sub = (word >> RD_SHIFT) & 0x1F;
+            match sub {
+                SF_EQ => Sfeq { ra, rb },
+                SF_NE => Sfne { ra, rb },
+                SF_LTU => Sfltu { ra, rb },
+                SF_GEU => Sfgeu { ra, rb },
+                SF_GTU => Sfgtu { ra, rb },
+                SF_LEU => Sfleu { ra, rb },
+                SF_LTS => Sflts { ra, rb },
+                SF_GES => Sfges { ra, rb },
+                SF_GTS => Sfgts { ra, rb },
+                SF_LES => Sfles { ra, rb },
+                _ => return Err(DecodeError { word }),
+            }
+        }
+        OP_LWZ => Lwz { rd, ra, offset: imm as i16 },
+        OP_SW => Sw { ra, rb: rd, offset: imm as i16 },
+        OP_BF => Bf { offset: off26(word) },
+        OP_BNF => Bnf { offset: off26(word) },
+        OP_J => J { offset: off26(word) },
+        OP_JAL => Jal { offset: off26(word) },
+        OP_JR => Jr { ra },
+        _ => return Err(DecodeError { word }),
+    };
+    Ok(instruction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instructions() -> Vec<Instruction> {
+        use Instruction::*;
+        vec![
+            Nop,
+            Add { rd: Reg(1), ra: Reg(2), rb: Reg(3) },
+            Sub { rd: Reg(31), ra: Reg(30), rb: Reg(29) },
+            And { rd: Reg(4), ra: Reg(5), rb: Reg(6) },
+            Or { rd: Reg(7), ra: Reg(8), rb: Reg(9) },
+            Xor { rd: Reg(10), ra: Reg(11), rb: Reg(12) },
+            Mul { rd: Reg(13), ra: Reg(14), rb: Reg(15) },
+            Sll { rd: Reg(16), ra: Reg(17), rb: Reg(18) },
+            Srl { rd: Reg(19), ra: Reg(20), rb: Reg(21) },
+            Sra { rd: Reg(22), ra: Reg(23), rb: Reg(24) },
+            Addi { rd: Reg(3), ra: Reg(4), imm: -32768 },
+            Addi { rd: Reg(3), ra: Reg(4), imm: 32767 },
+            Andi { rd: Reg(3), ra: Reg(4), imm: 0xFFFF },
+            Ori { rd: Reg(3), ra: Reg(4), imm: 0x00FF },
+            Xori { rd: Reg(3), ra: Reg(4), imm: 0xAAAA },
+            Muli { rd: Reg(3), ra: Reg(4), imm: -5 },
+            Slli { rd: Reg(3), ra: Reg(4), shamt: 31 },
+            Srli { rd: Reg(3), ra: Reg(4), shamt: 0 },
+            Srai { rd: Reg(3), ra: Reg(4), shamt: 16 },
+            Movhi { rd: Reg(3), imm: 0xBEEF },
+            Sfeq { ra: Reg(1), rb: Reg(2) },
+            Sfne { ra: Reg(1), rb: Reg(2) },
+            Sfltu { ra: Reg(1), rb: Reg(2) },
+            Sfgeu { ra: Reg(1), rb: Reg(2) },
+            Sfgtu { ra: Reg(1), rb: Reg(2) },
+            Sfleu { ra: Reg(1), rb: Reg(2) },
+            Sflts { ra: Reg(1), rb: Reg(2) },
+            Sfges { ra: Reg(1), rb: Reg(2) },
+            Sfgts { ra: Reg(1), rb: Reg(2) },
+            Sfles { ra: Reg(1), rb: Reg(2) },
+            Lwz { rd: Reg(5), ra: Reg(6), offset: -4 },
+            Sw { ra: Reg(6), rb: Reg(5), offset: 1024 },
+            Bf { offset: -1 },
+            Bnf { offset: 12345 },
+            J { offset: -33554432 },
+            Jal { offset: 33554431 },
+            Jr { ra: Reg(9) },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_samples() {
+        for i in sample_instructions() {
+            let word = encode(i);
+            let back = decode(word).unwrap_or_else(|e| panic!("{i}: {e}"));
+            assert_eq!(back, i, "{i} encoded as {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn distinct_encodings() {
+        let words: Vec<u32> = sample_instructions().into_iter().map(encode).collect();
+        for (i, a) in words.iter().enumerate() {
+            for (j, b) in words.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "two distinct instructions share encoding {a:#010x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_opcode_rejected() {
+        let err = decode(0xFFFF_FFFF).unwrap_err();
+        assert_eq!(err.word, 0xFFFF_FFFF);
+        assert!(err.to_string().contains("0xffffffff"));
+        // Invalid set-flag sub-opcode.
+        assert!(decode((OP_SF << OP_SHIFT) | (31 << RD_SHIFT)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_register_panics() {
+        encode(Instruction::Add { rd: Reg(32), ra: Reg(0), rb: Reg(0) });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_branch_offset_panics() {
+        encode(Instruction::J { offset: 1 << 26 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_shift_amount_panics() {
+        encode(Instruction::Slli { rd: Reg(1), ra: Reg(1), shamt: 32 });
+    }
+}

@@ -1,0 +1,594 @@
+//! The instruction set: operations, operand fields, and classification.
+
+use crate::registers::Reg;
+use std::fmt;
+
+/// The execution-stage ALU operation activated by an instruction.
+///
+/// This mirrors the functional units of the gate-level datapath
+/// (`sfi-netlist::alu::AluOp`); the fault-injection models condition their
+/// timing-error statistics on this class, because different operations
+/// excite very different path delays (Fig. 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AluClass {
+    /// Addition (also used by immediate adds).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Shift left logical.
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// Low-half multiplication.
+    Mul,
+    /// Set flag if equal.
+    SfEq,
+    /// Set flag if not equal.
+    SfNe,
+    /// Set flag if less than, unsigned.
+    SfLtu,
+    /// Set flag if greater or equal, unsigned.
+    SfGeu,
+    /// Set flag if less than, signed.
+    SfLts,
+    /// Set flag if greater or equal, signed.
+    SfGes,
+}
+
+impl AluClass {
+    /// All ALU classes.
+    pub const ALL: [AluClass; 15] = [
+        AluClass::Add,
+        AluClass::Sub,
+        AluClass::And,
+        AluClass::Or,
+        AluClass::Xor,
+        AluClass::Sll,
+        AluClass::Srl,
+        AluClass::Sra,
+        AluClass::Mul,
+        AluClass::SfEq,
+        AluClass::SfNe,
+        AluClass::SfLtu,
+        AluClass::SfGeu,
+        AluClass::SfLts,
+        AluClass::SfGes,
+    ];
+
+    /// Whether the class produces the single flag bit used by conditional
+    /// branches rather than a full-width result.
+    pub fn is_set_flag(self) -> bool {
+        matches!(
+            self,
+            AluClass::SfEq
+                | AluClass::SfNe
+                | AluClass::SfLtu
+                | AluClass::SfGeu
+                | AluClass::SfLts
+                | AluClass::SfGes
+        )
+    }
+}
+
+impl fmt::Display for AluClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluClass::Add => "add",
+            AluClass::Sub => "sub",
+            AluClass::And => "and",
+            AluClass::Or => "or",
+            AluClass::Xor => "xor",
+            AluClass::Sll => "sll",
+            AluClass::Srl => "srl",
+            AluClass::Sra => "sra",
+            AluClass::Mul => "mul",
+            AluClass::SfEq => "sfeq",
+            AluClass::SfNe => "sfne",
+            AluClass::SfLtu => "sfltu",
+            AluClass::SfGeu => "sfgeu",
+            AluClass::SfLts => "sflts",
+            AluClass::SfGes => "sfges",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Coarse classification of instructions, used for pipeline-activity
+/// statistics (compute vs control weight of a kernel, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstructionKind {
+    /// Instructions that activate the execution-stage ALU (arithmetic,
+    /// logic, shifts, multiplications, set-flag comparisons).
+    Alu,
+    /// Word loads.
+    Load,
+    /// Word stores.
+    Store,
+    /// Conditional branches.
+    Branch,
+    /// Unconditional jumps (including jump-and-link and jump-register).
+    Jump,
+    /// No-operation.
+    Nop,
+}
+
+/// One instruction of the OpenRISC-like ISA.
+///
+/// Branch and jump offsets are expressed in instruction words relative to
+/// the *next* instruction (i.e. an offset of `-1` branches back to the
+/// branch itself's predecessor... more precisely `target = pc + 1 + offset`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// `l.add rd, ra, rb` — `rd = ra + rb`.
+    Add {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `l.sub rd, ra, rb` — `rd = ra - rb`.
+    Sub {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `l.and rd, ra, rb` — `rd = ra & rb`.
+    And {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `l.or rd, ra, rb` — `rd = ra | rb`.
+    Or {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `l.xor rd, ra, rb` — `rd = ra ^ rb`.
+    Xor {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `l.mul rd, ra, rb` — `rd = low32(ra * rb)`.
+    Mul {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `l.sll rd, ra, rb` — logical left shift by `rb % 32`.
+    Sll {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        ra: Reg,
+        /// Shift-amount register.
+        rb: Reg,
+    },
+    /// `l.srl rd, ra, rb` — logical right shift by `rb % 32`.
+    Srl {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        ra: Reg,
+        /// Shift-amount register.
+        rb: Reg,
+    },
+    /// `l.sra rd, ra, rb` — arithmetic right shift by `rb % 32`.
+    Sra {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        ra: Reg,
+        /// Shift-amount register.
+        rb: Reg,
+    },
+    /// `l.addi rd, ra, imm` — `rd = ra + sext(imm)`.
+    Addi {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+        /// Sign-extended immediate.
+        imm: i16,
+    },
+    /// `l.andi rd, ra, imm` — `rd = ra & zext(imm)`.
+    Andi {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+        /// Zero-extended immediate.
+        imm: u16,
+    },
+    /// `l.ori rd, ra, imm` — `rd = ra | zext(imm)`.
+    Ori {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+        /// Zero-extended immediate.
+        imm: u16,
+    },
+    /// `l.xori rd, ra, imm` — `rd = ra ^ zext(imm)`.
+    Xori {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+        /// Zero-extended immediate.
+        imm: u16,
+    },
+    /// `l.muli rd, ra, imm` — `rd = low32(ra * sext(imm))`.
+    Muli {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+        /// Sign-extended immediate.
+        imm: i16,
+    },
+    /// `l.slli rd, ra, shamt` — logical left shift by a constant.
+    Slli {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+        /// Shift amount (0–31).
+        shamt: u8,
+    },
+    /// `l.srli rd, ra, shamt` — logical right shift by a constant.
+    Srli {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+        /// Shift amount (0–31).
+        shamt: u8,
+    },
+    /// `l.srai rd, ra, shamt` — arithmetic right shift by a constant.
+    Srai {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+        /// Shift amount (0–31).
+        shamt: u8,
+    },
+    /// `l.movhi rd, imm` — `rd = imm << 16`.
+    Movhi {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate placed in the upper half-word.
+        imm: u16,
+    },
+    /// `l.sfeq ra, rb` — set flag if `ra == rb`.
+    Sfeq {
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `l.sfne ra, rb` — set flag if `ra != rb`.
+    Sfne {
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `l.sfltu ra, rb` — set flag if `ra < rb` (unsigned).
+    Sfltu {
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `l.sfgeu ra, rb` — set flag if `ra >= rb` (unsigned).
+    Sfgeu {
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `l.sfgtu ra, rb` — set flag if `ra > rb` (unsigned).
+    Sfgtu {
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `l.sfleu ra, rb` — set flag if `ra <= rb` (unsigned).
+    Sfleu {
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `l.sflts ra, rb` — set flag if `ra < rb` (signed).
+    Sflts {
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `l.sfges ra, rb` — set flag if `ra >= rb` (signed).
+    Sfges {
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `l.sfgts ra, rb` — set flag if `ra > rb` (signed).
+    Sfgts {
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `l.sfles ra, rb` — set flag if `ra <= rb` (signed).
+    Sfles {
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `l.lwz rd, offset(ra)` — load the word at `ra + sext(offset)`.
+    Lwz {
+        /// Destination register.
+        rd: Reg,
+        /// Base-address register.
+        ra: Reg,
+        /// Byte offset (must be word-aligned).
+        offset: i16,
+    },
+    /// `l.sw offset(ra), rb` — store `rb` to `ra + sext(offset)`.
+    Sw {
+        /// Base-address register.
+        ra: Reg,
+        /// Source register holding the value to store.
+        rb: Reg,
+        /// Byte offset (must be word-aligned).
+        offset: i16,
+    },
+    /// `l.bf offset` — branch if the flag is set.
+    Bf {
+        /// Word offset relative to the next instruction.
+        offset: i32,
+    },
+    /// `l.bnf offset` — branch if the flag is clear.
+    Bnf {
+        /// Word offset relative to the next instruction.
+        offset: i32,
+    },
+    /// `l.j offset` — unconditional jump.
+    J {
+        /// Word offset relative to the next instruction.
+        offset: i32,
+    },
+    /// `l.jal offset` — jump and link (return address into `r9`).
+    Jal {
+        /// Word offset relative to the next instruction.
+        offset: i32,
+    },
+    /// `l.jr ra` — jump to the address in `ra` (in instruction words).
+    Jr {
+        /// Register holding the target address.
+        ra: Reg,
+    },
+    /// `l.nop` — no operation.
+    Nop,
+}
+
+impl Instruction {
+    /// The link register written by [`Instruction::Jal`].
+    pub const LINK_REGISTER: Reg = Reg(9);
+
+    /// Coarse classification of the instruction.
+    pub fn kind(&self) -> InstructionKind {
+        use Instruction::*;
+        match self {
+            Add { .. } | Sub { .. } | And { .. } | Or { .. } | Xor { .. } | Mul { .. }
+            | Sll { .. } | Srl { .. } | Sra { .. } | Addi { .. } | Andi { .. } | Ori { .. }
+            | Xori { .. } | Muli { .. } | Slli { .. } | Srli { .. } | Srai { .. }
+            | Movhi { .. } | Sfeq { .. } | Sfne { .. } | Sfltu { .. } | Sfgeu { .. }
+            | Sfgtu { .. } | Sfleu { .. } | Sflts { .. } | Sfges { .. } | Sfgts { .. }
+            | Sfles { .. } => InstructionKind::Alu,
+            Lwz { .. } => InstructionKind::Load,
+            Sw { .. } => InstructionKind::Store,
+            Bf { .. } | Bnf { .. } => InstructionKind::Branch,
+            J { .. } | Jal { .. } | Jr { .. } => InstructionKind::Jump,
+            Nop => InstructionKind::Nop,
+        }
+    }
+
+    /// The execution-stage ALU operation this instruction activates, if any.
+    ///
+    /// Comparisons that the hardware implements with swapped operands
+    /// (`l.sfgtu`, `l.sfleu`, `l.sfgts`, `l.sfles`) report the class of the
+    /// underlying datapath operation (`SfLtu`, `SfGeu`, `SfLts`, `SfGes`).
+    pub fn alu_class(&self) -> Option<AluClass> {
+        use Instruction::*;
+        let class = match self {
+            Add { .. } | Addi { .. } => AluClass::Add,
+            Sub { .. } => AluClass::Sub,
+            And { .. } | Andi { .. } => AluClass::And,
+            Or { .. } | Ori { .. } | Movhi { .. } => AluClass::Or,
+            Xor { .. } | Xori { .. } => AluClass::Xor,
+            Mul { .. } | Muli { .. } => AluClass::Mul,
+            Sll { .. } | Slli { .. } => AluClass::Sll,
+            Srl { .. } | Srli { .. } => AluClass::Srl,
+            Sra { .. } | Srai { .. } => AluClass::Sra,
+            Sfeq { .. } => AluClass::SfEq,
+            Sfne { .. } => AluClass::SfNe,
+            Sfltu { .. } | Sfgtu { .. } => AluClass::SfLtu,
+            Sfgeu { .. } | Sfleu { .. } => AluClass::SfGeu,
+            Sflts { .. } | Sfgts { .. } => AluClass::SfLts,
+            Sfges { .. } | Sfles { .. } => AluClass::SfGes,
+            Lwz { .. } | Sw { .. } | Bf { .. } | Bnf { .. } | J { .. } | Jal { .. } | Jr { .. }
+            | Nop => return None,
+        };
+        Some(class)
+    }
+
+    /// Whether the instruction activates the execution-stage ALU (and is
+    /// therefore subject to timing-error fault injection).
+    pub fn is_alu(&self) -> bool {
+        self.kind() == InstructionKind::Alu
+    }
+
+    /// Whether the instruction writes the branch flag.
+    pub fn writes_flag(&self) -> bool {
+        self.alu_class().is_some_and(AluClass::is_set_flag)
+    }
+
+    /// The register written by this instruction, if any.
+    pub fn destination(&self) -> Option<Reg> {
+        use Instruction::*;
+        match self {
+            Add { rd, .. } | Sub { rd, .. } | And { rd, .. } | Or { rd, .. } | Xor { rd, .. }
+            | Mul { rd, .. } | Sll { rd, .. } | Srl { rd, .. } | Sra { rd, .. }
+            | Addi { rd, .. } | Andi { rd, .. } | Ori { rd, .. } | Xori { rd, .. }
+            | Muli { rd, .. } | Slli { rd, .. } | Srli { rd, .. } | Srai { rd, .. }
+            | Movhi { rd, .. } | Lwz { rd, .. } => Some(*rd),
+            Jal { .. } => Some(Self::LINK_REGISTER),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match self {
+            Add { rd, ra, rb } => write!(f, "l.add {rd}, {ra}, {rb}"),
+            Sub { rd, ra, rb } => write!(f, "l.sub {rd}, {ra}, {rb}"),
+            And { rd, ra, rb } => write!(f, "l.and {rd}, {ra}, {rb}"),
+            Or { rd, ra, rb } => write!(f, "l.or {rd}, {ra}, {rb}"),
+            Xor { rd, ra, rb } => write!(f, "l.xor {rd}, {ra}, {rb}"),
+            Mul { rd, ra, rb } => write!(f, "l.mul {rd}, {ra}, {rb}"),
+            Sll { rd, ra, rb } => write!(f, "l.sll {rd}, {ra}, {rb}"),
+            Srl { rd, ra, rb } => write!(f, "l.srl {rd}, {ra}, {rb}"),
+            Sra { rd, ra, rb } => write!(f, "l.sra {rd}, {ra}, {rb}"),
+            Addi { rd, ra, imm } => write!(f, "l.addi {rd}, {ra}, {imm}"),
+            Andi { rd, ra, imm } => write!(f, "l.andi {rd}, {ra}, {imm:#x}"),
+            Ori { rd, ra, imm } => write!(f, "l.ori {rd}, {ra}, {imm:#x}"),
+            Xori { rd, ra, imm } => write!(f, "l.xori {rd}, {ra}, {imm:#x}"),
+            Muli { rd, ra, imm } => write!(f, "l.muli {rd}, {ra}, {imm}"),
+            Slli { rd, ra, shamt } => write!(f, "l.slli {rd}, {ra}, {shamt}"),
+            Srli { rd, ra, shamt } => write!(f, "l.srli {rd}, {ra}, {shamt}"),
+            Srai { rd, ra, shamt } => write!(f, "l.srai {rd}, {ra}, {shamt}"),
+            Movhi { rd, imm } => write!(f, "l.movhi {rd}, {imm:#x}"),
+            Sfeq { ra, rb } => write!(f, "l.sfeq {ra}, {rb}"),
+            Sfne { ra, rb } => write!(f, "l.sfne {ra}, {rb}"),
+            Sfltu { ra, rb } => write!(f, "l.sfltu {ra}, {rb}"),
+            Sfgeu { ra, rb } => write!(f, "l.sfgeu {ra}, {rb}"),
+            Sfgtu { ra, rb } => write!(f, "l.sfgtu {ra}, {rb}"),
+            Sfleu { ra, rb } => write!(f, "l.sfleu {ra}, {rb}"),
+            Sflts { ra, rb } => write!(f, "l.sflts {ra}, {rb}"),
+            Sfges { ra, rb } => write!(f, "l.sfges {ra}, {rb}"),
+            Sfgts { ra, rb } => write!(f, "l.sfgts {ra}, {rb}"),
+            Sfles { ra, rb } => write!(f, "l.sfles {ra}, {rb}"),
+            Lwz { rd, ra, offset } => write!(f, "l.lwz {rd}, {offset}({ra})"),
+            Sw { ra, rb, offset } => write!(f, "l.sw {offset}({ra}), {rb}"),
+            Bf { offset } => write!(f, "l.bf {offset}"),
+            Bnf { offset } => write!(f, "l.bnf {offset}"),
+            J { offset } => write!(f, "l.j {offset}"),
+            Jal { offset } => write!(f, "l.jal {offset}"),
+            Jr { ra } => write!(f, "l.jr {ra}"),
+            Nop => write!(f, "l.nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let add = Instruction::Add { rd: Reg(3), ra: Reg(1), rb: Reg(2) };
+        assert_eq!(add.kind(), InstructionKind::Alu);
+        assert_eq!(add.alu_class(), Some(AluClass::Add));
+        assert!(add.is_alu());
+        assert!(!add.writes_flag());
+        assert_eq!(add.destination(), Some(Reg(3)));
+
+        let lwz = Instruction::Lwz { rd: Reg(4), ra: Reg(2), offset: 8 };
+        assert_eq!(lwz.kind(), InstructionKind::Load);
+        assert_eq!(lwz.alu_class(), None);
+        assert!(!lwz.is_alu());
+        assert_eq!(lwz.destination(), Some(Reg(4)));
+
+        let bf = Instruction::Bf { offset: -3 };
+        assert_eq!(bf.kind(), InstructionKind::Branch);
+        assert_eq!(bf.destination(), None);
+
+        let jal = Instruction::Jal { offset: 10 };
+        assert_eq!(jal.kind(), InstructionKind::Jump);
+        assert_eq!(jal.destination(), Some(Instruction::LINK_REGISTER));
+
+        assert_eq!(Instruction::Nop.kind(), InstructionKind::Nop);
+    }
+
+    #[test]
+    fn swapped_comparisons_share_datapath_class() {
+        let gtu = Instruction::Sfgtu { ra: Reg(1), rb: Reg(2) };
+        let ltu = Instruction::Sfltu { ra: Reg(1), rb: Reg(2) };
+        assert_eq!(gtu.alu_class(), Some(AluClass::SfLtu));
+        assert_eq!(ltu.alu_class(), Some(AluClass::SfLtu));
+        assert!(gtu.writes_flag());
+        let les = Instruction::Sfles { ra: Reg(1), rb: Reg(2) };
+        assert_eq!(les.alu_class(), Some(AluClass::SfGes));
+    }
+
+    #[test]
+    fn flag_classes() {
+        assert!(AluClass::SfEq.is_set_flag());
+        assert!(!AluClass::Mul.is_set_flag());
+        assert_eq!(AluClass::ALL.len(), 15);
+    }
+
+    #[test]
+    fn display_round() {
+        let i = Instruction::Addi { rd: Reg(3), ra: Reg(3), imm: -1 };
+        assert_eq!(i.to_string(), "l.addi r3, r3, -1");
+        assert_eq!(Instruction::Nop.to_string(), "l.nop");
+        assert_eq!(
+            Instruction::Lwz { rd: Reg(5), ra: Reg(2), offset: 12 }.to_string(),
+            "l.lwz r5, 12(r2)"
+        );
+        assert_eq!(AluClass::Mul.to_string(), "mul");
+    }
+
+    #[test]
+    fn movhi_is_alu_or_class() {
+        let movhi = Instruction::Movhi { rd: Reg(7), imm: 0x1234 };
+        assert_eq!(movhi.alu_class(), Some(AluClass::Or));
+        assert_eq!(movhi.destination(), Some(Reg(7)));
+    }
+}

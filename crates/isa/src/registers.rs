@@ -1,0 +1,85 @@
+//! General-purpose register identifiers.
+
+use std::fmt;
+
+/// Number of general-purpose registers of the core.
+pub const REGISTER_COUNT: usize = 32;
+
+/// A general-purpose register index (`r0`–`r31`).
+///
+/// Register `r0` is hard-wired to zero, as on OpenRISC.
+///
+/// # Example
+///
+/// ```
+/// use sfi_isa::Reg;
+///
+/// let r = Reg(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// assert!(Reg(0).is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hard-wired zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Index of the register as a `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register number is 32 or larger (such a value can only
+    /// be produced by constructing `Reg` with an out-of-range literal).
+    pub fn index(self) -> usize {
+        assert!((self.0 as usize) < REGISTER_COUNT, "register r{} does not exist", self.0);
+        self.0 as usize
+    }
+
+    /// Whether this is the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether the register number is valid (below [`REGISTER_COUNT`]).
+    pub fn is_valid(self) -> bool {
+        (self.0 as usize) < REGISTER_COUNT
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u8> for Reg {
+    fn from(value: u8) -> Self {
+        Reg(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        assert_eq!(Reg::ZERO, Reg(0));
+        assert!(Reg(0).is_zero());
+        assert!(!Reg(1).is_zero());
+        assert_eq!(Reg(31).index(), 31);
+        assert!(Reg(31).is_valid());
+        assert!(!Reg(32).is_valid());
+        assert_eq!(Reg::from(7u8), Reg(7));
+        assert_eq!(Reg(12).to_string(), "r12");
+        assert_eq!(Reg::default(), Reg::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn out_of_range_index_panics() {
+        Reg(40).index();
+    }
+}

@@ -1,0 +1,51 @@
+//! Property-based tests: every instruction survives an encode/decode
+//! round trip, and decoding never panics on arbitrary words.
+
+use proptest::prelude::*;
+use sfi_isa::{decode, encode, Instruction, Reg};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg)
+}
+
+fn instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instruction::Add { rd, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instruction::Mul { rd, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instruction::Sra { rd, ra, rb }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rd, ra, imm)| Instruction::Addi { rd, ra, imm }),
+        (reg(), reg(), any::<u16>()).prop_map(|(rd, ra, imm)| Instruction::Xori { rd, ra, imm }),
+        (reg(), reg(), 0u8..32).prop_map(|(rd, ra, shamt)| Instruction::Slli { rd, ra, shamt }),
+        (reg(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Movhi { rd, imm }),
+        (reg(), reg()).prop_map(|(ra, rb)| Instruction::Sflts { ra, rb }),
+        (reg(), reg()).prop_map(|(ra, rb)| Instruction::Sfgtu { ra, rb }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rd, ra, offset)| Instruction::Lwz { rd, ra, offset }),
+        (reg(), reg(), any::<i16>()).prop_map(|(ra, rb, offset)| Instruction::Sw { ra, rb, offset }),
+        (-(1i32 << 25)..(1i32 << 25)).prop_map(|offset| Instruction::Bf { offset }),
+        (-(1i32 << 25)..(1i32 << 25)).prop_map(|offset| Instruction::J { offset }),
+        reg().prop_map(|ra| Instruction::Jr { ra }),
+        Just(Instruction::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_roundtrip(i in instruction()) {
+        let word = encode(i);
+        prop_assert_eq!(decode(word).expect("every encoded word decodes"), i);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn alu_classification_is_consistent(i in instruction()) {
+        // An instruction has an ALU class exactly when it is classified as
+        // an ALU instruction.
+        prop_assert_eq!(i.alu_class().is_some(), i.is_alu());
+    }
+}

@@ -1,0 +1,105 @@
+//! Seeded workload-data generation shared by the benchmarks.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `count` uniformly random values below `bound` from a seeded
+/// generator (reproducible workloads).
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn random_values(count: usize, bound: u32, seed: u64) -> Vec<u32> {
+    assert!(bound > 0, "bound must be non-zero");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+/// Generates a symmetric random weight matrix for a graph of `nodes` nodes,
+/// with weights in `1..=max_weight` and zero diagonal.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero or `max_weight` is zero.
+pub fn random_graph(nodes: usize, max_weight: u32, seed: u64) -> Vec<Vec<u32>> {
+    assert!(nodes > 0, "graph must have at least one node");
+    assert!(max_weight > 0, "max weight must be non-zero");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut matrix = vec![vec![0u32; nodes]; nodes];
+    for i in 0..nodes {
+        for j in (i + 1)..nodes {
+            let w = rng.gen_range(1..=max_weight);
+            matrix[i][j] = w;
+            matrix[j][i] = w;
+        }
+    }
+    matrix
+}
+
+/// Generates `count` random 2-D points with coordinates below `bound`,
+/// clustered around `clusters` well-separated centres so that the k-means
+/// reference assignment is stable.
+///
+/// # Panics
+///
+/// Panics if `count`, `clusters` or `bound` is zero.
+pub fn random_points(count: usize, clusters: usize, bound: u32, seed: u64) -> Vec<(u32, u32)> {
+    assert!(count > 0 && clusters > 0 && bound > 0, "invalid point-generation parameters");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let spread = (bound / (4 * clusters as u32)).max(1);
+    (0..count)
+        .map(|i| {
+            let c = (i % clusters) as u32;
+            let centre = (bound / (clusters as u32 + 1)) * (c + 1);
+            let dx = rng.gen_range(0..spread);
+            let dy = rng.gen_range(0..spread);
+            (centre + dx, centre + dy)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_are_reproducible_and_bounded() {
+        let a = random_values(100, 1000, 7);
+        let b = random_values(100, 1000, 7);
+        let c = random_values(100, 1000, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&v| v < 1000));
+    }
+
+    #[test]
+    fn graph_is_symmetric_with_zero_diagonal() {
+        let g = random_graph(10, 50, 3);
+        for i in 0..10 {
+            assert_eq!(g[i][i], 0);
+            for j in 0..10 {
+                assert_eq!(g[i][j], g[j][i]);
+                if i != j {
+                    assert!(g[i][j] >= 1 && g[i][j] <= 50);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn points_are_clustered() {
+        let pts = random_points(8, 2, 256, 5);
+        assert_eq!(pts.len(), 8);
+        assert!(pts.iter().all(|&(x, y)| x < 256 && y < 256));
+        // Points alternate between the two cluster centres; the first two
+        // points belong to different clusters and are well separated.
+        let d = (pts[0].0 as i64 - pts[1].0 as i64).abs() + (pts[0].1 as i64 - pts[1].1 as i64).abs();
+        assert!(d > 30, "cluster centres should be separated, got distance {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_bound_panics() {
+        random_values(10, 0, 0);
+    }
+}

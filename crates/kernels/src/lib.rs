@@ -1,0 +1,103 @@
+//! Benchmark kernels for the statistical fault-injection case study.
+//!
+//! The paper evaluates four widely used kernels with different
+//! compute/control characteristics (its Table 1):
+//!
+//! | benchmark | type | compute | control | size | output error metric |
+//! |---|---|---|---|---|---|
+//! | [`median::MedianBenchmark`] | sorting | – | + | 129 values | relative difference |
+//! | [`matmul::MatrixMultiplyBenchmark`] | arithmetic | ++ | – | 16×16, 8/16-bit | mean squared error |
+//! | [`kmeans::KMeansBenchmark`] | data mining | + | + | 8 points (2-D) | cluster membership mismatch |
+//! | [`dijkstra::DijkstraBenchmark`] | graph search | – | ++ | 10 nodes | mismatch in min. distance |
+//!
+//! Every benchmark provides the program (written against `sfi-isa`), the
+//! input data it loads into the ISS data memory, a golden reference
+//! computed in Rust, and its output-quality metric.
+//!
+//! # Example
+//!
+//! ```
+//! use sfi_kernels::{Benchmark, median::MedianBenchmark};
+//! use sfi_cpu::{Core, RunConfig};
+//!
+//! let bench = MedianBenchmark::new(21, 1);
+//! let mut core = Core::new(bench.program().clone(), bench.dmem_words());
+//! bench.initialize(core.memory_mut());
+//! let outcome = core.run(&RunConfig::default());
+//! assert!(outcome.finished());
+//! assert_eq!(bench.output_error(core.memory()), 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod dijkstra;
+pub mod kmeans;
+pub mod matmul;
+pub mod median;
+
+use sfi_cpu::Memory;
+use sfi_isa::Program;
+use std::ops::Range;
+
+/// A runnable benchmark kernel with inputs, golden reference and quality
+/// metric.
+pub trait Benchmark {
+    /// Short name of the benchmark (e.g. `"median"`).
+    fn name(&self) -> &'static str;
+
+    /// The program to load into the instruction memory.
+    fn program(&self) -> &Program;
+
+    /// The program-counter range of the kernel part (fault injection is
+    /// restricted to this window, as in the paper).
+    fn fi_window(&self) -> Range<u32>;
+
+    /// Size of the data memory the benchmark needs, in words.
+    fn dmem_words(&self) -> usize;
+
+    /// Writes the input data into the data memory.
+    fn initialize(&self, memory: &mut Memory);
+
+    /// The kernel-specific output error of a completed run; `0.0` means the
+    /// output is exactly correct.  Larger values mean worse quality; the
+    /// scale is metric-specific (see [`Benchmark::error_metric`]).
+    fn output_error(&self, memory: &Memory) -> f64;
+
+    /// Human-readable name of the output error metric.
+    fn error_metric(&self) -> &'static str;
+
+    /// Whether a completed run produced a fully correct output.
+    fn is_correct(&self, memory: &Memory) -> bool {
+        self.output_error(memory) == 0.0
+    }
+}
+
+/// The paper's standard benchmark suite (Table 1) at its published sizes.
+pub fn paper_suite(seed: u64) -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(median::MedianBenchmark::new(129, seed)),
+        Box::new(matmul::MatrixMultiplyBenchmark::new(16, matmul::ElementWidth::Bits8, seed)),
+        Box::new(matmul::MatrixMultiplyBenchmark::new(16, matmul::ElementWidth::Bits16, seed)),
+        Box::new(kmeans::KMeansBenchmark::new(8, 2, 12, seed)),
+        Box::new(dijkstra::DijkstraBenchmark::new(10, seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_has_five_entries() {
+        let suite = paper_suite(3);
+        assert_eq!(suite.len(), 5);
+        let names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
+        assert!(names.contains(&"median"));
+        assert!(names.contains(&"mat_mult_8bit"));
+        assert!(names.contains(&"mat_mult_16bit"));
+        assert!(names.contains(&"kmeans"));
+        assert!(names.contains(&"dijkstra"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Reusable structural building blocks: multiplexers, adder cells and small
+//! vector helpers shared by the datapath builders.
+
+use crate::netlist::{Netlist, NodeId};
+
+/// A 2:1 multiplexer decomposed into primitive gates:
+/// `out = (a AND NOT sel) OR (b AND sel)`.
+///
+/// Decomposing multiplexers keeps dynamic timing analysis purely in terms of
+/// controlling values of simple gates: when the select settles early, the
+/// unselected data path is killed at the AND gates and does not lengthen the
+/// sensitised path.
+pub fn mux2(n: &mut Netlist, sel: NodeId, a: NodeId, b: NodeId) -> NodeId {
+    let nsel = n.not(sel);
+    let pa = n.and2(a, nsel);
+    let pb = n.and2(b, sel);
+    n.or2(pa, pb)
+}
+
+/// A word-wide 2:1 multiplexer (one [`mux2`] per bit).
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different widths.
+pub fn mux2_word(n: &mut Netlist, sel: NodeId, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(a.len(), b.len(), "mux2_word operands must have equal width");
+    a.iter().zip(b).map(|(&ai, &bi)| mux2(n, sel, ai, bi)).collect()
+}
+
+/// A half adder; returns `(sum, carry)`.
+pub fn half_adder(n: &mut Netlist, a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    let sum = n.xor2(a, b);
+    let carry = n.and2(a, b);
+    (sum, carry)
+}
+
+/// A full adder built from two half adders; returns `(sum, carry)`.
+pub fn full_adder(n: &mut Netlist, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
+    let axb = n.xor2(a, b);
+    let sum = n.xor2(axb, cin);
+    let g = n.and2(a, b);
+    let p = n.and2(axb, cin);
+    let carry = n.or2(g, p);
+    (sum, carry)
+}
+
+/// Creates `width` constant-valued nodes representing `value` in
+/// little-endian bit order (bit 0 first).
+pub fn constant_word(n: &mut Netlist, value: u64, width: usize) -> Vec<NodeId> {
+    (0..width).map(|i| n.constant((value >> i) & 1 == 1)).collect()
+}
+
+/// Reduction OR over a slice of nodes (balanced tree).
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty.
+pub fn or_reduce(n: &mut Netlist, nodes: &[NodeId]) -> NodeId {
+    assert!(!nodes.is_empty(), "or_reduce requires at least one node");
+    let mut level: Vec<NodeId> = nodes.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(n.or2(pair[0], pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// Reduction AND over a slice of nodes (balanced tree).
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty.
+pub fn and_reduce(n: &mut Netlist, nodes: &[NodeId]) -> NodeId {
+    assert!(!nodes.is_empty(), "and_reduce requires at least one node");
+    let mut level: Vec<NodeId> = nodes.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(n.and2(pair[0], pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// Converts a `u64` into `width` boolean values, little-endian.
+pub fn to_bits(value: u64, width: usize) -> Vec<bool> {
+    (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+/// Converts a little-endian slice of boolean values into a `u64`.
+///
+/// # Panics
+///
+/// Panics if `bits.len() > 64`.
+pub fn from_bits(bits: &[bool]) -> u64 {
+    assert!(bits.len() <= 64, "from_bits supports at most 64 bits");
+    bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval1(n: &Netlist, inputs: &[bool]) -> bool {
+        n.evaluate(inputs)[0]
+    }
+
+    #[test]
+    fn mux2_selects() {
+        let mut n = Netlist::new();
+        let s = n.add_input("s");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let o = mux2(&mut n, s, a, b);
+        n.mark_output(o, "o");
+        // sel = 0 -> a, sel = 1 -> b
+        assert_eq!(eval1(&n, &[false, true, false]), true);
+        assert_eq!(eval1(&n, &[false, false, true]), false);
+        assert_eq!(eval1(&n, &[true, true, false]), false);
+        assert_eq!(eval1(&n, &[true, false, true]), true);
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let (s, co) = full_adder(&mut n, a, b, c);
+        n.mark_output(s, "s");
+        n.mark_output(co, "co");
+        for i in 0..8u32 {
+            let bits = [i & 1 != 0, i & 2 != 0, i & 4 != 0];
+            let expect = bits.iter().filter(|&&x| x).count() as u32;
+            let out = n.evaluate(&bits);
+            let got = out[0] as u32 + 2 * (out[1] as u32);
+            assert_eq!(got, expect, "inputs {bits:?}");
+        }
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let (s, c) = half_adder(&mut n, a, b);
+        n.mark_output(s, "s");
+        n.mark_output(c, "c");
+        assert_eq!(n.evaluate(&[true, true]), vec![false, true]);
+        assert_eq!(n.evaluate(&[true, false]), vec![true, false]);
+    }
+
+    #[test]
+    fn reductions() {
+        let mut n = Netlist::new();
+        let bits: Vec<NodeId> = (0..5).map(|i| n.add_input(format!("i{i}"))).collect();
+        let any = or_reduce(&mut n, &bits);
+        let all = and_reduce(&mut n, &bits);
+        n.mark_output(any, "any");
+        n.mark_output(all, "all");
+        assert_eq!(n.evaluate(&[false; 5]), vec![false, false]);
+        assert_eq!(n.evaluate(&[true; 5]), vec![true, true]);
+        assert_eq!(n.evaluate(&[false, false, true, false, false]), vec![true, false]);
+    }
+
+    #[test]
+    fn bit_conversions_roundtrip() {
+        for v in [0u64, 1, 0xdead_beef, u32::MAX as u64] {
+            assert_eq!(from_bits(&to_bits(v, 32)), v & 0xffff_ffff);
+        }
+        assert_eq!(to_bits(5, 4), vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn constant_word_values() {
+        let mut n = Netlist::new();
+        let w = constant_word(&mut n, 0b1010, 4);
+        for (i, &node) in w.iter().enumerate() {
+            n.mark_output(node, format!("c{i}"));
+        }
+        assert_eq!(n.evaluate(&[]), vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn mux2_word_width() {
+        let mut n = Netlist::new();
+        let s = n.add_input("s");
+        let a: Vec<NodeId> = (0..4).map(|i| n.add_input(format!("a{i}"))).collect();
+        let b: Vec<NodeId> = (0..4).map(|i| n.add_input(format!("b{i}"))).collect();
+        let out = mux2_word(&mut n, s, &a, &b);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn mux2_word_mismatched_widths_panic() {
+        let mut n = Netlist::new();
+        let s = n.add_input("s");
+        let a = vec![n.add_input("a0")];
+        let b = vec![n.add_input("b0"), n.add_input("b1")];
+        mux2_word(&mut n, s, &a, &b);
+    }
+}

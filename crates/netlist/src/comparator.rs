@@ -1,0 +1,136 @@
+//! Comparison / set-flag unit builder.
+//!
+//! Produces the flag used by OpenRISC `l.sf*` instructions.  The comparator
+//! reuses a subtractor so its arrival times resemble those of the adder,
+//! which is why set-flag instructions in the paper fail in the same
+//! frequency range as additions.
+
+use crate::adder::add_sub;
+use crate::builder::or_reduce;
+use crate::netlist::{Netlist, NodeId};
+
+/// Outputs of the comparator: individual relation flags.
+#[derive(Debug, Clone)]
+pub struct ComparatorOutputs {
+    /// `a == b`.
+    pub eq: NodeId,
+    /// `a != b`.
+    pub ne: NodeId,
+    /// Unsigned `a < b`.
+    pub ltu: NodeId,
+    /// Unsigned `a >= b`.
+    pub geu: NodeId,
+    /// Signed `a < b`.
+    pub lts: NodeId,
+    /// Signed `a >= b`.
+    pub ges: NodeId,
+}
+
+/// Instantiates a comparator computing equality and ordering flags for the
+/// `width`-bit operands `a` and `b`.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn comparator(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> ComparatorOutputs {
+    assert!(!a.is_empty(), "comparator width must be non-zero");
+    assert_eq!(a.len(), b.len(), "comparator operands must have equal width");
+    let width = a.len();
+
+    // a - b through the shared adder structure.
+    let one = n.constant(true);
+    let diff = add_sub(n, a, b, one);
+
+    // Equality: OR-reduce the XOR of the operands, then invert.
+    let xors: Vec<NodeId> = a.iter().zip(b).map(|(&x, &y)| n.xor2(x, y)).collect();
+    let any_diff = or_reduce(n, &xors);
+    let eq = n.not(any_diff);
+    let ne = n.buf(any_diff);
+
+    // Unsigned: borrow == !carry_out.
+    let ltu = n.not(diff.carry_out);
+    let geu = n.buf(diff.carry_out);
+
+    // Signed: lt = (sign(a) ^ sign(b)) ? sign(a) : sign(diff)
+    let sa = a[width - 1];
+    let sb = b[width - 1];
+    let sd = diff.sum[width - 1];
+    let signs_differ = n.xor2(sa, sb);
+    let lts = crate::builder::mux2(n, signs_differ, sd, sa);
+    let ges = n.not(lts);
+
+    ComparatorOutputs { eq, ne, ltu, geu, lts, ges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::to_bits;
+
+    fn build(width: usize) -> Netlist {
+        let mut n = Netlist::new();
+        let a: Vec<NodeId> = (0..width).map(|i| n.add_input(format!("a{i}"))).collect();
+        let b: Vec<NodeId> = (0..width).map(|i| n.add_input(format!("b{i}"))).collect();
+        let c = comparator(&mut n, &a, &b);
+        n.mark_output(c.eq, "eq");
+        n.mark_output(c.ne, "ne");
+        n.mark_output(c.ltu, "ltu");
+        n.mark_output(c.geu, "geu");
+        n.mark_output(c.lts, "lts");
+        n.mark_output(c.ges, "ges");
+        n
+    }
+
+    fn run(n: &Netlist, width: usize, a: u64, b: u64) -> Vec<bool> {
+        let mut inputs = to_bits(a, width);
+        inputs.extend(to_bits(b, width));
+        n.evaluate(&inputs)
+    }
+
+    #[test]
+    fn compare_4bit_exhaustive() {
+        let n = build(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let flags = run(&n, 4, a, b);
+                let (sa, sb) = (a as i64 - if a >= 8 { 16 } else { 0 }, b as i64 - if b >= 8 { 16 } else { 0 });
+                assert_eq!(flags[0], a == b, "eq a={a} b={b}");
+                assert_eq!(flags[1], a != b, "ne a={a} b={b}");
+                assert_eq!(flags[2], a < b, "ltu a={a} b={b}");
+                assert_eq!(flags[3], a >= b, "geu a={a} b={b}");
+                assert_eq!(flags[4], sa < sb, "lts a={sa} b={sb}");
+                assert_eq!(flags[5], sa >= sb, "ges a={sa} b={sb}");
+            }
+        }
+    }
+
+    #[test]
+    fn compare_16bit_samples() {
+        let n = build(16);
+        let cases = [
+            (0u64, 0u64),
+            (65535, 0),
+            (0, 65535),
+            (32767, 32768), // signed boundary
+            (40000, 40000),
+            (12345, 54321),
+        ];
+        for (a, b) in cases {
+            let flags = run(&n, 16, a, b);
+            let sa = a as u16 as i16 as i64;
+            let sb = b as u16 as i16 as i64;
+            assert_eq!(flags[0], a == b);
+            assert_eq!(flags[2], a < b);
+            assert_eq!(flags[4], sa < sb);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn mismatched_widths_panic() {
+        let mut n = Netlist::new();
+        let a = vec![n.add_input("a0")];
+        let b = vec![n.add_input("b0"), n.add_input("b1")];
+        comparator(&mut n, &a, &b);
+    }
+}

@@ -1,0 +1,277 @@
+//! Gate delay model and delay-vs-supply-voltage scaling.
+//!
+//! The delays are loosely modelled on a 28 nm standard-cell library.  The
+//! absolute values are not meaningful on their own — the characterization
+//! flow in `sfi-core` calibrates a global scale factor so that the static
+//! timing limit of the ALU datapath matches the paper's 707 MHz @ 0.7 V —
+//! but the *relative* delays between gate kinds and the voltage behaviour
+//! shape the per-instruction, per-bit statistics the paper relies on.
+
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NodeId};
+
+/// Delay-vs-Vdd scaling based on the alpha-power law,
+/// `delay ∝ Vdd / (Vdd - Vth)^alpha`.
+///
+/// The paper extracts this relation from foundry libraries characterized at
+/// five supply voltages (0.6 V to 1.0 V); we generate the same five-point
+/// curve analytically (see `sfi-timing::VddDelayCurve`) from this model.
+///
+/// # Example
+///
+/// ```
+/// use sfi_netlist::VoltageScaling;
+///
+/// let scaling = VoltageScaling::default_28nm();
+/// // Higher supply voltage means faster gates.
+/// assert!(scaling.delay_factor(0.8) < scaling.delay_factor(0.7));
+/// // The factor is normalized to 1.0 at the nominal voltage.
+/// assert!((scaling.delay_factor(scaling.nominal_vdd()) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageScaling {
+    vth: f64,
+    alpha: f64,
+    nominal_vdd: f64,
+}
+
+impl VoltageScaling {
+    /// Creates a scaling model with the given threshold voltage, velocity
+    /// saturation exponent and nominal supply voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nominal_vdd <= vth` or any argument is non-positive.
+    pub fn new(vth: f64, alpha: f64, nominal_vdd: f64) -> Self {
+        assert!(vth > 0.0 && alpha > 0.0 && nominal_vdd > vth, "invalid voltage scaling parameters");
+        VoltageScaling { vth, alpha, nominal_vdd }
+    }
+
+    /// Parameters representative of a 28 nm low-Vth process at 0.7 V nominal
+    /// supply, matching the paper's operating point.
+    pub fn default_28nm() -> Self {
+        VoltageScaling::new(0.32, 1.4, 0.7)
+    }
+
+    /// The nominal supply voltage the factors are normalized to.
+    pub fn nominal_vdd(&self) -> f64 {
+        self.nominal_vdd
+    }
+
+    /// The threshold voltage of the model.
+    pub fn vth(&self) -> f64 {
+        self.vth
+    }
+
+    /// Relative delay factor at supply voltage `vdd`, normalized so that the
+    /// factor at the nominal voltage is exactly 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not above the threshold voltage (the circuit would
+    /// not switch at all).
+    pub fn delay_factor(&self, vdd: f64) -> f64 {
+        assert!(vdd > self.vth, "supply voltage {vdd} V is not above the threshold voltage {} V", self.vth);
+        let raw = |v: f64| v / (v - self.vth).powf(self.alpha);
+        raw(vdd) / raw(self.nominal_vdd)
+    }
+}
+
+impl Default for VoltageScaling {
+    fn default() -> Self {
+        Self::default_28nm()
+    }
+}
+
+/// Per-gate propagation delays (in picoseconds) with fanout loading and a
+/// global calibration scale.
+///
+/// The total delay of a gate instance is
+/// `(intrinsic(kind) + load_per_fanout * max(fanout - 1, 0)) * scale`,
+/// optionally multiplied by a voltage factor from [`VoltageScaling`].
+///
+/// # Example
+///
+/// ```
+/// use sfi_netlist::{DelayModel, gate::GateKind};
+///
+/// let model = DelayModel::default_28nm();
+/// // XOR cells are slower than NAND cells in any sane library.
+/// assert!(model.intrinsic(GateKind::Xor2) > model.intrinsic(GateKind::Nand2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayModel {
+    scale: f64,
+    load_per_fanout_ps: f64,
+    clk_to_q_ps: f64,
+    setup_ps: f64,
+    intrinsic_ps: [f64; 10],
+}
+
+impl DelayModel {
+    /// Creates the default 28 nm-like delay model (scale = 1.0).
+    pub fn default_28nm() -> Self {
+        let mut intrinsic_ps = [0.0; 10];
+        intrinsic_ps[Self::kind_index(GateKind::Input)] = 0.0;
+        intrinsic_ps[Self::kind_index(GateKind::Const(false))] = 0.0;
+        intrinsic_ps[Self::kind_index(GateKind::Buf)] = 14.0;
+        intrinsic_ps[Self::kind_index(GateKind::Not)] = 9.0;
+        intrinsic_ps[Self::kind_index(GateKind::And2)] = 18.0;
+        intrinsic_ps[Self::kind_index(GateKind::Nand2)] = 12.0;
+        intrinsic_ps[Self::kind_index(GateKind::Or2)] = 19.0;
+        intrinsic_ps[Self::kind_index(GateKind::Nor2)] = 14.0;
+        intrinsic_ps[Self::kind_index(GateKind::Xor2)] = 26.0;
+        intrinsic_ps[Self::kind_index(GateKind::Xnor2)] = 26.0;
+        DelayModel {
+            scale: 1.0,
+            load_per_fanout_ps: 3.0,
+            clk_to_q_ps: 55.0,
+            setup_ps: 35.0,
+            intrinsic_ps,
+        }
+    }
+
+    fn kind_index(kind: GateKind) -> usize {
+        match kind {
+            GateKind::Input => 0,
+            GateKind::Const(false) => 1,
+            GateKind::Const(true) => 1,
+            GateKind::Buf => 2,
+            GateKind::Not => 3,
+            GateKind::And2 => 4,
+            GateKind::Nand2 => 5,
+            GateKind::Or2 => 6,
+            GateKind::Nor2 => 7,
+            GateKind::Xor2 => 8,
+            GateKind::Xnor2 => 9,
+        }
+    }
+
+    /// Intrinsic (unloaded, unscaled) delay of a gate kind in picoseconds.
+    pub fn intrinsic(&self, kind: GateKind) -> f64 {
+        self.intrinsic_ps[Self::kind_index(kind)]
+    }
+
+    /// The global calibration scale applied to all combinational delays.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Returns a copy of the model with the given global scale factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive.
+    pub fn with_scale(&self, scale: f64) -> Self {
+        assert!(scale > 0.0, "delay scale must be positive, got {scale}");
+        DelayModel { scale, ..self.clone() }
+    }
+
+    /// Flip-flop clock-to-output delay in picoseconds (scaled).
+    pub fn clk_to_q(&self) -> f64 {
+        self.clk_to_q_ps * self.scale
+    }
+
+    /// Flip-flop setup time in picoseconds (scaled).
+    pub fn setup(&self) -> f64 {
+        self.setup_ps * self.scale
+    }
+
+    /// Sequential overhead (clock-to-q plus setup) added to every
+    /// register-to-register path, in picoseconds.
+    pub fn sequential_overhead(&self) -> f64 {
+        self.clk_to_q() + self.setup()
+    }
+
+    /// Delay in picoseconds of one gate instance inside `netlist`,
+    /// accounting for fanout loading and the calibration scale.
+    pub fn gate_delay(&self, netlist: &Netlist, node: NodeId) -> f64 {
+        let gate = netlist.gate(node);
+        let fanout = netlist.fanout(node);
+        let load = self.load_per_fanout_ps * fanout.saturating_sub(1) as f64;
+        (self.intrinsic(gate.kind) + load) * self.scale
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self::default_28nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_scaling_monotonic() {
+        let s = VoltageScaling::default_28nm();
+        let mut prev = f64::INFINITY;
+        for v in [0.6, 0.7, 0.8, 0.9, 1.0] {
+            let f = s.delay_factor(v);
+            assert!(f < prev, "delay factor must decrease with increasing Vdd");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn voltage_scaling_normalized_at_nominal() {
+        let s = VoltageScaling::new(0.3, 1.3, 0.7);
+        assert!((s.delay_factor(0.7) - 1.0).abs() < 1e-12);
+        assert_eq!(s.nominal_vdd(), 0.7);
+        assert_eq!(s.vth(), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not above the threshold")]
+    fn voltage_below_threshold_panics() {
+        VoltageScaling::default_28nm().delay_factor(0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid voltage scaling")]
+    fn invalid_parameters_panic() {
+        VoltageScaling::new(0.5, 1.3, 0.4);
+    }
+
+    #[test]
+    fn delay_model_relative_order() {
+        let m = DelayModel::default_28nm();
+        assert!(m.intrinsic(GateKind::Not) < m.intrinsic(GateKind::Nand2));
+        assert!(m.intrinsic(GateKind::Nand2) < m.intrinsic(GateKind::And2));
+        assert!(m.intrinsic(GateKind::And2) < m.intrinsic(GateKind::Xor2));
+        assert_eq!(m.intrinsic(GateKind::Input), 0.0);
+        assert_eq!(m.intrinsic(GateKind::Const(true)), 0.0);
+    }
+
+    #[test]
+    fn scale_applies_everywhere() {
+        let m = DelayModel::default_28nm();
+        let m2 = m.with_scale(2.0);
+        assert_eq!(m2.scale(), 2.0);
+        assert!((m2.clk_to_q() - 2.0 * m.clk_to_q()).abs() < 1e-12);
+        assert!((m2.setup() - 2.0 * m.setup()).abs() < 1e-12);
+        assert!((m2.sequential_overhead() - 2.0 * m.sequential_overhead()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_scale_panics() {
+        DelayModel::default_28nm().with_scale(0.0);
+    }
+
+    #[test]
+    fn fanout_loading_increases_delay() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.and2(a, b);
+        // Give x three fanouts.
+        let _ = n.not(x);
+        let _ = n.not(x);
+        let _ = n.not(x);
+        let y = n.and2(a, b); // zero fanout
+        let m = DelayModel::default_28nm();
+        assert!(m.gate_delay(&n, x) > m.gate_delay(&n, y));
+    }
+}

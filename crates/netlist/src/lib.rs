@@ -1,0 +1,54 @@
+//! Gate-level netlist substrate for timing-error characterization.
+//!
+//! This crate provides the circuit-level foundation of the statistical
+//! fault-injection flow described in *"Statistical Fault Injection for
+//! Impact-Evaluation of Timing Errors on Application Performance"*
+//! (DAC 2016).  The paper characterizes timing errors on the 32 ALU
+//! endpoint flip-flops of the execution stage of an OpenRISC core by
+//! analysing a placed & routed gate-level netlist.  Here we build a
+//! structurally faithful, synthetic equivalent of that execution-stage
+//! datapath out of primitive gates:
+//!
+//! * a [`Netlist`] graph of two-input primitive gates kept in topological
+//!   order, cheap to evaluate and to traverse for timing analysis,
+//! * a voltage-aware [`DelayModel`] assigning per-gate propagation delays
+//!   (with fanout loading) and an alpha-power-law delay-vs-Vdd scaling,
+//! * datapath builders for the blocks that make up the execution stage:
+//!   ripple-carry and carry-select [`adder`]s, a Wallace-tree
+//!   [`multiplier`], a logarithmic barrel [`shifter`], a bitwise
+//!   [`logic`] unit, a flag [`comparator`], and the combined
+//!   [`alu::AluDatapath`] whose 32 result bits are the fault-injection
+//!   endpoints used throughout the rest of the workspace.
+//!
+//! Static and dynamic timing analysis on these netlists lives in the
+//! `sfi-timing` crate; this crate is purely structural/functional.
+//!
+//! # Example
+//!
+//! ```
+//! use sfi_netlist::alu::{AluDatapath, AluOp};
+//!
+//! // Build the 32-bit execution-stage datapath and evaluate an addition.
+//! let alu = AluDatapath::build(32);
+//! let inputs = alu.encode_inputs(AluOp::Add, 40, 2);
+//! let result = alu.evaluate_result(&inputs);
+//! assert_eq!(result, 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod alu;
+pub mod builder;
+pub mod comparator;
+pub mod delay;
+pub mod gate;
+pub mod logic;
+pub mod multiplier;
+pub mod netlist;
+pub mod shifter;
+
+pub use delay::{DelayModel, VoltageScaling};
+pub use gate::{Gate, GateKind};
+pub use netlist::{Netlist, NodeId, OutputId};

@@ -1,0 +1,86 @@
+//! Bitwise logic unit builder (AND / OR / XOR word operations).
+
+use crate::netlist::{Netlist, NodeId};
+
+/// Word-wide bitwise AND.
+///
+/// # Panics
+///
+/// Panics if operand widths differ.
+pub fn and_word(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(a.len(), b.len(), "logic operands must have equal width");
+    a.iter().zip(b).map(|(&x, &y)| n.and2(x, y)).collect()
+}
+
+/// Word-wide bitwise OR.
+///
+/// # Panics
+///
+/// Panics if operand widths differ.
+pub fn or_word(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(a.len(), b.len(), "logic operands must have equal width");
+    a.iter().zip(b).map(|(&x, &y)| n.or2(x, y)).collect()
+}
+
+/// Word-wide bitwise XOR.
+///
+/// # Panics
+///
+/// Panics if operand widths differ.
+pub fn xor_word(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(a.len(), b.len(), "logic operands must have equal width");
+    a.iter().zip(b).map(|(&x, &y)| n.xor2(x, y)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_bits, to_bits};
+
+    fn build<F>(width: usize, f: F) -> Netlist
+    where
+        F: Fn(&mut Netlist, &[NodeId], &[NodeId]) -> Vec<NodeId>,
+    {
+        let mut n = Netlist::new();
+        let a: Vec<NodeId> = (0..width).map(|i| n.add_input(format!("a{i}"))).collect();
+        let b: Vec<NodeId> = (0..width).map(|i| n.add_input(format!("b{i}"))).collect();
+        let out = f(&mut n, &a, &b);
+        for (i, bit) in out.iter().enumerate() {
+            n.mark_output(*bit, format!("o{i}"));
+        }
+        n
+    }
+
+    fn run(n: &Netlist, width: usize, a: u64, b: u64) -> u64 {
+        let mut inputs = to_bits(a, width);
+        inputs.extend(to_bits(b, width));
+        from_bits(&n.evaluate(&inputs))
+    }
+
+    #[test]
+    fn word_operations() {
+        let wa = build(8, and_word);
+        let wo = build(8, or_word);
+        let wx = build(8, xor_word);
+        for (a, b) in [(0xF0u64, 0x3Cu64), (0, 0xFF), (0xAA, 0x55), (0x12, 0x34)] {
+            assert_eq!(run(&wa, 8, a, b), a & b);
+            assert_eq!(run(&wo, 8, a, b), a | b);
+            assert_eq!(run(&wx, 8, a, b), a ^ b);
+        }
+    }
+
+    #[test]
+    fn logic_depth_is_one() {
+        let n = build(8, xor_word);
+        assert_eq!(n.max_output_depth(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn mismatched_widths_panic() {
+        let mut n = Netlist::new();
+        let a = vec![n.add_input("a0")];
+        let b = vec![n.add_input("b0"), n.add_input("b1")];
+        and_word(&mut n, &a, &b);
+    }
+}

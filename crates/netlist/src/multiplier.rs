@@ -1,0 +1,152 @@
+//! Single-cycle multiplier builder.
+//!
+//! The modelled OpenRISC core performs 32-bit multiplications in a single
+//! cycle, which is why the multiplier dominates the critical path (the STA
+//! limit of 707 MHz @ 0.7 V in the paper).  We build a Wallace-style
+//! column-compression multiplier: an AND-array of partial products, reduced
+//! with carry-save (3:2) and half-adder (2:2) compressors, followed by a
+//! final Kogge–Stone carry-propagate adder.  Only the low `width` result
+//! bits are produced, matching the `l.mul` semantics used by the benchmarks.
+
+use crate::adder::kogge_stone_adder;
+use crate::builder::{full_adder, half_adder};
+use crate::netlist::{Netlist, NodeId};
+
+/// Instantiates a `width × width → width` (low half) Wallace-tree multiplier.
+///
+/// Returns the little-endian product bits.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn wallace_multiplier(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    assert!(!a.is_empty(), "multiplier width must be non-zero");
+    assert_eq!(a.len(), b.len(), "multiplier operands must have equal width");
+    let width = a.len();
+
+    // Column-wise partial products for the low half of the product only.
+    let mut columns: Vec<Vec<NodeId>> = vec![Vec::new(); width];
+    for (i, &bi) in b.iter().enumerate() {
+        for (j, &aj) in a.iter().enumerate() {
+            let col = i + j;
+            if col < width {
+                columns[col].push(n.and2(aj, bi));
+            }
+        }
+    }
+
+    // Column compression: repeatedly apply 3:2 and 2:2 compressors until
+    // every column holds at most two bits.
+    loop {
+        let max_height = columns.iter().map(Vec::len).max().unwrap_or(0);
+        if max_height <= 2 {
+            break;
+        }
+        let mut next: Vec<Vec<NodeId>> = vec![Vec::new(); width];
+        for col in 0..width {
+            let bits = std::mem::take(&mut columns[col]);
+            let mut iter = bits.into_iter().peekable();
+            while iter.peek().is_some() {
+                let first = iter.next().expect("peeked");
+                match (iter.next(), iter.next()) {
+                    (Some(second), Some(third)) => {
+                        let (s, c) = full_adder(n, first, second, third);
+                        next[col].push(s);
+                        if col + 1 < width {
+                            next[col + 1].push(c);
+                        }
+                    }
+                    (Some(second), None) => {
+                        let (s, c) = half_adder(n, first, second);
+                        next[col].push(s);
+                        if col + 1 < width {
+                            next[col + 1].push(c);
+                        }
+                    }
+                    (None, _) => next[col].push(first),
+                }
+            }
+        }
+        columns = next;
+    }
+
+    // Final carry-propagate addition of the two remaining rows.
+    let zero = n.constant(false);
+    let row_a: Vec<NodeId> = columns.iter().map(|c| c.first().copied().unwrap_or(zero)).collect();
+    let row_b: Vec<NodeId> = columns.iter().map(|c| c.get(1).copied().unwrap_or(zero)).collect();
+    let out = kogge_stone_adder(n, &row_a, &row_b, zero);
+    out.sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_bits, to_bits};
+
+    fn build(width: usize) -> Netlist {
+        let mut n = Netlist::new();
+        let a: Vec<NodeId> = (0..width).map(|i| n.add_input(format!("a{i}"))).collect();
+        let b: Vec<NodeId> = (0..width).map(|i| n.add_input(format!("b{i}"))).collect();
+        let p = wallace_multiplier(&mut n, &a, &b);
+        assert_eq!(p.len(), width);
+        for (i, bit) in p.iter().enumerate() {
+            n.mark_output(*bit, format!("p{i}"));
+        }
+        n
+    }
+
+    fn run(n: &Netlist, width: usize, a: u64, b: u64) -> u64 {
+        let mut inputs = to_bits(a, width);
+        inputs.extend(to_bits(b, width));
+        from_bits(&n.evaluate(&inputs))
+    }
+
+    #[test]
+    fn mul_4bit_exhaustive() {
+        let n = build(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(run(&n, 4, a, b), (a * b) & 0xF, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_8bit_samples() {
+        let n = build(8);
+        for (a, b) in [(0u64, 0u64), (255, 255), (17, 13), (128, 2), (99, 77)] {
+            assert_eq!(run(&n, 8, a, b), (a * b) & 0xFF);
+        }
+    }
+
+    #[test]
+    fn mul_16bit_samples() {
+        let n = build(16);
+        for (a, b) in [(1234u64, 4321u64), (65535, 65535), (40000, 3), (256, 256)] {
+            assert_eq!(run(&n, 16, a, b), (a * b) & 0xFFFF);
+        }
+    }
+
+    #[test]
+    fn multiplier_is_deeper_than_prefix_adder() {
+        let mul = build(16);
+        let mut add = Netlist::new();
+        let a: Vec<NodeId> = (0..16).map(|i| add.add_input(format!("a{i}"))).collect();
+        let b: Vec<NodeId> = (0..16).map(|i| add.add_input(format!("b{i}"))).collect();
+        let cin = add.constant(false);
+        let out = kogge_stone_adder(&mut add, &a, &b, cin);
+        for (i, s) in out.sum.iter().enumerate() {
+            add.mark_output(*s, format!("s{i}"));
+        }
+        assert!(mul.max_output_depth() > add.max_output_depth());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn mismatched_widths_panic() {
+        let mut n = Netlist::new();
+        let a = vec![n.add_input("a0")];
+        let b = vec![n.add_input("b0"), n.add_input("b1")];
+        wallace_multiplier(&mut n, &a, &b);
+    }
+}

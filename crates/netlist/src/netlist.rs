@@ -1,0 +1,453 @@
+//! The [`Netlist`] graph: a flat, topologically ordered list of primitive
+//! gates with named primary outputs.
+
+use crate::gate::{Gate, GateKind};
+use std::fmt;
+
+/// Index of a gate (equivalently, of the net it drives) inside a [`Netlist`].
+///
+/// Node ids are only meaningful for the netlist that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Index of a registered primary output (an *endpoint* for timing analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OutputId(pub(crate) u32);
+
+impl OutputId {
+    /// Raw index of the output.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A registered primary output of the netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Output {
+    /// The node driving this output.
+    pub node: NodeId,
+    /// Human-readable label, e.g. `"result[7]"`.
+    pub label: String,
+}
+
+/// A combinational gate-level netlist kept in topological order.
+///
+/// Gates can only reference previously inserted gates, so the insertion
+/// order is a valid evaluation/traversal order.  This makes functional
+/// evaluation and timing analysis a single linear pass.
+///
+/// # Example
+///
+/// ```
+/// use sfi_netlist::Netlist;
+///
+/// let mut n = Netlist::new();
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let sum = n.xor2(a, b);
+/// let carry = n.and2(a, b);
+/// n.mark_output(sum, "sum");
+/// n.mark_output(carry, "carry");
+///
+/// let values = n.evaluate(&[true, true]);
+/// assert_eq!(values, vec![false, true]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    inputs: Vec<NodeId>,
+    input_labels: Vec<String>,
+    outputs: Vec<Output>,
+    fanout: Vec<u32>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of gates (including inputs and constants).
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the netlist contains no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of registered primary outputs.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The primary inputs in registration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// The label of primary input `i` (registration order).
+    pub fn input_label(&self, i: usize) -> &str {
+        &self.input_labels[i]
+    }
+
+    /// The registered primary outputs.
+    pub fn outputs(&self) -> &[Output] {
+        &self.outputs
+    }
+
+    /// The gate at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this netlist.
+    pub fn gate(&self, node: NodeId) -> Gate {
+        self.gates[node.index()]
+    }
+
+    /// The node id of the `index`-th gate in topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn node(&self, index: usize) -> NodeId {
+        assert!(index < self.gates.len(), "node index {index} out of range (len {})", self.gates.len());
+        NodeId(index as u32)
+    }
+
+    /// All gates in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates driven by `node`.
+    pub fn fanout(&self, node: NodeId) -> usize {
+        self.fanout[node.index()] as usize
+    }
+
+    /// Adds a primary input and returns its node.
+    pub fn add_input(&mut self, label: impl Into<String>) -> NodeId {
+        let id = self.push(Gate::source(GateKind::Input));
+        self.inputs.push(id);
+        self.input_labels.push(label.into());
+        id
+    }
+
+    /// Adds (or reuses nothing; always adds) a constant-valued node.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        self.push(Gate::source(GateKind::Const(value)))
+    }
+
+    /// Registers `node` as a primary output with the given label and returns
+    /// its output id.
+    pub fn mark_output(&mut self, node: NodeId, label: impl Into<String>) -> OutputId {
+        self.check(node);
+        let id = OutputId(self.outputs.len() as u32);
+        self.outputs.push(Output { node, label: label.into() });
+        id
+    }
+
+    fn push(&mut self, gate: Gate) -> NodeId {
+        let id = NodeId(self.gates.len() as u32);
+        if gate.kind.fanin_count() >= 1 {
+            self.fanout[gate.a as usize] += 1;
+        }
+        if gate.kind.fanin_count() == 2 {
+            self.fanout[gate.b as usize] += 1;
+        }
+        self.gates.push(gate);
+        self.fanout.push(0);
+        id
+    }
+
+    fn check(&self, node: NodeId) {
+        assert!(
+            node.index() < self.gates.len(),
+            "node {node} does not belong to this netlist (len {})",
+            self.gates.len()
+        );
+    }
+
+    /// Adds a buffer driven by `a`.
+    pub fn buf(&mut self, a: NodeId) -> NodeId {
+        self.check(a);
+        self.push(Gate::unary(GateKind::Buf, a.0))
+    }
+
+    /// Adds an inverter driven by `a`.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        self.check(a);
+        self.push(Gate::unary(GateKind::Not, a.0))
+    }
+
+    /// Adds a two-input AND gate.
+    pub fn and2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.check(a);
+        self.check(b);
+        self.push(Gate::binary(GateKind::And2, a.0, b.0))
+    }
+
+    /// Adds a two-input NAND gate.
+    pub fn nand2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.check(a);
+        self.check(b);
+        self.push(Gate::binary(GateKind::Nand2, a.0, b.0))
+    }
+
+    /// Adds a two-input OR gate.
+    pub fn or2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.check(a);
+        self.check(b);
+        self.push(Gate::binary(GateKind::Or2, a.0, b.0))
+    }
+
+    /// Adds a two-input NOR gate.
+    pub fn nor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.check(a);
+        self.check(b);
+        self.push(Gate::binary(GateKind::Nor2, a.0, b.0))
+    }
+
+    /// Adds a two-input XOR gate.
+    pub fn xor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.check(a);
+        self.check(b);
+        self.push(Gate::binary(GateKind::Xor2, a.0, b.0))
+    }
+
+    /// Adds a two-input XNOR gate.
+    pub fn xnor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.check(a);
+        self.check(b);
+        self.push(Gate::binary(GateKind::Xnor2, a.0, b.0))
+    }
+
+    /// Evaluates the netlist for the given primary-input assignment and
+    /// returns the value of every registered output, in output order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len()` differs from [`Netlist::input_count`].
+    pub fn evaluate(&self, input_values: &[bool]) -> Vec<bool> {
+        let values = self.evaluate_all(input_values);
+        self.outputs.iter().map(|o| values[o.node.index()]).collect()
+    }
+
+    /// Evaluates the netlist and returns the value of **every** node, in
+    /// topological order.  Useful for callers (such as dynamic timing
+    /// analysis) that need internal values as well as outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len()` differs from [`Netlist::input_count`].
+    pub fn evaluate_all(&self, input_values: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            input_values.len(),
+            self.inputs.len(),
+            "expected {} input values, got {}",
+            self.inputs.len(),
+            input_values.len()
+        );
+        let mut values = vec![false; self.gates.len()];
+        let mut next_input = 0usize;
+        for (i, gate) in self.gates.iter().enumerate() {
+            values[i] = match gate.kind {
+                GateKind::Input => {
+                    let v = input_values[next_input];
+                    next_input += 1;
+                    v
+                }
+                GateKind::Const(v) => v,
+                kind => {
+                    let a = values[gate.a as usize];
+                    let b = if kind.fanin_count() == 2 { values[gate.b as usize] } else { false };
+                    kind.eval(a, b)
+                }
+            };
+        }
+        values
+    }
+
+    /// Returns the logic depth (number of gates on the longest input-to-node
+    /// path) of every node.  Sources have depth zero.
+    pub fn logic_depths(&self) -> Vec<u32> {
+        let mut depth = vec![0u32; self.gates.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            if gate.kind.is_source() {
+                continue;
+            }
+            let da = depth[gate.a as usize];
+            let db = if gate.kind.fanin_count() == 2 { depth[gate.b as usize] } else { 0 };
+            depth[i] = da.max(db) + 1;
+        }
+        depth
+    }
+
+    /// The maximum logic depth over all registered outputs.
+    pub fn max_output_depth(&self) -> u32 {
+        let depths = self.logic_depths();
+        self.outputs.iter().map(|o| depths[o.node.index()]).max().unwrap_or(0)
+    }
+
+    /// Counts gates per kind, useful for reporting netlist statistics.
+    pub fn gate_histogram(&self) -> Vec<(GateKind, usize)> {
+        let mut counts: Vec<(GateKind, usize)> = Vec::new();
+        for gate in &self.gates {
+            match counts.iter_mut().find(|(k, _)| *k == gate.kind) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((gate.kind, 1)),
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn half_adder() -> Netlist {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let s = n.xor2(a, b);
+        let c = n.and2(a, b);
+        n.mark_output(s, "sum");
+        n.mark_output(c, "carry");
+        n
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        let n = half_adder();
+        assert_eq!(n.evaluate(&[false, false]), vec![false, false]);
+        assert_eq!(n.evaluate(&[true, false]), vec![true, false]);
+        assert_eq!(n.evaluate(&[false, true]), vec![true, false]);
+        assert_eq!(n.evaluate(&[true, true]), vec![false, true]);
+    }
+
+    #[test]
+    fn counts_and_labels() {
+        let n = half_adder();
+        assert_eq!(n.len(), 4);
+        assert_eq!(n.input_count(), 2);
+        assert_eq!(n.output_count(), 2);
+        assert_eq!(n.input_label(0), "a");
+        assert_eq!(n.outputs()[1].label, "carry");
+        assert!(!n.is_empty());
+    }
+
+    #[test]
+    fn fanout_tracking() {
+        let n = half_adder();
+        // a and b each drive the XOR and the AND.
+        assert_eq!(n.fanout(n.inputs()[0]), 2);
+        assert_eq!(n.fanout(n.inputs()[1]), 2);
+        // the outputs drive nothing.
+        let sum_node = n.outputs()[0].node;
+        assert_eq!(n.fanout(sum_node), 0);
+    }
+
+    #[test]
+    fn depths() {
+        let n = half_adder();
+        assert_eq!(n.max_output_depth(), 1);
+        let mut n2 = Netlist::new();
+        let a = n2.add_input("a");
+        let b = n2.add_input("b");
+        let x = n2.xor2(a, b);
+        let y = n2.xor2(x, b);
+        let z = n2.xor2(y, x);
+        n2.mark_output(z, "z");
+        assert_eq!(n2.max_output_depth(), 3);
+    }
+
+    #[test]
+    fn constants_and_unary() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let one = n.constant(true);
+        let na = n.not(a);
+        let buf = n.buf(na);
+        let o = n.and2(buf, one);
+        n.mark_output(o, "o");
+        assert_eq!(n.evaluate(&[false]), vec![true]);
+        assert_eq!(n.evaluate(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn evaluate_all_returns_every_node() {
+        let n = half_adder();
+        let all = n.evaluate_all(&[true, true]);
+        assert_eq!(all.len(), n.len());
+        assert_eq!(all[2], false); // xor
+        assert_eq!(all[3], true); // and
+    }
+
+    #[test]
+    fn gate_histogram_counts() {
+        let n = half_adder();
+        let hist = n.gate_histogram();
+        let inputs = hist.iter().find(|(k, _)| *k == GateKind::Input).unwrap().1;
+        assert_eq!(inputs, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 input values")]
+    fn evaluate_wrong_input_count_panics() {
+        let n = half_adder();
+        n.evaluate(&[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn foreign_node_panics() {
+        let mut n = Netlist::new();
+        let _a = n.add_input("a");
+        let mut other = Netlist::new();
+        let _b = other.add_input("b");
+        let bogus = NodeId(57);
+        n.not(bogus);
+    }
+
+    #[test]
+    fn display_of_ids() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(NodeId(4).index(), 4);
+        assert_eq!(OutputId(2).index(), 2);
+    }
+
+    #[test]
+    fn node_by_index_roundtrips() {
+        let n = half_adder();
+        for i in 0..n.len() {
+            assert_eq!(n.node(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_by_index_out_of_range_panics() {
+        let n = half_adder();
+        n.node(n.len());
+    }
+}

@@ -1,0 +1,140 @@
+//! Logarithmic barrel shifter builder (logical left/right and arithmetic
+//! right shifts).
+
+use crate::builder::mux2;
+use crate::netlist::{Netlist, NodeId};
+
+/// Shift direction / kind supported by the barrel shifter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftKind {
+    /// Logical shift left, filling with zeros.
+    LogicalLeft,
+    /// Logical shift right, filling with zeros.
+    LogicalRight,
+    /// Arithmetic shift right, replicating the sign bit.
+    ArithmeticRight,
+}
+
+/// Instantiates a logarithmic barrel shifter of the given kind.
+///
+/// `amount` supplies the shift amount bits, little-endian; only
+/// `log2(width)` bits are consumed (the remainder are ignored, matching the
+/// OpenRISC semantics of masking the shift amount).
+///
+/// # Panics
+///
+/// Panics if `a` is empty or `width` is not a power of two.
+pub fn barrel_shifter(
+    n: &mut Netlist,
+    a: &[NodeId],
+    amount: &[NodeId],
+    kind: ShiftKind,
+) -> Vec<NodeId> {
+    let width = a.len();
+    assert!(width > 0 && width.is_power_of_two(), "barrel shifter width must be a power of two");
+    let stages = width.trailing_zeros() as usize;
+    assert!(amount.len() >= stages, "shift amount must provide at least log2(width) bits");
+
+    let zero = n.constant(false);
+    let fill = match kind {
+        ShiftKind::ArithmeticRight => *a.last().expect("non-empty operand"),
+        _ => zero,
+    };
+
+    let mut current: Vec<NodeId> = a.to_vec();
+    for stage in 0..stages {
+        let shift = 1usize << stage;
+        let sel = amount[stage];
+        let mut next = Vec::with_capacity(width);
+        for i in 0..width {
+            let shifted = match kind {
+                ShiftKind::LogicalLeft => {
+                    if i >= shift {
+                        current[i - shift]
+                    } else {
+                        zero
+                    }
+                }
+                ShiftKind::LogicalRight | ShiftKind::ArithmeticRight => {
+                    if i + shift < width {
+                        current[i + shift]
+                    } else {
+                        fill
+                    }
+                }
+            };
+            next.push(mux2(n, sel, current[i], shifted));
+        }
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_bits, to_bits};
+
+    fn build(width: usize, kind: ShiftKind) -> Netlist {
+        let mut n = Netlist::new();
+        let a: Vec<NodeId> = (0..width).map(|i| n.add_input(format!("a{i}"))).collect();
+        let stages = width.trailing_zeros() as usize;
+        let amt: Vec<NodeId> = (0..stages).map(|i| n.add_input(format!("sh{i}"))).collect();
+        let out = barrel_shifter(&mut n, &a, &amt, kind);
+        for (i, bit) in out.iter().enumerate() {
+            n.mark_output(*bit, format!("o{i}"));
+        }
+        n
+    }
+
+    fn run(n: &Netlist, width: usize, a: u64, sh: u64) -> u64 {
+        let stages = width.trailing_zeros() as usize;
+        let mut inputs = to_bits(a, width);
+        inputs.extend(to_bits(sh, stages));
+        from_bits(&n.evaluate(&inputs))
+    }
+
+    #[test]
+    fn logical_left() {
+        let n = build(16, ShiftKind::LogicalLeft);
+        for sh in 0..16u64 {
+            assert_eq!(run(&n, 16, 0xABCD, sh), (0xABCDu64 << sh) & 0xFFFF, "shift {sh}");
+        }
+    }
+
+    #[test]
+    fn logical_right() {
+        let n = build(16, ShiftKind::LogicalRight);
+        for sh in 0..16u64 {
+            assert_eq!(run(&n, 16, 0xABCD, sh), 0xABCDu64 >> sh, "shift {sh}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_right_negative() {
+        let n = build(8, ShiftKind::ArithmeticRight);
+        // 0xF0 = -16 as i8; arithmetic shifts keep the sign bits set.
+        for sh in 0..8u64 {
+            let expect = ((0xF0u8 as i8) >> sh) as u8 as u64;
+            assert_eq!(run(&n, 8, 0xF0, sh), expect, "shift {sh}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_right_positive_matches_logical() {
+        let na = build(8, ShiftKind::ArithmeticRight);
+        let nl = build(8, ShiftKind::LogicalRight);
+        for sh in 0..8u64 {
+            assert_eq!(run(&na, 8, 0x35, sh), run(&nl, 8, 0x35, sh));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_width_panics() {
+        let mut n = Netlist::new();
+        let a: Vec<NodeId> = (0..6).map(|i| n.add_input(format!("a{i}"))).collect();
+        let amt = vec![n.add_input("sh0")];
+        barrel_shifter(&mut n, &a, &amt, ShiftKind::LogicalLeft);
+    }
+}

@@ -1,0 +1,349 @@
+//! Synthesis-like per-unit timing budgeting.
+//!
+//! The paper's case-study core is implemented with the constraint strategy
+//! of its ref. [14]: the execution-stage datapath is constrained so that
+//! *only* the ALU endpoints limit the maximum clock frequency, every
+//! functional unit just meets (a fraction of) the clock constraint, and the
+//! path-delay distribution has no "timing wall" right at the limit.  A
+//! synthesis tool achieves this by up-sizing cells on critical paths and
+//! down-sizing (area recovery) cells with slack — which compresses the
+//! worst-case delays of all datapath units towards the constraint.
+//!
+//! Our synthetic netlist is built from uniformly sized gates, so without a
+//! corresponding pass the adder would either be far slower or far faster
+//! than the multiplier, distorting the per-instruction failure ordering the
+//! paper reports.  [`synthesis_node_multipliers`] emulates the sizing: it
+//! computes one delay multiplier per gate such that the worst-case (STA)
+//! path through each functional unit lands at a configurable fraction of
+//! the multiplier's worst-case path.
+
+use crate::sta::StaticTimingAnalysis;
+use sfi_netlist::alu::{AluDatapath, AluUnit};
+use sfi_netlist::{DelayModel, VoltageScaling};
+
+/// Per-unit timing budgets, expressed as a fraction of the multiplier's
+/// worst-case (STA) register-to-register path.
+///
+/// The multiplier always defines the static timing limit (budget 1.0); the
+/// defaults place the remaining units where the paper's per-instruction
+/// failure points suggest they sit on the silicon: the adder and comparator
+/// close below the limit, shifter and logic with a comfortable margin (the
+/// paper verifies non-ALU and simple operations stay safe up to a much
+/// higher threshold frequency).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitBudgets {
+    /// Budget of the adder/subtractor (fraction of the multiplier path).
+    pub add_sub: f64,
+    /// Budget of the barrel shifters.
+    pub shifter: f64,
+    /// Budget of the bitwise logic unit.
+    pub logic: f64,
+    /// Budget of the set-flag comparator.
+    pub comparator: f64,
+}
+
+impl UnitBudgets {
+    /// Budgets tuned so that the per-instruction points of first failure
+    /// reproduce the ordering and rough spacing of the paper's Fig. 4
+    /// (multiplication fails first, 32-bit addition ~5–10 % later, narrow
+    /// additions and flag comparisons later still, shifts and logic safe).
+    pub fn paper_defaults() -> Self {
+        UnitBudgets { add_sub: 0.97, shifter: 0.60, logic: 0.45, comparator: 0.92 }
+    }
+
+    /// Budget of a given unit; the multiplier is pinned to 1.0 and the
+    /// operation decoder / result multiplexer are never rescaled.
+    pub fn budget_of(&self, unit: AluUnit) -> Option<f64> {
+        match unit {
+            AluUnit::AddSub => Some(self.add_sub),
+            AluUnit::Shifter => Some(self.shifter),
+            AluUnit::Logic => Some(self.logic),
+            AluUnit::Comparator => Some(self.comparator),
+            AluUnit::Multiplier => Some(1.0),
+            AluUnit::OpDecode | AluUnit::ResultMux => None,
+        }
+    }
+
+    /// Validates that all budgets are positive and no larger than 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any budget is outside `(0, 1]`.
+    pub fn validate(&self) {
+        for (name, b) in [
+            ("add_sub", self.add_sub),
+            ("shifter", self.shifter),
+            ("logic", self.logic),
+            ("comparator", self.comparator),
+        ] {
+            assert!(b > 0.0 && b <= 1.0, "unit budget {name} must be in (0, 1], got {b}");
+        }
+    }
+}
+
+impl Default for UnitBudgets {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Computes one delay multiplier per netlist node such that the STA-worst
+/// path through each functional unit of `alu` equals its budgeted fraction
+/// of the multiplier unit's STA-worst path.
+///
+/// The multipliers are intended to be passed to
+/// [`StaticTimingAnalysis::run_with_multipliers`],
+/// [`crate::dta::DynamicTimingAnalysis::new_with_multipliers`] and
+/// [`crate::characterize::characterize_alu_with_multipliers`].
+///
+/// # Panics
+///
+/// Panics if the budgets are invalid (see [`UnitBudgets::validate`]).
+pub fn synthesis_node_multipliers(
+    alu: &AluDatapath,
+    delays: &DelayModel,
+    scaling: &VoltageScaling,
+    vdd: f64,
+    budgets: &UnitBudgets,
+) -> Vec<f64> {
+    budgets.validate();
+    let netlist = alu.netlist();
+    let len = netlist.len();
+
+    let run_with = |mults: &[f64]| {
+        StaticTimingAnalysis::run_with_multipliers(netlist, delays, scaling, vdd, Some(mults))
+            .critical_path_ps()
+    };
+
+    // Shared decode / result-mux logic is never rescaled.
+    let mut only_shared = vec![0.0f64; len];
+    for (unit, range) in alu.unit_ranges() {
+        if matches!(unit, AluUnit::OpDecode | AluUnit::ResultMux) {
+            for m in &mut only_shared[range.clone()] {
+                *m = 1.0;
+            }
+        }
+    }
+    // With every functional unit at zero delay only the decode → result-mux
+    // skeleton remains; no unit can be made faster than this floor.
+    let floor_ps = run_with(&only_shared);
+
+    // Isolated critical path of one unit at a given sizing factor.
+    let isolated_cp = |range: &std::ops::Range<usize>, m: f64| {
+        let mut mults = only_shared.clone();
+        for slot in &mut mults[range.clone()] {
+            *slot = m;
+        }
+        run_with(&mults)
+    };
+
+    // The multiplier's natural path defines the reference clock constraint.
+    let mul_range = alu
+        .unit_ranges()
+        .iter()
+        .find(|(u, _)| *u == AluUnit::Multiplier)
+        .map(|(_, r)| r.clone())
+        .expect("datapath has a multiplier unit");
+    let reference_ps = isolated_cp(&mul_range, 1.0);
+
+    let mut multipliers = vec![1.0f64; len];
+    for (unit, range) in alu.unit_ranges() {
+        if matches!(unit, AluUnit::OpDecode | AluUnit::ResultMux | AluUnit::Multiplier) {
+            continue;
+        }
+        let budget = budgets.budget_of(*unit).expect("functional unit has a budget");
+        let target_ps = budget * reference_ps;
+        // The isolated critical path is monotone non-decreasing in the
+        // sizing factor, so a simple bisection finds the factor that puts
+        // the unit's worst path at its budget.  If the budget is below the
+        // decode/mux floor the unit is simply left as fast as possible.
+        let m = if target_ps <= floor_ps {
+            MIN_SIZING
+        } else {
+            let mut lo = MIN_SIZING;
+            let mut hi = MAX_SIZING;
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                if isolated_cp(range, mid) < target_ps {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            0.5 * (lo + hi)
+        };
+        for slot in &mut multipliers[range.clone()] {
+            *slot = m;
+        }
+    }
+    multipliers
+}
+
+/// Smallest per-unit sizing factor the budgeting pass will apply.
+const MIN_SIZING: f64 = 1.0e-3;
+/// Largest per-unit sizing factor the budgeting pass will apply.
+const MAX_SIZING: f64 = 1.0e3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_netlist::alu::AluOp;
+
+    fn setup(width: usize) -> (AluDatapath, Vec<f64>) {
+        let alu = AluDatapath::build(width);
+        let mults = synthesis_node_multipliers(
+            &alu,
+            &DelayModel::default_28nm(),
+            &VoltageScaling::default_28nm(),
+            0.7,
+            &UnitBudgets::paper_defaults(),
+        );
+        (alu, mults)
+    }
+
+    #[test]
+    fn multiplier_unit_untouched_and_lengths_match() {
+        let (alu, mults) = setup(8);
+        assert_eq!(mults.len(), alu.netlist().len());
+        for (unit, range) in alu.unit_ranges() {
+            if *unit == AluUnit::Multiplier || *unit == AluUnit::OpDecode || *unit == AluUnit::ResultMux {
+                for i in range.clone() {
+                    assert_eq!(mults[i], 1.0, "unit {unit} must keep nominal delays");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_sta_is_limited_by_the_multiplier() {
+        let (alu, mults) = setup(8);
+        let delays = DelayModel::default_28nm();
+        let scaling = VoltageScaling::default_28nm();
+        let full = StaticTimingAnalysis::run_with_multipliers(
+            alu.netlist(),
+            &delays,
+            &scaling,
+            0.7,
+            Some(&mults),
+        );
+        // Isolate the multiplier: its path must equal the overall critical path.
+        let mut only_mul = vec![0.0f64; alu.netlist().len()];
+        for (unit, range) in alu.unit_ranges() {
+            if matches!(unit, AluUnit::Multiplier | AluUnit::OpDecode | AluUnit::ResultMux) {
+                for i in range.clone() {
+                    only_mul[i] = mults[i];
+                }
+            }
+        }
+        let mul_only = StaticTimingAnalysis::run_with_multipliers(
+            alu.netlist(),
+            &delays,
+            &scaling,
+            0.7,
+            Some(&only_mul),
+        );
+        let ratio = full.critical_path_ps() / mul_only.critical_path_ps();
+        assert!((0.995..=1.005).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn per_unit_paths_meet_their_budgets() {
+        let (alu, mults) = setup(8);
+        let delays = DelayModel::default_28nm();
+        let scaling = VoltageScaling::default_28nm();
+        let budgets = UnitBudgets::paper_defaults();
+        let reference = StaticTimingAnalysis::run_with_multipliers(
+            alu.netlist(),
+            &delays,
+            &scaling,
+            0.7,
+            Some(&mults),
+        )
+        .critical_path_ps();
+        // The decode/result-mux skeleton alone sets a lower bound no unit can
+        // be budgeted below.
+        let mut shared_only = vec![0.0f64; alu.netlist().len()];
+        for (u, range) in alu.unit_ranges() {
+            if matches!(u, AluUnit::OpDecode | AluUnit::ResultMux) {
+                for i in range.clone() {
+                    shared_only[i] = 1.0;
+                }
+            }
+        }
+        let floor = StaticTimingAnalysis::run_with_multipliers(
+            alu.netlist(),
+            &delays,
+            &scaling,
+            0.7,
+            Some(&shared_only),
+        )
+        .critical_path_ps();
+
+        for (unit, budget) in [
+            (AluUnit::AddSub, budgets.add_sub),
+            (AluUnit::Comparator, budgets.comparator),
+            (AluUnit::Shifter, budgets.shifter),
+            (AluUnit::Logic, budgets.logic),
+        ] {
+            let mut isolated = vec![0.0f64; alu.netlist().len()];
+            for (u, range) in alu.unit_ranges() {
+                if *u == unit || matches!(u, AluUnit::OpDecode | AluUnit::ResultMux) {
+                    for i in range.clone() {
+                        isolated[i] = mults[i];
+                    }
+                }
+            }
+            let cp = StaticTimingAnalysis::run_with_multipliers(
+                alu.netlist(),
+                &delays,
+                &scaling,
+                0.7,
+                Some(&isolated),
+            )
+            .critical_path_ps();
+            let achieved = cp / reference;
+            // A unit is either sitting at its budget (within the bisection
+            // tolerance) or pinned at the decode/mux floor because its budget
+            // asks for less than the shared skeleton alone costs.
+            let at_budget = (achieved - budget).abs() < 0.02;
+            let at_floor = cp <= floor * 1.001 && budget * reference <= floor;
+            assert!(
+                at_budget || at_floor,
+                "unit {unit}: achieved fraction {achieved:.3}, budget {budget:.3}, floor {:.3}",
+                floor / reference
+            );
+        }
+    }
+
+    #[test]
+    fn budgeting_preserves_instruction_ordering() {
+        use crate::characterize::{characterize_alu_with_multipliers, CharacterizationConfig};
+        let (alu, mults) = setup(8);
+        let ch = characterize_alu_with_multipliers(
+            &alu,
+            &DelayModel::default_28nm(),
+            &VoltageScaling::default_28nm(),
+            &CharacterizationConfig { cycles_per_op: 96, ..Default::default() },
+            Some(&mults),
+        );
+        let mul = ch.first_failure_frequency_mhz(AluOp::Mul);
+        let add = ch.first_failure_frequency_mhz(AluOp::Add);
+        let xor = ch.first_failure_frequency_mhz(AluOp::Xor);
+        assert!(mul < add, "mul must fail before add ({mul} vs {add})");
+        assert!(add < xor, "add must fail before xor ({add} vs {xor})");
+    }
+
+    #[test]
+    #[should_panic(expected = "unit budget")]
+    fn invalid_budget_panics() {
+        let alu = AluDatapath::build(8);
+        let bad = UnitBudgets { add_sub: 1.5, ..UnitBudgets::paper_defaults() };
+        synthesis_node_multipliers(
+            &alu,
+            &DelayModel::default_28nm(),
+            &VoltageScaling::default_28nm(),
+            0.7,
+            &bad,
+        );
+    }
+}

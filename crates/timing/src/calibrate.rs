@@ -1,0 +1,134 @@
+//! Calibration of the synthetic delay model against a target static timing
+//! limit.
+//!
+//! The absolute gate delays of the synthetic netlist are arbitrary; what
+//! matters for reproducing the paper is that the static timing limit of the
+//! execution stage matches the case-study value (707 MHz at 0.7 V) so that
+//! frequencies, points of first failure and over-scaling gains are reported
+//! on the same axis as the paper.
+
+use crate::sta::StaticTimingAnalysis;
+use crate::units::freq_mhz_to_period_ps;
+use sfi_netlist::alu::AluDatapath;
+use sfi_netlist::{DelayModel, VoltageScaling};
+
+/// Returns a copy of `delays` rescaled so that the STA limit of `alu` at
+/// supply voltage `vdd` equals `target_fmax_mhz`.
+///
+/// # Panics
+///
+/// Panics if `target_fmax_mhz` is not strictly positive or `vdd` is not
+/// above the threshold voltage of `scaling`.
+///
+/// # Example
+///
+/// ```
+/// use sfi_netlist::alu::AluDatapath;
+/// use sfi_netlist::{DelayModel, VoltageScaling};
+/// use sfi_timing::{calibrate_delay_model, StaticTimingAnalysis};
+///
+/// let alu = AluDatapath::build(16);
+/// let delays = calibrate_delay_model(
+///     &alu,
+///     &DelayModel::default_28nm(),
+///     &VoltageScaling::default_28nm(),
+///     707.0,
+///     0.7,
+/// );
+/// let sta = StaticTimingAnalysis::run(alu.netlist(), &delays, &VoltageScaling::default_28nm(), 0.7);
+/// assert!((sta.max_frequency_mhz() - 707.0).abs() < 0.5);
+/// ```
+pub fn calibrate_delay_model(
+    alu: &AluDatapath,
+    delays: &DelayModel,
+    scaling: &VoltageScaling,
+    target_fmax_mhz: f64,
+    vdd: f64,
+) -> DelayModel {
+    calibrate_delay_model_with_multipliers(alu, delays, scaling, target_fmax_mhz, vdd, None)
+}
+
+/// Variant of [`calibrate_delay_model`] honouring per-node delay
+/// multipliers from the synthesis-like timing-budgeting pass.
+///
+/// # Panics
+///
+/// Same conditions as [`calibrate_delay_model`]; additionally panics if the
+/// multiplier slice length does not match the netlist size.
+pub fn calibrate_delay_model_with_multipliers(
+    alu: &AluDatapath,
+    delays: &DelayModel,
+    scaling: &VoltageScaling,
+    target_fmax_mhz: f64,
+    vdd: f64,
+    node_multipliers: Option<&[f64]>,
+) -> DelayModel {
+    assert!(target_fmax_mhz > 0.0, "target frequency must be positive, got {target_fmax_mhz}");
+    let sta = StaticTimingAnalysis::run_with_multipliers(
+        alu.netlist(),
+        delays,
+        scaling,
+        vdd,
+        node_multipliers,
+    );
+    let current_period = sta.critical_path_ps();
+    let target_period = freq_mhz_to_period_ps(target_fmax_mhz);
+    let scale = delays.scale() * target_period / current_period;
+    delays.with_scale(scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_target() {
+        let alu = AluDatapath::build(8);
+        let base = DelayModel::default_28nm();
+        let scaling = VoltageScaling::default_28nm();
+        for target in [500.0, 707.0, 1000.0] {
+            let cal = calibrate_delay_model(&alu, &base, &scaling, target, 0.7);
+            let sta = StaticTimingAnalysis::run(alu.netlist(), &cal, &scaling, 0.7);
+            assert!(
+                (sta.max_frequency_mhz() - target).abs() < 0.5,
+                "target {target}, got {}",
+                sta.max_frequency_mhz()
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_is_idempotent() {
+        let alu = AluDatapath::build(8);
+        let base = DelayModel::default_28nm();
+        let scaling = VoltageScaling::default_28nm();
+        let once = calibrate_delay_model(&alu, &base, &scaling, 707.0, 0.7);
+        let twice = calibrate_delay_model(&alu, &once, &scaling, 707.0, 0.7);
+        assert!((once.scale() - twice.scale()).abs() / once.scale() < 1e-9);
+    }
+
+    #[test]
+    fn calibrating_at_higher_voltage_gives_larger_scale() {
+        // At a higher supply the raw circuit is faster, so hitting the same
+        // target frequency requires a larger scale factor.
+        let alu = AluDatapath::build(8);
+        let base = DelayModel::default_28nm();
+        let scaling = VoltageScaling::default_28nm();
+        let at07 = calibrate_delay_model(&alu, &base, &scaling, 707.0, 0.7);
+        let at08 = calibrate_delay_model(&alu, &base, &scaling, 707.0, 0.8);
+        assert!(at08.scale() > at07.scale());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_target_panics() {
+        let alu = AluDatapath::build(8);
+        calibrate_delay_model(
+            &alu,
+            &DelayModel::default_28nm(),
+            &VoltageScaling::default_28nm(),
+            0.0,
+            0.7,
+        );
+    }
+}

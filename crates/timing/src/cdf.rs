@@ -1,0 +1,190 @@
+//! Timing-error cumulative distribution functions.
+//!
+//! For one endpoint and one instruction, dynamic timing analysis produces a
+//! population of register-to-register path delays (one per characterization
+//! cycle).  The paper turns these into the probability
+//! `P_{E,V,I}(f) = v_f / n_I` that the endpoint is violated at clock
+//! frequency `f`; sweeping `f` yields a CDF.  [`ErrorCdf`] stores the sorted
+//! delay samples and answers that query by binary search.
+
+use crate::units::freq_mhz_to_period_ps;
+
+/// Empirical timing-error CDF of a single (endpoint, instruction) pair.
+///
+/// # Example
+///
+/// ```
+/// use sfi_timing::ErrorCdf;
+///
+/// let cdf = ErrorCdf::from_samples(vec![900.0, 1000.0, 1100.0, 1200.0]);
+/// // A clock period of 1050 ps is violated by the two slowest samples.
+/// assert!((cdf.error_probability(1050.0) - 0.5).abs() < 1e-12);
+/// assert_eq!(cdf.error_probability(2000.0), 0.0);
+/// assert_eq!(cdf.error_probability(100.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ErrorCdf {
+    sorted_delays_ps: Vec<f64>,
+}
+
+impl ErrorCdf {
+    /// Builds a CDF from raw delay samples (picoseconds, any order).
+    ///
+    /// Non-finite samples are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is not a finite number.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(samples.iter().all(|d| d.is_finite()), "delay samples must be finite");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        ErrorCdf { sorted_delays_ps: samples }
+    }
+
+    /// Number of samples backing the CDF.
+    pub fn sample_count(&self) -> usize {
+        self.sorted_delays_ps.len()
+    }
+
+    /// Whether the CDF holds no samples (probability is then always zero).
+    pub fn is_empty(&self) -> bool {
+        self.sorted_delays_ps.is_empty()
+    }
+
+    /// The smallest observed delay, if any samples exist.
+    pub fn min_delay_ps(&self) -> Option<f64> {
+        self.sorted_delays_ps.first().copied()
+    }
+
+    /// The largest observed delay, if any samples exist.
+    pub fn max_delay_ps(&self) -> Option<f64> {
+        self.sorted_delays_ps.last().copied()
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) of the delay population, if any
+    /// samples exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+        if self.sorted_delays_ps.is_empty() {
+            return None;
+        }
+        let idx = ((self.sorted_delays_ps.len() - 1) as f64 * q).round() as usize;
+        Some(self.sorted_delays_ps[idx])
+    }
+
+    /// Probability that the endpoint is violated when the available clock
+    /// period is `period_ps` picoseconds: the fraction of samples whose
+    /// delay strictly exceeds the period.
+    pub fn error_probability(&self, period_ps: f64) -> f64 {
+        if self.sorted_delays_ps.is_empty() {
+            return 0.0;
+        }
+        // Index of the first sample strictly greater than the period.
+        let idx = self.sorted_delays_ps.partition_point(|&d| d <= period_ps);
+        (self.sorted_delays_ps.len() - idx) as f64 / self.sorted_delays_ps.len() as f64
+    }
+
+    /// Probability of violation at clock frequency `freq_mhz`, optionally
+    /// with a delay scaling factor (> 1.0 means slower gates, e.g. due to a
+    /// supply-voltage droop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_mhz` or `delay_factor` is not strictly positive.
+    pub fn error_probability_at(&self, freq_mhz: f64, delay_factor: f64) -> f64 {
+        assert!(delay_factor > 0.0, "delay factor must be positive, got {delay_factor}");
+        let period = freq_mhz_to_period_ps(freq_mhz);
+        // delay * factor > period  <=>  delay > period / factor
+        self.error_probability(period / delay_factor)
+    }
+
+    /// The sorted delay samples (ascending), mainly for reporting.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted_delays_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf() -> ErrorCdf {
+        ErrorCdf::from_samples(vec![1200.0, 900.0, 1100.0, 1000.0])
+    }
+
+    #[test]
+    fn sorted_and_counted() {
+        let c = cdf();
+        assert_eq!(c.sample_count(), 4);
+        assert_eq!(c.samples(), &[900.0, 1000.0, 1100.0, 1200.0]);
+        assert_eq!(c.min_delay_ps(), Some(900.0));
+        assert_eq!(c.max_delay_ps(), Some(1200.0));
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn probability_monotonic_in_period() {
+        let c = cdf();
+        let mut prev = 1.0;
+        for period in [800.0, 950.0, 1050.0, 1150.0, 1300.0] {
+            let p = c.error_probability(period);
+            assert!(p <= prev, "error probability must not increase with a longer period");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn probability_boundaries() {
+        let c = cdf();
+        // Samples equal to the period do not violate (strictly greater only).
+        assert!((c.error_probability(900.0) - 0.75).abs() < 1e-12);
+        assert!((c.error_probability(899.9) - 1.0).abs() < 1e-12);
+        assert_eq!(c.error_probability(1200.0), 0.0);
+    }
+
+    #[test]
+    fn frequency_query_with_scaling() {
+        let c = cdf();
+        // 1 GHz -> 1000 ps period.
+        let base = c.error_probability_at(1000.0, 1.0);
+        assert!((base - 0.5).abs() < 1e-12);
+        // A 10 % slow-down makes more samples violate.
+        assert!(c.error_probability_at(1000.0, 1.1) >= base);
+        // A 10 % speed-up makes fewer samples violate.
+        assert!(c.error_probability_at(1000.0, 0.9) <= base);
+    }
+
+    #[test]
+    fn quantiles() {
+        let c = cdf();
+        assert_eq!(c.quantile(0.0), Some(900.0));
+        assert_eq!(c.quantile(1.0), Some(1200.0));
+        assert_eq!(c.quantile(0.5), Some(1100.0));
+    }
+
+    #[test]
+    fn empty_cdf_is_never_violated() {
+        let c = ErrorCdf::default();
+        assert!(c.is_empty());
+        assert_eq!(c.error_probability(1.0), 0.0);
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.min_delay_ps(), None);
+        assert_eq!(c.max_delay_ps(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_sample_panics() {
+        ErrorCdf::from_samples(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_out_of_range_panics() {
+        cdf().quantile(1.5);
+    }
+}

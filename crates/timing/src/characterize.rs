@@ -1,0 +1,386 @@
+//! Instruction-aware timing characterization of the ALU datapath.
+//!
+//! This is the "gate level characterization kernel" of the paper: for every
+//! ALU instruction, a few hundred cycles with randomized operands are pushed
+//! through the dynamic timing analysis, and the per-endpoint arrival times
+//! are condensed into timing-error CDFs conditioned on the instruction
+//! (`P_{E,V,I}(f)` in the paper's notation).
+
+use crate::cdf::ErrorCdf;
+use crate::dta::DynamicTimingAnalysis;
+use crate::sta::StaticTimingAnalysis;
+use crate::units::freq_mhz_to_period_ps;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sfi_netlist::alu::{AluDatapath, AluOp};
+use sfi_netlist::{DelayModel, VoltageScaling};
+
+/// Distribution the characterization kernel draws its random operands from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperandDistribution {
+    /// Uniformly random over the full operand width.
+    UniformFull,
+    /// Uniformly random over the low `bits` of the operand (the paper's
+    /// 16-bit value-range experiments of Fig. 4 use this with 16).
+    UniformBits(u32),
+}
+
+impl OperandDistribution {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, width: usize) -> u64 {
+        let bits = match self {
+            OperandDistribution::UniformFull => width as u32,
+            OperandDistribution::UniformBits(b) => (*b).min(width as u32),
+        };
+        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        rng.gen::<u64>() & mask
+    }
+}
+
+/// Configuration of the characterization kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CharacterizationConfig {
+    /// Number of random-operand cycles analysed per ALU instruction.
+    /// The paper's kernel uses about 8 kCycles across all instructions,
+    /// i.e. roughly 500 per instruction.
+    pub cycles_per_op: usize,
+    /// Supply voltage the characterization is performed at.
+    pub vdd: f64,
+    /// Seed for the operand randomization (reproducible characterization).
+    pub seed: u64,
+    /// Operand value distribution.
+    pub operands: OperandDistribution,
+}
+
+impl Default for CharacterizationConfig {
+    fn default() -> Self {
+        CharacterizationConfig {
+            cycles_per_op: 512,
+            vdd: 0.7,
+            seed: 0x5f1_dac16,
+            operands: OperandDistribution::UniformFull,
+        }
+    }
+}
+
+/// The instruction-conditioned timing statistics of one ALU datapath at one
+/// supply voltage: an [`ErrorCdf`] per (instruction, endpoint) pair plus the
+/// STA reference data used by the pessimistic models.
+///
+/// See the crate-level example for typical usage.
+#[derive(Debug, Clone)]
+pub struct TimingCharacterization {
+    vdd: f64,
+    width: usize,
+    cycles_per_op: usize,
+    /// `cdfs[op.code()][endpoint]`
+    cdfs: Vec<Vec<ErrorCdf>>,
+    sta_endpoint_delays_ps: Vec<f64>,
+}
+
+impl TimingCharacterization {
+    /// Supply voltage the characterization was performed at.
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Operand width / number of endpoints of the characterized datapath.
+    pub fn endpoint_count(&self) -> usize {
+        self.width
+    }
+
+    /// Number of characterization cycles per instruction.
+    pub fn cycles_per_op(&self) -> usize {
+        self.cycles_per_op
+    }
+
+    /// The CDF of a single (instruction, endpoint) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoint` is out of range.
+    pub fn cdf(&self, op: AluOp, endpoint: usize) -> &ErrorCdf {
+        &self.cdfs[op.code() as usize][endpoint]
+    }
+
+    /// STA (worst-case) register-to-register delay of an endpoint in
+    /// picoseconds, instruction-agnostic — the data model B uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoint` is out of range.
+    pub fn sta_endpoint_delay_ps(&self, endpoint: usize) -> f64 {
+        self.sta_endpoint_delays_ps[endpoint]
+    }
+
+    /// The STA critical-path delay in picoseconds.
+    pub fn sta_critical_path_ps(&self) -> f64 {
+        self.sta_endpoint_delays_ps.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The static timing limit in MHz at the characterization voltage.
+    pub fn sta_limit_mhz(&self) -> f64 {
+        crate::units::period_ps_to_freq_mhz(self.sta_critical_path_ps())
+    }
+
+    /// Timing-error probability `P_{E,V,I}(f)` of `endpoint` while
+    /// instruction `op` occupies the execution stage, at a clock period of
+    /// `period_ps` picoseconds and a per-cycle delay scaling factor
+    /// `delay_factor` (1.0 = nominal supply; > 1.0 = droop).
+    pub fn error_probability(
+        &self,
+        op: AluOp,
+        endpoint: usize,
+        period_ps: f64,
+        delay_factor: f64,
+    ) -> f64 {
+        assert!(delay_factor > 0.0, "delay factor must be positive, got {delay_factor}");
+        self.cdf(op, endpoint).error_probability(period_ps / delay_factor)
+    }
+
+    /// Convenience wrapper of [`TimingCharacterization::error_probability`]
+    /// taking a clock frequency in MHz.
+    pub fn error_probability_at_freq(
+        &self,
+        op: AluOp,
+        endpoint: usize,
+        freq_mhz: f64,
+        delay_factor: f64,
+    ) -> f64 {
+        self.error_probability(op, endpoint, freq_mhz_to_period_ps(freq_mhz), delay_factor)
+    }
+
+    /// The lowest frequency (MHz) at which any endpoint has a non-zero error
+    /// probability for the given instruction — the instruction's point of
+    /// first possible failure under nominal supply.
+    pub fn first_failure_frequency_mhz(&self, op: AluOp) -> f64 {
+        let worst = self.cdfs[op.code() as usize]
+            .iter()
+            .filter_map(|cdf| cdf.max_delay_ps())
+            .fold(0.0, f64::max);
+        crate::units::period_ps_to_freq_mhz(worst)
+    }
+}
+
+/// Runs the characterization kernel over every ALU instruction of `alu`.
+///
+/// Returns the per-instruction, per-endpoint [`TimingCharacterization`].
+///
+/// # Panics
+///
+/// Panics if `config.cycles_per_op` is zero or `config.vdd` is not above the
+/// threshold voltage of `scaling`.
+pub fn characterize_alu(
+    alu: &AluDatapath,
+    delays: &DelayModel,
+    scaling: &VoltageScaling,
+    config: &CharacterizationConfig,
+) -> TimingCharacterization {
+    characterize_alu_with_multipliers(alu, delays, scaling, config, None)
+}
+
+/// Variant of [`characterize_alu`] with per-node delay multipliers as
+/// produced by the synthesis-like timing-budgeting pass
+/// ([`crate::budget::synthesis_node_multipliers`]).
+///
+/// # Panics
+///
+/// Same conditions as [`characterize_alu`]; additionally panics if the
+/// multiplier slice length does not match the netlist size.
+pub fn characterize_alu_with_multipliers(
+    alu: &AluDatapath,
+    delays: &DelayModel,
+    scaling: &VoltageScaling,
+    config: &CharacterizationConfig,
+    node_multipliers: Option<&[f64]>,
+) -> TimingCharacterization {
+    assert!(config.cycles_per_op > 0, "cycles_per_op must be non-zero");
+    let dta = DynamicTimingAnalysis::new_with_multipliers(
+        alu.netlist(),
+        delays,
+        scaling,
+        config.vdd,
+        node_multipliers,
+    );
+    let sta = StaticTimingAnalysis::run_with_multipliers(
+        alu.netlist(),
+        delays,
+        scaling,
+        config.vdd,
+        node_multipliers,
+    );
+    let width = alu.width();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    let mut cdfs: Vec<Vec<ErrorCdf>> = Vec::with_capacity(AluOp::ALL.len());
+    for op in AluOp::ALL {
+        let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(config.cycles_per_op); width];
+        for _ in 0..config.cycles_per_op {
+            let a = config.operands.sample(&mut rng, width);
+            let b = config.operands.sample(&mut rng, width);
+            let inputs = alu.encode_inputs(op, a, b);
+            let result = dta.analyze(&inputs);
+            for (endpoint, delay) in result.output_delays_ps.iter().enumerate() {
+                samples[endpoint].push(*delay);
+            }
+        }
+        cdfs.push(samples.into_iter().map(ErrorCdf::from_samples).collect());
+    }
+
+    TimingCharacterization {
+        vdd: config.vdd,
+        width,
+        cycles_per_op: config.cycles_per_op,
+        cdfs,
+        sta_endpoint_delays_ps: sta.endpoint_delays().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn characterize(width: usize, cycles: usize) -> (AluDatapath, TimingCharacterization) {
+        let alu = AluDatapath::build(width);
+        let config =
+            CharacterizationConfig { cycles_per_op: cycles, ..CharacterizationConfig::default() };
+        let ch = characterize_alu(
+            &alu,
+            &DelayModel::default_28nm(),
+            &VoltageScaling::default_28nm(),
+            &config,
+        );
+        (alu, ch)
+    }
+
+    #[test]
+    fn shapes_and_counts() {
+        let (_, ch) = characterize(8, 32);
+        assert_eq!(ch.endpoint_count(), 8);
+        assert_eq!(ch.cycles_per_op(), 32);
+        assert_eq!(ch.vdd(), 0.7);
+        for op in AluOp::ALL {
+            for e in 0..8 {
+                assert_eq!(ch.cdf(op, e).sample_count(), 32);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_fails_before_add_with_budgeting() {
+        // The instruction-ordering property of the paper (multiplications
+        // fail at lower frequencies than additions) holds for the budgeted
+        // datapath, which is the configuration the experiment pipeline uses.
+        let alu = AluDatapath::build(8);
+        let delays = DelayModel::default_28nm();
+        let scaling = VoltageScaling::default_28nm();
+        let mults = crate::budget::synthesis_node_multipliers(
+            &alu,
+            &delays,
+            &scaling,
+            0.7,
+            &crate::budget::UnitBudgets::paper_defaults(),
+        );
+        let ch = characterize_alu_with_multipliers(
+            &alu,
+            &delays,
+            &scaling,
+            &CharacterizationConfig { cycles_per_op: 128, ..Default::default() },
+            Some(&mults),
+        );
+        assert!(
+            ch.first_failure_frequency_mhz(AluOp::Mul)
+                < ch.first_failure_frequency_mhz(AluOp::Add)
+        );
+    }
+
+    #[test]
+    fn logic_ops_are_fast() {
+        let (_, ch) = characterize(8, 64);
+        // Single-gate logic operations have far more slack than multiplies.
+        assert!(
+            ch.first_failure_frequency_mhz(AluOp::Xor)
+                > 1.5 * ch.first_failure_frequency_mhz(AluOp::Mul)
+        );
+    }
+
+    #[test]
+    fn probabilities_bounded_and_monotonic() {
+        let (_, ch) = characterize(8, 64);
+        let sta_period = ch.sta_critical_path_ps();
+        for op in [AluOp::Add, AluOp::Mul, AluOp::SfLts] {
+            for e in [0usize, 4, 7] {
+                let mut prev = 1.0;
+                for scale in [0.4, 0.6, 0.8, 1.0, 1.2] {
+                    let p = ch.error_probability(op, e, sta_period * scale, 1.0);
+                    assert!((0.0..=1.0).contains(&p));
+                    assert!(p <= prev + 1e-12, "longer period must not increase probability");
+                    prev = p;
+                }
+                // At the STA limit nothing fails under nominal conditions.
+                assert_eq!(ch.error_probability(op, e, sta_period, 1.0), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn droop_increases_error_probability() {
+        let (_, ch) = characterize(8, 64);
+        // Pick a period right at the point where the multiplier barely passes.
+        let period = ch.cdf(AluOp::Mul, 7).max_delay_ps().unwrap() * 1.001;
+        let nominal = ch.error_probability(AluOp::Mul, 7, period, 1.0);
+        let droop = ch.error_probability(AluOp::Mul, 7, period, 1.05);
+        assert_eq!(nominal, 0.0);
+        assert!(droop > 0.0);
+    }
+
+    #[test]
+    fn dynamic_delays_bounded_by_sta() {
+        let (_, ch) = characterize(8, 64);
+        for op in AluOp::ALL {
+            for e in 0..8 {
+                if let Some(max) = ch.cdf(op, e).max_delay_ps() {
+                    assert!(max <= ch.sta_endpoint_delay_ps(e) + 1e-9);
+                }
+            }
+        }
+        assert!(ch.sta_limit_mhz() > 0.0);
+    }
+
+    #[test]
+    fn narrow_operands_have_more_slack() {
+        let alu = AluDatapath::build(16);
+        let full = characterize_alu(
+            &alu,
+            &DelayModel::default_28nm(),
+            &VoltageScaling::default_28nm(),
+            &CharacterizationConfig { cycles_per_op: 64, ..Default::default() },
+        );
+        let narrow = characterize_alu(
+            &alu,
+            &DelayModel::default_28nm(),
+            &VoltageScaling::default_28nm(),
+            &CharacterizationConfig {
+                cycles_per_op: 64,
+                operands: OperandDistribution::UniformBits(8),
+                ..Default::default()
+            },
+        );
+        // With 8-bit operands the adder carry chain is exercised less deeply,
+        // so the worst observed delay is smaller (Fig. 4: 16-bit vs 32-bit add).
+        let full_worst = full.cdf(AluOp::Add, 15).max_delay_ps().unwrap();
+        let narrow_worst = narrow.cdf(AluOp::Add, 15).max_delay_ps().unwrap();
+        assert!(narrow_worst < full_worst);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_cycles_panics() {
+        let alu = AluDatapath::build(8);
+        characterize_alu(
+            &alu,
+            &DelayModel::default_28nm(),
+            &VoltageScaling::default_28nm(),
+            &CharacterizationConfig { cycles_per_op: 0, ..Default::default() },
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! Dynamic timing analysis (DTA): value-dependent arrival times.
+//!
+//! In contrast to [`crate::sta`], the dynamic analysis propagates both logic
+//! values and arrival times through the netlist.  When a *controlling* value
+//! (a 0 at an AND/NAND input, a 1 at an OR/NOR input) arrives early, the
+//! gate output settles early regardless of its other, possibly much slower
+//! input — the mechanism behind the "dynamic timing slack" exploited by the
+//! paper (and by ref. [14] therein).  This makes arrival times depend on the
+//! executed instruction and on the operand data, which is exactly the
+//! statistical structure model C captures.
+
+use sfi_netlist::gate::GateKind;
+use sfi_netlist::{DelayModel, Netlist, VoltageScaling};
+
+/// Result of analysing one input vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DtaResult {
+    /// Logic value of every registered output.
+    pub output_values: Vec<bool>,
+    /// Register-to-register delay of every registered output in picoseconds
+    /// (sensitised arrival time plus sequential overhead).
+    pub output_delays_ps: Vec<f64>,
+}
+
+impl DtaResult {
+    /// The worst (largest) endpoint delay of this vector, in picoseconds.
+    pub fn worst_delay_ps(&self) -> f64 {
+        self.output_delays_ps.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// A reusable dynamic-timing-analysis engine for one netlist at one
+/// operating point.
+///
+/// The engine keeps its own copy of the netlist and pre-computes per-gate
+/// delays at construction, so analysing a vector is a single linear pass —
+/// the characterization kernel evaluates hundreds of thousands of vectors.
+///
+/// # Example
+///
+/// ```
+/// use sfi_netlist::alu::{AluDatapath, AluOp};
+/// use sfi_netlist::{DelayModel, VoltageScaling};
+/// use sfi_timing::DynamicTimingAnalysis;
+///
+/// let alu = AluDatapath::build(8);
+/// let dta = DynamicTimingAnalysis::new(
+///     alu.netlist(),
+///     &DelayModel::default_28nm(),
+///     &VoltageScaling::default_28nm(),
+///     0.7,
+/// );
+/// // A multiplication by zero is resolved much earlier than a "hard" one.
+/// let easy = dta.analyze(&alu.encode_inputs(AluOp::Mul, 0xFF, 0x00));
+/// let hard = dta.analyze(&alu.encode_inputs(AluOp::Mul, 0xFF, 0xFF));
+/// assert!(easy.worst_delay_ps() < hard.worst_delay_ps());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicTimingAnalysis {
+    netlist: Netlist,
+    gate_delays_ps: Vec<f64>,
+    sequential_overhead_ps: f64,
+    value_aware: bool,
+}
+
+impl DynamicTimingAnalysis {
+    /// Creates the engine for `netlist` with the given delay model at supply
+    /// voltage `vdd`.  The netlist is copied into the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not above the threshold voltage of `scaling`.
+    pub fn new(
+        netlist: &Netlist,
+        delays: &DelayModel,
+        scaling: &VoltageScaling,
+        vdd: f64,
+    ) -> Self {
+        Self::new_with_multipliers(netlist, delays, scaling, vdd, None)
+    }
+
+    /// Creates the engine with an optional per-gate delay multiplier (one
+    /// entry per netlist node), as produced by the synthesis-like timing
+    /// budgeting pass in [`crate::budget`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a multiplier slice is provided whose length differs from
+    /// the netlist size, or if `vdd` is not above the threshold voltage.
+    pub fn new_with_multipliers(
+        netlist: &Netlist,
+        delays: &DelayModel,
+        scaling: &VoltageScaling,
+        vdd: f64,
+        node_multipliers: Option<&[f64]>,
+    ) -> Self {
+        if let Some(m) = node_multipliers {
+            assert_eq!(m.len(), netlist.len(), "need one delay multiplier per netlist node");
+        }
+        let factor = scaling.delay_factor(vdd);
+        let gate_delays_ps = (0..netlist.len())
+            .map(|i| {
+                let m = node_multipliers.map_or(1.0, |m| m[i]);
+                delays.gate_delay(netlist, netlist.node(i)) * factor * m
+            })
+            .collect();
+        DynamicTimingAnalysis {
+            netlist: netlist.clone(),
+            gate_delays_ps,
+            sequential_overhead_ps: delays.sequential_overhead() * factor,
+            value_aware: true,
+        }
+    }
+
+    /// Disables value-dependent (controlling-value) early termination,
+    /// degenerating the analysis to a per-vector topological worst case.
+    ///
+    /// This exists for the ablation study in the benchmark harness: with
+    /// value awareness disabled, model C collapses towards model B.
+    pub fn with_value_awareness(mut self, value_aware: bool) -> Self {
+        self.value_aware = value_aware;
+        self
+    }
+
+    /// Whether controlling-value early termination is enabled.
+    pub fn is_value_aware(&self) -> bool {
+        self.value_aware
+    }
+
+    /// Sequential overhead included in reported delays, in picoseconds.
+    pub fn sequential_overhead_ps(&self) -> f64 {
+        self.sequential_overhead_ps
+    }
+
+    /// The netlist this engine analyses.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Analyses one primary-input vector and returns per-output values and
+    /// sensitised register-to-register delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input vector length does not match the netlist.
+    pub fn analyze(&self, inputs: &[bool]) -> DtaResult {
+        let netlist = &self.netlist;
+        assert_eq!(
+            inputs.len(),
+            netlist.input_count(),
+            "expected {} input values, got {}",
+            netlist.input_count(),
+            inputs.len()
+        );
+
+        let mut values = vec![false; netlist.len()];
+        let mut arrivals = vec![0.0f64; netlist.len()];
+        let mut next_input = 0usize;
+
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            match gate.kind {
+                GateKind::Input => {
+                    values[i] = inputs[next_input];
+                    next_input += 1;
+                    arrivals[i] = 0.0;
+                }
+                GateKind::Const(v) => {
+                    values[i] = v;
+                    arrivals[i] = 0.0;
+                }
+                kind => {
+                    let d = self.gate_delays_ps[i];
+                    let a = gate.a as usize;
+                    let va = values[a];
+                    let ta = arrivals[a];
+                    if kind.fanin_count() == 1 {
+                        values[i] = kind.eval(va, false);
+                        arrivals[i] = ta + d;
+                    } else {
+                        let b = gate.b as usize;
+                        let vb = values[b];
+                        let tb = arrivals[b];
+                        values[i] = kind.eval(va, vb);
+                        arrivals[i] = if self.value_aware {
+                            match kind.controlling_value() {
+                                Some(c) => match (va == c, vb == c) {
+                                    (true, true) => ta.min(tb) + d,
+                                    (true, false) => ta + d,
+                                    (false, true) => tb + d,
+                                    (false, false) => ta.max(tb) + d,
+                                },
+                                None => ta.max(tb) + d,
+                            }
+                        } else {
+                            ta.max(tb) + d
+                        };
+                    }
+                }
+            }
+        }
+
+        let output_values = netlist.outputs().iter().map(|o| values[o.node.index()]).collect();
+        let output_delays_ps = netlist
+            .outputs()
+            .iter()
+            .map(|o| arrivals[o.node.index()] + self.sequential_overhead_ps)
+            .collect();
+        DtaResult { output_values, output_delays_ps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_netlist::alu::{AluDatapath, AluOp};
+
+    fn engine(width: usize) -> (AluDatapath, DynamicTimingAnalysis) {
+        let alu = AluDatapath::build(width);
+        let dta = DynamicTimingAnalysis::new(
+            alu.netlist(),
+            &DelayModel::default_28nm(),
+            &VoltageScaling::default_28nm(),
+            0.7,
+        );
+        (alu, dta)
+    }
+
+    #[test]
+    fn values_match_functional_evaluation() {
+        let (alu, dta) = engine(8);
+        for op in AluOp::ALL {
+            for (a, b) in [(0u64, 0u64), (255, 255), (170, 85), (41, 200)] {
+                let inputs = alu.encode_inputs(op, a, b);
+                let res = dta.analyze(&inputs);
+                assert_eq!(res.output_values, alu.netlist().evaluate(&inputs), "{op}");
+            }
+        }
+    }
+
+    #[test]
+    fn dta_never_exceeds_sta() {
+        use crate::sta::StaticTimingAnalysis;
+        let (alu, dta) = engine(8);
+        let sta = StaticTimingAnalysis::run(
+            alu.netlist(),
+            &DelayModel::default_28nm(),
+            &VoltageScaling::default_28nm(),
+            0.7,
+        );
+        for op in AluOp::ALL {
+            for (a, b) in [(0u64, 0u64), (255, 255), (170, 85), (41, 200), (13, 13)] {
+                let inputs = alu.encode_inputs(op, a, b);
+                let res = dta.analyze(&inputs);
+                for (e, d) in res.output_delays_ps.iter().enumerate() {
+                    assert!(
+                        *d <= sta.endpoint_delay(e) + 1e-9,
+                        "{op} endpoint {e}: dynamic {d} > static {}",
+                        sta.endpoint_delay(e)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn data_dependence_of_multiplication() {
+        let (alu, dta) = engine(8);
+        let easy = dta.analyze(&alu.encode_inputs(AluOp::Mul, 0xFF, 0x00));
+        let hard = dta.analyze(&alu.encode_inputs(AluOp::Mul, 0xFF, 0xFF));
+        assert!(easy.worst_delay_ps() < hard.worst_delay_ps());
+    }
+
+    #[test]
+    fn instruction_dependence_add_vs_mul() {
+        // At the case-study width of 32 bits the multiplier path is longer
+        // than the adder path for the same operands.
+        let (alu, dta) = engine(32);
+        let add = dta.analyze(&alu.encode_inputs(AluOp::Add, 0xABCD_1234, 0xCD12_99AB));
+        let mul = dta.analyze(&alu.encode_inputs(AluOp::Mul, 0xABCD_1234, 0xCD12_99AB));
+        assert!(mul.worst_delay_ps() > add.worst_delay_ps());
+    }
+
+    #[test]
+    fn value_awareness_ablation_is_more_pessimistic() {
+        let (alu, aware) = engine(8);
+        let blind = aware.clone().with_value_awareness(false);
+        assert!(aware.is_value_aware());
+        assert!(!blind.is_value_aware());
+        let inputs = alu.encode_inputs(AluOp::Add, 1, 1);
+        let a = aware.analyze(&inputs);
+        let b = blind.analyze(&inputs);
+        assert!(b.worst_delay_ps() >= a.worst_delay_ps());
+        // Values are unaffected by the timing mode.
+        assert_eq!(a.output_values, b.output_values);
+    }
+
+    #[test]
+    fn higher_voltage_shortens_delays() {
+        let alu = AluDatapath::build(8);
+        let slow = DynamicTimingAnalysis::new(
+            alu.netlist(),
+            &DelayModel::default_28nm(),
+            &VoltageScaling::default_28nm(),
+            0.7,
+        );
+        let fast = DynamicTimingAnalysis::new(
+            alu.netlist(),
+            &DelayModel::default_28nm(),
+            &VoltageScaling::default_28nm(),
+            0.8,
+        );
+        let inputs = alu.encode_inputs(AluOp::Mul, 0x7F, 0x3B);
+        assert!(fast.analyze(&inputs).worst_delay_ps() < slow.analyze(&inputs).worst_delay_ps());
+    }
+
+    #[test]
+    fn netlist_accessor_matches() {
+        let (alu, dta) = engine(8);
+        assert_eq!(dta.netlist().len(), alu.netlist().len());
+        assert!(dta.sequential_overhead_ps() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn wrong_input_length_panics() {
+        let (_alu, dta) = engine(8);
+        dta.analyze(&[true, false]);
+    }
+}

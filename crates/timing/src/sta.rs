@@ -1,0 +1,206 @@
+//! Static timing analysis (STA): topological worst-case arrival times.
+//!
+//! STA ignores logic values entirely — every path is assumed sensitisable —
+//! which is exactly the pessimism the paper's fault-injection **model B**
+//! inherits and that motivates the dynamic analysis of model C.
+
+use crate::units::period_ps_to_freq_mhz;
+use sfi_netlist::{DelayModel, Netlist, VoltageScaling};
+
+/// Result of a static timing analysis over a [`Netlist`].
+///
+/// All delays are in picoseconds and include the sequential overhead
+/// (launch-register clock-to-q plus capture-register setup time), i.e. they
+/// are directly comparable to a clock period.
+///
+/// # Example
+///
+/// ```
+/// use sfi_netlist::alu::AluDatapath;
+/// use sfi_netlist::{DelayModel, VoltageScaling};
+/// use sfi_timing::StaticTimingAnalysis;
+///
+/// let alu = AluDatapath::build(8);
+/// let sta = StaticTimingAnalysis::run(
+///     alu.netlist(),
+///     &DelayModel::default_28nm(),
+///     &VoltageScaling::default_28nm(),
+///     0.7,
+/// );
+/// // The most significant result bit is on a longer path than bit 0.
+/// assert!(sta.endpoint_delay(7) >= sta.endpoint_delay(0));
+/// assert!(sta.max_frequency_mhz() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticTimingAnalysis {
+    endpoint_delays_ps: Vec<f64>,
+    node_arrivals_ps: Vec<f64>,
+    sequential_overhead_ps: f64,
+    vdd: f64,
+}
+
+impl StaticTimingAnalysis {
+    /// Runs STA over `netlist` with the given delay model at supply voltage
+    /// `vdd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not above the threshold voltage of `scaling`.
+    pub fn run(
+        netlist: &Netlist,
+        delays: &DelayModel,
+        scaling: &VoltageScaling,
+        vdd: f64,
+    ) -> Self {
+        Self::run_with_multipliers(netlist, delays, scaling, vdd, None)
+    }
+
+    /// Runs STA with an optional per-gate delay multiplier (one entry per
+    /// netlist node).  This is how the synthesis-like timing-budgeting pass
+    /// (see [`crate::budget`]) injects per-unit sizing into the analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a multiplier slice is provided whose length differs from
+    /// the netlist size, or if `vdd` is not above the threshold voltage.
+    pub fn run_with_multipliers(
+        netlist: &Netlist,
+        delays: &DelayModel,
+        scaling: &VoltageScaling,
+        vdd: f64,
+        node_multipliers: Option<&[f64]>,
+    ) -> Self {
+        if let Some(m) = node_multipliers {
+            assert_eq!(m.len(), netlist.len(), "need one delay multiplier per netlist node");
+        }
+        let factor = scaling.delay_factor(vdd);
+        let mut arrivals = vec![0.0f64; netlist.len()];
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            if gate.kind.is_source() {
+                continue;
+            }
+            let m = node_multipliers.map_or(1.0, |m| m[i]);
+            let d = delays.gate_delay(netlist, netlist.node(i)) * factor * m;
+            let ta = arrivals[gate.a as usize];
+            let tb = if gate.kind.fanin_count() == 2 { arrivals[gate.b as usize] } else { 0.0 };
+            arrivals[i] = ta.max(tb) + d;
+        }
+        let overhead = delays.sequential_overhead() * factor;
+        let endpoint_delays_ps = netlist
+            .outputs()
+            .iter()
+            .map(|o| arrivals[o.node.index()] + overhead)
+            .collect();
+        StaticTimingAnalysis {
+            endpoint_delays_ps,
+            node_arrivals_ps: arrivals,
+            sequential_overhead_ps: overhead,
+            vdd,
+        }
+    }
+
+    /// Supply voltage the analysis was performed at.
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Sequential overhead (clock-to-q + setup) included in the endpoint
+    /// delays, in picoseconds.
+    pub fn sequential_overhead_ps(&self) -> f64 {
+        self.sequential_overhead_ps
+    }
+
+    /// Worst-case register-to-register delay of endpoint `endpoint`
+    /// (output index), in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoint` is out of range.
+    pub fn endpoint_delay(&self, endpoint: usize) -> f64 {
+        self.endpoint_delays_ps[endpoint]
+    }
+
+    /// Worst-case delays of all endpoints, in output order.
+    pub fn endpoint_delays(&self) -> &[f64] {
+        &self.endpoint_delays_ps
+    }
+
+    /// The critical-path delay (worst endpoint delay) in picoseconds.
+    pub fn critical_path_ps(&self) -> f64 {
+        self.endpoint_delays_ps.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The static timing limit: the maximum clock frequency (MHz) at which
+    /// no endpoint violates its worst-case delay.
+    pub fn max_frequency_mhz(&self) -> f64 {
+        period_ps_to_freq_mhz(self.critical_path_ps())
+    }
+
+    /// Whether endpoint `endpoint` violates timing at the given clock period.
+    pub fn violates(&self, endpoint: usize, period_ps: f64) -> bool {
+        self.endpoint_delays_ps[endpoint] > period_ps
+    }
+
+    /// Internal node arrival times (without sequential overhead), mainly for
+    /// inspection and tests.
+    pub fn node_arrivals(&self) -> &[f64] {
+        &self.node_arrivals_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_netlist::alu::AluDatapath;
+
+    fn sta_for(width: usize, vdd: f64) -> StaticTimingAnalysis {
+        let alu = AluDatapath::build(width);
+        StaticTimingAnalysis::run(
+            alu.netlist(),
+            &DelayModel::default_28nm(),
+            &VoltageScaling::default_28nm(),
+            vdd,
+        )
+    }
+
+    #[test]
+    fn critical_path_positive_and_msb_slower() {
+        let sta = sta_for(16, 0.7);
+        assert!(sta.critical_path_ps() > 0.0);
+        assert!(sta.endpoint_delay(15) > sta.endpoint_delay(0));
+        assert_eq!(sta.endpoint_delays().len(), 16);
+    }
+
+    #[test]
+    fn higher_voltage_is_faster() {
+        let slow = sta_for(8, 0.7);
+        let fast = sta_for(8, 0.9);
+        assert!(fast.critical_path_ps() < slow.critical_path_ps());
+        assert!(fast.max_frequency_mhz() > slow.max_frequency_mhz());
+    }
+
+    #[test]
+    fn violation_threshold() {
+        let sta = sta_for(8, 0.7);
+        let cp = sta.critical_path_ps();
+        let worst = sta
+            .endpoint_delays()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(sta.violates(worst, cp * 0.99));
+        assert!(!sta.violates(worst, cp * 1.01));
+    }
+
+    #[test]
+    fn overhead_included() {
+        let sta = sta_for(8, 0.7);
+        assert!(sta.sequential_overhead_ps() > 0.0);
+        for &d in sta.endpoint_delays() {
+            assert!(d >= sta.sequential_overhead_ps());
+        }
+        assert_eq!(sta.vdd(), 0.7);
+    }
+}

@@ -1,0 +1,71 @@
+//! Frequency/period conversion helpers.
+//!
+//! The whole workspace expresses clock frequencies in megahertz and gate or
+//! path delays in picoseconds; these two helpers are the single place where
+//! the conversion factor lives.
+
+/// Converts a clock frequency in MHz to the clock period in picoseconds.
+///
+/// # Panics
+///
+/// Panics if `freq_mhz` is not strictly positive.
+///
+/// # Example
+///
+/// ```
+/// use sfi_timing::freq_mhz_to_period_ps;
+/// assert!((freq_mhz_to_period_ps(1000.0) - 1000.0).abs() < 1e-9);
+/// assert!((freq_mhz_to_period_ps(707.0) - 1414.4271).abs() < 1e-3);
+/// ```
+pub fn freq_mhz_to_period_ps(freq_mhz: f64) -> f64 {
+    assert!(freq_mhz > 0.0, "frequency must be positive, got {freq_mhz} MHz");
+    1.0e6 / freq_mhz
+}
+
+/// Converts a clock period in picoseconds to the frequency in MHz.
+///
+/// # Panics
+///
+/// Panics if `period_ps` is not strictly positive.
+///
+/// # Example
+///
+/// ```
+/// use sfi_timing::period_ps_to_freq_mhz;
+/// assert!((period_ps_to_freq_mhz(1000.0) - 1000.0).abs() < 1e-9);
+/// ```
+pub fn period_ps_to_freq_mhz(period_ps: f64) -> f64 {
+    assert!(period_ps > 0.0, "period must be positive, got {period_ps} ps");
+    1.0e6 / period_ps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for f in [1.0, 100.0, 707.0, 1150.0, 2000.0] {
+            let p = freq_mhz_to_period_ps(f);
+            assert!((period_ps_to_freq_mhz(p) - f).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((freq_mhz_to_period_ps(500.0) - 2000.0).abs() < 1e-9);
+        assert!((period_ps_to_freq_mhz(2000.0) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_frequency_panics() {
+        freq_mhz_to_period_ps(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn negative_period_panics() {
+        period_ps_to_freq_mhz(-1.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Property-based tests of the timing-statistics data structures.
+
+use proptest::prelude::*;
+use sfi_netlist::VoltageScaling;
+use sfi_timing::{ErrorCdf, VddDelayCurve, VoltageNoise};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cdf_probability_is_monotone_and_bounded(
+        mut samples in prop::collection::vec(1.0f64..5000.0, 1..50),
+        p1 in 0.0f64..6000.0,
+        p2 in 0.0f64..6000.0,
+    ) {
+        samples.iter_mut().for_each(|s| *s = s.abs());
+        let cdf = ErrorCdf::from_samples(samples);
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let e_lo = cdf.error_probability(lo);
+        let e_hi = cdf.error_probability(hi);
+        prop_assert!((0.0..=1.0).contains(&e_lo));
+        prop_assert!((0.0..=1.0).contains(&e_hi));
+        // A longer available period can never increase the error probability.
+        prop_assert!(e_hi <= e_lo + 1e-12);
+    }
+
+    #[test]
+    fn cdf_extremes(samples in prop::collection::vec(1.0f64..5000.0, 1..50)) {
+        let cdf = ErrorCdf::from_samples(samples);
+        let max = cdf.max_delay_ps().expect("non-empty");
+        let min = cdf.min_delay_ps().expect("non-empty");
+        prop_assert_eq!(cdf.error_probability(max), 0.0);
+        prop_assert_eq!(cdf.error_probability(min - 1.0), 1.0);
+    }
+
+    #[test]
+    fn vdd_curve_monotone(v1 in 0.6f64..1.0, v2 in 0.6f64..1.0) {
+        let curve = VddDelayCurve::from_scaling(&VoltageScaling::default_28nm(), 0.6, 1.0, 5);
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(curve.delay_factor(hi) <= curve.delay_factor(lo) + 1e-12);
+    }
+
+    #[test]
+    fn noise_samples_respect_clipping(sigma_mv in 0.0f64..50.0, seed in any::<u64>()) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let noise = VoltageNoise::with_sigma_mv(sigma_mv);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let v = noise.sample_volts(&mut rng);
+            prop_assert!(v.abs() <= noise.max_excursion_volts() + 1e-15);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Approximate-computing trade-off: how much core power can be saved by
+//! under-volting (at a fixed clock) if some output-quality degradation of
+//! the median kernel is acceptable — the analysis of the paper's Fig. 7.
+//!
+//! Run with `cargo run --release --example approximate_power_tradeoff`.
+
+use sfi_core::experiment::{run_experiment, FaultModel};
+use sfi_core::power::{equivalent_voltage_for_gain, PowerModel};
+use sfi_core::study::{CaseStudy, CaseStudyConfig};
+use sfi_fault::OperatingPoint;
+use sfi_kernels::median::MedianBenchmark;
+
+fn main() {
+    let study = CaseStudy::build(CaseStudyConfig {
+        alu_width: 16,
+        cycles_per_op: 128,
+        voltages: vec![0.7],
+        ..CaseStudyConfig::paper()
+    });
+    let power = PowerModel::paper_28nm();
+    let bench = MedianBenchmark::new(129, 9);
+    let sta = study.sta_limit_mhz(0.7);
+
+    println!("median kernel, model C, 10 mV supply noise, clock fixed at {sta:.0} MHz");
+    println!("{:>8} {:>12} {:>14} {:>16}", "gain", "equiv. Vdd", "norm. power", "avg rel. error");
+    for i in 0..8 {
+        let gain = 1.0 + 0.04 * i as f64;
+        let point = OperatingPoint::new(sta * gain, 0.7).with_noise_sigma_mv(10.0);
+        let summary = run_experiment(&study, &bench, FaultModel::StatisticalDta, point, 8, 21);
+        let finished = summary.finished_fraction();
+        let err = finished * summary.mean_output_error().max(0.0) + (1.0 - finished);
+        let vdd = equivalent_voltage_for_gain(study.vdd_delay_curve(), 0.7, gain);
+        println!(
+            "{:>8.2} {:>11.3} V {:>14.3} {:>15.1}%",
+            gain,
+            vdd,
+            power.normalized_power(vdd, sta),
+            100.0 * err
+        );
+    }
+}

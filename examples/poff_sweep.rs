@@ -1,0 +1,47 @@
+//! Point-of-first-failure sweep: locate, for every benchmark of the paper's
+//! suite, the frequency at which it first stops producing fully correct
+//! results, and report the gain over the static timing limit.
+//!
+//! Run with `cargo run --release --example poff_sweep`.
+
+use sfi_core::experiment::{
+    frequency_grid, frequency_sweep, overscaling_gain, point_of_first_failure, FaultModel,
+};
+use sfi_core::study::{CaseStudy, CaseStudyConfig};
+use sfi_fault::OperatingPoint;
+use sfi_kernels::paper_suite;
+
+fn main() {
+    let study = CaseStudy::build(CaseStudyConfig {
+        alu_width: 16,
+        cycles_per_op: 128,
+        voltages: vec![0.7],
+        ..CaseStudyConfig::paper()
+    });
+    let sta = study.sta_limit_mhz(0.7);
+    println!("STA limit @ 0.7 V: {sta:.1} MHz  (noise sigma = 10 mV, model C)\n");
+    println!("{:<16} {:>12} {:>14}", "benchmark", "PoFF [MHz]", "gain over STA");
+
+    let point = OperatingPoint::new(sta, 0.7).with_noise_sigma_mv(10.0);
+    for bench in paper_suite(5) {
+        let freqs = frequency_grid(sta * 0.95, sta * 1.4, 10);
+        let sweep = frequency_sweep(
+            &study,
+            bench.as_ref(),
+            FaultModel::StatisticalDta,
+            point,
+            &freqs,
+            5,
+            3,
+        );
+        match point_of_first_failure(&sweep) {
+            Some(poff) => println!(
+                "{:<16} {:>12.1} {:>+13.1}%",
+                bench.name(),
+                poff,
+                100.0 * overscaling_gain(poff, sta)
+            ),
+            None => println!("{:<16} {:>12} {:>14}", bench.name(), "> sweep end", "-"),
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Quickstart: characterize the core, run the median benchmark under the
+//! statistical fault-injection model C near the STA limit, and print the
+//! paper's four metrics.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use sfi_core::experiment::{run_experiment, FaultModel};
+use sfi_core::study::{CaseStudy, CaseStudyConfig};
+use sfi_fault::OperatingPoint;
+use sfi_kernels::median::MedianBenchmark;
+
+fn main() {
+    // Build a scaled-down case study so the example runs in seconds; use
+    // `CaseStudyConfig::paper()` for the full 32-bit core.
+    println!("characterizing the execution-stage datapath ...");
+    let study = CaseStudy::build(CaseStudyConfig {
+        alu_width: 16,
+        cycles_per_op: 128,
+        voltages: vec![0.7],
+        ..CaseStudyConfig::paper()
+    });
+    let sta = study.sta_limit_mhz(0.7);
+    println!("static timing limit @ 0.7 V: {sta:.1} MHz");
+
+    let bench = MedianBenchmark::new(129, 42);
+    for overscale in [0.95, 1.05, 1.15, 1.3] {
+        let point = OperatingPoint::new(sta * overscale, 0.7).with_noise_sigma_mv(10.0);
+        let summary = run_experiment(&study, &bench, FaultModel::StatisticalDta, point, 10, 7);
+        println!(
+            "f = {:7.1} MHz ({:+5.1}% vs STA): finished {:5.1}%  correct {:5.1}%  FI rate {:7.2}/kCycle  rel. error {:5.1}%",
+            point.freq_mhz(),
+            100.0 * (overscale - 1.0),
+            100.0 * summary.finished_fraction(),
+            100.0 * summary.correct_fraction(),
+            summary.mean_fi_rate(),
+            100.0 * summary.mean_output_error().max(0.0)
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Integration tests of the characterization pipeline: budgeting,
+//! calibration, per-voltage CDFs and their consumption by the fault models.
+
+use sfi_core::study::{CaseStudy, CaseStudyConfig};
+use sfi_netlist::alu::AluOp;
+
+fn study_with_two_voltages() -> CaseStudy {
+    CaseStudy::build(CaseStudyConfig {
+        voltages: vec![0.7, 0.8],
+        ..CaseStudyConfig::fast_for_tests()
+    })
+}
+
+#[test]
+fn sta_limit_is_calibrated_and_scales_with_voltage() {
+    let study = study_with_two_voltages();
+    assert!((study.sta_limit_mhz(0.7) - 707.0).abs() < 1.0);
+    // Paper: ~858 MHz at 0.8 V for the same netlist (alpha-power scaling).
+    let limit_08 = study.sta_limit_mhz(0.8);
+    assert!(limit_08 > 800.0 && limit_08 < 950.0, "0.8 V limit {limit_08}");
+}
+
+#[test]
+fn per_instruction_failure_ordering_matches_the_paper() {
+    let study = study_with_two_voltages();
+    let ch = study.characterization(0.7);
+    let mul = ch.first_failure_frequency_mhz(AluOp::Mul);
+    let add = ch.first_failure_frequency_mhz(AluOp::Add);
+    let xor = ch.first_failure_frequency_mhz(AluOp::Xor);
+    let sll = ch.first_failure_frequency_mhz(AluOp::Sll);
+    assert!(mul < add, "mul ({mul}) must fail before add ({add})");
+    assert!(add < sll, "add ({add}) must fail before shifts ({sll})");
+    assert!(add < xor, "add ({add}) must fail before logic ({xor})");
+    // The multiplier's first failures sit close to the STA limit (the
+    // pessimism gap of STA vs DTA is small for the critical instruction).
+    assert!(mul < 1.35 * study.sta_limit_mhz(0.7));
+}
+
+#[test]
+fn higher_voltage_shifts_cdfs_to_higher_frequencies() {
+    let study = study_with_two_voltages();
+    let msb = study.endpoint_count() - 1;
+    let ch07 = study.characterization(0.7);
+    let ch08 = study.characterization(0.8);
+    // At a frequency where the 0.7 V multiplier already fails often, the
+    // 0.8 V one fails less often (Fig. 2's right shift).
+    let f = ch07.first_failure_frequency_mhz(AluOp::Mul) * 1.2;
+    let p07 = ch07.error_probability_at_freq(AluOp::Mul, msb, f, 1.0);
+    let p08 = ch08.error_probability_at_freq(AluOp::Mul, msb, f, 1.0);
+    assert!(p07 > p08, "P@0.7V ({p07}) must exceed P@0.8V ({p08})");
+}
+
+#[test]
+fn bit_significance_ordering_of_failures() {
+    let study = study_with_two_voltages();
+    let ch = study.characterization(0.7);
+    let width = study.endpoint_count();
+    // Compare a low and a high result bit of the adder at a frequency in
+    // the adder's transition region: the high bit fails more often.
+    let f = ch.first_failure_frequency_mhz(AluOp::Add) * 1.25;
+    let p_low = ch.error_probability_at_freq(AluOp::Add, 1, f, 1.0);
+    let p_high = ch.error_probability_at_freq(AluOp::Add, width - 1, f, 1.0);
+    assert!(
+        p_high >= p_low,
+        "higher-significance bits fail at least as often (low {p_low}, high {p_high})"
+    );
+    assert!(p_high > 0.0);
+}
+
+#[test]
+fn droop_scaling_increases_every_error_probability() {
+    let study = study_with_two_voltages();
+    let ch = study.characterization(0.7);
+    let msb = study.endpoint_count() - 1;
+    let f = ch.first_failure_frequency_mhz(AluOp::Mul) * 1.05;
+    let nominal = ch.error_probability_at_freq(AluOp::Mul, msb, f, 1.0);
+    let droop = ch.error_probability_at_freq(AluOp::Mul, msb, f, 1.08);
+    assert!(droop >= nominal);
+    assert!(droop > 0.0);
+}
