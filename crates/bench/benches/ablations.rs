@@ -7,9 +7,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sfi_netlist::alu::{AluDatapath, AluOp};
 use sfi_netlist::{DelayModel, VoltageScaling};
-use sfi_timing::{
-    characterize_alu, CharacterizationConfig, DynamicTimingAnalysis, VoltageNoise,
-};
+use sfi_timing::{characterize_alu, CharacterizationConfig, DynamicTimingAnalysis, VoltageNoise};
 
 fn bench_value_awareness(c: &mut Criterion) {
     let alu = AluDatapath::build(16);
@@ -37,7 +35,10 @@ fn bench_characterization_length(c: &mut Criterion) {
                     &alu,
                     &DelayModel::default_28nm(),
                     &VoltageScaling::default_28nm(),
-                    &CharacterizationConfig { cycles_per_op: cycles, ..Default::default() },
+                    &CharacterizationConfig {
+                        cycles_per_op: cycles,
+                        ..Default::default()
+                    },
                 )
             })
         });

@@ -12,7 +12,10 @@ use sfi_kernels::median::MedianBenchmark;
 use sfi_netlist::alu::AluOp;
 
 fn study() -> CaseStudy {
-    CaseStudy::build(CaseStudyConfig { voltages: vec![0.7, 0.8], ..CaseStudyConfig::fast_for_tests() })
+    CaseStudy::build(CaseStudyConfig {
+        voltages: vec![0.7, 0.8],
+        ..CaseStudyConfig::fast_for_tests()
+    })
 }
 
 fn bench_fig1_series(c: &mut Criterion) {
@@ -42,9 +45,12 @@ fn bench_fig2_series(c: &mut Criterion) {
             for f in [700.0, 900.0, 1100.0, 1300.0] {
                 for bit in [1usize, 6] {
                     for vdd in [0.7, 0.8] {
-                        acc += study
-                            .characterization(vdd)
-                            .error_probability_at_freq(AluOp::Mul, bit, f, 1.0);
+                        acc += study.characterization(vdd).error_probability_at_freq(
+                            AluOp::Mul,
+                            bit,
+                            f,
+                            1.0,
+                        );
                     }
                 }
             }

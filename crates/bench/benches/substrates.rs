@@ -17,7 +17,9 @@ fn bench_dta(c: &mut Criterion) {
         0.7,
     );
     let inputs = alu.encode_inputs(AluOp::Mul, 0xDEAD_BEEF, 0x1234_5678);
-    c.bench_function("dta_analyze_32bit_alu_vector", |b| b.iter(|| dta.analyze(&inputs)));
+    c.bench_function("dta_analyze_32bit_alu_vector", |b| {
+        b.iter(|| dta.analyze(&inputs))
+    });
 }
 
 fn bench_sta(c: &mut Criterion) {

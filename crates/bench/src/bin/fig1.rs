@@ -9,19 +9,37 @@ use sfi_kernels::median::MedianBenchmark;
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    print_header("Fig. 1: median under models B / B+ near the STA limit", &args);
+    print_header(
+        "Fig. 1: median under models B / B+ near the STA limit",
+        &args,
+    );
     let study = args.build_study();
     let bench = MedianBenchmark::new(129, 1);
     let sta = study.sta_limit_mhz(0.7);
     println!("STA limit @ 0.7 V: {sta:.1} MHz");
 
     for (label, sigma_mv, model) in [
-        ("(a) model B,  sigma = 0 mV", 0.0, FaultModel::StaPeriodViolation),
-        ("(b) model B+, sigma = 10 mV", 10.0, FaultModel::StaWithNoise),
-        ("(c) model B+, sigma = 25 mV", 25.0, FaultModel::StaWithNoise),
+        (
+            "(a) model B,  sigma = 0 mV",
+            0.0,
+            FaultModel::StaPeriodViolation,
+        ),
+        (
+            "(b) model B+, sigma = 10 mV",
+            10.0,
+            FaultModel::StaWithNoise,
+        ),
+        (
+            "(c) model B+, sigma = 25 mV",
+            25.0,
+            FaultModel::StaWithNoise,
+        ),
     ] {
         println!("\n--- {label} ---");
-        println!("{:>10} {:>10} {:>10} {:>14}", "f [MHz]", "finished", "correct", "FI/kCycle");
+        println!(
+            "{:>10} {:>10} {:>10} {:>14}",
+            "f [MHz]", "finished", "correct", "FI/kCycle"
+        );
         let point = OperatingPoint::new(sta, 0.7).with_noise_sigma_mv(sigma_mv);
         // Scan a narrow band around the first point of fault injection,
         // which moves to lower frequencies as the noise level grows.

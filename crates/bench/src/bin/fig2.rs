@@ -6,7 +6,10 @@ use sfi_netlist::alu::AluOp;
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    print_header("Fig. 2: timing-error CDFs per instruction / endpoint / voltage", &args);
+    print_header(
+        "Fig. 2: timing-error CDFs per instruction / endpoint / voltage",
+        &args,
+    );
     let study = args.build_study();
     let bits: [usize; 2] = if args.fast { [1, 6] } else { [3, 24] };
 
@@ -29,7 +32,9 @@ fn main() {
         for op in [AluOp::Mul, AluOp::Add] {
             for &bit in &bits {
                 for vdd in [0.7, 0.8] {
-                    let p = study.characterization(vdd).error_probability_at_freq(op, bit, f, 1.0);
+                    let p = study
+                        .characterization(vdd)
+                        .error_probability_at_freq(op, bit, f, 1.0);
                     row.push_str(&format!(" {:>9.1}%", 100.0 * p));
                 }
             }
@@ -38,5 +43,7 @@ fn main() {
     }
     println!();
     println!("Expected shape: multiplication CDFs rise at lower frequencies than addition,");
-    println!("high-significance bits fail earlier than low ones, and 0.8 V shifts every CDF right.");
+    println!(
+        "high-significance bits fail earlier than low ones, and 0.8 V shifts every CDF right."
+    );
 }

@@ -2,66 +2,84 @@
 //! matrix-multiplication (8- and 16-bit), k-means and Dijkstra benchmarks
 //! at 0.7 V with 10 mV supply noise, under model C, contrasted with the
 //! hard failure threshold of model B+.
+//!
+//! The B+ probe and all four benchmark sweeps are cells of one
+//! [`CampaignSpec`] executed by the parallel campaign engine.
 
 use sfi_bench::{print_header, ExperimentArgs};
-use sfi_core::experiment::{
-    frequency_grid, frequency_sweep, overscaling_gain, point_of_first_failure, FaultModel,
-};
+use sfi_campaign::{CampaignSpec, TrialBudget};
+use sfi_core::experiment::{frequency_grid, overscaling_gain, point_of_first_failure, FaultModel};
 use sfi_fault::OperatingPoint;
 use sfi_kernels::dijkstra::DijkstraBenchmark;
 use sfi_kernels::kmeans::KMeansBenchmark;
 use sfi_kernels::matmul::{ElementWidth, MatrixMultiplyBenchmark};
-use sfi_kernels::Benchmark;
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    print_header("Fig. 6: benchmark comparison under model C (0.7 V, sigma = 10 mV)", &args);
+    print_header(
+        "Fig. 6: benchmark comparison under model C (0.7 V, sigma = 10 mV)",
+        &args,
+    );
     let study = args.build_study();
     let sta = study.sta_limit_mhz(0.7);
     println!("STA limit @ 0.7 V: {sta:.1} MHz");
 
-    let benches: Vec<Box<dyn Benchmark>> = vec![
-        Box::new(MatrixMultiplyBenchmark::new(16, ElementWidth::Bits8, 2)),
-        Box::new(MatrixMultiplyBenchmark::new(16, ElementWidth::Bits16, 2)),
-        Box::new(KMeansBenchmark::new(8, 2, 12, 2)),
-        Box::new(DijkstraBenchmark::new(10, 2)),
-    ];
-    let panels = ["(a)", "(b)", "(c)", "(d)"];
     let point = OperatingPoint::new(sta, 0.7).with_noise_sigma_mv(10.0);
+    let mut spec = CampaignSpec::new("fig6", 13);
+    let benches = [
+        spec.add_benchmark(MatrixMultiplyBenchmark::new(16, ElementWidth::Bits8, 2)),
+        spec.add_benchmark(MatrixMultiplyBenchmark::new(16, ElementWidth::Bits16, 2)),
+        spec.add_benchmark(KMeansBenchmark::new(8, 2, 12, 2)),
+        spec.add_benchmark(DijkstraBenchmark::new(10, 2)),
+    ];
 
     // Model B+ hard threshold, identical for all benchmarks.
     let probe = frequency_grid(sta * 0.9, sta * 1.05, 16);
-    let bplus = frequency_sweep(
-        &study,
-        benches[0].as_ref(),
+    let bplus_cells = spec.add_frequency_sweep(
+        benches[0],
         FaultModel::StaWithNoise,
         point,
         &probe,
-        args.trials.min(5),
-        3,
+        TrialBudget::fixed(args.trials.min(5)),
     );
-    if let Some(threshold) = point_of_first_failure(&bplus) {
+
+    let panels = ["(a)", "(b)", "(c)", "(d)"];
+    let sweeps: Vec<_> = benches
+        .iter()
+        .map(|&bench| {
+            // Dijkstra has a very narrow transition region; sweep it more
+            // finely.
+            let name = spec.benchmarks()[bench].name();
+            let span = if name == "dijkstra" { 1.12 } else { 1.35 };
+            let freqs = frequency_grid(sta * 0.95, sta * span, args.points);
+            spec.add_frequency_sweep(
+                bench,
+                FaultModel::StatisticalDta,
+                point,
+                &freqs,
+                TrialBudget::fixed(args.trials),
+            )
+        })
+        .collect();
+
+    let result = args.engine().run(&study, &spec);
+
+    if let Some(threshold) = point_of_first_failure(&result.sweep_points(&spec, bplus_cells)) {
         println!("model B+ hard failure threshold (all benchmarks): {threshold:.1} MHz\n");
     }
 
-    for (panel, bench) in panels.iter().zip(&benches) {
-        println!("--- {panel} {} (error metric: {}) ---", bench.name(), bench.error_metric());
+    for (panel, (bench, cells)) in panels.iter().zip(benches.iter().zip(sweeps)) {
+        let bench = &spec.benchmarks()[*bench];
+        println!(
+            "--- {panel} {} (error metric: {}) ---",
+            bench.name(),
+            bench.error_metric()
+        );
         println!(
             "{:>10} {:>10} {:>10} {:>12} {:>14}",
             "f [MHz]", "finished", "correct", "FI/kCycle", "output error"
         );
-        // Dijkstra has a very narrow transition region; sweep it more finely.
-        let span = if bench.name() == "dijkstra" { 1.12 } else { 1.35 };
-        let freqs = frequency_grid(sta * 0.95, sta * span, args.points);
-        let sweep = frequency_sweep(
-            &study,
-            bench.as_ref(),
-            FaultModel::StatisticalDta,
-            point,
-            &freqs,
-            args.trials,
-            13,
-        );
+        let sweep = result.sweep_points(&spec, cells);
         for p in &sweep {
             println!(
                 "{:>10.1} {:>9.0}% {:>9.0}% {:>12.2} {:>14.4}",

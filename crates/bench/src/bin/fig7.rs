@@ -1,52 +1,67 @@
 //! Fig. 7: relative output error vs normalized core power for the median
 //! benchmark (model C), translating frequency-over-scaling headroom into an
 //! equivalent supply-voltage reduction at a fixed 707 MHz clock.
+//!
+//! All three noise series form one [`CampaignSpec`] (σ × gain grid) run by
+//! the parallel campaign engine.
 
 use sfi_bench::{print_header, ExperimentArgs};
-use sfi_core::experiment::{run_experiment, FaultModel};
+use sfi_campaign::{CampaignSpec, TrialBudget};
+use sfi_core::experiment::FaultModel;
 use sfi_core::power::{equivalent_voltage_for_gain, PowerModel, TradeoffPoint};
 use sfi_fault::OperatingPoint;
 use sfi_kernels::median::MedianBenchmark;
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    print_header("Fig. 7: error vs core power trade-off for median (model C)", &args);
+    print_header(
+        "Fig. 7: error vs core power trade-off for median (model C)",
+        &args,
+    );
     let study = args.build_study();
-    let bench = MedianBenchmark::new(129, 1);
     let power = PowerModel::paper_28nm();
     let sta = study.sta_limit_mhz(0.7);
     let curve = study.vdd_delay_curve();
     println!("nominal operating point: {sta:.1} MHz @ 0.700 V, normalized power 1.000\n");
 
-    for sigma in [0.0, 10.0, 25.0] {
+    let sigmas = [0.0, 10.0, 25.0];
+    let gains: Vec<f64> = (0..args.points)
+        .map(|i| 1.0 + 0.30 * i as f64 / (args.points - 1) as f64)
+        .collect();
+
+    let mut spec = CampaignSpec::new("fig7", 17);
+    let median = spec.add_benchmark(MedianBenchmark::new(129, 1));
+    let series: Vec<_> = sigmas
+        .iter()
+        .map(|&sigma| {
+            let base = OperatingPoint::new(sta, 0.7).with_noise_sigma_mv(sigma);
+            let freqs: Vec<f64> = gains.iter().map(|g| sta * g).collect();
+            spec.add_frequency_sweep(
+                median,
+                FaultModel::StatisticalDta,
+                base,
+                &freqs,
+                TrialBudget::fixed(args.trials),
+            )
+        })
+        .collect();
+
+    let result = args.engine().run(&study, &spec);
+
+    for (&sigma, cells) in sigmas.iter().zip(series) {
         println!("--- Vdd noise sigma = {sigma} mV ---");
         println!(
             "{:>8} {:>12} {:>16} {:>18}",
             "gain", "equiv. Vdd", "norm. power", "avg rel. error"
         );
         let mut points = Vec::new();
-        for i in 0..args.points {
-            let gain = 1.0 + 0.30 * i as f64 / (args.points - 1) as f64;
-            // Simulate the equivalent over-scaled frequency at 0.7 V.
-            let freq = sta * gain;
-            let point = OperatingPoint::new(freq, 0.7).with_noise_sigma_mv(sigma);
-            let summary = run_experiment(
-                &study,
-                &bench,
-                FaultModel::StatisticalDta,
-                point,
-                args.trials,
-                17,
-            );
+        for (gain, cell) in gains.iter().zip(cells) {
+            let stats = &result.cells[cell].stats;
             // Error accounting: runs that do not finish count as 100 % error.
-            let finished = summary.finished_fraction();
-            let mean_err = if summary.mean_output_error().is_nan() {
-                1.0
-            } else {
-                summary.mean_output_error()
-            };
+            let finished = stats.finished_fraction();
+            let mean_err = stats.mean_output_error().unwrap_or(1.0);
             let error = finished * mean_err + (1.0 - finished);
-            let vdd = equivalent_voltage_for_gain(curve, 0.7, gain);
+            let vdd = equivalent_voltage_for_gain(curve, 0.7, *gain);
             let tp = TradeoffPoint {
                 vdd,
                 normalized_power: power.normalized_power(vdd, sta),
@@ -62,7 +77,11 @@ fn main() {
             points.push(tp);
         }
         // Report the PoFF-equivalent point (last error-free point).
-        if let Some(poff) = points.iter().take_while(|p| p.average_relative_error == 0.0).last() {
+        if let Some(poff) = points
+            .iter()
+            .take_while(|p| p.average_relative_error == 0.0)
+            .last()
+        {
             println!(
                 "error-free down to {:.3} V ({:.2}x power)",
                 poff.vdd, poff.normalized_power

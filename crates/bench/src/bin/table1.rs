@@ -1,20 +1,46 @@
 //! Table 1: overview of benchmark properties (type, compute/control
 //! weight, size, kernel cycles, output error metric).
+//!
+//! The kernel-cycle column comes from a fault-free [`CampaignSpec`] over
+//! the whole suite (one cell per benchmark); the instruction-mix columns
+//! come from one direct ISS run per benchmark.
 
 use sfi_bench::{print_header, ExperimentArgs};
-use sfi_core::experiment::golden_cycles;
+use sfi_campaign::{CampaignSpec, CellSpec, TrialBudget};
+use sfi_core::experiment::FaultModel;
 use sfi_cpu::{Core, RunConfig};
+use sfi_fault::OperatingPoint;
 use sfi_kernels::paper_suite;
 
 fn main() {
     let args = ExperimentArgs::from_env();
     print_header("Table 1: benchmark properties", &args);
-    println!(
-        "{:<16} {:>10} {:>10} {:>12} {:>10}  {}",
-        "benchmark", "compute", "control", "kernel cyc", "mul/kcyc", "output error metric"
-    );
+    let study = args.build_study();
+
+    let mut spec = CampaignSpec::new("table1", 1);
+    // Fault-free golden runs: the operating point is irrelevant, one trial
+    // per benchmark suffices (the golden run is deterministic).
+    let point = OperatingPoint::new(study.sta_limit_mhz(0.7), 0.7);
     for bench in paper_suite(1) {
-        let cycles = golden_cycles(bench.as_ref());
+        let b = spec.add_shared_benchmark(bench.into());
+        spec.add_cell(CellSpec {
+            benchmark: b,
+            model: FaultModel::None,
+            point,
+            budget: TrialBudget::fixed(1),
+        });
+    }
+    let result = args.engine().run(&study, &spec);
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>10}  output error metric",
+        "benchmark", "compute", "control", "kernel cyc", "mul/kcyc"
+    );
+    for (index, bench) in spec.benchmarks().iter().enumerate() {
+        let cycles = result.cells[index]
+            .stats
+            .mean_cycles()
+            .expect("one golden trial") as u64;
         let mut core = Core::new(bench.program().clone(), bench.dmem_words());
         bench.initialize(core.memory_mut());
         let _ = core.run(&RunConfig::default());

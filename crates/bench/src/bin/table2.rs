@@ -15,9 +15,33 @@ fn main() {
     );
     let rows = [
         ("A", "fixed probability", "none", "no", "no", "no", "no"),
-        ("B", "fixed period violation", "STA", "yes", "no", "partially", "no"),
-        ("B+", "modulated period violation", "STA", "yes", "yes", "partially", "no"),
-        ("C", "probabilistic period violation (CDFs)", "DTA", "yes", "yes", "yes", "yes"),
+        (
+            "B",
+            "fixed period violation",
+            "STA",
+            "yes",
+            "no",
+            "partially",
+            "no",
+        ),
+        (
+            "B+",
+            "modulated period violation",
+            "STA",
+            "yes",
+            "yes",
+            "partially",
+            "no",
+        ),
+        (
+            "C",
+            "probabilistic period violation (CDFs)",
+            "DTA",
+            "yes",
+            "yes",
+            "yes",
+            "yes",
+        ),
     ];
     for (m, tech, data, vdd, noise, gate, instr) in rows {
         println!("{m:<6} {tech:<40} {data:<12} {vdd:<9} {noise:<10} {gate:<17} {instr:<17}");

@@ -1,21 +1,26 @@
 //! Shared helpers for the experiment-reproduction binaries.
 //!
-//! Every binary in `src/bin/` regenerates one table or figure of the paper.
-//! They all accept the same flags:
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! by building an `sfi_campaign::CampaignSpec` and running it through the
+//! parallel campaign engine.  They all accept the same flags:
 //!
 //! * `--trials N` — Monte-Carlo trials per data point (paper scale is
 //!   100–200; the default is a faster smoke configuration),
 //! * `--points N` — number of frequency points per sweep,
 //! * `--fast` — use a scaled-down 8-bit case study instead of the full
-//!   32-bit one (for quick sanity checks).
+//!   32-bit one (for quick sanity checks),
+//! * `--threads N` — campaign worker threads (default: all CPUs),
+//! * `--checkpoint FILE` — stream completed campaign cells to `FILE` and
+//!   resume from it on the next run of the same configuration.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use sfi_campaign::CampaignEngine;
 use sfi_core::study::{CaseStudy, CaseStudyConfig};
 
 /// Command-line options shared by all experiment binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExperimentArgs {
     /// Monte-Carlo trials per data point.
     pub trials: usize,
@@ -23,11 +28,21 @@ pub struct ExperimentArgs {
     pub points: usize,
     /// Whether to use the scaled-down case study.
     pub fast: bool,
+    /// Campaign worker threads (`None` = all CPUs).
+    pub threads: Option<usize>,
+    /// Campaign checkpoint file, if any.
+    pub checkpoint: Option<String>,
 }
 
 impl Default for ExperimentArgs {
     fn default() -> Self {
-        ExperimentArgs { trials: 20, points: 12, fast: false }
+        ExperimentArgs {
+            trials: 20,
+            points: 12,
+            fast: false,
+            threads: None,
+            checkpoint: None,
+        }
     }
 }
 
@@ -48,12 +63,34 @@ impl ExperimentArgs {
                     args.points = argv[i + 1].parse().unwrap_or(args.points);
                     i += 1;
                 }
+                "--threads" if i + 1 < argv.len() => {
+                    // Zero or unparsable means "use all CPUs".
+                    args.threads = argv[i + 1].parse().ok().filter(|&n: &usize| n > 0);
+                    i += 1;
+                }
+                "--checkpoint" if i + 1 < argv.len() => {
+                    args.checkpoint = Some(argv[i + 1].clone());
+                    i += 1;
+                }
                 "--fast" => args.fast = true,
                 _ => {}
             }
             i += 1;
         }
         args
+    }
+
+    /// Builds the campaign engine matching the requested parallelism and
+    /// checkpointing.
+    pub fn engine(&self) -> CampaignEngine {
+        let mut engine = CampaignEngine::new();
+        if let Some(threads) = self.threads {
+            engine = engine.with_threads(threads);
+        }
+        if let Some(path) = &self.checkpoint {
+            engine = engine.with_checkpoint(path);
+        }
+        engine
     }
 
     /// Builds the case study matching the requested fidelity.
@@ -76,7 +113,11 @@ pub fn print_header(title: &str, args: &ExperimentArgs) {
         "(trials per point: {}, sweep points: {}, case study: {})",
         args.trials,
         args.points,
-        if args.fast { "fast 8-bit" } else { "paper 32-bit" }
+        if args.fast {
+            "fast 8-bit"
+        } else {
+            "paper 32-bit"
+        }
     );
     println!();
 }
@@ -89,12 +130,28 @@ mod tests {
     fn defaults_are_sensible() {
         let a = ExperimentArgs::default();
         assert!(a.trials > 0 && a.points > 1 && !a.fast);
+        assert_eq!(a.threads, None);
+        assert_eq!(a.checkpoint, None);
     }
 
     #[test]
     fn fast_study_builds() {
-        let args = ExperimentArgs { fast: true, trials: 1, points: 2 };
+        let args = ExperimentArgs {
+            fast: true,
+            trials: 1,
+            points: 2,
+            ..Default::default()
+        };
         let study = args.build_study();
         assert_eq!(study.config().alu_width, 8);
+    }
+
+    #[test]
+    fn engine_respects_thread_override() {
+        let args = ExperimentArgs {
+            threads: Some(3),
+            ..Default::default()
+        };
+        assert_eq!(args.engine().threads(), 3);
     }
 }

@@ -1,0 +1,269 @@
+//! Campaign checkpointing and result export.
+//!
+//! A checkpoint is a JSON document recording every completed cell of a
+//! campaign together with the spec fingerprint it belongs to.  Writing is
+//! atomic (temp file + rename), so a campaign killed mid-write leaves the
+//! previous checkpoint intact; loading is strict about the fingerprint —
+//! a checkpoint of a different or edited spec is ignored rather than
+//! silently mixed into fresh results.
+//!
+//! Trials are stored as compact arrays
+//! `[finished, correct, output_error, fi_rate_per_kcycle, cycles]`, with
+//! NaN (the output error of crashed runs) encoded as `null`.
+
+use crate::engine::{CampaignResult, CellResult};
+use crate::json::Json;
+use crate::spec::CampaignSpec;
+use crate::stats::CellStats;
+use sfi_core::TrialResult;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Current checkpoint format version.
+pub const FORMAT_VERSION: u64 = 1;
+
+fn trial_to_json(t: &TrialResult) -> Json {
+    Json::Arr(vec![
+        Json::Bool(t.finished),
+        Json::Bool(t.correct),
+        Json::Num(t.output_error),
+        Json::Num(t.fi_rate_per_kcycle),
+        Json::Num(t.cycles as f64),
+    ])
+}
+
+fn trial_from_json(value: &Json) -> Option<TrialResult> {
+    let fields = value.as_arr()?;
+    if fields.len() != 5 {
+        return None;
+    }
+    Some(TrialResult {
+        finished: fields[0].as_bool()?,
+        correct: fields[1].as_bool()?,
+        output_error: fields[2].as_f64()?,
+        fi_rate_per_kcycle: fields[3].as_f64()?,
+        cycles: fields[4].as_f64()? as u64,
+    })
+}
+
+fn cell_to_json(cell: &CellResult) -> Json {
+    Json::obj([
+        ("cell", Json::Num(cell.cell as f64)),
+        ("stopped_early", Json::Bool(cell.stopped_early)),
+        (
+            "trials",
+            Json::Arr(cell.trials.iter().map(trial_to_json).collect()),
+        ),
+    ])
+}
+
+fn cell_from_json(value: &Json) -> Option<CellResult> {
+    let index = value.get("cell")?.as_u64()? as usize;
+    let stopped_early = value.get("stopped_early")?.as_bool()?;
+    let trials: Option<Vec<TrialResult>> = value
+        .get("trials")?
+        .as_arr()?
+        .iter()
+        .map(trial_from_json)
+        .collect();
+    let trials = trials?;
+    let stats = CellStats::from_trials(&trials);
+    Some(CellResult {
+        cell: index,
+        trials,
+        stats,
+        stopped_early,
+        from_checkpoint: true,
+    })
+}
+
+/// Serializes completed cells (plus identifying campaign metadata) to a
+/// JSON document.
+pub fn document(spec: &CampaignSpec, fingerprint: u64, cells: &[CellResult]) -> Json {
+    Json::obj([
+        ("version", Json::Num(FORMAT_VERSION as f64)),
+        ("name", Json::Str(spec.name.clone())),
+        ("seed", Json::Str(spec.seed.to_string())),
+        ("fingerprint", Json::Str(fingerprint.to_string())),
+        ("cells", Json::Arr(cells.iter().map(cell_to_json).collect())),
+    ])
+}
+
+/// Serializes one cell to its JSON string (the engine caches these so a
+/// checkpoint write encodes only the newly finished cell).
+pub(crate) fn cell_json_string(cell: &CellResult) -> String {
+    cell_to_json(cell).to_string()
+}
+
+/// Renders the full checkpoint document from already-serialized cell
+/// strings.  Byte-identical to `document(..).to_string()` — object keys in
+/// alphabetical order, matching the canonical `Json::Obj` writer.
+pub(crate) fn document_text<'a>(
+    spec: &CampaignSpec,
+    fingerprint: u64,
+    cells: impl Iterator<Item = &'a String>,
+) -> String {
+    let mut out = String::from("{\"cells\":[");
+    for (i, cell) in cells.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(cell);
+    }
+    out.push_str("],\"fingerprint\":");
+    out.push_str(&Json::Str(fingerprint.to_string()).to_string());
+    out.push_str(",\"name\":");
+    out.push_str(&Json::Str(spec.name.clone()).to_string());
+    out.push_str(",\"seed\":");
+    out.push_str(&Json::Str(spec.seed.to_string()).to_string());
+    out.push_str(",\"version\":1}");
+    out
+}
+
+/// Atomically writes `text` to `path` (temp file + rename).
+pub(crate) fn store_text(path: &Path, text: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, text)?;
+    fs::rename(&tmp, path)
+}
+
+/// Atomically writes the checkpoint for `cells` to `path`.
+pub fn store_cells(
+    path: &Path,
+    spec: &CampaignSpec,
+    fingerprint: u64,
+    cells: &[CellResult],
+) -> io::Result<()> {
+    store_text(path, &document(spec, fingerprint, cells).to_string())
+}
+
+/// Loads the checkpoint at `path`, returning per-cell restored results
+/// aligned with `spec.cells()`.
+///
+/// Missing files, malformed JSON, wrong versions and fingerprint
+/// mismatches all yield an all-`None` vector: resuming falls back to a
+/// fresh run instead of failing or mixing incompatible data.  Cells whose
+/// index is out of range for the spec are ignored.
+pub fn load_cells(path: &Path, spec: &CampaignSpec, fingerprint: u64) -> Vec<Option<CellResult>> {
+    let mut restored = vec![None; spec.cells().len()];
+    let Ok(text) = fs::read_to_string(path) else {
+        return restored;
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        return restored;
+    };
+    if doc.get("version").and_then(Json::as_u64) != Some(FORMAT_VERSION) {
+        return restored;
+    }
+    if doc.get("fingerprint").and_then(Json::as_u64) != Some(fingerprint) {
+        return restored;
+    }
+    let Some(cells) = doc.get("cells").and_then(Json::as_arr) else {
+        return restored;
+    };
+    for value in cells {
+        if let Some(cell) = cell_from_json(value) {
+            // Only accept cells that fit the spec's budget; a truncated or
+            // hand-edited file must not inject impossible states.
+            if let Some(slot) = restored.get_mut(cell.cell) {
+                let budget = spec.cells()[cell.cell].budget;
+                if !cell.trials.is_empty() && cell.trials.len() <= budget.max_trials {
+                    *slot = Some(cell);
+                }
+            }
+        }
+    }
+    restored
+}
+
+impl CampaignResult {
+    /// Exports the full campaign result as a JSON document (the same
+    /// format checkpoints use, so exported results can seed a resumed
+    /// run).
+    pub fn to_json(&self, spec: &CampaignSpec) -> Json {
+        document(spec, self.fingerprint, &self.cells)
+    }
+
+    /// Writes the JSON export to `path` atomically.
+    pub fn write_json(&self, spec: &CampaignSpec, path: impl AsRef<Path>) -> io::Result<()> {
+        store_cells(path.as_ref(), spec, self.fingerprint, &self.cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_encoding_round_trips_including_nan() {
+        let trials = [
+            TrialResult {
+                finished: true,
+                correct: false,
+                output_error: 0.125,
+                fi_rate_per_kcycle: 2.5,
+                cycles: 123_456,
+            },
+            TrialResult {
+                finished: false,
+                correct: false,
+                output_error: f64::NAN,
+                fi_rate_per_kcycle: 80.0,
+                cycles: 999,
+            },
+        ];
+        for t in &trials {
+            let back = trial_from_json(&trial_to_json(t)).expect("decodes");
+            assert_eq!(back.finished, t.finished);
+            assert_eq!(back.correct, t.correct);
+            assert_eq!(back.fi_rate_per_kcycle, t.fi_rate_per_kcycle);
+            assert_eq!(back.cycles, t.cycles);
+            assert_eq!(back.output_error.is_nan(), t.output_error.is_nan());
+            if !t.output_error.is_nan() {
+                assert_eq!(back.output_error, t.output_error);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_trial_arrays_are_rejected() {
+        assert_eq!(trial_from_json(&Json::Arr(vec![Json::Bool(true)])), None);
+        assert_eq!(trial_from_json(&Json::Null), None);
+    }
+
+    #[test]
+    fn incremental_document_matches_the_one_shot_writer() {
+        use crate::spec::CampaignSpec;
+        use crate::stats::CellStats;
+
+        let spec = CampaignSpec::new("doc \"equivalence\"", u64::MAX);
+        let trials = vec![TrialResult {
+            finished: true,
+            correct: true,
+            output_error: 0.0,
+            fi_rate_per_kcycle: 0.5,
+            cycles: 42,
+        }];
+        let cells = vec![
+            CellResult {
+                cell: 0,
+                stats: CellStats::from_trials(&trials),
+                trials: trials.clone(),
+                stopped_early: true,
+                from_checkpoint: false,
+            },
+            CellResult {
+                cell: 1,
+                stats: CellStats::from_trials(&trials),
+                trials,
+                stopped_early: false,
+                from_checkpoint: false,
+            },
+        ];
+        let one_shot = document(&spec, 0xDEAD_BEEF, &cells).to_string();
+        let encoded: Vec<String> = cells.iter().map(cell_json_string).collect();
+        let incremental = document_text(&spec, 0xDEAD_BEEF, encoded.iter());
+        assert_eq!(incremental, one_shot);
+    }
+}

@@ -1,0 +1,645 @@
+//! The parallel campaign executor: a work-stealing pool of std threads
+//! over a sharded job queue, with deterministic per-trial seeding and
+//! batched adaptive sampling.
+//!
+//! # Determinism
+//!
+//! A trial's outcome depends only on `(campaign seed, cell index, trial
+//! index)` — workers never share mutable simulation state, and the
+//! per-trial injector seed comes from
+//! [`sfi_core::experiment::derive_trial_seed`].  Adaptive stopping
+//! decisions are taken only at batch boundaries over the complete set of
+//! finished trials of a cell, and the monitored statistics are binomial
+//! counts (order-independent), so the *set* of trials a cell runs is the
+//! same for any thread count.  Final per-cell aggregates are folded in
+//! trial-index order.  Together this makes campaign results bit-identical
+//! whether they ran on one thread or sixteen.
+//!
+//! # Work stealing
+//!
+//! Jobs (one per trial) live in one queue shard per worker.  A worker
+//! drains its own shard and steals from the others when empty; batches
+//! scheduled by adaptive refinement are pushed round-robin across shards
+//! so late-campaign work stays balanced.
+
+use crate::checkpoint;
+use crate::spec::{CampaignSpec, CellSpec};
+use crate::stats::CellStats;
+use sfi_core::experiment::{derive_trial_seed, golden_cycles, run_single_trial, watchdog_cycles};
+use sfi_core::{CaseStudy, ExperimentSummary, TrialResult};
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+/// Result of one campaign cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Index of the cell in the spec.
+    pub cell: usize,
+    /// The individual trials, in trial-index order.
+    pub trials: Vec<TrialResult>,
+    /// Streaming aggregates over `trials`.
+    pub stats: CellStats,
+    /// Whether the adaptive stop rule cut the cell off before
+    /// `max_trials`.
+    pub stopped_early: bool,
+    /// Whether this cell was restored from a checkpoint instead of being
+    /// simulated.
+    pub from_checkpoint: bool,
+}
+
+impl CellResult {
+    /// The cell's trials as a core [`ExperimentSummary`].
+    pub fn summary(&self) -> ExperimentSummary {
+        ExperimentSummary {
+            trials: self.trials.clone(),
+        }
+    }
+}
+
+/// Execution observations of one campaign run (used to verify that trials
+/// actually ran concurrently).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Number of distinct worker threads that executed at least one trial.
+    pub worker_threads_used: usize,
+    /// Maximum number of trials observed simultaneously in flight.
+    pub max_concurrent_trials: usize,
+    /// Trials actually simulated (excludes checkpointed cells).
+    pub executed_trials: usize,
+}
+
+/// The outcome of a campaign: one [`CellResult`] per spec cell plus run
+/// metrics.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The campaign name (copied from the spec).
+    pub name: String,
+    /// The campaign master seed (copied from the spec).
+    pub seed: u64,
+    /// The spec fingerprint the result belongs to.
+    pub fingerprint: u64,
+    /// Per-cell results, index-aligned with the spec's cells.
+    pub cells: Vec<CellResult>,
+    /// Execution observations.
+    pub metrics: EngineMetrics,
+}
+
+impl CampaignResult {
+    /// The summary of cell `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn summary(&self, index: usize) -> ExperimentSummary {
+        self.cells[index].summary()
+    }
+
+    /// Converts a contiguous range of cells (as returned by
+    /// `CampaignSpec::add_frequency_sweep`) into core sweep points.
+    pub fn sweep_points(
+        &self,
+        spec: &CampaignSpec,
+        cells: std::ops::Range<usize>,
+    ) -> Vec<sfi_core::SweepPoint> {
+        cells
+            .map(|i| sfi_core::SweepPoint {
+                freq_mhz: spec.cells()[i].point.freq_mhz(),
+                summary: self.summary(i),
+            })
+            .collect()
+    }
+}
+
+/// The parallel campaign executor.
+#[derive(Debug, Clone)]
+pub struct CampaignEngine {
+    threads: usize,
+    checkpoint_path: Option<PathBuf>,
+}
+
+impl Default for CampaignEngine {
+    fn default() -> Self {
+        CampaignEngine::new()
+    }
+}
+
+impl CampaignEngine {
+    /// An engine using all available CPUs.
+    pub fn new() -> Self {
+        let threads = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        CampaignEngine {
+            threads,
+            checkpoint_path: None,
+        }
+    }
+
+    /// A single-threaded engine (the sequential reference).
+    pub fn sequential() -> Self {
+        CampaignEngine {
+            threads: 1,
+            checkpoint_path: None,
+        }
+    }
+
+    /// Sets the number of worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one worker thread is required");
+        self.threads = threads;
+        self
+    }
+
+    /// Enables checkpointing: completed cells are streamed to `path`
+    /// (atomically, via a temp file) and restored by later runs of the
+    /// same spec, making long campaigns resumable.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs the campaign.
+    ///
+    /// If a checkpoint path is configured, cells recorded there (for this
+    /// exact spec fingerprint) are restored instead of re-simulated, and
+    /// every newly completed cell is persisted.  I/O errors while writing
+    /// checkpoints are deliberately non-fatal: losing a checkpoint must
+    /// not kill a multi-hour campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec references a characterization voltage the study
+    /// does not provide, or if a worker thread panics.
+    pub fn run(&self, study: &CaseStudy, spec: &CampaignSpec) -> CampaignResult {
+        let fingerprint = spec.fingerprint();
+        let restored: Vec<Option<CellResult>> = match &self.checkpoint_path {
+            Some(path) => checkpoint::load_cells(path, spec, fingerprint),
+            None => vec![None; spec.cells().len()],
+        };
+
+        // The expensive characterization inside `study` is shared by
+        // reference; the only per-benchmark precomputation is the golden
+        // (fault-free) cycle count that sizes the watchdog, done once per
+        // benchmark instead of once per cell or — as the old
+        // `run_experiment` did — once per sweep point.
+        let watchdogs: Vec<u64> = spec
+            .benchmarks()
+            .iter()
+            .map(|b| watchdog_cycles(golden_cycles(b.as_ref())))
+            .collect();
+
+        let checkpoint_sink = self.checkpoint_path.as_deref().map(|path| {
+            // Seed the serialized-cell cache with the restored cells, so
+            // the first incremental write already contains them.
+            let cells: BTreeMap<usize, String> = restored
+                .iter()
+                .flatten()
+                .map(|cell| (cell.cell, checkpoint::cell_json_string(cell)))
+                .collect();
+            CheckpointSink {
+                path,
+                fingerprint,
+                cells: Mutex::new(cells),
+            }
+        });
+        let shared = Shared::new(study, spec, &watchdogs, restored);
+
+        if shared.open_cells.load(Ordering::SeqCst) > 0 {
+            thread::scope(|scope| {
+                for worker in 0..self.threads {
+                    let shared = &shared;
+                    let sink = checkpoint_sink.as_ref();
+                    scope.spawn(move || worker_loop(worker, shared, sink));
+                }
+            });
+        }
+
+        // A panic on a worker thread aborts the campaign; re-raise it here
+        // instead of returning partial results (or, worse, hanging the
+        // surviving workers).
+        if let Some(payload) = shared
+            .panic_payload
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take()
+        {
+            panic::resume_unwind(payload);
+        }
+
+        let mut cells = Vec::with_capacity(spec.cells().len());
+        for (index, state) in shared.cells.into_iter().enumerate() {
+            let state = state
+                .into_inner()
+                .expect("no worker holds a cell lock any more");
+            cells.push(state.into_result(index));
+        }
+        let workers_used = shared
+            .worker_used
+            .iter()
+            .filter(|w| w.load(Ordering::Relaxed) > 0)
+            .count();
+        CampaignResult {
+            name: spec.name.clone(),
+            seed: spec.seed,
+            fingerprint,
+            cells,
+            metrics: EngineMetrics {
+                worker_threads_used: workers_used,
+                max_concurrent_trials: shared.max_in_flight.load(Ordering::SeqCst),
+                executed_trials: shared.executed_trials.load(Ordering::SeqCst),
+            },
+        }
+    }
+
+    /// Runs the campaign with checkpointing at `path` (convenience for
+    /// [`CampaignEngine::with_checkpoint`] + [`CampaignEngine::run`]).
+    ///
+    /// Checkpoint I/O errors are non-fatal (reported on stderr): a lost
+    /// checkpoint must not kill a multi-hour campaign, so there is no
+    /// `Result` here.
+    pub fn run_resumable(
+        &self,
+        study: &CaseStudy,
+        spec: &CampaignSpec,
+        path: impl Into<PathBuf>,
+    ) -> CampaignResult {
+        self.clone().with_checkpoint(path).run(study, spec)
+    }
+}
+
+/// One (cell, trial) work unit.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    cell: u32,
+    trial: u32,
+}
+
+/// Mutable per-cell execution state.
+///
+/// `finished` / `correct` are running binomial counters kept in sync with
+/// `completed`, so adaptive stop decisions are O(1) instead of re-folding
+/// the trial prefix at every batch boundary.
+#[derive(Debug)]
+struct CellState {
+    scheduled: usize,
+    completed: usize,
+    finished: usize,
+    correct: usize,
+    results: Vec<Option<TrialResult>>,
+    done: bool,
+    stopped_early: bool,
+    from_checkpoint: bool,
+}
+
+impl CellState {
+    fn into_result(self, index: usize) -> CellResult {
+        let trials: Vec<TrialResult> = self
+            .results
+            .into_iter()
+            .take(self.completed)
+            .map(|t| t.expect("completed cells have no result holes"))
+            .collect();
+        let stats = CellStats::from_trials(&trials);
+        CellResult {
+            cell: index,
+            trials,
+            stats,
+            stopped_early: self.stopped_early,
+            from_checkpoint: self.from_checkpoint,
+        }
+    }
+}
+
+struct CheckpointSink<'a> {
+    path: &'a Path,
+    fingerprint: u64,
+    /// Serialized JSON of every completed cell, keyed by cell index.  A
+    /// finishing worker serializes only its own cell and re-renders the
+    /// document from this cache, so checkpointing costs O(cell) encoding
+    /// plus one file write — not a re-walk of all completed cells.  The
+    /// mutex also serializes the writes themselves.
+    cells: Mutex<BTreeMap<usize, String>>,
+}
+
+struct Shared<'a> {
+    study: &'a CaseStudy,
+    spec: &'a CampaignSpec,
+    watchdogs: &'a [u64],
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    cells: Vec<Mutex<CellState>>,
+    /// Cells not yet finished; workers exit when this reaches zero.
+    open_cells: AtomicUsize,
+    /// Round-robin cursor for spreading new batches across shards.
+    next_shard: AtomicUsize,
+    in_flight: AtomicUsize,
+    max_in_flight: AtomicUsize,
+    executed_trials: AtomicUsize,
+    worker_used: Vec<AtomicUsize>,
+    /// Set when a worker panics; all workers drain out and the panic is
+    /// re-raised on the caller thread.
+    aborted: AtomicBool,
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl<'a> Shared<'a> {
+    fn new(
+        study: &'a CaseStudy,
+        spec: &'a CampaignSpec,
+        watchdogs: &'a [u64],
+        restored: Vec<Option<CellResult>>,
+    ) -> Self {
+        let mut cells = Vec::with_capacity(spec.cells().len());
+        let mut open = 0usize;
+        let mut initial_jobs: Vec<Job> = Vec::new();
+        for (index, cell_spec) in spec.cells().iter().enumerate() {
+            let max = cell_spec.budget.max_trials;
+            match restored.get(index).and_then(|r| r.as_ref()) {
+                Some(result) => {
+                    let mut results: Vec<Option<TrialResult>> =
+                        result.trials.iter().cloned().map(Some).collect();
+                    let completed = results.len();
+                    results.resize(max.max(completed), None);
+                    cells.push(Mutex::new(CellState {
+                        scheduled: completed,
+                        completed,
+                        finished: result.stats.finished() as usize,
+                        correct: result.stats.correct() as usize,
+                        results,
+                        done: true,
+                        stopped_early: result.stopped_early,
+                        from_checkpoint: true,
+                    }));
+                }
+                None => {
+                    let initial = cell_spec.budget.min_trials.min(max);
+                    for trial in 0..initial {
+                        initial_jobs.push(Job {
+                            cell: index as u32,
+                            trial: trial as u32,
+                        });
+                    }
+                    cells.push(Mutex::new(CellState {
+                        scheduled: initial,
+                        completed: 0,
+                        finished: 0,
+                        correct: 0,
+                        results: vec![None; max],
+                        done: false,
+                        stopped_early: false,
+                        from_checkpoint: false,
+                    }));
+                    open += 1;
+                }
+            }
+        }
+        Shared {
+            study,
+            spec,
+            watchdogs,
+            queues: Vec::new(),
+            cells,
+            open_cells: AtomicUsize::new(open),
+            next_shard: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            max_in_flight: AtomicUsize::new(0),
+            executed_trials: AtomicUsize::new(0),
+            worker_used: Vec::new(),
+            aborted: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+        }
+        .with_initial_jobs(initial_jobs)
+    }
+
+    fn with_initial_jobs(mut self, jobs: Vec<Job>) -> Self {
+        let workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(16);
+        // One shard per possible worker; sized generously so any
+        // `with_threads` choice gets its own shard.
+        self.queues = (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        self.worker_used = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+        self.push_jobs(jobs);
+        self
+    }
+
+    /// Distributes jobs round-robin over the queue shards.
+    fn push_jobs(&self, jobs: Vec<Job>) {
+        for job in jobs {
+            let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+            self.queues[shard]
+                .lock()
+                .expect("queue lock")
+                .push_back(job);
+        }
+    }
+
+    /// Pops a job: the worker's own shard first, then steals round-robin.
+    fn pop_job(&self, worker: usize) -> Option<Job> {
+        let shards = self.queues.len();
+        let own = worker % shards;
+        if let Some(job) = self.queues[own].lock().expect("queue lock").pop_front() {
+            return Some(job);
+        }
+        for offset in 1..shards {
+            let victim = (own + offset) % shards;
+            // Steal from the back to reduce contention with the owner.
+            if let Some(job) = self.queues[victim].lock().expect("queue lock").pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+fn worker_loop(worker: usize, shared: &Shared<'_>, sink: Option<&CheckpointSink<'_>>) {
+    loop {
+        if shared.aborted.load(Ordering::SeqCst) {
+            return;
+        }
+        match shared.pop_job(worker) {
+            Some(job) => {
+                // A panicking trial (e.g. a model asking for an
+                // uncharacterized voltage) must abort the whole campaign,
+                // not leave the other workers waiting forever for the
+                // panicked cell to finish.
+                if let Err(payload) =
+                    panic::catch_unwind(AssertUnwindSafe(|| execute_job(worker, shared, sink, job)))
+                {
+                    let mut slot = shared
+                        .panic_payload
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    slot.get_or_insert(payload);
+                    shared.aborted.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+            None => {
+                if shared.open_cells.load(Ordering::SeqCst) == 0 {
+                    return;
+                }
+                // Open cells but no runnable job: another worker is
+                // finishing a batch that may schedule more. Back off
+                // briefly instead of spinning on the queue locks.
+                thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+}
+
+fn execute_job(worker: usize, shared: &Shared<'_>, sink: Option<&CheckpointSink<'_>>, job: Job) {
+    let cell_index = job.cell as usize;
+    let cell_spec = shared.spec.cells()[cell_index];
+    let benchmark = shared.spec.benchmarks()[cell_spec.benchmark].as_ref();
+    let max_cycles = shared.watchdogs[cell_spec.benchmark];
+    let trial_seed = derive_trial_seed(shared.spec.seed, cell_index as u64, job.trial as u64);
+
+    let in_flight = shared.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+    shared.max_in_flight.fetch_max(in_flight, Ordering::SeqCst);
+    shared.worker_used[worker % shared.worker_used.len()].fetch_add(1, Ordering::Relaxed);
+
+    let result = run_single_trial(
+        shared.study,
+        benchmark,
+        cell_spec.model,
+        cell_spec.point,
+        max_cycles,
+        trial_seed,
+    );
+
+    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    shared.executed_trials.fetch_add(1, Ordering::SeqCst);
+
+    let mut finished_cell = false;
+    let mut checkpoint_snapshot: Option<CellResult> = None;
+    {
+        let mut state = shared.cells[cell_index].lock().expect("cell lock");
+        debug_assert!(state.results[job.trial as usize].is_none());
+        if result.finished {
+            state.finished += 1;
+        }
+        if result.correct {
+            state.correct += 1;
+        }
+        state.results[job.trial as usize] = Some(result);
+        state.completed += 1;
+        if state.completed == state.scheduled && !state.done {
+            // Batch boundary: decide over the full, deterministic set of
+            // completed trials.
+            let decision = decide(&cell_spec, &state);
+            match decision {
+                BatchDecision::Stop { early } => {
+                    state.done = true;
+                    state.stopped_early = early;
+                    finished_cell = true;
+                    if sink.is_some() {
+                        checkpoint_snapshot = Some(snapshot_cell(cell_index, &state));
+                    }
+                }
+                BatchDecision::Continue { additional } => {
+                    let start = state.scheduled;
+                    state.scheduled += additional;
+                    drop(state);
+                    let jobs = (start..start + additional)
+                        .map(|trial| Job {
+                            cell: job.cell,
+                            trial: trial as u32,
+                        })
+                        .collect();
+                    shared.push_jobs(jobs);
+                }
+            }
+        }
+    }
+
+    if finished_cell {
+        if let (Some(sink), Some(snapshot)) = (sink, &checkpoint_snapshot) {
+            write_checkpoint(shared, sink, snapshot);
+        }
+        // Last: a worker seeing zero open cells must be able to trust that
+        // all results (and the checkpoint) are in place.
+        shared.open_cells.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+enum BatchDecision {
+    Stop { early: bool },
+    Continue { additional: usize },
+}
+
+fn decide(cell_spec: &CellSpec, state: &CellState) -> BatchDecision {
+    let budget = cell_spec.budget;
+    if let Some(rule) = budget.stop {
+        // The monitored statistics are the running binomial counters —
+        // order-independent, so the decision stays deterministic.
+        let satisfied = state.completed >= budget.min_trials
+            && rule.is_satisfied_counts(
+                state.finished as u64,
+                state.correct as u64,
+                state.completed as u64,
+            );
+        if satisfied {
+            return BatchDecision::Stop {
+                early: state.completed < budget.max_trials,
+            };
+        }
+    }
+    let remaining = budget.max_trials - state.scheduled;
+    if remaining == 0 {
+        BatchDecision::Stop { early: false }
+    } else {
+        BatchDecision::Continue {
+            additional: budget.batch.min(remaining),
+        }
+    }
+}
+
+fn collect_prefix(results: &[Option<TrialResult>], completed: usize) -> Vec<TrialResult> {
+    results[..completed]
+        .iter()
+        .map(|t| t.clone().expect("batch boundary implies a full prefix"))
+        .collect()
+}
+
+/// Clones one just-finished cell out of its state (called under the cell
+/// lock, once per cell).
+fn snapshot_cell(index: usize, state: &CellState) -> CellResult {
+    let trials = collect_prefix(&state.results, state.completed);
+    let stats = CellStats::from_trials(&trials);
+    CellResult {
+        cell: index,
+        trials,
+        stats,
+        stopped_early: state.stopped_early,
+        from_checkpoint: state.from_checkpoint,
+    }
+}
+
+fn write_checkpoint(shared: &Shared<'_>, sink: &CheckpointSink<'_>, cell: &CellResult) {
+    // Serialize only the newly finished cell; the document is re-rendered
+    // from the cached per-cell JSON strings. No cell locks are held here.
+    let encoded = checkpoint::cell_json_string(cell);
+    let mut cells = sink.cells.lock().expect("checkpoint lock");
+    cells.insert(cell.cell, encoded);
+    let text = checkpoint::document_text(shared.spec, sink.fingerprint, cells.values());
+    if let Err(err) = checkpoint::store_text(sink.path, &text) {
+        // Non-fatal: a lost checkpoint must not kill the campaign.
+        eprintln!("warning: failed to write campaign checkpoint: {err}");
+    }
+}

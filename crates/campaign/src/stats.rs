@@ -1,0 +1,343 @@
+//! Streaming aggregation of Monte-Carlo trials: Welford mean/variance for
+//! continuous metrics and Wilson score intervals for the binomial
+//! finished/correct fractions.
+//!
+//! Everything here is a pure fold over trial results in trial-index order,
+//! so aggregates are bit-identical no matter which worker thread produced
+//! which trial.
+
+use sfi_core::TrialResult;
+
+/// Welford's online algorithm for mean and variance.
+///
+/// Numerically stable single-pass accumulation; the zero-sample state is
+/// explicit (`mean()` and friends return `None`) instead of leaking NaN.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Folds one sample into the accumulator.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of accumulated samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The running mean, or `None` with no samples.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// The unbiased sample variance, or `None` with fewer than two samples.
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// The sample standard deviation, or `None` with fewer than two samples.
+    pub fn sample_stddev(&self) -> Option<f64> {
+        self.sample_variance().map(f64::sqrt)
+    }
+
+    /// The standard error of the mean, or `None` with fewer than two
+    /// samples.
+    pub fn standard_error(&self) -> Option<f64> {
+        self.sample_variance()
+            .map(|v| (v / self.count as f64).sqrt())
+    }
+}
+
+/// A Wilson score confidence interval for a binomial proportion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WilsonInterval {
+    /// Center of the interval (the shrunk point estimate).
+    pub center: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+}
+
+impl WilsonInterval {
+    /// Lower bound, clamped to `[0, 1]`.
+    pub fn lo(&self) -> f64 {
+        (self.center - self.half_width).max(0.0)
+    }
+
+    /// Upper bound, clamped to `[0, 1]`.
+    pub fn hi(&self) -> f64 {
+        (self.center + self.half_width).min(1.0)
+    }
+}
+
+/// The Wilson score interval for `successes` out of `trials` at critical
+/// value `z` (e.g. 1.96 for 95 %).
+///
+/// With zero trials the proportion is unknown: the interval is the whole
+/// `[0, 1]` range (center 0.5, half-width 0.5) rather than NaN, so
+/// adaptive stopping rules never cut off an unsampled cell.
+///
+/// # Panics
+///
+/// Panics if `successes > trials` or `z` is not positive and finite.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> WilsonInterval {
+    assert!(
+        successes <= trials,
+        "{successes} successes out of {trials} trials"
+    );
+    assert!(
+        z > 0.0 && z.is_finite(),
+        "z must be positive and finite, got {z}"
+    );
+    if trials == 0 {
+        return WilsonInterval {
+            center: 0.5,
+            half_width: 0.5,
+        };
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half_width = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    WilsonInterval { center, half_width }
+}
+
+/// Streaming summary of one campaign cell: binomial counters for the
+/// finished/correct fractions plus Welford accumulators for FI rate,
+/// cycles and the output error of finished runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CellStats {
+    trials: u64,
+    finished: u64,
+    correct: u64,
+    fi_rate: Welford,
+    cycles: Welford,
+    output_error: Welford,
+}
+
+impl CellStats {
+    /// An empty cell summary.
+    pub fn new() -> Self {
+        CellStats::default()
+    }
+
+    /// Folds one trial into the summary.
+    pub fn push(&mut self, trial: &TrialResult) {
+        self.trials += 1;
+        self.fi_rate.push(trial.fi_rate_per_kcycle);
+        self.cycles.push(trial.cycles as f64);
+        if trial.finished {
+            self.finished += 1;
+            // The paper reports the output error of the runs that survived;
+            // crashed runs carry NaN and are excluded by construction.
+            self.output_error.push(trial.output_error);
+        }
+        if trial.correct {
+            self.correct += 1;
+        }
+    }
+
+    /// Folds a slice of trials (in the given order) into the summary.
+    pub fn from_trials(trials: &[TrialResult]) -> Self {
+        let mut stats = CellStats::new();
+        for t in trials {
+            stats.push(t);
+        }
+        stats
+    }
+
+    /// Number of aggregated trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Number of trials that ran to completion.
+    pub fn finished(&self) -> u64 {
+        self.finished
+    }
+
+    /// Number of trials with an exactly correct output.
+    pub fn correct(&self) -> u64 {
+        self.correct
+    }
+
+    /// Fraction of trials that finished (0 for the empty summary, matching
+    /// `ExperimentSummary`).
+    pub fn finished_fraction(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.finished as f64 / self.trials as f64
+        }
+    }
+
+    /// Fraction of trials with a fully correct output (0 for the empty
+    /// summary).
+    pub fn correct_fraction(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.trials as f64
+        }
+    }
+
+    /// Wilson interval of the finished fraction at critical value `z`.
+    pub fn finished_interval(&self, z: f64) -> WilsonInterval {
+        wilson_interval(self.finished, self.trials, z)
+    }
+
+    /// Wilson interval of the correct fraction at critical value `z`.
+    pub fn correct_interval(&self, z: f64) -> WilsonInterval {
+        wilson_interval(self.correct, self.trials, z)
+    }
+
+    /// Mean fault-injection rate (faults per kCycle), or `None` with no
+    /// trials.
+    pub fn mean_fi_rate(&self) -> Option<f64> {
+        self.fi_rate.mean()
+    }
+
+    /// Mean cycle count, or `None` with no trials.
+    pub fn mean_cycles(&self) -> Option<f64> {
+        self.cycles.mean()
+    }
+
+    /// Mean output error over the finished trials, or `None` when no trial
+    /// finished.
+    pub fn mean_output_error(&self) -> Option<f64> {
+        self.output_error.mean()
+    }
+
+    /// The Welford accumulator of the output error of finished trials.
+    pub fn output_error_stats(&self) -> &Welford {
+        &self.output_error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trial(finished: bool, correct: bool, err: f64) -> TrialResult {
+        TrialResult {
+            finished,
+            correct,
+            output_error: err,
+            fi_rate_per_kcycle: 2.0,
+            cycles: 100,
+        }
+    }
+
+    #[test]
+    fn welford_matches_two_pass_computation() {
+        let xs = [1.5, 2.25, -3.0, 0.125, 10.0, 4.5];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean().unwrap() - mean).abs() < 1e-12);
+        assert!((w.sample_variance().unwrap() - var).abs() < 1e-12);
+        assert_eq!(w.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn welford_empty_and_single_sample() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.sample_variance(), None);
+        assert_eq!(w.sample_stddev(), None);
+        assert_eq!(w.standard_error(), None);
+        w.push(4.0);
+        assert_eq!(w.mean(), Some(4.0));
+        assert_eq!(w.sample_variance(), None, "variance needs two samples");
+    }
+
+    #[test]
+    fn wilson_zero_trials_is_the_unit_interval() {
+        let iv = wilson_interval(0, 0, 1.96);
+        assert_eq!(iv.center, 0.5);
+        assert_eq!(iv.half_width, 0.5);
+        assert_eq!(iv.lo(), 0.0);
+        assert_eq!(iv.hi(), 1.0);
+    }
+
+    #[test]
+    fn wilson_shrinks_with_more_trials_and_stays_in_bounds() {
+        let small = wilson_interval(9, 10, 1.96);
+        let large = wilson_interval(900, 1000, 1.96);
+        assert!(large.half_width < small.half_width);
+        for (s, n) in [(0u64, 10u64), (10, 10), (5, 10), (1, 3)] {
+            let iv = wilson_interval(s, n, 1.96);
+            assert!(iv.lo() >= 0.0 && iv.hi() <= 1.0);
+            assert!(iv.lo() <= s as f64 / n as f64 && s as f64 / n as f64 <= iv.hi());
+        }
+    }
+
+    #[test]
+    fn wilson_extreme_proportions_have_nonzero_width() {
+        // The normal approximation would collapse to zero width at p = 1;
+        // Wilson keeps a usable interval, which is what makes it suitable
+        // for the all-correct cells near the STA limit.
+        let iv = wilson_interval(20, 20, 1.96);
+        assert!(iv.half_width > 0.0);
+        assert!(iv.hi() <= 1.0);
+    }
+
+    #[test]
+    fn cell_stats_zero_trials() {
+        let stats = CellStats::new();
+        assert_eq!(stats.trials(), 0);
+        assert_eq!(stats.finished_fraction(), 0.0);
+        assert_eq!(stats.correct_fraction(), 0.0);
+        assert_eq!(stats.mean_output_error(), None);
+        assert_eq!(stats.mean_fi_rate(), None);
+        assert_eq!(stats.mean_cycles(), None);
+        assert_eq!(stats.correct_interval(1.96).half_width, 0.5);
+    }
+
+    #[test]
+    fn cell_stats_none_finished_has_no_output_error() {
+        let stats =
+            CellStats::from_trials(&[trial(false, false, f64::NAN), trial(false, false, f64::NAN)]);
+        assert_eq!(stats.trials(), 2);
+        assert_eq!(stats.finished_fraction(), 0.0);
+        assert_eq!(stats.mean_output_error(), None, "no NaN leaks out");
+        assert_eq!(stats.mean_fi_rate(), Some(2.0));
+    }
+
+    #[test]
+    fn cell_stats_mixed_trials() {
+        let stats = CellStats::from_trials(&[
+            trial(true, true, 0.0),
+            trial(true, false, 0.5),
+            trial(false, false, f64::NAN),
+        ]);
+        assert_eq!(stats.finished(), 2);
+        assert_eq!(stats.correct(), 1);
+        assert!((stats.finished_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((stats.correct_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(stats.mean_output_error(), Some(0.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "successes out of")]
+    fn wilson_rejects_impossible_counts() {
+        wilson_interval(3, 2, 1.96);
+    }
+}

@@ -61,12 +61,22 @@ impl ExperimentSummary {
 
     /// Mean output error over the trials that finished (the paper reports
     /// the output error of the remaining successful runs).
+    ///
+    /// Returns `NaN` when no trial finished; use
+    /// [`ExperimentSummary::checked_mean_output_error`] for an explicit
+    /// `Option`.
     pub fn mean_output_error(&self) -> f64 {
+        self.checked_mean_output_error().unwrap_or(f64::NAN)
+    }
+
+    /// Mean output error over the finished trials, or `None` when no trial
+    /// finished (including the zero-trial summary).
+    pub fn checked_mean_output_error(&self) -> Option<f64> {
         let finished: Vec<&TrialResult> = self.trials.iter().filter(|t| t.finished).collect();
         if finished.is_empty() {
-            return f64::NAN;
+            return None;
         }
-        finished.iter().map(|t| t.output_error).sum::<f64>() / finished.len() as f64
+        Some(finished.iter().map(|t| t.output_error).sum::<f64>() / finished.len() as f64)
     }
 
     /// Mean cycle count over all trials.
@@ -98,6 +108,40 @@ pub struct SweepPoint {
     pub summary: ExperimentSummary,
 }
 
+/// SplitMix64 finalization step (Vigna's `mix` function).
+fn splitmix_finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives the injector seed of one Monte-Carlo trial from the campaign
+/// seed, the campaign-cell index and the trial index.
+///
+/// Every `(campaign_seed, cell_index, trial_index)` triple maps to its own
+/// SplitMix64 output, so trial 0 is decorrelated from the campaign seed and
+/// cells that share a campaign seed (e.g. the points of a frequency sweep)
+/// draw independent fault streams.  The old `seed ^ trial * C` scheme had
+/// both defects: trial 0 reused the campaign seed verbatim, and every sweep
+/// point replayed the identical trial-seed sequence.
+pub fn derive_trial_seed(campaign_seed: u64, cell_index: u64, trial_index: u64) -> u64 {
+    let cell_stream = splitmix_finalize(
+        campaign_seed.wrapping_add(SPLITMIX_GAMMA.wrapping_mul(cell_index.wrapping_add(1))),
+    );
+    splitmix_finalize(
+        cell_stream.wrapping_add(SPLITMIX_GAMMA.wrapping_mul(trial_index.wrapping_add(1))),
+    )
+}
+
+/// The watchdog cycle limit used for a benchmark whose fault-free runtime
+/// is `golden_cycles`: a generous multiple, so that wrong branching either
+/// terminates (wrong output) or is flagged as fatal.
+pub fn watchdog_cycles(golden_cycles: u64) -> u64 {
+    golden_cycles.saturating_mul(8).max(100_000)
+}
+
 fn run_one_trial<F: FaultInjector + ?Sized>(
     benchmark: &dyn Benchmark,
     injector: &mut F,
@@ -112,7 +156,11 @@ fn run_one_trial<F: FaultInjector + ?Sized>(
     };
     let outcome = core.run_with_injector(&config, injector);
     let finished = outcome.finished();
-    let output_error = if finished { benchmark.output_error(core.memory()) } else { f64::NAN };
+    let output_error = if finished {
+        benchmark.output_error(core.memory())
+    } else {
+        f64::NAN
+    };
     TrialResult {
         finished,
         correct: finished && output_error == 0.0,
@@ -128,11 +176,78 @@ pub fn golden_cycles(benchmark: &dyn Benchmark) -> u64 {
     run_one_trial(benchmark, &mut NoFaultInjector, u64::MAX / 4).cycles
 }
 
+/// Runs exactly one Monte-Carlo trial of `benchmark` under `model` at
+/// `point`, with the per-trial injector seed `trial_seed` and the watchdog
+/// limit `max_cycles`.
+///
+/// This is the hot-loop primitive shared by [`run_experiment`] and the
+/// parallel campaign engine (`sfi-campaign`): it allocates only the ISS
+/// state and the injector for this trial — the expensive characterization
+/// data inside `study` is borrowed, never cloned.
+///
+/// # Panics
+///
+/// Panics if the requested model needs a characterization voltage the
+/// study does not provide.
+pub fn run_single_trial(
+    study: &CaseStudy,
+    benchmark: &dyn Benchmark,
+    model: FaultModel,
+    point: OperatingPoint,
+    max_cycles: u64,
+    trial_seed: u64,
+) -> TrialResult {
+    match model {
+        FaultModel::None => run_one_trial(benchmark, &mut NoFaultInjector, max_cycles),
+        FaultModel::FixedProbability(p) => {
+            let mut injector = study.model_a(p, trial_seed);
+            run_one_trial(benchmark, &mut injector, max_cycles)
+        }
+        FaultModel::StaPeriodViolation => {
+            let mut injector = study.model_b(point);
+            run_one_trial(benchmark, &mut injector, max_cycles)
+        }
+        FaultModel::StaWithNoise => {
+            let mut injector = study.model_b_plus(point, trial_seed);
+            run_one_trial(benchmark, &mut injector, max_cycles)
+        }
+        FaultModel::StatisticalDta => {
+            let mut injector = study.model_c(point, trial_seed);
+            run_one_trial(benchmark, &mut injector, max_cycles)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell_with_golden(
+    study: &CaseStudy,
+    benchmark: &dyn Benchmark,
+    model: FaultModel,
+    point: OperatingPoint,
+    trials: usize,
+    seed: u64,
+    cell_index: u64,
+    golden: u64,
+) -> ExperimentSummary {
+    assert!(trials > 0, "at least one trial is required");
+    let max_cycles = watchdog_cycles(golden);
+    let results = (0..trials)
+        .map(|trial| {
+            let trial_seed = derive_trial_seed(seed, cell_index, trial as u64);
+            run_single_trial(study, benchmark, model, point, max_cycles, trial_seed)
+        })
+        .collect();
+    ExperimentSummary { trials: results }
+}
+
 /// Runs a Monte-Carlo campaign of `trials` independent runs of `benchmark`
 /// under the given fault model and operating point.
 ///
-/// Each trial uses a different injector seed derived from `seed`, matching
-/// the paper's at-least-100-simulations-per-data-point methodology.
+/// Each trial uses a different injector seed derived from `seed` via
+/// [`derive_trial_seed`], matching the paper's
+/// at-least-100-simulations-per-data-point methodology.  The result is
+/// identical to campaign cell 0 of an `sfi-campaign` run with the same
+/// seed, trial count and operating point.
 ///
 /// # Panics
 ///
@@ -146,40 +261,26 @@ pub fn run_experiment(
     trials: usize,
     seed: u64,
 ) -> ExperimentSummary {
-    assert!(trials > 0, "at least one trial is required");
-    // Watchdog: generous multiple of the fault-free runtime, so that wrong
-    // branching either terminates (wrong output) or is flagged as fatal.
-    let max_cycles = golden_cycles(benchmark).saturating_mul(8).max(100_000);
-
-    let results = (0..trials)
-        .map(|trial| {
-            let trial_seed = seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            match model {
-                FaultModel::None => run_one_trial(benchmark, &mut NoFaultInjector, max_cycles),
-                FaultModel::FixedProbability(p) => {
-                    let mut injector = study.model_a(p, trial_seed);
-                    run_one_trial(benchmark, &mut injector, max_cycles)
-                }
-                FaultModel::StaPeriodViolation => {
-                    let mut injector = study.model_b(point);
-                    run_one_trial(benchmark, &mut injector, max_cycles)
-                }
-                FaultModel::StaWithNoise => {
-                    let mut injector = study.model_b_plus(point, trial_seed);
-                    run_one_trial(benchmark, &mut injector, max_cycles)
-                }
-                FaultModel::StatisticalDta => {
-                    let mut injector = study.model_c(point, trial_seed);
-                    run_one_trial(benchmark, &mut injector, max_cycles)
-                }
-            }
-        })
-        .collect();
-    ExperimentSummary { trials: results }
+    run_cell_with_golden(
+        study,
+        benchmark,
+        model,
+        point,
+        trials,
+        seed,
+        0,
+        golden_cycles(benchmark),
+    )
 }
 
 /// Sweeps the clock frequency over `freqs_mhz` (keeping voltage and noise
 /// from `base_point`) and returns one [`SweepPoint`] per frequency.
+///
+/// The benchmark's fault-free golden run is simulated once for the whole
+/// sweep (it only sizes the watchdog and does not depend on the swept
+/// frequency), and every sweep point draws its trial seeds from its own
+/// [`derive_trial_seed`] cell stream, so points do not replay each other's
+/// fault sequences.
 pub fn frequency_sweep(
     study: &CaseStudy,
     benchmark: &dyn Benchmark,
@@ -189,11 +290,22 @@ pub fn frequency_sweep(
     trials: usize,
     seed: u64,
 ) -> Vec<SweepPoint> {
+    let golden = golden_cycles(benchmark);
     freqs_mhz
         .iter()
-        .map(|&f| SweepPoint {
+        .enumerate()
+        .map(|(cell_index, &f)| SweepPoint {
             freq_mhz: f,
-            summary: run_experiment(study, benchmark, model, base_point.at_frequency(f), trials, seed),
+            summary: run_cell_with_golden(
+                study,
+                benchmark,
+                model,
+                base_point.at_frequency(f),
+                trials,
+                seed,
+                cell_index as u64,
+                golden,
+            ),
         })
         .collect()
 }
@@ -205,7 +317,9 @@ pub fn point_of_first_failure(points: &[SweepPoint]) -> Option<f64> {
         .iter()
         .filter(|p| p.summary.correct_fraction() < 1.0)
         .map(|p| p.freq_mhz)
-        .fold(None, |acc: Option<f64>, f| Some(acc.map_or(f, |a| a.min(f))))
+        .fold(None, |acc: Option<f64>, f| {
+            Some(acc.map_or(f, |a| a.min(f)))
+        })
 }
 
 /// Relative frequency-over-scaling gain of a PoFF over the STA limit
@@ -276,8 +390,14 @@ mod tests {
         // Even far below the STA limit model A injects faults — the
         // disconnect from operating conditions the paper criticises.
         let point = OperatingPoint::new(100.0, 0.7);
-        let summary =
-            run_experiment(&study, &bench, FaultModel::FixedProbability(0.002), point, 3, 5);
+        let summary = run_experiment(
+            &study,
+            &bench,
+            FaultModel::FixedProbability(0.002),
+            point,
+            3,
+            5,
+        );
         assert!(summary.mean_fi_rate() > 0.0);
     }
 
@@ -303,8 +423,14 @@ mod tests {
             5,
         );
         assert_eq!(below.correct_fraction(), 1.0);
-        assert!(above.correct_fraction() < 1.0, "model B fails immediately above the STA limit");
-        assert!(above.mean_fi_rate() > 100.0, "model B injects on almost every ALU cycle");
+        assert!(
+            above.correct_fraction() < 1.0,
+            "model B fails immediately above the STA limit"
+        );
+        assert!(
+            above.mean_fi_rate() > 100.0,
+            "model B injects on almost every ALU cycle"
+        );
     }
 
     #[test]
@@ -341,12 +467,63 @@ mod tests {
     fn zero_trials_panics() {
         let study = fast_study();
         let bench = MedianBenchmark::new(21, 3);
-        run_experiment(&study, &bench, FaultModel::None, OperatingPoint::new(700.0, 0.7), 0, 0);
+        run_experiment(
+            &study,
+            &bench,
+            FaultModel::None,
+            OperatingPoint::new(700.0, 0.7),
+            0,
+            0,
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least two points")]
     fn invalid_grid_panics() {
         frequency_grid(100.0, 200.0, 1);
+    }
+
+    #[test]
+    fn trial_seeds_are_decorrelated() {
+        // Trial 0 must not reuse the campaign seed verbatim.
+        assert_ne!(derive_trial_seed(5, 0, 0), 5);
+        // Cells sharing a campaign seed draw distinct streams.
+        assert_ne!(derive_trial_seed(5, 0, 0), derive_trial_seed(5, 1, 0));
+        // Trials within a cell are distinct.
+        assert_ne!(derive_trial_seed(5, 0, 0), derive_trial_seed(5, 0, 1));
+        // The derivation is a pure function.
+        assert_eq!(derive_trial_seed(5, 3, 7), derive_trial_seed(5, 3, 7));
+        // No trivial collisions across a small grid.
+        let mut seen = std::collections::HashSet::new();
+        for cell in 0..16u64 {
+            for trial in 0..64u64 {
+                assert!(seen.insert(derive_trial_seed(99, cell, trial)));
+            }
+        }
+    }
+
+    #[test]
+    fn checked_mean_output_error_handles_empty_and_unfinished() {
+        let empty = ExperimentSummary { trials: vec![] };
+        assert_eq!(empty.checked_mean_output_error(), None);
+        assert!(empty.mean_output_error().is_nan());
+        let crashed = ExperimentSummary {
+            trials: vec![TrialResult {
+                finished: false,
+                correct: false,
+                output_error: f64::NAN,
+                fi_rate_per_kcycle: 3.0,
+                cycles: 17,
+            }],
+        };
+        assert_eq!(crashed.checked_mean_output_error(), None);
+        assert!(crashed.mean_output_error().is_nan());
+    }
+
+    #[test]
+    fn watchdog_has_a_floor_and_saturates() {
+        assert_eq!(watchdog_cycles(0), 100_000);
+        assert_eq!(watchdog_cycles(1_000_000), 8_000_000);
+        assert_eq!(watchdog_cycles(u64::MAX), u64::MAX);
     }
 }

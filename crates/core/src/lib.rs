@@ -22,6 +22,13 @@
 //!    supply-voltage reductions and core-power savings (the error-vs-power
 //!    trade-off of Fig. 7).
 //!
+//! The experiment functions here are the *sequential, one-shot* layer:
+//! they run cells trial by trial via [`experiment::run_single_trial`]
+//! with [`experiment::derive_trial_seed`] seeding.  The `sfi-campaign`
+//! crate builds the parallel, adaptive, resumable campaign engine on the
+//! same primitives — a single-cell campaign and a
+//! [`experiment::run_experiment`] call produce identical trials.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -48,8 +55,8 @@ pub mod power;
 pub mod study;
 
 pub use experiment::{
-    frequency_sweep, point_of_first_failure, run_experiment, ExperimentSummary, FaultModel,
-    SweepPoint, TrialResult,
+    derive_trial_seed, frequency_sweep, point_of_first_failure, run_experiment, run_single_trial,
+    watchdog_cycles, ExperimentSummary, FaultModel, SweepPoint, TrialResult,
 };
 pub use power::{PowerModel, TradeoffPoint};
 pub use study::{CaseStudy, CaseStudyConfig};

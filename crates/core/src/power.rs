@@ -21,7 +21,10 @@ pub struct PowerModel {
 impl PowerModel {
     /// The paper's 28 nm reference points.
     pub fn paper_28nm() -> Self {
-        PowerModel { low_ref: (0.6, 10.9, 0.02), high_ref: (0.7, 15.0, 0.03) }
+        PowerModel {
+            low_ref: (0.6, 10.9, 0.02),
+            high_ref: (0.7, 15.0, 0.03),
+        }
     }
 
     /// Active core power in µW/MHz at supply voltage `vdd`, following the
@@ -77,7 +80,10 @@ impl Default for PowerModel {
 /// Panics if `gain < 1.0` is not finite or `vdd_nominal` is not covered by
 /// the curve.
 pub fn equivalent_voltage_for_gain(curve: &VddDelayCurve, vdd_nominal: f64, gain: f64) -> f64 {
-    assert!(gain.is_finite() && gain >= 1.0, "gain must be >= 1.0, got {gain}");
+    assert!(
+        gain.is_finite() && gain >= 1.0,
+        "gain must be >= 1.0, got {gain}"
+    );
     let target_factor = curve.delay_factor(vdd_nominal) * gain;
     // The delay factor decreases monotonically with voltage: bisect.
     let (mut lo, mut hi) = (0.45, vdd_nominal);

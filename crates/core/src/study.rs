@@ -9,8 +9,8 @@ use sfi_netlist::alu::AluDatapath;
 use sfi_netlist::{DelayModel, VoltageScaling};
 use sfi_timing::{
     calibrate_delay_model_with_multipliers, characterize_alu_with_multipliers,
-    synthesis_node_multipliers, CharacterizationConfig, OperandDistribution,
-    StaticTimingAnalysis, TimingCharacterization, UnitBudgets, VddDelayCurve,
+    synthesis_node_multipliers, CharacterizationConfig, OperandDistribution, StaticTimingAnalysis,
+    TimingCharacterization, UnitBudgets, VddDelayCurve,
 };
 
 /// Configuration of the case study.
@@ -94,7 +94,10 @@ impl CaseStudy {
     /// Panics if the configuration is inconsistent (zero width, no
     /// voltages, invalid budgets, …).
     pub fn build(config: CaseStudyConfig) -> Self {
-        assert!(!config.voltages.is_empty(), "at least one supply voltage must be characterized");
+        assert!(
+            !config.voltages.is_empty(),
+            "at least one supply voltage must be characterized"
+        );
         let scaling = VoltageScaling::default_28nm();
         let alu = AluDatapath::build(config.alu_width);
         let base_delays = DelayModel::default_28nm();
@@ -124,10 +127,27 @@ impl CaseStudy {
                     seed: config.seed,
                     operands: OperandDistribution::UniformFull,
                 };
-                (vdd, characterize_alu_with_multipliers(&alu, &delays, &scaling, &cfg, Some(&node_multipliers)))
+                (
+                    vdd,
+                    characterize_alu_with_multipliers(
+                        &alu,
+                        &delays,
+                        &scaling,
+                        &cfg,
+                        Some(&node_multipliers),
+                    ),
+                )
             })
             .collect();
-        CaseStudy { config, alu, scaling, delays, node_multipliers, curve, characterizations }
+        CaseStudy {
+            config,
+            alu,
+            scaling,
+            delays,
+            node_multipliers,
+            curve,
+            characterizations,
+        }
     }
 
     /// The configuration the study was built with.
@@ -170,7 +190,9 @@ impl CaseStudy {
             .iter()
             .find(|(v, _)| (v - vdd).abs() < 1e-9)
             .map(|(_, c)| c)
-            .unwrap_or_else(|| panic!("no characterization at {vdd} V; configure it in CaseStudyConfig::voltages"))
+            .unwrap_or_else(|| {
+                panic!("no characterization at {vdd} V; configure it in CaseStudyConfig::voltages")
+            })
     }
 
     /// The static timing limit (MHz) at supply voltage `vdd`.
@@ -211,7 +233,12 @@ impl CaseStudy {
 
     /// Creates a model B+ injector (STA + supply noise) for `point`.
     pub fn model_b_plus(&self, point: OperatingPoint, seed: u64) -> StaWithNoiseModel {
-        StaWithNoiseModel::new(self.characterization(point.vdd()), point, self.curve.clone(), seed)
+        StaWithNoiseModel::new(
+            self.characterization(point.vdd()),
+            point,
+            self.curve.clone(),
+            seed,
+        )
     }
 
     /// Creates a model C injector (statistical DTA CDFs) for `point`.
@@ -237,7 +264,10 @@ mod tests {
     fn calibration_hits_target() {
         let study = fast_study();
         let sta = study.sta_limit_mhz(0.7);
-        assert!((sta - 707.0).abs() < 1.0, "STA limit {sta} should be ~707 MHz");
+        assert!(
+            (sta - 707.0).abs() < 1.0,
+            "STA limit {sta} should be ~707 MHz"
+        );
         assert_eq!(study.endpoint_count(), 8);
         assert_eq!(study.config().alu_width, 8);
         assert_eq!(study.node_multipliers().len(), study.alu().netlist().len());

@@ -25,7 +25,11 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { max_cycles: 10_000_000, fi_window: None, branch_penalty: 2 }
+        RunConfig {
+            max_cycles: 10_000_000,
+            fi_window: None,
+            branch_penalty: 2,
+        }
     }
 }
 
@@ -92,7 +96,12 @@ impl Core {
     /// Creates a core with the given program and a zeroed data memory of
     /// `dmem_words` words.
     pub fn new(program: Program, dmem_words: usize) -> Self {
-        Core { program, state: CpuState::new(), memory: Memory::new(dmem_words), stats: RunStats::new() }
+        Core {
+            program,
+            state: CpuState::new(),
+            memory: Memory::new(dmem_words),
+            stats: RunStats::new(),
+        }
     }
 
     /// The architectural state (registers, flag, PC).
@@ -143,22 +152,35 @@ impl Core {
         injector.begin_run();
         loop {
             if self.state.pc as usize == self.program.len() {
-                return RunOutcome::Finished { cycles: self.stats.cycles };
+                return RunOutcome::Finished {
+                    cycles: self.stats.cycles,
+                };
             }
             let Some(instruction) = self.program.fetch(self.state.pc) else {
-                return RunOutcome::InvalidPc { cycles: self.stats.cycles, pc: self.state.pc };
+                return RunOutcome::InvalidPc {
+                    cycles: self.stats.cycles,
+                    pc: self.state.pc,
+                };
             };
             if self.stats.cycles >= config.max_cycles {
-                return RunOutcome::Watchdog { cycles: self.stats.cycles };
+                return RunOutcome::Watchdog {
+                    cycles: self.stats.cycles,
+                };
             }
             if let Err(error) = self.step(instruction, config, injector) {
-                return RunOutcome::MemoryFault { cycles: self.stats.cycles, error };
+                return RunOutcome::MemoryFault {
+                    cycles: self.stats.cycles,
+                    error,
+                };
             }
         }
     }
 
     fn fi_enabled(&self, config: &RunConfig) -> bool {
-        config.fi_window.as_ref().is_none_or(|w| w.contains(&self.state.pc))
+        config
+            .fi_window
+            .as_ref()
+            .is_none_or(|w| w.contains(&self.state.pc))
     }
 
     fn step<F: FaultInjector + ?Sized>(
@@ -227,7 +249,8 @@ impl Core {
                 cycles_this_instruction += config.branch_penalty;
             }
             Jal { offset } => {
-                self.state.set_reg(Instruction::LINK_REGISTER, self.state.pc.wrapping_add(1));
+                self.state
+                    .set_reg(Instruction::LINK_REGISTER, self.state.pc.wrapping_add(1));
                 next_pc = Self::relative_target(self.state.pc, offset);
                 cycles_this_instruction += config.branch_penalty;
             }
@@ -240,7 +263,8 @@ impl Core {
             _ => unreachable!("non-ALU instruction not covered: {instruction}"),
         }
 
-        self.stats.record_instruction(instruction.kind(), instruction.alu_class());
+        self.stats
+            .record_instruction(instruction.kind(), instruction.alu_class());
         self.stats.cycles += cycles_this_instruction;
         if fi_enabled {
             self.stats.kernel_cycles += cycles_this_instruction;
@@ -328,14 +352,46 @@ mod tests {
     #[test]
     fn arithmetic_and_immediates() {
         let mut p = ProgramBuilder::new();
-        p.push(Instruction::Addi { rd: Reg(1), ra: Reg(0), imm: 100 });
-        p.push(Instruction::Addi { rd: Reg(2), ra: Reg(0), imm: -3 });
-        p.push(Instruction::Add { rd: Reg(3), ra: Reg(1), rb: Reg(2) });
-        p.push(Instruction::Mul { rd: Reg(4), ra: Reg(3), rb: Reg(1) });
-        p.push(Instruction::Sub { rd: Reg(5), ra: Reg(4), rb: Reg(3) });
-        p.push(Instruction::Xori { rd: Reg(6), ra: Reg(5), imm: 0xFF });
-        p.push(Instruction::Slli { rd: Reg(7), ra: Reg(1), shamt: 4 });
-        p.push(Instruction::Srai { rd: Reg(8), ra: Reg(2), shamt: 1 });
+        p.push(Instruction::Addi {
+            rd: Reg(1),
+            ra: Reg(0),
+            imm: 100,
+        });
+        p.push(Instruction::Addi {
+            rd: Reg(2),
+            ra: Reg(0),
+            imm: -3,
+        });
+        p.push(Instruction::Add {
+            rd: Reg(3),
+            ra: Reg(1),
+            rb: Reg(2),
+        });
+        p.push(Instruction::Mul {
+            rd: Reg(4),
+            ra: Reg(3),
+            rb: Reg(1),
+        });
+        p.push(Instruction::Sub {
+            rd: Reg(5),
+            ra: Reg(4),
+            rb: Reg(3),
+        });
+        p.push(Instruction::Xori {
+            rd: Reg(6),
+            ra: Reg(5),
+            imm: 0xFF,
+        });
+        p.push(Instruction::Slli {
+            rd: Reg(7),
+            ra: Reg(1),
+            shamt: 4,
+        });
+        p.push(Instruction::Srai {
+            rd: Reg(8),
+            ra: Reg(2),
+            shamt: 1,
+        });
         let (core, outcome) = run_program(p);
         assert!(outcome.finished());
         assert_eq!(core.state().reg(Reg(3)), 97);
@@ -350,8 +406,16 @@ mod tests {
     fn memory_and_movhi() {
         let mut p = ProgramBuilder::new();
         p.load_immediate(Reg(1), 0x1234_5678);
-        p.push(Instruction::Sw { ra: Reg(0), rb: Reg(1), offset: 16 });
-        p.push(Instruction::Lwz { rd: Reg(2), ra: Reg(0), offset: 16 });
+        p.push(Instruction::Sw {
+            ra: Reg(0),
+            rb: Reg(1),
+            offset: 16,
+        });
+        p.push(Instruction::Lwz {
+            rd: Reg(2),
+            ra: Reg(0),
+            offset: 16,
+        });
         let (core, outcome) = run_program(p);
         assert!(outcome.finished());
         assert_eq!(core.state().reg(Reg(2)), 0x1234_5678);
@@ -362,11 +426,26 @@ mod tests {
     fn loop_counts_down() {
         // r3 = 10; do { r4 += r3; r3 -= 1 } while (r3 != 0);
         let mut p = ProgramBuilder::new();
-        p.push(Instruction::Addi { rd: Reg(3), ra: Reg(0), imm: 10 });
+        p.push(Instruction::Addi {
+            rd: Reg(3),
+            ra: Reg(0),
+            imm: 10,
+        });
         let head = p.label();
-        p.push(Instruction::Add { rd: Reg(4), ra: Reg(4), rb: Reg(3) });
-        p.push(Instruction::Addi { rd: Reg(3), ra: Reg(3), imm: -1 });
-        p.push(Instruction::Sfne { ra: Reg(3), rb: Reg(0) });
+        p.push(Instruction::Add {
+            rd: Reg(4),
+            ra: Reg(4),
+            rb: Reg(3),
+        });
+        p.push(Instruction::Addi {
+            rd: Reg(3),
+            ra: Reg(3),
+            imm: -1,
+        });
+        p.push(Instruction::Sfne {
+            ra: Reg(3),
+            rb: Reg(0),
+        });
         p.branch_if_flag(head);
         let (core, outcome) = run_program(p);
         assert!(outcome.finished());
@@ -381,28 +460,69 @@ mod tests {
     #[test]
     fn comparisons_signed_and_unsigned() {
         let mut p = ProgramBuilder::new();
-        p.push(Instruction::Addi { rd: Reg(1), ra: Reg(0), imm: -1 }); // 0xFFFF_FFFF
-        p.push(Instruction::Addi { rd: Reg(2), ra: Reg(0), imm: 1 });
+        p.push(Instruction::Addi {
+            rd: Reg(1),
+            ra: Reg(0),
+            imm: -1,
+        }); // 0xFFFF_FFFF
+        p.push(Instruction::Addi {
+            rd: Reg(2),
+            ra: Reg(0),
+            imm: 1,
+        });
         // Signed: -1 < 1 -> flag set.
-        p.push(Instruction::Sflts { ra: Reg(1), rb: Reg(2) });
-        p.push(Instruction::Addi { rd: Reg(10), ra: Reg(0), imm: 0 });
+        p.push(Instruction::Sflts {
+            ra: Reg(1),
+            rb: Reg(2),
+        });
+        p.push(Instruction::Addi {
+            rd: Reg(10),
+            ra: Reg(0),
+            imm: 0,
+        });
         let skip = p.forward_label();
         p.branch_if_not_flag(skip);
-        p.push(Instruction::Addi { rd: Reg(10), ra: Reg(0), imm: 1 });
+        p.push(Instruction::Addi {
+            rd: Reg(10),
+            ra: Reg(0),
+            imm: 1,
+        });
         p.bind(skip);
         // Unsigned: 0xFFFF_FFFF < 1 is false -> flag clear.
-        p.push(Instruction::Sfltu { ra: Reg(1), rb: Reg(2) });
-        p.push(Instruction::Addi { rd: Reg(11), ra: Reg(0), imm: 0 });
+        p.push(Instruction::Sfltu {
+            ra: Reg(1),
+            rb: Reg(2),
+        });
+        p.push(Instruction::Addi {
+            rd: Reg(11),
+            ra: Reg(0),
+            imm: 0,
+        });
         let skip2 = p.forward_label();
         p.branch_if_flag(skip2);
-        p.push(Instruction::Addi { rd: Reg(11), ra: Reg(0), imm: 1 });
+        p.push(Instruction::Addi {
+            rd: Reg(11),
+            ra: Reg(0),
+            imm: 1,
+        });
         p.bind(skip2);
         // Swapped forms.
-        p.push(Instruction::Sfgts { ra: Reg(2), rb: Reg(1) }); // 1 > -1 -> set
-        p.push(Instruction::Addi { rd: Reg(12), ra: Reg(0), imm: 0 });
+        p.push(Instruction::Sfgts {
+            ra: Reg(2),
+            rb: Reg(1),
+        }); // 1 > -1 -> set
+        p.push(Instruction::Addi {
+            rd: Reg(12),
+            ra: Reg(0),
+            imm: 0,
+        });
         let skip3 = p.forward_label();
         p.branch_if_not_flag(skip3);
-        p.push(Instruction::Addi { rd: Reg(12), ra: Reg(0), imm: 1 });
+        p.push(Instruction::Addi {
+            rd: Reg(12),
+            ra: Reg(0),
+            imm: 1,
+        });
         p.bind(skip3);
         let (core, outcome) = run_program(p);
         assert!(outcome.finished());
@@ -416,12 +536,22 @@ mod tests {
         let mut p = ProgramBuilder::new();
         let sub = p.forward_label();
         p.jump_and_link(sub);
-        p.push(Instruction::Addi { rd: Reg(2), ra: Reg(2), imm: 1 });
+        p.push(Instruction::Addi {
+            rd: Reg(2),
+            ra: Reg(2),
+            imm: 1,
+        });
         let end = p.forward_label();
         p.jump(end);
         p.bind(sub);
-        p.push(Instruction::Addi { rd: Reg(1), ra: Reg(0), imm: 55 });
-        p.push(Instruction::Jr { ra: Instruction::LINK_REGISTER });
+        p.push(Instruction::Addi {
+            rd: Reg(1),
+            ra: Reg(0),
+            imm: 55,
+        });
+        p.push(Instruction::Jr {
+            ra: Instruction::LINK_REGISTER,
+        });
         p.bind(end);
         p.push(Instruction::Nop);
         let (core, outcome) = run_program(p);
@@ -436,7 +566,10 @@ mod tests {
         let head = p.label();
         p.jump(head);
         let mut core = Core::new(p.build(), 16);
-        let outcome = core.run(&RunConfig { max_cycles: 1000, ..Default::default() });
+        let outcome = core.run(&RunConfig {
+            max_cycles: 1000,
+            ..Default::default()
+        });
         assert!(matches!(outcome, RunOutcome::Watchdog { .. }));
         assert!(!outcome.finished());
         assert!(outcome.cycles() >= 1000);
@@ -445,7 +578,11 @@ mod tests {
     #[test]
     fn memory_fault_aborts() {
         let mut p = ProgramBuilder::new();
-        p.push(Instruction::Lwz { rd: Reg(1), ra: Reg(0), offset: 0x7FFC });
+        p.push(Instruction::Lwz {
+            rd: Reg(1),
+            ra: Reg(0),
+            offset: 0x7FFC,
+        });
         let mut core = Core::new(p.build(), 16);
         let outcome = core.run(&RunConfig::default());
         assert!(matches!(outcome, RunOutcome::MemoryFault { .. }));
@@ -480,16 +617,36 @@ mod tests {
         // first iteration — the "wrong branching behavior" the paper calls
         // out as a frequent consequence of injected faults.
         let mut p = ProgramBuilder::new();
-        p.push(Instruction::Addi { rd: Reg(3), ra: Reg(0), imm: 3 });
+        p.push(Instruction::Addi {
+            rd: Reg(3),
+            ra: Reg(0),
+            imm: 3,
+        });
         let head = p.label();
-        p.push(Instruction::Addi { rd: Reg(3), ra: Reg(3), imm: -1 });
-        p.push(Instruction::Sfne { ra: Reg(3), rb: Reg(0) });
+        p.push(Instruction::Addi {
+            rd: Reg(3),
+            ra: Reg(3),
+            imm: -1,
+        });
+        p.push(Instruction::Sfne {
+            ra: Reg(3),
+            rb: Reg(0),
+        });
         p.branch_if_flag(head);
         let mut core = Core::new(p.build(), 16);
-        let outcome = core
-            .run_with_injector(&RunConfig { max_cycles: 5000, ..Default::default() }, &mut FlagFlipper);
+        let outcome = core.run_with_injector(
+            &RunConfig {
+                max_cycles: 5000,
+                ..Default::default()
+            },
+            &mut FlagFlipper,
+        );
         assert!(outcome.finished());
-        assert_ne!(core.state().reg(Reg(3)), 0, "the loop must have exited early");
+        assert_ne!(
+            core.state().reg(Reg(3)),
+            0,
+            "the loop must have exited early"
+        );
         assert!(core.stats().injected_faults > 0);
     }
 
@@ -510,16 +667,31 @@ mod tests {
     #[test]
     fn fi_window_limits_injection() {
         let mut p = ProgramBuilder::new();
-        p.push(Instruction::Addi { rd: Reg(1), ra: Reg(0), imm: 1 }); // outside window
-        p.push(Instruction::Addi { rd: Reg(2), ra: Reg(0), imm: 1 }); // inside window
+        p.push(Instruction::Addi {
+            rd: Reg(1),
+            ra: Reg(0),
+            imm: 1,
+        }); // outside window
+        p.push(Instruction::Addi {
+            rd: Reg(2),
+            ra: Reg(0),
+            imm: 1,
+        }); // inside window
         let program = p.build();
 
         let mut core = Core::new(program, 16);
-        let config = RunConfig { fi_window: Some(1..2), ..Default::default() };
+        let config = RunConfig {
+            fi_window: Some(1..2),
+            ..Default::default()
+        };
         let outcome = core.run_with_injector(&config, &mut AddBit4Flipper);
         assert!(outcome.finished());
         assert_eq!(core.state().reg(Reg(1)), 1, "outside the window: no fault");
-        assert_eq!(core.state().reg(Reg(2)), 1 + 16, "inside the window: bit 4 flipped");
+        assert_eq!(
+            core.state().reg(Reg(2)),
+            1 + 16,
+            "inside the window: bit 4 flipped"
+        );
         assert_eq!(core.stats().injected_faults, 1);
         assert_eq!(core.stats().kernel_cycles, 1);
         assert!(core.stats().fi_rate_per_kcycle() > 0.0);
@@ -528,7 +700,11 @@ mod tests {
     #[test]
     fn reset_preserves_memory() {
         let mut p = ProgramBuilder::new();
-        p.push(Instruction::Addi { rd: Reg(1), ra: Reg(0), imm: 7 });
+        p.push(Instruction::Addi {
+            rd: Reg(1),
+            ra: Reg(0),
+            imm: 7,
+        });
         let mut core = Core::new(p.build(), 16);
         core.memory_mut().store_word(0, 99).unwrap();
         let _ = core.run(&RunConfig::default());
@@ -545,7 +721,10 @@ mod tests {
         assert_eq!(Core::alu_result(AluClass::Add, u32::MAX, 1), 0);
         assert_eq!(Core::alu_result(AluClass::Sra, 0x8000_0000, 31), u32::MAX);
         assert_eq!(Core::alu_result(AluClass::Srl, 0x8000_0000, 31), 1);
-        assert_eq!(Core::alu_result(AluClass::Mul, 0x1_0001, 0x1_0001), 0x2_0001);
+        assert_eq!(
+            Core::alu_result(AluClass::Mul, 0x1_0001, 0x1_0001),
+            0x2_0001
+        );
         assert_eq!(Core::alu_result(AluClass::SfLts, u32::MAX, 0), 1);
         assert_eq!(Core::alu_result(AluClass::SfLtu, u32::MAX, 0), 0);
     }

@@ -48,7 +48,9 @@ impl std::error::Error for MemoryError {}
 impl Memory {
     /// Creates a zero-initialized memory of `words` 32-bit words.
     pub fn new(words: usize) -> Self {
-        Memory { words: vec![0; words] }
+        Memory {
+            words: vec![0; words],
+        }
     }
 
     /// Size of the memory in words.
@@ -67,7 +69,7 @@ impl Memory {
     }
 
     fn word_index(&self, address: u32, is_store: bool) -> Result<usize, MemoryError> {
-        if address % 4 != 0 {
+        if !address.is_multiple_of(4) {
             return Err(MemoryError { address, is_store });
         }
         let index = (address / 4) as usize;
@@ -119,7 +121,9 @@ impl Memory {
     /// Returns [`MemoryError`] if any read word would fall outside the
     /// memory.
     pub fn read_block(&self, address: u32, count: usize) -> Result<Vec<u32>, MemoryError> {
-        (0..count).map(|i| self.load_word(address + 4 * i as u32)).collect()
+        (0..count)
+            .map(|i| self.load_word(address + 4 * i as u32))
+            .collect()
     }
 
     /// Direct view of the backing words (mainly for tests and metrics).

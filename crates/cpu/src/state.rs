@@ -32,7 +32,11 @@ pub struct CpuState {
 impl CpuState {
     /// Creates a reset state (all registers zero, flag clear, PC at 0).
     pub fn new() -> Self {
-        CpuState { regs: [0; REGISTER_COUNT], flag: false, pc: 0 }
+        CpuState {
+            regs: [0; REGISTER_COUNT],
+            flag: false,
+            pc: 0,
+        }
     }
 
     /// Reads a register.

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! crate implements the slice of criterion's API the bench targets use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], `criterion_group!` and `criterion_main!`.
+//!
+//! Measurement is deliberately simple: each benchmark runs one warm-up
+//! iteration plus `sample_size` timed iterations and reports min / mean /
+//! max wall-clock time.  There is no statistical analysis, plotting or
+//! HTML report — the goal is that `cargo bench` exercises the same code
+//! paths end to end and prints comparable numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a benchmarked value away.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Runs the closure under timing (the argument of `bench_function`).
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `sample_size` iterations of `f` (after one warm-up call).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        hint::black_box(f());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{name:<48} time: [{:>12?} {:>12?} {:>12?}]  ({} samples)",
+        min,
+        mean,
+        max,
+        samples.len()
+    );
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&name, &bencher.samples);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (prefixes every entry with the group name).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        self.parent.bench_function(full, f);
+        self
+    }
+
+    /// Finishes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ( name = $name:ident; config = $config:expr; targets = $( $target:path ),+ $(,)? ) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $( $target:path ),+ $(,)? ) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $( $target ),+
+        }
+    };
+}
+
+/// Declares the `main` function running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $( $group:path ),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.bench_function(format!("{}_cycles", 8), |b| b.iter(|| black_box(2 * 2)));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = shim_group;
+        config = Criterion::default().sample_size(3);
+        targets = target
+    }
+
+    #[test]
+    fn harness_runs() {
+        shim_group();
+    }
+}

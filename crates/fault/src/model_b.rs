@@ -39,7 +39,10 @@ impl StaPeriodViolationModel {
         let endpoint_delays_ps = (0..characterization.endpoint_count())
             .map(|e| characterization.sta_endpoint_delay_ps(e))
             .collect();
-        StaPeriodViolationModel { endpoint_delays_ps, period_ps: point.period_ps() }
+        StaPeriodViolationModel {
+            endpoint_delays_ps,
+            period_ps: point.period_ps(),
+        }
     }
 
     /// Creates the model directly from per-endpoint STA delays (ps).
@@ -48,9 +51,15 @@ impl StaPeriodViolationModel {
     ///
     /// Panics if no delays are given or the period is not positive.
     pub fn from_delays(endpoint_delays_ps: Vec<f64>, period_ps: f64) -> Self {
-        assert!(!endpoint_delays_ps.is_empty(), "at least one endpoint is required");
+        assert!(
+            !endpoint_delays_ps.is_empty(),
+            "at least one endpoint is required"
+        );
         assert!(period_ps > 0.0, "period must be positive, got {period_ps}");
-        StaPeriodViolationModel { endpoint_delays_ps, period_ps }
+        StaPeriodViolationModel {
+            endpoint_delays_ps,
+            period_ps,
+        }
     }
 
     fn violation_mask(&self, delay_factor: f64) -> u32 {
@@ -148,7 +157,10 @@ mod tests {
             &alu,
             &DelayModel::default_28nm(),
             &VoltageScaling::default_28nm(),
-            &CharacterizationConfig { cycles_per_op: 32, ..Default::default() },
+            &CharacterizationConfig {
+                cycles_per_op: 32,
+                ..Default::default()
+            },
         )
     }
 
@@ -193,11 +205,14 @@ mod tests {
         let mut slightly =
             StaPeriodViolationModel::new(&ch, OperatingPoint::new(sta_limit * 1.02, 0.7));
         let mask_low = slightly.inject(&ctx(true));
-        let mut far =
-            StaPeriodViolationModel::new(&ch, OperatingPoint::new(sta_limit * 2.0, 0.7));
+        let mut far = StaPeriodViolationModel::new(&ch, OperatingPoint::new(sta_limit * 2.0, 0.7));
         let mask_high = far.inject(&ctx(true));
         assert!(mask_high.count_ones() >= mask_low.count_ones());
-        assert_eq!(mask_low & mask_high, mask_low, "violations grow monotonically");
+        assert_eq!(
+            mask_low & mask_high,
+            mask_low,
+            "violations grow monotonically"
+        );
     }
 
     #[test]
@@ -224,7 +239,10 @@ mod tests {
             bp_faults += (bp.inject(&ctx(true)) != 0) as u32;
         }
         assert_eq!(b_faults, 0);
-        assert!(bp_faults > 0, "noise must occasionally cause violations below the STA limit");
+        assert!(
+            bp_faults > 0,
+            "noise must occasionally cause violations below the STA limit"
+        );
         assert!(
             bp_faults < 2000,
             "violations below the STA limit must be occasional, not constant"

@@ -100,7 +100,9 @@ impl FaultInjector for StatisticalDtaModel {
         // draws.
         let mut mask = 0u32;
         for endpoint in 0..self.characterization.endpoint_count().min(32) {
-            let p = self.characterization.error_probability(op, endpoint, period_ps, delay_factor);
+            let p = self
+                .characterization
+                .error_probability(op, endpoint, period_ps, delay_factor);
             if p > 0.0 && self.rng.gen_bool(p) {
                 mask |= 1 << endpoint;
             }
@@ -123,7 +125,10 @@ mod tests {
             &alu,
             &DelayModel::default_28nm(),
             &VoltageScaling::default_28nm(),
-            &CharacterizationConfig { cycles_per_op: 64, ..Default::default() },
+            &CharacterizationConfig {
+                cycles_per_op: 64,
+                ..Default::default()
+            },
         )
     }
 
@@ -185,7 +190,10 @@ mod tests {
         let mut high = base.at_frequency(f0 * 1.5, 3);
         let r_low = fault_rate(&mut low, AluClass::Mul, 400);
         let r_high = fault_rate(&mut high, AluClass::Mul, 400);
-        assert!(r_high > r_low, "rate must grow with frequency ({r_low} vs {r_high})");
+        assert!(
+            r_high > r_low,
+            "rate must grow with frequency ({r_low} vs {r_high})"
+        );
     }
 
     #[test]

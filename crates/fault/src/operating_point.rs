@@ -31,7 +31,11 @@ impl OperatingPoint {
     pub fn new(freq_mhz: f64, vdd: f64) -> Self {
         assert!(freq_mhz > 0.0, "frequency must be positive, got {freq_mhz}");
         assert!(vdd > 0.0, "supply voltage must be positive, got {vdd}");
-        OperatingPoint { freq_mhz, vdd, noise: VoltageNoise::none() }
+        OperatingPoint {
+            freq_mhz,
+            vdd,
+            noise: VoltageNoise::none(),
+        }
     }
 
     /// Sets the supply-noise standard deviation in millivolts.
@@ -109,7 +113,8 @@ mod tests {
 
     #[test]
     fn explicit_noise_model() {
-        let op = OperatingPoint::new(500.0, 0.8).with_noise(VoltageNoise::with_sigma_mv(10.0).with_clip_sigmas(3.0));
+        let op = OperatingPoint::new(500.0, 0.8)
+            .with_noise(VoltageNoise::with_sigma_mv(10.0).with_clip_sigmas(3.0));
         assert_eq!(op.noise().clip_sigmas(), 3.0);
     }
 

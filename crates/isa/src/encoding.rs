@@ -109,7 +109,10 @@ pub fn encode(instruction: Instruction) -> u32 {
         s as u32
     };
     let branch26 = |o: i32| -> u32 {
-        assert!((-(1 << 25)..(1 << 25)).contains(&o), "branch offset {o} out of range");
+        assert!(
+            (-(1 << 25)..(1 << 25)).contains(&o),
+            "branch offset {o} out of range"
+        );
         (o as u32) & 0x03FF_FFFF
     };
     let rtype = |op: u32, rd: Reg, ra: Reg, rb: Reg| {
@@ -195,11 +198,19 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
         OP_SLL => Sll { rd, ra, rb },
         OP_SRL => Srl { rd, ra, rb },
         OP_SRA => Sra { rd, ra, rb },
-        OP_ADDI => Addi { rd, ra, imm: imm as i16 },
+        OP_ADDI => Addi {
+            rd,
+            ra,
+            imm: imm as i16,
+        },
         OP_ANDI => Andi { rd, ra, imm },
         OP_ORI => Ori { rd, ra, imm },
         OP_XORI => Xori { rd, ra, imm },
-        OP_MULI => Muli { rd, ra, imm: imm as i16 },
+        OP_MULI => Muli {
+            rd,
+            ra,
+            imm: imm as i16,
+        },
         OP_SLLI => Slli { rd, ra, shamt },
         OP_SRLI => Srli { rd, ra, shamt },
         OP_SRAI => Srai { rd, ra, shamt },
@@ -220,12 +231,28 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
                 _ => return Err(DecodeError { word }),
             }
         }
-        OP_LWZ => Lwz { rd, ra, offset: imm as i16 },
-        OP_SW => Sw { ra, rb: rd, offset: imm as i16 },
-        OP_BF => Bf { offset: off26(word) },
-        OP_BNF => Bnf { offset: off26(word) },
-        OP_J => J { offset: off26(word) },
-        OP_JAL => Jal { offset: off26(word) },
+        OP_LWZ => Lwz {
+            rd,
+            ra,
+            offset: imm as i16,
+        },
+        OP_SW => Sw {
+            ra,
+            rb: rd,
+            offset: imm as i16,
+        },
+        OP_BF => Bf {
+            offset: off26(word),
+        },
+        OP_BNF => Bnf {
+            offset: off26(word),
+        },
+        OP_J => J {
+            offset: off26(word),
+        },
+        OP_JAL => Jal {
+            offset: off26(word),
+        },
         OP_JR => Jr { ra },
         _ => return Err(DecodeError { word }),
     };
@@ -240,37 +267,150 @@ mod tests {
         use Instruction::*;
         vec![
             Nop,
-            Add { rd: Reg(1), ra: Reg(2), rb: Reg(3) },
-            Sub { rd: Reg(31), ra: Reg(30), rb: Reg(29) },
-            And { rd: Reg(4), ra: Reg(5), rb: Reg(6) },
-            Or { rd: Reg(7), ra: Reg(8), rb: Reg(9) },
-            Xor { rd: Reg(10), ra: Reg(11), rb: Reg(12) },
-            Mul { rd: Reg(13), ra: Reg(14), rb: Reg(15) },
-            Sll { rd: Reg(16), ra: Reg(17), rb: Reg(18) },
-            Srl { rd: Reg(19), ra: Reg(20), rb: Reg(21) },
-            Sra { rd: Reg(22), ra: Reg(23), rb: Reg(24) },
-            Addi { rd: Reg(3), ra: Reg(4), imm: -32768 },
-            Addi { rd: Reg(3), ra: Reg(4), imm: 32767 },
-            Andi { rd: Reg(3), ra: Reg(4), imm: 0xFFFF },
-            Ori { rd: Reg(3), ra: Reg(4), imm: 0x00FF },
-            Xori { rd: Reg(3), ra: Reg(4), imm: 0xAAAA },
-            Muli { rd: Reg(3), ra: Reg(4), imm: -5 },
-            Slli { rd: Reg(3), ra: Reg(4), shamt: 31 },
-            Srli { rd: Reg(3), ra: Reg(4), shamt: 0 },
-            Srai { rd: Reg(3), ra: Reg(4), shamt: 16 },
-            Movhi { rd: Reg(3), imm: 0xBEEF },
-            Sfeq { ra: Reg(1), rb: Reg(2) },
-            Sfne { ra: Reg(1), rb: Reg(2) },
-            Sfltu { ra: Reg(1), rb: Reg(2) },
-            Sfgeu { ra: Reg(1), rb: Reg(2) },
-            Sfgtu { ra: Reg(1), rb: Reg(2) },
-            Sfleu { ra: Reg(1), rb: Reg(2) },
-            Sflts { ra: Reg(1), rb: Reg(2) },
-            Sfges { ra: Reg(1), rb: Reg(2) },
-            Sfgts { ra: Reg(1), rb: Reg(2) },
-            Sfles { ra: Reg(1), rb: Reg(2) },
-            Lwz { rd: Reg(5), ra: Reg(6), offset: -4 },
-            Sw { ra: Reg(6), rb: Reg(5), offset: 1024 },
+            Add {
+                rd: Reg(1),
+                ra: Reg(2),
+                rb: Reg(3),
+            },
+            Sub {
+                rd: Reg(31),
+                ra: Reg(30),
+                rb: Reg(29),
+            },
+            And {
+                rd: Reg(4),
+                ra: Reg(5),
+                rb: Reg(6),
+            },
+            Or {
+                rd: Reg(7),
+                ra: Reg(8),
+                rb: Reg(9),
+            },
+            Xor {
+                rd: Reg(10),
+                ra: Reg(11),
+                rb: Reg(12),
+            },
+            Mul {
+                rd: Reg(13),
+                ra: Reg(14),
+                rb: Reg(15),
+            },
+            Sll {
+                rd: Reg(16),
+                ra: Reg(17),
+                rb: Reg(18),
+            },
+            Srl {
+                rd: Reg(19),
+                ra: Reg(20),
+                rb: Reg(21),
+            },
+            Sra {
+                rd: Reg(22),
+                ra: Reg(23),
+                rb: Reg(24),
+            },
+            Addi {
+                rd: Reg(3),
+                ra: Reg(4),
+                imm: -32768,
+            },
+            Addi {
+                rd: Reg(3),
+                ra: Reg(4),
+                imm: 32767,
+            },
+            Andi {
+                rd: Reg(3),
+                ra: Reg(4),
+                imm: 0xFFFF,
+            },
+            Ori {
+                rd: Reg(3),
+                ra: Reg(4),
+                imm: 0x00FF,
+            },
+            Xori {
+                rd: Reg(3),
+                ra: Reg(4),
+                imm: 0xAAAA,
+            },
+            Muli {
+                rd: Reg(3),
+                ra: Reg(4),
+                imm: -5,
+            },
+            Slli {
+                rd: Reg(3),
+                ra: Reg(4),
+                shamt: 31,
+            },
+            Srli {
+                rd: Reg(3),
+                ra: Reg(4),
+                shamt: 0,
+            },
+            Srai {
+                rd: Reg(3),
+                ra: Reg(4),
+                shamt: 16,
+            },
+            Movhi {
+                rd: Reg(3),
+                imm: 0xBEEF,
+            },
+            Sfeq {
+                ra: Reg(1),
+                rb: Reg(2),
+            },
+            Sfne {
+                ra: Reg(1),
+                rb: Reg(2),
+            },
+            Sfltu {
+                ra: Reg(1),
+                rb: Reg(2),
+            },
+            Sfgeu {
+                ra: Reg(1),
+                rb: Reg(2),
+            },
+            Sfgtu {
+                ra: Reg(1),
+                rb: Reg(2),
+            },
+            Sfleu {
+                ra: Reg(1),
+                rb: Reg(2),
+            },
+            Sflts {
+                ra: Reg(1),
+                rb: Reg(2),
+            },
+            Sfges {
+                ra: Reg(1),
+                rb: Reg(2),
+            },
+            Sfgts {
+                ra: Reg(1),
+                rb: Reg(2),
+            },
+            Sfles {
+                ra: Reg(1),
+                rb: Reg(2),
+            },
+            Lwz {
+                rd: Reg(5),
+                ra: Reg(6),
+                offset: -4,
+            },
+            Sw {
+                ra: Reg(6),
+                rb: Reg(5),
+                offset: 1024,
+            },
             Bf { offset: -1 },
             Bnf { offset: 12345 },
             J { offset: -33554432 },
@@ -312,7 +452,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn invalid_register_panics() {
-        encode(Instruction::Add { rd: Reg(32), ra: Reg(0), rb: Reg(0) });
+        encode(Instruction::Add {
+            rd: Reg(32),
+            ra: Reg(0),
+            rb: Reg(0),
+        });
     }
 
     #[test]
@@ -324,6 +468,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn invalid_shift_amount_panics() {
-        encode(Instruction::Slli { rd: Reg(1), ra: Reg(1), shamt: 32 });
+        encode(Instruction::Slli {
+            rd: Reg(1),
+            ra: Reg(1),
+            shamt: 32,
+        });
     }
 }

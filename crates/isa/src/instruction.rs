@@ -412,11 +412,33 @@ impl Instruction {
     pub fn kind(&self) -> InstructionKind {
         use Instruction::*;
         match self {
-            Add { .. } | Sub { .. } | And { .. } | Or { .. } | Xor { .. } | Mul { .. }
-            | Sll { .. } | Srl { .. } | Sra { .. } | Addi { .. } | Andi { .. } | Ori { .. }
-            | Xori { .. } | Muli { .. } | Slli { .. } | Srli { .. } | Srai { .. }
-            | Movhi { .. } | Sfeq { .. } | Sfne { .. } | Sfltu { .. } | Sfgeu { .. }
-            | Sfgtu { .. } | Sfleu { .. } | Sflts { .. } | Sfges { .. } | Sfgts { .. }
+            Add { .. }
+            | Sub { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | Mul { .. }
+            | Sll { .. }
+            | Srl { .. }
+            | Sra { .. }
+            | Addi { .. }
+            | Andi { .. }
+            | Ori { .. }
+            | Xori { .. }
+            | Muli { .. }
+            | Slli { .. }
+            | Srli { .. }
+            | Srai { .. }
+            | Movhi { .. }
+            | Sfeq { .. }
+            | Sfne { .. }
+            | Sfltu { .. }
+            | Sfgeu { .. }
+            | Sfgtu { .. }
+            | Sfleu { .. }
+            | Sflts { .. }
+            | Sfges { .. }
+            | Sfgts { .. }
             | Sfles { .. } => InstructionKind::Alu,
             Lwz { .. } => InstructionKind::Load,
             Sw { .. } => InstructionKind::Store,
@@ -449,7 +471,13 @@ impl Instruction {
             Sfgeu { .. } | Sfleu { .. } => AluClass::SfGeu,
             Sflts { .. } | Sfgts { .. } => AluClass::SfLts,
             Sfges { .. } | Sfles { .. } => AluClass::SfGes,
-            Lwz { .. } | Sw { .. } | Bf { .. } | Bnf { .. } | J { .. } | Jal { .. } | Jr { .. }
+            Lwz { .. }
+            | Sw { .. }
+            | Bf { .. }
+            | Bnf { .. }
+            | J { .. }
+            | Jal { .. }
+            | Jr { .. }
             | Nop => return None,
         };
         Some(class)
@@ -470,11 +498,25 @@ impl Instruction {
     pub fn destination(&self) -> Option<Reg> {
         use Instruction::*;
         match self {
-            Add { rd, .. } | Sub { rd, .. } | And { rd, .. } | Or { rd, .. } | Xor { rd, .. }
-            | Mul { rd, .. } | Sll { rd, .. } | Srl { rd, .. } | Sra { rd, .. }
-            | Addi { rd, .. } | Andi { rd, .. } | Ori { rd, .. } | Xori { rd, .. }
-            | Muli { rd, .. } | Slli { rd, .. } | Srli { rd, .. } | Srai { rd, .. }
-            | Movhi { rd, .. } | Lwz { rd, .. } => Some(*rd),
+            Add { rd, .. }
+            | Sub { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Mul { rd, .. }
+            | Sll { rd, .. }
+            | Srl { rd, .. }
+            | Sra { rd, .. }
+            | Addi { rd, .. }
+            | Andi { rd, .. }
+            | Ori { rd, .. }
+            | Xori { rd, .. }
+            | Muli { rd, .. }
+            | Slli { rd, .. }
+            | Srli { rd, .. }
+            | Srai { rd, .. }
+            | Movhi { rd, .. }
+            | Lwz { rd, .. } => Some(*rd),
             Jal { .. } => Some(Self::LINK_REGISTER),
             _ => None,
         }
@@ -531,14 +573,22 @@ mod tests {
 
     #[test]
     fn classification() {
-        let add = Instruction::Add { rd: Reg(3), ra: Reg(1), rb: Reg(2) };
+        let add = Instruction::Add {
+            rd: Reg(3),
+            ra: Reg(1),
+            rb: Reg(2),
+        };
         assert_eq!(add.kind(), InstructionKind::Alu);
         assert_eq!(add.alu_class(), Some(AluClass::Add));
         assert!(add.is_alu());
         assert!(!add.writes_flag());
         assert_eq!(add.destination(), Some(Reg(3)));
 
-        let lwz = Instruction::Lwz { rd: Reg(4), ra: Reg(2), offset: 8 };
+        let lwz = Instruction::Lwz {
+            rd: Reg(4),
+            ra: Reg(2),
+            offset: 8,
+        };
         assert_eq!(lwz.kind(), InstructionKind::Load);
         assert_eq!(lwz.alu_class(), None);
         assert!(!lwz.is_alu());
@@ -557,12 +607,21 @@ mod tests {
 
     #[test]
     fn swapped_comparisons_share_datapath_class() {
-        let gtu = Instruction::Sfgtu { ra: Reg(1), rb: Reg(2) };
-        let ltu = Instruction::Sfltu { ra: Reg(1), rb: Reg(2) };
+        let gtu = Instruction::Sfgtu {
+            ra: Reg(1),
+            rb: Reg(2),
+        };
+        let ltu = Instruction::Sfltu {
+            ra: Reg(1),
+            rb: Reg(2),
+        };
         assert_eq!(gtu.alu_class(), Some(AluClass::SfLtu));
         assert_eq!(ltu.alu_class(), Some(AluClass::SfLtu));
         assert!(gtu.writes_flag());
-        let les = Instruction::Sfles { ra: Reg(1), rb: Reg(2) };
+        let les = Instruction::Sfles {
+            ra: Reg(1),
+            rb: Reg(2),
+        };
         assert_eq!(les.alu_class(), Some(AluClass::SfGes));
     }
 
@@ -575,11 +634,20 @@ mod tests {
 
     #[test]
     fn display_round() {
-        let i = Instruction::Addi { rd: Reg(3), ra: Reg(3), imm: -1 };
+        let i = Instruction::Addi {
+            rd: Reg(3),
+            ra: Reg(3),
+            imm: -1,
+        };
         assert_eq!(i.to_string(), "l.addi r3, r3, -1");
         assert_eq!(Instruction::Nop.to_string(), "l.nop");
         assert_eq!(
-            Instruction::Lwz { rd: Reg(5), ra: Reg(2), offset: 12 }.to_string(),
+            Instruction::Lwz {
+                rd: Reg(5),
+                ra: Reg(2),
+                offset: 12
+            }
+            .to_string(),
             "l.lwz r5, 12(r2)"
         );
         assert_eq!(AluClass::Mul.to_string(), "mul");
@@ -587,7 +655,10 @@ mod tests {
 
     #[test]
     fn movhi_is_alu_or_class() {
-        let movhi = Instruction::Movhi { rd: Reg(7), imm: 0x1234 };
+        let movhi = Instruction::Movhi {
+            rd: Reg(7),
+            imm: 0x1234,
+        };
         assert_eq!(movhi.alu_class(), Some(AluClass::Or));
         assert_eq!(movhi.destination(), Some(Reg(7)));
     }

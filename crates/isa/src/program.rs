@@ -62,7 +62,10 @@ impl Program {
     /// Encodes every instruction into its 32-bit representation (the
     /// contents of the instruction memory).
     pub fn to_words(&self) -> Vec<u32> {
-        self.instructions.iter().map(|&i| crate::encoding::encode(i)).collect()
+        self.instructions
+            .iter()
+            .map(|&i| crate::encoding::encode(i))
+            .collect()
     }
 
     /// Decodes a program from instruction-memory words.
@@ -71,7 +74,10 @@ impl Program {
     ///
     /// Returns the first [`crate::DecodeError`] encountered.
     pub fn from_words(words: &[u32]) -> Result<Self, crate::DecodeError> {
-        let instructions = words.iter().map(|&w| crate::encoding::decode(w)).collect::<Result<_, _>>()?;
+        let instructions = words
+            .iter()
+            .map(|&w| crate::encoding::decode(w))
+            .collect::<Result<_, _>>()?;
         Ok(Program { instructions })
     }
 }
@@ -176,28 +182,32 @@ impl ProgramBuilder {
 
     /// Emits `l.bf` (branch if flag set) to `target`.
     pub fn branch_if_flag(&mut self, target: Label) -> &mut Self {
-        self.fixups.push((self.instructions.len(), target, FixupKind::BranchIfFlag));
+        self.fixups
+            .push((self.instructions.len(), target, FixupKind::BranchIfFlag));
         self.instructions.push(Instruction::Bf { offset: 0 });
         self
     }
 
     /// Emits `l.bnf` (branch if flag clear) to `target`.
     pub fn branch_if_not_flag(&mut self, target: Label) -> &mut Self {
-        self.fixups.push((self.instructions.len(), target, FixupKind::BranchIfNotFlag));
+        self.fixups
+            .push((self.instructions.len(), target, FixupKind::BranchIfNotFlag));
         self.instructions.push(Instruction::Bnf { offset: 0 });
         self
     }
 
     /// Emits an unconditional jump to `target`.
     pub fn jump(&mut self, target: Label) -> &mut Self {
-        self.fixups.push((self.instructions.len(), target, FixupKind::Jump));
+        self.fixups
+            .push((self.instructions.len(), target, FixupKind::Jump));
         self.instructions.push(Instruction::J { offset: 0 });
         self
     }
 
     /// Emits a jump-and-link to `target`.
     pub fn jump_and_link(&mut self, target: Label) -> &mut Self {
-        self.fixups.push((self.instructions.len(), target, FixupKind::JumpAndLink));
+        self.fixups
+            .push((self.instructions.len(), target, FixupKind::JumpAndLink));
         self.instructions.push(Instruction::Jal { offset: 0 });
         self
     }
@@ -205,8 +215,15 @@ impl ProgramBuilder {
     /// Emits the canonical two-instruction sequence loading a 32-bit
     /// constant into `rd` (`l.movhi` + `l.ori`).
     pub fn load_immediate(&mut self, rd: Reg, value: u32) -> &mut Self {
-        self.push(Instruction::Movhi { rd, imm: (value >> 16) as u16 });
-        self.push(Instruction::Ori { rd, ra: rd, imm: (value & 0xFFFF) as u16 });
+        self.push(Instruction::Movhi {
+            rd,
+            imm: (value >> 16) as u16,
+        });
+        self.push(Instruction::Ori {
+            rd,
+            ra: rd,
+            imm: (value & 0xFFFF) as u16,
+        });
         self
     }
 
@@ -217,7 +234,8 @@ impl ProgramBuilder {
     /// Panics if a referenced label was never bound.
     pub fn build(mut self) -> Program {
         for (at, label, kind) in &self.fixups {
-            let target = self.labels[label.0].unwrap_or_else(|| panic!("label {label:?} was never bound"));
+            let target =
+                self.labels[label.0].unwrap_or_else(|| panic!("label {label:?} was never bound"));
             let offset = target as i64 - (*at as i64 + 1);
             let offset = i32::try_from(offset).expect("branch offset fits in i32");
             self.instructions[*at] = match kind {
@@ -268,7 +286,9 @@ mod tests {
         p.jump_and_link(subroutine);
         p.push(Instruction::Nop);
         p.bind(subroutine);
-        p.push(Instruction::Jr { ra: Instruction::LINK_REGISTER });
+        p.push(Instruction::Jr {
+            ra: Instruction::LINK_REGISTER,
+        });
         let entry = p.label();
         p.jump(entry);
         let program = p.build();
@@ -282,15 +302,32 @@ mod tests {
         p.load_immediate(Reg(5), 0xDEAD_BEEF);
         let program = p.build();
         assert_eq!(program.len(), 2);
-        assert_eq!(program.fetch(0), Some(Instruction::Movhi { rd: Reg(5), imm: 0xDEAD }));
-        assert_eq!(program.fetch(1), Some(Instruction::Ori { rd: Reg(5), ra: Reg(5), imm: 0xBEEF }));
+        assert_eq!(
+            program.fetch(0),
+            Some(Instruction::Movhi {
+                rd: Reg(5),
+                imm: 0xDEAD
+            })
+        );
+        assert_eq!(
+            program.fetch(1),
+            Some(Instruction::Ori {
+                rd: Reg(5),
+                ra: Reg(5),
+                imm: 0xBEEF
+            })
+        );
     }
 
     #[test]
     fn program_roundtrips_through_memory_words() {
         let mut p = ProgramBuilder::new();
         p.load_immediate(Reg(3), 1234);
-        p.push(Instruction::Addi { rd: Reg(3), ra: Reg(3), imm: 1 });
+        p.push(Instruction::Addi {
+            rd: Reg(3),
+            ra: Reg(3),
+            imm: 1,
+        });
         let program = p.build();
         let words = program.to_words();
         let back = Program::from_words(&words).expect("valid encoding");

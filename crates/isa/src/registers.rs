@@ -33,7 +33,11 @@ impl Reg {
     /// Panics if the register number is 32 or larger (such a value can only
     /// be produced by constructing `Reg` with an out-of-range literal).
     pub fn index(self) -> usize {
-        assert!((self.0 as usize) < REGISTER_COUNT, "register r{} does not exist", self.0);
+        assert!(
+            (self.0 as usize) < REGISTER_COUNT,
+            "register r{} does not exist",
+            self.0
+        );
         self.0 as usize
     }
 

@@ -19,8 +19,16 @@ fn instruction() -> impl Strategy<Value = Instruction> {
         (reg(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Movhi { rd, imm }),
         (reg(), reg()).prop_map(|(ra, rb)| Instruction::Sflts { ra, rb }),
         (reg(), reg()).prop_map(|(ra, rb)| Instruction::Sfgtu { ra, rb }),
-        (reg(), reg(), any::<i16>()).prop_map(|(rd, ra, offset)| Instruction::Lwz { rd, ra, offset }),
-        (reg(), reg(), any::<i16>()).prop_map(|(ra, rb, offset)| Instruction::Sw { ra, rb, offset }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rd, ra, offset)| Instruction::Lwz {
+            rd,
+            ra,
+            offset
+        }),
+        (reg(), reg(), any::<i16>()).prop_map(|(ra, rb, offset)| Instruction::Sw {
+            ra,
+            rb,
+            offset
+        }),
         (-(1i32 << 25)..(1i32 << 25)).prop_map(|offset| Instruction::Bf { offset }),
         (-(1i32 << 25)..(1i32 << 25)).prop_map(|offset| Instruction::J { offset }),
         reg().prop_map(|ra| Instruction::Jr { ra }),

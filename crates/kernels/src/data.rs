@@ -21,6 +21,8 @@ pub fn random_values(count: usize, bound: u32, seed: u64) -> Vec<u32> {
 /// # Panics
 ///
 /// Panics if `nodes` is zero or `max_weight` is zero.
+// Index loops express the symmetric fill more clearly than iterators.
+#[allow(clippy::needless_range_loop)]
 pub fn random_graph(nodes: usize, max_weight: u32, seed: u64) -> Vec<Vec<u32>> {
     assert!(nodes > 0, "graph must have at least one node");
     assert!(max_weight > 0, "max weight must be non-zero");
@@ -44,7 +46,10 @@ pub fn random_graph(nodes: usize, max_weight: u32, seed: u64) -> Vec<Vec<u32>> {
 ///
 /// Panics if `count`, `clusters` or `bound` is zero.
 pub fn random_points(count: usize, clusters: usize, bound: u32, seed: u64) -> Vec<(u32, u32)> {
-    assert!(count > 0 && clusters > 0 && bound > 0, "invalid point-generation parameters");
+    assert!(
+        count > 0 && clusters > 0 && bound > 0,
+        "invalid point-generation parameters"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let spread = (bound / (4 * clusters as u32)).max(1);
     (0..count)
@@ -73,6 +78,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn graph_is_symmetric_with_zero_diagonal() {
         let g = random_graph(10, 50, 3);
         for i in 0..10 {
@@ -93,8 +99,12 @@ mod tests {
         assert!(pts.iter().all(|&(x, y)| x < 256 && y < 256));
         // Points alternate between the two cluster centres; the first two
         // points belong to different clusters and are well separated.
-        let d = (pts[0].0 as i64 - pts[1].0 as i64).abs() + (pts[0].1 as i64 - pts[1].1 as i64).abs();
-        assert!(d > 30, "cluster centres should be separated, got distance {d}");
+        let d =
+            (pts[0].0 as i64 - pts[1].0 as i64).abs() + (pts[0].1 as i64 - pts[1].1 as i64).abs();
+        assert!(
+            d > 30,
+            "cluster centres should be separated, got distance {d}"
+        );
     }
 
     #[test]

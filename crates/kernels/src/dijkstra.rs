@@ -35,10 +35,18 @@ impl DijkstraBenchmark {
     ///
     /// Panics if `nodes` is smaller than 2 or larger than 32.
     pub fn new(nodes: usize, seed: u64) -> Self {
-        assert!((2..=32).contains(&nodes), "node count must be in 2..=32, got {nodes}");
+        assert!(
+            (2..=32).contains(&nodes),
+            "node count must be in 2..=32, got {nodes}"
+        );
         let adjacency = random_graph(nodes, 50, seed);
         let (program, fi_window) = Self::build_program(nodes);
-        DijkstraBenchmark { nodes, adjacency, program, fi_window }
+        DijkstraBenchmark {
+            nodes,
+            adjacency,
+            program,
+            fi_window,
+        }
     }
 
     fn dist_base(&self) -> u32 {
@@ -109,108 +117,352 @@ impl DijkstraBenchmark {
         let inf = Reg(31);
 
         // Prologue.
-        p.push(Instruction::Addi { rd: adj_base, ra: Reg(0), imm: 0 });
-        p.push(Instruction::Addi { rd: n_reg, ra: Reg(0), imm: n as i16 });
+        p.push(Instruction::Addi {
+            rd: adj_base,
+            ra: Reg(0),
+            imm: 0,
+        });
+        p.push(Instruction::Addi {
+            rd: n_reg,
+            ra: Reg(0),
+            imm: n as i16,
+        });
         p.load_immediate(dist_base, (4 * n * n) as u32);
         p.load_immediate(visited_base, (8 * n * n) as u32);
         p.load_immediate(inf, UNREACHABLE);
-        p.push(Instruction::Addi { rd: one, ra: Reg(0), imm: 1 });
+        p.push(Instruction::Addi {
+            rd: one,
+            ra: Reg(0),
+            imm: 1,
+        });
         let kernel_start = p.here();
 
-        p.push(Instruction::Addi { rd: source, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Addi {
+            rd: source,
+            ra: Reg(0),
+            imm: 0,
+        });
         let source_loop = p.label();
         // Initialise dist[source][*] = INF, visited[*] = 0.
-        p.push(Instruction::Addi { rd: i, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Addi {
+            rd: i,
+            ra: Reg(0),
+            imm: 0,
+        });
         let init_loop = p.label();
-        p.push(Instruction::Mul { rd: addr, ra: source, rb: n_reg });
-        p.push(Instruction::Add { rd: addr, ra: addr, rb: i });
-        p.push(Instruction::Slli { rd: addr, ra: addr, shamt: 2 });
-        p.push(Instruction::Add { rd: addr, ra: addr, rb: dist_base });
-        p.push(Instruction::Sw { ra: addr, rb: inf, offset: 0 });
-        p.push(Instruction::Slli { rd: addr2, ra: i, shamt: 2 });
-        p.push(Instruction::Add { rd: addr2, ra: addr2, rb: visited_base });
-        p.push(Instruction::Sw { ra: addr2, rb: Reg(0), offset: 0 });
-        p.push(Instruction::Addi { rd: i, ra: i, imm: 1 });
+        p.push(Instruction::Mul {
+            rd: addr,
+            ra: source,
+            rb: n_reg,
+        });
+        p.push(Instruction::Add {
+            rd: addr,
+            ra: addr,
+            rb: i,
+        });
+        p.push(Instruction::Slli {
+            rd: addr,
+            ra: addr,
+            shamt: 2,
+        });
+        p.push(Instruction::Add {
+            rd: addr,
+            ra: addr,
+            rb: dist_base,
+        });
+        p.push(Instruction::Sw {
+            ra: addr,
+            rb: inf,
+            offset: 0,
+        });
+        p.push(Instruction::Slli {
+            rd: addr2,
+            ra: i,
+            shamt: 2,
+        });
+        p.push(Instruction::Add {
+            rd: addr2,
+            ra: addr2,
+            rb: visited_base,
+        });
+        p.push(Instruction::Sw {
+            ra: addr2,
+            rb: Reg(0),
+            offset: 0,
+        });
+        p.push(Instruction::Addi {
+            rd: i,
+            ra: i,
+            imm: 1,
+        });
         p.push(Instruction::Sfltu { ra: i, rb: n_reg });
         p.branch_if_flag(init_loop);
         // dist[source][source] = 0.
-        p.push(Instruction::Mul { rd: addr, ra: source, rb: n_reg });
-        p.push(Instruction::Add { rd: addr, ra: addr, rb: source });
-        p.push(Instruction::Slli { rd: addr, ra: addr, shamt: 2 });
-        p.push(Instruction::Add { rd: addr, ra: addr, rb: dist_base });
-        p.push(Instruction::Sw { ra: addr, rb: Reg(0), offset: 0 });
+        p.push(Instruction::Mul {
+            rd: addr,
+            ra: source,
+            rb: n_reg,
+        });
+        p.push(Instruction::Add {
+            rd: addr,
+            ra: addr,
+            rb: source,
+        });
+        p.push(Instruction::Slli {
+            rd: addr,
+            ra: addr,
+            shamt: 2,
+        });
+        p.push(Instruction::Add {
+            rd: addr,
+            ra: addr,
+            rb: dist_base,
+        });
+        p.push(Instruction::Sw {
+            ra: addr,
+            rb: Reg(0),
+            offset: 0,
+        });
 
         // Main loop: n rounds of select-minimum + relax.
-        p.push(Instruction::Addi { rd: iter, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Addi {
+            rd: iter,
+            ra: Reg(0),
+            imm: 0,
+        });
         let main_loop = p.label();
         // Find the unvisited node with the smallest distance.
-        p.push(Instruction::Or { rd: best, ra: inf, rb: Reg(0) });
-        p.push(Instruction::Addi { rd: best_u, ra: Reg(0), imm: 0 });
-        p.push(Instruction::Addi { rd: i, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Or {
+            rd: best,
+            ra: inf,
+            rb: Reg(0),
+        });
+        p.push(Instruction::Addi {
+            rd: best_u,
+            ra: Reg(0),
+            imm: 0,
+        });
+        p.push(Instruction::Addi {
+            rd: i,
+            ra: Reg(0),
+            imm: 0,
+        });
         let find_loop = p.label();
-        p.push(Instruction::Slli { rd: addr2, ra: i, shamt: 2 });
-        p.push(Instruction::Add { rd: addr2, ra: addr2, rb: visited_base });
-        p.push(Instruction::Lwz { rd: val, ra: addr2, offset: 0 });
-        p.push(Instruction::Sfne { ra: val, rb: Reg(0) });
+        p.push(Instruction::Slli {
+            rd: addr2,
+            ra: i,
+            shamt: 2,
+        });
+        p.push(Instruction::Add {
+            rd: addr2,
+            ra: addr2,
+            rb: visited_base,
+        });
+        p.push(Instruction::Lwz {
+            rd: val,
+            ra: addr2,
+            offset: 0,
+        });
+        p.push(Instruction::Sfne {
+            ra: val,
+            rb: Reg(0),
+        });
         let find_skip = p.forward_label();
         p.branch_if_flag(find_skip);
-        p.push(Instruction::Mul { rd: addr, ra: source, rb: n_reg });
-        p.push(Instruction::Add { rd: addr, ra: addr, rb: i });
-        p.push(Instruction::Slli { rd: addr, ra: addr, shamt: 2 });
-        p.push(Instruction::Add { rd: addr, ra: addr, rb: dist_base });
-        p.push(Instruction::Lwz { rd: val, ra: addr, offset: 0 });
+        p.push(Instruction::Mul {
+            rd: addr,
+            ra: source,
+            rb: n_reg,
+        });
+        p.push(Instruction::Add {
+            rd: addr,
+            ra: addr,
+            rb: i,
+        });
+        p.push(Instruction::Slli {
+            rd: addr,
+            ra: addr,
+            shamt: 2,
+        });
+        p.push(Instruction::Add {
+            rd: addr,
+            ra: addr,
+            rb: dist_base,
+        });
+        p.push(Instruction::Lwz {
+            rd: val,
+            ra: addr,
+            offset: 0,
+        });
         p.push(Instruction::Sfltu { ra: val, rb: best });
         p.branch_if_not_flag(find_skip);
-        p.push(Instruction::Or { rd: best, ra: val, rb: Reg(0) });
-        p.push(Instruction::Or { rd: best_u, ra: i, rb: Reg(0) });
+        p.push(Instruction::Or {
+            rd: best,
+            ra: val,
+            rb: Reg(0),
+        });
+        p.push(Instruction::Or {
+            rd: best_u,
+            ra: i,
+            rb: Reg(0),
+        });
         p.bind(find_skip);
-        p.push(Instruction::Addi { rd: i, ra: i, imm: 1 });
+        p.push(Instruction::Addi {
+            rd: i,
+            ra: i,
+            imm: 1,
+        });
         p.push(Instruction::Sfltu { ra: i, rb: n_reg });
         p.branch_if_flag(find_loop);
         // Mark the selected node visited.
-        p.push(Instruction::Slli { rd: addr2, ra: best_u, shamt: 2 });
-        p.push(Instruction::Add { rd: addr2, ra: addr2, rb: visited_base });
-        p.push(Instruction::Sw { ra: addr2, rb: one, offset: 0 });
+        p.push(Instruction::Slli {
+            rd: addr2,
+            ra: best_u,
+            shamt: 2,
+        });
+        p.push(Instruction::Add {
+            rd: addr2,
+            ra: addr2,
+            rb: visited_base,
+        });
+        p.push(Instruction::Sw {
+            ra: addr2,
+            rb: one,
+            offset: 0,
+        });
         // Relax all its neighbours (skip if it is unreachable).
         p.push(Instruction::Sfeq { ra: best, rb: inf });
         let relax_end = p.forward_label();
         p.branch_if_flag(relax_end);
-        p.push(Instruction::Addi { rd: i, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Addi {
+            rd: i,
+            ra: Reg(0),
+            imm: 0,
+        });
         let relax_loop = p.label();
-        p.push(Instruction::Mul { rd: addr, ra: best_u, rb: n_reg });
-        p.push(Instruction::Add { rd: addr, ra: addr, rb: i });
-        p.push(Instruction::Slli { rd: addr, ra: addr, shamt: 2 });
-        p.push(Instruction::Add { rd: addr, ra: addr, rb: adj_base });
-        p.push(Instruction::Lwz { rd: weight, ra: addr, offset: 0 });
-        p.push(Instruction::Sfeq { ra: weight, rb: Reg(0) });
+        p.push(Instruction::Mul {
+            rd: addr,
+            ra: best_u,
+            rb: n_reg,
+        });
+        p.push(Instruction::Add {
+            rd: addr,
+            ra: addr,
+            rb: i,
+        });
+        p.push(Instruction::Slli {
+            rd: addr,
+            ra: addr,
+            shamt: 2,
+        });
+        p.push(Instruction::Add {
+            rd: addr,
+            ra: addr,
+            rb: adj_base,
+        });
+        p.push(Instruction::Lwz {
+            rd: weight,
+            ra: addr,
+            offset: 0,
+        });
+        p.push(Instruction::Sfeq {
+            ra: weight,
+            rb: Reg(0),
+        });
         let relax_skip = p.forward_label();
         p.branch_if_flag(relax_skip);
         // dist[source][best_u] + w vs dist[source][i]
-        p.push(Instruction::Mul { rd: addr, ra: source, rb: n_reg });
-        p.push(Instruction::Add { rd: addr, ra: addr, rb: best_u });
-        p.push(Instruction::Slli { rd: addr, ra: addr, shamt: 2 });
-        p.push(Instruction::Add { rd: addr, ra: addr, rb: dist_base });
-        p.push(Instruction::Lwz { rd: du, ra: addr, offset: 0 });
-        p.push(Instruction::Add { rd: cand, ra: du, rb: weight });
-        p.push(Instruction::Mul { rd: addr, ra: source, rb: n_reg });
-        p.push(Instruction::Add { rd: addr, ra: addr, rb: i });
-        p.push(Instruction::Slli { rd: addr, ra: addr, shamt: 2 });
-        p.push(Instruction::Add { rd: addr, ra: addr, rb: dist_base });
-        p.push(Instruction::Lwz { rd: dv, ra: addr, offset: 0 });
+        p.push(Instruction::Mul {
+            rd: addr,
+            ra: source,
+            rb: n_reg,
+        });
+        p.push(Instruction::Add {
+            rd: addr,
+            ra: addr,
+            rb: best_u,
+        });
+        p.push(Instruction::Slli {
+            rd: addr,
+            ra: addr,
+            shamt: 2,
+        });
+        p.push(Instruction::Add {
+            rd: addr,
+            ra: addr,
+            rb: dist_base,
+        });
+        p.push(Instruction::Lwz {
+            rd: du,
+            ra: addr,
+            offset: 0,
+        });
+        p.push(Instruction::Add {
+            rd: cand,
+            ra: du,
+            rb: weight,
+        });
+        p.push(Instruction::Mul {
+            rd: addr,
+            ra: source,
+            rb: n_reg,
+        });
+        p.push(Instruction::Add {
+            rd: addr,
+            ra: addr,
+            rb: i,
+        });
+        p.push(Instruction::Slli {
+            rd: addr,
+            ra: addr,
+            shamt: 2,
+        });
+        p.push(Instruction::Add {
+            rd: addr,
+            ra: addr,
+            rb: dist_base,
+        });
+        p.push(Instruction::Lwz {
+            rd: dv,
+            ra: addr,
+            offset: 0,
+        });
         p.push(Instruction::Sfltu { ra: cand, rb: dv });
         p.branch_if_not_flag(relax_skip);
-        p.push(Instruction::Sw { ra: addr, rb: cand, offset: 0 });
+        p.push(Instruction::Sw {
+            ra: addr,
+            rb: cand,
+            offset: 0,
+        });
         p.bind(relax_skip);
-        p.push(Instruction::Addi { rd: i, ra: i, imm: 1 });
+        p.push(Instruction::Addi {
+            rd: i,
+            ra: i,
+            imm: 1,
+        });
         p.push(Instruction::Sfltu { ra: i, rb: n_reg });
         p.branch_if_flag(relax_loop);
         p.bind(relax_end);
-        p.push(Instruction::Addi { rd: iter, ra: iter, imm: 1 });
-        p.push(Instruction::Sfltu { ra: iter, rb: n_reg });
+        p.push(Instruction::Addi {
+            rd: iter,
+            ra: iter,
+            imm: 1,
+        });
+        p.push(Instruction::Sfltu {
+            ra: iter,
+            rb: n_reg,
+        });
         p.branch_if_flag(main_loop);
         // Next source.
-        p.push(Instruction::Addi { rd: source, ra: source, imm: 1 });
-        p.push(Instruction::Sfltu { ra: source, rb: n_reg });
+        p.push(Instruction::Addi {
+            rd: source,
+            ra: source,
+            imm: 1,
+        });
+        p.push(Instruction::Sfltu {
+            ra: source,
+            rb: n_reg,
+        });
         p.branch_if_flag(source_loop);
         let kernel_end = p.here();
         (p.build(), kernel_start..kernel_end)
@@ -236,7 +488,9 @@ impl Benchmark for DijkstraBenchmark {
 
     fn initialize(&self, memory: &mut Memory) {
         let words: Vec<u32> = self.adjacency.iter().flatten().copied().collect();
-        memory.write_block(Self::ADJ_BASE, &words).expect("data memory large enough");
+        memory
+            .write_block(Self::ADJ_BASE, &words)
+            .expect("data memory large enough");
     }
 
     fn output_error(&self, memory: &Memory) -> f64 {
@@ -286,8 +540,14 @@ mod tests {
         let bench = DijkstraBenchmark::new(10, 4);
         let core = run(&bench);
         let stats = core.stats();
-        assert!(stats.control_fraction() > 0.15, "dijkstra is control oriented");
-        assert!(stats.comparisons > stats.multiplications, "comparisons dominate multiplications");
+        assert!(
+            stats.control_fraction() > 0.15,
+            "dijkstra is control oriented"
+        );
+        assert!(
+            stats.comparisons > stats.multiplications,
+            "comparisons dominate multiplications"
+        );
         assert!(stats.cycles > 20_000);
     }
 

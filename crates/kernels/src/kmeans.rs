@@ -31,10 +31,19 @@ impl KMeansBenchmark {
     ///
     /// Panics if `n`, `k` or `iterations` is zero, or `k > n`.
     pub fn new(n: usize, k: usize, iterations: usize, seed: u64) -> Self {
-        assert!(n > 0 && k > 0 && iterations > 0 && k <= n, "invalid k-means configuration");
+        assert!(
+            n > 0 && k > 0 && iterations > 0 && k <= n,
+            "invalid k-means configuration"
+        );
         let points = random_points(n, k, 1 << 8, seed);
         let (program, fi_window) = Self::build_program(n, k, iterations);
-        KMeansBenchmark { points, clusters: k, iterations, program, fi_window }
+        KMeansBenchmark {
+            points,
+            clusters: k,
+            iterations,
+            program,
+            fi_window,
+        }
     }
 
     fn centroid_base(&self) -> u32 {
@@ -115,118 +124,378 @@ impl KMeansBenchmark {
 
         // Prologue: base addresses, sizes and initial centroids (= the
         // first k points).
-        p.push(Instruction::Addi { rd: points_base, ra: Reg(0), imm: 0 });
-        p.push(Instruction::Addi { rd: n_reg, ra: Reg(0), imm: n as i16 });
-        p.push(Instruction::Addi { rd: k_reg, ra: Reg(0), imm: k as i16 });
-        p.push(Instruction::Addi { rd: centroid_base, ra: Reg(0), imm: (8 * n) as i16 });
-        p.push(Instruction::Addi { rd: assign_base, ra: Reg(0), imm: (8 * n + 8 * k) as i16 });
-        p.push(Instruction::Addi { rd: iter_bound, ra: Reg(0), imm: iterations as i16 });
+        p.push(Instruction::Addi {
+            rd: points_base,
+            ra: Reg(0),
+            imm: 0,
+        });
+        p.push(Instruction::Addi {
+            rd: n_reg,
+            ra: Reg(0),
+            imm: n as i16,
+        });
+        p.push(Instruction::Addi {
+            rd: k_reg,
+            ra: Reg(0),
+            imm: k as i16,
+        });
+        p.push(Instruction::Addi {
+            rd: centroid_base,
+            ra: Reg(0),
+            imm: (8 * n) as i16,
+        });
+        p.push(Instruction::Addi {
+            rd: assign_base,
+            ra: Reg(0),
+            imm: (8 * n + 8 * k) as i16,
+        });
+        p.push(Instruction::Addi {
+            rd: iter_bound,
+            ra: Reg(0),
+            imm: iterations as i16,
+        });
         for cluster in 0..k {
-            p.push(Instruction::Lwz { rd: t1, ra: points_base, offset: (8 * cluster) as i16 });
-            p.push(Instruction::Sw { ra: centroid_base, rb: t1, offset: (8 * cluster) as i16 });
-            p.push(Instruction::Lwz { rd: t1, ra: points_base, offset: (8 * cluster + 4) as i16 });
-            p.push(Instruction::Sw { ra: centroid_base, rb: t1, offset: (8 * cluster + 4) as i16 });
+            p.push(Instruction::Lwz {
+                rd: t1,
+                ra: points_base,
+                offset: (8 * cluster) as i16,
+            });
+            p.push(Instruction::Sw {
+                ra: centroid_base,
+                rb: t1,
+                offset: (8 * cluster) as i16,
+            });
+            p.push(Instruction::Lwz {
+                rd: t1,
+                ra: points_base,
+                offset: (8 * cluster + 4) as i16,
+            });
+            p.push(Instruction::Sw {
+                ra: centroid_base,
+                rb: t1,
+                offset: (8 * cluster + 4) as i16,
+            });
         }
-        p.push(Instruction::Addi { rd: iter, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Addi {
+            rd: iter,
+            ra: Reg(0),
+            imm: 0,
+        });
         let kernel_start = p.here();
 
         let iter_loop = p.label();
         // ---------------- assignment step ----------------
-        p.push(Instruction::Addi { rd: i, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Addi {
+            rd: i,
+            ra: Reg(0),
+            imm: 0,
+        });
         let assign_loop = p.label();
-        p.push(Instruction::Slli { rd: pt_ptr, ra: i, shamt: 3 });
-        p.push(Instruction::Add { rd: pt_ptr, ra: pt_ptr, rb: points_base });
-        p.push(Instruction::Lwz { rd: px, ra: pt_ptr, offset: 0 });
-        p.push(Instruction::Lwz { rd: py, ra: pt_ptr, offset: 4 });
+        p.push(Instruction::Slli {
+            rd: pt_ptr,
+            ra: i,
+            shamt: 3,
+        });
+        p.push(Instruction::Add {
+            rd: pt_ptr,
+            ra: pt_ptr,
+            rb: points_base,
+        });
+        p.push(Instruction::Lwz {
+            rd: px,
+            ra: pt_ptr,
+            offset: 0,
+        });
+        p.push(Instruction::Lwz {
+            rd: py,
+            ra: pt_ptr,
+            offset: 4,
+        });
         p.load_immediate(best, u32::MAX);
-        p.push(Instruction::Addi { rd: best_c, ra: Reg(0), imm: 0 });
-        p.push(Instruction::Addi { rd: c, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Addi {
+            rd: best_c,
+            ra: Reg(0),
+            imm: 0,
+        });
+        p.push(Instruction::Addi {
+            rd: c,
+            ra: Reg(0),
+            imm: 0,
+        });
         let dist_loop = p.label();
-        p.push(Instruction::Slli { rd: ptr, ra: c, shamt: 3 });
-        p.push(Instruction::Add { rd: ptr, ra: ptr, rb: centroid_base });
-        p.push(Instruction::Lwz { rd: cx, ra: ptr, offset: 0 });
-        p.push(Instruction::Lwz { rd: cy, ra: ptr, offset: 4 });
-        p.push(Instruction::Sub { rd: t1, ra: px, rb: cx });
-        p.push(Instruction::Mul { rd: t1, ra: t1, rb: t1 });
-        p.push(Instruction::Sub { rd: t2, ra: py, rb: cy });
-        p.push(Instruction::Mul { rd: t2, ra: t2, rb: t2 });
-        p.push(Instruction::Add { rd: t1, ra: t1, rb: t2 });
+        p.push(Instruction::Slli {
+            rd: ptr,
+            ra: c,
+            shamt: 3,
+        });
+        p.push(Instruction::Add {
+            rd: ptr,
+            ra: ptr,
+            rb: centroid_base,
+        });
+        p.push(Instruction::Lwz {
+            rd: cx,
+            ra: ptr,
+            offset: 0,
+        });
+        p.push(Instruction::Lwz {
+            rd: cy,
+            ra: ptr,
+            offset: 4,
+        });
+        p.push(Instruction::Sub {
+            rd: t1,
+            ra: px,
+            rb: cx,
+        });
+        p.push(Instruction::Mul {
+            rd: t1,
+            ra: t1,
+            rb: t1,
+        });
+        p.push(Instruction::Sub {
+            rd: t2,
+            ra: py,
+            rb: cy,
+        });
+        p.push(Instruction::Mul {
+            rd: t2,
+            ra: t2,
+            rb: t2,
+        });
+        p.push(Instruction::Add {
+            rd: t1,
+            ra: t1,
+            rb: t2,
+        });
         p.push(Instruction::Sfltu { ra: t1, rb: best });
         let not_better = p.forward_label();
         p.branch_if_not_flag(not_better);
-        p.push(Instruction::Or { rd: best, ra: t1, rb: Reg(0) });
-        p.push(Instruction::Or { rd: best_c, ra: c, rb: Reg(0) });
+        p.push(Instruction::Or {
+            rd: best,
+            ra: t1,
+            rb: Reg(0),
+        });
+        p.push(Instruction::Or {
+            rd: best_c,
+            ra: c,
+            rb: Reg(0),
+        });
         p.bind(not_better);
-        p.push(Instruction::Addi { rd: c, ra: c, imm: 1 });
+        p.push(Instruction::Addi {
+            rd: c,
+            ra: c,
+            imm: 1,
+        });
         p.push(Instruction::Sfltu { ra: c, rb: k_reg });
         p.branch_if_flag(dist_loop);
-        p.push(Instruction::Slli { rd: ptr, ra: i, shamt: 2 });
-        p.push(Instruction::Add { rd: ptr, ra: ptr, rb: assign_base });
-        p.push(Instruction::Sw { ra: ptr, rb: best_c, offset: 0 });
-        p.push(Instruction::Addi { rd: i, ra: i, imm: 1 });
+        p.push(Instruction::Slli {
+            rd: ptr,
+            ra: i,
+            shamt: 2,
+        });
+        p.push(Instruction::Add {
+            rd: ptr,
+            ra: ptr,
+            rb: assign_base,
+        });
+        p.push(Instruction::Sw {
+            ra: ptr,
+            rb: best_c,
+            offset: 0,
+        });
+        p.push(Instruction::Addi {
+            rd: i,
+            ra: i,
+            imm: 1,
+        });
         p.push(Instruction::Sfltu { ra: i, rb: n_reg });
         p.branch_if_flag(assign_loop);
 
         // ---------------- update step ----------------
-        p.push(Instruction::Addi { rd: c, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Addi {
+            rd: c,
+            ra: Reg(0),
+            imm: 0,
+        });
         let update_loop = p.label();
-        p.push(Instruction::Addi { rd: sum_x, ra: Reg(0), imm: 0 });
-        p.push(Instruction::Addi { rd: sum_y, ra: Reg(0), imm: 0 });
-        p.push(Instruction::Addi { rd: count, ra: Reg(0), imm: 0 });
-        p.push(Instruction::Addi { rd: i, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Addi {
+            rd: sum_x,
+            ra: Reg(0),
+            imm: 0,
+        });
+        p.push(Instruction::Addi {
+            rd: sum_y,
+            ra: Reg(0),
+            imm: 0,
+        });
+        p.push(Instruction::Addi {
+            rd: count,
+            ra: Reg(0),
+            imm: 0,
+        });
+        p.push(Instruction::Addi {
+            rd: i,
+            ra: Reg(0),
+            imm: 0,
+        });
         let sum_loop = p.label();
-        p.push(Instruction::Slli { rd: ptr, ra: i, shamt: 2 });
-        p.push(Instruction::Add { rd: ptr, ra: ptr, rb: assign_base });
-        p.push(Instruction::Lwz { rd: t1, ra: ptr, offset: 0 });
+        p.push(Instruction::Slli {
+            rd: ptr,
+            ra: i,
+            shamt: 2,
+        });
+        p.push(Instruction::Add {
+            rd: ptr,
+            ra: ptr,
+            rb: assign_base,
+        });
+        p.push(Instruction::Lwz {
+            rd: t1,
+            ra: ptr,
+            offset: 0,
+        });
         p.push(Instruction::Sfeq { ra: t1, rb: c });
         let skip_point = p.forward_label();
         p.branch_if_not_flag(skip_point);
-        p.push(Instruction::Slli { rd: pt_ptr, ra: i, shamt: 3 });
-        p.push(Instruction::Add { rd: pt_ptr, ra: pt_ptr, rb: points_base });
-        p.push(Instruction::Lwz { rd: px, ra: pt_ptr, offset: 0 });
-        p.push(Instruction::Lwz { rd: py, ra: pt_ptr, offset: 4 });
-        p.push(Instruction::Add { rd: sum_x, ra: sum_x, rb: px });
-        p.push(Instruction::Add { rd: sum_y, ra: sum_y, rb: py });
-        p.push(Instruction::Addi { rd: count, ra: count, imm: 1 });
+        p.push(Instruction::Slli {
+            rd: pt_ptr,
+            ra: i,
+            shamt: 3,
+        });
+        p.push(Instruction::Add {
+            rd: pt_ptr,
+            ra: pt_ptr,
+            rb: points_base,
+        });
+        p.push(Instruction::Lwz {
+            rd: px,
+            ra: pt_ptr,
+            offset: 0,
+        });
+        p.push(Instruction::Lwz {
+            rd: py,
+            ra: pt_ptr,
+            offset: 4,
+        });
+        p.push(Instruction::Add {
+            rd: sum_x,
+            ra: sum_x,
+            rb: px,
+        });
+        p.push(Instruction::Add {
+            rd: sum_y,
+            ra: sum_y,
+            rb: py,
+        });
+        p.push(Instruction::Addi {
+            rd: count,
+            ra: count,
+            imm: 1,
+        });
         p.bind(skip_point);
-        p.push(Instruction::Addi { rd: i, ra: i, imm: 1 });
+        p.push(Instruction::Addi {
+            rd: i,
+            ra: i,
+            imm: 1,
+        });
         p.push(Instruction::Sfltu { ra: i, rb: n_reg });
         p.branch_if_flag(sum_loop);
         // Skip the centroid update for empty clusters.
-        p.push(Instruction::Sfeq { ra: count, rb: Reg(0) });
+        p.push(Instruction::Sfeq {
+            ra: count,
+            rb: Reg(0),
+        });
         let skip_update = p.forward_label();
         p.branch_if_flag(skip_update);
         // Software division: qx = sum_x / count, qy = sum_y / count.
-        p.push(Instruction::Addi { rd: qx, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Addi {
+            rd: qx,
+            ra: Reg(0),
+            imm: 0,
+        });
         let divx_loop = p.label();
-        p.push(Instruction::Sfgeu { ra: sum_x, rb: count });
+        p.push(Instruction::Sfgeu {
+            ra: sum_x,
+            rb: count,
+        });
         let divx_done = p.forward_label();
         p.branch_if_not_flag(divx_done);
-        p.push(Instruction::Sub { rd: sum_x, ra: sum_x, rb: count });
-        p.push(Instruction::Addi { rd: qx, ra: qx, imm: 1 });
+        p.push(Instruction::Sub {
+            rd: sum_x,
+            ra: sum_x,
+            rb: count,
+        });
+        p.push(Instruction::Addi {
+            rd: qx,
+            ra: qx,
+            imm: 1,
+        });
         p.jump(divx_loop);
         p.bind(divx_done);
-        p.push(Instruction::Addi { rd: qy, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Addi {
+            rd: qy,
+            ra: Reg(0),
+            imm: 0,
+        });
         let divy_loop = p.label();
-        p.push(Instruction::Sfgeu { ra: sum_y, rb: count });
+        p.push(Instruction::Sfgeu {
+            ra: sum_y,
+            rb: count,
+        });
         let divy_done = p.forward_label();
         p.branch_if_not_flag(divy_done);
-        p.push(Instruction::Sub { rd: sum_y, ra: sum_y, rb: count });
-        p.push(Instruction::Addi { rd: qy, ra: qy, imm: 1 });
+        p.push(Instruction::Sub {
+            rd: sum_y,
+            ra: sum_y,
+            rb: count,
+        });
+        p.push(Instruction::Addi {
+            rd: qy,
+            ra: qy,
+            imm: 1,
+        });
         p.jump(divy_loop);
         p.bind(divy_done);
-        p.push(Instruction::Slli { rd: ptr, ra: c, shamt: 3 });
-        p.push(Instruction::Add { rd: ptr, ra: ptr, rb: centroid_base });
-        p.push(Instruction::Sw { ra: ptr, rb: qx, offset: 0 });
-        p.push(Instruction::Sw { ra: ptr, rb: qy, offset: 4 });
+        p.push(Instruction::Slli {
+            rd: ptr,
+            ra: c,
+            shamt: 3,
+        });
+        p.push(Instruction::Add {
+            rd: ptr,
+            ra: ptr,
+            rb: centroid_base,
+        });
+        p.push(Instruction::Sw {
+            ra: ptr,
+            rb: qx,
+            offset: 0,
+        });
+        p.push(Instruction::Sw {
+            ra: ptr,
+            rb: qy,
+            offset: 4,
+        });
         p.bind(skip_update);
-        p.push(Instruction::Addi { rd: c, ra: c, imm: 1 });
+        p.push(Instruction::Addi {
+            rd: c,
+            ra: c,
+            imm: 1,
+        });
         p.push(Instruction::Sfltu { ra: c, rb: k_reg });
         p.branch_if_flag(update_loop);
 
         // ---------------- iteration control ----------------
-        p.push(Instruction::Addi { rd: iter, ra: iter, imm: 1 });
-        p.push(Instruction::Sfltu { ra: iter, rb: iter_bound });
+        p.push(Instruction::Addi {
+            rd: iter,
+            ra: iter,
+            imm: 1,
+        });
+        p.push(Instruction::Sfltu {
+            ra: iter,
+            rb: iter_bound,
+        });
         p.branch_if_flag(iter_loop);
         let kernel_end = p.here();
         (p.build(), kernel_start..kernel_end)
@@ -252,7 +521,9 @@ impl Benchmark for KMeansBenchmark {
 
     fn initialize(&self, memory: &mut Memory) {
         let words: Vec<u32> = self.points.iter().flat_map(|&(x, y)| [x, y]).collect();
-        memory.write_block(Self::POINTS_BASE, &words).expect("data memory large enough");
+        memory
+            .write_block(Self::POINTS_BASE, &words)
+            .expect("data memory large enough");
     }
 
     fn output_error(&self, memory: &Memory) -> f64 {
@@ -287,11 +558,14 @@ mod tests {
         let bench = KMeansBenchmark::new(8, 2, 12, 9);
         let core = run(&bench);
         assert_eq!(bench.output_error(core.memory()), 0.0);
-        let assignments = core.memory().read_block(bench.assignment_base(), 8).unwrap();
+        let assignments = core
+            .memory()
+            .read_block(bench.assignment_base(), 8)
+            .unwrap();
         assert_eq!(assignments, bench.golden_assignments());
         // The clustered workload must actually use both clusters.
-        assert!(assignments.iter().any(|&a| a == 0));
-        assert!(assignments.iter().any(|&a| a == 1));
+        assert!(assignments.contains(&0));
+        assert!(assignments.contains(&1));
     }
 
     #[test]
@@ -299,8 +573,14 @@ mod tests {
         let bench = KMeansBenchmark::new(8, 2, 12, 2);
         let core = run(&bench);
         let stats = core.stats();
-        assert!(stats.multiplications > 0, "distance computation uses multiplications");
-        assert!(stats.control_fraction() > 0.1, "k-means has significant control flow");
+        assert!(
+            stats.multiplications > 0,
+            "distance computation uses multiplications"
+        );
+        assert!(
+            stats.control_fraction() > 0.1,
+            "k-means has significant control flow"
+        );
         // Far fewer multiplications than matmul relative to cycle count
         // (the paper explains k-means' lower FI rate this way).
         assert!((stats.multiplications as f64) < 0.05 * stats.cycles as f64);

@@ -75,11 +75,22 @@ pub trait Benchmark {
 }
 
 /// The paper's standard benchmark suite (Table 1) at its published sizes.
-pub fn paper_suite(seed: u64) -> Vec<Box<dyn Benchmark>> {
+///
+/// The benchmarks are `Send + Sync` so campaign engines can share them
+/// across worker threads.
+pub fn paper_suite(seed: u64) -> Vec<Box<dyn Benchmark + Send + Sync>> {
     vec![
         Box::new(median::MedianBenchmark::new(129, seed)),
-        Box::new(matmul::MatrixMultiplyBenchmark::new(16, matmul::ElementWidth::Bits8, seed)),
-        Box::new(matmul::MatrixMultiplyBenchmark::new(16, matmul::ElementWidth::Bits16, seed)),
+        Box::new(matmul::MatrixMultiplyBenchmark::new(
+            16,
+            matmul::ElementWidth::Bits8,
+            seed,
+        )),
+        Box::new(matmul::MatrixMultiplyBenchmark::new(
+            16,
+            matmul::ElementWidth::Bits16,
+            seed,
+        )),
         Box::new(kmeans::KMeansBenchmark::new(8, 2, 12, seed)),
         Box::new(dijkstra::DijkstraBenchmark::new(10, seed)),
     ]

@@ -51,7 +51,14 @@ impl MatrixMultiplyBenchmark {
         let a = random_values(n * n, width.bound(), seed);
         let b = random_values(n * n, width.bound(), seed.wrapping_add(1));
         let (program, fi_window) = Self::build_program(n);
-        MatrixMultiplyBenchmark { n, width, a, b, program, fi_window }
+        MatrixMultiplyBenchmark {
+            n,
+            width,
+            a,
+            b,
+            program,
+            fi_window,
+        }
     }
 
     fn a_base(&self) -> u32 {
@@ -85,52 +92,164 @@ impl MatrixMultiplyBenchmark {
 
     fn build_program(n: usize) -> (Program, Range<u32>) {
         let mut p = ProgramBuilder::new();
-        let (a_base, b_base, c_base, nn, i, j, acc, k) =
-            (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7), Reg(8));
+        let (a_base, b_base, c_base, nn, i, j, acc, k) = (
+            Reg(1),
+            Reg(2),
+            Reg(3),
+            Reg(4),
+            Reg(5),
+            Reg(6),
+            Reg(7),
+            Reg(8),
+        );
         let (idx, ptr, va, vb, prod) = (Reg(9), Reg(10), Reg(11), Reg(12), Reg(13));
 
         // Prologue: base addresses and dimension.
-        p.push(Instruction::Addi { rd: a_base, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Addi {
+            rd: a_base,
+            ra: Reg(0),
+            imm: 0,
+        });
         p.load_immediate(b_base, (4 * n * n) as u32);
         p.load_immediate(c_base, (8 * n * n) as u32);
-        p.push(Instruction::Addi { rd: nn, ra: Reg(0), imm: n as i16 });
+        p.push(Instruction::Addi {
+            rd: nn,
+            ra: Reg(0),
+            imm: n as i16,
+        });
         let kernel_start = p.here();
 
-        p.push(Instruction::Addi { rd: i, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Addi {
+            rd: i,
+            ra: Reg(0),
+            imm: 0,
+        });
         let i_loop = p.label();
-        p.push(Instruction::Addi { rd: j, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Addi {
+            rd: j,
+            ra: Reg(0),
+            imm: 0,
+        });
         let j_loop = p.label();
-        p.push(Instruction::Addi { rd: acc, ra: Reg(0), imm: 0 });
-        p.push(Instruction::Addi { rd: k, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Addi {
+            rd: acc,
+            ra: Reg(0),
+            imm: 0,
+        });
+        p.push(Instruction::Addi {
+            rd: k,
+            ra: Reg(0),
+            imm: 0,
+        });
         let k_loop = p.label();
         // A[i*n + k]
-        p.push(Instruction::Mul { rd: idx, ra: i, rb: nn });
-        p.push(Instruction::Add { rd: idx, ra: idx, rb: k });
-        p.push(Instruction::Slli { rd: idx, ra: idx, shamt: 2 });
-        p.push(Instruction::Add { rd: ptr, ra: a_base, rb: idx });
-        p.push(Instruction::Lwz { rd: va, ra: ptr, offset: 0 });
+        p.push(Instruction::Mul {
+            rd: idx,
+            ra: i,
+            rb: nn,
+        });
+        p.push(Instruction::Add {
+            rd: idx,
+            ra: idx,
+            rb: k,
+        });
+        p.push(Instruction::Slli {
+            rd: idx,
+            ra: idx,
+            shamt: 2,
+        });
+        p.push(Instruction::Add {
+            rd: ptr,
+            ra: a_base,
+            rb: idx,
+        });
+        p.push(Instruction::Lwz {
+            rd: va,
+            ra: ptr,
+            offset: 0,
+        });
         // B[k*n + j]
-        p.push(Instruction::Mul { rd: idx, ra: k, rb: nn });
-        p.push(Instruction::Add { rd: idx, ra: idx, rb: j });
-        p.push(Instruction::Slli { rd: idx, ra: idx, shamt: 2 });
-        p.push(Instruction::Add { rd: ptr, ra: b_base, rb: idx });
-        p.push(Instruction::Lwz { rd: vb, ra: ptr, offset: 0 });
+        p.push(Instruction::Mul {
+            rd: idx,
+            ra: k,
+            rb: nn,
+        });
+        p.push(Instruction::Add {
+            rd: idx,
+            ra: idx,
+            rb: j,
+        });
+        p.push(Instruction::Slli {
+            rd: idx,
+            ra: idx,
+            shamt: 2,
+        });
+        p.push(Instruction::Add {
+            rd: ptr,
+            ra: b_base,
+            rb: idx,
+        });
+        p.push(Instruction::Lwz {
+            rd: vb,
+            ra: ptr,
+            offset: 0,
+        });
         // acc += A * B
-        p.push(Instruction::Mul { rd: prod, ra: va, rb: vb });
-        p.push(Instruction::Add { rd: acc, ra: acc, rb: prod });
-        p.push(Instruction::Addi { rd: k, ra: k, imm: 1 });
+        p.push(Instruction::Mul {
+            rd: prod,
+            ra: va,
+            rb: vb,
+        });
+        p.push(Instruction::Add {
+            rd: acc,
+            ra: acc,
+            rb: prod,
+        });
+        p.push(Instruction::Addi {
+            rd: k,
+            ra: k,
+            imm: 1,
+        });
         p.push(Instruction::Sfltu { ra: k, rb: nn });
         p.branch_if_flag(k_loop);
         // C[i*n + j] = acc
-        p.push(Instruction::Mul { rd: idx, ra: i, rb: nn });
-        p.push(Instruction::Add { rd: idx, ra: idx, rb: j });
-        p.push(Instruction::Slli { rd: idx, ra: idx, shamt: 2 });
-        p.push(Instruction::Add { rd: ptr, ra: c_base, rb: idx });
-        p.push(Instruction::Sw { ra: ptr, rb: acc, offset: 0 });
-        p.push(Instruction::Addi { rd: j, ra: j, imm: 1 });
+        p.push(Instruction::Mul {
+            rd: idx,
+            ra: i,
+            rb: nn,
+        });
+        p.push(Instruction::Add {
+            rd: idx,
+            ra: idx,
+            rb: j,
+        });
+        p.push(Instruction::Slli {
+            rd: idx,
+            ra: idx,
+            shamt: 2,
+        });
+        p.push(Instruction::Add {
+            rd: ptr,
+            ra: c_base,
+            rb: idx,
+        });
+        p.push(Instruction::Sw {
+            ra: ptr,
+            rb: acc,
+            offset: 0,
+        });
+        p.push(Instruction::Addi {
+            rd: j,
+            ra: j,
+            imm: 1,
+        });
         p.push(Instruction::Sfltu { ra: j, rb: nn });
         p.branch_if_flag(j_loop);
-        p.push(Instruction::Addi { rd: i, ra: i, imm: 1 });
+        p.push(Instruction::Addi {
+            rd: i,
+            ra: i,
+            imm: 1,
+        });
         p.push(Instruction::Sfltu { ra: i, rb: nn });
         p.branch_if_flag(i_loop);
         let kernel_end = p.here();
@@ -159,8 +278,12 @@ impl Benchmark for MatrixMultiplyBenchmark {
     }
 
     fn initialize(&self, memory: &mut Memory) {
-        memory.write_block(self.a_base(), &self.a).expect("data memory large enough");
-        memory.write_block(self.b_base(), &self.b).expect("data memory large enough");
+        memory
+            .write_block(self.a_base(), &self.a)
+            .expect("data memory large enough");
+        memory
+            .write_block(self.b_base(), &self.b)
+            .expect("data memory large enough");
     }
 
     fn output_error(&self, memory: &Memory) -> f64 {
@@ -214,9 +337,15 @@ mod tests {
         let core = run(&bench);
         assert_eq!(bench.output_error(core.memory()), 0.0);
         let stats = core.stats();
-        assert!(stats.multiplications > 4096, "three muls per inner iteration");
+        assert!(
+            stats.multiplications > 4096,
+            "three muls per inner iteration"
+        );
         assert!(stats.compute_fraction() > 0.5, "matmul is compute oriented");
-        assert!(stats.cycles > 30_000, "16x16 matmul runs for tens of kCycles");
+        assert!(
+            stats.cycles > 30_000,
+            "16x16 matmul runs for tens of kCycles"
+        );
     }
 
     #[test]
@@ -225,9 +354,13 @@ mod tests {
         let mut core = run(&bench);
         let addr = bench.c_base();
         let golden = core.memory().load_word(addr).unwrap();
-        core.memory_mut().store_word(addr, golden.wrapping_add(10)).unwrap();
+        core.memory_mut()
+            .store_word(addr, golden.wrapping_add(10))
+            .unwrap();
         let small = bench.output_error(core.memory());
-        core.memory_mut().store_word(addr, golden.wrapping_add(1000)).unwrap();
+        core.memory_mut()
+            .store_word(addr, golden.wrapping_add(1000))
+            .unwrap();
         let large = bench.output_error(core.memory());
         assert!(small > 0.0);
         assert!(large > small * 100.0);
@@ -240,7 +373,10 @@ mod tests {
         assert_eq!(b8.name(), "mat_mult_8bit");
         assert_eq!(b16.name(), "mat_mult_16bit");
         assert_eq!(b8.error_metric(), "mean squared error");
-        assert!(b16.a.iter().any(|&v| v >= 256), "16-bit inputs exceed the 8-bit range");
+        assert!(
+            b16.a.iter().any(|&v| v >= 256),
+            "16-bit inputs exceed the 8-bit range"
+        );
         assert!(b8.a.iter().all(|&v| v < 256));
     }
 

@@ -31,10 +31,17 @@ impl MedianBenchmark {
     /// Panics if `n < 3` or `n` is even (an odd count keeps the median a
     /// single array element).
     pub fn new(n: usize, seed: u64) -> Self {
-        assert!(n >= 3 && n % 2 == 1, "median size must be an odd number >= 3, got {n}");
+        assert!(
+            n >= 3 && n % 2 == 1,
+            "median size must be an odd number >= 3, got {n}"
+        );
         let values = random_values(n, 1 << 16, seed);
         let (program, fi_window) = Self::build_program(n);
-        MedianBenchmark { values, program, fi_window }
+        MedianBenchmark {
+            values,
+            program,
+            fi_window,
+        }
     }
 
     fn output_address(&self) -> u32 {
@@ -63,39 +70,107 @@ impl MedianBenchmark {
             Reg(10),
         );
         // Prologue (outside the FI window): constants.
-        p.push(Instruction::Addi { rd: base, ra: Reg(0), imm: Self::ARRAY_BASE as i16 });
-        p.push(Instruction::Addi { rd: count, ra: Reg(0), imm: n as i16 });
+        p.push(Instruction::Addi {
+            rd: base,
+            ra: Reg(0),
+            imm: Self::ARRAY_BASE as i16,
+        });
+        p.push(Instruction::Addi {
+            rd: count,
+            ra: Reg(0),
+            imm: n as i16,
+        });
         let kernel_start = p.here();
 
         // Bubble sort.
-        p.push(Instruction::Addi { rd: i, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Addi {
+            rd: i,
+            ra: Reg(0),
+            imm: 0,
+        });
         let outer = p.label();
-        p.push(Instruction::Sub { rd: limit, ra: count, rb: i });
-        p.push(Instruction::Addi { rd: limit, ra: limit, imm: -1 });
-        p.push(Instruction::Addi { rd: j, ra: Reg(0), imm: 0 });
+        p.push(Instruction::Sub {
+            rd: limit,
+            ra: count,
+            rb: i,
+        });
+        p.push(Instruction::Addi {
+            rd: limit,
+            ra: limit,
+            imm: -1,
+        });
+        p.push(Instruction::Addi {
+            rd: j,
+            ra: Reg(0),
+            imm: 0,
+        });
         let inner = p.label();
-        p.push(Instruction::Slli { rd: off, ra: j, shamt: 2 });
-        p.push(Instruction::Add { rd: ptr, ra: base, rb: off });
-        p.push(Instruction::Lwz { rd: a, ra: ptr, offset: 0 });
-        p.push(Instruction::Lwz { rd: b, ra: ptr, offset: 4 });
+        p.push(Instruction::Slli {
+            rd: off,
+            ra: j,
+            shamt: 2,
+        });
+        p.push(Instruction::Add {
+            rd: ptr,
+            ra: base,
+            rb: off,
+        });
+        p.push(Instruction::Lwz {
+            rd: a,
+            ra: ptr,
+            offset: 0,
+        });
+        p.push(Instruction::Lwz {
+            rd: b,
+            ra: ptr,
+            offset: 4,
+        });
         p.push(Instruction::Sfgtu { ra: a, rb: b });
         let no_swap = p.forward_label();
         p.branch_if_not_flag(no_swap);
-        p.push(Instruction::Sw { ra: ptr, rb: b, offset: 0 });
-        p.push(Instruction::Sw { ra: ptr, rb: a, offset: 4 });
+        p.push(Instruction::Sw {
+            ra: ptr,
+            rb: b,
+            offset: 0,
+        });
+        p.push(Instruction::Sw {
+            ra: ptr,
+            rb: a,
+            offset: 4,
+        });
         p.bind(no_swap);
-        p.push(Instruction::Addi { rd: j, ra: j, imm: 1 });
+        p.push(Instruction::Addi {
+            rd: j,
+            ra: j,
+            imm: 1,
+        });
         p.push(Instruction::Sfltu { ra: j, rb: limit });
         p.branch_if_flag(inner);
-        p.push(Instruction::Addi { rd: i, ra: i, imm: 1 });
-        p.push(Instruction::Addi { rd: tmp, ra: count, imm: -1 });
+        p.push(Instruction::Addi {
+            rd: i,
+            ra: i,
+            imm: 1,
+        });
+        p.push(Instruction::Addi {
+            rd: tmp,
+            ra: count,
+            imm: -1,
+        });
         p.push(Instruction::Sfltu { ra: i, rb: tmp });
         p.branch_if_flag(outer);
 
         // Store the middle element to the output word.
         let middle_offset = ((n / 2) * 4) as i16;
-        p.push(Instruction::Lwz { rd: a, ra: base, offset: middle_offset });
-        p.push(Instruction::Sw { ra: base, rb: a, offset: (n * 4) as i16 });
+        p.push(Instruction::Lwz {
+            rd: a,
+            ra: base,
+            offset: middle_offset,
+        });
+        p.push(Instruction::Sw {
+            ra: base,
+            rb: a,
+            offset: (n * 4) as i16,
+        });
         let kernel_end = p.here();
         (p.build(), kernel_start..kernel_end)
     }
@@ -119,7 +194,9 @@ impl Benchmark for MedianBenchmark {
     }
 
     fn initialize(&self, memory: &mut Memory) {
-        memory.write_block(Self::ARRAY_BASE, &self.values).expect("data memory large enough");
+        memory
+            .write_block(Self::ARRAY_BASE, &self.values)
+            .expect("data memory large enough");
     }
 
     fn output_error(&self, memory: &Memory) -> f64 {
@@ -163,8 +240,14 @@ mod tests {
         let core = run(&bench);
         let stats = core.stats();
         assert!(stats.multiplications == 0, "median has no multiplications");
-        assert!(stats.control_fraction() > 0.15, "median is control oriented");
-        assert!(stats.cycles > 100_000, "129-value median takes > 100 kCycles");
+        assert!(
+            stats.control_fraction() > 0.15,
+            "median is control oriented"
+        );
+        assert!(
+            stats.cycles > 100_000,
+            "129-value median takes > 100 kCycles"
+        );
     }
 
     #[test]

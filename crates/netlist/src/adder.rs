@@ -40,7 +40,10 @@ pub fn ripple_carry_adder(
         sum.push(s);
         carry = c;
     }
-    AdderOutputs { sum, carry_out: carry }
+    AdderOutputs {
+        sum,
+        carry_out: carry,
+    }
 }
 
 /// Instantiates an adder/subtractor: when `sub` is high, `b` is inverted and
@@ -109,7 +112,10 @@ pub fn carry_select_adder(
         }
         start = end;
     }
-    AdderOutputs { sum, carry_out: carry }
+    AdderOutputs {
+        sum,
+        carry_out: carry,
+    }
 }
 
 /// Instantiates a Kogge–Stone parallel-prefix adder.
@@ -122,12 +128,7 @@ pub fn carry_select_adder(
 /// # Panics
 ///
 /// Panics if the operand widths differ or are zero.
-pub fn kogge_stone_adder(
-    n: &mut Netlist,
-    a: &[NodeId],
-    b: &[NodeId],
-    cin: NodeId,
-) -> AdderOutputs {
+pub fn kogge_stone_adder(n: &mut Netlist, a: &[NodeId], b: &[NodeId], cin: NodeId) -> AdderOutputs {
     assert!(!a.is_empty(), "adder width must be non-zero");
     assert_eq!(a.len(), b.len(), "adder operands must have equal width");
     let width = a.len();
@@ -162,7 +163,10 @@ pub fn kogge_stone_adder(
     for i in 1..width {
         sum.push(n.xor2(p_initial[i], g[i - 1]));
     }
-    AdderOutputs { sum, carry_out: g[width - 1] }
+    AdderOutputs {
+        sum,
+        carry_out: g[width - 1],
+    }
 }
 
 #[cfg(test)]
@@ -195,7 +199,14 @@ mod tests {
     }
 
     fn build_adder(width: usize, select: bool) -> (Netlist, usize) {
-        build_adder_arch(width, if select { Arch::CarrySelect } else { Arch::Ripple })
+        build_adder_arch(
+            width,
+            if select {
+                Arch::CarrySelect
+            } else {
+                Arch::Ripple
+            },
+        )
     }
 
     fn run_add(n: &Netlist, width: usize, a: u64, b: u64, cin: bool) -> (u64, bool) {
@@ -240,7 +251,13 @@ mod tests {
     fn kogge_stone_matches_ripple_16bit() {
         let (nr, w) = build_adder_arch(16, Arch::Ripple);
         let (nk, _) = build_adder_arch(16, Arch::KoggeStone);
-        for (a, b) in [(0u64, 0u64), (0xFFFF, 1), (0xAAAA, 0x5555), (54321, 12345), (40000, 39999)] {
+        for (a, b) in [
+            (0u64, 0u64),
+            (0xFFFF, 1),
+            (0xAAAA, 0x5555),
+            (54321, 12345),
+            (40000, 39999),
+        ] {
             for cin in [false, true] {
                 assert_eq!(run_add(&nr, w, a, b, cin), run_add(&nk, w, a, b, cin));
             }
@@ -301,7 +318,10 @@ mod tests {
         let depths = n.logic_depths();
         let d_low = depths[n.outputs()[0].node.index()];
         let d_high = depths[n.outputs()[w - 1].node.index()];
-        assert!(d_high > d_low, "msb depth {d_high} should exceed lsb depth {d_low}");
+        assert!(
+            d_high > d_low,
+            "msb depth {d_high} should exceed lsb depth {d_low}"
+        );
     }
 
     #[test]

@@ -79,7 +79,10 @@ impl AluOp {
 
     /// Numeric select code of the operation (index into [`AluOp::ALL`]).
     pub fn code(self) -> u8 {
-        AluOp::ALL.iter().position(|&op| op == self).expect("op in ALL") as u8
+        AluOp::ALL
+            .iter()
+            .position(|&op| op == self)
+            .expect("op in ALL") as u8
     }
 
     /// The operation corresponding to a select code, if valid.
@@ -105,7 +108,11 @@ impl AluOp {
     /// Panics if `width` is zero or greater than 64.
     pub fn reference(self, a: u64, b: u64, width: usize) -> u64 {
         assert!(width > 0 && width <= 64, "width must be in 1..=64");
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let a = a & mask;
         let b = b & mask;
         let sign = |x: u64| -> i64 {
@@ -252,17 +259,19 @@ impl AluDatapath {
         let mut n = Netlist::new();
         let mut unit_ranges: Vec<(AluUnit, std::ops::Range<usize>)> = Vec::new();
         let mut unit_start = 0usize;
-        let close_unit = |n: &Netlist, ranges: &mut Vec<(AluUnit, std::ops::Range<usize>)>,
-                              start: &mut usize,
-                              unit: AluUnit| {
+        let close_unit = |n: &Netlist,
+                          ranges: &mut Vec<(AluUnit, std::ops::Range<usize>)>,
+                          start: &mut usize,
+                          unit: AluUnit| {
             ranges.push((unit, *start..n.len()));
             *start = n.len();
         };
 
         let a: Vec<NodeId> = (0..width).map(|i| n.add_input(format!("a[{i}]"))).collect();
         let b: Vec<NodeId> = (0..width).map(|i| n.add_input(format!("b[{i}]"))).collect();
-        let op: Vec<NodeId> =
-            (0..OP_SELECT_BITS).map(|i| n.add_input(format!("op[{i}]"))).collect();
+        let op: Vec<NodeId> = (0..OP_SELECT_BITS)
+            .map(|i| n.add_input(format!("op[{i}]")))
+            .collect();
         let op_n: Vec<NodeId> = op.iter().map(|&o| n.not(o)).collect();
 
         // One-hot decode of the operation select code.
@@ -305,21 +314,21 @@ impl AluDatapath {
             word
         };
         let sources: Vec<Vec<NodeId>> = vec![
-            addsub.sum.clone(),     // Add
-            addsub.sum.clone(),     // Sub (same unit, sub select)
-            and_w,                  // And
-            or_w,                   // Or
-            xor_w,                  // Xor
-            sll,                    // Sll
-            srl,                    // Srl
-            sra,                    // Sra
-            mul,                    // Mul
-            flag_word(cmp.eq),      // SfEq
-            flag_word(cmp.ne),      // SfNe
-            flag_word(cmp.ltu),     // SfLtu
-            flag_word(cmp.geu),     // SfGeu
-            flag_word(cmp.lts),     // SfLts
-            flag_word(cmp.ges),     // SfGes
+            addsub.sum.clone(), // Add
+            addsub.sum.clone(), // Sub (same unit, sub select)
+            and_w,              // And
+            or_w,               // Or
+            xor_w,              // Xor
+            sll,                // Sll
+            srl,                // Srl
+            sra,                // Sra
+            mul,                // Mul
+            flag_word(cmp.eq),  // SfEq
+            flag_word(cmp.ne),  // SfNe
+            flag_word(cmp.ltu), // SfLtu
+            flag_word(cmp.geu), // SfGeu
+            flag_word(cmp.lts), // SfLts
+            flag_word(cmp.ges), // SfGes
         ];
 
         // AND-OR result multiplexer: result[i] = OR over ops of (onehot & source[i]).
@@ -333,7 +342,11 @@ impl AluDatapath {
         }
         close_unit(&n, &mut unit_ranges, &mut unit_start, AluUnit::ResultMux);
 
-        AluDatapath { netlist: n, width, unit_ranges }
+        AluDatapath {
+            netlist: n,
+            width,
+            unit_ranges,
+        }
     }
 
     /// The functional unit each contiguous range of gates belongs to, in
@@ -348,7 +361,10 @@ impl AluDatapath {
     ///
     /// Panics if `index` is outside the netlist.
     pub fn unit_of(&self, index: usize) -> AluUnit {
-        assert!(index < self.netlist.len(), "gate index {index} out of range");
+        assert!(
+            index < self.netlist.len(),
+            "gate index {index} out of range"
+        );
         self.unit_ranges
             .iter()
             .find(|(_, r)| r.contains(&index))
@@ -431,8 +447,14 @@ mod tests {
     #[test]
     fn alu_16bit_matches_reference() {
         let alu = AluDatapath::build(16);
-        let cases: [(u64, u64); 6] =
-            [(0, 0), (0xFFFF, 1), (1234, 4321), (0x8000, 0x7FFF), (42, 42), (0xAAAA, 0x5555)];
+        let cases: [(u64, u64); 6] = [
+            (0, 0),
+            (0xFFFF, 1),
+            (1234, 4321),
+            (0x8000, 0x7FFF),
+            (42, 42),
+            (0xAAAA, 0x5555),
+        ];
         for op in AluOp::ALL {
             for (a, b) in cases {
                 let inputs = alu.encode_inputs(op, a, b);

@@ -24,7 +24,10 @@ pub fn mux2(n: &mut Netlist, sel: NodeId, a: NodeId, b: NodeId) -> NodeId {
 /// Panics if `a` and `b` have different widths.
 pub fn mux2_word(n: &mut Netlist, sel: NodeId, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
     assert_eq!(a.len(), b.len(), "mux2_word operands must have equal width");
-    a.iter().zip(b).map(|(&ai, &bi)| mux2(n, sel, ai, bi)).collect()
+    a.iter()
+        .zip(b)
+        .map(|(&ai, &bi)| mux2(n, sel, ai, bi))
+        .collect()
 }
 
 /// A half adder; returns `(sum, carry)`.
@@ -47,7 +50,9 @@ pub fn full_adder(n: &mut Netlist, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId
 /// Creates `width` constant-valued nodes representing `value` in
 /// little-endian bit order (bit 0 first).
 pub fn constant_word(n: &mut Netlist, value: u64, width: usize) -> Vec<NodeId> {
-    (0..width).map(|i| n.constant((value >> i) & 1 == 1)).collect()
+    (0..width)
+        .map(|i| n.constant((value >> i) & 1 == 1))
+        .collect()
 }
 
 /// Reduction OR over a slice of nodes (balanced tree).
@@ -106,7 +111,9 @@ pub fn to_bits(value: u64, width: usize) -> Vec<bool> {
 /// Panics if `bits.len() > 64`.
 pub fn from_bits(bits: &[bool]) -> u64 {
     assert!(bits.len() <= 64, "from_bits supports at most 64 bits");
-    bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
 }
 
 #[cfg(test)]
@@ -126,10 +133,10 @@ mod tests {
         let o = mux2(&mut n, s, a, b);
         n.mark_output(o, "o");
         // sel = 0 -> a, sel = 1 -> b
-        assert_eq!(eval1(&n, &[false, true, false]), true);
-        assert_eq!(eval1(&n, &[false, false, true]), false);
-        assert_eq!(eval1(&n, &[true, true, false]), false);
-        assert_eq!(eval1(&n, &[true, false, true]), true);
+        assert!(eval1(&n, &[false, true, false]));
+        assert!(!eval1(&n, &[false, false, true]));
+        assert!(!eval1(&n, &[true, true, false]));
+        assert!(eval1(&n, &[true, false, true]));
     }
 
     #[test]
@@ -172,7 +179,10 @@ mod tests {
         n.mark_output(all, "all");
         assert_eq!(n.evaluate(&[false; 5]), vec![false, false]);
         assert_eq!(n.evaluate(&[true; 5]), vec![true, true]);
-        assert_eq!(n.evaluate(&[false, false, true, false, false]), vec![true, false]);
+        assert_eq!(
+            n.evaluate(&[false, false, true, false, false]),
+            vec![true, false]
+        );
     }
 
     #[test]

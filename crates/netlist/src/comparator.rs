@@ -34,7 +34,11 @@ pub struct ComparatorOutputs {
 /// Panics if the operand widths differ or are zero.
 pub fn comparator(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> ComparatorOutputs {
     assert!(!a.is_empty(), "comparator width must be non-zero");
-    assert_eq!(a.len(), b.len(), "comparator operands must have equal width");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "comparator operands must have equal width"
+    );
     let width = a.len();
 
     // a - b through the shared adder structure.
@@ -59,7 +63,14 @@ pub fn comparator(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> ComparatorOutp
     let lts = crate::builder::mux2(n, signs_differ, sd, sa);
     let ges = n.not(lts);
 
-    ComparatorOutputs { eq, ne, ltu, geu, lts, ges }
+    ComparatorOutputs {
+        eq,
+        ne,
+        ltu,
+        geu,
+        lts,
+        ges,
+    }
 }
 
 #[cfg(test)]
@@ -93,7 +104,10 @@ mod tests {
         for a in 0..16u64 {
             for b in 0..16u64 {
                 let flags = run(&n, 4, a, b);
-                let (sa, sb) = (a as i64 - if a >= 8 { 16 } else { 0 }, b as i64 - if b >= 8 { 16 } else { 0 });
+                let (sa, sb) = (
+                    a as i64 - if a >= 8 { 16 } else { 0 },
+                    b as i64 - if b >= 8 { 16 } else { 0 },
+                );
                 assert_eq!(flags[0], a == b, "eq a={a} b={b}");
                 assert_eq!(flags[1], a != b, "ne a={a} b={b}");
                 assert_eq!(flags[2], a < b, "ltu a={a} b={b}");

@@ -43,8 +43,15 @@ impl VoltageScaling {
     ///
     /// Panics if `nominal_vdd <= vth` or any argument is non-positive.
     pub fn new(vth: f64, alpha: f64, nominal_vdd: f64) -> Self {
-        assert!(vth > 0.0 && alpha > 0.0 && nominal_vdd > vth, "invalid voltage scaling parameters");
-        VoltageScaling { vth, alpha, nominal_vdd }
+        assert!(
+            vth > 0.0 && alpha > 0.0 && nominal_vdd > vth,
+            "invalid voltage scaling parameters"
+        );
+        VoltageScaling {
+            vth,
+            alpha,
+            nominal_vdd,
+        }
     }
 
     /// Parameters representative of a 28 nm low-Vth process at 0.7 V nominal
@@ -71,7 +78,11 @@ impl VoltageScaling {
     /// Panics if `vdd` is not above the threshold voltage (the circuit would
     /// not switch at all).
     pub fn delay_factor(&self, vdd: f64) -> f64 {
-        assert!(vdd > self.vth, "supply voltage {vdd} V is not above the threshold voltage {} V", self.vth);
+        assert!(
+            vdd > self.vth,
+            "supply voltage {vdd} V is not above the threshold voltage {} V",
+            self.vth
+        );
         let raw = |v: f64| v / (v - self.vth).powf(self.alpha);
         raw(vdd) / raw(self.nominal_vdd)
     }
@@ -164,7 +175,10 @@ impl DelayModel {
     /// Panics if `scale` is not strictly positive.
     pub fn with_scale(&self, scale: f64) -> Self {
         assert!(scale > 0.0, "delay scale must be positive, got {scale}");
-        DelayModel { scale, ..self.clone() }
+        DelayModel {
+            scale,
+            ..self.clone()
+        }
     }
 
     /// Flip-flop clock-to-output delay in picoseconds (scaled).

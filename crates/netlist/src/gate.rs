@@ -143,13 +143,21 @@ impl Gate {
     /// Creates a source gate (input or constant).
     pub fn source(kind: GateKind) -> Self {
         debug_assert!(kind.is_source());
-        Gate { kind, a: Self::NO_FANIN, b: Self::NO_FANIN }
+        Gate {
+            kind,
+            a: Self::NO_FANIN,
+            b: Self::NO_FANIN,
+        }
     }
 
     /// Creates a single-input gate.
     pub fn unary(kind: GateKind, a: u32) -> Self {
         debug_assert_eq!(kind.fanin_count(), 1);
-        Gate { kind, a, b: Self::NO_FANIN }
+        Gate {
+            kind,
+            a,
+            b: Self::NO_FANIN,
+        }
     }
 
     /// Creates a two-input gate.
@@ -184,12 +192,12 @@ mod tests {
 
     #[test]
     fn unary_and_source_eval() {
-        assert_eq!(GateKind::Not.eval(true, false), false);
-        assert_eq!(GateKind::Not.eval(false, true), true);
-        assert_eq!(GateKind::Buf.eval(true, false), true);
-        assert_eq!(GateKind::Const(true).eval(false, false), true);
-        assert_eq!(GateKind::Const(false).eval(true, true), false);
-        assert_eq!(GateKind::Input.eval(true, false), true);
+        assert!(!GateKind::Not.eval(true, false));
+        assert!(GateKind::Not.eval(false, true));
+        assert!(GateKind::Buf.eval(true, false));
+        assert!(GateKind::Const(true).eval(false, false));
+        assert!(!GateKind::Const(false).eval(true, true));
+        assert!(GateKind::Input.eval(true, false));
     }
 
     #[test]

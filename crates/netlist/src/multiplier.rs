@@ -21,7 +21,11 @@ use crate::netlist::{Netlist, NodeId};
 /// Panics if the operand widths differ or are zero.
 pub fn wallace_multiplier(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
     assert!(!a.is_empty(), "multiplier width must be non-zero");
-    assert_eq!(a.len(), b.len(), "multiplier operands must have equal width");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "multiplier operands must have equal width"
+    );
     let width = a.len();
 
     // Column-wise partial products for the low half of the product only.
@@ -72,8 +76,14 @@ pub fn wallace_multiplier(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Vec<No
 
     // Final carry-propagate addition of the two remaining rows.
     let zero = n.constant(false);
-    let row_a: Vec<NodeId> = columns.iter().map(|c| c.first().copied().unwrap_or(zero)).collect();
-    let row_b: Vec<NodeId> = columns.iter().map(|c| c.get(1).copied().unwrap_or(zero)).collect();
+    let row_a: Vec<NodeId> = columns
+        .iter()
+        .map(|c| c.first().copied().unwrap_or(zero))
+        .collect();
+    let row_b: Vec<NodeId> = columns
+        .iter()
+        .map(|c| c.get(1).copied().unwrap_or(zero))
+        .collect();
     let out = kogge_stone_adder(n, &row_a, &row_b, zero);
     out.sum
 }

@@ -130,7 +130,11 @@ impl Netlist {
     ///
     /// Panics if `index >= self.len()`.
     pub fn node(&self, index: usize) -> NodeId {
-        assert!(index < self.gates.len(), "node index {index} out of range (len {})", self.gates.len());
+        assert!(
+            index < self.gates.len(),
+            "node index {index} out of range (len {})",
+            self.gates.len()
+        );
         NodeId(index as u32)
     }
 
@@ -162,7 +166,10 @@ impl Netlist {
     pub fn mark_output(&mut self, node: NodeId, label: impl Into<String>) -> OutputId {
         self.check(node);
         let id = OutputId(self.outputs.len() as u32);
-        self.outputs.push(Output { node, label: label.into() });
+        self.outputs.push(Output {
+            node,
+            label: label.into(),
+        });
         id
     }
 
@@ -249,7 +256,10 @@ impl Netlist {
     /// Panics if `input_values.len()` differs from [`Netlist::input_count`].
     pub fn evaluate(&self, input_values: &[bool]) -> Vec<bool> {
         let values = self.evaluate_all(input_values);
-        self.outputs.iter().map(|o| values[o.node.index()]).collect()
+        self.outputs
+            .iter()
+            .map(|o| values[o.node.index()])
+            .collect()
     }
 
     /// Evaluates the netlist and returns the value of **every** node, in
@@ -279,7 +289,11 @@ impl Netlist {
                 GateKind::Const(v) => v,
                 kind => {
                     let a = values[gate.a as usize];
-                    let b = if kind.fanin_count() == 2 { values[gate.b as usize] } else { false };
+                    let b = if kind.fanin_count() == 2 {
+                        values[gate.b as usize]
+                    } else {
+                        false
+                    };
                     kind.eval(a, b)
                 }
             };
@@ -296,7 +310,11 @@ impl Netlist {
                 continue;
             }
             let da = depth[gate.a as usize];
-            let db = if gate.kind.fanin_count() == 2 { depth[gate.b as usize] } else { 0 };
+            let db = if gate.kind.fanin_count() == 2 {
+                depth[gate.b as usize]
+            } else {
+                0
+            };
             depth[i] = da.max(db) + 1;
         }
         depth
@@ -305,7 +323,11 @@ impl Netlist {
     /// The maximum logic depth over all registered outputs.
     pub fn max_output_depth(&self) -> u32 {
         let depths = self.logic_depths();
-        self.outputs.iter().map(|o| depths[o.node.index()]).max().unwrap_or(0)
+        self.outputs
+            .iter()
+            .map(|o| depths[o.node.index()])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Counts gates per kind, useful for reporting netlist statistics.
@@ -399,8 +421,8 @@ mod tests {
         let n = half_adder();
         let all = n.evaluate_all(&[true, true]);
         assert_eq!(all.len(), n.len());
-        assert_eq!(all[2], false); // xor
-        assert_eq!(all[3], true); // and
+        assert!(!all[2]); // xor
+        assert!(all[3]); // and
     }
 
     #[test]

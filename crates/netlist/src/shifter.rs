@@ -31,9 +31,15 @@ pub fn barrel_shifter(
     kind: ShiftKind,
 ) -> Vec<NodeId> {
     let width = a.len();
-    assert!(width > 0 && width.is_power_of_two(), "barrel shifter width must be a power of two");
+    assert!(
+        width > 0 && width.is_power_of_two(),
+        "barrel shifter width must be a power of two"
+    );
     let stages = width.trailing_zeros() as usize;
-    assert!(amount.len() >= stages, "shift amount must provide at least log2(width) bits");
+    assert!(
+        amount.len() >= stages,
+        "shift amount must provide at least log2(width) bits"
+    );
 
     let zero = n.constant(false);
     let fill = match kind {
@@ -42,9 +48,8 @@ pub fn barrel_shifter(
     };
 
     let mut current: Vec<NodeId> = a.to_vec();
-    for stage in 0..stages {
+    for (stage, &sel) in amount.iter().enumerate().take(stages) {
         let shift = 1usize << stage;
-        let sel = amount[stage];
         let mut next = Vec::with_capacity(width);
         for i in 0..width {
             let shifted = match kind {
@@ -98,7 +103,11 @@ mod tests {
     fn logical_left() {
         let n = build(16, ShiftKind::LogicalLeft);
         for sh in 0..16u64 {
-            assert_eq!(run(&n, 16, 0xABCD, sh), (0xABCDu64 << sh) & 0xFFFF, "shift {sh}");
+            assert_eq!(
+                run(&n, 16, 0xABCD, sh),
+                (0xABCDu64 << sh) & 0xFFFF,
+                "shift {sh}"
+            );
         }
     }
 

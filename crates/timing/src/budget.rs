@@ -48,7 +48,12 @@ impl UnitBudgets {
     /// (multiplication fails first, 32-bit addition ~5–10 % later, narrow
     /// additions and flag comparisons later still, shifts and logic safe).
     pub fn paper_defaults() -> Self {
-        UnitBudgets { add_sub: 0.97, shifter: 0.60, logic: 0.45, comparator: 0.92 }
+        UnitBudgets {
+            add_sub: 0.97,
+            shifter: 0.60,
+            logic: 0.45,
+            comparator: 0.92,
+        }
     }
 
     /// Budget of a given unit; the multiplier is pinned to 1.0 and the
@@ -76,7 +81,10 @@ impl UnitBudgets {
             ("logic", self.logic),
             ("comparator", self.comparator),
         ] {
-            assert!(b > 0.0 && b <= 1.0, "unit budget {name} must be in (0, 1], got {b}");
+            assert!(
+                b > 0.0 && b <= 1.0,
+                "unit budget {name} must be in (0, 1], got {b}"
+            );
         }
     }
 }
@@ -148,10 +156,15 @@ pub fn synthesis_node_multipliers(
 
     let mut multipliers = vec![1.0f64; len];
     for (unit, range) in alu.unit_ranges() {
-        if matches!(unit, AluUnit::OpDecode | AluUnit::ResultMux | AluUnit::Multiplier) {
+        if matches!(
+            unit,
+            AluUnit::OpDecode | AluUnit::ResultMux | AluUnit::Multiplier
+        ) {
             continue;
         }
-        let budget = budgets.budget_of(*unit).expect("functional unit has a budget");
+        let budget = budgets
+            .budget_of(*unit)
+            .expect("functional unit has a budget");
         let target_ps = budget * reference_ps;
         // The isolated critical path is monotone non-decreasing in the
         // sizing factor, so a simple bisection finds the factor that puts
@@ -206,7 +219,10 @@ mod tests {
         let (alu, mults) = setup(8);
         assert_eq!(mults.len(), alu.netlist().len());
         for (unit, range) in alu.unit_ranges() {
-            if *unit == AluUnit::Multiplier || *unit == AluUnit::OpDecode || *unit == AluUnit::ResultMux {
+            if *unit == AluUnit::Multiplier
+                || *unit == AluUnit::OpDecode
+                || *unit == AluUnit::ResultMux
+            {
                 for i in range.clone() {
                     assert_eq!(mults[i], 1.0, "unit {unit} must keep nominal delays");
                 }
@@ -229,7 +245,10 @@ mod tests {
         // Isolate the multiplier: its path must equal the overall critical path.
         let mut only_mul = vec![0.0f64; alu.netlist().len()];
         for (unit, range) in alu.unit_ranges() {
-            if matches!(unit, AluUnit::Multiplier | AluUnit::OpDecode | AluUnit::ResultMux) {
+            if matches!(
+                unit,
+                AluUnit::Multiplier | AluUnit::OpDecode | AluUnit::ResultMux
+            ) {
                 for i in range.clone() {
                     only_mul[i] = mults[i];
                 }
@@ -323,7 +342,10 @@ mod tests {
             &alu,
             &DelayModel::default_28nm(),
             &VoltageScaling::default_28nm(),
-            &CharacterizationConfig { cycles_per_op: 96, ..Default::default() },
+            &CharacterizationConfig {
+                cycles_per_op: 96,
+                ..Default::default()
+            },
             Some(&mults),
         );
         let mul = ch.first_failure_frequency_mhz(AluOp::Mul);
@@ -337,7 +359,10 @@ mod tests {
     #[should_panic(expected = "unit budget")]
     fn invalid_budget_panics() {
         let alu = AluDatapath::build(8);
-        let bad = UnitBudgets { add_sub: 1.5, ..UnitBudgets::paper_defaults() };
+        let bad = UnitBudgets {
+            add_sub: 1.5,
+            ..UnitBudgets::paper_defaults()
+        };
         synthesis_node_multipliers(
             &alu,
             &DelayModel::default_28nm(),

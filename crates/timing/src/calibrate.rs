@@ -63,7 +63,10 @@ pub fn calibrate_delay_model_with_multipliers(
     vdd: f64,
     node_multipliers: Option<&[f64]>,
 ) -> DelayModel {
-    assert!(target_fmax_mhz > 0.0, "target frequency must be positive, got {target_fmax_mhz}");
+    assert!(
+        target_fmax_mhz > 0.0,
+        "target frequency must be positive, got {target_fmax_mhz}"
+    );
     let sta = StaticTimingAnalysis::run_with_multipliers(
         alu.netlist(),
         delays,

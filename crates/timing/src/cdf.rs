@@ -36,9 +36,14 @@ impl ErrorCdf {
     ///
     /// Panics if any sample is not a finite number.
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
-        assert!(samples.iter().all(|d| d.is_finite()), "delay samples must be finite");
+        assert!(
+            samples.iter().all(|d| d.is_finite()),
+            "delay samples must be finite"
+        );
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-        ErrorCdf { sorted_delays_ps: samples }
+        ErrorCdf {
+            sorted_delays_ps: samples,
+        }
     }
 
     /// Number of samples backing the CDF.
@@ -68,7 +73,10 @@ impl ErrorCdf {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0, 1], got {q}"
+        );
         if self.sorted_delays_ps.is_empty() {
             return None;
         }
@@ -96,7 +104,10 @@ impl ErrorCdf {
     ///
     /// Panics if `freq_mhz` or `delay_factor` is not strictly positive.
     pub fn error_probability_at(&self, freq_mhz: f64, delay_factor: f64) -> f64 {
-        assert!(delay_factor > 0.0, "delay factor must be positive, got {delay_factor}");
+        assert!(
+            delay_factor > 0.0,
+            "delay factor must be positive, got {delay_factor}"
+        );
         let period = freq_mhz_to_period_ps(freq_mhz);
         // delay * factor > period  <=>  delay > period / factor
         self.error_probability(period / delay_factor)
@@ -132,7 +143,10 @@ mod tests {
         let mut prev = 1.0;
         for period in [800.0, 950.0, 1050.0, 1150.0, 1300.0] {
             let p = c.error_probability(period);
-            assert!(p <= prev, "error probability must not increase with a longer period");
+            assert!(
+                p <= prev,
+                "error probability must not increase with a longer period"
+            );
             prev = p;
         }
     }

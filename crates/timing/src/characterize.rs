@@ -31,7 +31,11 @@ impl OperandDistribution {
             OperandDistribution::UniformFull => width as u32,
             OperandDistribution::UniformBits(b) => (*b).min(width as u32),
         };
-        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         rng.gen::<u64>() & mask
     }
 }
@@ -114,7 +118,10 @@ impl TimingCharacterization {
 
     /// The STA critical-path delay in picoseconds.
     pub fn sta_critical_path_ps(&self) -> f64 {
-        self.sta_endpoint_delays_ps.iter().copied().fold(0.0, f64::max)
+        self.sta_endpoint_delays_ps
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
     }
 
     /// The static timing limit in MHz at the characterization voltage.
@@ -133,8 +140,12 @@ impl TimingCharacterization {
         period_ps: f64,
         delay_factor: f64,
     ) -> f64 {
-        assert!(delay_factor > 0.0, "delay factor must be positive, got {delay_factor}");
-        self.cdf(op, endpoint).error_probability(period_ps / delay_factor)
+        assert!(
+            delay_factor > 0.0,
+            "delay factor must be positive, got {delay_factor}"
+        );
+        self.cdf(op, endpoint)
+            .error_probability(period_ps / delay_factor)
     }
 
     /// Convenience wrapper of [`TimingCharacterization::error_probability`]
@@ -241,8 +252,10 @@ mod tests {
 
     fn characterize(width: usize, cycles: usize) -> (AluDatapath, TimingCharacterization) {
         let alu = AluDatapath::build(width);
-        let config =
-            CharacterizationConfig { cycles_per_op: cycles, ..CharacterizationConfig::default() };
+        let config = CharacterizationConfig {
+            cycles_per_op: cycles,
+            ..CharacterizationConfig::default()
+        };
         let ch = characterize_alu(
             &alu,
             &DelayModel::default_28nm(),
@@ -284,12 +297,14 @@ mod tests {
             &alu,
             &delays,
             &scaling,
-            &CharacterizationConfig { cycles_per_op: 128, ..Default::default() },
+            &CharacterizationConfig {
+                cycles_per_op: 128,
+                ..Default::default()
+            },
             Some(&mults),
         );
         assert!(
-            ch.first_failure_frequency_mhz(AluOp::Mul)
-                < ch.first_failure_frequency_mhz(AluOp::Add)
+            ch.first_failure_frequency_mhz(AluOp::Mul) < ch.first_failure_frequency_mhz(AluOp::Add)
         );
     }
 
@@ -313,7 +328,10 @@ mod tests {
                 for scale in [0.4, 0.6, 0.8, 1.0, 1.2] {
                     let p = ch.error_probability(op, e, sta_period * scale, 1.0);
                     assert!((0.0..=1.0).contains(&p));
-                    assert!(p <= prev + 1e-12, "longer period must not increase probability");
+                    assert!(
+                        p <= prev + 1e-12,
+                        "longer period must not increase probability"
+                    );
                     prev = p;
                 }
                 // At the STA limit nothing fails under nominal conditions.
@@ -353,7 +371,10 @@ mod tests {
             &alu,
             &DelayModel::default_28nm(),
             &VoltageScaling::default_28nm(),
-            &CharacterizationConfig { cycles_per_op: 64, ..Default::default() },
+            &CharacterizationConfig {
+                cycles_per_op: 64,
+                ..Default::default()
+            },
         );
         let narrow = characterize_alu(
             &alu,
@@ -380,7 +401,10 @@ mod tests {
             &alu,
             &DelayModel::default_28nm(),
             &VoltageScaling::default_28nm(),
-            &CharacterizationConfig { cycles_per_op: 0, ..Default::default() },
+            &CharacterizationConfig {
+                cycles_per_op: 0,
+                ..Default::default()
+            },
         );
     }
 }

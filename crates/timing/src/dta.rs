@@ -70,12 +70,7 @@ impl DynamicTimingAnalysis {
     /// # Panics
     ///
     /// Panics if `vdd` is not above the threshold voltage of `scaling`.
-    pub fn new(
-        netlist: &Netlist,
-        delays: &DelayModel,
-        scaling: &VoltageScaling,
-        vdd: f64,
-    ) -> Self {
+    pub fn new(netlist: &Netlist, delays: &DelayModel, scaling: &VoltageScaling, vdd: f64) -> Self {
         Self::new_with_multipliers(netlist, delays, scaling, vdd, None)
     }
 
@@ -95,7 +90,11 @@ impl DynamicTimingAnalysis {
         node_multipliers: Option<&[f64]>,
     ) -> Self {
         if let Some(m) = node_multipliers {
-            assert_eq!(m.len(), netlist.len(), "need one delay multiplier per netlist node");
+            assert_eq!(
+                m.len(),
+                netlist.len(),
+                "need one delay multiplier per netlist node"
+            );
         }
         let factor = scaling.delay_factor(vdd);
         let gate_delays_ps = (0..netlist.len())
@@ -199,13 +198,20 @@ impl DynamicTimingAnalysis {
             }
         }
 
-        let output_values = netlist.outputs().iter().map(|o| values[o.node.index()]).collect();
+        let output_values = netlist
+            .outputs()
+            .iter()
+            .map(|o| values[o.node.index()])
+            .collect();
         let output_delays_ps = netlist
             .outputs()
             .iter()
             .map(|o| arrivals[o.node.index()] + self.sequential_overhead_ps)
             .collect();
-        DtaResult { output_values, output_delays_ps }
+        DtaResult {
+            output_values,
+            output_delays_ps,
+        }
     }
 }
 

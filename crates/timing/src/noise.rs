@@ -34,8 +34,14 @@ impl VoltageNoise {
     ///
     /// Panics if `sigma_volts` is negative.
     pub fn new(sigma_volts: f64) -> Self {
-        assert!(sigma_volts >= 0.0, "noise sigma must be non-negative, got {sigma_volts}");
-        VoltageNoise { sigma_volts, clip_sigmas: 2.0 }
+        assert!(
+            sigma_volts >= 0.0,
+            "noise sigma must be non-negative, got {sigma_volts}"
+        );
+        VoltageNoise {
+            sigma_volts,
+            clip_sigmas: 2.0,
+        }
     }
 
     /// Convenience constructor taking the standard deviation in millivolts,
@@ -56,7 +62,10 @@ impl VoltageNoise {
     ///
     /// Panics if `clip_sigmas` is negative.
     pub fn with_clip_sigmas(mut self, clip_sigmas: f64) -> Self {
-        assert!(clip_sigmas >= 0.0, "clip point must be non-negative, got {clip_sigmas}");
+        assert!(
+            clip_sigmas >= 0.0,
+            "clip point must be non-negative, got {clip_sigmas}"
+        );
         self.clip_sigmas = clip_sigmas;
         self
     }
@@ -146,7 +155,10 @@ mod tests {
         assert!(mean.abs() < 0.5e-3, "mean {mean} should be close to zero");
         // Clipping at 2 sigma removes a bit of variance; expect ~0.95 sigma.
         let std = var.sqrt();
-        assert!((0.0085..=0.0105).contains(&std), "std {std} out of expected range");
+        assert!(
+            (0.0085..=0.0105).contains(&std),
+            "std {std} out of expected range"
+        );
     }
 
     #[test]

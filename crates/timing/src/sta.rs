@@ -46,12 +46,7 @@ impl StaticTimingAnalysis {
     /// # Panics
     ///
     /// Panics if `vdd` is not above the threshold voltage of `scaling`.
-    pub fn run(
-        netlist: &Netlist,
-        delays: &DelayModel,
-        scaling: &VoltageScaling,
-        vdd: f64,
-    ) -> Self {
+    pub fn run(netlist: &Netlist, delays: &DelayModel, scaling: &VoltageScaling, vdd: f64) -> Self {
         Self::run_with_multipliers(netlist, delays, scaling, vdd, None)
     }
 
@@ -71,7 +66,11 @@ impl StaticTimingAnalysis {
         node_multipliers: Option<&[f64]>,
     ) -> Self {
         if let Some(m) = node_multipliers {
-            assert_eq!(m.len(), netlist.len(), "need one delay multiplier per netlist node");
+            assert_eq!(
+                m.len(),
+                netlist.len(),
+                "need one delay multiplier per netlist node"
+            );
         }
         let factor = scaling.delay_factor(vdd);
         let mut arrivals = vec![0.0f64; netlist.len()];
@@ -82,7 +81,11 @@ impl StaticTimingAnalysis {
             let m = node_multipliers.map_or(1.0, |m| m[i]);
             let d = delays.gate_delay(netlist, netlist.node(i)) * factor * m;
             let ta = arrivals[gate.a as usize];
-            let tb = if gate.kind.fanin_count() == 2 { arrivals[gate.b as usize] } else { 0.0 };
+            let tb = if gate.kind.fanin_count() == 2 {
+                arrivals[gate.b as usize]
+            } else {
+                0.0
+            };
             arrivals[i] = ta.max(tb) + d;
         }
         let overhead = delays.sequential_overhead() * factor;

@@ -18,7 +18,10 @@
 /// assert!((freq_mhz_to_period_ps(707.0) - 1414.4271).abs() < 1e-3);
 /// ```
 pub fn freq_mhz_to_period_ps(freq_mhz: f64) -> f64 {
-    assert!(freq_mhz > 0.0, "frequency must be positive, got {freq_mhz} MHz");
+    assert!(
+        freq_mhz > 0.0,
+        "frequency must be positive, got {freq_mhz} MHz"
+    );
     1.0e6 / freq_mhz
 }
 
@@ -35,7 +38,10 @@ pub fn freq_mhz_to_period_ps(freq_mhz: f64) -> f64 {
 /// assert!((period_ps_to_freq_mhz(1000.0) - 1000.0).abs() < 1e-9);
 /// ```
 pub fn period_ps_to_freq_mhz(period_ps: f64) -> f64 {
-    assert!(period_ps > 0.0, "period must be positive, got {period_ps} ps");
+    assert!(
+        period_ps > 0.0,
+        "period must be positive, got {period_ps} ps"
+    );
     1.0e6 / period_ps
 }
 

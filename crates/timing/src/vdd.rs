@@ -42,8 +42,14 @@ impl VddDelayCurve {
     /// Panics if `points < 2`, if `v_min >= v_max`, or if `v_min` is not
     /// above the threshold voltage of `scaling`.
     pub fn from_scaling(scaling: &VoltageScaling, v_min: f64, v_max: f64, points: usize) -> Self {
-        assert!(points >= 2, "at least two sample points are required, got {points}");
-        assert!(v_min < v_max, "v_min ({v_min}) must be below v_max ({v_max})");
+        assert!(
+            points >= 2,
+            "at least two sample points are required, got {points}"
+        );
+        assert!(
+            v_min < v_max,
+            "v_min ({v_min}) must be below v_max ({v_max})"
+        );
         let step = (v_max - v_min) / (points - 1) as f64;
         let voltages: Vec<f64> = (0..points).map(|i| v_min + step * i as f64).collect();
         let factors: Vec<f64> = voltages.iter().map(|&v| scaling.delay_factor(v)).collect();

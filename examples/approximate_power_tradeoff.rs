@@ -22,7 +22,10 @@ fn main() {
     let sta = study.sta_limit_mhz(0.7);
 
     println!("median kernel, model C, 10 mV supply noise, clock fixed at {sta:.0} MHz");
-    println!("{:>8} {:>12} {:>14} {:>16}", "gain", "equiv. Vdd", "norm. power", "avg rel. error");
+    println!(
+        "{:>8} {:>12} {:>14} {:>16}",
+        "gain", "equiv. Vdd", "norm. power", "avg rel. error"
+    );
     for i in 0..8 {
         let gain = 1.0 + 0.04 * i as f64;
         let point = OperatingPoint::new(sta * gain, 0.7).with_noise_sigma_mv(10.0);

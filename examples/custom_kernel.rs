@@ -15,38 +15,111 @@ fn main() {
     let n = 32usize;
     let a_vals: Vec<u32> = (0..n as u32).map(|i| 3 * i + 1).collect();
     let b_vals: Vec<u32> = (0..n as u32).map(|i| 7 * i + 2).collect();
-    let golden: u32 = a_vals.iter().zip(&b_vals).map(|(&x, &y)| x.wrapping_mul(y)).sum();
+    let golden: u32 = a_vals
+        .iter()
+        .zip(&b_vals)
+        .map(|(&x, &y)| x.wrapping_mul(y))
+        .sum();
 
     let mut p = ProgramBuilder::new();
     let (a_base, b_base, count, i, acc) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5));
     let (ptr, va, vb, prod) = (Reg(6), Reg(7), Reg(8), Reg(9));
-    p.push(Instruction::Addi { rd: a_base, ra: Reg(0), imm: 0 });
-    p.push(Instruction::Addi { rd: b_base, ra: Reg(0), imm: (4 * n) as i16 });
-    p.push(Instruction::Addi { rd: count, ra: Reg(0), imm: n as i16 });
-    p.push(Instruction::Addi { rd: i, ra: Reg(0), imm: 0 });
-    p.push(Instruction::Addi { rd: acc, ra: Reg(0), imm: 0 });
+    p.push(Instruction::Addi {
+        rd: a_base,
+        ra: Reg(0),
+        imm: 0,
+    });
+    p.push(Instruction::Addi {
+        rd: b_base,
+        ra: Reg(0),
+        imm: (4 * n) as i16,
+    });
+    p.push(Instruction::Addi {
+        rd: count,
+        ra: Reg(0),
+        imm: n as i16,
+    });
+    p.push(Instruction::Addi {
+        rd: i,
+        ra: Reg(0),
+        imm: 0,
+    });
+    p.push(Instruction::Addi {
+        rd: acc,
+        ra: Reg(0),
+        imm: 0,
+    });
     let head = p.label();
-    p.push(Instruction::Slli { rd: ptr, ra: i, shamt: 2 });
-    p.push(Instruction::Add { rd: ptr, ra: ptr, rb: a_base });
-    p.push(Instruction::Lwz { rd: va, ra: ptr, offset: 0 });
-    p.push(Instruction::Slli { rd: ptr, ra: i, shamt: 2 });
-    p.push(Instruction::Add { rd: ptr, ra: ptr, rb: b_base });
-    p.push(Instruction::Lwz { rd: vb, ra: ptr, offset: 0 });
-    p.push(Instruction::Mul { rd: prod, ra: va, rb: vb });
-    p.push(Instruction::Add { rd: acc, ra: acc, rb: prod });
-    p.push(Instruction::Addi { rd: i, ra: i, imm: 1 });
+    p.push(Instruction::Slli {
+        rd: ptr,
+        ra: i,
+        shamt: 2,
+    });
+    p.push(Instruction::Add {
+        rd: ptr,
+        ra: ptr,
+        rb: a_base,
+    });
+    p.push(Instruction::Lwz {
+        rd: va,
+        ra: ptr,
+        offset: 0,
+    });
+    p.push(Instruction::Slli {
+        rd: ptr,
+        ra: i,
+        shamt: 2,
+    });
+    p.push(Instruction::Add {
+        rd: ptr,
+        ra: ptr,
+        rb: b_base,
+    });
+    p.push(Instruction::Lwz {
+        rd: vb,
+        ra: ptr,
+        offset: 0,
+    });
+    p.push(Instruction::Mul {
+        rd: prod,
+        ra: va,
+        rb: vb,
+    });
+    p.push(Instruction::Add {
+        rd: acc,
+        ra: acc,
+        rb: prod,
+    });
+    p.push(Instruction::Addi {
+        rd: i,
+        ra: i,
+        imm: 1,
+    });
     p.push(Instruction::Sfltu { ra: i, rb: count });
     p.branch_if_flag(head);
-    p.push(Instruction::Sw { ra: Reg(0), rb: acc, offset: (8 * n) as i16 });
+    p.push(Instruction::Sw {
+        ra: Reg(0),
+        rb: acc,
+        offset: (8 * n) as i16,
+    });
     let program = p.build();
-    println!("dot-product kernel: {} instructions\n{}", program.len(), program.listing());
+    println!(
+        "dot-product kernel: {} instructions\n{}",
+        program.len(),
+        program.listing()
+    );
 
     // Fault-free run.
     let mut core = Core::new(program.clone(), 3 * n + 8);
     core.memory_mut().write_block(0, &a_vals).expect("dmem");
-    core.memory_mut().write_block((4 * n) as u32, &b_vals).expect("dmem");
+    core.memory_mut()
+        .write_block((4 * n) as u32, &b_vals)
+        .expect("dmem");
     let outcome = core.run(&RunConfig::default());
-    let result = core.memory().load_word((8 * n) as u32).expect("output word");
+    let result = core
+        .memory()
+        .load_word((8 * n) as u32)
+        .expect("output word");
     println!("fault-free: {outcome:?}, result = {result} (golden {golden})");
     assert_eq!(result, golden);
 
@@ -63,7 +136,9 @@ fn main() {
         let mut injector = study.model_c(point, 99);
         let mut core = Core::new(program.clone(), 3 * n + 8);
         core.memory_mut().write_block(0, &a_vals).expect("dmem");
-        core.memory_mut().write_block((4 * n) as u32, &b_vals).expect("dmem");
+        core.memory_mut()
+            .write_block((4 * n) as u32, &b_vals)
+            .expect("dmem");
         let outcome = core.run_with_injector(&RunConfig::default(), &mut injector);
         let result = core.memory().load_word((8 * n) as u32).unwrap_or(0);
         println!(

@@ -2,11 +2,15 @@
 //! suite, the frequency at which it first stops producing fully correct
 //! results, and report the gain over the static timing limit.
 //!
+//! Instead of burning a full Monte-Carlo cell on every point of a fixed
+//! frequency grid, this uses the campaign engine's adaptive PoFF search:
+//! bisection on the failure transition, which reaches the same resolution
+//! with a fraction of the cells (printed in the last column).
+//!
 //! Run with `cargo run --release --example poff_sweep`.
 
-use sfi_core::experiment::{
-    frequency_grid, frequency_sweep, overscaling_gain, point_of_first_failure, FaultModel,
-};
+use sfi_campaign::{adaptive_poff, CampaignEngine, PoffSearch};
+use sfi_core::experiment::{overscaling_gain, FaultModel};
 use sfi_core::study::{CaseStudy, CaseStudyConfig};
 use sfi_fault::OperatingPoint;
 use sfi_kernels::paper_suite;
@@ -18,30 +22,48 @@ fn main() {
         voltages: vec![0.7],
         ..CaseStudyConfig::paper()
     });
+    let engine = CampaignEngine::new();
     let sta = study.sta_limit_mhz(0.7);
-    println!("STA limit @ 0.7 V: {sta:.1} MHz  (noise sigma = 10 mV, model C)\n");
-    println!("{:<16} {:>12} {:>14}", "benchmark", "PoFF [MHz]", "gain over STA");
+    println!("STA limit @ 0.7 V: {sta:.1} MHz  (noise sigma = 10 mV, model C)");
+    println!(
+        "campaign engine: {} worker thread(s), bisection PoFF search\n",
+        engine.threads()
+    );
+    println!(
+        "{:<16} {:>12} {:>14} {:>12} {:>12}",
+        "benchmark", "PoFF [MHz]", "gain over STA", "cells used", "grid equiv"
+    );
 
     let point = OperatingPoint::new(sta, 0.7).with_noise_sigma_mv(10.0);
+    let search = PoffSearch::new(sta * 0.95, sta * 1.4, sta * 0.05, 5);
     for bench in paper_suite(5) {
-        let freqs = frequency_grid(sta * 0.95, sta * 1.4, 10);
-        let sweep = frequency_sweep(
+        let name = bench.name();
+        let outcome = adaptive_poff(
+            &engine,
             &study,
-            bench.as_ref(),
+            bench.into(),
             FaultModel::StatisticalDta,
             point,
-            &freqs,
-            5,
+            search,
             3,
         );
-        match point_of_first_failure(&sweep) {
+        match outcome.poff_mhz {
             Some(poff) => println!(
-                "{:<16} {:>12.1} {:>+13.1}%",
-                bench.name(),
+                "{:<16} {:>12.1} {:>+13.1}% {:>12} {:>12}",
+                name,
                 poff,
-                100.0 * overscaling_gain(poff, sta)
+                100.0 * overscaling_gain(poff, sta),
+                outcome.cells_evaluated,
+                search.grid_equivalent_cells()
             ),
-            None => println!("{:<16} {:>12} {:>14}", bench.name(), "> sweep end", "-"),
+            None => println!(
+                "{:<16} {:>12} {:>14} {:>12} {:>12}",
+                name,
+                "> search end",
+                "-",
+                outcome.cells_evaluated,
+                search.grid_equivalent_cells()
+            ),
         }
     }
 }

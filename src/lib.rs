@@ -1,0 +1,26 @@
+//! Facade crate of the statistical-fault-injection workspace.
+//!
+//! Re-exports every sub-crate under one roof so downstream users (and the
+//! examples and integration tests in this package) can depend on a single
+//! crate:
+//!
+//! * [`isa`] / [`cpu`] — the instruction set and the cycle-accurate ISS,
+//! * [`netlist`] / [`timing`] — the gate-level datapath and its timing
+//!   characterization,
+//! * [`fault`] — the paper's fault-injection models A, B, B+ and C,
+//! * [`kernels`] — the benchmark suite,
+//! * [`core`] — the one-shot experiment flow (case study, experiments,
+//!   sweeps, power model),
+//! * [`campaign`] — the parallel, resumable Monte-Carlo campaign engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sfi_campaign as campaign;
+pub use sfi_core as core;
+pub use sfi_cpu as cpu;
+pub use sfi_fault as fault;
+pub use sfi_isa as isa;
+pub use sfi_kernels as kernels;
+pub use sfi_netlist as netlist;
+pub use sfi_timing as timing;

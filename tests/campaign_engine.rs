@@ -1,0 +1,411 @@
+//! Integration tests of the parallel campaign engine: determinism across
+//! thread counts, actual concurrency, adaptive early stopping, checkpoint
+//! resume and the adaptive PoFF search.
+
+use sfi_campaign::{
+    adaptive_poff, CampaignEngine, CampaignSpec, CellSpec, PoffSearch, StopRule, TrialBudget,
+};
+use sfi_core::experiment::{run_experiment, FaultModel};
+use sfi_core::study::{CaseStudy, CaseStudyConfig};
+use sfi_cpu::Memory;
+use sfi_fault::OperatingPoint;
+use sfi_kernels::median::MedianBenchmark;
+use sfi_kernels::Benchmark;
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+fn fast_study() -> CaseStudy {
+    CaseStudy::build(CaseStudyConfig::fast_for_tests())
+}
+
+/// Bitwise trial equality: crashed runs carry `output_error = NaN`, which
+/// derived `PartialEq` would treat as unequal even for identical trials.
+fn trials_identical(a: &[sfi_core::TrialResult], b: &[sfi_core::TrialResult]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.finished == y.finished
+                && x.correct == y.correct
+                && x.output_error.to_bits() == y.output_error.to_bits()
+                && x.fi_rate_per_kcycle.to_bits() == y.fi_rate_per_kcycle.to_bits()
+                && x.cycles == y.cycles
+        })
+}
+
+/// A campaign spanning the whole failure transition: correct, mixed and
+/// broken cells, with both fixed and adaptive budgets.
+fn transition_spec(study: &CaseStudy, trials: usize) -> CampaignSpec {
+    let sta = study.sta_limit_mhz(0.7);
+    let mut spec = CampaignSpec::new("transition", 42);
+    let median = spec.add_benchmark(MedianBenchmark::new(21, 3));
+    for (i, overscale) in [0.95, 1.1, 1.25, 1.6].iter().enumerate() {
+        let point = OperatingPoint::new(sta * overscale, 0.7).with_noise_sigma_mv(10.0);
+        let budget = if i % 2 == 0 {
+            TrialBudget::fixed(trials)
+        } else {
+            TrialBudget::adaptive(trials, trials * 4, trials, StopRule::correct_within(0.22))
+        };
+        spec.add_cell(CellSpec {
+            benchmark: median,
+            model: FaultModel::StatisticalDta,
+            point,
+            budget,
+        });
+    }
+    spec
+}
+
+#[test]
+fn parallel_execution_is_bit_identical_to_sequential() {
+    let study = fast_study();
+    let spec = transition_spec(&study, 8);
+    let sequential = CampaignEngine::sequential().run(&study, &spec);
+    for threads in [2, 4, 8] {
+        let parallel = CampaignEngine::new()
+            .with_threads(threads)
+            .run(&study, &spec);
+        assert_eq!(parallel.cells.len(), sequential.cells.len());
+        for (p, s) in parallel.cells.iter().zip(&sequential.cells) {
+            assert!(
+                trials_identical(&p.trials, &s.trials),
+                "cell {} differs with {threads} threads",
+                p.cell
+            );
+            assert_eq!(p.stats, s.stats);
+            assert_eq!(p.stopped_early, s.stopped_early);
+        }
+    }
+}
+
+#[test]
+fn single_cell_campaign_matches_run_experiment() {
+    let study = fast_study();
+    let sta = study.sta_limit_mhz(0.7);
+    let point = OperatingPoint::new(sta * 1.2, 0.7).with_noise_sigma_mv(10.0);
+    let mut spec = CampaignSpec::new("one-cell", 123);
+    let median = spec.add_benchmark(MedianBenchmark::new(21, 3));
+    spec.add_cell(CellSpec {
+        benchmark: median,
+        model: FaultModel::StatisticalDta,
+        point,
+        budget: TrialBudget::fixed(6),
+    });
+    let campaign = CampaignEngine::new().with_threads(4).run(&study, &spec);
+    let oneshot = run_experiment(
+        &study,
+        &MedianBenchmark::new(21, 3),
+        FaultModel::StatisticalDta,
+        point,
+        6,
+        123,
+    );
+    assert!(
+        trials_identical(&campaign.summary(0).trials, &oneshot.trials),
+        "campaign cell 0 must equal the one-shot API"
+    );
+}
+
+/// A median benchmark whose initialization sleeps, making trial overlap
+/// observable even on a single CPU.
+struct SlowBenchmark(MedianBenchmark);
+
+impl Benchmark for SlowBenchmark {
+    fn name(&self) -> &'static str {
+        "slow_median"
+    }
+    fn program(&self) -> &sfi_isa::Program {
+        self.0.program()
+    }
+    fn fi_window(&self) -> Range<u32> {
+        self.0.fi_window()
+    }
+    fn dmem_words(&self) -> usize {
+        self.0.dmem_words()
+    }
+    fn initialize(&self, memory: &mut Memory) {
+        std::thread::sleep(Duration::from_millis(5));
+        self.0.initialize(memory);
+    }
+    fn output_error(&self, memory: &Memory) -> f64 {
+        self.0.output_error(memory)
+    }
+    fn error_metric(&self) -> &'static str {
+        self.0.error_metric()
+    }
+}
+
+#[test]
+fn campaign_trials_run_concurrently() {
+    let study = fast_study();
+    let sta = study.sta_limit_mhz(0.7);
+    let build_spec = || {
+        let mut spec = CampaignSpec::new("concurrency", 7);
+        let slow = spec.add_benchmark(SlowBenchmark(MedianBenchmark::new(21, 3)));
+        // 4 cells × 8 trials, as the acceptance criterion demands.
+        let points: Vec<OperatingPoint> = [0.9, 0.95, 1.0, 1.05]
+            .iter()
+            .map(|o| OperatingPoint::new(sta * o, 0.7))
+            .collect();
+        spec.add_grid(
+            &[slow],
+            &[FaultModel::StatisticalDta],
+            &points,
+            TrialBudget::fixed(8),
+        );
+        spec
+    };
+
+    let spec = build_spec();
+    let start = Instant::now();
+    let sequential = CampaignEngine::sequential().run(&study, &spec);
+    let sequential_elapsed = start.elapsed();
+
+    let start = Instant::now();
+    let parallel = CampaignEngine::new().with_threads(8).run(&study, &spec);
+    let parallel_elapsed = start.elapsed();
+
+    assert_eq!(parallel.metrics.executed_trials, 32);
+    assert!(
+        parallel.metrics.worker_threads_used >= 2,
+        "expected multiple workers to execute trials, got {:?}",
+        parallel.metrics
+    );
+    assert!(
+        parallel.metrics.max_concurrent_trials >= 2,
+        "expected overlapping trials, got {:?}",
+        parallel.metrics
+    );
+    assert_eq!(sequential.metrics.worker_threads_used, 1);
+    // 32 trials sleep 5 ms each: the sequential run is bounded below by
+    // 160 ms while 8 workers overlap the sleeps.
+    assert!(
+        parallel_elapsed < sequential_elapsed.mul_f64(0.75),
+        "parallel {parallel_elapsed:?} not faster than sequential {sequential_elapsed:?}"
+    );
+    // Concurrency must not change results.
+    for (p, s) in parallel.cells.iter().zip(&sequential.cells) {
+        assert!(trials_identical(&p.trials, &s.trials));
+    }
+}
+
+#[test]
+fn adaptive_budget_stops_certain_cells_early() {
+    let study = fast_study();
+    let sta = study.sta_limit_mhz(0.7);
+    let mut spec = CampaignSpec::new("adaptive", 5);
+    let median = spec.add_benchmark(MedianBenchmark::new(21, 3));
+    let rule = StopRule::correct_within(0.25);
+    // Far below the limit every trial is correct: the Wilson interval
+    // collapses quickly and the cell stops at min_trials.
+    spec.add_cell(CellSpec {
+        benchmark: median,
+        model: FaultModel::StatisticalDta,
+        point: OperatingPoint::new(sta * 0.9, 0.7),
+        budget: TrialBudget::adaptive(8, 64, 8, rule),
+    });
+    let result = CampaignEngine::new().with_threads(4).run(&study, &spec);
+    let cell = &result.cells[0];
+    assert!(cell.stopped_early, "an all-correct cell must stop early");
+    assert_eq!(
+        cell.trials.len(),
+        8,
+        "the first batch already satisfies the rule"
+    );
+    assert_eq!(cell.stats.correct_fraction(), 1.0);
+    assert!(cell.stats.correct_interval(1.96).half_width <= 0.25);
+
+    // Without a stop rule the same cell burns its whole budget.
+    let mut fixed = CampaignSpec::new("fixed", 5);
+    let median = fixed.add_benchmark(MedianBenchmark::new(21, 3));
+    fixed.add_cell(CellSpec {
+        benchmark: median,
+        model: FaultModel::StatisticalDta,
+        point: OperatingPoint::new(sta * 0.9, 0.7),
+        budget: TrialBudget::fixed(16),
+    });
+    let result = CampaignEngine::new().with_threads(4).run(&study, &fixed);
+    assert!(!result.cells[0].stopped_early);
+    assert_eq!(result.cells[0].trials.len(), 16);
+}
+
+#[test]
+fn checkpoint_resume_skips_completed_cells() {
+    let study = fast_study();
+    let spec = transition_spec(&study, 4);
+    let path = std::env::temp_dir().join(format!(
+        "sfi_campaign_ckpt_{}_{:?}.json",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let engine = CampaignEngine::new().with_threads(4).with_checkpoint(&path);
+    let first = engine.run(&study, &spec);
+    assert!(path.exists(), "the campaign must leave a checkpoint behind");
+    assert!(first.metrics.executed_trials > 0);
+    assert!(first.cells.iter().all(|c| !c.from_checkpoint));
+
+    // Resuming the identical spec restores every cell without simulating.
+    let second = engine.run(&study, &spec);
+    assert_eq!(
+        second.metrics.executed_trials, 0,
+        "everything comes from the checkpoint"
+    );
+    assert!(second.cells.iter().all(|c| c.from_checkpoint));
+    for (a, b) in first.cells.iter().zip(&second.cells) {
+        assert!(trials_identical(&a.trials, &b.trials));
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.stopped_early, b.stopped_early);
+    }
+
+    // A different spec (changed seed) ignores the stale checkpoint.
+    let mut changed = transition_spec(&study, 4);
+    changed.seed = 43;
+    let third = CampaignEngine::new()
+        .with_threads(2)
+        .with_checkpoint(&path)
+        .run(&study, &changed);
+    assert!(
+        third.metrics.executed_trials > 0,
+        "fingerprint mismatch forces a fresh run"
+    );
+    assert!(third.cells.iter().all(|c| !c.from_checkpoint));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_export_is_valid_json() {
+    let study = fast_study();
+    let spec = transition_spec(&study, 2);
+    let result = CampaignEngine::new().run(&study, &spec);
+    let doc = result.to_json(&spec);
+    let text = doc.to_string();
+    let parsed = sfi_campaign::json::Json::parse(&text).expect("export parses back");
+    // NaN output errors serialize as null, so compare re-serializations
+    // rather than the value trees.
+    assert_eq!(parsed.to_string(), text);
+    assert_eq!(
+        parsed
+            .get("fingerprint")
+            .and_then(sfi_campaign::json::Json::as_u64),
+        Some(spec.fingerprint())
+    );
+    assert_eq!(
+        parsed
+            .get("cells")
+            .and_then(sfi_campaign::json::Json::as_arr)
+            .unwrap()
+            .len(),
+        4
+    );
+}
+
+#[test]
+fn bisection_poff_matches_the_hard_threshold_with_fewer_cells() {
+    let study = fast_study();
+    let sta = study.sta_limit_mhz(0.7);
+    // Model B is a deterministic threshold exactly at the STA limit, the
+    // ideal ground truth for the bisection search.
+    let search = PoffSearch::new(sta * 0.9, sta * 1.3, sta * 0.01, 2);
+    let outcome = adaptive_poff(
+        &CampaignEngine::new().with_threads(4),
+        &study,
+        std::sync::Arc::new(MedianBenchmark::new(21, 3)),
+        FaultModel::StaPeriodViolation,
+        OperatingPoint::new(sta, 0.7),
+        search,
+        9,
+    );
+    let poff = outcome
+        .poff_mhz
+        .expect("model B must fail above the STA limit");
+    assert!(
+        poff > sta && poff <= sta + sta * 0.011,
+        "bisection PoFF {poff:.1} MHz should bracket the STA limit {sta:.1} MHz"
+    );
+    assert!(
+        outcome.cells_evaluated < search.grid_equivalent_cells() / 3,
+        "bisection used {} cells, grid would use {}",
+        outcome.cells_evaluated,
+        search.grid_equivalent_cells()
+    );
+    // The evaluated points bracket the threshold: everything below is
+    // fully correct, everything above fails.
+    for p in &outcome.evaluated {
+        if p.freq_mhz <= sta {
+            assert_eq!(
+                p.summary.correct_fraction(),
+                1.0,
+                "at {:.1} MHz",
+                p.freq_mhz
+            );
+        } else {
+            assert!(
+                p.summary.correct_fraction() < 1.0,
+                "at {:.1} MHz",
+                p.freq_mhz
+            );
+        }
+    }
+
+    // A benchmark that never fails inside the range reports None.
+    let safe = PoffSearch::new(sta * 0.5, sta * 0.9, sta * 0.05, 2);
+    let outcome = adaptive_poff(
+        &CampaignEngine::new(),
+        &study,
+        std::sync::Arc::new(MedianBenchmark::new(21, 3)),
+        FaultModel::StaPeriodViolation,
+        OperatingPoint::new(sta, 0.7),
+        safe,
+        9,
+    );
+    assert_eq!(outcome.poff_mhz, None);
+    assert_eq!(
+        outcome.cells_evaluated, 2,
+        "both endpoints and nothing else"
+    );
+}
+
+#[test]
+fn worker_panic_aborts_instead_of_hanging() {
+    let study = fast_study(); // characterized at 0.7 V only
+    let mut spec = CampaignSpec::new("poison", 1);
+    let median = spec.add_benchmark(MedianBenchmark::new(21, 3));
+    spec.add_cell(CellSpec {
+        benchmark: median,
+        model: FaultModel::None,
+        point: OperatingPoint::new(700.0, 0.7),
+        budget: TrialBudget::fixed(8),
+    });
+    // Model B at an uncharacterized voltage panics inside the worker; the
+    // campaign must propagate that instead of leaving the other worker
+    // waiting forever for the poisoned cell.
+    spec.add_cell(CellSpec {
+        benchmark: median,
+        model: FaultModel::StaPeriodViolation,
+        point: OperatingPoint::new(700.0, 0.8),
+        budget: TrialBudget::fixed(8),
+    });
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        CampaignEngine::new().with_threads(2).run(&study, &spec)
+    }));
+    let payload = outcome.expect_err("the campaign must re-raise the worker panic");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        message.contains("no characterization"),
+        "unexpected panic payload: {message:?}"
+    );
+}
+
+#[test]
+fn zero_cell_campaign_completes() {
+    let study = fast_study();
+    let spec = CampaignSpec::new("empty", 0);
+    let result = CampaignEngine::new().with_threads(4).run(&study, &spec);
+    assert!(result.cells.is_empty());
+    assert_eq!(result.metrics.executed_trials, 0);
+}

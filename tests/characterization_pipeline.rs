@@ -17,7 +17,10 @@ fn sta_limit_is_calibrated_and_scales_with_voltage() {
     assert!((study.sta_limit_mhz(0.7) - 707.0).abs() < 1.0);
     // Paper: ~858 MHz at 0.8 V for the same netlist (alpha-power scaling).
     let limit_08 = study.sta_limit_mhz(0.8);
-    assert!(limit_08 > 800.0 && limit_08 < 950.0, "0.8 V limit {limit_08}");
+    assert!(
+        limit_08 > 800.0 && limit_08 < 950.0,
+        "0.8 V limit {limit_08}"
+    );
 }
 
 #[test]

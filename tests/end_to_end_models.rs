@@ -18,8 +18,14 @@ fn model_b_fails_hard_right_above_the_sta_limit() {
     let bench = MedianBenchmark::new(21, 1);
     let sta = study.sta_limit_mhz(0.7);
     let just_above = OperatingPoint::new(sta * 1.01, 0.7);
-    let summary =
-        run_experiment(&study, &bench, FaultModel::StaPeriodViolation, just_above, 2, 1);
+    let summary = run_experiment(
+        &study,
+        &bench,
+        FaultModel::StaPeriodViolation,
+        just_above,
+        2,
+        1,
+    );
     // Fig. 1(a): the FI rate jumps to a very high value immediately and the
     // program cannot produce a correct result any more.
     assert!(summary.mean_fi_rate() > 100.0);
@@ -34,7 +40,15 @@ fn model_c_has_a_graceful_transition_region_where_b_plus_has_none() {
     let base = OperatingPoint::new(sta, 0.7).with_noise_sigma_mv(10.0);
     let freqs = frequency_grid(sta * 1.0, sta * 1.3, 4);
 
-    let sweep_c = frequency_sweep(&study, &bench, FaultModel::StatisticalDta, base, &freqs, 4, 3);
+    let sweep_c = frequency_sweep(
+        &study,
+        &bench,
+        FaultModel::StatisticalDta,
+        base,
+        &freqs,
+        4,
+        3,
+    );
     let sweep_bp = frequency_sweep(&study, &bench, FaultModel::StaWithNoise, base, &freqs, 4, 3);
 
     // Model C keeps producing fully correct executions at the STA limit in
@@ -42,17 +56,23 @@ fn model_c_has_a_graceful_transition_region_where_b_plus_has_none() {
     // hits the critical cycles) — a graceful transition region exists.
     let c_poff = point_of_first_failure(&sweep_c);
     assert!(
-        c_poff.map_or(true, |p| p >= sta),
+        c_poff.is_none_or(|p| p >= sta),
         "model C must not fail below the STA limit (PoFF {c_poff:?}, STA {sta})"
     );
     let c_at_limit = sweep_c[0].summary.correct_fraction();
     let bp_at_limit = sweep_bp[0].summary.correct_fraction();
-    assert!(c_at_limit > 0.0, "model C keeps some fully correct runs at the STA limit");
+    assert!(
+        c_at_limit > 0.0,
+        "model C keeps some fully correct runs at the STA limit"
+    );
     // Model B+ collapses at (or essentially at) the STA limit: every cycle
     // with a supply droop violates the worst-case path of every ALU
     // instruction, so no run stays fully correct.
     assert!(bp_at_limit < 1.0);
-    assert!(c_at_limit >= bp_at_limit, "model C is no more pessimistic than B+ at the limit");
+    assert!(
+        c_at_limit >= bp_at_limit,
+        "model C is no more pessimistic than B+ at the limit"
+    );
 }
 
 #[test]
@@ -61,10 +81,22 @@ fn model_a_injects_independent_of_frequency() {
     let bench = MedianBenchmark::new(21, 1);
     let slow = OperatingPoint::new(100.0, 0.7);
     let fast = OperatingPoint::new(2000.0, 0.7);
-    let summary_slow =
-        run_experiment(&study, &bench, FaultModel::FixedProbability(1e-3), slow, 3, 9);
-    let summary_fast =
-        run_experiment(&study, &bench, FaultModel::FixedProbability(1e-3), fast, 3, 9);
+    let summary_slow = run_experiment(
+        &study,
+        &bench,
+        FaultModel::FixedProbability(1e-3),
+        slow,
+        3,
+        9,
+    );
+    let summary_fast = run_experiment(
+        &study,
+        &bench,
+        FaultModel::FixedProbability(1e-3),
+        fast,
+        3,
+        9,
+    );
     // The FI rate has no link to the operating conditions (the paper's core
     // criticism of model A).
     assert!(summary_slow.mean_fi_rate() > 0.0);
@@ -81,8 +113,29 @@ fn noise_moves_the_first_failures_below_the_sta_limit() {
     let sta = study.sta_limit_mhz(0.7);
     let point_quiet = OperatingPoint::new(sta * 0.995, 0.7);
     let point_noisy = OperatingPoint::new(sta * 0.995, 0.7).with_noise_sigma_mv(25.0);
-    let quiet = run_experiment(&study, &bench, FaultModel::StatisticalDta, point_quiet, 3, 11);
-    let noisy = run_experiment(&study, &bench, FaultModel::StatisticalDta, point_noisy, 3, 11);
-    assert_eq!(quiet.mean_fi_rate(), 0.0, "no faults just below the STA limit without noise");
-    assert!(noisy.mean_fi_rate() > 0.0, "25 mV supply noise causes faults below the STA limit");
+    let quiet = run_experiment(
+        &study,
+        &bench,
+        FaultModel::StatisticalDta,
+        point_quiet,
+        3,
+        11,
+    );
+    let noisy = run_experiment(
+        &study,
+        &bench,
+        FaultModel::StatisticalDta,
+        point_noisy,
+        3,
+        11,
+    );
+    assert_eq!(
+        quiet.mean_fi_rate(),
+        0.0,
+        "no faults just below the STA limit without noise"
+    );
+    assert!(
+        noisy.mean_fi_rate() > 0.0,
+        "25 mV supply noise causes faults below the STA limit"
+    );
 }

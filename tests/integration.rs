@@ -4,7 +4,7 @@
 use sfi_core::experiment::{run_experiment, FaultModel};
 use sfi_core::study::{CaseStudy, CaseStudyConfig};
 use sfi_fault::OperatingPoint;
-use sfi_kernels::{paper_suite, Benchmark};
+use sfi_kernels::paper_suite;
 
 fn fast_study() -> CaseStudy {
     CaseStudy::build(CaseStudyConfig::fast_for_tests())
@@ -27,8 +27,14 @@ fn model_c_is_error_free_below_the_sta_limit_for_all_benchmarks() {
     let study = fast_study();
     let point = OperatingPoint::new(study.sta_limit_mhz(0.7) * 0.97, 0.7);
     for bench in paper_suite(7) {
-        let summary =
-            run_experiment(&study, bench.as_ref(), FaultModel::StatisticalDta, point, 2, 3);
+        let summary = run_experiment(
+            &study,
+            bench.as_ref(),
+            FaultModel::StatisticalDta,
+            point,
+            2,
+            3,
+        );
         assert_eq!(summary.correct_fraction(), 1.0, "{}", bench.name());
     }
 }
@@ -38,8 +44,14 @@ fn overscaling_eventually_breaks_every_benchmark() {
     let study = fast_study();
     let point = OperatingPoint::new(study.sta_limit_mhz(0.7) * 2.5, 0.7).with_noise_sigma_mv(10.0);
     for bench in paper_suite(7) {
-        let summary =
-            run_experiment(&study, bench.as_ref(), FaultModel::StatisticalDta, point, 3, 5);
+        let summary = run_experiment(
+            &study,
+            bench.as_ref(),
+            FaultModel::StatisticalDta,
+            point,
+            3,
+            5,
+        );
         assert!(
             summary.correct_fraction() < 1.0,
             "{} should not survive 2.5x overscaling",
@@ -59,7 +71,13 @@ fn benchmark_suite_matches_table1_characteristics() {
         let mut core = Core::new(bench.program().clone(), bench.dmem_words());
         bench.initialize(core.memory_mut());
         assert!(core.run(&RunConfig::default()).finished());
-        fractions.insert(bench.name().to_string(), (core.stats().compute_fraction(), core.stats().control_fraction()));
+        fractions.insert(
+            bench.name().to_string(),
+            (
+                core.stats().compute_fraction(),
+                core.stats().control_fraction(),
+            ),
+        );
     }
     assert!(fractions["mat_mult_16bit"].0 > fractions["median"].0);
     assert!(fractions["dijkstra"].1 > fractions["mat_mult_16bit"].1);
