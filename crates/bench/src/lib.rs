@@ -46,38 +46,84 @@ impl Default for ExperimentArgs {
     }
 }
 
+/// The flag reference all experiment binaries share (printed by
+/// `--help`).
+pub const USAGE: &str = "\
+options:
+  --trials N        Monte-Carlo trials per data point
+  --points N        frequency points per sweep
+  --fast            scaled-down 8-bit case study instead of the paper 32-bit one
+  --threads N       campaign worker threads (0 = all CPUs)
+  --checkpoint FILE stream completed cells to FILE and resume from it
+  --help            print this help
+";
+
 impl ExperimentArgs {
-    /// Parses the standard flags from `std::env::args`, falling back to the
-    /// defaults for anything not given.
+    /// Parses the standard flags from `std::env::args`.
+    ///
+    /// `--help` prints [`USAGE`] and exits; unknown flags and malformed
+    /// values are errors (printed with the usage, exit code 2) instead of
+    /// being silently ignored.
     pub fn from_env() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        if argv.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        match Self::parse(&argv) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses a flag list (everything after the binary name).
+    ///
+    /// Exposed separately from [`ExperimentArgs::from_env`] so it is
+    /// testable; all experiment binaries share this one implementation
+    /// instead of hand-rolling their own loops.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
         let mut args = ExperimentArgs::default();
-        let argv: Vec<String> = std::env::args().collect();
-        let mut i = 1;
+        let mut i = 0;
+        let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
         while i < argv.len() {
             match argv[i].as_str() {
-                "--trials" if i + 1 < argv.len() => {
-                    args.trials = argv[i + 1].parse().unwrap_or(args.trials);
-                    i += 1;
+                "--trials" => {
+                    args.trials = value(&mut i, "--trials")?
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or("--trials needs a positive integer")?;
                 }
-                "--points" if i + 1 < argv.len() => {
-                    args.points = argv[i + 1].parse().unwrap_or(args.points);
-                    i += 1;
+                "--points" => {
+                    args.points = value(&mut i, "--points")?
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 1)
+                        .ok_or("--points needs an integer of at least 2")?;
                 }
-                "--threads" if i + 1 < argv.len() => {
-                    // Zero or unparsable means "use all CPUs".
-                    args.threads = argv[i + 1].parse().ok().filter(|&n: &usize| n > 0);
-                    i += 1;
+                "--threads" => {
+                    // Zero means "auto": use all CPUs.
+                    let n: usize = value(&mut i, "--threads")?
+                        .parse()
+                        .map_err(|_| "--threads needs an unsigned integer")?;
+                    args.threads = (n > 0).then_some(n);
                 }
-                "--checkpoint" if i + 1 < argv.len() => {
-                    args.checkpoint = Some(argv[i + 1].clone());
-                    i += 1;
-                }
+                "--checkpoint" => args.checkpoint = Some(value(&mut i, "--checkpoint")?),
                 "--fast" => args.fast = true,
-                _ => {}
+                other => return Err(format!("unknown flag '{other}'")),
             }
             i += 1;
         }
-        args
+        Ok(args)
     }
 
     /// Builds the campaign engine matching the requested parallelism and
@@ -153,5 +199,50 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(args.engine().threads(), 3);
+    }
+
+    fn argv(flags: &[&str]) -> Vec<String> {
+        flags.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_accepts_the_standard_flags() {
+        let args = ExperimentArgs::parse(&argv(&[
+            "--trials",
+            "50",
+            "--points",
+            "8",
+            "--fast",
+            "--threads",
+            "4",
+            "--checkpoint",
+            "out.json",
+        ]))
+        .expect("parses");
+        assert_eq!(args.trials, 50);
+        assert_eq!(args.points, 8);
+        assert!(args.fast);
+        assert_eq!(args.threads, Some(4));
+        assert_eq!(args.checkpoint.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn threads_zero_means_auto() {
+        let args = ExperimentArgs::parse(&argv(&["--threads", "0"])).expect("parses");
+        assert_eq!(args.threads, None, "--threads 0 selects all CPUs");
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        for bad in [
+            &["--frobnicate"][..],
+            &["--trials"],
+            &["--trials", "0"],
+            &["--trials", "many"],
+            &["--points", "1"],
+            &["--threads", "-2"],
+        ] {
+            assert!(ExperimentArgs::parse(&argv(bad)).is_err(), "{bad:?}");
+        }
     }
 }

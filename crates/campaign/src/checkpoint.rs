@@ -47,7 +47,9 @@ fn trial_from_json(value: &Json) -> Option<TrialResult> {
     })
 }
 
-fn cell_to_json(cell: &CellResult) -> Json {
+/// Serializes one cell result (the per-cell unit of the checkpoint
+/// format, and the frame payload the serve protocol streams).
+pub fn cell_to_json(cell: &CellResult) -> Json {
     Json::obj([
         ("cell", Json::Num(cell.cell as f64)),
         ("stopped_early", Json::Bool(cell.stopped_early)),
@@ -58,7 +60,9 @@ fn cell_to_json(cell: &CellResult) -> Json {
     ])
 }
 
-fn cell_from_json(value: &Json) -> Option<CellResult> {
+/// Decodes one cell result previously encoded by [`cell_to_json`].
+/// The restored cell is marked [`CellResult::from_checkpoint`].
+pub fn cell_from_json(value: &Json) -> Option<CellResult> {
     let index = value.get("cell")?.as_u64()? as usize;
     let stopped_early = value.get("stopped_early")?.as_bool()?;
     let trials: Option<Vec<TrialResult>> = value

@@ -32,9 +32,15 @@ use std::collections::{BTreeMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
+
+/// A per-cell completion callback (see [`CampaignEngine::with_progress`]).
+///
+/// Invoked from worker threads, so it must be `Send + Sync`; keep it
+/// cheap — the engine does not buffer around a slow observer.
+pub type ProgressHook = Arc<dyn Fn(&CellResult) + Send + Sync>;
 
 /// Result of one campaign cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +94,10 @@ pub struct CampaignResult {
     pub cells: Vec<CellResult>,
     /// Execution observations.
     pub metrics: EngineMetrics,
+    /// Whether the run was cut short by a cancellation flag
+    /// ([`CampaignEngine::with_cancel`]).  Cancelled runs may contain
+    /// cells with fewer trials than their budget (including none).
+    pub cancelled: bool,
 }
 
 impl CampaignResult {
@@ -117,10 +127,23 @@ impl CampaignResult {
 }
 
 /// The parallel campaign executor.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CampaignEngine {
     threads: usize,
     checkpoint_path: Option<PathBuf>,
+    progress: Option<ProgressHook>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl std::fmt::Debug for CampaignEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignEngine")
+            .field("threads", &self.threads)
+            .field("checkpoint_path", &self.checkpoint_path)
+            .field("progress", &self.progress.as_ref().map(|_| "<hook>"))
+            .field("cancel", &self.cancel)
+            .finish()
+    }
 }
 
 impl Default for CampaignEngine {
@@ -138,6 +161,8 @@ impl CampaignEngine {
         CampaignEngine {
             threads,
             checkpoint_path: None,
+            progress: None,
+            cancel: None,
         }
     }
 
@@ -146,6 +171,8 @@ impl CampaignEngine {
         CampaignEngine {
             threads: 1,
             checkpoint_path: None,
+            progress: None,
+            cancel: None,
         }
     }
 
@@ -165,6 +192,27 @@ impl CampaignEngine {
     /// same spec, making long campaigns resumable.
     pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
         self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Installs a per-cell completion callback, the streaming hook the
+    /// serve daemon uses: it fires once for every cell restored from a
+    /// checkpoint (before any simulation starts, in cell order) and once
+    /// for every cell that finishes simulating (in completion order, from
+    /// whichever worker thread finished it).
+    pub fn with_progress(mut self, hook: ProgressHook) -> Self {
+        self.progress = Some(hook);
+        self
+    }
+
+    /// Installs a cooperative cancellation flag: once `flag` becomes
+    /// `true`, workers stop picking up trials and [`CampaignEngine::run`]
+    /// returns early with [`CampaignResult::cancelled`] set.  Cells that
+    /// had not finished keep the contiguous prefix of trials that did
+    /// complete (possibly none); partially completed cells are *not*
+    /// checkpointed.
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
         self
     }
 
@@ -192,6 +240,14 @@ impl CampaignEngine {
             None => vec![None; spec.cells().len()],
         };
 
+        // Checkpoint-restored cells are announced up front, so a streaming
+        // observer sees every cell of the campaign exactly once.
+        if let Some(hook) = &self.progress {
+            for cell in restored.iter().flatten() {
+                hook(cell);
+            }
+        }
+
         // The expensive characterization inside `study` is shared by
         // reference; the only per-benchmark precomputation is the golden
         // (fault-free) cycle count that sizes the watchdog, done once per
@@ -217,7 +273,14 @@ impl CampaignEngine {
                 cells: Mutex::new(cells),
             }
         });
-        let shared = Shared::new(study, spec, &watchdogs, restored);
+        let shared = Shared::new(
+            study,
+            spec,
+            &watchdogs,
+            restored,
+            self.progress.clone(),
+            self.cancel.clone(),
+        );
 
         if shared.open_cells.load(Ordering::SeqCst) > 0 {
             thread::scope(|scope| {
@@ -253,6 +316,10 @@ impl CampaignEngine {
             .iter()
             .filter(|w| w.load(Ordering::Relaxed) > 0)
             .count();
+        let cancelled = self
+            .cancel
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::SeqCst));
         CampaignResult {
             name: spec.name.clone(),
             seed: spec.seed,
@@ -263,6 +330,7 @@ impl CampaignEngine {
                 max_concurrent_trials: shared.max_in_flight.load(Ordering::SeqCst),
                 executed_trials: shared.executed_trials.load(Ordering::SeqCst),
             },
+            cancelled,
         }
     }
 
@@ -308,11 +376,15 @@ struct CellState {
 
 impl CellState {
     fn into_result(self, index: usize) -> CellResult {
+        // Finished cells have a full prefix of `completed` results.  A
+        // cancelled run can leave holes (trials complete out of order), so
+        // keep only the contiguous prefix — the part that is well-defined
+        // regardless of which in-flight trials made it.
         let trials: Vec<TrialResult> = self
             .results
             .into_iter()
             .take(self.completed)
-            .map(|t| t.expect("completed cells have no result holes"))
+            .map_while(|t| t)
             .collect();
         let stats = CellStats::from_trials(&trials);
         CellResult {
@@ -354,6 +426,10 @@ struct Shared<'a> {
     /// re-raised on the caller thread.
     aborted: AtomicBool,
     panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Per-cell completion observer, if any.
+    progress: Option<ProgressHook>,
+    /// External cancellation flag, if any.
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl<'a> Shared<'a> {
@@ -362,6 +438,8 @@ impl<'a> Shared<'a> {
         spec: &'a CampaignSpec,
         watchdogs: &'a [u64],
         restored: Vec<Option<CellResult>>,
+        progress: Option<ProgressHook>,
+        cancel: Option<Arc<AtomicBool>>,
     ) -> Self {
         let mut cells = Vec::with_capacity(spec.cells().len());
         let mut open = 0usize;
@@ -421,8 +499,17 @@ impl<'a> Shared<'a> {
             worker_used: Vec::new(),
             aborted: AtomicBool::new(false),
             panic_payload: Mutex::new(None),
+            progress,
+            cancel,
         }
         .with_initial_jobs(initial_jobs)
+    }
+
+    /// Whether the external cancellation flag is raised.
+    fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::SeqCst))
     }
 
     fn with_initial_jobs(mut self, jobs: Vec<Job>) -> Self {
@@ -469,7 +556,7 @@ impl<'a> Shared<'a> {
 
 fn worker_loop(worker: usize, shared: &Shared<'_>, sink: Option<&CheckpointSink<'_>>) {
     loop {
-        if shared.aborted.load(Ordering::SeqCst) {
+        if shared.aborted.load(Ordering::SeqCst) || shared.is_cancelled() {
             return;
         }
         match shared.pop_job(worker) {
@@ -548,7 +635,7 @@ fn execute_job(worker: usize, shared: &Shared<'_>, sink: Option<&CheckpointSink<
                     state.done = true;
                     state.stopped_early = early;
                     finished_cell = true;
-                    if sink.is_some() {
+                    if sink.is_some() || shared.progress.is_some() {
                         checkpoint_snapshot = Some(snapshot_cell(cell_index, &state));
                     }
                 }
@@ -571,6 +658,9 @@ fn execute_job(worker: usize, shared: &Shared<'_>, sink: Option<&CheckpointSink<
     if finished_cell {
         if let (Some(sink), Some(snapshot)) = (sink, &checkpoint_snapshot) {
             write_checkpoint(shared, sink, snapshot);
+        }
+        if let (Some(hook), Some(snapshot)) = (&shared.progress, &checkpoint_snapshot) {
+            hook(snapshot);
         }
         // Last: a worker seeing zero open cells must be able to trust that
         // all results (and the checkpoint) are in place.

@@ -60,10 +60,14 @@
 
 pub mod checkpoint;
 pub mod engine;
-pub mod json;
 pub mod poff;
 pub mod spec;
 pub mod stats;
+
+// The JSON implementation moved to `sfi_core::json` so the core
+// characterization cache can use it too; checkpoints and existing
+// `sfi_campaign::json::...` paths keep working through this re-export.
+pub use sfi_core::json;
 
 pub use engine::{CampaignEngine, CampaignResult, CellResult, EngineMetrics};
 pub use poff::{adaptive_poff, PoffOutcome, PoffSearch};

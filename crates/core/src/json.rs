@@ -1,11 +1,17 @@
 //! A minimal JSON value, writer and parser.
 //!
-//! The build environment has no crates.io access, so campaign checkpoints
-//! and result exports use this self-contained implementation instead of
-//! serde.  It supports the full JSON value model with two deliberate
-//! choices: all numbers are `f64` (64-bit integers that must survive a
-//! round trip — seeds, fingerprints — are stored as strings by the
-//! checkpoint layer), and non-finite floats serialize as `null`.
+//! The build environment has no crates.io access, so campaign checkpoints,
+//! the characterization cache and the serve-mode wire protocol use this
+//! self-contained implementation instead of serde.  It supports the full
+//! JSON value model with two deliberate choices: all numbers are `f64`
+//! (64-bit integers that must survive a round trip — seeds, fingerprints —
+//! are stored as strings by the consuming layers), and non-finite floats
+//! serialize as `null`.
+//!
+//! The parser is strict in the ways a network-facing format needs to be:
+//! trailing garbage after the top-level value is rejected, and nesting
+//! depth is capped at [`MAX_PARSE_DEPTH`] so a hostile frame of ten
+//! thousand `[` bytes cannot blow the stack.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -125,10 +131,15 @@ impl Json {
     }
 
     /// Parses a JSON document.
+    ///
+    /// The whole input must be one JSON value (plus surrounding
+    /// whitespace): trailing characters are an error, and documents nested
+    /// deeper than [`MAX_PARSE_DEPTH`] are rejected.
     pub fn parse(text: &str) -> Result<Json, ParseError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -188,9 +199,13 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting depth [`Json::parse`] accepts.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -312,12 +327,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_PARSE_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -328,6 +353,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -337,10 +363,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(map));
         }
         loop {
@@ -356,6 +384,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(map));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -426,5 +455,45 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        for bad in ["{} {}", "1,", "[1] x", "null\nnull", "\"a\"\"b\""] {
+            let err = Json::parse(bad).expect_err("trailing input must fail");
+            assert!(err.message.contains("trailing"), "{bad:?} gave {err}");
+        }
+        // A trailing newline is plain whitespace, not garbage (the wire
+        // protocol is newline-delimited).
+        assert!(Json::parse("{\"a\":1}\n").is_ok());
+    }
+
+    #[test]
+    fn caps_nesting_depth() {
+        let deep_ok = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        let parsed = Json::parse(&deep_ok).expect("depth at the limit parses");
+        // Parsing twice from the same document must not accumulate depth.
+        assert_eq!(Json::parse(&deep_ok), Ok(parsed));
+
+        for bomb in [
+            "[".repeat(MAX_PARSE_DEPTH + 1),
+            format!(
+                "{}1{}",
+                "[".repeat(MAX_PARSE_DEPTH + 1),
+                "]".repeat(MAX_PARSE_DEPTH + 1)
+            ),
+            "{\"a\":".repeat(MAX_PARSE_DEPTH + 1),
+        ] {
+            let err = Json::parse(&bomb).expect_err("too-deep input must fail");
+            assert!(err.message.contains("nesting"), "got {err}");
+        }
+
+        // Siblings do not count toward the depth: width is fine.
+        let wide = format!("[{}]", vec!["[1]"; 10_000].join(","));
+        assert!(Json::parse(&wide).is_ok());
     }
 }

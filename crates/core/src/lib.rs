@@ -50,7 +50,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod experiment;
+pub mod json;
 pub mod power;
 pub mod study;
 

@@ -80,6 +80,7 @@ pub struct CaseStudy {
     node_multipliers: Vec<f64>,
     curve: VddDelayCurve,
     characterizations: Vec<(f64, TimingCharacterization)>,
+    cache_hit: bool,
 }
 
 impl CaseStudy {
@@ -94,6 +95,27 @@ impl CaseStudy {
     /// Panics if the configuration is inconsistent (zero width, no
     /// voltages, invalid budgets, …).
     pub fn build(config: CaseStudyConfig) -> Self {
+        Self::build_inner(config, None)
+    }
+
+    /// Like [`CaseStudy::build`], but with a persistent characterization
+    /// cache in `cache_dir` (see [`crate::cache`]).
+    ///
+    /// On a cache hit the expensive gate-level DTA characterization is
+    /// skipped entirely and the CDF sets are restored bit-identically from
+    /// disk; on a miss they are computed as usual and written back
+    /// atomically.  [`CaseStudy::characterization_cache_hit`] reports which
+    /// happened.  Cache *write* failures are non-fatal (reported on
+    /// stderr): a read-only cache directory must not kill the build.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CaseStudy::build`].
+    pub fn build_cached(config: CaseStudyConfig, cache_dir: impl AsRef<std::path::Path>) -> Self {
+        Self::build_inner(config, Some(cache_dir.as_ref()))
+    }
+
+    fn build_inner(config: CaseStudyConfig, cache_dir: Option<&std::path::Path>) -> Self {
         assert!(
             !config.voltages.is_empty(),
             "at least one supply voltage must be characterized"
@@ -117,28 +139,38 @@ impl CaseStudy {
             Some(&node_multipliers),
         );
         let curve = VddDelayCurve::from_scaling(&scaling, 0.6, 1.0, 5);
-        let characterizations = config
-            .voltages
-            .iter()
-            .map(|&vdd| {
-                let cfg = CharacterizationConfig {
-                    cycles_per_op: config.cycles_per_op,
-                    vdd,
-                    seed: config.seed,
-                    operands: OperandDistribution::UniformFull,
-                };
-                (
-                    vdd,
-                    characterize_alu_with_multipliers(
-                        &alu,
-                        &delays,
-                        &scaling,
-                        &cfg,
-                        Some(&node_multipliers),
-                    ),
-                )
-            })
-            .collect();
+        let restored = cache_dir.and_then(|dir| crate::cache::load(dir, &config));
+        let cache_hit = restored.is_some();
+        let characterizations = restored.unwrap_or_else(|| {
+            let chars: Vec<(f64, TimingCharacterization)> = config
+                .voltages
+                .iter()
+                .map(|&vdd| {
+                    let cfg = CharacterizationConfig {
+                        cycles_per_op: config.cycles_per_op,
+                        vdd,
+                        seed: config.seed,
+                        operands: OperandDistribution::UniformFull,
+                    };
+                    (
+                        vdd,
+                        characterize_alu_with_multipliers(
+                            &alu,
+                            &delays,
+                            &scaling,
+                            &cfg,
+                            Some(&node_multipliers),
+                        ),
+                    )
+                })
+                .collect();
+            if let Some(dir) = cache_dir {
+                if let Err(err) = crate::cache::store(dir, &config, &chars) {
+                    eprintln!("warning: failed to write characterization cache: {err}");
+                }
+            }
+            chars
+        });
         CaseStudy {
             config,
             alu,
@@ -147,7 +179,15 @@ impl CaseStudy {
             node_multipliers,
             curve,
             characterizations,
+            cache_hit,
         }
+    }
+
+    /// Whether the characterizations were restored from the persistent
+    /// cache instead of being recomputed (always `false` for
+    /// [`CaseStudy::build`]).
+    pub fn characterization_cache_hit(&self) -> bool {
+        self.cache_hit
     }
 
     /// The configuration the study was built with.

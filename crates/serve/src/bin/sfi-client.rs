@@ -1,0 +1,292 @@
+//! Command-line client for the campaign daemon.
+//!
+//! One subcommand per protocol request, plus `demo` (submit a small
+//! builtin campaign and stream its results — handy for smoke tests).
+
+use sfi_core::json::Json;
+use sfi_core::FaultModel;
+use sfi_serve::client::Client;
+use sfi_serve::protocol::PoffRequest;
+use sfi_serve::wire::{BenchmarkDef, BudgetDef, CampaignDef, CellDef};
+use std::process::exit;
+
+const USAGE: &str = "\
+usage: sfi-client [--addr HOST:PORT] COMMAND [args]
+
+commands:
+  ping                  print server info (STA limit, cache status, job count)
+  submit FILE           submit a campaign definition (JSON, see the README) and print the job id
+  demo                  submit a small builtin median campaign, stream it, print a summary
+  status JOB            print one job-status line
+  stream JOB            stream a job's cells as JSON lines to stdout
+  result JOB            print a finished job's full result document
+  cancel JOB            cancel a queued or running job
+  poff KERNEL LO HI     bisect the point of first failure of a builtin kernel
+                        (KERNEL: median | matmul8 | matmul16 | kmeans | dijkstra)
+      [--vdd V] [--noise MV] [--resolution MHZ] [--trials N] [--seed S] [--model b|b+|c]
+  shutdown              stop the daemon gracefully
+
+default address: 127.0.0.1:7433
+";
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("sfi-client: {message}");
+    exit(1);
+}
+
+fn usage_fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("sfi-client: {message}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+fn parse_job(arg: Option<&String>) -> u64 {
+    arg.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage_fail("expected a numeric job id"))
+}
+
+fn builtin_kernel(name: &str) -> BenchmarkDef {
+    match name {
+        "median" => BenchmarkDef::Median {
+            values: 129,
+            seed: 3,
+        },
+        "matmul8" => BenchmarkDef::MatMul {
+            n: 16,
+            element_bits: 8,
+            seed: 3,
+        },
+        "matmul16" => BenchmarkDef::MatMul {
+            n: 16,
+            element_bits: 16,
+            seed: 3,
+        },
+        "kmeans" => BenchmarkDef::KMeans {
+            points: 8,
+            clusters: 2,
+            iterations: 12,
+            seed: 3,
+        },
+        "dijkstra" => BenchmarkDef::Dijkstra { nodes: 10, seed: 3 },
+        other => usage_fail(format!("unknown kernel '{other}'")),
+    }
+}
+
+fn print_status(status: &sfi_serve::client::JobStatus) {
+    println!(
+        "job {} {} ({}/{} cells, {} trials{})",
+        status.job,
+        status.state,
+        status.completed_cells,
+        status.total_cells,
+        status.executed_trials,
+        status
+            .error
+            .as_deref()
+            .map(|e| format!(", error: {e}"))
+            .unwrap_or_default()
+    );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut addr = "127.0.0.1:7433".to_string();
+    let mut rest = &argv[1..];
+    if rest.first().map(String::as_str) == Some("--addr") {
+        addr = rest
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| usage_fail("--addr needs a value"));
+        rest = &rest[2..];
+    }
+    let Some(command) = rest.first() else {
+        usage_fail("no command given");
+    };
+    if command == "--help" || command == "-h" {
+        println!("{USAGE}");
+        return;
+    }
+
+    let mut client = Client::connect(&addr)
+        .unwrap_or_else(|err| fail(format!("cannot connect to {addr}: {err}")));
+    let outcome = run(&mut client, command, &rest[1..]);
+    if let Err(err) = outcome {
+        fail(err);
+    }
+}
+
+fn run(
+    client: &mut Client,
+    command: &str,
+    args: &[String],
+) -> Result<(), sfi_serve::client::ClientError> {
+    match command {
+        "ping" => {
+            let info = client.ping()?;
+            println!(
+                "protocol v{}, STA limit {:.1} MHz @ {} V, voltages {:?}, \
+                 characterization {}, {} job(s) so far",
+                info.protocol,
+                info.sta_limit_mhz,
+                info.nominal_vdd,
+                info.voltages,
+                if info.characterization_cache_hit {
+                    "cache hit"
+                } else {
+                    "computed"
+                },
+                info.jobs
+            );
+        }
+        "submit" => {
+            let path = args
+                .first()
+                .unwrap_or_else(|| usage_fail("submit needs a FILE"));
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|err| fail(format!("cannot read {path}: {err}")));
+            let doc = Json::parse(&text)
+                .unwrap_or_else(|err| fail(format!("{path} is not valid JSON: {err}")));
+            let def =
+                CampaignDef::from_json(&doc).unwrap_or_else(|err| fail(format!("{path}: {err}")));
+            let ticket = client.submit(&def)?;
+            println!(
+                "job {} submitted ({} cells)",
+                ticket.job, ticket.total_cells
+            );
+        }
+        "demo" => {
+            let info = client.ping()?;
+            let mut def = CampaignDef::new("demo", 7);
+            let median = def.add_benchmark(BenchmarkDef::Median {
+                values: 21,
+                seed: 3,
+            });
+            for overscale in [0.95, 1.15] {
+                def.cells.push(CellDef {
+                    benchmark: median,
+                    model: FaultModel::StatisticalDta,
+                    freq_mhz: info.sta_limit_mhz * overscale,
+                    vdd: info.nominal_vdd,
+                    noise_sigma_mv: 10.0,
+                    budget: BudgetDef::fixed(5),
+                });
+            }
+            let ticket = client.submit(&def)?;
+            println!(
+                "job {} submitted ({} cells), streaming…",
+                ticket.job, ticket.total_cells
+            );
+            let state = client.stream(ticket.job, |cell| {
+                println!("  cell {}", cell);
+            })?;
+            println!("job {} {state}", ticket.job);
+        }
+        "status" => {
+            let status = client.status(parse_job(args.first()))?;
+            print_status(&status);
+        }
+        "stream" => {
+            let job = parse_job(args.first());
+            let state = client.stream(job, |cell| println!("{cell}"))?;
+            println!("job {job} {state}");
+        }
+        "result" => {
+            let doc = client.result(parse_job(args.first()))?;
+            println!("{doc}");
+        }
+        "cancel" => {
+            let job = parse_job(args.first());
+            client.cancel(job)?;
+            println!("job {job} cancelled");
+        }
+        "poff" => {
+            if args.len() < 3 {
+                usage_fail("poff needs KERNEL LO HI");
+            }
+            let benchmark = builtin_kernel(&args[0]);
+            let lo: f64 = args[1]
+                .parse()
+                .unwrap_or_else(|_| usage_fail("LO must be MHz"));
+            let hi: f64 = args[2]
+                .parse()
+                .unwrap_or_else(|_| usage_fail("HI must be MHz"));
+            let mut request = PoffRequest {
+                benchmark,
+                model: FaultModel::StatisticalDta,
+                vdd: 0.7,
+                noise_sigma_mv: 0.0,
+                lo_mhz: lo,
+                hi_mhz: hi,
+                resolution_mhz: (hi - lo) / 64.0,
+                trials: 20,
+                seed: 9,
+            };
+            let mut i = 3;
+            while i < args.len() {
+                let value = |i: &mut usize| -> String {
+                    *i += 1;
+                    args.get(*i)
+                        .cloned()
+                        .unwrap_or_else(|| usage_fail("flag needs a value"))
+                };
+                match args[i].as_str() {
+                    "--vdd" => {
+                        request.vdd = value(&mut i)
+                            .parse()
+                            .unwrap_or_else(|_| usage_fail("--vdd"))
+                    }
+                    "--noise" => {
+                        request.noise_sigma_mv = value(&mut i)
+                            .parse()
+                            .unwrap_or_else(|_| usage_fail("--noise"))
+                    }
+                    "--resolution" => {
+                        request.resolution_mhz = value(&mut i)
+                            .parse()
+                            .unwrap_or_else(|_| usage_fail("--resolution"))
+                    }
+                    "--trials" => {
+                        request.trials = value(&mut i)
+                            .parse()
+                            .unwrap_or_else(|_| usage_fail("--trials"))
+                    }
+                    "--seed" => {
+                        request.seed = value(&mut i)
+                            .parse()
+                            .unwrap_or_else(|_| usage_fail("--seed"))
+                    }
+                    "--model" => {
+                        request.model = match value(&mut i).as_str() {
+                            "b" => FaultModel::StaPeriodViolation,
+                            "b+" => FaultModel::StaWithNoise,
+                            "c" => FaultModel::StatisticalDta,
+                            other => usage_fail(format!("unknown model '{other}'")),
+                        }
+                    }
+                    other => usage_fail(format!("unknown flag '{other}'")),
+                }
+                i += 1;
+            }
+            let reply = client.poff(&request)?;
+            match reply.poff_mhz {
+                Some(freq) => println!(
+                    "PoFF: {freq:.1} MHz ({} cells evaluated)",
+                    reply.cells_evaluated
+                ),
+                None => println!(
+                    "no failure up to {:.1} MHz ({} cells evaluated)",
+                    request.hi_mhz, reply.cells_evaluated
+                ),
+            }
+            for (freq, correct) in &reply.evaluated {
+                println!("  {freq:>8.1} MHz  correct {correct:.3}");
+            }
+        }
+        "shutdown" => {
+            client.shutdown()?;
+            println!("daemon shut down");
+        }
+        other => usage_fail(format!("unknown command '{other}'")),
+    }
+    Ok(())
+}

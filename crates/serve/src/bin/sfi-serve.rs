@@ -1,0 +1,75 @@
+//! The campaign daemon binary.
+//!
+//! Builds (or cache-restores) the characterized case study, then serves
+//! campaign queries over TCP until a client sends `shutdown`.
+
+use sfi_core::study::CaseStudyConfig;
+use sfi_serve::server::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::process::exit;
+
+const USAGE: &str = "\
+usage: sfi-serve [options]
+
+options:
+  --addr HOST:PORT      listen address (default 127.0.0.1:7433; port 0 = ephemeral)
+  --fast                serve the scaled-down 8-bit case study instead of the paper's 32-bit one
+  --threads N           campaign engine worker threads (0 or omitted = all CPUs)
+  --cache-dir DIR       persistent characterization cache (restarts skip the DTA rebuild)
+  --checkpoint-dir DIR  per-job campaign checkpoints (identical re-submissions resume)
+  --help                print this help
+";
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("sfi-serve: {message}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+fn main() {
+    let mut config = ServeConfig::default();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .unwrap_or_else(|| fail(format!("{flag} needs a value")))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => config.addr = value(&mut i, "--addr"),
+            "--fast" => {
+                config.study = CaseStudyConfig {
+                    voltages: vec![0.7, 0.8],
+                    ..CaseStudyConfig::fast_for_tests()
+                }
+            }
+            "--threads" => {
+                let n: usize = value(&mut i, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--threads needs an unsigned integer"));
+                // 0 means "auto" (all CPUs), like the figure binaries.
+                config.threads = (n > 0).then_some(n);
+            }
+            "--cache-dir" => config.cache_dir = Some(PathBuf::from(value(&mut i, "--cache-dir"))),
+            "--checkpoint-dir" => {
+                config.checkpoint_dir = Some(PathBuf::from(value(&mut i, "--checkpoint-dir")))
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+
+    match Server::start(config) {
+        Ok(server) => server.join(),
+        Err(err) => {
+            eprintln!("sfi-serve: failed to start: {err}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! The daemon's job table and scheduler.
+//!
+//! Submitted campaigns become *jobs*: numbered entries that move through
+//! `queued → running → done | failed | cancelled`.  A single scheduler
+//! thread drains the queue in submission order onto one shared
+//! [`CampaignEngine`] (the engine itself parallelizes across trials, so
+//! one job at a time keeps the machine saturated without oversubscribing
+//! it).  Per-cell results stream into the entry as the engine finishes
+//! them — connection handlers block on a condvar and forward each cell to
+//! their client the moment it lands.
+//!
+//! Cancellation is cooperative via the engine's cancel flag; results of
+//! finished jobs are retained until the daemon exits.
+
+use sfi_campaign::{checkpoint, CampaignEngine, CampaignSpec, CellResult};
+use sfi_core::json::Json;
+use sfi_core::CaseStudy;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the scheduler queue.
+    Queued,
+    /// Currently executing on the engine.
+    Running,
+    /// Finished; the full result is available.
+    Done,
+    /// Aborted by an execution error.
+    Failed,
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire name of the state.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job can no longer make progress.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// A point-in-time snapshot of one job, as reported to clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// The job id.
+    pub job: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Cells completed so far.
+    pub completed_cells: usize,
+    /// Total cells of the campaign.
+    pub total_cells: usize,
+    /// Trials actually simulated (known once the job finishes).
+    pub executed_trials: usize,
+    /// Failure message, if the job failed.
+    pub error: Option<String>,
+}
+
+struct JobEntry {
+    /// The instantiated campaign (validated and built once, at submit).
+    spec: CampaignSpec,
+    state: JobState,
+    total_cells: usize,
+    /// Streamed per-cell documents (checkpoint cell format), completion
+    /// order.
+    cells: Vec<Json>,
+    /// Full result document, once done.
+    result: Option<Json>,
+    executed_trials: usize,
+    error: Option<String>,
+    cancel: Arc<AtomicBool>,
+}
+
+impl JobEntry {
+    fn status(&self, job: u64) -> JobStatus {
+        JobStatus {
+            job,
+            state: self.state,
+            completed_cells: self.cells.len(),
+            total_cells: self.total_cells,
+            executed_trials: self.executed_trials,
+            error: self.error.clone(),
+        }
+    }
+}
+
+struct Inner {
+    next_id: u64,
+    stop: bool,
+    queue: VecDeque<u64>,
+    jobs: BTreeMap<u64, JobEntry>,
+}
+
+/// The shared job table: submission queue, per-job state and streaming
+/// buffers.
+pub struct JobTable {
+    inner: Mutex<Inner>,
+    /// Wakes the scheduler when a job is queued or the daemon stops.
+    scheduler_wake: Condvar,
+    /// Wakes streaming handlers when any job gains a cell or changes
+    /// state.
+    update: Condvar,
+}
+
+/// What a streaming handler gets when it asks for the next cell of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NextCell {
+    /// A newly completed cell document.
+    Cell(Json),
+    /// No more cells will arrive; the job ended in this state.
+    End(JobState),
+    /// The job id is unknown.
+    Unknown,
+}
+
+impl Default for JobTable {
+    fn default() -> Self {
+        JobTable::new()
+    }
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        JobTable {
+            inner: Mutex::new(Inner {
+                next_id: 1,
+                stop: false,
+                queue: VecDeque::new(),
+                jobs: BTreeMap::new(),
+            }),
+            scheduler_wake: Condvar::new(),
+            update: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Enqueues an instantiated campaign; returns the job id.
+    pub fn submit(&self, spec: CampaignSpec) -> u64 {
+        let mut inner = self.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let total_cells = spec.cells().len();
+        inner.jobs.insert(
+            id,
+            JobEntry {
+                spec,
+                state: JobState::Queued,
+                total_cells,
+                cells: Vec::new(),
+                result: None,
+                executed_trials: 0,
+                error: None,
+                cancel: Arc::new(AtomicBool::new(false)),
+            },
+        );
+        inner.queue.push_back(id);
+        self.scheduler_wake.notify_all();
+        id
+    }
+
+    /// The status of job `id`, if it exists.
+    pub fn status(&self, id: u64) -> Option<JobStatus> {
+        self.lock().jobs.get(&id).map(|entry| entry.status(id))
+    }
+
+    /// The retained result document of job `id`, if it finished.
+    pub fn result(&self, id: u64) -> Option<Json> {
+        self.lock()
+            .jobs
+            .get(&id)
+            .and_then(|entry| entry.result.clone())
+    }
+
+    /// Requests cancellation of job `id`.  Queued jobs are cancelled
+    /// immediately; running jobs stop at the next trial boundary.  Returns
+    /// `false` for unknown ids.
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut inner = self.lock();
+        let Some(entry) = inner.jobs.get_mut(&id) else {
+            return false;
+        };
+        entry.cancel.store(true, Ordering::SeqCst);
+        if entry.state == JobState::Queued {
+            entry.state = JobState::Cancelled;
+            inner.queue.retain(|&q| q != id);
+        }
+        self.update.notify_all();
+        true
+    }
+
+    /// Initiates daemon shutdown: cancels everything and wakes the
+    /// scheduler so it can exit.
+    pub fn stop(&self) {
+        let mut inner = self.lock();
+        inner.stop = true;
+        inner.queue.clear();
+        for entry in inner.jobs.values_mut() {
+            entry.cancel.store(true, Ordering::SeqCst);
+            if entry.state == JobState::Queued {
+                entry.state = JobState::Cancelled;
+            }
+        }
+        self.scheduler_wake.notify_all();
+        self.update.notify_all();
+    }
+
+    /// Whether [`JobTable::stop`] was called.
+    pub fn stopped(&self) -> bool {
+        self.lock().stop
+    }
+
+    /// Number of jobs ever submitted.
+    pub fn job_count(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// Blocks until cell `index` of job `id` exists (returning it), the
+    /// job reaches a terminal state with no more cells (returning
+    /// [`NextCell::End`]), or the id turns out unknown.
+    pub fn next_cell(&self, id: u64, index: usize) -> NextCell {
+        let mut inner = self.lock();
+        loop {
+            let Some(entry) = inner.jobs.get(&id) else {
+                return NextCell::Unknown;
+            };
+            if let Some(cell) = entry.cells.get(index) {
+                return NextCell::Cell(cell.clone());
+            }
+            if entry.state.is_terminal() {
+                return NextCell::End(entry.state);
+            }
+            inner = self
+                .update
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Blocks until job `id` reaches a terminal state; returns its final
+    /// status (`None` for unknown ids).
+    pub fn wait_terminal(&self, id: u64) -> Option<JobStatus> {
+        let mut inner = self.lock();
+        loop {
+            let entry = inner.jobs.get(&id)?;
+            if entry.state.is_terminal() {
+                return Some(entry.status(id));
+            }
+            inner = self
+                .update
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// Execution configuration of the scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerConfig {
+    /// Engine worker threads (`None` = all CPUs).
+    pub threads: Option<usize>,
+    /// Directory for per-job campaign checkpoints; identical re-submitted
+    /// campaigns resume instead of recomputing.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+/// Runs the scheduler loop until [`JobTable::stop`] is observed.
+///
+/// One job executes at a time; its per-cell results stream into the table
+/// through the engine's progress hook.  A panicking campaign (unexpected
+/// for validated wire specs, but defense-in-depth) marks the job failed
+/// instead of taking the daemon down.
+pub fn run_scheduler(study: Arc<CaseStudy>, table: Arc<JobTable>, config: SchedulerConfig) {
+    loop {
+        let (id, spec, cancel) = {
+            let mut inner = table.lock();
+            loop {
+                if inner.stop {
+                    return;
+                }
+                if let Some(&id) = inner.queue.front() {
+                    inner.queue.pop_front();
+                    let entry = inner.jobs.get_mut(&id).expect("queued job exists");
+                    entry.state = JobState::Running;
+                    let picked = (id, entry.spec.clone(), entry.cancel.clone());
+                    table.update.notify_all();
+                    break picked;
+                }
+                inner = table
+                    .scheduler_wake
+                    .wait(inner)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+
+        let mut engine = CampaignEngine::new().with_cancel(cancel);
+        if let Some(threads) = config.threads {
+            engine = engine.with_threads(threads);
+        }
+        if let Some(dir) = &config.checkpoint_dir {
+            let _ = std::fs::create_dir_all(dir);
+            engine =
+                engine.with_checkpoint(dir.join(format!("job-{:016x}.json", spec.fingerprint())));
+        }
+        let hook_table = table.clone();
+        let engine = engine.with_progress(Arc::new(move |cell: &CellResult| {
+            let mut inner = hook_table.lock();
+            if let Some(entry) = inner.jobs.get_mut(&id) {
+                entry.cells.push(checkpoint::cell_to_json(cell));
+            }
+            hook_table.update.notify_all();
+        }));
+
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| engine.run(study.as_ref(), &spec)));
+        match outcome {
+            Ok(result) => {
+                let state = if result.cancelled {
+                    JobState::Cancelled
+                } else {
+                    JobState::Done
+                };
+                let doc = (state == JobState::Done).then(|| result.to_json(&spec));
+                finish(&table, id, state, doc, result.metrics.executed_trials, None);
+            }
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "campaign panicked".into());
+                finish(&table, id, JobState::Failed, None, 0, Some(message));
+            }
+        }
+    }
+}
+
+fn finish(
+    table: &JobTable,
+    id: u64,
+    state: JobState,
+    result: Option<Json>,
+    executed_trials: usize,
+    error: Option<String>,
+) {
+    let mut inner = table.lock();
+    if let Some(entry) = inner.jobs.get_mut(&id) {
+        entry.state = state;
+        entry.result = result;
+        entry.executed_trials = executed_trials;
+        entry.error = error;
+    }
+    table.update.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{BenchmarkDef, CampaignDef};
+
+    fn tiny_spec(name: &str) -> CampaignSpec {
+        let mut def = CampaignDef::new(name, 5);
+        def.add_benchmark(BenchmarkDef::Median { values: 5, seed: 1 });
+        def.instantiate().expect("tiny campaign instantiates")
+    }
+
+    #[test]
+    fn queued_jobs_cancel_immediately() {
+        let table = JobTable::new();
+        let id = table.submit(tiny_spec("a"));
+        assert_eq!(table.status(id).unwrap().state, JobState::Queued);
+        assert!(table.cancel(id));
+        assert_eq!(table.status(id).unwrap().state, JobState::Cancelled);
+        assert_eq!(table.next_cell(id, 0), NextCell::End(JobState::Cancelled));
+        assert!(!table.cancel(999), "unknown ids report false");
+        assert_eq!(table.next_cell(999, 0), NextCell::Unknown);
+    }
+
+    #[test]
+    fn stop_cancels_the_queue() {
+        let table = JobTable::new();
+        let a = table.submit(tiny_spec("a"));
+        let b = table.submit(tiny_spec("b"));
+        assert_eq!(table.job_count(), 2);
+        table.stop();
+        assert!(table.stopped());
+        assert_eq!(table.status(a).unwrap().state, JobState::Cancelled);
+        assert_eq!(table.status(b).unwrap().state, JobState::Cancelled);
+    }
+}

@@ -1,0 +1,66 @@
+//! Serve mode: a long-lived campaign daemon with a JSON wire protocol.
+//!
+//! The batch binaries answer one-shot questions by re-running the whole
+//! pipeline from a cold process.  This crate turns the reproduction into a
+//! *service*: a daemon ([`server::Server`], shipped as the `sfi-serve`
+//! binary) builds the characterized [`sfi_core::CaseStudy`] once — warm
+//! from the persistent characterization cache when possible — and then
+//! answers campaign queries over TCP until told to shut down.
+//!
+//! * [`wire`] — the serializable campaign description
+//!   ([`wire::CampaignDef`]): benchmarks by name and parameters, cells as
+//!   (benchmark, fault model, operating point, budget), convertible to a
+//!   [`sfi_campaign::CampaignSpec`] on the server.
+//! * [`protocol`] — the framing and message vocabulary: one JSON document
+//!   per line, requests like `submit` / `status` / `stream` / `poff` /
+//!   `cancel` / `shutdown`, responses including streamed per-cell results
+//!   in the campaign checkpoint format.
+//! * [`jobs`] — the in-daemon job table and scheduler: submitted specs
+//!   queue onto one shared [`sfi_campaign::CampaignEngine`]; per-job state
+//!   machines (`queued → running → done/failed/cancelled`), live progress
+//!   from the engine's per-cell streaming hook, results retained for later
+//!   fetch.
+//! * [`server`] / [`client`] — the daemon and the typed client library
+//!   (shipped as the `sfi-client` binary).
+//!
+//! Everything is `std::net` + worker threads — the workspace is offline
+//! and dependency-free by design.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sfi_serve::client::Client;
+//! use sfi_serve::server::{ServeConfig, Server};
+//! use sfi_serve::wire::{BenchmarkDef, BudgetDef, CampaignDef, CellDef};
+//! use sfi_core::FaultModel;
+//!
+//! let server = Server::start(ServeConfig::fast_for_tests()).expect("daemon starts");
+//! let mut client = Client::connect(server.local_addr()).expect("connects");
+//!
+//! let info = client.ping().expect("pong");
+//! let mut def = CampaignDef::new("quickstart", 7);
+//! let median = def.add_benchmark(BenchmarkDef::Median { values: 21, seed: 3 });
+//! def.cells.push(CellDef {
+//!     benchmark: median,
+//!     model: FaultModel::StatisticalDta,
+//!     freq_mhz: info.sta_limit_mhz * 0.95,
+//!     vdd: 0.7,
+//!     noise_sigma_mv: 10.0,
+//!     budget: BudgetDef::fixed(2),
+//! });
+//!
+//! let ticket = client.submit(&def).expect("accepted");
+//! let outcome = client.stream(ticket.job, |_cell| {}).expect("streams");
+//! assert_eq!(outcome, "done");
+//! client.shutdown().expect("daemon exits");
+//! server.join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod jobs;
+pub mod protocol;
+pub mod server;
+pub mod wire;

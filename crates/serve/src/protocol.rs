@@ -1,0 +1,360 @@
+//! The wire protocol: newline-delimited JSON frames.
+//!
+//! Every frame is one JSON object on one line, terminated by `\n`.  The
+//! client sends [`Request`] frames; the server answers with one or more
+//! [`Response`] frames.  All requests are answered by exactly one response
+//! except `stream`, which emits one `cell` frame per campaign cell (in
+//! completion order, as they finish) followed by a terminating `end`
+//! frame.  Responses to invalid input are `error` frames; the connection
+//! stays open, so one bad request does not cost a reconnect.
+//!
+//! | request    | fields                     | response(s)                        |
+//! |------------|----------------------------|------------------------------------|
+//! | `ping`     | —                          | `pong` (server info)               |
+//! | `submit`   | `spec` ([`CampaignDef`])   | `submitted` (job id, cell count)   |
+//! | `status`   | `job`                      | `status` (state, progress)         |
+//! | `stream`   | `job`                      | `cell`* then `end`                 |
+//! | `result`   | `job`                      | `result` (full checkpoint document)|
+//! | `poff`     | [`PoffRequest`] fields     | `poff` (bisection outcome)         |
+//! | `cancel`   | `job`                      | `cancelled`                        |
+//! | `shutdown` | —                          | `bye`, then the daemon exits       |
+//!
+//! Cell payloads use the campaign checkpoint cell format
+//! (`sfi_campaign::checkpoint::cell_to_json`), and the `result` document
+//! is byte-identical to a checkpoint of the same campaign — the formats
+//! were designed to be shared.
+
+use crate::wire::{model_from_json, model_to_json, CampaignDef, WireError};
+use sfi_core::json::Json;
+use sfi_core::FaultModel;
+use std::io::{self, BufRead, Write};
+
+/// Protocol version, reported by `pong`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Hard cap on one frame's size: a line longer than this is a protocol
+/// error and the connection is closed (the reader cannot resynchronize
+/// reliably once it abandons a line).
+pub const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// Writes one frame: the document on a single line, `\n` terminated.
+pub fn write_frame(writer: &mut impl Write, doc: &Json) -> io::Result<()> {
+    let mut line = doc.to_string();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+/// Reads one frame.
+///
+/// Returns `Ok(None)` on a clean EOF, `Ok(Some(Err(..)))` on a malformed
+/// frame (the connection is still synchronized — the bad line was fully
+/// consumed), and an [`io::Error`] on transport problems, including frames
+/// longer than [`MAX_FRAME_BYTES`].
+pub fn read_frame(reader: &mut impl BufRead) -> io::Result<Option<Result<Json, WireError>>> {
+    loop {
+        let mut line = Vec::new();
+        let mut limited = io::Read::take(&mut *reader, MAX_FRAME_BYTES as u64 + 1);
+        let n = limited.read_until(b'\n', &mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if line.len() > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame exceeds {MAX_FRAME_BYTES} bytes"),
+            ));
+        }
+        let text = match std::str::from_utf8(&line) {
+            Ok(text) => text.trim(),
+            Err(_) => return Ok(Some(Err(WireError("frame is not valid UTF-8".into())))),
+        };
+        if text.is_empty() {
+            // Tolerate blank lines between frames (useful for hand-typed
+            // sessions over netcat).
+            continue;
+        }
+        return Ok(Some(
+            Json::parse(text).map_err(|e| WireError(format!("malformed frame: {e}"))),
+        ));
+    }
+}
+
+/// A PoFF bisection query: locate the point of first failure of one
+/// benchmark under one model, without building a full campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoffRequest {
+    /// The benchmark to search.
+    pub benchmark: crate::wire::BenchmarkDef,
+    /// The fault model.
+    pub model: FaultModel,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Supply-noise sigma in millivolts.
+    pub noise_sigma_mv: f64,
+    /// Lower end of the searched range, MHz.
+    pub lo_mhz: f64,
+    /// Upper end of the searched range, MHz.
+    pub hi_mhz: f64,
+    /// Bracket resolution, MHz.
+    pub resolution_mhz: f64,
+    /// Monte-Carlo trials per evaluated frequency.
+    pub trials: usize,
+    /// Search seed.
+    pub seed: u64,
+}
+
+impl PoffRequest {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("type", Json::Str("poff".into())),
+            ("benchmark", self.benchmark.to_json()),
+            ("model", model_to_json(self.model)),
+            ("vdd", Json::Num(self.vdd)),
+            ("noise_sigma_mv", Json::Num(self.noise_sigma_mv)),
+            ("lo_mhz", Json::Num(self.lo_mhz)),
+            ("hi_mhz", Json::Num(self.hi_mhz)),
+            ("resolution_mhz", Json::Num(self.resolution_mhz)),
+            ("trials", Json::Num(self.trials as f64)),
+            ("seed", Json::Str(self.seed.to_string())),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, WireError> {
+        let req = PoffRequest {
+            benchmark: crate::wire::BenchmarkDef::from_json(
+                value
+                    .get("benchmark")
+                    .ok_or_else(|| WireError("missing member 'benchmark'".into()))?,
+            )?,
+            model: model_from_json(
+                value
+                    .get("model")
+                    .ok_or_else(|| WireError("missing member 'model'".into()))?,
+            )?,
+            vdd: finite(value, "vdd")?,
+            noise_sigma_mv: finite(value, "noise_sigma_mv")?,
+            lo_mhz: finite(value, "lo_mhz")?,
+            hi_mhz: finite(value, "hi_mhz")?,
+            resolution_mhz: finite(value, "resolution_mhz")?,
+            trials: u64_member(value, "trials")? as usize,
+            seed: u64_member(value, "seed")?,
+        };
+        if req.vdd <= 0.0 {
+            return Err(WireError("'vdd' must be positive".into()));
+        }
+        if req.noise_sigma_mv < 0.0 {
+            return Err(WireError("'noise_sigma_mv' must be non-negative".into()));
+        }
+        if !(req.lo_mhz > 0.0 && req.hi_mhz > req.lo_mhz) {
+            return Err(WireError(
+                "'lo_mhz'/'hi_mhz' must form a positive, non-empty range".into(),
+            ));
+        }
+        if req.resolution_mhz <= 0.0 {
+            return Err(WireError("'resolution_mhz' must be positive".into()));
+        }
+        if req.trials == 0 || req.trials > crate::wire::MAX_TRIALS_PER_CELL {
+            return Err(WireError(format!(
+                "'trials' must be in 1..={}",
+                crate::wire::MAX_TRIALS_PER_CELL
+            )));
+        }
+        Ok(req)
+    }
+}
+
+fn finite(value: &Json, key: &str) -> Result<f64, WireError> {
+    value
+        .get(key)
+        .and_then(Json::as_f64)
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| WireError(format!("'{key}' must be a finite number")))
+}
+
+fn u64_member(value: &Json, key: &str) -> Result<u64, WireError> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| WireError(format!("'{key}' must be an unsigned integer")))
+}
+
+/// A client request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness / server-info probe.
+    Ping,
+    /// Submit a campaign for execution.
+    Submit(CampaignDef),
+    /// Poll one job's status.
+    Status(u64),
+    /// Stream a job's per-cell results as they complete.
+    Stream(u64),
+    /// Fetch a finished job's full result document.
+    Result(u64),
+    /// Run a PoFF bisection query synchronously.
+    Poff(PoffRequest),
+    /// Cancel a queued or running job.
+    Cancel(u64),
+    /// Stop the daemon gracefully.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes to a frame document.
+    pub fn to_json(&self) -> Json {
+        let typed = |t: &str| Json::obj([("type", Json::Str(t.into()))]);
+        let with_job = |t: &str, job: u64| {
+            Json::obj([
+                ("type", Json::Str(t.into())),
+                ("job", Json::Str(job.to_string())),
+            ])
+        };
+        match self {
+            Request::Ping => typed("ping"),
+            Request::Submit(def) => Json::obj([
+                ("type", Json::Str("submit".into())),
+                ("spec", def.to_json()),
+            ]),
+            Request::Status(job) => with_job("status", *job),
+            Request::Stream(job) => with_job("stream", *job),
+            Request::Result(job) => with_job("result", *job),
+            Request::Poff(req) => req.to_json(),
+            Request::Cancel(job) => with_job("cancel", *job),
+            Request::Shutdown => typed("shutdown"),
+        }
+    }
+
+    /// Decodes a frame document.
+    pub fn from_json(value: &Json) -> Result<Self, WireError> {
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError("missing request 'type'".into()))?;
+        match kind {
+            "ping" => Ok(Request::Ping),
+            "submit" => Ok(Request::Submit(CampaignDef::from_json(
+                value
+                    .get("spec")
+                    .ok_or_else(|| WireError("missing member 'spec'".into()))?,
+            )?)),
+            "status" => Ok(Request::Status(u64_member(value, "job")?)),
+            "stream" => Ok(Request::Stream(u64_member(value, "job")?)),
+            "result" => Ok(Request::Result(u64_member(value, "job")?)),
+            "poff" => Ok(Request::Poff(PoffRequest::from_json(value)?)),
+            "cancel" => Ok(Request::Cancel(u64_member(value, "job")?)),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(WireError(format!("unknown request type '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{BenchmarkDef, BudgetDef, CellDef};
+    use std::io::BufReader;
+
+    fn demo_def() -> CampaignDef {
+        let mut def = CampaignDef::new("proto", 42);
+        let b = def.add_benchmark(BenchmarkDef::Dijkstra { nodes: 10, seed: 1 });
+        def.cells.push(CellDef {
+            benchmark: b,
+            model: FaultModel::StaWithNoise,
+            freq_mhz: 700.0,
+            vdd: 0.7,
+            noise_sigma_mv: 5.0,
+            budget: BudgetDef::fixed(3),
+        });
+        def
+    }
+
+    #[test]
+    fn requests_round_trip_through_frames() {
+        let requests = [
+            Request::Ping,
+            Request::Submit(demo_def()),
+            Request::Status(7),
+            Request::Stream(7),
+            Request::Result(u64::MAX),
+            Request::Poff(PoffRequest {
+                benchmark: BenchmarkDef::Median {
+                    values: 21,
+                    seed: 3,
+                },
+                model: FaultModel::StaPeriodViolation,
+                vdd: 0.7,
+                noise_sigma_mv: 0.0,
+                lo_mhz: 600.0,
+                hi_mhz: 900.0,
+                resolution_mhz: 5.0,
+                trials: 4,
+                seed: 11,
+            }),
+            Request::Cancel(7),
+            Request::Shutdown,
+        ];
+        // All frames through one pipe, in order.
+        let mut buf = Vec::new();
+        for req in &requests {
+            write_frame(&mut buf, &req.to_json()).expect("writes");
+        }
+        assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), requests.len());
+
+        let mut reader = BufReader::new(buf.as_slice());
+        for req in &requests {
+            let frame = read_frame(&mut reader)
+                .expect("io ok")
+                .expect("not eof")
+                .expect("parses");
+            let back = Request::from_json(&frame).expect("decodes");
+            assert_eq!(&back, req);
+        }
+        assert!(
+            read_frame(&mut reader).expect("io ok").is_none(),
+            "clean EOF"
+        );
+    }
+
+    #[test]
+    fn campaign_spec_survives_the_submit_frame() {
+        // The acceptance-relevant property: a spec pushed through the
+        // protocol framing instantiates to the same campaign fingerprint.
+        let def = demo_def();
+        let direct = def.instantiate().expect("instantiates");
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Submit(def).to_json()).expect("writes");
+        let mut reader = BufReader::new(buf.as_slice());
+        let frame = read_frame(&mut reader).unwrap().unwrap().unwrap();
+        let Request::Submit(received) = Request::from_json(&frame).unwrap() else {
+            panic!("not a submit");
+        };
+        let remote = received.instantiate().expect("instantiates");
+        assert_eq!(remote.fingerprint(), direct.fingerprint());
+    }
+
+    #[test]
+    fn malformed_frames_are_reported_not_fatal() {
+        let mut reader = BufReader::new("{\"type\":}\n{\"type\":\"ping\"}\n".as_bytes());
+        let bad = read_frame(&mut reader).expect("io ok").expect("not eof");
+        assert!(bad.is_err(), "malformed frame yields a wire error");
+        // The reader is still synchronized: the next frame parses.
+        let good = read_frame(&mut reader).unwrap().unwrap().unwrap();
+        assert_eq!(Request::from_json(&good), Ok(Request::Ping));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let mut reader = BufReader::new("\n  \n{\"type\":\"ping\"}\n".as_bytes());
+        let frame = read_frame(&mut reader).unwrap().unwrap().unwrap();
+        assert_eq!(Request::from_json(&frame), Ok(Request::Ping));
+    }
+
+    #[test]
+    fn oversized_frames_are_io_errors() {
+        let huge = format!("{{\"type\":\"{}\"}}\n", "x".repeat(MAX_FRAME_BYTES));
+        let mut reader = BufReader::new(huge.as_bytes());
+        assert!(read_frame(&mut reader).is_err());
+    }
+}

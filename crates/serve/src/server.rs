@@ -1,0 +1,492 @@
+//! The campaign daemon: TCP listener, connection handlers and lifecycle.
+//!
+//! [`Server::start`] builds (or cache-restores) the characterized
+//! [`CaseStudy`] once, spawns the scheduler thread and the accept loop,
+//! and returns immediately; [`Server::join`] parks until a client sends
+//! `shutdown` (or [`Server::shutdown`] is called locally).  Shutdown is
+//! graceful: running jobs are cancelled at the next trial boundary, and
+//! because the engine checkpoints every completed cell as it finishes,
+//! all completed work is already flushed to disk by the time the process
+//! exits.
+
+use crate::jobs::{self, JobTable, NextCell, SchedulerConfig};
+use crate::protocol::{read_frame, write_frame, PoffRequest, Request, PROTOCOL_VERSION};
+use crate::wire::WireError;
+use sfi_campaign::{adaptive_poff, CampaignEngine, PoffSearch, TrialBudget};
+use sfi_core::json::Json;
+use sfi_core::study::{CaseStudy, CaseStudyConfig};
+use sfi_fault::OperatingPoint;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// The case study to characterize and serve.
+    pub study: CaseStudyConfig,
+    /// Engine worker threads (`None` = all CPUs).
+    pub threads: Option<usize>,
+    /// Persistent characterization cache directory; restarts with the
+    /// same study configuration skip the gate-level DTA rebuild.
+    pub cache_dir: Option<PathBuf>,
+    /// Per-job campaign checkpoint directory.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Suppress the startup log lines.
+    pub quiet: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7433".into(),
+            study: CaseStudyConfig::paper(),
+            threads: None,
+            cache_dir: None,
+            checkpoint_dir: None,
+            quiet: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A quiet, ephemeral-port, scaled-down configuration for tests and
+    /// doc-tests.
+    pub fn fast_for_tests() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            study: CaseStudyConfig::fast_for_tests(),
+            quiet: true,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// Shared server context handed to every connection handler.
+struct Context {
+    study: Arc<CaseStudy>,
+    table: Arc<JobTable>,
+    threads: Option<usize>,
+    cache_hit: bool,
+}
+
+/// A running daemon.
+pub struct Server {
+    addr: SocketAddr,
+    table: Arc<JobTable>,
+    accept: Option<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<()>>,
+    stopping: Arc<AtomicBool>,
+    cache_hit: bool,
+}
+
+impl Server {
+    /// Characterizes the study (warm from the cache when possible), binds
+    /// the listener and spawns the scheduler and accept threads.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let study = Arc::new(match &config.cache_dir {
+            Some(dir) => CaseStudy::build_cached(config.study.clone(), dir),
+            None => CaseStudy::build(config.study.clone()),
+        });
+        let cache_hit = study.characterization_cache_hit();
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        if !config.quiet {
+            println!("sfi-serve listening on {addr}");
+            println!(
+                "characterization: {} (fingerprint {:016x})",
+                if cache_hit {
+                    "cache hit"
+                } else {
+                    "cache miss, computed"
+                },
+                config.study.fingerprint()
+            );
+        }
+
+        let table = Arc::new(JobTable::new());
+        let scheduler = {
+            let study = study.clone();
+            let table = table.clone();
+            let scheduler_config = SchedulerConfig {
+                threads: config.threads,
+                checkpoint_dir: config.checkpoint_dir.clone(),
+            };
+            thread::spawn(move || jobs::run_scheduler(study, table, scheduler_config))
+        };
+
+        let stopping = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let context = Arc::new(Context {
+                study,
+                table: table.clone(),
+                threads: config.threads,
+                cache_hit,
+            });
+            let stopping = stopping.clone();
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stopping.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let context = context.clone();
+                    let stopping = stopping.clone();
+                    thread::spawn(move || {
+                        let peer = stream.peer_addr().ok();
+                        if let Err(err) = handle_connection(stream, &context, &stopping) {
+                            // Disconnects are routine; only log real errors.
+                            if err.kind() != io::ErrorKind::UnexpectedEof
+                                && err.kind() != io::ErrorKind::BrokenPipe
+                                && err.kind() != io::ErrorKind::ConnectionReset
+                            {
+                                eprintln!("sfi-serve: connection {peer:?}: {err}");
+                            }
+                        }
+                    });
+                }
+            })
+        };
+
+        Ok(Server {
+            addr,
+            table,
+            accept: Some(accept),
+            scheduler: Some(scheduler),
+            stopping,
+            cache_hit,
+        })
+    }
+
+    /// The bound listen address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the characterization came from the persistent cache.
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// Parks until the daemon shuts down (via a client `shutdown` request
+    /// or [`Server::shutdown`]).
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    /// Initiates a local shutdown and waits for the daemon to exit.
+    pub fn shutdown(mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        self.table.stop();
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // A dropped server must not leave detached daemon threads running.
+        self.stopping.store(true, Ordering::SeqCst);
+        self.table.stop();
+        let _ = TcpStream::connect(self.addr);
+        self.join_threads();
+    }
+}
+
+fn error_frame(message: impl Into<String>) -> Json {
+    Json::obj([
+        ("type", Json::Str("error".into())),
+        ("message", Json::Str(message.into())),
+    ])
+}
+
+fn status_frame(status: &jobs::JobStatus) -> Json {
+    Json::obj([
+        ("type", Json::Str("status".into())),
+        ("job", Json::Str(status.job.to_string())),
+        ("state", Json::Str(status.state.as_str().into())),
+        ("completed_cells", Json::Num(status.completed_cells as f64)),
+        ("total_cells", Json::Num(status.total_cells as f64)),
+        ("executed_trials", Json::Num(status.executed_trials as f64)),
+        (
+            "error",
+            match &status.error {
+                Some(message) => Json::Str(message.clone()),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+/// Serves one connection until EOF, a transport error, or shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    context: &Context,
+    stopping: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let frame = match read_frame(&mut reader)? {
+            None => return Ok(()),
+            Some(Ok(frame)) => frame,
+            Some(Err(WireError(message))) => {
+                write_frame(&mut writer, &error_frame(message))?;
+                continue;
+            }
+        };
+        let request = match Request::from_json(&frame) {
+            Ok(request) => request,
+            Err(WireError(message)) => {
+                write_frame(&mut writer, &error_frame(message))?;
+                continue;
+            }
+        };
+        match request {
+            Request::Ping => {
+                let study = &context.study;
+                let config = study.config();
+                let frame = Json::obj([
+                    ("type", Json::Str("pong".into())),
+                    ("protocol", Json::Num(PROTOCOL_VERSION as f64)),
+                    (
+                        "study_fingerprint",
+                        Json::Str(config.fingerprint().to_string()),
+                    ),
+                    (
+                        "sta_limit_mhz",
+                        Json::Num(study.sta_limit_mhz(config.nominal_vdd)),
+                    ),
+                    ("nominal_vdd", Json::Num(config.nominal_vdd)),
+                    (
+                        "voltages",
+                        Json::Arr(config.voltages.iter().map(|&v| Json::Num(v)).collect()),
+                    ),
+                    ("characterization_cache_hit", Json::Bool(context.cache_hit)),
+                    ("jobs", Json::Num(context.table.job_count() as f64)),
+                ]);
+                write_frame(&mut writer, &frame)?;
+            }
+            Request::Submit(def) => {
+                match validate_voltages(context, &def).and_then(|()| def.instantiate()) {
+                    Ok(spec) => {
+                        let total_cells = spec.cells().len();
+                        let fingerprint = spec.fingerprint();
+                        // The instantiated spec travels into the job table;
+                        // the scheduler runs it as-is instead of
+                        // re-instantiating from the definition.
+                        let job = context.table.submit(spec);
+                        let frame = Json::obj([
+                            ("type", Json::Str("submitted".into())),
+                            ("job", Json::Str(job.to_string())),
+                            ("total_cells", Json::Num(total_cells as f64)),
+                            ("fingerprint", Json::Str(fingerprint.to_string())),
+                        ]);
+                        write_frame(&mut writer, &frame)?;
+                    }
+                    Err(WireError(message)) => {
+                        write_frame(&mut writer, &error_frame(message))?;
+                    }
+                }
+            }
+            Request::Status(job) => match context.table.status(job) {
+                Some(status) => write_frame(&mut writer, &status_frame(&status))?,
+                None => write_frame(&mut writer, &error_frame(format!("unknown job {job}")))?,
+            },
+            Request::Stream(job) => stream_job(&mut writer, context, job)?,
+            Request::Result(job) => match context.table.result(job) {
+                Some(doc) => {
+                    let frame = Json::obj([
+                        ("type", Json::Str("result".into())),
+                        ("job", Json::Str(job.to_string())),
+                        ("document", doc),
+                    ]);
+                    // A result document aggregating many large cells can
+                    // exceed what read_frame accepts; send an actionable
+                    // error instead of a frame the client cannot read.
+                    let line = frame.to_string();
+                    if line.len() >= crate::protocol::MAX_FRAME_BYTES {
+                        write_frame(
+                            &mut writer,
+                            &error_frame(format!(
+                                "result document of job {job} is {} bytes, above the \
+                                 frame limit; fetch it cell by cell with 'stream'",
+                                line.len()
+                            )),
+                        )?;
+                    } else {
+                        use std::io::Write as _;
+                        writer.write_all(line.as_bytes())?;
+                        writer.write_all(b"\n")?;
+                        writer.flush()?;
+                    }
+                }
+                None => write_frame(
+                    &mut writer,
+                    &error_frame(format!("job {job} has no retained result")),
+                )?,
+            },
+            Request::Poff(request) => {
+                let frame = run_poff(context, &request);
+                write_frame(&mut writer, &frame)?;
+            }
+            Request::Cancel(job) => {
+                if context.table.cancel(job) {
+                    let frame = Json::obj([
+                        ("type", Json::Str("cancelled".into())),
+                        ("job", Json::Str(job.to_string())),
+                    ]);
+                    write_frame(&mut writer, &frame)?;
+                } else {
+                    write_frame(&mut writer, &error_frame(format!("unknown job {job}")))?;
+                }
+            }
+            Request::Shutdown => {
+                stopping.store(true, Ordering::SeqCst);
+                context.table.stop();
+                write_frame(&mut writer, &Json::obj([("type", Json::Str("bye".into()))]))?;
+                // Unblock the accept loop so the daemon can exit.
+                if let Ok(addr) = writer.local_addr() {
+                    let _ = TcpStream::connect(addr);
+                }
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Rejects campaign cells whose fault model needs a characterization this
+/// daemon does not have, so the failure surfaces as a clean `error` frame
+/// at submit time instead of a failed job at run time.
+fn validate_voltages(context: &Context, def: &crate::wire::CampaignDef) -> Result<(), WireError> {
+    let voltages = &context.study.config().voltages;
+    for (index, cell) in def.cells.iter().enumerate() {
+        let needs_characterization = matches!(
+            cell.model,
+            sfi_core::FaultModel::StaPeriodViolation
+                | sfi_core::FaultModel::StaWithNoise
+                | sfi_core::FaultModel::StatisticalDta
+        );
+        if needs_characterization && !voltages.iter().any(|&v| (v - cell.vdd).abs() < 1e-9) {
+            return Err(WireError(format!(
+                "cell {index}: voltage {} V is not characterized by this daemon \
+                 (available: {voltages:?})",
+                cell.vdd
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Streams job cells in completion order, then the terminating `end`.
+fn stream_job(writer: &mut TcpStream, context: &Context, job: u64) -> io::Result<()> {
+    let mut index = 0usize;
+    loop {
+        match context.table.next_cell(job, index) {
+            NextCell::Cell(cell) => {
+                let frame = Json::obj([
+                    ("type", Json::Str("cell".into())),
+                    ("job", Json::Str(job.to_string())),
+                    ("index", Json::Num(index as f64)),
+                    ("cell", cell),
+                ]);
+                write_frame(writer, &frame)?;
+                index += 1;
+            }
+            NextCell::End(state) => {
+                let frame = Json::obj([
+                    ("type", Json::Str("end".into())),
+                    ("job", Json::Str(job.to_string())),
+                    ("state", Json::Str(state.as_str().into())),
+                    ("streamed_cells", Json::Num(index as f64)),
+                ]);
+                return write_frame(writer, &frame);
+            }
+            NextCell::Unknown => {
+                return write_frame(writer, &error_frame(format!("unknown job {job}")));
+            }
+        }
+    }
+}
+
+/// Runs a PoFF bisection synchronously on the handler thread (the engine
+/// underneath still parallelizes each evaluated cell's trials).
+fn run_poff(context: &Context, request: &PoffRequest) -> Json {
+    if !context
+        .study
+        .config()
+        .voltages
+        .iter()
+        .any(|&v| (v - request.vdd).abs() < 1e-9)
+    {
+        return error_frame(format!(
+            "voltage {} V is not characterized by this daemon",
+            request.vdd
+        ));
+    }
+    let mut engine = CampaignEngine::new();
+    if let Some(threads) = context.threads {
+        engine = engine.with_threads(threads);
+    }
+    let search = PoffSearch {
+        lo_mhz: request.lo_mhz,
+        hi_mhz: request.hi_mhz,
+        resolution_mhz: request.resolution_mhz,
+        budget: TrialBudget::fixed(request.trials),
+    };
+    let base_point = OperatingPoint::new(request.lo_mhz, request.vdd)
+        .with_noise_sigma_mv(request.noise_sigma_mv);
+    let outcome = adaptive_poff(
+        &engine,
+        &context.study,
+        request.benchmark.instantiate(),
+        request.model,
+        base_point,
+        search,
+        request.seed,
+    );
+    let evaluated: Vec<Json> = outcome
+        .evaluated
+        .iter()
+        .map(|point| {
+            Json::obj([
+                ("freq_mhz", Json::Num(point.freq_mhz)),
+                (
+                    "correct_fraction",
+                    Json::Num(point.summary.correct_fraction()),
+                ),
+                (
+                    "finished_fraction",
+                    Json::Num(point.summary.finished_fraction()),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("type", Json::Str("poff".into())),
+        (
+            "poff_mhz",
+            match outcome.poff_mhz {
+                Some(freq) => Json::Num(freq),
+                None => Json::Null,
+            },
+        ),
+        ("cells_evaluated", Json::Num(outcome.cells_evaluated as f64)),
+        ("evaluated", Json::Arr(evaluated)),
+    ])
+}

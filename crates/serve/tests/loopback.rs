@@ -1,0 +1,325 @@
+//! End-to-end loopback tests of the serve daemon: protocol round trips,
+//! bit-identical results vs the direct engine, cancellation, malformed
+//! requests, warm characterization-cache restarts and graceful shutdown.
+
+use sfi_campaign::{checkpoint, CampaignEngine};
+use sfi_core::json::Json;
+use sfi_core::study::{CaseStudy, CaseStudyConfig};
+use sfi_core::FaultModel;
+use sfi_serve::client::Client;
+use sfi_serve::protocol::{read_frame, write_frame, PoffRequest};
+use sfi_serve::server::{ServeConfig, Server};
+use sfi_serve::wire::{BenchmarkDef, BudgetDef, CampaignDef, CellDef};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sfi_serve_{name}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_fast_server() -> Server {
+    Server::start(ServeConfig::fast_for_tests()).expect("daemon starts")
+}
+
+/// A 2-cell median campaign straddling the failure transition.
+fn two_cell_def(sta: f64) -> CampaignDef {
+    let mut def = CampaignDef::new("loopback", 42);
+    let median = def.add_benchmark(BenchmarkDef::Median {
+        values: 21,
+        seed: 3,
+    });
+    for overscale in [0.95, 1.25] {
+        def.cells.push(CellDef {
+            benchmark: median,
+            model: FaultModel::StatisticalDta,
+            freq_mhz: sta * overscale,
+            vdd: 0.7,
+            noise_sigma_mv: 10.0,
+            budget: BudgetDef::fixed(6),
+        });
+    }
+    def
+}
+
+#[test]
+fn daemon_results_are_bit_identical_to_direct_engine_runs() {
+    let server = start_fast_server();
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    let info = client.ping().expect("pong");
+    assert_eq!(info.protocol, 1);
+    assert!(!info.characterization_cache_hit, "no cache configured");
+
+    let def = two_cell_def(info.sta_limit_mhz);
+    let ticket = client.submit(&def).expect("accepted");
+    assert_eq!(ticket.total_cells, 2);
+
+    // Stream the cells as they complete.
+    let mut streamed = Vec::new();
+    let state = client
+        .stream(ticket.job, |cell| {
+            streamed.push(checkpoint::cell_from_json(cell).expect("cell decodes"))
+        })
+        .expect("streams");
+    assert_eq!(state, "done");
+    assert_eq!(streamed.len(), 2);
+
+    // The same campaign, run directly on an engine with the same spec.
+    let study = CaseStudy::build(CaseStudyConfig::fast_for_tests());
+    let spec = def.instantiate().expect("instantiates");
+    let direct = CampaignEngine::new().run(&study, &spec);
+
+    streamed.sort_by_key(|cell| cell.cell);
+    for (served, local) in streamed.iter().zip(&direct.cells) {
+        assert_eq!(served.cell, local.cell);
+        assert_eq!(served.trials.len(), local.trials.len());
+        for (a, b) in served.trials.iter().zip(&local.trials) {
+            assert_eq!(a.finished, b.finished);
+            assert_eq!(a.correct, b.correct);
+            assert_eq!(a.output_error.to_bits(), b.output_error.to_bits());
+            assert_eq!(
+                a.fi_rate_per_kcycle.to_bits(),
+                b.fi_rate_per_kcycle.to_bits()
+            );
+            assert_eq!(a.cycles, b.cycles);
+        }
+    }
+
+    // The retained result document equals the direct engine's export.
+    let doc = client.result(ticket.job).expect("result");
+    assert_eq!(doc.to_string(), direct.to_json(&spec).to_string());
+
+    // Status agrees.
+    let status = client.status(ticket.job).expect("status");
+    assert_eq!(status.state, "done");
+    assert_eq!(status.completed_cells, 2);
+    assert_eq!(status.executed_trials, 12);
+
+    client.shutdown().expect("bye");
+    server.join();
+}
+
+#[test]
+fn poff_query_brackets_the_sta_limit() {
+    let server = start_fast_server();
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    let sta = client.ping().expect("pong").sta_limit_mhz;
+
+    // Model B is a hard threshold at the STA limit — the daemon's answer
+    // must bracket it to the requested resolution.
+    let reply = client
+        .poff(&PoffRequest {
+            benchmark: BenchmarkDef::Median {
+                values: 21,
+                seed: 3,
+            },
+            model: FaultModel::StaPeriodViolation,
+            vdd: 0.7,
+            noise_sigma_mv: 0.0,
+            lo_mhz: sta * 0.9,
+            hi_mhz: sta * 1.3,
+            resolution_mhz: sta * 0.01,
+            trials: 2,
+            seed: 9,
+        })
+        .expect("poff");
+    let poff = reply.poff_mhz.expect("fails above the STA limit");
+    assert!(
+        poff > sta && poff <= sta * 1.011,
+        "PoFF {poff:.1} MHz should bracket STA {sta:.1} MHz"
+    );
+    assert!(reply.cells_evaluated >= 3);
+    assert!(!reply.evaluated.is_empty());
+
+    // Uncharacterized voltages are rejected, not a daemon panic.
+    let err = client
+        .poff(&PoffRequest {
+            benchmark: BenchmarkDef::Median {
+                values: 21,
+                seed: 3,
+            },
+            model: FaultModel::StaPeriodViolation,
+            vdd: 0.95,
+            noise_sigma_mv: 0.0,
+            lo_mhz: 600.0,
+            hi_mhz: 900.0,
+            resolution_mhz: 10.0,
+            trials: 2,
+            seed: 9,
+        })
+        .expect_err("uncharacterized voltage");
+    assert!(matches!(err, sfi_serve::client::ClientError::Server(_)));
+
+    // The same guard applies to submitted campaigns: a cell whose model
+    // needs a characterization the daemon lacks is rejected at submit
+    // time with a clean error instead of failing the job at run time.
+    let mut def = two_cell_def(sta);
+    def.cells[0].vdd = 0.95;
+    let err = client.submit(&def).expect_err("uncharacterized cell vdd");
+    assert!(matches!(err, sfi_serve::client::ClientError::Server(_)));
+
+    server.shutdown();
+}
+
+#[test]
+fn jobs_can_be_cancelled() {
+    let server = start_fast_server();
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    let sta = client.ping().expect("pong").sta_limit_mhz;
+
+    // A long campaign: plenty of cells so cancellation lands mid-run.
+    let mut def = CampaignDef::new("cancelme", 1);
+    let median = def.add_benchmark(BenchmarkDef::Median {
+        values: 129,
+        seed: 3,
+    });
+    for i in 0..64 {
+        def.cells.push(CellDef {
+            benchmark: median,
+            model: FaultModel::StatisticalDta,
+            freq_mhz: sta * (0.9 + 0.01 * i as f64),
+            vdd: 0.7,
+            noise_sigma_mv: 10.0,
+            budget: BudgetDef::fixed(50),
+        });
+    }
+    let ticket = client.submit(&def).expect("accepted");
+    client.cancel(ticket.job).expect("cancels");
+    let status = client.wait(ticket.job).expect("terminal");
+    assert_eq!(status.state, "cancelled");
+    assert!(
+        status.completed_cells < 64,
+        "cancellation must cut the campaign short, got {} cells",
+        status.completed_cells
+    );
+
+    // Streaming a cancelled job terminates with the cancelled state.
+    let state = client.stream(ticket.job, |_| {}).expect("stream ends");
+    assert_eq!(state, "cancelled");
+
+    // A cancelled job retains no result document.
+    assert!(matches!(
+        client.result(ticket.job),
+        Err(sfi_serve::client::ClientError::Server(_))
+    ));
+
+    // Unknown jobs are server errors, not hangs.
+    assert!(matches!(
+        client.status(9999),
+        Err(sfi_serve::client::ClientError::Server(_))
+    ));
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_error_frames_and_the_connection_survives() {
+    let server = start_fast_server();
+    let stream = TcpStream::connect(server.local_addr()).expect("connects");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    let roundtrip = |writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str| {
+        use std::io::Write as _;
+        writer.write_all(line.as_bytes()).expect("writes");
+        writer.write_all(b"\n").expect("writes");
+        writer.flush().expect("flushes");
+        read_frame(reader)
+            .expect("io ok")
+            .expect("not eof")
+            .expect("server frames always parse")
+    };
+
+    // Not JSON at all.
+    let reply = roundtrip(&mut writer, &mut reader, "this is not json");
+    assert_eq!(reply.get("type").and_then(Json::as_str), Some("error"));
+
+    // Valid JSON, unknown request type.
+    let reply = roundtrip(&mut writer, &mut reader, "{\"type\":\"frobnicate\"}");
+    assert_eq!(reply.get("type").and_then(Json::as_str), Some("error"));
+
+    // Valid type, bad payload.
+    let reply = roundtrip(
+        &mut writer,
+        &mut reader,
+        "{\"type\":\"submit\",\"spec\":{\"name\":\"x\"}}",
+    );
+    assert_eq!(reply.get("type").and_then(Json::as_str), Some("error"));
+
+    // The connection is still usable for a real request.
+    write_frame(
+        &mut writer,
+        &Json::obj([("type", Json::Str("ping".into()))]),
+    )
+    .expect("writes");
+    let reply = read_frame(&mut reader).unwrap().unwrap().unwrap();
+    assert_eq!(reply.get("type").and_then(Json::as_str), Some("pong"));
+
+    server.shutdown();
+}
+
+#[test]
+fn warm_cache_restart_skips_the_dta_rebuild() {
+    let cache_dir = temp_dir("warmcache");
+    let config = ServeConfig {
+        cache_dir: Some(cache_dir.clone()),
+        ..ServeConfig::fast_for_tests()
+    };
+
+    // Cold start: computes and persists the characterization.
+    let first = Server::start(config.clone()).expect("cold start");
+    assert!(!first.cache_hit());
+    let mut client = Client::connect(first.local_addr()).expect("connects");
+    let cold_info = client.ping().expect("pong");
+    assert!(!cold_info.characterization_cache_hit);
+    client.shutdown().expect("bye");
+    first.join();
+
+    // Second daemon start with the same config: warm, and the physics is
+    // identical.
+    let second = Server::start(config).expect("warm start");
+    assert!(second.cache_hit(), "second start must hit the cache");
+    let mut client = Client::connect(second.local_addr()).expect("connects");
+    let warm_info = client.ping().expect("pong");
+    assert!(warm_info.characterization_cache_hit);
+    assert_eq!(warm_info.sta_limit_mhz, cold_info.sta_limit_mhz);
+    assert_eq!(warm_info.study_fingerprint, cold_info.study_fingerprint);
+
+    // Warm-served campaign results equal a cold direct run.
+    let def = two_cell_def(warm_info.sta_limit_mhz);
+    let ticket = client.submit(&def).expect("accepted");
+    let doc = {
+        let state = client.stream(ticket.job, |_| {}).expect("streams");
+        assert_eq!(state, "done");
+        client.result(ticket.job).expect("result")
+    };
+    let study = CaseStudy::build(CaseStudyConfig::fast_for_tests());
+    let spec = def.instantiate().expect("instantiates");
+    let direct = CampaignEngine::new().run(&study, &spec);
+    assert_eq!(doc.to_string(), direct.to_json(&spec).to_string());
+
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn shutdown_request_stops_the_daemon() {
+    let server = start_fast_server();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connects");
+    client.shutdown().expect("bye");
+    // join() returns because the accept loop and scheduler exited.
+    server.join();
+    // New connections are refused or die immediately — either way, no
+    // daemon is left behind serving pings.
+    if let Ok(mut late) = Client::connect(addr) {
+        assert!(late.ping().is_err(), "daemon must be gone after shutdown");
+    }
+}

@@ -82,6 +82,53 @@ pub struct TimingCharacterization {
 }
 
 impl TimingCharacterization {
+    /// Reassembles a characterization from its stored parts — the inverse
+    /// of walking [`TimingCharacterization::cdf`] /
+    /// [`TimingCharacterization::sta_endpoint_delay_ps`] over all
+    /// instructions and endpoints.  This is what the persistent
+    /// characterization cache uses to rebuild a [`TimingCharacterization`]
+    /// without re-running the gate-level DTA kernel.
+    ///
+    /// `cdfs` is indexed `[op.code()][endpoint]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is inconsistent: `cdfs` must have one entry per
+    /// [`AluOp::ALL`] member, every instruction must cover all `width`
+    /// endpoints, and `sta_endpoint_delays_ps` must have `width` entries.
+    pub fn from_parts(
+        vdd: f64,
+        width: usize,
+        cycles_per_op: usize,
+        cdfs: Vec<Vec<ErrorCdf>>,
+        sta_endpoint_delays_ps: Vec<f64>,
+    ) -> Self {
+        assert_eq!(
+            cdfs.len(),
+            AluOp::ALL.len(),
+            "expected one CDF row per ALU instruction"
+        );
+        for (code, row) in cdfs.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                width,
+                "instruction {code} must cover all {width} endpoints"
+            );
+        }
+        assert_eq!(
+            sta_endpoint_delays_ps.len(),
+            width,
+            "expected one STA delay per endpoint"
+        );
+        TimingCharacterization {
+            vdd,
+            width,
+            cycles_per_op,
+            cdfs,
+            sta_endpoint_delays_ps,
+        }
+    }
+
     /// Supply voltage the characterization was performed at.
     pub fn vdd(&self) -> f64 {
         self.vdd
@@ -391,6 +438,31 @@ mod tests {
         let full_worst = full.cdf(AluOp::Add, 15).max_delay_ps().unwrap();
         let narrow_worst = narrow.cdf(AluOp::Add, 15).max_delay_ps().unwrap();
         assert!(narrow_worst < full_worst);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let (_, ch) = characterize(8, 16);
+        let cdfs: Vec<Vec<ErrorCdf>> = AluOp::ALL
+            .iter()
+            .map(|&op| (0..8).map(|e| ch.cdf(op, e).clone()).collect())
+            .collect();
+        let delays: Vec<f64> = (0..8).map(|e| ch.sta_endpoint_delay_ps(e)).collect();
+        let rebuilt =
+            TimingCharacterization::from_parts(ch.vdd(), 8, ch.cycles_per_op(), cdfs, delays);
+        for op in AluOp::ALL {
+            for e in 0..8 {
+                assert_eq!(rebuilt.cdf(op, e), ch.cdf(op, e));
+            }
+        }
+        assert_eq!(rebuilt.sta_limit_mhz(), ch.sta_limit_mhz());
+        assert_eq!(rebuilt.cycles_per_op(), ch.cycles_per_op());
+    }
+
+    #[test]
+    #[should_panic(expected = "one CDF row per ALU instruction")]
+    fn from_parts_rejects_wrong_shape() {
+        TimingCharacterization::from_parts(0.7, 8, 16, vec![Vec::new(); 3], vec![0.0; 8]);
     }
 
     #[test]

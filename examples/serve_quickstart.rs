@@ -1,0 +1,124 @@
+//! Serve-mode quickstart: start a daemon in-process, query it like a
+//! remote client would, and shut it down.
+//!
+//! ```bash
+//! cargo run --release --example serve_quickstart
+//! ```
+//!
+//! The same flow works across processes with the `sfi-serve` and
+//! `sfi-client` binaries; this example keeps everything in one process so
+//! it is runnable anywhere.
+
+use sfi_core::json::Json;
+use sfi_core::FaultModel;
+use sfi_serve::client::Client;
+use sfi_serve::protocol::PoffRequest;
+use sfi_serve::server::{ServeConfig, Server};
+use sfi_serve::wire::{BenchmarkDef, BudgetDef, CampaignDef, CellDef};
+
+fn main() {
+    // 1. Start the daemon on an ephemeral loopback port.  With a cache
+    //    directory configured, a second start of the same configuration
+    //    would skip the gate-level DTA rebuild entirely.
+    let cache_dir = std::env::temp_dir().join("sfi-serve-quickstart-cache");
+    let server = Server::start(ServeConfig {
+        cache_dir: Some(cache_dir),
+        ..ServeConfig::fast_for_tests()
+    })
+    .expect("daemon starts");
+    println!("daemon listening on {}", server.local_addr());
+
+    // 2. Connect and introspect.
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    let info = client.ping().expect("pong");
+    println!(
+        "STA limit {:.1} MHz @ {} V; characterization {}",
+        info.sta_limit_mhz,
+        info.nominal_vdd,
+        if info.characterization_cache_hit {
+            "restored from cache"
+        } else {
+            "computed (cache now warm)"
+        }
+    );
+
+    // 3. Submit a small campaign: the median kernel at three over-scaled
+    //    frequencies under the statistical DTA model.
+    let mut def = CampaignDef::new("quickstart", 7);
+    let median = def.add_benchmark(BenchmarkDef::Median {
+        values: 21,
+        seed: 3,
+    });
+    for overscale in [0.95, 1.1, 1.25] {
+        def.cells.push(CellDef {
+            benchmark: median,
+            model: FaultModel::StatisticalDta,
+            freq_mhz: info.sta_limit_mhz * overscale,
+            vdd: info.nominal_vdd,
+            noise_sigma_mv: 10.0,
+            budget: BudgetDef::fixed(10),
+        });
+    }
+    let ticket = client.submit(&def).expect("accepted");
+    println!(
+        "job {} submitted ({} cells)",
+        ticket.job, ticket.total_cells
+    );
+
+    // 4. Stream per-cell results as the engine finishes them.
+    let state = client
+        .stream(ticket.job, |cell| {
+            let index = cell.get("cell").and_then(Json::as_u64).unwrap_or(0);
+            let trials = cell
+                .get("trials")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len)
+                .unwrap_or(0);
+            let correct = cell
+                .get("trials")
+                .and_then(Json::as_arr)
+                .map(|trials| {
+                    trials
+                        .iter()
+                        .filter(|t| {
+                            t.as_arr().and_then(|f| f.get(1)).and_then(Json::as_bool) == Some(true)
+                        })
+                        .count()
+                })
+                .unwrap_or(0);
+            println!("  cell {index}: {correct}/{trials} correct");
+        })
+        .expect("streams");
+    println!("job finished: {state}");
+
+    // 5. One-shot PoFF bisection query — "at what frequency does the
+    //    median kernel start failing?"
+    let reply = client
+        .poff(&PoffRequest {
+            benchmark: BenchmarkDef::Median {
+                values: 21,
+                seed: 3,
+            },
+            model: FaultModel::StatisticalDta,
+            vdd: info.nominal_vdd,
+            noise_sigma_mv: 10.0,
+            lo_mhz: info.sta_limit_mhz * 0.9,
+            hi_mhz: info.sta_limit_mhz * 1.4,
+            resolution_mhz: info.sta_limit_mhz * 0.02,
+            trials: 10,
+            seed: 11,
+        })
+        .expect("poff");
+    match reply.poff_mhz {
+        Some(freq) => println!(
+            "PoFF: {:.1} MHz ({} cells evaluated instead of a full grid)",
+            freq, reply.cells_evaluated
+        ),
+        None => println!("no failure found in the searched range"),
+    }
+
+    // 6. Graceful shutdown: the daemon flushes its state and exits.
+    client.shutdown().expect("bye");
+    server.join();
+    println!("daemon shut down cleanly");
+}

@@ -402,6 +402,80 @@ fn worker_panic_aborts_instead_of_hanging() {
 }
 
 #[test]
+fn progress_hook_sees_every_cell_exactly_once() {
+    use std::sync::{Arc, Mutex};
+
+    let study = fast_study();
+    let spec = transition_spec(&study, 4);
+    let path = std::env::temp_dir().join(format!(
+        "sfi_campaign_hook_{}_{:?}.json",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = seen.clone();
+    let engine = CampaignEngine::new()
+        .with_threads(4)
+        .with_checkpoint(&path)
+        .with_progress(Arc::new(move |cell: &sfi_campaign::CellResult| {
+            sink.lock().unwrap().push(cell.cell);
+        }));
+    let first = engine.run(&study, &spec);
+    assert!(!first.cancelled);
+    let mut order = std::mem::take(&mut *seen.lock().unwrap());
+    order.sort_unstable();
+    assert_eq!(order, vec![0, 1, 2, 3], "each simulated cell streams once");
+
+    // On resume the restored cells are announced up front, again exactly
+    // once each.
+    let second = engine.run(&study, &spec);
+    assert_eq!(second.metrics.executed_trials, 0);
+    let mut order = std::mem::take(&mut *seen.lock().unwrap());
+    order.sort_unstable();
+    assert_eq!(order, vec![0, 1, 2, 3], "restored cells stream once");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn raised_cancel_flag_stops_the_campaign_early() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let study = fast_study();
+    let sta = study.sta_limit_mhz(0.7);
+    let mut spec = CampaignSpec::new("cancel", 11);
+    let median = spec.add_benchmark(MedianBenchmark::new(21, 3));
+    spec.add_cell(CellSpec {
+        benchmark: median,
+        model: FaultModel::StatisticalDta,
+        point: OperatingPoint::new(sta * 1.1, 0.7),
+        budget: TrialBudget::fixed(64),
+    });
+
+    // A flag raised before the run starts cancels everything.
+    let flag = Arc::new(AtomicBool::new(true));
+    let result = CampaignEngine::new()
+        .with_threads(2)
+        .with_cancel(flag.clone())
+        .run(&study, &spec);
+    assert!(result.cancelled);
+    assert_eq!(result.metrics.executed_trials, 0);
+    assert_eq!(result.cells.len(), 1, "cells stay index-aligned");
+    assert!(result.cells[0].trials.is_empty());
+
+    // An unraised flag changes nothing.
+    flag.store(false, Ordering::SeqCst);
+    let full = CampaignEngine::new()
+        .with_threads(2)
+        .with_cancel(flag)
+        .run(&study, &spec);
+    assert!(!full.cancelled);
+    assert_eq!(full.cells[0].trials.len(), 64);
+}
+
+#[test]
 fn zero_cell_campaign_completes() {
     let study = fast_study();
     let spec = CampaignSpec::new("empty", 0);
