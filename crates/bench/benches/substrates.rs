@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfi_cpu::{Core, RunConfig};
-use sfi_kernels::{median::MedianBenchmark, Benchmark};
+use sfi_kernels::{crc32::Crc32Benchmark, median::MedianBenchmark, Benchmark};
 use sfi_netlist::alu::{AluDatapath, AluOp};
 use sfi_netlist::{DelayModel, VoltageScaling};
 use sfi_timing::{DynamicTimingAnalysis, StaticTimingAnalysis};
@@ -39,6 +39,14 @@ fn bench_sta(c: &mut Criterion) {
 fn bench_iss(c: &mut Criterion) {
     let bench = MedianBenchmark::new(21, 1);
     c.bench_function("iss_median_21_fault_free", |b| {
+        b.iter(|| {
+            let mut core = Core::new(bench.program().clone(), bench.dmem_words());
+            bench.initialize(core.memory_mut());
+            core.run(&RunConfig::default())
+        })
+    });
+    let bench = Crc32Benchmark::new(128, 1);
+    c.bench_function("iss_crc32_128_fault_free", |b| {
         b.iter(|| {
             let mut core = Core::new(bench.program().clone(), bench.dmem_words());
             bench.initialize(core.memory_mut());

@@ -10,18 +10,23 @@ use sfi_campaign::{CampaignSpec, CellSpec, TrialBudget};
 use sfi_core::experiment::FaultModel;
 use sfi_cpu::{Core, RunConfig};
 use sfi_fault::OperatingPoint;
-use sfi_kernels::paper_suite;
+use sfi_kernels::{extended_suite, paper_suite};
 
 fn main() {
     let args = ExperimentArgs::from_env();
     print_header("Table 1: benchmark properties", &args);
     let study = args.build_study();
 
+    let suite = if args.extended {
+        extended_suite(1)
+    } else {
+        paper_suite(1)
+    };
     let mut spec = CampaignSpec::new("table1", 1);
     // Fault-free golden runs: the operating point is irrelevant, one trial
     // per benchmark suffices (the golden run is deterministic).
     let point = OperatingPoint::new(study.sta_limit_mhz(0.7), 0.7);
-    for bench in paper_suite(1) {
+    for bench in suite {
         let b = spec.add_shared_benchmark(bench.into());
         spec.add_cell(CellSpec {
             benchmark: b,

@@ -28,6 +28,10 @@ pub struct ExperimentArgs {
     pub points: usize,
     /// Whether to use the scaled-down case study.
     pub fast: bool,
+    /// Whether to cover the extended workload zoo (FFT, FIR, CRC32,
+    /// bitonic sort) in addition to the paper suite, where the binary
+    /// supports it.
+    pub extended: bool,
     /// Campaign worker threads (`None` = all CPUs).
     pub threads: Option<usize>,
     /// Campaign checkpoint file, if any.
@@ -40,6 +44,7 @@ impl Default for ExperimentArgs {
             trials: 20,
             points: 12,
             fast: false,
+            extended: false,
             threads: None,
             checkpoint: None,
         }
@@ -53,6 +58,7 @@ options:
   --trials N        Monte-Carlo trials per data point
   --points N        frequency points per sweep
   --fast            scaled-down 8-bit case study instead of the paper 32-bit one
+  --extended        cover the extended workload zoo (FFT, FIR, CRC32, bitonic)
   --threads N       campaign worker threads (0 = all CPUs)
   --checkpoint FILE stream completed cells to FILE and resume from it
   --help            print this help
@@ -119,6 +125,7 @@ impl ExperimentArgs {
                 }
                 "--checkpoint" => args.checkpoint = Some(value(&mut i, "--checkpoint")?),
                 "--fast" => args.fast = true,
+                "--extended" => args.extended = true,
                 other => return Err(format!("unknown flag '{other}'")),
             }
             i += 1;
@@ -213,6 +220,7 @@ mod tests {
             "--points",
             "8",
             "--fast",
+            "--extended",
             "--threads",
             "4",
             "--checkpoint",
@@ -222,6 +230,7 @@ mod tests {
         assert_eq!(args.trials, 50);
         assert_eq!(args.points, 8);
         assert!(args.fast);
+        assert!(args.extended);
         assert_eq!(args.threads, Some(4));
         assert_eq!(args.checkpoint.as_deref(), Some("out.json"));
     }

@@ -51,9 +51,15 @@ impl PoffSearch {
     }
 
     /// Number of cells an equivalent fixed grid would evaluate for the
-    /// same resolution over the same range.
+    /// same resolution over the same range, saturating at `usize::MAX`.
+    ///
+    /// A huge range over a tiny resolution can exceed what `usize` holds;
+    /// the float-to-int cast saturates (and maps NaN to zero), but the
+    /// `+ 1` for the inclusive upper endpoint must then saturate too
+    /// instead of wrapping past zero.
     pub fn grid_equivalent_cells(&self) -> usize {
-        ((self.hi_mhz - self.lo_mhz) / self.resolution_mhz).ceil() as usize + 1
+        let steps = ((self.hi_mhz - self.lo_mhz) / self.resolution_mhz).ceil();
+        (steps as usize).saturating_add(1)
     }
 }
 
@@ -144,5 +150,42 @@ pub fn adaptive_poff(
         poff_mhz,
         evaluated,
         cells_evaluated: ordinal as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_equivalent_cells_counts_inclusive_endpoints() {
+        let search = PoffSearch::new(600.0, 900.0, 10.0, 5);
+        assert_eq!(search.grid_equivalent_cells(), 31);
+        // A range that is not a multiple of the resolution rounds up.
+        let search = PoffSearch::new(600.0, 905.0, 10.0, 5);
+        assert_eq!(search.grid_equivalent_cells(), 32);
+    }
+
+    #[test]
+    fn grid_equivalent_cells_saturates_instead_of_overflowing() {
+        // A huge range over a tiny resolution: ~1e312 grid points cannot
+        // be represented; the count must clamp, not wrap.
+        let search = PoffSearch::new(0.0, f64::MAX, 1e-4, 1);
+        assert_eq!(search.grid_equivalent_cells(), usize::MAX);
+        // Just past the usize boundary the `+ 1` alone would wrap to 0.
+        let search = PoffSearch::new(0.0, usize::MAX as f64, 1.0, 1);
+        assert_eq!(search.grid_equivalent_cells(), usize::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_range_panics() {
+        PoffSearch::new(900.0, 600.0, 10.0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn non_positive_resolution_panics() {
+        PoffSearch::new(600.0, 900.0, 0.0, 5);
     }
 }

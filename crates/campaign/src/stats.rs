@@ -142,9 +142,14 @@ impl CellStats {
         self.cycles.push(trial.cycles as f64);
         if trial.finished {
             self.finished += 1;
-            // The paper reports the output error of the runs that survived;
-            // crashed runs carry NaN and are excluded by construction.
-            self.output_error.push(trial.output_error);
+            // The paper reports the output error of the runs that survived.
+            // Crashed runs carry NaN, and so do finished runs whose output
+            // region was unreadable (`Benchmark::try_output_error` returned
+            // `None`); both are "machine state corrupt", not a measurable
+            // output quality, so neither may poison the accumulator.
+            if !trial.output_error.is_nan() {
+                self.output_error.push(trial.output_error);
+            }
         }
         if trial.correct {
             self.correct += 1;
@@ -216,13 +221,14 @@ impl CellStats {
         self.cycles.mean()
     }
 
-    /// Mean output error over the finished trials, or `None` when no trial
-    /// finished.
+    /// Mean output error over the finished trials with a readable output,
+    /// or `None` when there were none.
     pub fn mean_output_error(&self) -> Option<f64> {
         self.output_error.mean()
     }
 
-    /// The Welford accumulator of the output error of finished trials.
+    /// The Welford accumulator of the output error of finished trials
+    /// with a readable output.
     pub fn output_error_stats(&self) -> &Welford {
         &self.output_error
     }
@@ -333,6 +339,21 @@ mod tests {
         assert!((stats.finished_fraction() - 2.0 / 3.0).abs() < 1e-12);
         assert!((stats.correct_fraction() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(stats.mean_output_error(), Some(0.25));
+    }
+
+    #[test]
+    fn finished_trial_with_unreadable_output_does_not_poison_the_mean() {
+        // A user kernel whose output region became unreadable reports a
+        // finished trial with `output_error = NaN`; it counts towards the
+        // finished fraction but not towards the output-error mean.
+        let stats = CellStats::from_trials(&[
+            trial(true, true, 0.0),
+            trial(true, false, f64::NAN),
+            trial(true, false, 0.5),
+        ]);
+        assert_eq!(stats.finished(), 3);
+        assert_eq!(stats.mean_output_error(), Some(0.25), "NaN excluded");
+        assert_eq!(stats.output_error_stats().count(), 2);
     }
 
     #[test]

@@ -69,14 +69,25 @@ impl ExperimentSummary {
         self.checked_mean_output_error().unwrap_or(f64::NAN)
     }
 
-    /// Mean output error over the finished trials, or `None` when no trial
-    /// finished (including the zero-trial summary).
+    /// Mean output error over the finished trials with a readable output,
+    /// or `None` when there were none (including the zero-trial summary).
+    ///
+    /// A finished trial can still carry `output_error = NaN` when the
+    /// benchmark's output region was unreadable
+    /// (`Benchmark::try_output_error` returned `None`); such trials are
+    /// machine-state corruption, not a measurable quality, and are
+    /// excluded like crashed runs.
     pub fn checked_mean_output_error(&self) -> Option<f64> {
-        let finished: Vec<&TrialResult> = self.trials.iter().filter(|t| t.finished).collect();
-        if finished.is_empty() {
+        let measured: Vec<f64> = self
+            .trials
+            .iter()
+            .filter(|t| t.finished && !t.output_error.is_nan())
+            .map(|t| t.output_error)
+            .collect();
+        if measured.is_empty() {
             return None;
         }
-        Some(finished.iter().map(|t| t.output_error).sum::<f64>() / finished.len() as f64)
+        Some(measured.iter().sum::<f64>() / measured.len() as f64)
     }
 
     /// Mean cycle count over all trials.
@@ -518,6 +529,23 @@ mod tests {
         };
         assert_eq!(crashed.checked_mean_output_error(), None);
         assert!(crashed.mean_output_error().is_nan());
+        // A *finished* trial with an unreadable output (NaN) is excluded
+        // from the mean rather than poisoning it.
+        let unreadable = |err: f64| TrialResult {
+            finished: true,
+            correct: false,
+            output_error: err,
+            fi_rate_per_kcycle: 1.0,
+            cycles: 10,
+        };
+        let mixed = ExperimentSummary {
+            trials: vec![unreadable(f64::NAN), unreadable(0.5)],
+        };
+        assert_eq!(mixed.checked_mean_output_error(), Some(0.5));
+        let all_unreadable = ExperimentSummary {
+            trials: vec![unreadable(f64::NAN)],
+        };
+        assert_eq!(all_unreadable.checked_mean_output_error(), None);
     }
 
     #[test]

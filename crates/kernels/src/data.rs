@@ -63,6 +63,28 @@ pub fn random_points(count: usize, clusters: usize, bound: u32, seed: u64) -> Ve
         .collect()
 }
 
+/// Generates `count` uniformly random signed values in
+/// `-magnitude..magnitude` from a seeded generator (fixed-point signal
+/// workloads such as the FFT).
+///
+/// # Panics
+///
+/// Panics if `magnitude` is zero.
+pub fn random_signed_values(count: usize, magnitude: i32, seed: u64) -> Vec<i32> {
+    assert!(magnitude > 0, "magnitude must be non-zero");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| rng.gen_range(-magnitude..magnitude))
+        .collect()
+}
+
+/// Generates `count` random 32-bit words over the full `u32` domain from a
+/// seeded generator (bit-pattern workloads such as CRC32).
+pub fn random_words(count: usize, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count).map(|_| rng.gen::<u32>()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +133,33 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_bound_panics() {
         random_values(10, 0, 0);
+    }
+
+    #[test]
+    fn signed_values_are_reproducible_and_bounded() {
+        let a = random_signed_values(200, 128, 11);
+        let b = random_signed_values(200, 128, 11);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (-128..128).contains(&v)));
+        assert!(a.iter().any(|&v| v < 0), "both signs occur");
+        assert!(a.iter().any(|&v| v > 0), "both signs occur");
+    }
+
+    #[test]
+    fn words_cover_the_full_domain() {
+        let a = random_words(64, 5);
+        let b = random_words(64, 5);
+        assert_eq!(a, b);
+        assert_ne!(a, random_words(64, 6));
+        assert!(
+            a.iter().any(|&w| w > u32::MAX / 2),
+            "full 32-bit range is exercised"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_magnitude_panics() {
+        random_signed_values(4, 0, 0);
     }
 }

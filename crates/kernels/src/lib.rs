@@ -10,6 +10,16 @@
 //! | [`kmeans::KMeansBenchmark`] | data mining | + | + | 8 points (2-D) | cluster membership mismatch |
 //! | [`dijkstra::DijkstraBenchmark`] | graph search | – | ++ | 10 nodes | mismatch in min. distance |
 //!
+//! The extended workload zoo adds four kernels with compute/control mixes
+//! the paper suite does not cover (see [`extended_suite`]):
+//!
+//! | benchmark | type | compute | control | size | output error metric |
+//! |---|---|---|---|---|---|
+//! | [`fft::FftBenchmark`] | signal processing | ++ | + | 64-pt complex, Q14 | noise-to-signal energy ratio |
+//! | [`fir::FirBenchmark`] | filtering | ++ | – | 16 taps × 64 outputs | mean squared error |
+//! | [`crc32::Crc32Benchmark`] | coding | – | ++ | 128 words | exact match |
+//! | [`bitonic::BitonicSortBenchmark`] | sorting network | + | + | 64 values | normalized inversion count |
+//!
 //! Every benchmark provides the program (written against `sfi-isa`), the
 //! input data it loads into the ISS data memory, a golden reference
 //! computed in Rust, and its output-quality metric.
@@ -31,8 +41,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitonic;
+pub mod crc32;
 pub mod data;
 pub mod dijkstra;
+pub mod fft;
+pub mod fir;
 pub mod kmeans;
 pub mod matmul;
 pub mod median;
@@ -60,10 +74,25 @@ pub trait Benchmark {
     /// Writes the input data into the data memory.
     fn initialize(&self, memory: &mut Memory);
 
+    /// The kernel-specific output error of a completed run, or `None` when
+    /// the output region itself cannot be read back (out-of-range or
+    /// misaligned — machine state corrupt rather than a wrong value).
+    ///
+    /// `Some(0.0)` means the output is exactly correct; larger values mean
+    /// worse quality on a metric-specific scale (see
+    /// [`Benchmark::error_metric`]).
+    fn try_output_error(&self, memory: &Memory) -> Option<f64>;
+
     /// The kernel-specific output error of a completed run; `0.0` means the
     /// output is exactly correct.  Larger values mean worse quality; the
     /// scale is metric-specific (see [`Benchmark::error_metric`]).
-    fn output_error(&self, memory: &Memory) -> f64;
+    ///
+    /// An unreadable output region reports `NaN` — the same marker crashed
+    /// runs carry — so "machine state corrupt" is never conflated with a
+    /// wrong but bounded output value.
+    fn output_error(&self, memory: &Memory) -> f64 {
+        self.try_output_error(memory).unwrap_or(f64::NAN)
+    }
 
     /// Human-readable name of the output error metric.
     fn error_metric(&self) -> &'static str;
@@ -96,6 +125,18 @@ pub fn paper_suite(seed: u64) -> Vec<Box<dyn Benchmark + Send + Sync>> {
     ]
 }
 
+/// The extended workload zoo: the paper suite plus the four kernels with
+/// compute/control mixes the paper does not cover (FFT, FIR, CRC32 and the
+/// bitonic sorting network) at their default sizes.
+pub fn extended_suite(seed: u64) -> Vec<Box<dyn Benchmark + Send + Sync>> {
+    let mut suite = paper_suite(seed);
+    suite.push(Box::new(fft::FftBenchmark::new(64, seed)));
+    suite.push(Box::new(fir::FirBenchmark::new(16, 64, seed)));
+    suite.push(Box::new(crc32::Crc32Benchmark::new(128, seed)));
+    suite.push(Box::new(bitonic::BitonicSortBenchmark::new(64, seed)));
+    suite
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +151,20 @@ mod tests {
         assert!(names.contains(&"mat_mult_16bit"));
         assert!(names.contains(&"kmeans"));
         assert!(names.contains(&"dijkstra"));
+    }
+
+    #[test]
+    fn extended_suite_adds_the_zoo_kernels() {
+        let suite = extended_suite(3);
+        assert_eq!(suite.len(), 9);
+        let names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
+        for name in ["fft", "fir", "crc32", "bitonic_sort"] {
+            assert!(names.contains(&name), "missing {name}");
+        }
+        // Names are unique: campaign tooling keys streams off them.
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len());
     }
 }

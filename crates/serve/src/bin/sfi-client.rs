@@ -22,7 +22,8 @@ commands:
   result JOB            print a finished job's full result document
   cancel JOB            cancel a queued or running job
   poff KERNEL LO HI     bisect the point of first failure of a builtin kernel
-                        (KERNEL: median | matmul8 | matmul16 | kmeans | dijkstra)
+                        (KERNEL: median | matmul8 | matmul16 | kmeans | dijkstra
+                                 | fft | fir | crc32 | bitonic)
       [--vdd V] [--noise MV] [--resolution MHZ] [--trials N] [--seed S] [--model b|b+|c]
   shutdown              stop the daemon gracefully
 
@@ -68,7 +69,21 @@ fn builtin_kernel(name: &str) -> BenchmarkDef {
             seed: 3,
         },
         "dijkstra" => BenchmarkDef::Dijkstra { nodes: 10, seed: 3 },
-        other => usage_fail(format!("unknown kernel '{other}'")),
+        "fft" => BenchmarkDef::Fft { n: 64, seed: 3 },
+        "fir" => BenchmarkDef::Fir {
+            taps: 16,
+            outputs: 64,
+            seed: 3,
+        },
+        "crc32" => BenchmarkDef::Crc32 {
+            words: 128,
+            seed: 3,
+        },
+        "bitonic" => BenchmarkDef::Bitonic { n: 64, seed: 3 },
+        other => usage_fail(format!(
+            "unknown kernel '{other}' (supported: median, matmul8, matmul16, \
+             kmeans, dijkstra, fft, fir, crc32, bitonic)"
+        )),
     }
 }
 

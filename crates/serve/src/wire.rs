@@ -17,7 +17,11 @@ use sfi_campaign::{CampaignSpec, CellSpec, StopMetric, StopRule, TrialBudget};
 use sfi_core::json::Json;
 use sfi_core::FaultModel;
 use sfi_fault::OperatingPoint;
+use sfi_kernels::bitonic::BitonicSortBenchmark;
+use sfi_kernels::crc32::Crc32Benchmark;
 use sfi_kernels::dijkstra::DijkstraBenchmark;
+use sfi_kernels::fft::FftBenchmark;
+use sfi_kernels::fir::FirBenchmark;
 use sfi_kernels::kmeans::KMeansBenchmark;
 use sfi_kernels::matmul::{ElementWidth, MatrixMultiplyBenchmark};
 use sfi_kernels::median::MedianBenchmark;
@@ -125,6 +129,153 @@ pub enum BenchmarkDef {
         /// Input-data seed.
         seed: u64,
     },
+    /// [`FftBenchmark`]: radix-2 fixed-point FFT.
+    Fft {
+        /// Transform size (a power of two in 4..=128).
+        n: usize,
+        /// Input-data seed.
+        seed: u64,
+    },
+    /// [`FirBenchmark`]: direct-form FIR filter.
+    Fir {
+        /// Number of filter taps.
+        taps: usize,
+        /// Number of output samples.
+        outputs: usize,
+        /// Input-data seed.
+        seed: u64,
+    },
+    /// [`Crc32Benchmark`]: bitwise CRC-32 over a word stream.
+    Crc32 {
+        /// Number of 32-bit message words.
+        words: usize,
+        /// Input-data seed.
+        seed: u64,
+    },
+    /// [`BitonicSortBenchmark`]: bitonic sorting network.
+    Bitonic {
+        /// Number of values (a power of two in 4..=256).
+        n: usize,
+        /// Input-data seed.
+        seed: u64,
+    },
+}
+
+/// One entry of the benchmark-recipe registry: a wire kind name and the
+/// decoder turning `(wire object, seed)` into a validated definition.
+///
+/// Adding a kernel kind means adding one row here (plus the enum variant
+/// and its `to_json`/`instantiate` arms); lookup, the "unknown kind"
+/// diagnostics and [`supported_kinds`] all derive from the table.
+struct KindRecipe {
+    kind: &'static str,
+    decode: fn(&Json, u64) -> Result<BenchmarkDef, WireError>,
+}
+
+/// The registry of benchmark recipes, in the alphabetical order the
+/// "unknown kind" error message quotes.  The bounds in the decoders mirror
+/// the kernel constructors' own panics (odd median sizes, power-of-two
+/// FFT/bitonic sizes, 2..=32 Dijkstra nodes, k <= n for k-means…), so a
+/// decoded definition always instantiates without panicking the daemon.
+const KIND_RECIPES: &[KindRecipe] = &[
+    KindRecipe {
+        kind: "bitonic",
+        decode: |value, seed| {
+            let n = get_usize(value, "n", 256)?;
+            if n < 4 || !n.is_power_of_two() {
+                return err(format!("'n' must be a power of two in 4..=256, got {n}"));
+            }
+            Ok(BenchmarkDef::Bitonic { n, seed })
+        },
+    },
+    KindRecipe {
+        kind: "crc32",
+        decode: |value, seed| {
+            Ok(BenchmarkDef::Crc32 {
+                words: get_usize(value, "words", 1024)?,
+                seed,
+            })
+        },
+    },
+    KindRecipe {
+        kind: "dijkstra",
+        decode: |value, seed| {
+            let nodes = get_usize(value, "nodes", 32)?;
+            if nodes < 2 {
+                return err(format!("'nodes' must be in 2..=32, got {nodes}"));
+            }
+            Ok(BenchmarkDef::Dijkstra { nodes, seed })
+        },
+    },
+    KindRecipe {
+        kind: "fft",
+        decode: |value, seed| {
+            let n = get_usize(value, "n", 128)?;
+            if n < 4 || !n.is_power_of_two() {
+                return err(format!("'n' must be a power of two in 4..=128, got {n}"));
+            }
+            Ok(BenchmarkDef::Fft { n, seed })
+        },
+    },
+    KindRecipe {
+        kind: "fir",
+        decode: |value, seed| {
+            Ok(BenchmarkDef::Fir {
+                taps: get_usize(value, "taps", 64)?,
+                outputs: get_usize(value, "outputs", 1024)?,
+                seed,
+            })
+        },
+    },
+    KindRecipe {
+        kind: "kmeans",
+        decode: |value, seed| {
+            let points = get_usize(value, "points", MAX_KERNEL_SIZE)?;
+            let clusters = get_usize(value, "clusters", 64)?;
+            if clusters > points {
+                return err(format!(
+                    "'clusters' ({clusters}) must not exceed 'points' ({points})"
+                ));
+            }
+            Ok(BenchmarkDef::KMeans {
+                points,
+                clusters,
+                iterations: get_usize(value, "iterations", 256)?,
+                seed,
+            })
+        },
+    },
+    KindRecipe {
+        kind: "matmul",
+        decode: |value, seed| {
+            let element_bits = get_u64(value, "element_bits")?;
+            if element_bits != 8 && element_bits != 16 {
+                return err(format!(
+                    "'element_bits' must be 8 or 16, got {element_bits}"
+                ));
+            }
+            Ok(BenchmarkDef::MatMul {
+                n: get_usize(value, "n", 64)?,
+                element_bits: element_bits as u8,
+                seed,
+            })
+        },
+    },
+    KindRecipe {
+        kind: "median",
+        decode: |value, seed| {
+            let values = get_usize(value, "values", MAX_KERNEL_SIZE)?;
+            if values < 3 || values % 2 == 0 {
+                return err(format!("'values' must be an odd number >= 3, got {values}"));
+            }
+            Ok(BenchmarkDef::Median { values, seed })
+        },
+    },
+];
+
+/// Every benchmark kind the wire protocol can instantiate, alphabetical.
+pub fn supported_kinds() -> Vec<&'static str> {
+    KIND_RECIPES.iter().map(|r| r.kind).collect()
 }
 
 impl BenchmarkDef {
@@ -163,61 +314,44 @@ impl BenchmarkDef {
                 ("nodes", Json::Num(nodes as f64)),
                 ("seed", Json::Str(seed.to_string())),
             ]),
+            BenchmarkDef::Fft { n, seed } => Json::obj([
+                ("kind", Json::Str("fft".into())),
+                ("n", Json::Num(n as f64)),
+                ("seed", Json::Str(seed.to_string())),
+            ]),
+            BenchmarkDef::Fir {
+                taps,
+                outputs,
+                seed,
+            } => Json::obj([
+                ("kind", Json::Str("fir".into())),
+                ("taps", Json::Num(taps as f64)),
+                ("outputs", Json::Num(outputs as f64)),
+                ("seed", Json::Str(seed.to_string())),
+            ]),
+            BenchmarkDef::Crc32 { words, seed } => Json::obj([
+                ("kind", Json::Str("crc32".into())),
+                ("words", Json::Num(words as f64)),
+                ("seed", Json::Str(seed.to_string())),
+            ]),
+            BenchmarkDef::Bitonic { n, seed } => Json::obj([
+                ("kind", Json::Str("bitonic".into())),
+                ("n", Json::Num(n as f64)),
+                ("seed", Json::Str(seed.to_string())),
+            ]),
         }
     }
 
-    /// Decodes from the wire object.
+    /// Decodes from the wire object via the kind registry.
     pub fn from_json(value: &Json) -> Result<Self, WireError> {
         let kind = get_str(value, "kind")?;
         let seed = get_u64(value, "seed")?;
-        // The bounds here mirror the kernel constructors' own panics (odd
-        // median sizes, 2..=32 Dijkstra nodes, k <= n for k-means, 1..=64
-        // matrix orders), so a decoded definition always instantiates
-        // without panicking the daemon.
-        match kind {
-            "median" => {
-                let values = get_usize(value, "values", MAX_KERNEL_SIZE)?;
-                if values < 3 || values % 2 == 0 {
-                    return err(format!("'values' must be an odd number >= 3, got {values}"));
-                }
-                Ok(BenchmarkDef::Median { values, seed })
-            }
-            "matmul" => {
-                let element_bits = get_u64(value, "element_bits")?;
-                if element_bits != 8 && element_bits != 16 {
-                    return err(format!(
-                        "'element_bits' must be 8 or 16, got {element_bits}"
-                    ));
-                }
-                Ok(BenchmarkDef::MatMul {
-                    n: get_usize(value, "n", 64)?,
-                    element_bits: element_bits as u8,
-                    seed,
-                })
-            }
-            "kmeans" => {
-                let points = get_usize(value, "points", MAX_KERNEL_SIZE)?;
-                let clusters = get_usize(value, "clusters", 64)?;
-                if clusters > points {
-                    return err(format!(
-                        "'clusters' ({clusters}) must not exceed 'points' ({points})"
-                    ));
-                }
-                Ok(BenchmarkDef::KMeans {
-                    points,
-                    clusters,
-                    iterations: get_usize(value, "iterations", 256)?,
-                    seed,
-                })
-            }
-            "dijkstra" => {
-                let nodes = get_usize(value, "nodes", 32)?;
-                if nodes < 2 {
-                    return err(format!("'nodes' must be in 2..=32, got {nodes}"));
-                }
-                Ok(BenchmarkDef::Dijkstra { nodes, seed })
-            }
-            other => err(format!("unknown benchmark kind '{other}'")),
+        match KIND_RECIPES.iter().find(|r| r.kind == kind) {
+            Some(recipe) => (recipe.decode)(value, seed),
+            None => err(format!(
+                "unknown benchmark kind '{kind}' (supported: {})",
+                supported_kinds().join(", ")
+            )),
         }
     }
 
@@ -247,6 +381,18 @@ impl BenchmarkDef {
             } => std::sync::Arc::new(KMeansBenchmark::new(points, clusters, iterations, seed)),
             BenchmarkDef::Dijkstra { nodes, seed } => {
                 std::sync::Arc::new(DijkstraBenchmark::new(nodes, seed))
+            }
+            BenchmarkDef::Fft { n, seed } => std::sync::Arc::new(FftBenchmark::new(n, seed)),
+            BenchmarkDef::Fir {
+                taps,
+                outputs,
+                seed,
+            } => std::sync::Arc::new(FirBenchmark::new(taps, outputs, seed)),
+            BenchmarkDef::Crc32 { words, seed } => {
+                std::sync::Arc::new(Crc32Benchmark::new(words, seed))
+            }
+            BenchmarkDef::Bitonic { n, seed } => {
+                std::sync::Arc::new(BitonicSortBenchmark::new(n, seed))
             }
         }
     }
@@ -699,6 +845,13 @@ mod tests {
             r#"{"kind":"dijkstra","nodes":100,"seed":"1"}"#,
             r#"{"kind":"kmeans","points":2,"clusters":5,"iterations":3,"seed":"1"}"#,
             r#"{"kind":"matmul","n":65,"element_bits":8,"seed":"1"}"#,
+            r#"{"kind":"fft","n":24,"seed":"1"}"#,
+            r#"{"kind":"fft","n":256,"seed":"1"}"#,
+            r#"{"kind":"fir","taps":0,"outputs":8,"seed":"1"}"#,
+            r#"{"kind":"fir","taps":4,"outputs":100000,"seed":"1"}"#,
+            r#"{"kind":"crc32","words":0,"seed":"1"}"#,
+            r#"{"kind":"bitonic","n":12,"seed":"1"}"#,
+            r#"{"kind":"bitonic","n":2,"seed":"1"}"#,
         ] {
             let doc = Json::parse(bad).expect("valid JSON");
             assert!(BenchmarkDef::from_json(&doc).is_err(), "{bad} should fail");
@@ -714,10 +867,82 @@ mod tests {
                 iterations: 1,
                 seed: 1,
             },
+            BenchmarkDef::Fft { n: 4, seed: 1 },
+            BenchmarkDef::Fft { n: 128, seed: 1 },
+            BenchmarkDef::Fir {
+                taps: 1,
+                outputs: 1,
+                seed: 1,
+            },
+            BenchmarkDef::Crc32 { words: 1, seed: 1 },
+            BenchmarkDef::Bitonic { n: 4, seed: 1 },
+            BenchmarkDef::Bitonic { n: 256, seed: 1 },
         ] {
             let back = BenchmarkDef::from_json(&good.to_json()).expect("round trips");
             assert_eq!(back, good);
             let _ = back.instantiate();
+        }
+    }
+
+    #[test]
+    fn every_registered_kind_round_trips_and_instantiates() {
+        let defs = [
+            BenchmarkDef::Median {
+                values: 21,
+                seed: 2,
+            },
+            BenchmarkDef::MatMul {
+                n: 4,
+                element_bits: 16,
+                seed: 2,
+            },
+            BenchmarkDef::KMeans {
+                points: 8,
+                clusters: 2,
+                iterations: 4,
+                seed: 2,
+            },
+            BenchmarkDef::Dijkstra { nodes: 5, seed: 2 },
+            BenchmarkDef::Fft { n: 16, seed: 2 },
+            BenchmarkDef::Fir {
+                taps: 4,
+                outputs: 8,
+                seed: 2,
+            },
+            BenchmarkDef::Crc32 { words: 8, seed: 2 },
+            BenchmarkDef::Bitonic { n: 8, seed: 2 },
+        ];
+        // One definition per registered kind — the registry and the enum
+        // stay in sync.
+        let mut kinds: Vec<String> = defs
+            .iter()
+            .map(|d| {
+                d.to_json()
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .expect("kind member")
+                    .to_string()
+            })
+            .collect();
+        kinds.sort_unstable();
+        assert_eq!(kinds, supported_kinds());
+        for def in defs {
+            let back = BenchmarkDef::from_json(&def.to_json()).expect("round trips");
+            assert_eq!(back, def);
+            let _ = back.instantiate();
+        }
+    }
+
+    #[test]
+    fn unknown_kind_error_lists_the_supported_set() {
+        let doc = Json::parse(r#"{"kind":"sha256","seed":"1"}"#).expect("valid JSON");
+        let message = BenchmarkDef::from_json(&doc).unwrap_err().to_string();
+        assert!(
+            message.contains("unknown benchmark kind 'sha256'"),
+            "{message}"
+        );
+        for kind in supported_kinds() {
+            assert!(message.contains(kind), "{message} must list {kind}");
         }
     }
 

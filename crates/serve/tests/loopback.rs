@@ -323,3 +323,78 @@ fn shutdown_request_stops_the_daemon() {
         assert!(late.ping().is_err(), "daemon must be gone after shutdown");
     }
 }
+
+#[test]
+fn zoo_kernels_are_constructible_by_wire_recipe_and_exact_fault_free() {
+    let server = start_fast_server();
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    let sta = client.ping().expect("pong").sta_limit_mhz;
+
+    // The recipes exactly as a remote client would send them over the
+    // wire (kind + parameters, decimal-string seeds).
+    let recipes = [
+        r#"{"kind":"fft","n":16,"seed":"3"}"#,
+        r#"{"kind":"fir","taps":4,"outputs":16,"seed":"3"}"#,
+        r#"{"kind":"crc32","words":16,"seed":"3"}"#,
+        r#"{"kind":"bitonic","n":16,"seed":"3"}"#,
+    ];
+    let mut def = CampaignDef::new("zoo", 7);
+    for recipe in recipes {
+        let doc = Json::parse(recipe).expect("valid JSON");
+        let b = def.add_benchmark(BenchmarkDef::from_json(&doc).expect("recipe decodes"));
+        def.cells.push(CellDef {
+            benchmark: b,
+            model: FaultModel::None,
+            freq_mhz: sta,
+            vdd: 0.7,
+            noise_sigma_mv: 0.0,
+            budget: BudgetDef::fixed(2),
+        });
+    }
+    let ticket = client.submit(&def).expect("accepted");
+    let mut cells = Vec::new();
+    let state = client
+        .stream(ticket.job, |cell| {
+            cells.push(checkpoint::cell_from_json(cell).expect("cell decodes"));
+        })
+        .expect("streams");
+    assert_eq!(state, "done");
+    assert_eq!(cells.len(), 4);
+    for cell in &cells {
+        assert_eq!(cell.trials.len(), 2);
+        for trial in &cell.trials {
+            assert!(trial.finished && trial.correct);
+            assert_eq!(trial.output_error, 0.0, "fault-free nominal runs are exact");
+        }
+    }
+
+    // An unknown recipe kind is rejected at submit time with an error
+    // quoting the full supported set.
+    use std::io::Write as _;
+    let stream = TcpStream::connect(server.local_addr()).expect("connects");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let bad = "{\"type\":\"submit\",\"spec\":{\"name\":\"x\",\"seed\":\"1\",\
+               \"benchmarks\":[{\"kind\":\"sha256\",\"seed\":\"1\"}],\"cells\":[]}}";
+    writer.write_all(bad.as_bytes()).expect("writes");
+    writer.write_all(b"\n").expect("writes");
+    writer.flush().expect("flushes");
+    let reply = read_frame(&mut reader)
+        .expect("io ok")
+        .expect("not eof")
+        .expect("server frames always parse");
+    assert_eq!(reply.get("type").and_then(Json::as_str), Some("error"));
+    let message = reply
+        .get("message")
+        .and_then(Json::as_str)
+        .expect("error message");
+    assert!(
+        message.contains("unknown benchmark kind 'sha256'"),
+        "{message}"
+    );
+    for kind in sfi_serve::wire::supported_kinds() {
+        assert!(message.contains(kind), "{message} must list {kind}");
+    }
+
+    server.shutdown();
+}

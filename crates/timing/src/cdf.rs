@@ -67,12 +67,43 @@ impl ErrorCdf {
     }
 
     /// The `q`-quantile (0.0 ..= 1.0) of the delay population, if any
-    /// samples exist.
+    /// samples exist, linearly interpolated between order statistics
+    /// (type-7 estimator, the R/NumPy default).
+    ///
+    /// Nearest-rank indexing ([`ErrorCdf::quantile_nearest`]) biases even
+    /// sample counts towards the larger neighbour — q = 0.5 of two samples
+    /// returned the larger one — which overstated every median-delay
+    /// report; interpolation is exact in the two-sample case and unbiased
+    /// in general.
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0, 1], got {q}"
+        );
+        if self.sorted_delays_ps.is_empty() {
+            return None;
+        }
+        let position = (self.sorted_delays_ps.len() - 1) as f64 * q;
+        let lo = position.floor() as usize;
+        let hi = position.ceil() as usize;
+        let lower = self.sorted_delays_ps[lo];
+        let upper = self.sorted_delays_ps[hi];
+        Some(lower + (upper - lower) * (position - lo as f64))
+    }
+
+    /// The `q`-quantile by nearest-rank indexing: always an observed
+    /// sample, at the cost of the rounding bias [`ErrorCdf::quantile`]
+    /// interpolates away.  Kept for reports that must quote a physical
+    /// delay sample rather than a synthetic value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_nearest(&self, q: f64) -> Option<f64> {
         assert!(
             (0.0..=1.0).contains(&q),
             "quantile must be in [0, 1], got {q}"
@@ -177,7 +208,41 @@ mod tests {
         let c = cdf();
         assert_eq!(c.quantile(0.0), Some(900.0));
         assert_eq!(c.quantile(1.0), Some(1200.0));
-        assert_eq!(c.quantile(0.5), Some(1100.0));
+        // Even sample count: the median interpolates between the two
+        // central order statistics instead of rounding up to 1100.
+        assert_eq!(c.quantile(0.5), Some(1050.0));
+        assert_eq!(c.quantile_nearest(0.5), Some(1100.0));
+    }
+
+    #[test]
+    fn interpolated_quantiles_are_unbiased_on_two_samples() {
+        // The regression the nearest-rank indexing had: q = 0.5 of
+        // {100, 200} returned 200 (rounding 0.5 up), biasing every
+        // even-count median upward.
+        let c = ErrorCdf::from_samples(vec![100.0, 200.0]);
+        assert_eq!(c.quantile(0.5), Some(150.0));
+        assert_eq!(c.quantile_nearest(0.5), Some(200.0));
+        assert_eq!(c.quantile(0.25), Some(125.0));
+        assert_eq!(c.quantile(0.0), Some(100.0));
+        assert_eq!(c.quantile(1.0), Some(200.0));
+    }
+
+    #[test]
+    fn quantile_variants_agree_on_exact_ranks() {
+        // On odd counts at grid-aligned q both estimators hit the same
+        // observed sample.
+        let c = ErrorCdf::from_samples(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        for (q, expected) in [(0.0, 10.0), (0.25, 20.0), (0.5, 30.0), (1.0, 50.0)] {
+            assert_eq!(c.quantile(q), Some(expected), "q = {q}");
+            assert_eq!(c.quantile_nearest(q), Some(expected), "q = {q}");
+        }
+        // Off-grid q interpolates; nearest-rank snaps to a sample.
+        assert_eq!(c.quantile(0.1), Some(14.0));
+        assert_eq!(c.quantile_nearest(0.1), Some(10.0));
+        // Single sample: every quantile is that sample for both.
+        let single = ErrorCdf::from_samples(vec![7.5]);
+        assert_eq!(single.quantile(0.3), Some(7.5));
+        assert_eq!(single.quantile_nearest(0.3), Some(7.5));
     }
 
     #[test]
@@ -186,6 +251,7 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.error_probability(1.0), 0.0);
         assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.quantile_nearest(0.5), None);
         assert_eq!(c.min_delay_ps(), None);
         assert_eq!(c.max_delay_ps(), None);
     }

@@ -125,8 +125,8 @@ impl Benchmark for SlowBenchmark {
         std::thread::sleep(Duration::from_millis(5));
         self.0.initialize(memory);
     }
-    fn output_error(&self, memory: &Memory) -> f64 {
-        self.0.output_error(memory)
+    fn try_output_error(&self, memory: &Memory) -> Option<f64> {
+        self.0.try_output_error(memory)
     }
     fn error_metric(&self) -> &'static str {
         self.0.error_metric()

@@ -1,0 +1,123 @@
+//! Property tests over the benchmark suite — old and new kernels alike.
+//!
+//! Two invariants the campaign statistics lean on: every suite kernel is
+//! *exact* under fault-free execution (`output_error == 0.0`, never just
+//! small), and campaign results over the new workload-zoo kernels are
+//! bit-identical across worker-thread counts.
+
+use proptest::prelude::*;
+use sfi_campaign::{CampaignEngine, CampaignSpec, CellSpec, TrialBudget};
+use sfi_core::experiment::FaultModel;
+use sfi_core::study::{CaseStudy, CaseStudyConfig};
+use sfi_cpu::{Core, RunConfig};
+use sfi_fault::OperatingPoint;
+use sfi_kernels::bitonic::BitonicSortBenchmark;
+use sfi_kernels::crc32::Crc32Benchmark;
+use sfi_kernels::fft::FftBenchmark;
+use sfi_kernels::fir::FirBenchmark;
+use sfi_kernels::{extended_suite, Benchmark};
+
+fn assert_exact_fault_free(bench: &dyn Benchmark) {
+    let mut core = Core::new(bench.program().clone(), bench.dmem_words());
+    bench.initialize(core.memory_mut());
+    let outcome = core.run(&RunConfig::default());
+    assert!(outcome.finished(), "{}: {outcome:?}", bench.name());
+    assert_eq!(
+        bench.try_output_error(core.memory()),
+        Some(0.0),
+        "{} must be exact fault-free",
+        bench.name()
+    );
+    assert!(bench.is_correct(core.memory()), "{}", bench.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn every_suite_kernel_is_exact_fault_free(seed in 0u64..1_000_000_000) {
+        for bench in extended_suite(seed) {
+            assert_exact_fault_free(bench.as_ref());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn zoo_kernels_are_exact_at_arbitrary_sizes_and_seeds(
+        seed in any::<u64>(),
+        fft_n in prop::sample::select(vec![4usize, 8, 16, 32]),
+        taps in 1usize..12,
+        outputs in 1usize..40,
+        words in 1usize..48,
+        sort_n in prop::sample::select(vec![4usize, 8, 16, 32, 64]),
+    ) {
+        assert_exact_fault_free(&FftBenchmark::new(fft_n, seed));
+        assert_exact_fault_free(&FirBenchmark::new(taps, outputs, seed));
+        assert_exact_fault_free(&Crc32Benchmark::new(words, seed));
+        assert_exact_fault_free(&BitonicSortBenchmark::new(sort_n, seed));
+    }
+}
+
+/// Bitwise trial equality: crashed runs carry `output_error = NaN`, which
+/// derived `PartialEq` would treat as unequal even for identical trials.
+fn trials_identical(a: &[sfi_core::TrialResult], b: &[sfi_core::TrialResult]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.finished == y.finished
+                && x.correct == y.correct
+                && x.output_error.to_bits() == y.output_error.to_bits()
+                && x.fi_rate_per_kcycle.to_bits() == y.fi_rate_per_kcycle.to_bits()
+                && x.cycles == y.cycles
+        })
+}
+
+fn zoo_spec(sta: f64) -> CampaignSpec {
+    let mut spec = CampaignSpec::new("zoo-determinism", 11);
+    let fft = spec.add_benchmark(FftBenchmark::new(16, 5));
+    let fir = spec.add_benchmark(FirBenchmark::new(4, 16, 5));
+    let crc = spec.add_benchmark(Crc32Benchmark::new(16, 5));
+    let bitonic = spec.add_benchmark(BitonicSortBenchmark::new(16, 5));
+    for benchmark in [fft, fir, crc, bitonic] {
+        for overscale in [1.05, 1.25] {
+            spec.add_cell(CellSpec {
+                benchmark,
+                model: FaultModel::StatisticalDta,
+                point: OperatingPoint::new(sta * overscale, 0.7).with_noise_sigma_mv(10.0),
+                budget: TrialBudget::fixed(5),
+            });
+        }
+    }
+    spec
+}
+
+#[test]
+fn zoo_campaigns_are_bit_identical_across_worker_counts() {
+    let study = CaseStudy::build(CaseStudyConfig::fast_for_tests());
+    let sta = study.sta_limit_mhz(0.7);
+    let one = CampaignEngine::new()
+        .with_threads(1)
+        .run(&study, &zoo_spec(sta));
+    let two = CampaignEngine::new()
+        .with_threads(2)
+        .run(&study, &zoo_spec(sta));
+    assert_eq!(one.fingerprint, two.fingerprint);
+    assert_eq!(one.cells.len(), two.cells.len());
+    for (a, b) in one.cells.iter().zip(&two.cells) {
+        assert!(
+            trials_identical(&a.trials, &b.trials),
+            "cell {} differs between 1 and 2 worker threads",
+            a.cell
+        );
+    }
+    // The over-scaled zoo cells must actually exercise fault injection,
+    // otherwise this determinism check proves nothing.
+    let injected: f64 = one
+        .cells
+        .iter()
+        .filter_map(|c| c.stats.mean_fi_rate())
+        .sum();
+    assert!(injected > 0.0, "the campaign injected no faults at all");
+}
