@@ -1,8 +1,12 @@
 //! Criterion benches of the simulation substrates: gate-level DTA
-//! throughput, STA, and ISS execution speed.
+//! throughput, STA, ISS execution speed, and the model-C injector
+//! (construction and per-cycle injection over the flattened fault table).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sfi_cpu::{Core, RunConfig};
+use sfi_core::study::{CaseStudy, CaseStudyConfig};
+use sfi_cpu::{Core, ExStageContext, FaultInjector, RunConfig};
+use sfi_fault::OperatingPoint;
+use sfi_isa::AluClass;
 use sfi_kernels::{crc32::Crc32Benchmark, median::MedianBenchmark, Benchmark};
 use sfi_netlist::alu::{AluDatapath, AluOp};
 use sfi_netlist::{DelayModel, VoltageScaling};
@@ -55,9 +59,57 @@ fn bench_iss(c: &mut Criterion) {
     });
 }
 
+fn bench_model_c_injector(c: &mut Criterion) {
+    let study = CaseStudy::build(CaseStudyConfig::fast_for_tests());
+    let sta = study.sta_limit_mhz(0.7);
+
+    // Per-trial construction: with the Arc-shared fault table this is the
+    // cost the campaign engine pays per Monte-Carlo trial (reference-count
+    // bumps, no CDF copies).
+    c.bench_function("model_c_construct_per_trial", |b| {
+        let point = OperatingPoint::new(sta * 1.1, 0.7).with_noise_sigma_mv(10.0);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            study.model_c(point, seed)
+        })
+    });
+
+    let ctx = |cycle: u64| ExStageContext {
+        cycle,
+        alu_class: AluClass::Mul,
+        operand_a: 0x1234,
+        operand_b: 0x5678,
+        result: 0x1234 * 0x5678,
+        fi_enabled: true,
+    };
+    // Per-cycle injection below the STA limit: the max-delay fast path
+    // (the dominant case of every sweep's correct region).
+    c.bench_function("model_c_inject_below_limit", |b| {
+        let point = OperatingPoint::new(sta * 0.9, 0.7).with_noise_sigma_mv(10.0);
+        let mut m = study.model_c(point, 7);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            m.inject(&ctx(i))
+        })
+    });
+    // Per-cycle injection inside the transition region: the full
+    // per-endpoint table walk with Bernoulli draws.
+    c.bench_function("model_c_inject_transition", |b| {
+        let point = OperatingPoint::new(sta * 1.15, 0.7).with_noise_sigma_mv(10.0);
+        let mut m = study.model_c(point, 7);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            m.inject(&ctx(i))
+        })
+    });
+}
+
 criterion_group! {
     name = substrates;
     config = Criterion::default().sample_size(20);
-    targets = bench_dta, bench_sta, bench_iss
+    targets = bench_dta, bench_sta, bench_iss, bench_model_c_injector
 }
 criterion_main!(substrates);

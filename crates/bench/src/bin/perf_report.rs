@@ -1,0 +1,31 @@
+//! `perf-report`: the tracked performance baseline of the trial pipeline.
+//!
+//! Measures Monte-Carlo throughput (trials/sec and simulated cycles/sec)
+//! of the statistical DTA model (model C) across the paper suite and the
+//! extended workload zoo, at two operating scenarios per benchmark:
+//!
+//! * `below_limit` — 5 % under the STA limit with supply noise: the
+//!   fault-free fast path (every endpoint probability is zero almost
+//!   every cycle),
+//! * `transition` — 15 % over the STA limit with supply noise: the
+//!   gradual-degradation region the paper's figures live in.
+//!
+//! The results are written to `BENCH_iss.json` so successive PRs can
+//! track the throughput trajectory; run with `--quick` for the CI smoke
+//! configuration (scaled-down case study, few trials).
+
+use sfi_bench::perf::{self, PerfArgs};
+
+fn main() {
+    let args = PerfArgs::from_env();
+    let out = args.out_path();
+    let report = perf::run(&args);
+    perf::print_table(&report);
+    match perf::write_json(&report, out) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(err) => {
+            eprintln!("error: failed to write {out}: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use sfi_campaign::CampaignEngine;
 use sfi_core::study::{CaseStudy, CaseStudyConfig};
 

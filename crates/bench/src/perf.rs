@@ -1,0 +1,373 @@
+//! The `perf-report` harness: measures trial-pipeline throughput and
+//! writes the tracked `BENCH_iss.json` baseline.
+//!
+//! The measurement drives exactly the primitive the campaign engine's
+//! workers drive, one trial at a time on one thread, so the numbers track
+//! the hot path itself rather than scheduling overhead.
+
+use sfi_core::experiment::{
+    derive_trial_seed, golden_cycles, watchdog_cycles, FaultModel, TrialContext,
+};
+use sfi_core::json::Json;
+use sfi_core::study::{CaseStudy, CaseStudyConfig};
+use sfi_fault::OperatingPoint;
+use sfi_kernels::{crc32::Crc32Benchmark, fft::FftBenchmark, median::MedianBenchmark};
+use sfi_kernels::{extended_suite, Benchmark};
+use std::time::Instant;
+
+/// Format version of `BENCH_iss.json`.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Command-line options of the `perf-report` binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PerfArgs {
+    /// CI smoke configuration: scaled-down case study, small kernels, few
+    /// trials.
+    pub quick: bool,
+    /// Timed trials per cell (`None` = scenario default).
+    pub trials: Option<usize>,
+    /// Output path of the JSON report (`None` = mode default: the tracked
+    /// `BENCH_iss.json` baseline for full runs, `BENCH_iss_quick.json` for
+    /// `--quick` — quick smoke numbers must never clobber the baseline).
+    pub out: Option<String>,
+}
+
+/// The flag reference printed by `perf-report --help`.
+pub const USAGE: &str = "\
+options:
+  --quick      CI smoke configuration (8-bit case study, small kernels, few trials)
+  --trials N   timed trials per cell (default: 30, quick: 6)
+  --out FILE   output path of the JSON report
+               (default: BENCH_iss.json, or BENCH_iss_quick.json with --quick)
+  --help       print this help
+";
+
+impl PerfArgs {
+    /// Parses the flags from `std::env::args`.
+    ///
+    /// `--help` prints [`USAGE`] and exits; unknown flags and malformed
+    /// values are errors (exit code 2).
+    pub fn from_env() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        if argv.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        match Self::parse(&argv) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses a flag list (everything after the binary name).
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut args = PerfArgs::default();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--quick" => args.quick = true,
+                "--trials" => {
+                    i += 1;
+                    args.trials = Some(
+                        argv.get(i)
+                            .ok_or("--trials needs a value")?
+                            .parse()
+                            .ok()
+                            .filter(|&n: &usize| n > 0)
+                            .ok_or("--trials needs a positive integer")?,
+                    );
+                }
+                "--out" => {
+                    i += 1;
+                    args.out = Some(argv.get(i).ok_or("--out needs a value")?.clone());
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+            i += 1;
+        }
+        Ok(args)
+    }
+
+    fn timed_trials(&self) -> usize {
+        self.trials.unwrap_or(if self.quick { 6 } else { 30 })
+    }
+
+    /// The resolved output path: an explicit `--out` wins; otherwise full
+    /// runs write the tracked baseline and `--quick` runs a separate
+    /// smoke file.
+    pub fn out_path(&self) -> &str {
+        self.out.as_deref().unwrap_or(if self.quick {
+            "BENCH_iss_quick.json"
+        } else {
+            "BENCH_iss.json"
+        })
+    }
+}
+
+/// One measured (benchmark, scenario) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfCell {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Scenario name (`below_limit` or `transition`).
+    pub scenario: &'static str,
+    /// Clock frequency of the cell, MHz.
+    pub freq_mhz: f64,
+    /// Timed trials.
+    pub trials: usize,
+    /// Wall-clock seconds of the timed trials.
+    pub elapsed_s: f64,
+    /// Throughput in trials per second.
+    pub trials_per_sec: f64,
+    /// Throughput in simulated cycles per second.
+    pub cycles_per_sec: f64,
+    /// Mean simulated cycles per trial.
+    pub mean_cycles: f64,
+    /// Fraction of trials with a fully correct output (sanity anchor: the
+    /// measurement must not change the simulated physics).
+    pub correct_fraction: f64,
+}
+
+/// The full report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Case-study description (`paper-32bit` or `fast-8bit`).
+    pub study: &'static str,
+    /// Per-cell measurements.
+    pub cells: Vec<PerfCell>,
+}
+
+/// The two operating scenarios measured per benchmark, as a multiple of
+/// the STA frequency limit (both with 10 mV supply-noise sigma, so the
+/// noise sampling path is always exercised).
+const SCENARIOS: [(&str, f64); 2] = [("below_limit", 0.95), ("transition", 1.15)];
+const NOISE_SIGMA_MV: f64 = 10.0;
+
+fn perf_suite(quick: bool) -> Vec<Box<dyn Benchmark + Send + Sync>> {
+    if quick {
+        // Small kernels: the CI smoke step must finish in seconds.
+        vec![
+            Box::new(MedianBenchmark::new(21, 1)),
+            Box::new(Crc32Benchmark::new(32, 1)),
+            Box::new(FftBenchmark::new(16, 1)),
+        ]
+    } else {
+        extended_suite(1)
+    }
+}
+
+/// Runs the measurement.
+pub fn run(args: &PerfArgs) -> PerfReport {
+    let (study, study_name) = if args.quick {
+        (
+            CaseStudy::build(CaseStudyConfig::fast_for_tests()),
+            "fast-8bit",
+        )
+    } else {
+        (CaseStudy::build(CaseStudyConfig::paper()), "paper-32bit")
+    };
+    let sta = study.sta_limit_mhz(0.7);
+    let timed = args.timed_trials();
+    let warmup = (timed / 5).max(1);
+
+    // One scratch context for the whole report — exactly what a campaign
+    // worker holds, so the numbers track the engine's hot path.
+    let mut context = TrialContext::new();
+    let mut cells = Vec::new();
+    for (bench_index, bench) in perf_suite(args.quick).iter().enumerate() {
+        let max_cycles = watchdog_cycles(golden_cycles(bench.as_ref()));
+        for (scenario_index, (scenario, factor)) in SCENARIOS.iter().enumerate() {
+            let point = OperatingPoint::new(sta * factor, 0.7).with_noise_sigma_mv(NOISE_SIGMA_MV);
+            // The same deterministic seed stream the campaign engine would
+            // derive for this cell, so before/after comparisons simulate
+            // identical fault sequences.
+            let cell_index = (bench_index * SCENARIOS.len() + scenario_index) as u64;
+            let mut trial = |index: u64| {
+                context.run_trial(
+                    &study,
+                    bench.as_ref(),
+                    bench_index,
+                    FaultModel::StatisticalDta,
+                    point,
+                    max_cycles,
+                    derive_trial_seed(0xBE7C, cell_index, index),
+                )
+            };
+            for i in 0..warmup {
+                let _ = trial(i as u64);
+            }
+            let start = Instant::now();
+            let mut cycles = 0u64;
+            let mut correct = 0usize;
+            for i in 0..timed {
+                let result = trial((warmup + i) as u64);
+                cycles += result.cycles;
+                correct += result.correct as usize;
+            }
+            let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+            cells.push(PerfCell {
+                benchmark: bench.name().to_string(),
+                scenario,
+                freq_mhz: point.freq_mhz(),
+                trials: timed,
+                elapsed_s: elapsed,
+                trials_per_sec: timed as f64 / elapsed,
+                cycles_per_sec: cycles as f64 / elapsed,
+                mean_cycles: cycles as f64 / timed as f64,
+                correct_fraction: correct as f64 / timed as f64,
+            });
+        }
+    }
+    PerfReport {
+        study: study_name,
+        cells,
+    }
+}
+
+/// Prints the report as an aligned table.
+pub fn print_table(report: &PerfReport) {
+    println!(
+        "=== perf-report: model C trial pipeline ({}) ===",
+        report.study
+    );
+    println!(
+        "{:<16} {:<12} {:>9} {:>7} {:>12} {:>14} {:>9}",
+        "benchmark", "scenario", "freq MHz", "trials", "trials/s", "cycles/s", "correct"
+    );
+    for cell in &report.cells {
+        println!(
+            "{:<16} {:<12} {:>9.1} {:>7} {:>12.1} {:>14.3e} {:>8.0}%",
+            cell.benchmark,
+            cell.scenario,
+            cell.freq_mhz,
+            cell.trials,
+            cell.trials_per_sec,
+            cell.cycles_per_sec,
+            100.0 * cell.correct_fraction
+        );
+    }
+}
+
+/// Encodes the report as the `BENCH_iss.json` document.
+pub fn to_json(report: &PerfReport) -> Json {
+    let total_elapsed: f64 = report.cells.iter().map(|c| c.elapsed_s).sum();
+    let total_trials: usize = report.cells.iter().map(|c| c.trials).sum();
+    Json::obj([
+        ("version", Json::Num(FORMAT_VERSION as f64)),
+        ("study", Json::Str(report.study.to_string())),
+        ("model", Json::Str("dta".to_string())),
+        (
+            "cells",
+            Json::Arr(
+                report
+                    .cells
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("benchmark", Json::Str(c.benchmark.clone())),
+                            ("scenario", Json::Str(c.scenario.to_string())),
+                            ("freq_mhz", Json::Num(c.freq_mhz)),
+                            ("trials", Json::Num(c.trials as f64)),
+                            ("elapsed_s", Json::Num(c.elapsed_s)),
+                            ("trials_per_sec", Json::Num(c.trials_per_sec)),
+                            ("cycles_per_sec", Json::Num(c.cycles_per_sec)),
+                            ("mean_cycles", Json::Num(c.mean_cycles)),
+                            ("correct_fraction", Json::Num(c.correct_fraction)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "totals",
+            Json::obj([
+                ("trials", Json::Num(total_trials as f64)),
+                ("elapsed_s", Json::Num(total_elapsed)),
+                (
+                    "trials_per_sec",
+                    Json::Num(total_trials as f64 / total_elapsed.max(1e-9)),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Writes the JSON document to `path` atomically (temp file + rename).
+pub fn write_json(report: &PerfReport, path: &str) -> std::io::Result<()> {
+    let text = to_json(report).to_string();
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, &text)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(flags: &[&str]) -> Vec<String> {
+        flags.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_accepts_the_flags() {
+        let args =
+            PerfArgs::parse(&argv(&["--quick", "--trials", "3", "--out", "x.json"])).unwrap();
+        assert!(args.quick);
+        assert_eq!(args.trials, Some(3));
+        assert_eq!(args.out_path(), "x.json");
+        assert_eq!(args.timed_trials(), 3);
+    }
+
+    #[test]
+    fn quick_mode_never_defaults_to_the_tracked_baseline() {
+        // `perf-report --quick` (the CI smoke command) must not clobber the
+        // committed paper-32bit BENCH_iss.json with fast-8bit numbers.
+        assert_eq!(PerfArgs::default().out_path(), "BENCH_iss.json");
+        let quick = PerfArgs {
+            quick: true,
+            ..Default::default()
+        };
+        assert_eq!(quick.out_path(), "BENCH_iss_quick.json");
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        for bad in [&["--frob"][..], &["--trials"], &["--trials", "0"]] {
+            assert!(PerfArgs::parse(&argv(bad)).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn defaults_differ_by_mode() {
+        assert_eq!(PerfArgs::default().timed_trials(), 30);
+        let quick = PerfArgs {
+            quick: true,
+            ..Default::default()
+        };
+        assert_eq!(quick.timed_trials(), 6);
+    }
+
+    #[test]
+    fn quick_report_runs_and_encodes() {
+        let args = PerfArgs {
+            quick: true,
+            trials: Some(1),
+            ..Default::default()
+        };
+        let report = run(&args);
+        // 3 quick kernels x 2 scenarios.
+        assert_eq!(report.cells.len(), 6);
+        assert!(report.cells.iter().all(|c| c.trials_per_sec > 0.0));
+        let json = to_json(&report);
+        let parsed = Json::parse(&json.to_string()).expect("valid JSON");
+        assert_eq!(parsed.get("version").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            parsed.get("cells").and_then(Json::as_arr).map(|c| c.len()),
+            Some(6)
+        );
+    }
+}

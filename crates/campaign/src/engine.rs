@@ -25,7 +25,7 @@
 use crate::checkpoint;
 use crate::spec::{CampaignSpec, CellSpec};
 use crate::stats::CellStats;
-use sfi_core::experiment::{derive_trial_seed, golden_cycles, run_single_trial, watchdog_cycles};
+use sfi_core::experiment::{derive_trial_seed, golden_cycles, watchdog_cycles, TrialContext};
 use sfi_core::{CaseStudy, ExperimentSummary, TrialResult};
 use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
@@ -449,7 +449,7 @@ impl<'a> Shared<'a> {
             match restored.get(index).and_then(|r| r.as_ref()) {
                 Some(result) => {
                     let mut results: Vec<Option<TrialResult>> =
-                        result.trials.iter().cloned().map(Some).collect();
+                        result.trials.iter().copied().map(Some).collect();
                     let completed = results.len();
                     results.resize(max.max(completed), None);
                     cells.push(Mutex::new(CellState {
@@ -555,6 +555,12 @@ impl<'a> Shared<'a> {
 }
 
 fn worker_loop(worker: usize, shared: &Shared<'_>, sink: Option<&CheckpointSink<'_>>) {
+    // Per-worker scratch: the simulated core is recycled per benchmark and
+    // the injector per (model, operating point), so steady-state trial
+    // execution allocates nothing.  Trials stay bit-identical — a recycled
+    // core/injector is indistinguishable from a fresh one — so results do
+    // not depend on which worker ran which trial.
+    let mut context = TrialContext::new();
     loop {
         if shared.aborted.load(Ordering::SeqCst) || shared.is_cancelled() {
             return;
@@ -565,9 +571,9 @@ fn worker_loop(worker: usize, shared: &Shared<'_>, sink: Option<&CheckpointSink<
                 // uncharacterized voltage) must abort the whole campaign,
                 // not leave the other workers waiting forever for the
                 // panicked cell to finish.
-                if let Err(payload) =
-                    panic::catch_unwind(AssertUnwindSafe(|| execute_job(worker, shared, sink, job)))
-                {
+                if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| {
+                    execute_job(worker, shared, sink, &mut context, job)
+                })) {
                     let mut slot = shared
                         .panic_payload
                         .lock()
@@ -590,7 +596,13 @@ fn worker_loop(worker: usize, shared: &Shared<'_>, sink: Option<&CheckpointSink<
     }
 }
 
-fn execute_job(worker: usize, shared: &Shared<'_>, sink: Option<&CheckpointSink<'_>>, job: Job) {
+fn execute_job(
+    worker: usize,
+    shared: &Shared<'_>,
+    sink: Option<&CheckpointSink<'_>>,
+    context: &mut TrialContext,
+    job: Job,
+) {
     let cell_index = job.cell as usize;
     let cell_spec = shared.spec.cells()[cell_index];
     let benchmark = shared.spec.benchmarks()[cell_spec.benchmark].as_ref();
@@ -601,9 +613,10 @@ fn execute_job(worker: usize, shared: &Shared<'_>, sink: Option<&CheckpointSink<
     shared.max_in_flight.fetch_max(in_flight, Ordering::SeqCst);
     shared.worker_used[worker % shared.worker_used.len()].fetch_add(1, Ordering::Relaxed);
 
-    let result = run_single_trial(
+    let result = context.run_trial(
         shared.study,
         benchmark,
+        cell_spec.benchmark,
         cell_spec.model,
         cell_spec.point,
         max_cycles,
@@ -703,11 +716,11 @@ fn decide(cell_spec: &CellSpec, state: &CellState) -> BatchDecision {
 fn collect_prefix(results: &[Option<TrialResult>], completed: usize) -> Vec<TrialResult> {
     results[..completed]
         .iter()
-        .map(|t| t.clone().expect("batch boundary implies a full prefix"))
+        .map(|t| t.expect("batch boundary implies a full prefix"))
         .collect()
 }
 
-/// Clones one just-finished cell out of its state (called under the cell
+/// Copies one just-finished cell out of its state (called under the cell
 /// lock, once per cell).
 fn snapshot_cell(index: usize, state: &CellState) -> CellResult {
     let trials = collect_prefix(&state.results, state.completed);

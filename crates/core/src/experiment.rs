@@ -3,8 +3,13 @@
 
 use crate::study::CaseStudy;
 use sfi_cpu::{Core, FaultInjector, NoFaultInjector, RunConfig};
-use sfi_fault::OperatingPoint;
+use sfi_fault::{
+    FixedProbabilityModel, OperatingPoint, StaPeriodViolationModel, StaWithNoiseModel,
+    StatisticalDtaModel,
+};
 use sfi_kernels::Benchmark;
+use sfi_timing::VddDelayCurve;
+use std::sync::Arc;
 
 /// Which fault-injection model an experiment uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,7 +27,7 @@ pub enum FaultModel {
 }
 
 /// Result of a single Monte-Carlo trial.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrialResult {
     /// Whether the program ran to completion.
     pub finished: bool,
@@ -78,16 +83,17 @@ impl ExperimentSummary {
     /// machine-state corruption, not a measurable quality, and are
     /// excluded like crashed runs.
     pub fn checked_mean_output_error(&self) -> Option<f64> {
-        let measured: Vec<f64> = self
+        // A streaming fold in trial order: the same left-to-right summation
+        // the collect-then-average implementation performed, minus the
+        // intermediate allocation.
+        let (sum, count) = self
             .trials
             .iter()
             .filter(|t| t.finished && !t.output_error.is_nan())
-            .map(|t| t.output_error)
-            .collect();
-        if measured.is_empty() {
-            return None;
-        }
-        Some(measured.iter().sum::<f64>() / measured.len() as f64)
+            .fold((0.0f64, 0usize), |(sum, count), t| {
+                (sum + t.output_error, count + 1)
+            });
+        (count > 0).then(|| sum / count as f64)
     }
 
     /// Mean cycle count over all trials.
@@ -153,12 +159,14 @@ pub fn watchdog_cycles(golden_cycles: u64) -> u64 {
     golden_cycles.saturating_mul(8).max(100_000)
 }
 
-fn run_one_trial<F: FaultInjector + ?Sized>(
+/// Runs one trial on an already prepared core (architectural state and
+/// data memory reset, inputs *not* yet loaded).
+fn run_prepared_trial<F: FaultInjector + ?Sized>(
+    core: &mut Core,
     benchmark: &dyn Benchmark,
     injector: &mut F,
     max_cycles: u64,
 ) -> TrialResult {
-    let mut core = Core::new(benchmark.program().clone(), benchmark.dmem_words());
     benchmark.initialize(core.memory_mut());
     let config = RunConfig {
         max_cycles,
@@ -181,20 +189,189 @@ fn run_one_trial<F: FaultInjector + ?Sized>(
     }
 }
 
+fn run_one_trial<F: FaultInjector + ?Sized>(
+    benchmark: &dyn Benchmark,
+    injector: &mut F,
+    max_cycles: u64,
+) -> TrialResult {
+    let mut core = Core::new(benchmark.program().clone(), benchmark.dmem_words());
+    run_prepared_trial(&mut core, benchmark, injector, max_cycles)
+}
+
 /// Number of fault-free cycles of a benchmark (used to size the watchdog
 /// and reported in Table 1).
 pub fn golden_cycles(benchmark: &dyn Benchmark) -> u64 {
     run_one_trial(benchmark, &mut NoFaultInjector, u64::MAX / 4).cycles
 }
 
+/// A constructed injector of any fault model, cached between trials.
+#[derive(Debug, Clone)]
+enum CachedInjector {
+    None(NoFaultInjector),
+    FixedProbability(FixedProbabilityModel),
+    StaPeriodViolation(StaPeriodViolationModel),
+    StaWithNoise(StaWithNoiseModel),
+    StatisticalDta(StatisticalDtaModel),
+}
+
+impl CachedInjector {
+    fn build(study: &CaseStudy, model: FaultModel, point: OperatingPoint, seed: u64) -> Self {
+        match model {
+            FaultModel::None => CachedInjector::None(NoFaultInjector),
+            FaultModel::FixedProbability(p) => {
+                CachedInjector::FixedProbability(study.model_a(p, seed))
+            }
+            FaultModel::StaPeriodViolation => {
+                CachedInjector::StaPeriodViolation(study.model_b(point))
+            }
+            FaultModel::StaWithNoise => {
+                CachedInjector::StaWithNoise(study.model_b_plus(point, seed))
+            }
+            FaultModel::StatisticalDta => {
+                CachedInjector::StatisticalDta(study.model_c(point, seed))
+            }
+        }
+    }
+
+    /// Rewinds the injector to the state `build` would have produced with
+    /// `seed`: models A, B+ and C reseed their RNG, the stateless models
+    /// have nothing to rewind.
+    fn reseed(&mut self, seed: u64) {
+        match self {
+            CachedInjector::None(_) | CachedInjector::StaPeriodViolation(_) => {}
+            CachedInjector::FixedProbability(m) => m.reseed(seed),
+            CachedInjector::StaWithNoise(m) => m.reseed(seed),
+            CachedInjector::StatisticalDta(m) => m.reseed(seed),
+        }
+    }
+
+    fn as_injector_mut(&mut self) -> &mut dyn FaultInjector {
+        match self {
+            CachedInjector::None(m) => m,
+            CachedInjector::FixedProbability(m) => m,
+            CachedInjector::StaPeriodViolation(m) => m,
+            CachedInjector::StaWithNoise(m) => m,
+            CachedInjector::StatisticalDta(m) => m,
+        }
+    }
+}
+
+/// Reusable per-worker scratch state of the Monte-Carlo hot loop.
+///
+/// A fresh context per trial reproduces the allocation profile of the old
+/// stand-alone path (one core, one injector); the point of the type is to
+/// live *across* trials: the simulated core (program `Arc` + data memory)
+/// is recycled per benchmark via [`Core::reset_full`], and the injector is
+/// recycled via `reseed` whenever consecutive trials share a fault model
+/// and operating point — the common case inside a campaign cell.  Results
+/// are bit-identical to fresh construction: a reset core equals a new
+/// core, and a reseeded injector equals a newly built one because all
+/// expensive injector state is trial-invariant and `Arc`-shared.
+///
+/// The context is deliberately *not* `Sync`: every campaign worker thread
+/// owns one.
+#[derive(Debug, Default)]
+pub struct TrialContext {
+    /// One recycled core per benchmark, keyed by the caller's benchmark
+    /// key (the campaign engine uses the spec's benchmark index).
+    cores: Vec<(usize, Core)>,
+    /// The last trial's injector, reusable while the study (identified by
+    /// its share token — see [`CaseStudy::share_token`]), fault model and
+    /// operating point repeat.  Holding the token `Arc` also guarantees
+    /// its allocation cannot be recycled into a different study while
+    /// this cache entry lives.
+    injector: Option<CachedTrialInjector>,
+}
+
+#[derive(Debug)]
+struct CachedTrialInjector {
+    study: Arc<VddDelayCurve>,
+    model: FaultModel,
+    point: OperatingPoint,
+    injector: CachedInjector,
+}
+
+impl TrialContext {
+    /// An empty context (no cores, no cached injector).
+    pub fn new() -> Self {
+        TrialContext::default()
+    }
+
+    /// Runs one Monte-Carlo trial, recycling this context's core and
+    /// injector where possible.
+    ///
+    /// `benchmark_key` must uniquely identify `benchmark` among all
+    /// benchmarks this context is used with (e.g. its index in the
+    /// campaign spec); the cached core of a key is only valid for the
+    /// benchmark it was built from.  The injector cache keys itself on
+    /// the study's identity (in addition to model and operating point),
+    /// so alternating between different studies is safe — it merely
+    /// forgoes the reuse.
+    ///
+    /// The result is bit-identical to
+    /// [`run_single_trial`] with the same arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested model needs a characterization voltage the
+    /// study does not provide.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_trial(
+        &mut self,
+        study: &CaseStudy,
+        benchmark: &dyn Benchmark,
+        benchmark_key: usize,
+        model: FaultModel,
+        point: OperatingPoint,
+        max_cycles: u64,
+        trial_seed: u64,
+    ) -> TrialResult {
+        let mut slot = match self.injector.take() {
+            Some(mut slot)
+                if Arc::ptr_eq(&slot.study, study.share_token())
+                    && slot.model == model
+                    && slot.point == point =>
+            {
+                slot.injector.reseed(trial_seed);
+                slot
+            }
+            _ => CachedTrialInjector {
+                study: Arc::clone(study.share_token()),
+                model,
+                point,
+                injector: CachedInjector::build(study, model, point, trial_seed),
+            },
+        };
+        let core = match self.cores.iter().position(|(key, _)| *key == benchmark_key) {
+            Some(index) => {
+                let core = &mut self.cores[index].1;
+                core.reset_full();
+                core
+            }
+            None => {
+                let core = Core::new(benchmark.program().clone(), benchmark.dmem_words());
+                self.cores.push((benchmark_key, core));
+                &mut self.cores.last_mut().expect("just pushed").1
+            }
+        };
+        let result =
+            run_prepared_trial(core, benchmark, slot.injector.as_injector_mut(), max_cycles);
+        self.injector = Some(slot);
+        result
+    }
+}
+
 /// Runs exactly one Monte-Carlo trial of `benchmark` under `model` at
 /// `point`, with the per-trial injector seed `trial_seed` and the watchdog
 /// limit `max_cycles`.
 ///
-/// This is the hot-loop primitive shared by [`run_experiment`] and the
-/// parallel campaign engine (`sfi-campaign`): it allocates only the ISS
-/// state and the injector for this trial — the expensive characterization
-/// data inside `study` is borrowed, never cloned.
+/// This is the stand-alone form of the hot-loop primitive: it allocates
+/// the ISS state for this one trial, while the expensive characterization
+/// data inside `study` is `Arc`-shared, never cloned.  Callers running
+/// many trials (the campaign engine, [`run_experiment`]) hold a
+/// [`TrialContext`] and call [`TrialContext::run_trial`] instead, which
+/// additionally recycles the core and injector across trials;  both paths
+/// produce bit-identical results.
 ///
 /// # Panics
 ///
@@ -208,29 +385,12 @@ pub fn run_single_trial(
     max_cycles: u64,
     trial_seed: u64,
 ) -> TrialResult {
-    match model {
-        FaultModel::None => run_one_trial(benchmark, &mut NoFaultInjector, max_cycles),
-        FaultModel::FixedProbability(p) => {
-            let mut injector = study.model_a(p, trial_seed);
-            run_one_trial(benchmark, &mut injector, max_cycles)
-        }
-        FaultModel::StaPeriodViolation => {
-            let mut injector = study.model_b(point);
-            run_one_trial(benchmark, &mut injector, max_cycles)
-        }
-        FaultModel::StaWithNoise => {
-            let mut injector = study.model_b_plus(point, trial_seed);
-            run_one_trial(benchmark, &mut injector, max_cycles)
-        }
-        FaultModel::StatisticalDta => {
-            let mut injector = study.model_c(point, trial_seed);
-            run_one_trial(benchmark, &mut injector, max_cycles)
-        }
-    }
+    TrialContext::new().run_trial(study, benchmark, 0, model, point, max_cycles, trial_seed)
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_cell_with_golden(
+    context: &mut TrialContext,
     study: &CaseStudy,
     benchmark: &dyn Benchmark,
     model: FaultModel,
@@ -245,7 +405,7 @@ fn run_cell_with_golden(
     let results = (0..trials)
         .map(|trial| {
             let trial_seed = derive_trial_seed(seed, cell_index, trial as u64);
-            run_single_trial(study, benchmark, model, point, max_cycles, trial_seed)
+            context.run_trial(study, benchmark, 0, model, point, max_cycles, trial_seed)
         })
         .collect();
     ExperimentSummary { trials: results }
@@ -273,6 +433,7 @@ pub fn run_experiment(
     seed: u64,
 ) -> ExperimentSummary {
     run_cell_with_golden(
+        &mut TrialContext::new(),
         study,
         benchmark,
         model,
@@ -302,12 +463,16 @@ pub fn frequency_sweep(
     seed: u64,
 ) -> Vec<SweepPoint> {
     let golden = golden_cycles(benchmark);
+    // One scratch context for the whole sweep: the core is recycled across
+    // all points, the injector across the trials of each point.
+    let mut context = TrialContext::new();
     freqs_mhz
         .iter()
         .enumerate()
         .map(|(cell_index, &f)| SweepPoint {
             freq_mhz: f,
             summary: run_cell_with_golden(
+                &mut context,
                 study,
                 benchmark,
                 model,
@@ -546,6 +711,98 @@ mod tests {
             trials: vec![unreadable(f64::NAN)],
         };
         assert_eq!(all_unreadable.checked_mean_output_error(), None);
+    }
+
+    #[test]
+    fn trial_context_reuse_is_bit_identical_to_fresh_construction() {
+        let study = fast_study();
+        let bench = MedianBenchmark::new(21, 3);
+        let point =
+            OperatingPoint::new(study.sta_limit_mhz(0.7) * 1.2, 0.7).with_noise_sigma_mv(10.0);
+        let max_cycles = watchdog_cycles(golden_cycles(&bench));
+        let mut context = TrialContext::new();
+        for trial in 0..6u64 {
+            let seed = derive_trial_seed(9, 0, trial);
+            let reused = context.run_trial(
+                &study,
+                &bench,
+                0,
+                FaultModel::StatisticalDta,
+                point,
+                max_cycles,
+                seed,
+            );
+            let fresh = run_single_trial(
+                &study,
+                &bench,
+                FaultModel::StatisticalDta,
+                point,
+                max_cycles,
+                seed,
+            );
+            assert_eq!(reused.finished, fresh.finished, "trial {trial}");
+            assert_eq!(reused.cycles, fresh.cycles, "trial {trial}");
+            assert_eq!(
+                reused.output_error.to_bits(),
+                fresh.output_error.to_bits(),
+                "trial {trial}"
+            );
+            assert_eq!(
+                reused.fi_rate_per_kcycle.to_bits(),
+                fresh.fi_rate_per_kcycle.to_bits(),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn trial_context_does_not_leak_injectors_across_studies() {
+        // Two independently built studies with different characterization
+        // depth produce different CDFs; a context alternating between them
+        // must rebuild the injector instead of replaying the first study's
+        // timing data against the second.
+        let study_a = fast_study();
+        let study_b = CaseStudy::build(CaseStudyConfig {
+            cycles_per_op: 24,
+            ..CaseStudyConfig::fast_for_tests()
+        });
+        let bench = MedianBenchmark::new(21, 3);
+        let point =
+            OperatingPoint::new(study_a.sta_limit_mhz(0.7) * 1.15, 0.7).with_noise_sigma_mv(10.0);
+        let max_cycles = watchdog_cycles(golden_cycles(&bench));
+        let mut context = TrialContext::new();
+        for (trial, study) in [&study_a, &study_b, &study_a, &study_b].iter().enumerate() {
+            let seed = derive_trial_seed(11, 0, trial as u64);
+            let shared = context.run_trial(
+                study,
+                &bench,
+                0,
+                FaultModel::StatisticalDta,
+                point,
+                max_cycles,
+                seed,
+            );
+            let fresh = run_single_trial(
+                study,
+                &bench,
+                FaultModel::StatisticalDta,
+                point,
+                max_cycles,
+                seed,
+            );
+            assert_eq!(shared.cycles, fresh.cycles, "trial {trial}");
+            assert_eq!(
+                shared.fi_rate_per_kcycle.to_bits(),
+                fresh.fi_rate_per_kcycle.to_bits(),
+                "trial {trial}"
+            );
+        }
+        // Clones of one study share the token, so reuse stays possible.
+        assert!(Arc::ptr_eq(
+            study_a.share_token(),
+            study_a.clone().share_token()
+        ));
+        assert!(!Arc::ptr_eq(study_a.share_token(), study_b.share_token()));
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! per-voltage DTA characterizations.
 
 use sfi_fault::{
-    FixedProbabilityModel, OperatingPoint, StaPeriodViolationModel, StaWithNoiseModel,
-    StatisticalDtaModel,
+    DtaFaultTable, FixedProbabilityModel, OperatingPoint, StaPeriodViolationModel,
+    StaWithNoiseModel, StatisticalDtaModel,
 };
 use sfi_netlist::alu::AluDatapath;
 use sfi_netlist::{DelayModel, VoltageScaling};
@@ -12,6 +12,7 @@ use sfi_timing::{
     synthesis_node_multipliers, CharacterizationConfig, OperandDistribution, StaticTimingAnalysis,
     TimingCharacterization, UnitBudgets, VddDelayCurve,
 };
+use std::sync::Arc;
 
 /// Configuration of the case study.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +72,14 @@ impl Default for CaseStudyConfig {
 /// Owns the gate-level ALU datapath, the calibrated delay model, the fitted
 /// Vdd–delay curve, and one [`TimingCharacterization`] (CDF set) per
 /// configured supply voltage — everything the fault models need.
+///
+/// The characterization data is held behind `Arc`s together with the
+/// derived per-voltage artifacts the injectors consume (the STA endpoint
+/// delays of models B/B+ and the flattened [`DtaFaultTable`] of model C),
+/// so the per-trial model constructors ([`CaseStudy::model_b`],
+/// [`CaseStudy::model_b_plus`], [`CaseStudy::model_c`]) only bump
+/// reference counts — they never copy CDFs.  Cloning a `CaseStudy` is
+/// correspondingly cheap.
 #[derive(Debug, Clone)]
 pub struct CaseStudy {
     config: CaseStudyConfig,
@@ -78,9 +87,37 @@ pub struct CaseStudy {
     scaling: VoltageScaling,
     delays: DelayModel,
     node_multipliers: Vec<f64>,
-    curve: VddDelayCurve,
-    characterizations: Vec<(f64, TimingCharacterization)>,
+    curve: Arc<VddDelayCurve>,
+    voltages: Vec<VoltageData>,
     cache_hit: bool,
+}
+
+/// Everything derived from one supply voltage's characterization, shared
+/// by every injector built for that voltage.
+#[derive(Debug, Clone)]
+struct VoltageData {
+    vdd: f64,
+    characterization: Arc<TimingCharacterization>,
+    /// Per-endpoint STA worst-case delays (models B and B+).
+    sta_delays: Arc<[f64]>,
+    /// Flattened per-instruction CDF table (model C).
+    dta_table: Arc<DtaFaultTable>,
+}
+
+impl VoltageData {
+    fn new(vdd: f64, characterization: TimingCharacterization) -> Self {
+        let characterization = Arc::new(characterization);
+        let sta_delays: Arc<[f64]> = (0..characterization.endpoint_count())
+            .map(|e| characterization.sta_endpoint_delay_ps(e))
+            .collect();
+        let dta_table = Arc::new(DtaFaultTable::new(Arc::clone(&characterization)));
+        VoltageData {
+            vdd,
+            characterization,
+            sta_delays,
+            dta_table,
+        }
+    }
 }
 
 impl CaseStudy {
@@ -177,8 +214,11 @@ impl CaseStudy {
             scaling,
             delays,
             node_multipliers,
-            curve,
-            characterizations,
+            curve: Arc::new(curve),
+            voltages: characterizations
+                .into_iter()
+                .map(|(vdd, ch)| VoltageData::new(vdd, ch))
+                .collect(),
             cache_hit,
         }
     }
@@ -215,6 +255,15 @@ impl CaseStudy {
         &self.curve
     }
 
+    /// A token identifying this study's shared characterization data:
+    /// clones of one built study return the same token (`Arc::ptr_eq`),
+    /// independently built studies return different ones.
+    /// [`crate::experiment::TrialContext`] uses it to invalidate its
+    /// cached injector when trials switch to a different study.
+    pub fn share_token(&self) -> &Arc<VddDelayCurve> {
+        &self.curve
+    }
+
     /// The voltage-scaling (alpha-power-law) model.
     pub fn voltage_scaling(&self) -> &VoltageScaling {
         &self.scaling
@@ -226,10 +275,13 @@ impl CaseStudy {
     ///
     /// Panics if `vdd` was not listed in the configuration.
     pub fn characterization(&self, vdd: f64) -> &TimingCharacterization {
-        self.characterizations
+        &self.voltage_data(vdd).characterization
+    }
+
+    fn voltage_data(&self, vdd: f64) -> &VoltageData {
+        self.voltages
             .iter()
-            .find(|(v, _)| (v - vdd).abs() < 1e-9)
-            .map(|(_, c)| c)
+            .find(|data| (data.vdd - vdd).abs() < 1e-9)
             .unwrap_or_else(|| {
                 panic!("no characterization at {vdd} V; configure it in CaseStudyConfig::voltages")
             })
@@ -267,26 +319,40 @@ impl CaseStudy {
     }
 
     /// Creates a model B injector (STA period violation) for `point`.
+    ///
+    /// Allocation-free on the characterization: the STA endpoint delays
+    /// are `Arc`-shared with the study.
     pub fn model_b(&self, point: OperatingPoint) -> StaPeriodViolationModel {
-        StaPeriodViolationModel::new(self.characterization(point.vdd()), point)
+        let data = self.voltage_data(point.vdd());
+        StaPeriodViolationModel::from_shared(Arc::clone(&data.sta_delays), data.vdd, point)
     }
 
     /// Creates a model B+ injector (STA + supply noise) for `point`.
+    ///
+    /// Allocation-free on the characterization: the STA endpoint delays
+    /// and the Vdd–delay curve are `Arc`-shared with the study.
     pub fn model_b_plus(&self, point: OperatingPoint, seed: u64) -> StaWithNoiseModel {
-        StaWithNoiseModel::new(
-            self.characterization(point.vdd()),
+        let data = self.voltage_data(point.vdd());
+        StaWithNoiseModel::from_shared(
+            Arc::clone(&data.sta_delays),
+            data.vdd,
             point,
-            self.curve.clone(),
+            Arc::clone(&self.curve),
             seed,
         )
     }
 
     /// Creates a model C injector (statistical DTA CDFs) for `point`.
+    ///
+    /// Allocation-free on the characterization: the injector shares the
+    /// study's flattened [`DtaFaultTable`] and Vdd–delay curve by `Arc`,
+    /// so building one injector per Monte-Carlo trial costs two
+    /// reference-count bumps instead of a multi-megabyte CDF copy.
     pub fn model_c(&self, point: OperatingPoint, seed: u64) -> StatisticalDtaModel {
-        StatisticalDtaModel::new(
-            self.characterization(point.vdd()).clone(),
+        StatisticalDtaModel::from_table(
+            Arc::clone(&self.voltage_data(point.vdd()).dta_table),
             point,
-            self.curve.clone(),
+            Arc::clone(&self.curve),
             seed,
         )
     }
@@ -333,6 +399,26 @@ mod tests {
         let _ = study.model_b_plus(point, 2);
         let c = study.model_c(point, 3);
         assert_eq!(c.operating_point().freq_mhz(), 800.0);
+    }
+
+    #[test]
+    fn per_trial_injectors_share_one_fault_table() {
+        // The zero-clone guarantee: every model C injector built from the
+        // same study (and voltage) points at the same flattened table, so
+        // per-trial construction copies no characterization data.
+        let study = fast_study();
+        let point = OperatingPoint::new(800.0, 0.7).with_noise_sigma_mv(10.0);
+        let first = study.model_c(point, 1);
+        let second = study.model_c(point.at_frequency(900.0), 2);
+        assert!(std::sync::Arc::ptr_eq(
+            first.fault_table(),
+            second.fault_table()
+        ));
+        let shifted = first.at_frequency(850.0, 3);
+        assert!(std::sync::Arc::ptr_eq(
+            first.fault_table(),
+            shifted.fault_table()
+        ));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::state::CpuState;
 use crate::stats::RunStats;
 use sfi_isa::{AluClass, Instruction, Program, Reg};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Run-control parameters of the ISS.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,7 +87,7 @@ impl RunOutcome {
 /// See the crate-level documentation for an end-to-end example.
 #[derive(Debug, Clone)]
 pub struct Core {
-    program: Program,
+    program: Arc<Program>,
     state: CpuState,
     memory: Memory,
     stats: RunStats,
@@ -95,9 +96,14 @@ pub struct Core {
 impl Core {
     /// Creates a core with the given program and a zeroed data memory of
     /// `dmem_words` words.
-    pub fn new(program: Program, dmem_words: usize) -> Self {
+    ///
+    /// The program is held behind an `Arc`, so passing `Arc<Program>`
+    /// shares the instruction memory with other cores (the Monte-Carlo
+    /// harness reuses one program across all trials of a benchmark);
+    /// passing a plain [`Program`] still works and wraps it on the spot.
+    pub fn new(program: impl Into<Arc<Program>>, dmem_words: usize) -> Self {
         Core {
-            program,
+            program: program.into(),
             state: CpuState::new(),
             memory: Memory::new(dmem_words),
             stats: RunStats::new(),
@@ -137,6 +143,14 @@ impl Core {
         self.stats = RunStats::new();
     }
 
+    /// Resets the architectural state, statistics *and* data memory — the
+    /// state of a freshly constructed core, without reallocating.  The
+    /// Monte-Carlo harness uses this to recycle one core across trials.
+    pub fn reset_full(&mut self) {
+        self.reset();
+        self.memory.clear();
+    }
+
     /// Runs the program to completion without fault injection.
     pub fn run(&mut self, config: &RunConfig) -> RunOutcome {
         self.run_with_injector(config, &mut NoFaultInjector)
@@ -156,17 +170,21 @@ impl Core {
                     cycles: self.stats.cycles,
                 };
             }
+            // The watchdog is checked before the fetch: once the cycle
+            // budget is exhausted no more work happens — not even an
+            // instruction fetch — and an exhausted budget at a corrupted
+            // PC reports `Watchdog`, not `InvalidPc`.
+            if self.stats.cycles >= config.max_cycles {
+                return RunOutcome::Watchdog {
+                    cycles: self.stats.cycles,
+                };
+            }
             let Some(instruction) = self.program.fetch(self.state.pc) else {
                 return RunOutcome::InvalidPc {
                     cycles: self.stats.cycles,
                     pc: self.state.pc,
                 };
             };
-            if self.stats.cycles >= config.max_cycles {
-                return RunOutcome::Watchdog {
-                    cycles: self.stats.cycles,
-                };
-            }
             if let Err(error) = self.step(instruction, config, injector) {
                 return RunOutcome::MemoryFault {
                     cycles: self.stats.cycles,
@@ -576,6 +594,41 @@ mod tests {
     }
 
     #[test]
+    fn zero_cycle_watchdog_aborts_before_any_fetch() {
+        // With an exhausted budget the loop must bail out on the watchdog
+        // check without fetching (or executing) a single instruction.
+        let mut p = ProgramBuilder::new();
+        p.push(Instruction::Lwz {
+            rd: Reg(1),
+            ra: Reg(0),
+            offset: 0x7FFC, // would be a memory fault if executed
+        });
+        let mut core = Core::new(p.build(), 16);
+        let outcome = core.run(&RunConfig {
+            max_cycles: 0,
+            ..Default::default()
+        });
+        assert_eq!(outcome, RunOutcome::Watchdog { cycles: 0 });
+        assert_eq!(core.stats().instructions, 0);
+    }
+
+    #[test]
+    fn exhausted_watchdog_takes_precedence_over_invalid_pc() {
+        // A corrupted jump leaves the PC outside the program while the
+        // budget is already spent: the run reports the watchdog (the
+        // budget decision), not the stale invalid PC.
+        let mut p = ProgramBuilder::new();
+        p.push(Instruction::J { offset: 100 });
+        let mut core = Core::new(p.build(), 16);
+        let outcome = core.run(&RunConfig {
+            max_cycles: 1,
+            ..Default::default()
+        });
+        assert!(matches!(outcome, RunOutcome::Watchdog { .. }));
+        assert!(!outcome.finished());
+    }
+
+    #[test]
     fn memory_fault_aborts() {
         let mut p = ProgramBuilder::new();
         p.push(Instruction::Lwz {
@@ -714,6 +767,25 @@ mod tests {
         assert_eq!(core.stats().instructions, 0);
         assert_eq!(core.memory().load_word(0).unwrap(), 99);
         assert_eq!(core.program().len(), 1);
+    }
+
+    #[test]
+    fn reset_full_matches_a_fresh_core() {
+        let mut p = ProgramBuilder::new();
+        p.push(Instruction::Sw {
+            ra: Reg(0),
+            rb: Reg(0),
+            offset: 0,
+        });
+        let program = std::sync::Arc::new(p.build());
+        let mut used = Core::new(program.clone(), 16);
+        used.memory_mut().store_word(8, 42).unwrap();
+        let _ = used.run(&RunConfig::default());
+        used.reset_full();
+        let fresh = Core::new(program, 16);
+        assert_eq!(used.state().pc, fresh.state().pc);
+        assert_eq!(used.memory(), fresh.memory());
+        assert_eq!(used.stats().cycles, 0);
     }
 
     #[test]

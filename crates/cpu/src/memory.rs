@@ -68,6 +68,13 @@ impl Memory {
         self.words.len() * 4
     }
 
+    /// Resets every word to zero without reallocating — equivalent to a
+    /// freshly constructed memory of the same size.  The Monte-Carlo
+    /// harness uses this to recycle one memory across trials.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
     fn word_index(&self, address: u32, is_store: bool) -> Result<usize, MemoryError> {
         if !address.is_multiple_of(4) {
             return Err(MemoryError { address, is_store });
@@ -161,6 +168,16 @@ mod tests {
         assert!(err.to_string().contains("store"));
         let err = m.load_word(100).unwrap_err();
         assert!(!err.is_store);
+    }
+
+    #[test]
+    fn clear_zeroes_without_resizing() {
+        let mut m = Memory::new(8);
+        m.store_word(4, 7).unwrap();
+        m.clear();
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.load_word(4).unwrap(), 0);
+        assert_eq!(m, Memory::new(8));
     }
 
     #[test]

@@ -42,9 +42,11 @@ pub mod model_a;
 pub mod model_b;
 pub mod model_c;
 pub mod operating_point;
+pub mod table;
 
 pub use map::alu_op_for_class;
 pub use model_a::FixedProbabilityModel;
 pub use model_b::{StaPeriodViolationModel, StaWithNoiseModel};
 pub use model_c::StatisticalDtaModel;
 pub use operating_point::OperatingPoint;
+pub use table::DtaFaultTable;

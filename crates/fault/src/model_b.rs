@@ -5,6 +5,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sfi_cpu::{ExStageContext, FaultInjector};
 use sfi_timing::{TimingCharacterization, VddDelayCurve};
+use std::sync::Arc;
 
 /// Fixed period violation against STA worst-case delays (the paper's
 /// **model B**).
@@ -16,13 +17,18 @@ use sfi_timing::{TimingCharacterization, VddDelayCurve};
 /// "hard threshold" behaviour Fig. 1(a) illustrates.
 #[derive(Debug, Clone)]
 pub struct StaPeriodViolationModel {
-    endpoint_delays_ps: Vec<f64>,
+    endpoint_delays_ps: Arc<[f64]>,
     period_ps: f64,
 }
 
 impl StaPeriodViolationModel {
     /// Creates the model from the STA data of a characterization at the
     /// operating point's supply voltage.
+    ///
+    /// This copies the per-endpoint STA delays once; callers constructing
+    /// one injector per Monte-Carlo trial should extract the delays once
+    /// and use the allocation-free [`StaPeriodViolationModel::from_shared`]
+    /// instead.
     ///
     /// # Panics
     ///
@@ -36,9 +42,41 @@ impl StaPeriodViolationModel {
             characterization.vdd(),
             point.vdd()
         );
-        let endpoint_delays_ps = (0..characterization.endpoint_count())
+        let endpoint_delays_ps: Arc<[f64]> = (0..characterization.endpoint_count())
             .map(|e| characterization.sta_endpoint_delay_ps(e))
             .collect();
+        StaPeriodViolationModel {
+            endpoint_delays_ps,
+            period_ps: point.period_ps(),
+        }
+    }
+
+    /// Creates the model from an already-shared STA delay vector — the
+    /// allocation-free per-trial constructor (the delays are typically
+    /// extracted once per characterized voltage and `Arc`-cloned per
+    /// trial).  `characterized_vdd` is the supply voltage the delays were
+    /// extracted at; it is checked against the operating point exactly
+    /// like [`StaPeriodViolationModel::new`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no delays are given or `characterized_vdd` does not
+    /// match the operating point.
+    pub fn from_shared(
+        endpoint_delays_ps: Arc<[f64]>,
+        characterized_vdd: f64,
+        point: OperatingPoint,
+    ) -> Self {
+        assert!(
+            (characterized_vdd - point.vdd()).abs() < 1e-9,
+            "characterization voltage {} V does not match operating point {} V",
+            characterized_vdd,
+            point.vdd()
+        );
+        assert!(
+            !endpoint_delays_ps.is_empty(),
+            "at least one endpoint is required"
+        );
         StaPeriodViolationModel {
             endpoint_delays_ps,
             period_ps: point.period_ps(),
@@ -57,7 +95,7 @@ impl StaPeriodViolationModel {
         );
         assert!(period_ps > 0.0, "period must be positive, got {period_ps}");
         StaPeriodViolationModel {
-            endpoint_delays_ps,
+            endpoint_delays_ps: endpoint_delays_ps.into(),
             period_ps,
         }
     }
@@ -94,7 +132,10 @@ impl FaultInjector for StaPeriodViolationModel {
 pub struct StaWithNoiseModel {
     sta: StaPeriodViolationModel,
     point: OperatingPoint,
-    curve: VddDelayCurve,
+    curve: Arc<VddDelayCurve>,
+    /// `curve.delay_factor(point.vdd())`, hoisted out of the per-cycle
+    /// noise-scaling computation.
+    nominal_factor: f64,
     rng: SmallRng,
 }
 
@@ -108,13 +149,53 @@ impl StaWithNoiseModel {
     pub fn new(
         characterization: &TimingCharacterization,
         point: OperatingPoint,
-        curve: VddDelayCurve,
+        curve: impl Into<Arc<VddDelayCurve>>,
         seed: u64,
     ) -> Self {
-        StaWithNoiseModel {
-            sta: StaPeriodViolationModel::new(characterization, point),
+        Self::with_sta(
+            StaPeriodViolationModel::new(characterization, point),
+            point,
+            curve.into(),
+            seed,
+        )
+    }
+
+    /// Creates the model from already-shared STA delays and Vdd–delay
+    /// curve — the allocation-free per-trial constructor.
+    /// `characterized_vdd` is the supply voltage the delays were extracted
+    /// at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no delays are given or `characterized_vdd` does not
+    /// match the operating point.
+    pub fn from_shared(
+        endpoint_delays_ps: Arc<[f64]>,
+        characterized_vdd: f64,
+        point: OperatingPoint,
+        curve: Arc<VddDelayCurve>,
+        seed: u64,
+    ) -> Self {
+        Self::with_sta(
+            StaPeriodViolationModel::from_shared(endpoint_delays_ps, characterized_vdd, point),
             point,
             curve,
+            seed,
+        )
+    }
+
+    fn with_sta(
+        sta: StaPeriodViolationModel,
+        point: OperatingPoint,
+        curve: Arc<VddDelayCurve>,
+        seed: u64,
+    ) -> Self {
+        let nominal_factor = curve.delay_factor(point.vdd());
+        StaWithNoiseModel {
+            sta,
+            point,
+            curve,
+            nominal_factor,
             rng: SmallRng::seed_from_u64(seed),
         }
     }
@@ -138,7 +219,11 @@ impl FaultInjector for StaWithNoiseModel {
         if !ctx.fi_enabled {
             return 0;
         }
-        let factor = self.curve.noise_scaling_factor(self.point.vdd(), noise);
+        let factor = self.curve.noise_scaling_factor_with_nominal(
+            self.point.vdd(),
+            noise,
+            self.nominal_factor,
+        );
         self.sta.violation_mask(factor)
     }
 }
@@ -269,5 +354,24 @@ mod tests {
     fn voltage_mismatch_panics() {
         let ch = characterization();
         StaPeriodViolationModel::new(&ch, OperatingPoint::new(700.0, 0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_shared_checks_the_voltage_like_new() {
+        let delays: Arc<[f64]> = vec![100.0, 200.0].into();
+        StaPeriodViolationModel::from_shared(delays, 0.6, OperatingPoint::new(700.0, 0.7));
+    }
+
+    #[test]
+    fn from_shared_matches_new() {
+        let ch = characterization();
+        let point = OperatingPoint::new(ch.sta_limit_mhz() * 1.05, 0.7);
+        let delays: Arc<[f64]> = (0..ch.endpoint_count())
+            .map(|e| ch.sta_endpoint_delay_ps(e))
+            .collect();
+        let mut a = StaPeriodViolationModel::new(&ch, point);
+        let mut b = StaPeriodViolationModel::from_shared(delays, ch.vdd(), point);
+        assert_eq!(a.inject(&ctx(true)), b.inject(&ctx(true)));
     }
 }

@@ -2,10 +2,12 @@
 
 use crate::map::alu_op_for_class;
 use crate::operating_point::OperatingPoint;
+use crate::table::DtaFaultTable;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sfi_cpu::{ExStageContext, FaultInjector};
 use sfi_timing::{TimingCharacterization, VddDelayCurve};
+use std::sync::Arc;
 
 /// Probabilistic period violation using DTA-extracted CDFs (the paper's
 /// **model C**).
@@ -20,11 +22,21 @@ use sfi_timing::{TimingCharacterization, VddDelayCurve};
 ///
 /// This is the model that reproduces the gradual transition regions between
 /// error-free operation and complete failure (Figs. 4–7 of the paper).
+///
+/// The expensive characterization data is shared behind `Arc`s (see
+/// [`DtaFaultTable`]): constructing one injector per Monte-Carlo trial via
+/// [`StatisticalDtaModel::from_table`] — or cloning per sweep point via
+/// [`StatisticalDtaModel::at_frequency`] — allocates nothing.
 #[derive(Debug, Clone)]
 pub struct StatisticalDtaModel {
-    characterization: TimingCharacterization,
+    table: Arc<DtaFaultTable>,
     point: OperatingPoint,
-    curve: VddDelayCurve,
+    curve: Arc<VddDelayCurve>,
+    /// `point.period_ps()`, hoisted out of the per-cycle loop.
+    period_ps: f64,
+    /// `curve.delay_factor(point.vdd())`, the noise-independent
+    /// denominator of the per-cycle scaling factor.
+    nominal_factor: f64,
     rng: SmallRng,
 }
 
@@ -32,26 +44,55 @@ impl StatisticalDtaModel {
     /// Creates the model from a timing characterization performed at the
     /// operating point's supply voltage.
     ///
+    /// This flattens the characterization into a fresh [`DtaFaultTable`];
+    /// callers constructing many injectors over the same characterization
+    /// (one per Monte-Carlo trial) should build the table once and use the
+    /// allocation-free [`StatisticalDtaModel::from_table`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if the characterization voltage does not match the operating
     /// point (a different set of CDFs must be used per supply voltage, as
     /// the paper does).
     pub fn new(
-        characterization: TimingCharacterization,
+        characterization: impl Into<Arc<TimingCharacterization>>,
         point: OperatingPoint,
-        curve: VddDelayCurve,
+        curve: impl Into<Arc<VddDelayCurve>>,
+        seed: u64,
+    ) -> Self {
+        Self::from_table(
+            Arc::new(DtaFaultTable::new(characterization.into())),
+            point,
+            curve.into(),
+            seed,
+        )
+    }
+
+    /// Creates the model from a prebuilt, shared fault table — the
+    /// allocation-free per-trial constructor the campaign hot path uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table's characterization voltage does not match the
+    /// operating point.
+    pub fn from_table(
+        table: Arc<DtaFaultTable>,
+        point: OperatingPoint,
+        curve: Arc<VddDelayCurve>,
         seed: u64,
     ) -> Self {
         assert!(
-            (characterization.vdd() - point.vdd()).abs() < 1e-9,
+            (table.characterization().vdd() - point.vdd()).abs() < 1e-9,
             "characterization voltage {} V does not match operating point {} V",
-            characterization.vdd(),
+            table.characterization().vdd(),
             point.vdd()
         );
+        let nominal_factor = curve.delay_factor(point.vdd());
         StatisticalDtaModel {
-            characterization,
+            table,
             point,
+            period_ps: point.period_ps(),
+            nominal_factor,
             curve,
             rng: SmallRng::seed_from_u64(seed),
         }
@@ -69,19 +110,24 @@ impl StatisticalDtaModel {
     }
 
     /// Returns a copy of the model at a different clock frequency, sharing
-    /// the same characterization data.
+    /// the same characterization data (no allocation).
     pub fn at_frequency(&self, freq_mhz: f64, seed: u64) -> Self {
-        StatisticalDtaModel {
-            characterization: self.characterization.clone(),
-            point: self.point.at_frequency(freq_mhz),
-            curve: self.curve.clone(),
-            rng: SmallRng::seed_from_u64(seed),
-        }
+        Self::from_table(
+            Arc::clone(&self.table),
+            self.point.at_frequency(freq_mhz),
+            Arc::clone(&self.curve),
+            seed,
+        )
     }
 
     /// The underlying characterization (e.g. to query CDFs for reporting).
     pub fn characterization(&self) -> &TimingCharacterization {
-        &self.characterization
+        self.table.characterization()
+    }
+
+    /// The shared flattened fault table.
+    pub fn fault_table(&self) -> &Arc<DtaFaultTable> {
+        &self.table
     }
 }
 
@@ -92,22 +138,25 @@ impl FaultInjector for StatisticalDtaModel {
         if !ctx.fi_enabled {
             return 0;
         }
-        let delay_factor = self.curve.noise_scaling_factor(self.point.vdd(), noise);
+        let delay_factor = self.curve.noise_scaling_factor_with_nominal(
+            self.point.vdd(),
+            noise,
+            self.nominal_factor,
+        );
+        debug_assert!(delay_factor > 0.0, "delay factor must be positive");
         let op = alu_op_for_class(ctx.alu_class);
-        let period_ps = self.point.period_ps();
+        // delay * factor > period  <=>  delay > period / factor; computing
+        // the scaled threshold once per cycle replaces one division per
+        // endpoint with one comparison per endpoint.
+        let threshold_ps = self.period_ps / delay_factor;
 
         // Steps 2 + 3: per-endpoint probabilities, independent Bernoulli
-        // draws.
-        let mut mask = 0u32;
-        for endpoint in 0..self.characterization.endpoint_count().min(32) {
-            let p = self
-                .characterization
-                .error_probability(op, endpoint, period_ps, delay_factor);
-            if p > 0.0 && self.rng.gen_bool(p) {
-                mask |= 1 << endpoint;
-            }
-        }
-        mask
+        // draws (skipped wholesale when the instruction's worst sample
+        // meets the scaled period — the common case below the transition
+        // region).
+        let rng = &mut self.rng;
+        self.table
+            .violation_mask(op, threshold_ps, |p| rng.gen_bool(p))
     }
 }
 
@@ -188,6 +237,8 @@ mod tests {
         let base = StatisticalDtaModel::new(ch, point, curve(), 3);
         let mut low = base.at_frequency(f0 * 1.05, 3);
         let mut high = base.at_frequency(f0 * 1.5, 3);
+        // The frequency-shifted copies share the base model's table.
+        assert!(Arc::ptr_eq(low.fault_table(), base.fault_table()));
         let r_low = fault_rate(&mut low, AluClass::Mul, 400);
         let r_high = fault_rate(&mut high, AluClass::Mul, 400);
         assert!(
@@ -220,6 +271,23 @@ mod tests {
         b.reseed(9);
         for _ in 0..200 {
             assert_eq!(a.inject(&ctx(AluClass::Mul)), b.inject(&ctx(AluClass::Mul)));
+        }
+    }
+
+    #[test]
+    fn from_table_matches_new_bit_for_bit() {
+        let ch = Arc::new(characterization());
+        let table = Arc::new(DtaFaultTable::new(Arc::clone(&ch)));
+        let f0 = ch.first_failure_frequency_mhz(sfi_netlist::alu::AluOp::Mul);
+        let point =
+            OperatingPoint::new(f0 * 1.2, 0.7).with_noise(VoltageNoise::with_sigma_mv(15.0));
+        let shared_curve = Arc::new(curve());
+        let mut fresh = StatisticalDtaModel::new(Arc::clone(&ch), point, curve(), 13);
+        let mut pooled = StatisticalDtaModel::from_table(table, point, shared_curve, 13);
+        for class in [AluClass::Mul, AluClass::Add, AluClass::Xor] {
+            for _ in 0..300 {
+                assert_eq!(fresh.inject(&ctx(class)), pooled.inject(&ctx(class)));
+            }
         }
     }
 

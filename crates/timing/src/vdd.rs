@@ -111,7 +111,25 @@ impl VddDelayCurve {
     /// at the nominal supply (voltage droop); the fault models multiply path
     /// delays — equivalently divide the available clock period — by it.
     pub fn noise_scaling_factor(&self, vdd: f64, noise_volts: f64) -> f64 {
-        self.delay_factor(vdd + noise_volts) / self.delay_factor(vdd)
+        self.noise_scaling_factor_with_nominal(vdd, noise_volts, self.delay_factor(vdd))
+    }
+
+    /// Like [`VddDelayCurve::noise_scaling_factor`], but with the nominal
+    /// delay factor `delay_factor(vdd)` precomputed by the caller.
+    ///
+    /// The nominal factor depends only on the operating point, not on the
+    /// per-cycle noise sample, so per-cycle callers (the fault models'
+    /// `inject` hot loops) hoist it out instead of re-interpolating the
+    /// curve twice every simulated cycle.  With
+    /// `nominal_factor == delay_factor(vdd)` the result is bit-identical
+    /// to [`VddDelayCurve::noise_scaling_factor`].
+    pub fn noise_scaling_factor_with_nominal(
+        &self,
+        vdd: f64,
+        noise_volts: f64,
+        nominal_factor: f64,
+    ) -> f64 {
+        self.delay_factor(vdd + noise_volts) / nominal_factor
     }
 }
 
@@ -167,6 +185,21 @@ mod tests {
         assert!(c.noise_scaling_factor(0.7, -0.020) > 1.0);
         assert!(c.noise_scaling_factor(0.7, 0.020) < 1.0);
         assert!((c.noise_scaling_factor(0.8, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hoisted_nominal_factor_is_bit_identical() {
+        let c = curve();
+        for vdd in [0.65, 0.7, 0.8] {
+            let nominal = c.delay_factor(vdd);
+            for noise in [-0.05, -0.01, 0.0, 0.013, 0.05] {
+                assert_eq!(
+                    c.noise_scaling_factor(vdd, noise),
+                    c.noise_scaling_factor_with_nominal(vdd, noise, nominal),
+                    "vdd {vdd} noise {noise}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -301,6 +301,48 @@ fn checkpoint_export_is_valid_json() {
 }
 
 #[test]
+fn result_and_checkpoint_json_are_byte_identical_across_runs_and_threads() {
+    // The zero-clone trial pipeline (Arc-shared characterizations,
+    // table-driven model C, per-worker core/injector recycling) must not
+    // perturb campaign results: the same seed and spec produce
+    // byte-identical result and checkpoint JSON regardless of worker
+    // count or how workers interleave cells.
+    let study = fast_study();
+    let spec = transition_spec(&study, 4);
+    let tmp = std::env::temp_dir();
+    let id = format!("{}_{:?}", std::process::id(), std::thread::current().id());
+
+    let mut documents = Vec::new();
+    let mut checkpoints = Vec::new();
+    for threads in [1usize, 3] {
+        let ckpt = tmp.join(format!("sfi_bitident_ckpt_{id}_{threads}.json"));
+        let out = tmp.join(format!("sfi_bitident_result_{id}_{threads}.json"));
+        let _ = std::fs::remove_file(&ckpt);
+        let result = CampaignEngine::new()
+            .with_threads(threads)
+            .with_checkpoint(&ckpt)
+            .run(&study, &spec);
+        result.write_json(&spec, &out).expect("result export");
+        documents.push(std::fs::read(&out).expect("result file"));
+        checkpoints.push(std::fs::read(&ckpt).expect("checkpoint file"));
+        let _ = std::fs::remove_file(&ckpt);
+        let _ = std::fs::remove_file(&out);
+    }
+    assert_eq!(
+        documents[0], documents[1],
+        "result JSON must be byte-identical across thread counts"
+    );
+    assert_eq!(
+        checkpoints[0], checkpoints[1],
+        "checkpoint JSON must be byte-identical across thread counts"
+    );
+    assert_eq!(
+        documents[0], checkpoints[0],
+        "a completed campaign's export equals its final checkpoint"
+    );
+}
+
+#[test]
 fn bisection_poff_matches_the_hard_threshold_with_fewer_cells() {
     let study = fast_study();
     let sta = study.sta_limit_mhz(0.7);

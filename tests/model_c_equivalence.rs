@@ -1,0 +1,118 @@
+//! Property test: the table-driven model C (flattened [`DtaFaultTable`]
+//! with a max-delay fast path and hoisted nominal delay factor) produces
+//! bit-identical fault masks to a naive per-endpoint reference that walks
+//! the characterization CDFs exactly the way the pre-optimization
+//! implementation did.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sfi_cpu::{ExStageContext, FaultInjector};
+use sfi_fault::{alu_op_for_class, OperatingPoint, StatisticalDtaModel};
+use sfi_isa::AluClass;
+use sfi_netlist::alu::AluDatapath;
+use sfi_netlist::{DelayModel, VoltageScaling};
+use sfi_timing::{characterize_alu, CharacterizationConfig, TimingCharacterization, VddDelayCurve};
+
+/// The pre-optimization model C, kept verbatim as the reference: per
+/// endpoint it queries the characterization CDF (binary search per
+/// endpoint, period divided by the per-cycle noise factor computed from
+/// scratch) and draws a Bernoulli sample whenever the probability is
+/// non-zero.
+struct NaiveModelC {
+    characterization: TimingCharacterization,
+    point: OperatingPoint,
+    curve: VddDelayCurve,
+    rng: SmallRng,
+}
+
+impl FaultInjector for NaiveModelC {
+    fn inject(&mut self, ctx: &ExStageContext) -> u32 {
+        let noise = self.point.noise().sample_volts(&mut self.rng);
+        if !ctx.fi_enabled {
+            return 0;
+        }
+        let delay_factor = self.curve.noise_scaling_factor(self.point.vdd(), noise);
+        let op = alu_op_for_class(ctx.alu_class);
+        let period_ps = self.point.period_ps();
+        let mut mask = 0u32;
+        for endpoint in 0..self.characterization.endpoint_count().min(32) {
+            let p = self
+                .characterization
+                .error_probability(op, endpoint, period_ps, delay_factor);
+            if p > 0.0 && self.rng.gen_bool(p) {
+                mask |= 1 << endpoint;
+            }
+        }
+        mask
+    }
+}
+
+fn characterization() -> TimingCharacterization {
+    let alu = AluDatapath::build(8);
+    characterize_alu(
+        &alu,
+        &DelayModel::default_28nm(),
+        &VoltageScaling::default_28nm(),
+        &CharacterizationConfig {
+            cycles_per_op: 48,
+            ..Default::default()
+        },
+    )
+}
+
+fn curve() -> VddDelayCurve {
+    VddDelayCurve::from_scaling(&VoltageScaling::default_28nm(), 0.6, 1.0, 5)
+}
+
+fn ctx(class: AluClass, cycle: u64, fi_enabled: bool) -> ExStageContext {
+    ExStageContext {
+        cycle,
+        alu_class: class,
+        operand_a: 0,
+        operand_b: 0,
+        result: 0,
+        fi_enabled,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn table_driven_model_c_matches_the_naive_reference(
+        seed in any::<u64>(),
+        // From deep below the STA limit (pure fast path) through the
+        // transition region to far beyond it (every endpoint violating).
+        freq_factor in prop::sample::select(vec![0.7, 0.95, 1.0, 1.05, 1.2, 1.6, 2.5]),
+        noise_sigma_mv in prop::sample::select(vec![0.0, 5.0, 10.0, 25.0]),
+    ) {
+        let ch = characterization();
+        let sta = ch.sta_limit_mhz();
+        let point = OperatingPoint::new(sta * freq_factor, 0.7)
+            .with_noise_sigma_mv(noise_sigma_mv);
+        let mut optimized = StatisticalDtaModel::new(ch.clone(), point, curve(), seed);
+        let mut naive = NaiveModelC {
+            characterization: ch,
+            point,
+            curve: curve(),
+            rng: SmallRng::seed_from_u64(seed),
+        };
+        // Interleave instruction classes and disabled-window cycles the way
+        // a real kernel does; the RNG streams must stay aligned throughout.
+        let mut class_rng = SmallRng::seed_from_u64(seed ^ 0xC1A55);
+        for cycle in 0..400u64 {
+            let class = AluClass::ALL[class_rng.gen_range(0..AluClass::ALL.len())];
+            let fi_enabled = class_rng.gen_bool(0.8);
+            let c = ctx(class, cycle, fi_enabled);
+            prop_assert_eq!(
+                optimized.inject(&c),
+                naive.inject(&c),
+                "cycle {} class {} fi {}",
+                cycle,
+                class,
+                fi_enabled
+            );
+        }
+    }
+}
