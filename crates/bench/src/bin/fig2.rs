@@ -1,5 +1,5 @@
 //! Fig. 2: DTA-extracted timing-error probability CDFs for `l.mul` and
-//! `l.add`, endpoints bit[3] and bit[24], at 0.7 V and 0.8 V.
+//! `l.add`, endpoints `bit[3]` and `bit[24]`, at 0.7 V and 0.8 V.
 
 use sfi_bench::{print_header, ExperimentArgs};
 use sfi_netlist::alu::AluOp;

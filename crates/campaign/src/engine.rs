@@ -133,6 +133,7 @@ pub struct CampaignEngine {
     checkpoint_path: Option<PathBuf>,
     progress: Option<ProgressHook>,
     cancel: Option<Arc<AtomicBool>>,
+    seed_cells: Vec<CellResult>,
 }
 
 impl std::fmt::Debug for CampaignEngine {
@@ -142,6 +143,7 @@ impl std::fmt::Debug for CampaignEngine {
             .field("checkpoint_path", &self.checkpoint_path)
             .field("progress", &self.progress.as_ref().map(|_| "<hook>"))
             .field("cancel", &self.cancel)
+            .field("seed_cells", &self.seed_cells.len())
             .finish()
     }
 }
@@ -163,6 +165,7 @@ impl CampaignEngine {
             checkpoint_path: None,
             progress: None,
             cancel: None,
+            seed_cells: Vec::new(),
         }
     }
 
@@ -173,6 +176,7 @@ impl CampaignEngine {
             checkpoint_path: None,
             progress: None,
             cancel: None,
+            seed_cells: Vec::new(),
         }
     }
 
@@ -211,8 +215,37 @@ impl CampaignEngine {
     /// had not finished keep the contiguous prefix of trials that did
     /// complete (possibly none); partially completed cells are *not*
     /// checkpointed.
+    ///
+    /// Cancellation composes with checkpointing: every *completed* cell
+    /// was already flushed to the checkpoint file the moment it finished,
+    /// so a cancelled run has lost nothing but its in-flight cells and a
+    /// later run of the same spec resumes from the last completed cell.
+    /// [`CampaignEngine::with_seed_cells`] offers the same resume path
+    /// without a file, which is how the serve scheduler restarts
+    /// preempted jobs.
     pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
         self.cancel = Some(flag);
+        self
+    }
+
+    /// Seeds the run with already-completed cells, as if they had been
+    /// restored from a checkpoint file.
+    ///
+    /// This is the in-memory resume path for a cancelled (e.g. preempted)
+    /// run: feed the completed cells of the earlier attempt back in and
+    /// only the unfinished cells are simulated.  Because per-trial seeds
+    /// are a pure function of `(campaign seed, cell index, trial index)`,
+    /// the completed campaign is bit-identical to one that was never
+    /// interrupted.
+    ///
+    /// Seeded cells are validated like checkpoint-loaded ones: a cell
+    /// whose index is out of range, that has no trials, or that exceeds
+    /// its budget's `max_trials` is ignored rather than trusted.  Seeds
+    /// take precedence over cells restored from a checkpoint file, and
+    /// they fire the progress hook marked
+    /// [`CellResult::from_checkpoint`] just like file-restored cells.
+    pub fn with_seed_cells(mut self, cells: Vec<CellResult>) -> Self {
+        self.seed_cells = cells;
         self
     }
 
@@ -235,10 +268,23 @@ impl CampaignEngine {
     /// does not provide, or if a worker thread panics.
     pub fn run(&self, study: &CaseStudy, spec: &CampaignSpec) -> CampaignResult {
         let fingerprint = spec.fingerprint();
-        let restored: Vec<Option<CellResult>> = match &self.checkpoint_path {
+        let mut restored: Vec<Option<CellResult>> = match &self.checkpoint_path {
             Some(path) => checkpoint::load_cells(path, spec, fingerprint),
             None => vec![None; spec.cells().len()],
         };
+        // Overlay the in-memory seeds (see `with_seed_cells`); they win
+        // over file-restored cells because the caller vouches they belong
+        // to this exact spec and seed.
+        for cell in &self.seed_cells {
+            if let Some(slot) = restored.get_mut(cell.cell) {
+                let budget = spec.cells()[cell.cell].budget;
+                if !cell.trials.is_empty() && cell.trials.len() <= budget.max_trials {
+                    let mut seeded = cell.clone();
+                    seeded.from_checkpoint = true;
+                    *slot = Some(seeded);
+                }
+            }
+        }
 
         // Checkpoint-restored cells are announced up front, so a streaming
         // observer sees every cell of the campaign exactly once.

@@ -9,7 +9,7 @@
 //! occupies the execution stage, the configured [`FaultInjector`] may flip
 //! bits of the freshly computed result before it is written back (or before
 //! it sets the branch flag), exactly like the LISA-based ISS + FI framework
-//! of the paper's refs. [15].
+//! of the paper's ref. 15.
 //!
 //! Non-ALU instructions (loads, stores, branches, jumps) are never faulted:
 //! the case-study core is constrained so that all non-ALU paths have a

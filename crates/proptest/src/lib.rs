@@ -252,7 +252,7 @@ pub mod prop {
         use rand::Rng;
         use std::ops::Range;
 
-        /// The strategy returned by [`vec`].
+        /// The strategy returned by [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: Range<usize>,

@@ -6,6 +6,7 @@
 use sfi_core::json::Json;
 use sfi_core::FaultModel;
 use sfi_serve::client::Client;
+use sfi_serve::jobs::Priority;
 use sfi_serve::protocol::PoffRequest;
 use sfi_serve::wire::{BenchmarkDef, BudgetDef, CampaignDef, CellDef};
 use std::process::exit;
@@ -14,10 +15,14 @@ const USAGE: &str = "\
 usage: sfi-client [--addr HOST:PORT] COMMAND [args]
 
 commands:
-  ping                  print server info (STA limit, cache status, job count)
-  submit FILE           submit a campaign definition (JSON, see the README) and print the job id
+  ping                  print server info (STA limit, cache status, scheduler slots,
+                        quotas, retained result bytes)
+  submit FILE           submit a campaign definition (JSON, see docs/PROTOCOL.md) and
+                        print the job id
+      [--priority low|normal|high]   scheduling class (default normal; high may preempt)
+      [--client ID]                  client id the per-client quotas are accounted against
   demo                  submit a small builtin median campaign, stream it, print a summary
-  status JOB            print one job-status line
+  status JOB            print one job-status line (state, priority, progress, preemptions)
   stream JOB            stream a job's cells as JSON lines to stdout
   result JOB            print a finished job's full result document
   cancel JOB            cancel a queued or running job
@@ -87,14 +92,26 @@ fn builtin_kernel(name: &str) -> BenchmarkDef {
     }
 }
 
-fn print_status(status: &sfi_serve::client::JobStatus) {
+fn print_status(status: &sfi_serve::jobs::JobStatus) {
     println!(
-        "job {} {} ({}/{} cells, {} trials{})",
+        "job {} {} [{}, client {}] ({}/{} cells, {} trials{}{}{})",
         status.job,
-        status.state,
+        status.state.as_str(),
+        status.priority.as_str(),
+        status.client,
         status.completed_cells,
         status.total_cells,
         status.executed_trials,
+        if status.preemptions > 0 {
+            format!(", {} preemption(s)", status.preemptions)
+        } else {
+            String::new()
+        },
+        if status.evicted {
+            ", result evicted"
+        } else {
+            ""
+        },
         status
             .error
             .as_deref()
@@ -141,7 +158,7 @@ fn run(
             println!(
                 "protocol v{}, STA limit {:.1} MHz @ {} V, voltages {:?}, \
                  characterization {}, {} job(s) so far",
-                info.protocol,
+                info.v,
                 info.sta_limit_mhz,
                 info.nominal_vdd,
                 info.voltages,
@@ -152,21 +169,67 @@ fn run(
                 },
                 info.jobs
             );
+            println!(
+                "scheduler: {}/{} job slot(s) busy × {} thread(s), queued quota {}, \
+                 running quota {}, retained {} result byte(s){}",
+                info.running_jobs,
+                info.max_concurrent_jobs,
+                info.threads_per_job,
+                match info.max_queued_per_client {
+                    Some(n) => n.to_string(),
+                    None => "unlimited".into(),
+                },
+                match info.max_running_per_client {
+                    Some(n) => n.to_string(),
+                    None => "unlimited".into(),
+                },
+                info.retained_result_bytes,
+                match info.result_cap_bytes {
+                    Some(n) => format!(" of {n} cap"),
+                    None => " (no cap)".into(),
+                },
+            );
         }
         "submit" => {
             let path = args
                 .first()
                 .unwrap_or_else(|| usage_fail("submit needs a FILE"));
+            let mut priority = Priority::Normal;
+            let mut client_id: Option<String> = None;
+            let mut i = 1;
+            while i < args.len() {
+                let value = |i: &mut usize| -> String {
+                    *i += 1;
+                    args.get(*i)
+                        .cloned()
+                        .unwrap_or_else(|| usage_fail("flag needs a value"))
+                };
+                match args[i].as_str() {
+                    "--priority" => {
+                        let name = value(&mut i);
+                        priority = Priority::parse(&name).unwrap_or_else(|| {
+                            usage_fail(format!(
+                                "unknown priority '{name}' (expected low, normal or high)"
+                            ))
+                        });
+                    }
+                    "--client" => client_id = Some(value(&mut i)),
+                    other => usage_fail(format!("unknown flag '{other}'")),
+                }
+                i += 1;
+            }
             let text = std::fs::read_to_string(path)
                 .unwrap_or_else(|err| fail(format!("cannot read {path}: {err}")));
             let doc = Json::parse(&text)
                 .unwrap_or_else(|err| fail(format!("{path} is not valid JSON: {err}")));
             let def =
                 CampaignDef::from_json(&doc).unwrap_or_else(|err| fail(format!("{path}: {err}")));
-            let ticket = client.submit(&def)?;
+            let ticket = client.submit_with(&def, priority, client_id.as_deref())?;
             println!(
-                "job {} submitted ({} cells)",
-                ticket.job, ticket.total_cells
+                "job {} submitted ({} cells, {} priority)",
+                ticket.job,
+                ticket.total_cells,
+                ticket.priority.as_str()
             );
         }
         "demo" => {
@@ -293,8 +356,11 @@ fn run(
                     request.hi_mhz, reply.cells_evaluated
                 ),
             }
-            for (freq, correct) in &reply.evaluated {
-                println!("  {freq:>8.1} MHz  correct {correct:.3}");
+            for point in &reply.evaluated {
+                println!(
+                    "  {:>8.1} MHz  correct {:.3}",
+                    point.freq_mhz, point.correct_fraction
+                );
             }
         }
         "shutdown" => {

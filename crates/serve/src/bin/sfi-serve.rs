@@ -12,12 +12,29 @@ const USAGE: &str = "\
 usage: sfi-serve [options]
 
 options:
-  --addr HOST:PORT      listen address (default 127.0.0.1:7433; port 0 = ephemeral)
-  --fast                serve the scaled-down 8-bit case study instead of the paper's 32-bit one
-  --threads N           campaign engine worker threads (0 or omitted = all CPUs)
-  --cache-dir DIR       persistent characterization cache (restarts skip the DTA rebuild)
-  --checkpoint-dir DIR  per-job campaign checkpoints (identical re-submissions resume)
-  --help                print this help
+  --addr HOST:PORT           listen address (default 127.0.0.1:7433; port 0 = ephemeral)
+  --fast                     serve the scaled-down 8-bit case study instead of the paper's
+                             32-bit one
+  --threads N                global engine worker-thread budget shared by all running jobs
+                             (0 or omitted = all CPUs)
+  --max-concurrent-jobs N    jobs the scheduler runs at once, each on an equal share of the
+                             thread budget (default 1)
+  --max-queued-per-client N  per-client queued-jobs quota; excess submits are rejected with
+                             a quota_exceeded error (0 or omitted = unlimited)
+  --max-running-per-client N per-client running-jobs quota; excess jobs wait in the queue
+                             (0 or omitted = unlimited)
+  --result-cap-bytes N       byte cap on retained result JSON; least-recently-fetched
+                             results are evicted above it and report result_evicted
+                             (0 or omitted = retain everything until shutdown)
+  --cache-dir DIR            persistent characterization cache (restarts skip the DTA
+                             rebuild)
+  --checkpoint-dir DIR       per-job campaign checkpoints (identical re-submissions resume)
+  --help                     print this help
+
+Scheduling: submitted jobs carry a priority class (low/normal/high); dispatch is strict
+priority order, FIFO within a class, and a queued job may cooperatively preempt a running
+lower-priority one (the preempted job resumes bit-identically from its completed cells).
+The wire protocol is documented in docs/PROTOCOL.md.
 ";
 
 fn fail(message: impl std::fmt::Display) -> ! {
@@ -36,6 +53,11 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| fail(format!("{flag} needs a value")))
     };
+    let unsigned = |i: &mut usize, flag: &str| -> usize {
+        value(i, flag)
+            .parse()
+            .unwrap_or_else(|_| fail(format!("{flag} needs an unsigned integer")))
+    };
     while i < argv.len() {
         match argv[i].as_str() {
             "--addr" => config.addr = value(&mut i, "--addr"),
@@ -46,11 +68,28 @@ fn main() {
                 }
             }
             "--threads" => {
-                let n: usize = value(&mut i, "--threads")
-                    .parse()
-                    .unwrap_or_else(|_| fail("--threads needs an unsigned integer"));
                 // 0 means "auto" (all CPUs), like the figure binaries.
+                let n = unsigned(&mut i, "--threads");
                 config.threads = (n > 0).then_some(n);
+            }
+            "--max-concurrent-jobs" => {
+                let n = unsigned(&mut i, "--max-concurrent-jobs");
+                if n == 0 {
+                    fail("--max-concurrent-jobs must be at least 1");
+                }
+                config.max_concurrent_jobs = n;
+            }
+            "--max-queued-per-client" => {
+                let n = unsigned(&mut i, "--max-queued-per-client");
+                config.max_queued_per_client = (n > 0).then_some(n);
+            }
+            "--max-running-per-client" => {
+                let n = unsigned(&mut i, "--max-running-per-client");
+                config.max_running_per_client = (n > 0).then_some(n);
+            }
+            "--result-cap-bytes" => {
+                let n = unsigned(&mut i, "--result-cap-bytes");
+                config.result_cap_bytes = (n > 0).then_some(n);
             }
             "--cache-dir" => config.cache_dir = Some(PathBuf::from(value(&mut i, "--cache-dir"))),
             "--checkpoint-dir" => {

@@ -4,12 +4,23 @@
 //! as a method.  All methods are synchronous: one request, one response
 //! (or, for [`Client::stream`], one response per cell until the job
 //! ends).  The same connection can issue any number of requests.
+//!
+//! Responses are decoded through the shared [`Response`] frame type, so
+//! the client accepts exactly the vocabulary `docs/PROTOCOL.md`
+//! specifies; server `error` frames surface as [`ClientError::Server`]
+//! with their machine-readable [`ErrorCode`].
 
-use crate::protocol::{read_frame, write_frame, PoffRequest, Request};
+use crate::jobs::{JobStatus, Priority};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, PoffReply, PoffRequest, Request, Response, ServerInfo,
+    SubmitRequest,
+};
 use crate::wire::{CampaignDef, WireError};
 use sfi_core::json::Json;
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
+
+pub use crate::jobs::JobState;
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -19,7 +30,22 @@ pub enum ClientError {
     /// The server closed or sent something unintelligible.
     Protocol(String),
     /// The server answered with an `error` frame.
-    Server(String),
+    Server {
+        /// Machine-readable error classification.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl ClientError {
+    /// The error code of a server-side rejection, if this is one.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -27,7 +53,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(err) => write!(f, "transport error: {err}"),
             ClientError::Protocol(message) => write!(f, "protocol error: {message}"),
-            ClientError::Server(message) => write!(f, "server error: {message}"),
+            ClientError::Server { code, message } => write!(f, "server error ({code}): {message}"),
         }
     }
 }
@@ -40,25 +66,6 @@ impl From<io::Error> for ClientError {
     }
 }
 
-/// Server information from a `pong` frame.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ServerInfo {
-    /// Protocol version.
-    pub protocol: u64,
-    /// Fingerprint of the served [`sfi_core::CaseStudyConfig`].
-    pub study_fingerprint: u64,
-    /// STA limit at the nominal voltage, MHz.
-    pub sta_limit_mhz: f64,
-    /// The nominal supply voltage.
-    pub nominal_vdd: f64,
-    /// Characterized supply voltages.
-    pub voltages: Vec<f64>,
-    /// Whether the daemon started warm from the characterization cache.
-    pub characterization_cache_hit: bool,
-    /// Jobs submitted to this daemon so far.
-    pub jobs: usize,
-}
-
 /// A `submitted` acknowledgement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobTicket {
@@ -66,61 +73,14 @@ pub struct JobTicket {
     pub job: u64,
     /// Number of cells the campaign will run.
     pub total_cells: usize,
-}
-
-/// One job-status snapshot.
-#[derive(Debug, Clone, PartialEq)]
-pub struct JobStatus {
-    /// The job id.
-    pub job: u64,
-    /// `queued`, `running`, `done`, `failed` or `cancelled`.
-    pub state: String,
-    /// Cells completed so far.
-    pub completed_cells: usize,
-    /// Total cells of the campaign.
-    pub total_cells: usize,
-    /// Trials actually simulated (final states only).
-    pub executed_trials: usize,
-    /// Failure message, if failed.
-    pub error: Option<String>,
-}
-
-impl JobStatus {
-    /// Whether the job can no longer make progress.
-    pub fn is_terminal(&self) -> bool {
-        matches!(self.state.as_str(), "done" | "failed" | "cancelled")
-    }
-}
-
-/// The outcome of a PoFF query.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PoffReply {
-    /// The located point of first failure, if any failure was found.
-    pub poff_mhz: Option<f64>,
-    /// Frequencies the bisection actually evaluated.
-    pub cells_evaluated: usize,
-    /// `(freq_mhz, correct_fraction)` of every evaluated point, sorted.
-    pub evaluated: Vec<(f64, f64)>,
+    /// The scheduling class the job was accepted at.
+    pub priority: Priority,
 }
 
 /// A synchronous protocol client over one TCP connection.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
-}
-
-fn frame_u64(frame: &Json, key: &str) -> Result<u64, ClientError> {
-    frame
-        .get(key)
-        .and_then(Json::as_u64)
-        .ok_or_else(|| ClientError::Protocol(format!("response lacks '{key}'")))
-}
-
-fn frame_f64(frame: &Json, key: &str) -> Result<f64, ClientError> {
-    frame
-        .get(key)
-        .and_then(Json::as_f64)
-        .ok_or_else(|| ClientError::Protocol(format!("response lacks '{key}'")))
 }
 
 impl Client {
@@ -139,87 +99,75 @@ impl Client {
 
     /// Receives one response frame, surfacing `error` frames as
     /// [`ClientError::Server`].
-    fn receive(&mut self) -> Result<Json, ClientError> {
+    fn receive(&mut self) -> Result<Response, ClientError> {
         let frame = match read_frame(&mut self.reader)? {
             None => return Err(ClientError::Protocol("server closed the connection".into())),
             Some(Ok(frame)) => frame,
             Some(Err(WireError(message))) => return Err(ClientError::Protocol(message)),
         };
-        if frame.get("type").and_then(Json::as_str) == Some("error") {
-            return Err(ClientError::Server(
-                frame
-                    .get("message")
-                    .and_then(Json::as_str)
-                    .unwrap_or("unspecified server error")
-                    .to_string(),
-            ));
+        match Response::from_json(&frame) {
+            Ok(Response::Error { code, message }) => Err(ClientError::Server { code, message }),
+            Ok(response) => Ok(response),
+            Err(WireError(message)) => Err(ClientError::Protocol(message)),
         }
-        Ok(frame)
     }
 
-    fn call(&mut self, request: &Request, expected: &str) -> Result<Json, ClientError> {
-        self.send(request)?;
-        let frame = self.receive()?;
-        match frame.get("type").and_then(Json::as_str) {
-            Some(kind) if kind == expected => Ok(frame),
-            other => Err(ClientError::Protocol(format!(
-                "expected a '{expected}' response, got {other:?}"
-            ))),
-        }
+    fn unexpected<T>(context: &str, response: &Response) -> Result<T, ClientError> {
+        Err(ClientError::Protocol(format!(
+            "expected a '{context}' response, got {response:?}"
+        )))
     }
 
     /// Probes the daemon and returns its self-description.
     pub fn ping(&mut self) -> Result<ServerInfo, ClientError> {
-        let frame = self.call(&Request::Ping, "pong")?;
-        Ok(ServerInfo {
-            protocol: frame_u64(&frame, "protocol")?,
-            study_fingerprint: frame_u64(&frame, "study_fingerprint")?,
-            sta_limit_mhz: frame_f64(&frame, "sta_limit_mhz")?,
-            nominal_vdd: frame_f64(&frame, "nominal_vdd")?,
-            voltages: frame
-                .get("voltages")
-                .and_then(Json::as_arr)
-                .map(|arr| arr.iter().filter_map(Json::as_f64).collect())
-                .unwrap_or_default(),
-            characterization_cache_hit: frame
-                .get("characterization_cache_hit")
-                .and_then(Json::as_bool)
-                .unwrap_or(false),
-            jobs: frame_u64(&frame, "jobs")? as usize,
-        })
+        self.send(&Request::Ping)?;
+        match self.receive()? {
+            Response::Pong(info) => Ok(info),
+            other => Self::unexpected("pong", &other),
+        }
     }
 
-    /// Submits a campaign; returns the job ticket.
+    /// Submits a campaign at `normal` priority under the daemon's default
+    /// client id; returns the job ticket.
     pub fn submit(&mut self, def: &CampaignDef) -> Result<JobTicket, ClientError> {
-        let frame = self.call(&Request::Submit(def.clone()), "submitted")?;
-        Ok(JobTicket {
-            job: frame_u64(&frame, "job")?,
-            total_cells: frame_u64(&frame, "total_cells")? as usize,
-        })
+        self.submit_with(def, Priority::Normal, None)
     }
 
-    fn decode_status(frame: &Json) -> Result<JobStatus, ClientError> {
-        Ok(JobStatus {
-            job: frame_u64(frame, "job")?,
-            state: frame
-                .get("state")
-                .and_then(Json::as_str)
-                .ok_or_else(|| ClientError::Protocol("status lacks 'state'".into()))?
-                .to_string(),
-            completed_cells: frame_u64(frame, "completed_cells")? as usize,
-            total_cells: frame_u64(frame, "total_cells")? as usize,
-            executed_trials: frame_u64(frame, "executed_trials")? as usize,
-            error: frame
-                .get("error")
-                .and_then(Json::as_str)
-                .map(|s| s.to_string()),
-        })
+    /// Submits a campaign with an explicit scheduling class and client id
+    /// (the id quotas are accounted against).
+    pub fn submit_with(
+        &mut self,
+        def: &CampaignDef,
+        priority: Priority,
+        client: Option<&str>,
+    ) -> Result<JobTicket, ClientError> {
+        self.send(&Request::Submit(SubmitRequest {
+            spec: def.clone(),
+            priority,
+            client: client.map(str::to_string),
+        }))?;
+        match self.receive()? {
+            Response::Submitted {
+                job,
+                total_cells,
+                priority,
+                ..
+            } => Ok(JobTicket {
+                job,
+                total_cells,
+                priority,
+            }),
+            other => Self::unexpected("submitted", &other),
+        }
     }
 
     /// Polls one job's status.
     pub fn status(&mut self, job: u64) -> Result<JobStatus, ClientError> {
-        let frame = self.call(&Request::Status(job), "status")?;
-        Self::decode_status(&frame)
+        self.send(&Request::Status(job))?;
+        match self.receive()? {
+            Response::Status(status) => Ok(status),
+            other => Self::unexpected("status", &other),
+        }
     }
 
     /// Streams the job's per-cell results as they complete, invoking
@@ -232,26 +180,10 @@ impl Client {
     ) -> Result<String, ClientError> {
         self.send(&Request::Stream(job))?;
         loop {
-            let frame = self.receive()?;
-            match frame.get("type").and_then(Json::as_str) {
-                Some("cell") => {
-                    let cell = frame
-                        .get("cell")
-                        .ok_or_else(|| ClientError::Protocol("cell frame lacks 'cell'".into()))?;
-                    on_cell(cell);
-                }
-                Some("end") => {
-                    return Ok(frame
-                        .get("state")
-                        .and_then(Json::as_str)
-                        .unwrap_or("unknown")
-                        .to_string());
-                }
-                other => {
-                    return Err(ClientError::Protocol(format!(
-                        "expected 'cell' or 'end', got {other:?}"
-                    )));
-                }
+            match self.receive()? {
+                Response::Cell { cell, .. } => on_cell(&cell),
+                Response::End { state, .. } => return Ok(state.as_str().to_string()),
+                other => return Self::unexpected("cell' or 'end", &other),
             }
         }
     }
@@ -259,50 +191,38 @@ impl Client {
     /// Fetches a finished job's full result document (the campaign
     /// checkpoint format).
     pub fn result(&mut self, job: u64) -> Result<Json, ClientError> {
-        let frame = self.call(&Request::Result(job), "result")?;
-        frame
-            .get("document")
-            .cloned()
-            .ok_or_else(|| ClientError::Protocol("result frame lacks 'document'".into()))
+        self.send(&Request::Result(job))?;
+        match self.receive()? {
+            Response::ResultDoc { document, .. } => Ok(document),
+            other => Self::unexpected("result", &other),
+        }
     }
 
     /// Runs a PoFF bisection query on the daemon.
     pub fn poff(&mut self, request: &PoffRequest) -> Result<PoffReply, ClientError> {
-        let frame = self.call(&Request::Poff(request.clone()), "poff")?;
-        let evaluated = frame
-            .get("evaluated")
-            .and_then(Json::as_arr)
-            .map(|arr| {
-                arr.iter()
-                    .filter_map(|point| {
-                        Some((
-                            point.get("freq_mhz")?.as_f64()?,
-                            point.get("correct_fraction")?.as_f64()?,
-                        ))
-                    })
-                    .collect()
-            })
-            .unwrap_or_default();
-        Ok(PoffReply {
-            poff_mhz: frame
-                .get("poff_mhz")
-                .and_then(Json::as_f64)
-                .filter(|v| v.is_finite()),
-            cells_evaluated: frame_u64(&frame, "cells_evaluated")? as usize,
-            evaluated,
-        })
+        self.send(&Request::Poff(request.clone()))?;
+        match self.receive()? {
+            Response::Poff(reply) => Ok(reply),
+            other => Self::unexpected("poff", &other),
+        }
     }
 
     /// Cancels a queued or running job.
     pub fn cancel(&mut self, job: u64) -> Result<(), ClientError> {
-        self.call(&Request::Cancel(job), "cancelled")?;
-        Ok(())
+        self.send(&Request::Cancel(job))?;
+        match self.receive()? {
+            Response::Cancelled { .. } => Ok(()),
+            other => Self::unexpected("cancelled", &other),
+        }
     }
 
     /// Asks the daemon to shut down gracefully.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
-        self.call(&Request::Shutdown, "bye")?;
-        Ok(())
+        self.send(&Request::Shutdown)?;
+        match self.receive()? {
+            Response::Bye => Ok(()),
+            other => Self::unexpected("bye", &other),
+        }
     }
 
     /// Polls `status` until the job reaches a terminal state.

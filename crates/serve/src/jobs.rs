@@ -1,34 +1,105 @@
-//! The daemon's job table and scheduler.
+//! The daemon's job table and multi-job scheduler.
 //!
 //! Submitted campaigns become *jobs*: numbered entries that move through
-//! `queued → running → done | failed | cancelled`.  A single scheduler
-//! thread drains the queue in submission order onto one shared
-//! [`CampaignEngine`] (the engine itself parallelizes across trials, so
-//! one job at a time keeps the machine saturated without oversubscribing
-//! it).  Per-cell results stream into the entry as the engine finishes
-//! them — connection handlers block on a condvar and forward each cell to
-//! their client the moment it lands.
+//! `queued → running → done | failed | cancelled` (with a `running →
+//! queued` back-edge for preempted jobs).  The scheduler keeps up to
+//! [`SchedulerConfig::max_concurrent_jobs`] jobs running at once, each on
+//! its own [`CampaignEngine`] with an equal share of the global
+//! worker-thread budget, so campaign jobs never oversubscribe
+//! [`SchedulerConfig::threads`] no matter how many are in flight.
+//! (Synchronous `poff` queries run on their connection handlers outside
+//! these slots, each capped at one job's thread budget.)
 //!
-//! Cancellation is cooperative via the engine's cancel flag; results of
-//! finished jobs are retained until the daemon exits.
+//! # Priorities and preemption
+//!
+//! Every job carries a [`Priority`] (`low`/`normal`/`high`); dispatch is
+//! strict priority order, FIFO within a class.  When a job outranking
+//! every free slot arrives, the scheduler requests *cooperative
+//! preemption* of the lowest-priority running job: the victim's engine
+//! stops at the next trial boundary, its completed cells stay in the
+//! table, and the job is resubmitted at the head of its class queue.  On
+//! resume those cells are seeded back into the engine
+//! ([`CampaignEngine::with_seed_cells`]), so the finished job is
+//! bit-identical to one that was never preempted.
+//!
+//! # Quotas
+//!
+//! Per-client quotas bound how much of the daemon one client id can
+//! consume: at most [`TableLimits::max_queued_per_client`] queued jobs
+//! (excess submissions are rejected with a `quota_exceeded` error) and at
+//! most [`TableLimits::max_running_per_client`] running jobs (excess jobs
+//! simply wait in the queue while other clients' jobs overtake them).
+//! Jobs the scheduler itself requeued after a preemption do not count
+//! against the queued quota.
+//!
+//! # Result retention
+//!
+//! Terminal jobs retain their data for later `result`/`stream` fetches,
+//! up to [`TableLimits::result_cap_bytes`] of serialized JSON across all
+//! jobs (done jobs retain their result document plus streamed cells;
+//! cancelled and failed jobs their streamed cells).  Above the cap, the
+//! least-recently-fetched entries are evicted; fetching an evicted
+//! result reports `result_evicted` (the job's final status survives
+//! eviction, only the data is dropped).
 
 use sfi_campaign::{checkpoint, CampaignEngine, CampaignSpec, CellResult};
 use sfi_core::json::Json;
 use sfi_core::CaseStudy;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// Scheduling priority of a job: strict priority dispatch, FIFO within a
+/// class.  A queued `high` job may cooperatively preempt a running `low`
+/// or `normal` job (and a queued `normal` job a running `low` one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Runs when nothing more urgent is queued; preemptible by both
+    /// `normal` and `high` jobs.
+    Low = 0,
+    /// The default class; preemptible by `high` jobs.
+    Normal = 1,
+    /// Dispatches before everything else and is never preempted.
+    High = 2,
+}
+
+impl Priority {
+    /// The wire name of the class (`"low"` / `"normal"` / `"high"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+
+    /// Parses a wire name; `None` for anything else.
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "low" => Some(Priority::Low),
+            "normal" => Some(Priority::Normal),
+            "high" => Some(Priority::High),
+            _ => None,
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
 
 /// Lifecycle state of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
-    /// Waiting in the scheduler queue.
+    /// Waiting in the scheduler queue (fresh, or requeued after a
+    /// preemption).
     Queued,
-    /// Currently executing on the engine.
+    /// Currently executing on an engine.
     Running,
-    /// Finished; the full result is available.
+    /// Finished; the full result is available (unless evicted).
     Done,
     /// Aborted by an execution error.
     Failed,
@@ -48,6 +119,18 @@ impl JobState {
         }
     }
 
+    /// Parses a wire name; `None` for anything else.
+    pub fn parse(s: &str) -> Option<JobState> {
+        match s {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "done" => Some(JobState::Done),
+            "failed" => Some(JobState::Failed),
+            "cancelled" => Some(JobState::Cancelled),
+            _ => None,
+        }
+    }
+
     /// Whether the job can no longer make progress.
     pub fn is_terminal(self) -> bool {
         matches!(
@@ -64,29 +147,72 @@ pub struct JobStatus {
     pub job: u64,
     /// Current lifecycle state.
     pub state: JobState,
+    /// The job's scheduling priority.
+    pub priority: Priority,
+    /// The submitting client id.
+    pub client: String,
     /// Cells completed so far.
     pub completed_cells: usize,
     /// Total cells of the campaign.
     pub total_cells: usize,
-    /// Trials actually simulated (known once the job finishes).
+    /// Trials actually simulated, accumulated across preemptions (final
+    /// once the job is terminal).
     pub executed_trials: usize,
+    /// How many times the job was preempted by a higher-priority one.
+    pub preemptions: u64,
+    /// Whether the finished result was evicted by the retention cap.
+    pub evicted: bool,
     /// Failure message, if the job failed.
     pub error: Option<String>,
+}
+
+impl JobStatus {
+    /// Whether the job can no longer make progress.
+    pub fn is_terminal(&self) -> bool {
+        self.state.is_terminal()
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitRejected {
+    /// The client already has the maximum number of queued jobs.
+    QuotaExceeded(String),
+    /// The daemon is shutting down.
+    ShuttingDown,
 }
 
 struct JobEntry {
     /// The instantiated campaign (validated and built once, at submit).
     spec: CampaignSpec,
     state: JobState,
+    priority: Priority,
+    client: String,
     total_cells: usize,
     /// Streamed per-cell documents (checkpoint cell format), completion
-    /// order.
+    /// order.  Doubles as the preemption checkpoint: on resume these are
+    /// decoded and seeded back into the engine.
     cells: Vec<Json>,
-    /// Full result document, once done.
+    /// Cell indices already present in `cells` (so re-announced seeded
+    /// cells are not streamed twice).
+    seen_cells: BTreeSet<usize>,
+    /// Full result document, once done (dropped on eviction).
     result: Option<Json>,
     executed_trials: usize,
     error: Option<String>,
+    /// Cooperative stop flag of the current (or next) run; replaced with
+    /// a fresh flag when the job is requeued after a preemption.
     cancel: Arc<AtomicBool>,
+    /// The client (or daemon shutdown) asked for cancellation.
+    user_cancelled: bool,
+    /// The scheduler asked the running job to yield its slot.
+    preempt_requested: bool,
+    preemptions: u64,
+    /// Retained result size (serialized result document + cell frames).
+    retained_bytes: usize,
+    evicted: bool,
+    /// LRU stamp, bumped on every result/stream fetch.
+    last_access: u64,
 }
 
 impl JobEntry {
@@ -94,26 +220,100 @@ impl JobEntry {
         JobStatus {
             job,
             state: self.state,
+            priority: self.priority,
+            client: self.client.clone(),
             completed_cells: self.cells.len(),
             total_cells: self.total_cells,
             executed_trials: self.executed_trials,
+            preemptions: self.preemptions,
+            evicted: self.evicted,
             error: self.error.clone(),
         }
     }
 }
 
+/// Per-client and retention limits enforced by the table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableLimits {
+    /// Max jobs one client id may have queued (`None` = unlimited);
+    /// submissions beyond it are rejected.
+    pub max_queued_per_client: Option<usize>,
+    /// Max jobs one client id may have running (`None` = unlimited);
+    /// excess jobs wait in the queue.
+    pub max_running_per_client: Option<usize>,
+    /// Byte cap on retained result JSON across all jobs (`None` =
+    /// retain everything until shutdown).
+    pub result_cap_bytes: Option<usize>,
+}
+
 struct Inner {
     next_id: u64,
     stop: bool,
-    queue: VecDeque<u64>,
+    /// One FIFO queue per priority class, indexed by `Priority::index`.
+    queues: [VecDeque<u64>; 3],
+    running: Vec<u64>,
     jobs: BTreeMap<u64, JobEntry>,
+    /// Total retained result bytes across all jobs.
+    retained_total: usize,
+    /// Monotonic clock for LRU stamps.
+    lru_clock: u64,
 }
 
-/// The shared job table: submission queue, per-job state and streaming
-/// buffers.
+impl Inner {
+    /// Queued jobs counted against `client`'s quota.  Jobs the scheduler
+    /// itself requeued after a preemption (`preemptions > 0`) are
+    /// excluded: the client did not put them back in the queue, so they
+    /// must not consume its submission quota.
+    fn queued_count(&self, client: &str) -> usize {
+        self.jobs
+            .values()
+            .filter(|e| e.state == JobState::Queued && e.preemptions == 0 && e.client == client)
+            .count()
+    }
+
+    fn running_count(&self, client: &str) -> usize {
+        self.running
+            .iter()
+            .filter(|id| self.jobs.get(id).is_some_and(|e| e.client == client))
+            .count()
+    }
+
+    fn touch(&mut self, id: u64) {
+        self.lru_clock += 1;
+        let stamp = self.lru_clock;
+        if let Some(entry) = self.jobs.get_mut(&id) {
+            entry.last_access = stamp;
+        }
+    }
+
+    /// Evicts least-recently-fetched finished results until the retained
+    /// total fits under the cap again.
+    fn evict_to_cap(&mut self, cap: usize) {
+        while self.retained_total > cap {
+            let victim = self
+                .jobs
+                .iter()
+                .filter(|(_, e)| e.retained_bytes > 0)
+                .min_by_key(|(_, e)| e.last_access)
+                .map(|(&id, _)| id);
+            let Some(id) = victim else { break };
+            let entry = self.jobs.get_mut(&id).expect("victim exists");
+            self.retained_total -= entry.retained_bytes;
+            entry.retained_bytes = 0;
+            entry.result = None;
+            entry.cells = Vec::new();
+            entry.evicted = true;
+        }
+    }
+}
+
+/// The shared job table: priority queues, per-job state, streaming
+/// buffers and the result-retention accounting.
 pub struct JobTable {
     inner: Mutex<Inner>,
-    /// Wakes the scheduler when a job is queued or the daemon stops.
+    limits: TableLimits,
+    /// Wakes the scheduler when a job is queued, a slot frees up or the
+    /// daemon stops.
     scheduler_wake: Condvar,
     /// Wakes streaming handlers when any job gains a cell or changes
     /// state.
@@ -127,6 +327,22 @@ pub enum NextCell {
     Cell(Json),
     /// No more cells will arrive; the job ended in this state.
     End(JobState),
+    /// The job finished but its retained cells were evicted.
+    Evicted,
+    /// The job id is unknown.
+    Unknown,
+}
+
+/// What a result fetch yields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResultFetch {
+    /// The finished job's full result document.
+    Document(Json),
+    /// The job finished but its result was evicted by the retention cap.
+    Evicted,
+    /// The job is not in the `done` state (still in flight, failed or
+    /// cancelled), so there is no result document.
+    NotReady,
     /// The job id is unknown.
     Unknown,
 }
@@ -138,18 +354,32 @@ impl Default for JobTable {
 }
 
 impl JobTable {
-    /// An empty table.
+    /// An empty table with no quotas and unlimited result retention.
     pub fn new() -> Self {
+        JobTable::with_limits(TableLimits::default())
+    }
+
+    /// An empty table enforcing `limits`.
+    pub fn with_limits(limits: TableLimits) -> Self {
         JobTable {
             inner: Mutex::new(Inner {
                 next_id: 1,
                 stop: false,
-                queue: VecDeque::new(),
+                queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                running: Vec::new(),
                 jobs: BTreeMap::new(),
+                retained_total: 0,
+                lru_clock: 0,
             }),
+            limits,
             scheduler_wake: Condvar::new(),
             update: Condvar::new(),
         }
+    }
+
+    /// The limits this table enforces.
+    pub fn limits(&self) -> TableLimits {
+        self.limits
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -158,9 +388,26 @@ impl JobTable {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// Enqueues an instantiated campaign; returns the job id.
-    pub fn submit(&self, spec: CampaignSpec) -> u64 {
+    /// Enqueues an instantiated campaign for `client` at `priority`;
+    /// returns the job id, or the typed rejection if the client's queued
+    /// quota is exhausted or the daemon is stopping.
+    pub fn submit(
+        &self,
+        spec: CampaignSpec,
+        priority: Priority,
+        client: &str,
+    ) -> Result<u64, SubmitRejected> {
         let mut inner = self.lock();
+        if inner.stop {
+            return Err(SubmitRejected::ShuttingDown);
+        }
+        if let Some(max) = self.limits.max_queued_per_client {
+            if inner.queued_count(client) >= max {
+                return Err(SubmitRejected::QuotaExceeded(format!(
+                    "client '{client}' already has {max} queued job(s)"
+                )));
+            }
+        }
         let id = inner.next_id;
         inner.next_id += 1;
         let total_cells = spec.cells().len();
@@ -169,17 +416,26 @@ impl JobTable {
             JobEntry {
                 spec,
                 state: JobState::Queued,
+                priority,
+                client: client.to_string(),
                 total_cells,
                 cells: Vec::new(),
+                seen_cells: BTreeSet::new(),
                 result: None,
                 executed_trials: 0,
                 error: None,
                 cancel: Arc::new(AtomicBool::new(false)),
+                user_cancelled: false,
+                preempt_requested: false,
+                preemptions: 0,
+                retained_bytes: 0,
+                evicted: false,
+                last_access: 0,
             },
         );
-        inner.queue.push_back(id);
+        inner.queues[priority.index()].push_back(id);
         self.scheduler_wake.notify_all();
-        id
+        Ok(id)
     }
 
     /// The status of job `id`, if it exists.
@@ -187,12 +443,23 @@ impl JobTable {
         self.lock().jobs.get(&id).map(|entry| entry.status(id))
     }
 
-    /// The retained result document of job `id`, if it finished.
-    pub fn result(&self, id: u64) -> Option<Json> {
-        self.lock()
-            .jobs
-            .get(&id)
-            .and_then(|entry| entry.result.clone())
+    /// The retained result document of job `id`.
+    pub fn result(&self, id: u64) -> ResultFetch {
+        let mut inner = self.lock();
+        let Some(entry) = inner.jobs.get(&id) else {
+            return ResultFetch::Unknown;
+        };
+        if entry.evicted {
+            return ResultFetch::Evicted;
+        }
+        match &entry.result {
+            Some(doc) => {
+                let doc = doc.clone();
+                inner.touch(id);
+                ResultFetch::Document(doc)
+            }
+            None => ResultFetch::NotReady,
+        }
     }
 
     /// Requests cancellation of job `id`.  Queued jobs are cancelled
@@ -203,25 +470,33 @@ impl JobTable {
         let Some(entry) = inner.jobs.get_mut(&id) else {
             return false;
         };
+        entry.user_cancelled = true;
         entry.cancel.store(true, Ordering::SeqCst);
         if entry.state == JobState::Queued {
             entry.state = JobState::Cancelled;
-            inner.queue.retain(|&q| q != id);
+            entry.spec = CampaignSpec::new(String::new(), 0);
+            for queue in &mut inner.queues {
+                queue.retain(|&q| q != id);
+            }
         }
         self.update.notify_all();
         true
     }
 
     /// Initiates daemon shutdown: cancels everything and wakes the
-    /// scheduler so it can exit.
+    /// scheduler so it can drain its runners and exit.
     pub fn stop(&self) {
         let mut inner = self.lock();
         inner.stop = true;
-        inner.queue.clear();
+        for queue in &mut inner.queues {
+            queue.clear();
+        }
         for entry in inner.jobs.values_mut() {
+            entry.user_cancelled = true;
             entry.cancel.store(true, Ordering::SeqCst);
             if entry.state == JobState::Queued {
                 entry.state = JobState::Cancelled;
+                entry.spec = CampaignSpec::new(String::new(), 0);
             }
         }
         self.scheduler_wake.notify_all();
@@ -238,17 +513,32 @@ impl JobTable {
         self.lock().jobs.len()
     }
 
+    /// Number of jobs currently in the `running` state.
+    pub fn running_count(&self) -> usize {
+        self.lock().running.len()
+    }
+
+    /// Total retained result bytes across all finished jobs.
+    pub fn retained_bytes(&self) -> usize {
+        self.lock().retained_total
+    }
+
     /// Blocks until cell `index` of job `id` exists (returning it), the
     /// job reaches a terminal state with no more cells (returning
-    /// [`NextCell::End`]), or the id turns out unknown.
+    /// [`NextCell::End`]), or the id turns out unknown or evicted.
     pub fn next_cell(&self, id: u64, index: usize) -> NextCell {
         let mut inner = self.lock();
         loop {
             let Some(entry) = inner.jobs.get(&id) else {
                 return NextCell::Unknown;
             };
+            if entry.evicted {
+                return NextCell::Evicted;
+            }
             if let Some(cell) = entry.cells.get(index) {
-                return NextCell::Cell(cell.clone());
+                let cell = cell.clone();
+                inner.touch(id);
+                return NextCell::Cell(cell);
             }
             if entry.state.is_terminal() {
                 return NextCell::End(entry.state);
@@ -278,36 +568,164 @@ impl JobTable {
 }
 
 /// Execution configuration of the scheduler.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SchedulerConfig {
-    /// Engine worker threads (`None` = all CPUs).
+    /// Global worker-thread budget shared by all concurrently running
+    /// jobs (`None` = all CPUs).
     pub threads: Option<usize>,
+    /// Maximum number of jobs running at once; each gets an equal share
+    /// of the thread budget (at least one thread).
+    pub max_concurrent_jobs: usize,
     /// Directory for per-job campaign checkpoints; identical re-submitted
     /// campaigns resume instead of recomputing.
     pub checkpoint_dir: Option<PathBuf>,
 }
 
-/// Runs the scheduler loop until [`JobTable::stop`] is observed.
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            threads: None,
+            max_concurrent_jobs: 1,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// The engine thread budget of one running job: the global budget
+    /// split evenly across the concurrency slots, never below one thread
+    /// per job.
+    pub fn threads_per_job(&self) -> usize {
+        let total = self.threads.unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        (total / self.max_concurrent_jobs.max(1)).max(1)
+    }
+}
+
+/// What the scheduler decided to do after scanning the queues.
+enum Dispatch {
+    /// Start this job (already marked running; spec/cancel/seeds copied
+    /// out under the lock).
+    Start {
+        id: u64,
+        spec: CampaignSpec,
+        cancel: Arc<AtomicBool>,
+        seeds: Vec<CellResult>,
+    },
+    /// Nothing startable right now.
+    Wait,
+    /// Stop flag observed and all runners have drained.
+    Exit,
+}
+
+/// Scans the queues (priority order, FIFO within a class, skipping
+/// clients at their running quota) and either claims a job for a free
+/// slot or requests preemption of a lower-priority running job.
+fn pick(inner: &mut Inner, limits: &TableLimits, max_jobs: usize) -> Dispatch {
+    for class in (0..inner.queues.len()).rev() {
+        let candidate = inner.queues[class].iter().copied().position(|id| {
+            let Some(entry) = inner.jobs.get(&id) else {
+                return false;
+            };
+            match limits.max_running_per_client {
+                Some(max) => inner.running_count(&entry.client) < max,
+                None => true,
+            }
+        });
+        let Some(position) = candidate else { continue };
+        if inner.running.len() < max_jobs {
+            let id = inner.queues[class]
+                .remove(position)
+                .expect("position valid");
+            let entry = inner.jobs.get_mut(&id).expect("queued job exists");
+            entry.state = JobState::Running;
+            let spec = entry.spec.clone();
+            let cancel = entry.cancel.clone();
+            // Completed cells of a preempted earlier attempt seed the
+            // resumed engine; decoding failures (impossible for documents
+            // we encoded ourselves) simply re-simulate the cell.
+            let seeds: Vec<CellResult> = entry
+                .cells
+                .iter()
+                .filter_map(checkpoint::cell_from_json)
+                .collect();
+            inner.running.push(id);
+            return Dispatch::Start {
+                id,
+                spec,
+                cancel,
+                seeds,
+            };
+        }
+        // All slots busy: ask the lowest-priority running job below this
+        // class to yield (lowest class first; the most recently started
+        // job within that class, so older work is preserved).  At most
+        // one preemption is kept in flight at a time — the waiting job
+        // needs exactly one slot, and once the victim yields, the freed
+        // slot re-runs this scan, which may preempt again if more urgent
+        // work is still waiting.
+        let preemption_pending = inner
+            .running
+            .iter()
+            .any(|id| inner.jobs.get(id).is_some_and(|e| e.preempt_requested));
+        if !preemption_pending {
+            let victim = inner
+                .running
+                .iter()
+                .copied()
+                .filter(|id| {
+                    inner
+                        .jobs
+                        .get(id)
+                        .is_some_and(|e| (e.priority.index()) < class && !e.user_cancelled)
+                })
+                .min_by_key(|id| {
+                    let e = &inner.jobs[id];
+                    (e.priority.index(), std::cmp::Reverse(*id))
+                });
+            if let Some(id) = victim {
+                let entry = inner.jobs.get_mut(&id).expect("running job exists");
+                entry.preempt_requested = true;
+                entry.cancel.store(true, Ordering::SeqCst);
+            }
+        }
+        // Either a preemption is now in flight (the freed slot will wake
+        // the scheduler) or the queue head must wait for a natural
+        // completion.
+        return Dispatch::Wait;
+    }
+    Dispatch::Wait
+}
+
+/// Runs the scheduler loop until [`JobTable::stop`] is observed and all
+/// runners have drained.
 ///
-/// One job executes at a time; its per-cell results stream into the table
-/// through the engine's progress hook.  A panicking campaign (unexpected
-/// for validated wire specs, but defense-in-depth) marks the job failed
-/// instead of taking the daemon down.
+/// Each dispatched job executes on its own runner thread with its own
+/// thread-budgeted [`CampaignEngine`]; per-cell results stream into the
+/// table through the engine's progress hook.  A panicking campaign
+/// (unexpected for validated wire specs, but defense-in-depth) marks the
+/// job failed instead of taking the daemon down.
 pub fn run_scheduler(study: Arc<CaseStudy>, table: Arc<JobTable>, config: SchedulerConfig) {
+    let mut runners: Vec<JoinHandle<()>> = Vec::new();
     loop {
-        let (id, spec, cancel) = {
+        // Reap finished runners (dropping the handle detaches the already
+        // exited thread) so a long-lived daemon does not accumulate one
+        // joinable zombie thread per completed job.
+        runners.retain(|handle| !handle.is_finished());
+        let dispatch = {
             let mut inner = table.lock();
             loop {
-                if inner.stop {
-                    return;
+                if inner.stop && inner.running.is_empty() {
+                    break Dispatch::Exit;
                 }
-                if let Some(&id) = inner.queue.front() {
-                    inner.queue.pop_front();
-                    let entry = inner.jobs.get_mut(&id).expect("queued job exists");
-                    entry.state = JobState::Running;
-                    let picked = (id, entry.spec.clone(), entry.cancel.clone());
-                    table.update.notify_all();
-                    break picked;
+                if !inner.stop {
+                    match pick(&mut inner, &table.limits, config.max_concurrent_jobs.max(1)) {
+                        Dispatch::Wait => {}
+                        dispatch => break dispatch,
+                    }
                 }
                 inner = table
                     .scheduler_wake
@@ -315,35 +733,102 @@ pub fn run_scheduler(study: Arc<CaseStudy>, table: Arc<JobTable>, config: Schedu
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
             }
         };
+        match dispatch {
+            Dispatch::Exit => {
+                for handle in runners {
+                    let _ = handle.join();
+                }
+                return;
+            }
+            Dispatch::Start {
+                id,
+                spec,
+                cancel,
+                seeds,
+            } => {
+                table.update.notify_all();
+                let study = study.clone();
+                let table = table.clone();
+                let config = config.clone();
+                runners.push(thread::spawn(move || {
+                    run_job(&study, &table, &config, id, spec, cancel, seeds)
+                }));
+            }
+            Dispatch::Wait => unreachable!("the wait loop never breaks with Wait"),
+        }
+    }
+}
 
-        let mut engine = CampaignEngine::new().with_cancel(cancel);
-        if let Some(threads) = config.threads {
-            engine = engine.with_threads(threads);
-        }
-        if let Some(dir) = &config.checkpoint_dir {
-            let _ = std::fs::create_dir_all(dir);
-            engine =
-                engine.with_checkpoint(dir.join(format!("job-{:016x}.json", spec.fingerprint())));
-        }
-        let hook_table = table.clone();
-        let engine = engine.with_progress(Arc::new(move |cell: &CellResult| {
-            let mut inner = hook_table.lock();
-            if let Some(entry) = inner.jobs.get_mut(&id) {
+/// Executes one dispatched job on the calling (runner) thread.
+fn run_job(
+    study: &CaseStudy,
+    table: &Arc<JobTable>,
+    config: &SchedulerConfig,
+    id: u64,
+    spec: CampaignSpec,
+    cancel: Arc<AtomicBool>,
+    seeds: Vec<CellResult>,
+) {
+    let mut engine = CampaignEngine::new()
+        .with_threads(config.threads_per_job())
+        .with_cancel(cancel)
+        .with_seed_cells(seeds);
+    if let Some(dir) = &config.checkpoint_dir {
+        let _ = std::fs::create_dir_all(dir);
+        engine = engine.with_checkpoint(dir.join(format!("job-{:016x}.json", spec.fingerprint())));
+    }
+    let hook_table = table.clone();
+    let engine = engine.with_progress(Arc::new(move |cell: &CellResult| {
+        let mut inner = hook_table.lock();
+        if let Some(entry) = inner.jobs.get_mut(&id) {
+            // Seeded (and checkpoint-restored) cells the client already
+            // streamed are announced again on resume; `seen_cells` keeps
+            // every cell exactly once in the stream.
+            if entry.seen_cells.insert(cell.cell) {
                 entry.cells.push(checkpoint::cell_to_json(cell));
             }
-            hook_table.update.notify_all();
-        }));
+        }
+        hook_table.update.notify_all();
+    }));
 
-        let outcome = panic::catch_unwind(AssertUnwindSafe(|| engine.run(study.as_ref(), &spec)));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| engine.run(study, &spec)));
+    let mut inner = table.lock();
+    inner.running.retain(|&r| r != id);
+    let stop = inner.stop;
+    let mut requeue_class = None;
+    let mut retained = 0usize;
+    if let Some(entry) = inner.jobs.get_mut(&id) {
+        let cell_bytes = |entry: &JobEntry| {
+            entry
+                .cells
+                .iter()
+                .map(|c| c.to_string().len())
+                .sum::<usize>()
+        };
         match outcome {
             Ok(result) => {
-                let state = if result.cancelled {
-                    JobState::Cancelled
+                entry.executed_trials += result.metrics.executed_trials;
+                if result.cancelled {
+                    if entry.preempt_requested && !entry.user_cancelled && !stop {
+                        // Preempted: keep the completed cells as the
+                        // resume seed and return to the head of the
+                        // class queue with a fresh stop flag.
+                        entry.preempt_requested = false;
+                        entry.preemptions += 1;
+                        entry.state = JobState::Queued;
+                        entry.cancel = Arc::new(AtomicBool::new(false));
+                        requeue_class = Some(entry.priority.index());
+                    } else {
+                        entry.state = JobState::Cancelled;
+                        retained = cell_bytes(entry);
+                    }
                 } else {
-                    JobState::Done
-                };
-                let doc = (state == JobState::Done).then(|| result.to_json(&spec));
-                finish(&table, id, state, doc, result.metrics.executed_trials, None);
+                    entry.preempt_requested = false;
+                    entry.state = JobState::Done;
+                    let doc = result.to_json(&spec);
+                    retained = doc.to_string().len() + cell_bytes(entry);
+                    entry.result = Some(doc);
+                }
             }
             Err(payload) => {
                 let message = payload
@@ -351,27 +836,32 @@ pub fn run_scheduler(study: Arc<CaseStudy>, table: Arc<JobTable>, config: Schedu
                     .cloned()
                     .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
                     .unwrap_or_else(|| "campaign panicked".into());
-                finish(&table, id, JobState::Failed, None, 0, Some(message));
+                entry.state = JobState::Failed;
+                entry.error = Some(message);
+                retained = cell_bytes(entry);
             }
         }
+        if entry.state.is_terminal() {
+            // A terminal job never runs again: drop the instantiated spec
+            // (benchmark tables hold kernel input data) and account every
+            // byte it still retains — the streamed cells of cancelled and
+            // failed jobs count toward the cap just like done results.
+            entry.spec = CampaignSpec::new(String::new(), 0);
+            entry.retained_bytes = retained;
+        }
     }
-}
-
-fn finish(
-    table: &JobTable,
-    id: u64,
-    state: JobState,
-    result: Option<Json>,
-    executed_trials: usize,
-    error: Option<String>,
-) {
-    let mut inner = table.lock();
-    if let Some(entry) = inner.jobs.get_mut(&id) {
-        entry.state = state;
-        entry.result = result;
-        entry.executed_trials = executed_trials;
-        entry.error = error;
+    if let Some(class) = requeue_class {
+        inner.queues[class].push_front(id);
     }
+    if retained > 0 {
+        inner.retained_total += retained;
+        inner.touch(id);
+        if let Some(cap) = table.limits.result_cap_bytes {
+            inner.evict_to_cap(cap);
+        }
+    }
+    drop(inner);
+    table.scheduler_wake.notify_all();
     table.update.notify_all();
 }
 
@@ -386,27 +876,203 @@ mod tests {
         def.instantiate().expect("tiny campaign instantiates")
     }
 
+    fn submit(table: &JobTable, name: &str, priority: Priority, client: &str) -> u64 {
+        table
+            .submit(tiny_spec(name), priority, client)
+            .expect("submits")
+    }
+
     #[test]
     fn queued_jobs_cancel_immediately() {
         let table = JobTable::new();
-        let id = table.submit(tiny_spec("a"));
+        let id = submit(&table, "a", Priority::Normal, "test");
         assert_eq!(table.status(id).unwrap().state, JobState::Queued);
         assert!(table.cancel(id));
         assert_eq!(table.status(id).unwrap().state, JobState::Cancelled);
         assert_eq!(table.next_cell(id, 0), NextCell::End(JobState::Cancelled));
         assert!(!table.cancel(999), "unknown ids report false");
         assert_eq!(table.next_cell(999, 0), NextCell::Unknown);
+        assert_eq!(table.result(999), ResultFetch::Unknown);
+        assert_eq!(table.result(id), ResultFetch::NotReady);
     }
 
     #[test]
-    fn stop_cancels_the_queue() {
+    fn stop_cancels_the_queue_and_rejects_submissions() {
         let table = JobTable::new();
-        let a = table.submit(tiny_spec("a"));
-        let b = table.submit(tiny_spec("b"));
+        let a = submit(&table, "a", Priority::Low, "test");
+        let b = submit(&table, "b", Priority::High, "test");
         assert_eq!(table.job_count(), 2);
         table.stop();
         assert!(table.stopped());
         assert_eq!(table.status(a).unwrap().state, JobState::Cancelled);
         assert_eq!(table.status(b).unwrap().state, JobState::Cancelled);
+        assert_eq!(
+            table.submit(tiny_spec("c"), Priority::Normal, "test"),
+            Err(SubmitRejected::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn queued_quota_rejects_the_excess_submission_per_client() {
+        let table = JobTable::with_limits(TableLimits {
+            max_queued_per_client: Some(2),
+            ..TableLimits::default()
+        });
+        submit(&table, "a1", Priority::Normal, "alice");
+        submit(&table, "a2", Priority::Normal, "alice");
+        let rejected = table.submit(tiny_spec("a3"), Priority::Normal, "alice");
+        assert!(
+            matches!(rejected, Err(SubmitRejected::QuotaExceeded(_))),
+            "{rejected:?}"
+        );
+        // Quotas are per client id: bob still has room.
+        submit(&table, "b1", Priority::Normal, "bob");
+        // Cancelling frees alice's quota.
+        let a1 = 1;
+        assert!(table.cancel(a1));
+        submit(&table, "a3", Priority::Normal, "alice");
+    }
+
+    #[test]
+    fn priority_classes_dispatch_strictly_and_fifo_within() {
+        let table = JobTable::new();
+        let low = submit(&table, "low", Priority::Low, "t");
+        let normal1 = submit(&table, "n1", Priority::Normal, "t");
+        let high = submit(&table, "high", Priority::High, "t");
+        let normal2 = submit(&table, "n2", Priority::Normal, "t");
+        let mut order = Vec::new();
+        let mut inner = table.lock();
+        for _ in 0..4 {
+            match pick(&mut inner, &table.limits, 1) {
+                Dispatch::Start { id, .. } => {
+                    order.push(id);
+                    inner.running.clear();
+                }
+                _ => panic!("a queued job must dispatch"),
+            }
+        }
+        assert_eq!(order, vec![high, normal1, normal2, low]);
+    }
+
+    #[test]
+    fn pick_requests_preemption_of_the_lowest_priority_running_job() {
+        let table = JobTable::new();
+        let low = submit(&table, "low", Priority::Low, "t");
+        {
+            // Start the low job in the single slot while it is alone.
+            let mut inner = table.lock();
+            let Dispatch::Start { id, .. } = pick(&mut inner, &table.limits, 1) else {
+                panic!("low dispatches into the free slot");
+            };
+            assert_eq!(id, low);
+        }
+        let high = submit(&table, "high", Priority::High, "t");
+        let mut inner = table.lock();
+        // The high job cannot start; the low job is asked to yield.
+        assert!(matches!(pick(&mut inner, &table.limits, 1), Dispatch::Wait));
+        let entry = &inner.jobs[&low];
+        assert!(entry.preempt_requested);
+        assert!(entry.cancel.load(Ordering::SeqCst));
+        // High stays queued until the victim actually yields.
+        assert_eq!(inner.jobs[&high].state, JobState::Queued);
+    }
+
+    #[test]
+    fn at_most_one_preemption_is_in_flight() {
+        let table = JobTable::new();
+        let low_a = submit(&table, "low-a", Priority::Low, "t");
+        let low_b = submit(&table, "low-b", Priority::Low, "t");
+        let mut inner = table.lock();
+        for expected in [low_a, low_b] {
+            let Dispatch::Start { id, .. } = pick(&mut inner, &table.limits, 2) else {
+                panic!("low job dispatches into a free slot");
+            };
+            assert_eq!(id, expected);
+        }
+        drop(inner);
+        submit(&table, "high", Priority::High, "t");
+        let mut inner = table.lock();
+        // First scan marks exactly one victim (the most recent low job)…
+        assert!(matches!(pick(&mut inner, &table.limits, 2), Dispatch::Wait));
+        assert!(inner.jobs[&low_b].preempt_requested);
+        assert!(!inner.jobs[&low_a].preempt_requested);
+        // …and re-scanning while that preemption is still in flight must
+        // not cancel the second low job too: one waiting job needs one
+        // slot.
+        assert!(matches!(pick(&mut inner, &table.limits, 2), Dispatch::Wait));
+        assert!(
+            !inner.jobs[&low_a].preempt_requested,
+            "a second victim must not be preempted for the same waiter"
+        );
+    }
+
+    #[test]
+    fn preempted_requeues_do_not_consume_the_queued_quota() {
+        let table = JobTable::with_limits(TableLimits {
+            max_queued_per_client: Some(1),
+            ..TableLimits::default()
+        });
+        submit(&table, "fresh", Priority::Normal, "alice");
+        {
+            // Simulate a scheduler requeue after a preemption: queued
+            // state, but preemptions > 0.
+            let mut inner = table.lock();
+            let entry = inner.jobs.get_mut(&1).expect("job exists");
+            entry.preemptions = 1;
+        }
+        // The requeued job is invisible to the quota: alice can still
+        // submit her one genuinely queued job.
+        submit(&table, "next", Priority::Normal, "alice");
+        // A second fresh submission is over quota as usual.
+        assert!(matches!(
+            table.submit(tiny_spec("over"), Priority::Normal, "alice"),
+            Err(SubmitRejected::QuotaExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn eviction_is_lru_and_survivable() {
+        let table = JobTable::with_limits(TableLimits {
+            result_cap_bytes: Some(250),
+            ..TableLimits::default()
+        });
+        let mut inner = table.lock();
+        for id in [1u64, 2, 3] {
+            inner.jobs.insert(
+                id,
+                JobEntry {
+                    spec: tiny_spec("x"),
+                    state: JobState::Done,
+                    priority: Priority::Normal,
+                    client: "t".into(),
+                    total_cells: 0,
+                    cells: Vec::new(),
+                    seen_cells: BTreeSet::new(),
+                    result: Some(Json::Null),
+                    executed_trials: 0,
+                    error: None,
+                    cancel: Arc::new(AtomicBool::new(false)),
+                    user_cancelled: false,
+                    preempt_requested: false,
+                    preemptions: 0,
+                    retained_bytes: 100,
+                    evicted: false,
+                    last_access: id,
+                },
+            );
+            inner.retained_total += 100;
+        }
+        inner.lru_clock = 3;
+        // Job 1 is oldest, but a fetch refreshes it: 2 becomes the LRU.
+        inner.touch(1);
+        inner.evict_to_cap(250);
+        assert!(inner.jobs[&2].evicted, "LRU entry evicted first");
+        assert!(!inner.jobs[&1].evicted);
+        assert!(!inner.jobs[&3].evicted);
+        assert_eq!(inner.retained_total, 200);
+        drop(inner);
+        assert_eq!(table.result(2), ResultFetch::Evicted);
+        assert_eq!(table.next_cell(2, 0), NextCell::Evicted);
+        assert!(table.status(2).unwrap().evicted);
     }
 }

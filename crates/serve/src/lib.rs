@@ -12,14 +12,18 @@
 //!   (benchmark, fault model, operating point, budget), convertible to a
 //!   [`sfi_campaign::CampaignSpec`] on the server.
 //! * [`protocol`] — the framing and message vocabulary: one JSON document
-//!   per line, requests like `submit` / `status` / `stream` / `poff` /
-//!   `cancel` / `shutdown`, responses including streamed per-cell results
-//!   in the campaign checkpoint format.
-//! * [`jobs`] — the in-daemon job table and scheduler: submitted specs
-//!   queue onto one shared [`sfi_campaign::CampaignEngine`]; per-job state
-//!   machines (`queued → running → done/failed/cancelled`), live progress
-//!   from the engine's per-cell streaming hook, results retained for later
-//!   fetch.
+//!   per line, typed [`protocol::Request`] and [`protocol::Response`]
+//!   frames (`submit` / `status` / `stream` / `poff` / `cancel` /
+//!   `shutdown`, streamed per-cell results in the campaign checkpoint
+//!   format, machine-readable error codes).  The frozen, versioned wire
+//!   reference lives in `docs/PROTOCOL.md`; a doc-sync test keeps it and
+//!   these types in lockstep.
+//! * [`jobs`] — the in-daemon job table and multi-job scheduler:
+//!   priority classes (`low`/`normal`/`high`, FIFO within a class), up
+//!   to `--max-concurrent-jobs` jobs running at once on thread-budgeted
+//!   [`sfi_campaign::CampaignEngine`]s, per-client queued/running
+//!   quotas, cooperative preemption with bit-identical resume, and LRU
+//!   eviction of retained results under a byte cap.
 //! * [`server`] / [`client`] — the daemon and the typed client library
 //!   (shipped as the `sfi-client` binary).
 //!

@@ -5,31 +5,40 @@
 //! [`Response`] frames.  All requests are answered by exactly one response
 //! except `stream`, which emits one `cell` frame per campaign cell (in
 //! completion order, as they finish) followed by a terminating `end`
-//! frame.  Responses to invalid input are `error` frames; the connection
-//! stays open, so one bad request does not cost a reconnect.
+//! frame.  Responses to invalid input are `error` frames carrying a
+//! machine-readable [`ErrorCode`]; the connection stays open, so one bad
+//! request does not cost a reconnect.
 //!
-//! | request    | fields                     | response(s)                        |
-//! |------------|----------------------------|------------------------------------|
-//! | `ping`     | —                          | `pong` (server info)               |
-//! | `submit`   | `spec` ([`CampaignDef`])   | `submitted` (job id, cell count)   |
-//! | `status`   | `job`                      | `status` (state, progress)         |
-//! | `stream`   | `job`                      | `cell`* then `end`                 |
-//! | `result`   | `job`                      | `result` (full checkpoint document)|
-//! | `poff`     | [`PoffRequest`] fields     | `poff` (bisection outcome)         |
-//! | `cancel`   | `job`                      | `cancelled`                        |
-//! | `shutdown` | —                          | `bye`, then the daemon exits       |
+//! | request    | fields                               | response(s)                        |
+//! |------------|--------------------------------------|------------------------------------|
+//! | `ping`     | —                                    | `pong` (server + scheduler info)   |
+//! | `submit`   | `spec`, `priority`?, `client`?       | `submitted` (job id, cell count)   |
+//! | `status`   | `job`                                | `status` (state, progress, class)  |
+//! | `stream`   | `job`                                | `cell`* then `end`                 |
+//! | `result`   | `job`                                | `result` (full checkpoint document)|
+//! | `poff`     | [`PoffRequest`] fields               | `poff` (bisection outcome)         |
+//! | `cancel`   | `job`                                | `cancelled`                        |
+//! | `shutdown` | —                                    | `bye`, then the daemon exits       |
+//!
+//! The human-readable reference (every frame with worked examples, all
+//! error codes, and an `nc` session transcript) is `docs/PROTOCOL.md`;
+//! a doc-sync test round-trips every JSON example in that file through
+//! these types, so document and implementation cannot drift.
 //!
 //! Cell payloads use the campaign checkpoint cell format
 //! (`sfi_campaign::checkpoint::cell_to_json`), and the `result` document
 //! is byte-identical to a checkpoint of the same campaign — the formats
 //! were designed to be shared.
 
-use crate::wire::{model_from_json, model_to_json, CampaignDef, WireError};
+use crate::jobs::{JobState, JobStatus, Priority};
+use crate::wire::{model_from_json, model_to_json, CampaignDef, WireError, MAX_CLIENT_ID_BYTES};
 use sfi_core::json::Json;
 use sfi_core::FaultModel;
 use std::io::{self, BufRead, Write};
 
-/// Protocol version, reported by `pong`.
+/// Protocol version, reported as `"v"` by `pong`.  Version 1 is frozen in
+/// `docs/PROTOCOL.md`; additive fields do not bump it, incompatible
+/// changes do.
 pub const PROTOCOL_VERSION: u64 = 1;
 
 /// Hard cap on one frame's size: a line longer than this is a protocol
@@ -77,6 +86,64 @@ pub fn read_frame(reader: &mut impl BufRead) -> io::Result<Option<Result<Json, W
         return Ok(Some(
             Json::parse(text).map_err(|e| WireError(format!("malformed frame: {e}"))),
         ));
+    }
+}
+
+/// Machine-readable classification of an `error` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request was malformed, out of range, or referenced something
+    /// this daemon cannot serve (e.g. an uncharacterized voltage).
+    BadRequest,
+    /// The referenced job id does not exist.
+    UnknownJob,
+    /// The client exceeded its queued-jobs quota.
+    QuotaExceeded,
+    /// The job finished, but its result was evicted by the retention
+    /// cap; only the status survives.
+    ResultEvicted,
+    /// The job has no result document (still in flight, failed, or
+    /// cancelled).
+    NoResult,
+    /// The result document exceeds the frame limit; fetch it cell by
+    /// cell with `stream`.
+    ResultTooLarge,
+    /// The daemon is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire name of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownJob => "unknown_job",
+            ErrorCode::QuotaExceeded => "quota_exceeded",
+            ErrorCode::ResultEvicted => "result_evicted",
+            ErrorCode::NoResult => "no_result",
+            ErrorCode::ResultTooLarge => "result_too_large",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Parses a wire name; `None` for anything else.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        match s {
+            "bad_request" => Some(ErrorCode::BadRequest),
+            "unknown_job" => Some(ErrorCode::UnknownJob),
+            "quota_exceeded" => Some(ErrorCode::QuotaExceeded),
+            "result_evicted" => Some(ErrorCode::ResultEvicted),
+            "no_result" => Some(ErrorCode::NoResult),
+            "result_too_large" => Some(ErrorCode::ResultTooLarge),
+            "shutting_down" => Some(ErrorCode::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -179,13 +246,71 @@ fn u64_member(value: &Json, key: &str) -> Result<u64, WireError> {
         .ok_or_else(|| WireError(format!("'{key}' must be an unsigned integer")))
 }
 
+fn str_member<'a>(value: &'a Json, key: &str) -> Result<&'a str, WireError> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError(format!("'{key}' must be a string")))
+}
+
+fn bool_member(value: &Json, key: &str) -> Result<bool, WireError> {
+    value
+        .get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| WireError(format!("'{key}' must be a boolean")))
+}
+
+/// Encodes `None` as JSON `null` and `Some(n)` as a number.
+fn opt_num(value: Option<usize>) -> Json {
+    match value {
+        Some(n) => Json::Num(n as f64),
+        None => Json::Null,
+    }
+}
+
+/// Decodes a member that is either `null` or an unsigned integer.
+fn opt_u64_member(value: &Json, key: &str) -> Result<Option<u64>, WireError> {
+    match value.get(key) {
+        Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| WireError(format!("'{key}' must be null or an unsigned integer"))),
+        None => Err(WireError(format!("missing member '{key}'"))),
+    }
+}
+
+/// The payload of a `submit` request: the campaign plus its scheduling
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// The wire campaign to instantiate and run.
+    pub spec: CampaignDef,
+    /// Scheduling class (absent on the wire = `normal`).
+    pub priority: Priority,
+    /// Client id the quotas are accounted against (absent on the wire =
+    /// the daemon-side default, `"anonymous"`).
+    pub client: Option<String>,
+}
+
+impl SubmitRequest {
+    /// A `normal`-priority submission with the default client id.
+    pub fn new(spec: CampaignDef) -> Self {
+        SubmitRequest {
+            spec,
+            priority: Priority::Normal,
+            client: None,
+        }
+    }
+}
+
 /// A client request frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness / server-info probe.
     Ping,
     /// Submit a campaign for execution.
-    Submit(CampaignDef),
+    Submit(SubmitRequest),
     /// Poll one job's status.
     Status(u64),
     /// Stream a job's per-cell results as they complete.
@@ -201,7 +326,9 @@ pub enum Request {
 }
 
 impl Request {
-    /// Serializes to a frame document.
+    /// Serializes to a frame document.  Optional submit fields at their
+    /// defaults (`normal` priority, no client id) are omitted — the
+    /// canonical encoding of a default is absence.
     pub fn to_json(&self) -> Json {
         let typed = |t: &str| Json::obj([("type", Json::Str(t.into()))]);
         let with_job = |t: &str, job: u64| {
@@ -212,10 +339,19 @@ impl Request {
         };
         match self {
             Request::Ping => typed("ping"),
-            Request::Submit(def) => Json::obj([
-                ("type", Json::Str("submit".into())),
-                ("spec", def.to_json()),
-            ]),
+            Request::Submit(submit) => {
+                let mut pairs = vec![
+                    ("type", Json::Str("submit".into())),
+                    ("spec", submit.spec.to_json()),
+                ];
+                if submit.priority != Priority::Normal {
+                    pairs.push(("priority", Json::Str(submit.priority.as_str().into())));
+                }
+                if let Some(client) = &submit.client {
+                    pairs.push(("client", Json::Str(client.clone())));
+                }
+                Json::obj(pairs)
+            }
             Request::Status(job) => with_job("status", *job),
             Request::Stream(job) => with_job("stream", *job),
             Request::Result(job) => with_job("result", *job),
@@ -233,11 +369,45 @@ impl Request {
             .ok_or_else(|| WireError("missing request 'type'".into()))?;
         match kind {
             "ping" => Ok(Request::Ping),
-            "submit" => Ok(Request::Submit(CampaignDef::from_json(
-                value
-                    .get("spec")
-                    .ok_or_else(|| WireError("missing member 'spec'".into()))?,
-            )?)),
+            "submit" => {
+                let spec = CampaignDef::from_json(
+                    value
+                        .get("spec")
+                        .ok_or_else(|| WireError("missing member 'spec'".into()))?,
+                )?;
+                let priority = match value.get("priority") {
+                    None => Priority::Normal,
+                    Some(p) => {
+                        let name = p
+                            .as_str()
+                            .ok_or_else(|| WireError("'priority' must be a string".into()))?;
+                        Priority::parse(name).ok_or_else(|| {
+                            WireError(format!(
+                                "unknown priority '{name}' (expected low, normal or high)"
+                            ))
+                        })?
+                    }
+                };
+                let client = match value.get("client") {
+                    None => None,
+                    Some(c) => {
+                        let id = c
+                            .as_str()
+                            .ok_or_else(|| WireError("'client' must be a string".into()))?;
+                        if id.is_empty() || id.len() > MAX_CLIENT_ID_BYTES {
+                            return Err(WireError(format!(
+                                "'client' must be 1..={MAX_CLIENT_ID_BYTES} bytes"
+                            )));
+                        }
+                        Some(id.to_string())
+                    }
+                };
+                Ok(Request::Submit(SubmitRequest {
+                    spec,
+                    priority,
+                    client,
+                }))
+            }
             "status" => Ok(Request::Status(u64_member(value, "job")?)),
             "stream" => Ok(Request::Stream(u64_member(value, "job")?)),
             "result" => Ok(Request::Result(u64_member(value, "job")?)),
@@ -245,6 +415,409 @@ impl Request {
             "cancel" => Ok(Request::Cancel(u64_member(value, "job")?)),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(WireError(format!("unknown request type '{other}'"))),
+        }
+    }
+}
+
+/// Server self-description carried by a `pong` frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerInfo {
+    /// Protocol version (the `"v"` member; see [`PROTOCOL_VERSION`]).
+    pub v: u64,
+    /// Fingerprint of the served [`sfi_core::CaseStudyConfig`].
+    pub study_fingerprint: u64,
+    /// STA limit at the nominal voltage, MHz.
+    pub sta_limit_mhz: f64,
+    /// The nominal supply voltage.
+    pub nominal_vdd: f64,
+    /// Characterized supply voltages.
+    pub voltages: Vec<f64>,
+    /// Whether the daemon started warm from the characterization cache.
+    pub characterization_cache_hit: bool,
+    /// Jobs submitted to this daemon so far.
+    pub jobs: usize,
+    /// Jobs currently running.
+    pub running_jobs: usize,
+    /// Concurrency slots of the scheduler.
+    pub max_concurrent_jobs: usize,
+    /// Engine worker threads each running job is budgeted.
+    pub threads_per_job: usize,
+    /// Per-client queued-jobs quota (`None` = unlimited).
+    pub max_queued_per_client: Option<usize>,
+    /// Per-client running-jobs quota (`None` = unlimited).
+    pub max_running_per_client: Option<usize>,
+    /// Retained-result byte cap (`None` = retain until shutdown).
+    pub result_cap_bytes: Option<usize>,
+    /// Result bytes currently retained.
+    pub retained_result_bytes: usize,
+}
+
+impl ServerInfo {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("type", Json::Str("pong".into())),
+            ("v", Json::Num(self.v as f64)),
+            (
+                "study_fingerprint",
+                Json::Str(self.study_fingerprint.to_string()),
+            ),
+            ("sta_limit_mhz", Json::Num(self.sta_limit_mhz)),
+            ("nominal_vdd", Json::Num(self.nominal_vdd)),
+            (
+                "voltages",
+                Json::Arr(self.voltages.iter().map(|&v| Json::Num(v)).collect()),
+            ),
+            (
+                "characterization_cache_hit",
+                Json::Bool(self.characterization_cache_hit),
+            ),
+            ("jobs", Json::Num(self.jobs as f64)),
+            ("running_jobs", Json::Num(self.running_jobs as f64)),
+            (
+                "max_concurrent_jobs",
+                Json::Num(self.max_concurrent_jobs as f64),
+            ),
+            ("threads_per_job", Json::Num(self.threads_per_job as f64)),
+            ("max_queued_per_client", opt_num(self.max_queued_per_client)),
+            (
+                "max_running_per_client",
+                opt_num(self.max_running_per_client),
+            ),
+            ("result_cap_bytes", opt_num(self.result_cap_bytes)),
+            (
+                "retained_result_bytes",
+                Json::Num(self.retained_result_bytes as f64),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, WireError> {
+        Ok(ServerInfo {
+            v: u64_member(value, "v")?,
+            study_fingerprint: u64_member(value, "study_fingerprint")?,
+            sta_limit_mhz: finite(value, "sta_limit_mhz")?,
+            nominal_vdd: finite(value, "nominal_vdd")?,
+            voltages: value
+                .get("voltages")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| WireError("'voltages' must be an array".into()))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .filter(|v| v.is_finite())
+                        .ok_or_else(|| WireError("'voltages' entries must be numbers".into()))
+                })
+                .collect::<Result<_, _>>()?,
+            characterization_cache_hit: bool_member(value, "characterization_cache_hit")?,
+            jobs: u64_member(value, "jobs")? as usize,
+            running_jobs: u64_member(value, "running_jobs")? as usize,
+            max_concurrent_jobs: u64_member(value, "max_concurrent_jobs")? as usize,
+            threads_per_job: u64_member(value, "threads_per_job")? as usize,
+            max_queued_per_client: opt_u64_member(value, "max_queued_per_client")?
+                .map(|n| n as usize),
+            max_running_per_client: opt_u64_member(value, "max_running_per_client")?
+                .map(|n| n as usize),
+            result_cap_bytes: opt_u64_member(value, "result_cap_bytes")?.map(|n| n as usize),
+            retained_result_bytes: u64_member(value, "retained_result_bytes")? as usize,
+        })
+    }
+}
+
+/// One frequency evaluated by a PoFF bisection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoffPoint {
+    /// The evaluated clock frequency, MHz.
+    pub freq_mhz: f64,
+    /// Fraction of trials with bit-exact output.
+    pub correct_fraction: f64,
+    /// Fraction of trials that ran to completion.
+    pub finished_fraction: f64,
+}
+
+/// The outcome of a PoFF query (`poff` response frame).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoffReply {
+    /// The located point of first failure, if any failure was found.
+    pub poff_mhz: Option<f64>,
+    /// Frequencies the bisection actually evaluated.
+    pub cells_evaluated: usize,
+    /// Every evaluated point, in evaluation order.
+    pub evaluated: Vec<PoffPoint>,
+}
+
+/// A server response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to `ping`.
+    Pong(ServerInfo),
+    /// Acknowledgement of an accepted `submit`.
+    Submitted {
+        /// The assigned job id.
+        job: u64,
+        /// Number of cells the campaign will run.
+        total_cells: usize,
+        /// The instantiated spec's fingerprint.
+        fingerprint: u64,
+        /// The scheduling class the job was accepted at.
+        priority: Priority,
+    },
+    /// Reply to `status`.
+    Status(JobStatus),
+    /// One streamed cell (`stream` emits zero or more of these).
+    Cell {
+        /// The job the cell belongs to.
+        job: u64,
+        /// Stream position (0-based, completion order).
+        index: usize,
+        /// The cell document (campaign checkpoint cell format).
+        cell: Json,
+    },
+    /// Terminates a `stream`.
+    End {
+        /// The streamed job.
+        job: u64,
+        /// The job's final state.
+        state: JobState,
+        /// How many `cell` frames the stream carried.
+        streamed_cells: usize,
+    },
+    /// Reply to `result`.
+    ResultDoc {
+        /// The fetched job.
+        job: u64,
+        /// The full result document (campaign checkpoint format).
+        document: Json,
+    },
+    /// Reply to `poff`.
+    Poff(PoffReply),
+    /// Acknowledgement of a `cancel`.
+    Cancelled {
+        /// The cancelled job.
+        job: u64,
+    },
+    /// Acknowledgement of `shutdown`; the daemon exits afterwards.
+    Bye,
+    /// Any request that could not be served.
+    Error {
+        /// Machine-readable classification.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Convenience constructor for error frames.
+    pub fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+        Response::Error {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Serializes to a frame document.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Pong(info) => info.to_json(),
+            Response::Submitted {
+                job,
+                total_cells,
+                fingerprint,
+                priority,
+            } => Json::obj([
+                ("type", Json::Str("submitted".into())),
+                ("job", Json::Str(job.to_string())),
+                ("total_cells", Json::Num(*total_cells as f64)),
+                ("fingerprint", Json::Str(fingerprint.to_string())),
+                ("priority", Json::Str(priority.as_str().into())),
+            ]),
+            Response::Status(status) => Json::obj([
+                ("type", Json::Str("status".into())),
+                ("job", Json::Str(status.job.to_string())),
+                ("state", Json::Str(status.state.as_str().into())),
+                ("priority", Json::Str(status.priority.as_str().into())),
+                ("client", Json::Str(status.client.clone())),
+                ("completed_cells", Json::Num(status.completed_cells as f64)),
+                ("total_cells", Json::Num(status.total_cells as f64)),
+                ("executed_trials", Json::Num(status.executed_trials as f64)),
+                ("preemptions", Json::Num(status.preemptions as f64)),
+                ("evicted", Json::Bool(status.evicted)),
+                (
+                    "error",
+                    match &status.error {
+                        Some(message) => Json::Str(message.clone()),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+            Response::Cell { job, index, cell } => Json::obj([
+                ("type", Json::Str("cell".into())),
+                ("job", Json::Str(job.to_string())),
+                ("index", Json::Num(*index as f64)),
+                ("cell", cell.clone()),
+            ]),
+            Response::End {
+                job,
+                state,
+                streamed_cells,
+            } => Json::obj([
+                ("type", Json::Str("end".into())),
+                ("job", Json::Str(job.to_string())),
+                ("state", Json::Str(state.as_str().into())),
+                ("streamed_cells", Json::Num(*streamed_cells as f64)),
+            ]),
+            Response::ResultDoc { job, document } => Json::obj([
+                ("type", Json::Str("result".into())),
+                ("job", Json::Str(job.to_string())),
+                ("document", document.clone()),
+            ]),
+            Response::Poff(reply) => Json::obj([
+                ("type", Json::Str("poff".into())),
+                (
+                    "poff_mhz",
+                    match reply.poff_mhz {
+                        Some(freq) => Json::Num(freq),
+                        None => Json::Null,
+                    },
+                ),
+                ("cells_evaluated", Json::Num(reply.cells_evaluated as f64)),
+                (
+                    "evaluated",
+                    Json::Arr(
+                        reply
+                            .evaluated
+                            .iter()
+                            .map(|point| {
+                                Json::obj([
+                                    ("freq_mhz", Json::Num(point.freq_mhz)),
+                                    ("correct_fraction", Json::Num(point.correct_fraction)),
+                                    ("finished_fraction", Json::Num(point.finished_fraction)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Cancelled { job } => Json::obj([
+                ("type", Json::Str("cancelled".into())),
+                ("job", Json::Str(job.to_string())),
+            ]),
+            Response::Bye => Json::obj([("type", Json::Str("bye".into()))]),
+            Response::Error { code, message } => Json::obj([
+                ("type", Json::Str("error".into())),
+                ("code", Json::Str(code.as_str().into())),
+                ("message", Json::Str(message.clone())),
+            ]),
+        }
+    }
+
+    /// Decodes a frame document.
+    pub fn from_json(value: &Json) -> Result<Self, WireError> {
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError("missing response 'type'".into()))?;
+        match kind {
+            "pong" => Ok(Response::Pong(ServerInfo::from_json(value)?)),
+            "submitted" => Ok(Response::Submitted {
+                job: u64_member(value, "job")?,
+                total_cells: u64_member(value, "total_cells")? as usize,
+                fingerprint: u64_member(value, "fingerprint")?,
+                priority: {
+                    let name = str_member(value, "priority")?;
+                    Priority::parse(name)
+                        .ok_or_else(|| WireError(format!("unknown priority '{name}'")))?
+                },
+            }),
+            "status" => Ok(Response::Status(JobStatus {
+                job: u64_member(value, "job")?,
+                state: {
+                    let name = str_member(value, "state")?;
+                    JobState::parse(name)
+                        .ok_or_else(|| WireError(format!("unknown job state '{name}'")))?
+                },
+                priority: {
+                    let name = str_member(value, "priority")?;
+                    Priority::parse(name)
+                        .ok_or_else(|| WireError(format!("unknown priority '{name}'")))?
+                },
+                client: str_member(value, "client")?.to_string(),
+                completed_cells: u64_member(value, "completed_cells")? as usize,
+                total_cells: u64_member(value, "total_cells")? as usize,
+                executed_trials: u64_member(value, "executed_trials")? as usize,
+                preemptions: u64_member(value, "preemptions")?,
+                evicted: bool_member(value, "evicted")?,
+                error: match value.get("error") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_str()
+                            .ok_or_else(|| WireError("'error' must be a string or null".into()))?
+                            .to_string(),
+                    ),
+                },
+            })),
+            "cell" => Ok(Response::Cell {
+                job: u64_member(value, "job")?,
+                index: u64_member(value, "index")? as usize,
+                cell: value
+                    .get("cell")
+                    .cloned()
+                    .ok_or_else(|| WireError("missing member 'cell'".into()))?,
+            }),
+            "end" => Ok(Response::End {
+                job: u64_member(value, "job")?,
+                state: {
+                    let name = str_member(value, "state")?;
+                    JobState::parse(name)
+                        .ok_or_else(|| WireError(format!("unknown job state '{name}'")))?
+                },
+                streamed_cells: u64_member(value, "streamed_cells")? as usize,
+            }),
+            "result" => Ok(Response::ResultDoc {
+                job: u64_member(value, "job")?,
+                document: value
+                    .get("document")
+                    .cloned()
+                    .ok_or_else(|| WireError("missing member 'document'".into()))?,
+            }),
+            "poff" => {
+                Ok(Response::Poff(PoffReply {
+                    poff_mhz: match value.get("poff_mhz") {
+                        None => return Err(WireError("missing member 'poff_mhz'".into())),
+                        Some(Json::Null) => None,
+                        Some(v) => Some(v.as_f64().filter(|v| v.is_finite()).ok_or_else(|| {
+                            WireError("'poff_mhz' must be null or a number".into())
+                        })?),
+                    },
+                    cells_evaluated: u64_member(value, "cells_evaluated")? as usize,
+                    evaluated: value
+                        .get("evaluated")
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| WireError("'evaluated' must be an array".into()))?
+                        .iter()
+                        .map(|point| {
+                            Ok(PoffPoint {
+                                freq_mhz: finite(point, "freq_mhz")?,
+                                correct_fraction: finite(point, "correct_fraction")?,
+                                finished_fraction: finite(point, "finished_fraction")?,
+                            })
+                        })
+                        .collect::<Result<_, WireError>>()?,
+                }))
+            }
+            "cancelled" => Ok(Response::Cancelled {
+                job: u64_member(value, "job")?,
+            }),
+            "bye" => Ok(Response::Bye),
+            "error" => Ok(Response::Error {
+                code: {
+                    let name = str_member(value, "code")?;
+                    ErrorCode::parse(name)
+                        .ok_or_else(|| WireError(format!("unknown error code '{name}'")))?
+                },
+                message: str_member(value, "message")?.to_string(),
+            }),
+            other => Err(WireError(format!("unknown response type '{other}'"))),
         }
     }
 }
@@ -273,7 +846,12 @@ mod tests {
     fn requests_round_trip_through_frames() {
         let requests = [
             Request::Ping,
-            Request::Submit(demo_def()),
+            Request::Submit(SubmitRequest::new(demo_def())),
+            Request::Submit(SubmitRequest {
+                spec: demo_def(),
+                priority: Priority::High,
+                client: Some("alice".into()),
+            }),
             Request::Status(7),
             Request::Stream(7),
             Request::Result(u64::MAX),
@@ -317,6 +895,124 @@ mod tests {
     }
 
     #[test]
+    fn responses_round_trip_through_json() {
+        use crate::jobs::{JobState, JobStatus};
+        let responses = [
+            Response::Pong(ServerInfo {
+                v: PROTOCOL_VERSION,
+                study_fingerprint: u64::MAX,
+                sta_limit_mhz: 707.25,
+                nominal_vdd: 0.7,
+                voltages: vec![0.7, 0.8],
+                characterization_cache_hit: true,
+                jobs: 3,
+                running_jobs: 2,
+                max_concurrent_jobs: 2,
+                threads_per_job: 4,
+                max_queued_per_client: Some(8),
+                max_running_per_client: None,
+                result_cap_bytes: Some(1 << 20),
+                retained_result_bytes: 12345,
+            }),
+            Response::Submitted {
+                job: 7,
+                total_cells: 4,
+                fingerprint: 0xDEAD_BEEF,
+                priority: Priority::High,
+            },
+            Response::Status(JobStatus {
+                job: 7,
+                state: JobState::Running,
+                priority: Priority::Low,
+                client: "alice".into(),
+                completed_cells: 2,
+                total_cells: 4,
+                executed_trials: 60,
+                preemptions: 1,
+                evicted: false,
+                error: None,
+            }),
+            Response::Cell {
+                job: 7,
+                index: 0,
+                cell: Json::obj([("cell", Json::Num(0.0))]),
+            },
+            Response::End {
+                job: 7,
+                state: JobState::Done,
+                streamed_cells: 4,
+            },
+            Response::ResultDoc {
+                job: 7,
+                document: Json::obj([("version", Json::Num(1.0))]),
+            },
+            Response::Poff(PoffReply {
+                poff_mhz: Some(725.5),
+                cells_evaluated: 5,
+                evaluated: vec![PoffPoint {
+                    freq_mhz: 725.5,
+                    correct_fraction: 0.5,
+                    finished_fraction: 1.0,
+                }],
+            }),
+            Response::Poff(PoffReply {
+                poff_mhz: None,
+                cells_evaluated: 2,
+                evaluated: Vec::new(),
+            }),
+            Response::Cancelled { job: 7 },
+            Response::Bye,
+            Response::error(ErrorCode::QuotaExceeded, "client 'alice' is full"),
+        ];
+        for response in &responses {
+            let doc = response.to_json();
+            let text = doc.to_string();
+            let parsed = Json::parse(&text).expect("parses");
+            let back = Response::from_json(&parsed).expect("decodes");
+            assert_eq!(&back, response, "{text}");
+        }
+    }
+
+    #[test]
+    fn every_error_code_round_trips() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownJob,
+            ErrorCode::QuotaExceeded,
+            ErrorCode::ResultEvicted,
+            ErrorCode::NoResult,
+            ErrorCode::ResultTooLarge,
+            ErrorCode::ShuttingDown,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("nope"), None);
+    }
+
+    #[test]
+    fn submit_rejects_bad_priority_and_client() {
+        let spec = demo_def().to_json();
+        let bad_priority = Json::obj([
+            ("type", Json::Str("submit".into())),
+            ("spec", spec.clone()),
+            ("priority", Json::Str("urgent".into())),
+        ]);
+        assert!(Request::from_json(&bad_priority).is_err());
+        let bad_client = Json::obj([
+            ("type", Json::Str("submit".into())),
+            ("spec", spec.clone()),
+            ("client", Json::Str("x".repeat(MAX_CLIENT_ID_BYTES + 1))),
+        ]);
+        assert!(Request::from_json(&bad_client).is_err());
+        let empty_client = Json::obj([
+            ("type", Json::Str("submit".into())),
+            ("spec", spec),
+            ("client", Json::Str(String::new())),
+        ]);
+        assert!(Request::from_json(&empty_client).is_err());
+    }
+
+    #[test]
     fn campaign_spec_survives_the_submit_frame() {
         // The acceptance-relevant property: a spec pushed through the
         // protocol framing instantiates to the same campaign fingerprint.
@@ -324,14 +1020,20 @@ mod tests {
         let direct = def.instantiate().expect("instantiates");
 
         let mut buf = Vec::new();
-        write_frame(&mut buf, &Request::Submit(def).to_json()).expect("writes");
+        write_frame(
+            &mut buf,
+            &Request::Submit(SubmitRequest::new(def)).to_json(),
+        )
+        .expect("writes");
         let mut reader = BufReader::new(buf.as_slice());
         let frame = read_frame(&mut reader).unwrap().unwrap().unwrap();
         let Request::Submit(received) = Request::from_json(&frame).unwrap() else {
             panic!("not a submit");
         };
-        let remote = received.instantiate().expect("instantiates");
+        let remote = received.spec.instantiate().expect("instantiates");
         assert_eq!(remote.fingerprint(), direct.fingerprint());
+        assert_eq!(received.priority, Priority::Normal);
+        assert_eq!(received.client, None);
     }
 
     #[test]

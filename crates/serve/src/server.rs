@@ -9,11 +9,13 @@
 //! all completed work is already flushed to disk by the time the process
 //! exits.
 
-use crate::jobs::{self, JobTable, NextCell, SchedulerConfig};
-use crate::protocol::{read_frame, write_frame, PoffRequest, Request, PROTOCOL_VERSION};
+use crate::jobs::{self, JobTable, NextCell, ResultFetch, SchedulerConfig, TableLimits};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, PoffPoint, PoffReply, PoffRequest, Request, Response,
+    ServerInfo, PROTOCOL_VERSION,
+};
 use crate::wire::WireError;
 use sfi_campaign::{adaptive_poff, CampaignEngine, PoffSearch, TrialBudget};
-use sfi_core::json::Json;
 use sfi_core::study::{CaseStudy, CaseStudyConfig};
 use sfi_fault::OperatingPoint;
 use std::io::{self, BufReader};
@@ -30,8 +32,19 @@ pub struct ServeConfig {
     pub addr: String,
     /// The case study to characterize and serve.
     pub study: CaseStudyConfig,
-    /// Engine worker threads (`None` = all CPUs).
+    /// Global engine worker-thread budget, shared by all concurrently
+    /// running jobs (`None` = all CPUs).
     pub threads: Option<usize>,
+    /// Jobs the scheduler runs at once; each gets an equal share of the
+    /// thread budget.
+    pub max_concurrent_jobs: usize,
+    /// Per-client queued-jobs quota (`None` = unlimited).
+    pub max_queued_per_client: Option<usize>,
+    /// Per-client running-jobs quota (`None` = unlimited).
+    pub max_running_per_client: Option<usize>,
+    /// Byte cap on retained result JSON; above it the least-recently
+    /// fetched results are evicted (`None` = retain until shutdown).
+    pub result_cap_bytes: Option<usize>,
     /// Persistent characterization cache directory; restarts with the
     /// same study configuration skip the gate-level DTA rebuild.
     pub cache_dir: Option<PathBuf>,
@@ -47,6 +60,10 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7433".into(),
             study: CaseStudyConfig::paper(),
             threads: None,
+            max_concurrent_jobs: 1,
+            max_queued_per_client: None,
+            max_running_per_client: None,
+            result_cap_bytes: None,
             cache_dir: None,
             checkpoint_dir: None,
             quiet: false,
@@ -65,13 +82,21 @@ impl ServeConfig {
             ..ServeConfig::default()
         }
     }
+
+    fn limits(&self) -> TableLimits {
+        TableLimits {
+            max_queued_per_client: self.max_queued_per_client,
+            max_running_per_client: self.max_running_per_client,
+            result_cap_bytes: self.result_cap_bytes,
+        }
+    }
 }
 
 /// Shared server context handed to every connection handler.
 struct Context {
     study: Arc<CaseStudy>,
     table: Arc<JobTable>,
-    threads: Option<usize>,
+    scheduler: SchedulerConfig,
     cache_hit: bool,
 }
 
@@ -96,6 +121,11 @@ impl Server {
         let cache_hit = study.characterization_cache_hit();
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let scheduler_config = SchedulerConfig {
+            threads: config.threads,
+            max_concurrent_jobs: config.max_concurrent_jobs.max(1),
+            checkpoint_dir: config.checkpoint_dir.clone(),
+        };
         if !config.quiet {
             println!("sfi-serve listening on {addr}");
             println!(
@@ -107,16 +137,31 @@ impl Server {
                 },
                 config.study.fingerprint()
             );
+            println!(
+                "scheduler: {} concurrent job(s) × {} thread(s), queued quota {}, \
+                 running quota {}, result cap {}",
+                scheduler_config.max_concurrent_jobs,
+                scheduler_config.threads_per_job(),
+                match config.max_queued_per_client {
+                    Some(n) => n.to_string(),
+                    None => "unlimited".into(),
+                },
+                match config.max_running_per_client {
+                    Some(n) => n.to_string(),
+                    None => "unlimited".into(),
+                },
+                match config.result_cap_bytes {
+                    Some(n) => format!("{n} bytes"),
+                    None => "unlimited".into(),
+                },
+            );
         }
 
-        let table = Arc::new(JobTable::new());
+        let table = Arc::new(JobTable::with_limits(config.limits()));
         let scheduler = {
             let study = study.clone();
             let table = table.clone();
-            let scheduler_config = SchedulerConfig {
-                threads: config.threads,
-                checkpoint_dir: config.checkpoint_dir.clone(),
-            };
+            let scheduler_config = scheduler_config.clone();
             thread::spawn(move || jobs::run_scheduler(study, table, scheduler_config))
         };
 
@@ -125,7 +170,7 @@ impl Server {
             let context = Arc::new(Context {
                 study,
                 table: table.clone(),
-                threads: config.threads,
+                scheduler: scheduler_config,
                 cache_hit,
             });
             let stopping = stopping.clone();
@@ -208,29 +253,15 @@ impl Drop for Server {
     }
 }
 
-fn error_frame(message: impl Into<String>) -> Json {
-    Json::obj([
-        ("type", Json::Str("error".into())),
-        ("message", Json::Str(message.into())),
-    ])
+fn reply(writer: &mut TcpStream, response: &Response) -> io::Result<()> {
+    write_frame(writer, &response.to_json())
 }
 
-fn status_frame(status: &jobs::JobStatus) -> Json {
-    Json::obj([
-        ("type", Json::Str("status".into())),
-        ("job", Json::Str(status.job.to_string())),
-        ("state", Json::Str(status.state.as_str().into())),
-        ("completed_cells", Json::Num(status.completed_cells as f64)),
-        ("total_cells", Json::Num(status.total_cells as f64)),
-        ("executed_trials", Json::Num(status.executed_trials as f64)),
-        (
-            "error",
-            match &status.error {
-                Some(message) => Json::Str(message.clone()),
-                None => Json::Null,
-            },
-        ),
-    ])
+fn unknown_job(writer: &mut TcpStream, job: u64) -> io::Result<()> {
+    reply(
+        writer,
+        &Response::error(ErrorCode::UnknownJob, format!("unknown job {job}")),
+    )
 }
 
 /// Serves one connection until EOF, a transport error, or shutdown.
@@ -246,14 +277,20 @@ fn handle_connection(
             None => return Ok(()),
             Some(Ok(frame)) => frame,
             Some(Err(WireError(message))) => {
-                write_frame(&mut writer, &error_frame(message))?;
+                reply(
+                    &mut writer,
+                    &Response::error(ErrorCode::BadRequest, message),
+                )?;
                 continue;
             }
         };
         let request = match Request::from_json(&frame) {
             Ok(request) => request,
             Err(WireError(message)) => {
-                write_frame(&mut writer, &error_frame(message))?;
+                reply(
+                    &mut writer,
+                    &Response::error(ErrorCode::BadRequest, message),
+                )?;
                 continue;
             }
         };
@@ -261,73 +298,90 @@ fn handle_connection(
             Request::Ping => {
                 let study = &context.study;
                 let config = study.config();
-                let frame = Json::obj([
-                    ("type", Json::Str("pong".into())),
-                    ("protocol", Json::Num(PROTOCOL_VERSION as f64)),
-                    (
-                        "study_fingerprint",
-                        Json::Str(config.fingerprint().to_string()),
-                    ),
-                    (
-                        "sta_limit_mhz",
-                        Json::Num(study.sta_limit_mhz(config.nominal_vdd)),
-                    ),
-                    ("nominal_vdd", Json::Num(config.nominal_vdd)),
-                    (
-                        "voltages",
-                        Json::Arr(config.voltages.iter().map(|&v| Json::Num(v)).collect()),
-                    ),
-                    ("characterization_cache_hit", Json::Bool(context.cache_hit)),
-                    ("jobs", Json::Num(context.table.job_count() as f64)),
-                ]);
-                write_frame(&mut writer, &frame)?;
+                let limits = context.table.limits();
+                let info = ServerInfo {
+                    v: PROTOCOL_VERSION,
+                    study_fingerprint: config.fingerprint(),
+                    sta_limit_mhz: study.sta_limit_mhz(config.nominal_vdd),
+                    nominal_vdd: config.nominal_vdd,
+                    voltages: config.voltages.clone(),
+                    characterization_cache_hit: context.cache_hit,
+                    jobs: context.table.job_count(),
+                    running_jobs: context.table.running_count(),
+                    max_concurrent_jobs: context.scheduler.max_concurrent_jobs,
+                    threads_per_job: context.scheduler.threads_per_job(),
+                    max_queued_per_client: limits.max_queued_per_client,
+                    max_running_per_client: limits.max_running_per_client,
+                    result_cap_bytes: limits.result_cap_bytes,
+                    retained_result_bytes: context.table.retained_bytes(),
+                };
+                reply(&mut writer, &Response::Pong(info))?;
             }
-            Request::Submit(def) => {
-                match validate_voltages(context, &def).and_then(|()| def.instantiate()) {
+            Request::Submit(submit) => {
+                let client = submit.client.as_deref().unwrap_or("anonymous");
+                match validate_voltages(context, &submit.spec)
+                    .and_then(|()| submit.spec.instantiate())
+                {
                     Ok(spec) => {
                         let total_cells = spec.cells().len();
                         let fingerprint = spec.fingerprint();
                         // The instantiated spec travels into the job table;
                         // the scheduler runs it as-is instead of
                         // re-instantiating from the definition.
-                        let job = context.table.submit(spec);
-                        let frame = Json::obj([
-                            ("type", Json::Str("submitted".into())),
-                            ("job", Json::Str(job.to_string())),
-                            ("total_cells", Json::Num(total_cells as f64)),
-                            ("fingerprint", Json::Str(fingerprint.to_string())),
-                        ]);
-                        write_frame(&mut writer, &frame)?;
+                        match context.table.submit(spec, submit.priority, client) {
+                            Ok(job) => reply(
+                                &mut writer,
+                                &Response::Submitted {
+                                    job,
+                                    total_cells,
+                                    fingerprint,
+                                    priority: submit.priority,
+                                },
+                            )?,
+                            Err(jobs::SubmitRejected::QuotaExceeded(message)) => reply(
+                                &mut writer,
+                                &Response::error(ErrorCode::QuotaExceeded, message),
+                            )?,
+                            Err(jobs::SubmitRejected::ShuttingDown) => reply(
+                                &mut writer,
+                                &Response::error(
+                                    ErrorCode::ShuttingDown,
+                                    "the daemon is shutting down",
+                                ),
+                            )?,
+                        }
                     }
                     Err(WireError(message)) => {
-                        write_frame(&mut writer, &error_frame(message))?;
+                        reply(
+                            &mut writer,
+                            &Response::error(ErrorCode::BadRequest, message),
+                        )?;
                     }
                 }
             }
             Request::Status(job) => match context.table.status(job) {
-                Some(status) => write_frame(&mut writer, &status_frame(&status))?,
-                None => write_frame(&mut writer, &error_frame(format!("unknown job {job}")))?,
+                Some(status) => reply(&mut writer, &Response::Status(status))?,
+                None => unknown_job(&mut writer, job)?,
             },
             Request::Stream(job) => stream_job(&mut writer, context, job)?,
             Request::Result(job) => match context.table.result(job) {
-                Some(doc) => {
-                    let frame = Json::obj([
-                        ("type", Json::Str("result".into())),
-                        ("job", Json::Str(job.to_string())),
-                        ("document", doc),
-                    ]);
+                ResultFetch::Document(document) => {
+                    let frame = Response::ResultDoc { job, document };
                     // A result document aggregating many large cells can
                     // exceed what read_frame accepts; send an actionable
                     // error instead of a frame the client cannot read.
-                    let line = frame.to_string();
+                    let line = frame.to_json().to_string();
                     if line.len() >= crate::protocol::MAX_FRAME_BYTES {
-                        write_frame(
+                        reply(
                             &mut writer,
-                            &error_frame(format!(
-                                "result document of job {job} is {} bytes, above the \
-                                 frame limit; fetch it cell by cell with 'stream'",
-                                line.len()
-                            )),
+                            &Response::error(
+                                ErrorCode::ResultTooLarge,
+                                format!(
+                                    "result document of job {job} is {} bytes, above the \
+                                     frame limit; fetch it cell by cell with 'stream'",
+                                    line.len()
+                                ),
+                            ),
                         )?;
                     } else {
                         use std::io::Write as _;
@@ -336,30 +390,37 @@ fn handle_connection(
                         writer.flush()?;
                     }
                 }
-                None => write_frame(
+                ResultFetch::Evicted => reply(
                     &mut writer,
-                    &error_frame(format!("job {job} has no retained result")),
+                    &Response::error(
+                        ErrorCode::ResultEvicted,
+                        format!("the result of job {job} was evicted by the retention cap"),
+                    ),
                 )?,
+                ResultFetch::NotReady => reply(
+                    &mut writer,
+                    &Response::error(
+                        ErrorCode::NoResult,
+                        format!("job {job} has no retained result"),
+                    ),
+                )?,
+                ResultFetch::Unknown => unknown_job(&mut writer, job)?,
             },
             Request::Poff(request) => {
-                let frame = run_poff(context, &request);
-                write_frame(&mut writer, &frame)?;
+                let response = run_poff(context, &request);
+                reply(&mut writer, &response)?;
             }
             Request::Cancel(job) => {
                 if context.table.cancel(job) {
-                    let frame = Json::obj([
-                        ("type", Json::Str("cancelled".into())),
-                        ("job", Json::Str(job.to_string())),
-                    ]);
-                    write_frame(&mut writer, &frame)?;
+                    reply(&mut writer, &Response::Cancelled { job })?;
                 } else {
-                    write_frame(&mut writer, &error_frame(format!("unknown job {job}")))?;
+                    unknown_job(&mut writer, job)?;
                 }
             }
             Request::Shutdown => {
                 stopping.store(true, Ordering::SeqCst);
                 context.table.stop();
-                write_frame(&mut writer, &Json::obj([("type", Json::Str("bye".into()))]))?;
+                reply(&mut writer, &Response::Bye)?;
                 // Unblock the accept loop so the daemon can exit.
                 if let Ok(addr) = writer.local_addr() {
                     let _ = TcpStream::connect(addr);
@@ -399,34 +460,39 @@ fn stream_job(writer: &mut TcpStream, context: &Context, job: u64) -> io::Result
     loop {
         match context.table.next_cell(job, index) {
             NextCell::Cell(cell) => {
-                let frame = Json::obj([
-                    ("type", Json::Str("cell".into())),
-                    ("job", Json::Str(job.to_string())),
-                    ("index", Json::Num(index as f64)),
-                    ("cell", cell),
-                ]);
-                write_frame(writer, &frame)?;
+                reply(writer, &Response::Cell { job, index, cell })?;
                 index += 1;
             }
             NextCell::End(state) => {
-                let frame = Json::obj([
-                    ("type", Json::Str("end".into())),
-                    ("job", Json::Str(job.to_string())),
-                    ("state", Json::Str(state.as_str().into())),
-                    ("streamed_cells", Json::Num(index as f64)),
-                ]);
-                return write_frame(writer, &frame);
+                return reply(
+                    writer,
+                    &Response::End {
+                        job,
+                        state,
+                        streamed_cells: index,
+                    },
+                );
+            }
+            NextCell::Evicted => {
+                return reply(
+                    writer,
+                    &Response::error(
+                        ErrorCode::ResultEvicted,
+                        format!("the cells of job {job} were evicted by the retention cap"),
+                    ),
+                );
             }
             NextCell::Unknown => {
-                return write_frame(writer, &error_frame(format!("unknown job {job}")));
+                return unknown_job(writer, job);
             }
         }
     }
 }
 
 /// Runs a PoFF bisection synchronously on the handler thread (the engine
-/// underneath still parallelizes each evaluated cell's trials).
-fn run_poff(context: &Context, request: &PoffRequest) -> Json {
+/// underneath still parallelizes each evaluated cell's trials within one
+/// job's thread budget).
+fn run_poff(context: &Context, request: &PoffRequest) -> Response {
     if !context
         .study
         .config()
@@ -434,15 +500,15 @@ fn run_poff(context: &Context, request: &PoffRequest) -> Json {
         .iter()
         .any(|&v| (v - request.vdd).abs() < 1e-9)
     {
-        return error_frame(format!(
-            "voltage {} V is not characterized by this daemon",
-            request.vdd
-        ));
+        return Response::error(
+            ErrorCode::BadRequest,
+            format!(
+                "voltage {} V is not characterized by this daemon",
+                request.vdd
+            ),
+        );
     }
-    let mut engine = CampaignEngine::new();
-    if let Some(threads) = context.threads {
-        engine = engine.with_threads(threads);
-    }
+    let engine = CampaignEngine::new().with_threads(context.scheduler.threads_per_job());
     let search = PoffSearch {
         lo_mhz: request.lo_mhz,
         hi_mhz: request.hi_mhz,
@@ -460,33 +526,17 @@ fn run_poff(context: &Context, request: &PoffRequest) -> Json {
         search,
         request.seed,
     );
-    let evaluated: Vec<Json> = outcome
-        .evaluated
-        .iter()
-        .map(|point| {
-            Json::obj([
-                ("freq_mhz", Json::Num(point.freq_mhz)),
-                (
-                    "correct_fraction",
-                    Json::Num(point.summary.correct_fraction()),
-                ),
-                (
-                    "finished_fraction",
-                    Json::Num(point.summary.finished_fraction()),
-                ),
-            ])
-        })
-        .collect();
-    Json::obj([
-        ("type", Json::Str("poff".into())),
-        (
-            "poff_mhz",
-            match outcome.poff_mhz {
-                Some(freq) => Json::Num(freq),
-                None => Json::Null,
-            },
-        ),
-        ("cells_evaluated", Json::Num(outcome.cells_evaluated as f64)),
-        ("evaluated", Json::Arr(evaluated)),
-    ])
+    Response::Poff(PoffReply {
+        poff_mhz: outcome.poff_mhz,
+        cells_evaluated: outcome.cells_evaluated,
+        evaluated: outcome
+            .evaluated
+            .iter()
+            .map(|point| PoffPoint {
+                freq_mhz: point.freq_mhz,
+                correct_fraction: point.summary.correct_fraction(),
+                finished_fraction: point.summary.finished_fraction(),
+            })
+            .collect(),
+    })
 }

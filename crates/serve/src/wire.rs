@@ -43,6 +43,10 @@ pub const MAX_KERNEL_SIZE: usize = 4_096;
 /// fit.
 pub const MAX_TRIALS_PER_CELL: usize = 50_000;
 
+/// Hard cap on the `client` id of a `submit` frame, so per-client quota
+/// accounting cannot be made to allocate without bound.
+pub const MAX_CLIENT_ID_BYTES: usize = 64;
+
 /// A malformed or out-of-range wire value.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireError(pub String);

@@ -1,13 +1,16 @@
 //! End-to-end loopback tests of the serve daemon: protocol round trips,
-//! bit-identical results vs the direct engine, cancellation, malformed
-//! requests, warm characterization-cache restarts and graceful shutdown.
+//! bit-identical results vs the direct engine, multi-job scheduling
+//! (concurrency, priorities + preemption, per-client quotas, result
+//! eviction), cancellation, malformed requests, warm
+//! characterization-cache restarts and graceful shutdown.
 
-use sfi_campaign::{checkpoint, CampaignEngine};
+use sfi_campaign::{checkpoint, CampaignEngine, CampaignResult, CampaignSpec};
 use sfi_core::json::Json;
 use sfi_core::study::{CaseStudy, CaseStudyConfig};
 use sfi_core::FaultModel;
 use sfi_serve::client::Client;
-use sfi_serve::protocol::{read_frame, write_frame, PoffRequest};
+use sfi_serve::jobs::{JobState, Priority};
+use sfi_serve::protocol::{read_frame, write_frame, ErrorCode, PoffRequest};
 use sfi_serve::server::{ServeConfig, Server};
 use sfi_serve::wire::{BenchmarkDef, BudgetDef, CampaignDef, CellDef};
 use std::io::BufReader;
@@ -48,18 +51,60 @@ fn two_cell_def(sta: f64) -> CampaignDef {
     def
 }
 
+/// A longer campaign: `cells` median cells mostly below the STA limit, so
+/// trials are slow enough for mid-run cancellation/preemption to land.
+fn long_def(name: &str, sta: f64, cells: usize, trials: usize) -> CampaignDef {
+    let mut def = CampaignDef::new(name, 1);
+    let median = def.add_benchmark(BenchmarkDef::Median {
+        values: 129,
+        seed: 3,
+    });
+    for i in 0..cells {
+        def.cells.push(CellDef {
+            benchmark: median,
+            model: FaultModel::StatisticalDta,
+            freq_mhz: sta * (0.9 + 0.01 * i as f64),
+            vdd: 0.7,
+            noise_sigma_mv: 10.0,
+            budget: BudgetDef::fixed(trials),
+        });
+    }
+    def
+}
+
+/// Runs `def` directly on a local engine over a fresh fast study.
+fn direct_run(def: &CampaignDef) -> (CampaignSpec, CampaignResult) {
+    let study = CaseStudy::build(CaseStudyConfig::fast_for_tests());
+    let spec = def.instantiate().expect("instantiates");
+    let result = CampaignEngine::new().run(&study, &spec);
+    (spec, result)
+}
+
+/// The bytes the daemon retains for a finished job: the result document
+/// plus every streamed cell frame payload.
+fn retained_bytes(spec: &CampaignSpec, result: &CampaignResult) -> usize {
+    result.to_json(spec).to_string().len()
+        + result
+            .cells
+            .iter()
+            .map(|cell| checkpoint::cell_to_json(cell).to_string().len())
+            .sum::<usize>()
+}
+
 #[test]
 fn daemon_results_are_bit_identical_to_direct_engine_runs() {
     let server = start_fast_server();
     let mut client = Client::connect(server.local_addr()).expect("connects");
 
     let info = client.ping().expect("pong");
-    assert_eq!(info.protocol, 1);
+    assert_eq!(info.v, 1);
     assert!(!info.characterization_cache_hit, "no cache configured");
+    assert_eq!(info.max_concurrent_jobs, 1);
 
     let def = two_cell_def(info.sta_limit_mhz);
     let ticket = client.submit(&def).expect("accepted");
     assert_eq!(ticket.total_cells, 2);
+    assert_eq!(ticket.priority, Priority::Normal);
 
     // Stream the cells as they complete.
     let mut streamed = Vec::new();
@@ -72,9 +117,7 @@ fn daemon_results_are_bit_identical_to_direct_engine_runs() {
     assert_eq!(streamed.len(), 2);
 
     // The same campaign, run directly on an engine with the same spec.
-    let study = CaseStudy::build(CaseStudyConfig::fast_for_tests());
-    let spec = def.instantiate().expect("instantiates");
-    let direct = CampaignEngine::new().run(&study, &spec);
+    let (spec, direct) = direct_run(&def);
 
     streamed.sort_by_key(|cell| cell.cell);
     for (served, local) in streamed.iter().zip(&direct.cells) {
@@ -98,12 +141,260 @@ fn daemon_results_are_bit_identical_to_direct_engine_runs() {
 
     // Status agrees.
     let status = client.status(ticket.job).expect("status");
-    assert_eq!(status.state, "done");
+    assert_eq!(status.state, JobState::Done);
+    assert_eq!(status.priority, Priority::Normal);
+    assert_eq!(status.client, "anonymous");
     assert_eq!(status.completed_cells, 2);
     assert_eq!(status.executed_trials, 12);
+    assert_eq!(status.preemptions, 0);
+    assert!(!status.evicted);
 
     client.shutdown().expect("bye");
     server.join();
+}
+
+#[test]
+fn two_jobs_run_concurrently_with_bit_identical_results() {
+    let server = Server::start(ServeConfig {
+        max_concurrent_jobs: 2,
+        threads: Some(2),
+        ..ServeConfig::fast_for_tests()
+    })
+    .expect("daemon starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    let info = client.ping().expect("pong");
+    assert_eq!(info.max_concurrent_jobs, 2);
+    assert_eq!(info.threads_per_job, 1, "2 threads split across 2 slots");
+
+    let sta = info.sta_limit_mhz;
+    let def_a = long_def("concurrent-a", sta, 12, 10);
+    let def_b = long_def("concurrent-b", sta, 12, 10);
+    let a = client.submit(&def_a).expect("accepted");
+    let b = client.submit(&def_b).expect("accepted");
+
+    // Both jobs must be observed running at the same instant.
+    let mut observed_concurrent = false;
+    for _ in 0..500 {
+        let sa = client.status(a.job).expect("status");
+        let sb = client.status(b.job).expect("status");
+        if sa.state == JobState::Running && sb.state == JobState::Running {
+            observed_concurrent = true;
+            break;
+        }
+        if sa.is_terminal() && sb.is_terminal() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(
+        observed_concurrent,
+        "with two scheduler slots both jobs must make progress concurrently"
+    );
+
+    assert_eq!(client.wait(a.job).expect("terminal").state, JobState::Done);
+    assert_eq!(client.wait(b.job).expect("terminal").state, JobState::Done);
+
+    // Each result is bit-identical to a direct single-job engine run.
+    for (def, ticket) in [(&def_a, a), (&def_b, b)] {
+        let (spec, direct) = direct_run(def);
+        let doc = client.result(ticket.job).expect("result");
+        assert_eq!(doc.to_string(), direct.to_json(&spec).to_string());
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn queued_quota_rejects_the_excess_submission_per_client() {
+    let server = Server::start(ServeConfig {
+        max_queued_per_client: Some(1),
+        ..ServeConfig::fast_for_tests()
+    })
+    .expect("daemon starts");
+    let mut alice = Client::connect(server.local_addr()).expect("connects");
+    let mut bob = Client::connect(server.local_addr()).expect("connects");
+    let sta = alice.ping().expect("pong").sta_limit_mhz;
+
+    // Alice's first job occupies the single scheduler slot...
+    let running = alice
+        .submit_with(
+            &long_def("alice-1", sta, 64, 50),
+            Priority::Normal,
+            Some("alice"),
+        )
+        .expect("accepted");
+    // (wait until the scheduler actually moved it out of the queue, so
+    // the quota below counts only genuinely queued jobs)
+    while alice.status(running.job).expect("status").state == JobState::Queued {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    // ...her second waits in the queue, saturating her queued quota...
+    let queued = alice
+        .submit_with(&two_cell_def(sta), Priority::Normal, Some("alice"))
+        .expect("accepted");
+    // ...so her third submission is rejected with the typed error.
+    let err = alice
+        .submit_with(&two_cell_def(sta), Priority::Normal, Some("alice"))
+        .expect_err("quota exhausted");
+    assert_eq!(err.code(), Some(ErrorCode::QuotaExceeded), "{err}");
+
+    // Quotas are accounted per client id: bob still has his own slot...
+    let bob_job = bob
+        .submit_with(&two_cell_def(sta), Priority::Normal, Some("bob"))
+        .expect("accepted");
+    // ...and exactly one, like alice.
+    let err = bob
+        .submit_with(&two_cell_def(sta), Priority::Normal, Some("bob"))
+        .expect_err("quota exhausted");
+    assert_eq!(err.code(), Some(ErrorCode::QuotaExceeded), "{err}");
+
+    // Cancelling the queued job frees alice's quota immediately.
+    alice.cancel(queued.job).expect("cancels");
+    alice
+        .submit_with(&two_cell_def(sta), Priority::Normal, Some("alice"))
+        .expect("quota freed");
+
+    // Drain: cancel the long runner so the daemon shuts down promptly.
+    alice.cancel(running.job).expect("cancels");
+    let _ = alice.wait(running.job).expect("terminal");
+    let _ = bob.wait(bob_job.job).expect("terminal");
+    server.shutdown();
+}
+
+#[test]
+fn high_priority_preempts_low_and_the_resumed_result_is_bit_identical() {
+    let server = start_fast_server();
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    let sta = client.ping().expect("pong").sta_limit_mhz;
+
+    // A long low-priority campaign, slow enough that the high-priority
+    // job arrives mid-run.
+    let low_def = long_def("preempt-victim", sta, 48, 30);
+    let low = client
+        .submit_with(&low_def, Priority::Low, Some("batch"))
+        .expect("accepted");
+
+    // Wait until it is actually running and has completed at least one
+    // cell, so the preemption checkpoint is non-trivial.
+    loop {
+        let status = client.status(low.job).expect("status");
+        if status.state == JobState::Running && status.completed_cells >= 1 {
+            break;
+        }
+        assert!(
+            !status.is_terminal(),
+            "the low job must not finish before the high one is submitted"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // The high-priority job takes the single slot away from it.
+    let mut urgent_def = CampaignDef::new("urgent", 9);
+    let crc = urgent_def.add_benchmark(BenchmarkDef::Crc32 { words: 16, seed: 3 });
+    urgent_def.cells.push(CellDef {
+        benchmark: crc,
+        model: FaultModel::StatisticalDta,
+        freq_mhz: sta * 1.05,
+        vdd: 0.7,
+        noise_sigma_mv: 10.0,
+        budget: BudgetDef::fixed(4),
+    });
+    let high = client
+        .submit_with(&urgent_def, Priority::High, Some("interactive"))
+        .expect("accepted");
+    let high_status = client.wait(high.job).expect("terminal");
+    assert_eq!(high_status.state, JobState::Done);
+
+    // While the high job ran, the low one was preempted back into the
+    // queue; it resumes and completes.
+    let low_status = client.wait(low.job).expect("terminal");
+    assert_eq!(low_status.state, JobState::Done);
+    assert!(
+        low_status.preemptions >= 1,
+        "the low job must have been preempted at least once, got {}",
+        low_status.preemptions
+    );
+    assert_eq!(low_status.completed_cells, 48);
+
+    // The preempted-and-resumed result is bit-identical to a direct,
+    // never-interrupted engine run of the same spec.
+    let (spec, direct) = direct_run(&low_def);
+    let doc = client.result(low.job).expect("result");
+    assert_eq!(doc.to_string(), direct.to_json(&spec).to_string());
+
+    // The stream replays every cell exactly once despite the preemption.
+    let mut cells = Vec::new();
+    let state = client
+        .stream(low.job, |cell| {
+            cells.push(checkpoint::cell_from_json(cell).expect("cell decodes").cell)
+        })
+        .expect("streams");
+    assert_eq!(state, "done");
+    let mut sorted = cells.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 48, "48 distinct cells");
+    assert_eq!(cells.len(), 48, "no duplicates in the stream");
+
+    server.shutdown();
+}
+
+#[test]
+fn results_are_evicted_lru_once_the_cap_is_exceeded() {
+    // Size the cap from a local run of the same campaign: it holds two
+    // retained results but not three.
+    let study = CaseStudy::build(CaseStudyConfig::fast_for_tests());
+    let def = two_cell_def(study.sta_limit_mhz(0.7));
+    let spec = def.instantiate().expect("instantiates");
+    let local = CampaignEngine::new().run(&study, &spec);
+    let single = retained_bytes(&spec, &local);
+    let cap = single * 2 + single / 2;
+
+    let server = Server::start(ServeConfig {
+        result_cap_bytes: Some(cap),
+        ..ServeConfig::fast_for_tests()
+    })
+    .expect("daemon starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    let submit_and_wait = |client: &mut Client| {
+        let ticket = client.submit(&def).expect("accepted");
+        let status = client.wait(ticket.job).expect("terminal");
+        assert_eq!(status.state, JobState::Done);
+        ticket.job
+    };
+
+    let job1 = submit_and_wait(&mut client);
+    let job2 = submit_and_wait(&mut client);
+    // Both fit under the cap; fetching job1 makes job2 the LRU entry.
+    let doc1 = client.result(job1).expect("retained");
+    assert_eq!(doc1.to_string(), local.to_json(&spec).to_string());
+    let info = client.ping().expect("pong");
+    assert_eq!(info.result_cap_bytes, Some(cap));
+    assert_eq!(info.retained_result_bytes, single * 2);
+
+    // The third finished job pushes the total over the cap: the
+    // least-recently-fetched result (job2) is evicted.
+    let job3 = submit_and_wait(&mut client);
+    let err = client.result(job2).expect_err("evicted");
+    assert_eq!(err.code(), Some(ErrorCode::ResultEvicted), "{err}");
+    let err = client.stream(job2, |_| {}).expect_err("cells evicted too");
+    assert_eq!(err.code(), Some(ErrorCode::ResultEvicted), "{err}");
+
+    // The status survives eviction and reports it.
+    let status = client.status(job2).expect("status");
+    assert_eq!(status.state, JobState::Done);
+    assert!(status.evicted);
+
+    // The touched and the fresh results are still retrievable.
+    assert!(client.result(job1).is_ok());
+    assert!(client.result(job3).is_ok());
+    assert_eq!(
+        client.ping().expect("pong").retained_result_bytes,
+        single * 2
+    );
+
+    server.shutdown();
 }
 
 #[test]
@@ -155,7 +446,7 @@ fn poff_query_brackets_the_sta_limit() {
             seed: 9,
         })
         .expect_err("uncharacterized voltage");
-    assert!(matches!(err, sfi_serve::client::ClientError::Server(_)));
+    assert_eq!(err.code(), Some(ErrorCode::BadRequest), "{err}");
 
     // The same guard applies to submitted campaigns: a cell whose model
     // needs a characterization the daemon lacks is rejected at submit
@@ -163,7 +454,7 @@ fn poff_query_brackets_the_sta_limit() {
     let mut def = two_cell_def(sta);
     def.cells[0].vdd = 0.95;
     let err = client.submit(&def).expect_err("uncharacterized cell vdd");
-    assert!(matches!(err, sfi_serve::client::ClientError::Server(_)));
+    assert_eq!(err.code(), Some(ErrorCode::BadRequest), "{err}");
 
     server.shutdown();
 }
@@ -175,25 +466,11 @@ fn jobs_can_be_cancelled() {
     let sta = client.ping().expect("pong").sta_limit_mhz;
 
     // A long campaign: plenty of cells so cancellation lands mid-run.
-    let mut def = CampaignDef::new("cancelme", 1);
-    let median = def.add_benchmark(BenchmarkDef::Median {
-        values: 129,
-        seed: 3,
-    });
-    for i in 0..64 {
-        def.cells.push(CellDef {
-            benchmark: median,
-            model: FaultModel::StatisticalDta,
-            freq_mhz: sta * (0.9 + 0.01 * i as f64),
-            vdd: 0.7,
-            noise_sigma_mv: 10.0,
-            budget: BudgetDef::fixed(50),
-        });
-    }
+    let def = long_def("cancelme", sta, 64, 50);
     let ticket = client.submit(&def).expect("accepted");
     client.cancel(ticket.job).expect("cancels");
     let status = client.wait(ticket.job).expect("terminal");
-    assert_eq!(status.state, "cancelled");
+    assert_eq!(status.state, JobState::Cancelled);
     assert!(
         status.completed_cells < 64,
         "cancellation must cut the campaign short, got {} cells",
@@ -205,16 +482,12 @@ fn jobs_can_be_cancelled() {
     assert_eq!(state, "cancelled");
 
     // A cancelled job retains no result document.
-    assert!(matches!(
-        client.result(ticket.job),
-        Err(sfi_serve::client::ClientError::Server(_))
-    ));
+    let err = client.result(ticket.job).expect_err("no result");
+    assert_eq!(err.code(), Some(ErrorCode::NoResult), "{err}");
 
-    // Unknown jobs are server errors, not hangs.
-    assert!(matches!(
-        client.status(9999),
-        Err(sfi_serve::client::ClientError::Server(_))
-    ));
+    // Unknown jobs are typed server errors, not hangs.
+    let err = client.status(9999).expect_err("unknown job");
+    assert_eq!(err.code(), Some(ErrorCode::UnknownJob), "{err}");
 
     server.shutdown();
 }
@@ -240,16 +513,33 @@ fn malformed_requests_get_error_frames_and_the_connection_survives() {
     // Not JSON at all.
     let reply = roundtrip(&mut writer, &mut reader, "this is not json");
     assert_eq!(reply.get("type").and_then(Json::as_str), Some("error"));
+    assert_eq!(
+        reply.get("code").and_then(Json::as_str),
+        Some("bad_request")
+    );
 
     // Valid JSON, unknown request type.
     let reply = roundtrip(&mut writer, &mut reader, "{\"type\":\"frobnicate\"}");
     assert_eq!(reply.get("type").and_then(Json::as_str), Some("error"));
+    assert_eq!(
+        reply.get("code").and_then(Json::as_str),
+        Some("bad_request")
+    );
 
     // Valid type, bad payload.
     let reply = roundtrip(
         &mut writer,
         &mut reader,
         "{\"type\":\"submit\",\"spec\":{\"name\":\"x\"}}",
+    );
+    assert_eq!(reply.get("type").and_then(Json::as_str), Some("error"));
+
+    // An out-of-vocabulary priority is rejected, not defaulted.
+    let reply = roundtrip(
+        &mut writer,
+        &mut reader,
+        "{\"type\":\"submit\",\"priority\":\"urgent\",\"spec\":{\"name\":\"x\",\"seed\":\"1\",\
+         \"benchmarks\":[],\"cells\":[]}}",
     );
     assert_eq!(reply.get("type").and_then(Json::as_str), Some("error"));
 
@@ -261,6 +551,7 @@ fn malformed_requests_get_error_frames_and_the_connection_survives() {
     .expect("writes");
     let reply = read_frame(&mut reader).unwrap().unwrap().unwrap();
     assert_eq!(reply.get("type").and_then(Json::as_str), Some("pong"));
+    assert_eq!(reply.get("v").and_then(Json::as_u64), Some(1));
 
     server.shutdown();
 }
@@ -300,9 +591,7 @@ fn warm_cache_restart_skips_the_dta_rebuild() {
         assert_eq!(state, "done");
         client.result(ticket.job).expect("result")
     };
-    let study = CaseStudy::build(CaseStudyConfig::fast_for_tests());
-    let spec = def.instantiate().expect("instantiates");
-    let direct = CampaignEngine::new().run(&study, &spec);
+    let (spec, direct) = direct_run(&def);
     assert_eq!(doc.to_string(), direct.to_json(&spec).to_string());
 
     second.shutdown();
@@ -384,6 +673,10 @@ fn zoo_kernels_are_constructible_by_wire_recipe_and_exact_fault_free() {
         .expect("not eof")
         .expect("server frames always parse");
     assert_eq!(reply.get("type").and_then(Json::as_str), Some("error"));
+    assert_eq!(
+        reply.get("code").and_then(Json::as_str),
+        Some("bad_request")
+    );
     let message = reply
         .get("message")
         .and_then(Json::as_str)

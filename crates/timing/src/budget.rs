@@ -1,7 +1,7 @@
 //! Synthesis-like per-unit timing budgeting.
 //!
 //! The paper's case-study core is implemented with the constraint strategy
-//! of its ref. [14]: the execution-stage datapath is constrained so that
+//! of its ref. 14: the execution-stage datapath is constrained so that
 //! *only* the ALU endpoints limit the maximum clock frequency, every
 //! functional unit just meets (a fraction of) the clock constraint, and the
 //! path-delay distribution has no "timing wall" right at the limit.  A

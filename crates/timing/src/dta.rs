@@ -5,7 +5,7 @@
 //! (a 0 at an AND/NAND input, a 1 at an OR/NOR input) arrives early, the
 //! gate output settles early regardless of its other, possibly much slower
 //! input — the mechanism behind the "dynamic timing slack" exploited by the
-//! paper (and by ref. [14] therein).  This makes arrival times depend on the
+//! paper (and by its ref. 14).  This makes arrival times depend on the
 //! executed instruction and on the operand data, which is exactly the
 //! statistical structure model C captures.
 

@@ -7,22 +7,29 @@
 //!
 //! The same flow works across processes with the `sfi-serve` and
 //! `sfi-client` binaries; this example keeps everything in one process so
-//! it is runnable anywhere.
+//! it is runnable anywhere.  The wire protocol the client speaks is
+//! documented frame by frame in `docs/PROTOCOL.md`.
 
 use sfi_core::json::Json;
 use sfi_core::FaultModel;
 use sfi_serve::client::Client;
+use sfi_serve::jobs::Priority;
 use sfi_serve::protocol::PoffRequest;
 use sfi_serve::server::{ServeConfig, Server};
 use sfi_serve::wire::{BenchmarkDef, BudgetDef, CampaignDef, CellDef};
 
 fn main() {
-    // 1. Start the daemon on an ephemeral loopback port.  With a cache
-    //    directory configured, a second start of the same configuration
-    //    would skip the gate-level DTA rebuild entirely.
+    // 1. Start the daemon on an ephemeral loopback port with two
+    //    scheduler slots, so two submitted jobs run concurrently, each on
+    //    half of the worker-thread budget.  With a cache directory
+    //    configured, a second start of the same configuration would skip
+    //    the gate-level DTA rebuild entirely.
     let cache_dir = std::env::temp_dir().join("sfi-serve-quickstart-cache");
     let server = Server::start(ServeConfig {
         cache_dir: Some(cache_dir),
+        max_concurrent_jobs: 2,
+        max_queued_per_client: Some(8),
+        result_cap_bytes: Some(1 << 20),
         ..ServeConfig::fast_for_tests()
     })
     .expect("daemon starts");
@@ -32,7 +39,8 @@ fn main() {
     let mut client = Client::connect(server.local_addr()).expect("connects");
     let info = client.ping().expect("pong");
     println!(
-        "STA limit {:.1} MHz @ {} V; characterization {}",
+        "protocol v{}; STA limit {:.1} MHz @ {} V; characterization {}",
+        info.v,
         info.sta_limit_mhz,
         info.nominal_vdd,
         if info.characterization_cache_hit {
@@ -40,6 +48,13 @@ fn main() {
         } else {
             "computed (cache now warm)"
         }
+    );
+    println!(
+        "scheduler: {} slot(s) × {} thread(s), queued quota {:?}, result cap {:?} bytes",
+        info.max_concurrent_jobs,
+        info.threads_per_job,
+        info.max_queued_per_client,
+        info.result_cap_bytes
     );
 
     // 3. Submit a small campaign: the median kernel at three over-scaled
@@ -61,11 +76,39 @@ fn main() {
     }
     let ticket = client.submit(&def).expect("accepted");
     println!(
-        "job {} submitted ({} cells)",
-        ticket.job, ticket.total_cells
+        "job {} submitted ({} cells, {} priority)",
+        ticket.job,
+        ticket.total_cells,
+        ticket.priority.as_str()
     );
 
-    // 4. Stream per-cell results as the engine finishes them.
+    // A second, high-priority submission under an explicit client id:
+    // with a free slot it starts immediately; were the daemon saturated
+    // with low-priority work, it would preempt instead of waiting.
+    let mut urgent = CampaignDef::new("urgent", 11);
+    let crc = urgent.add_benchmark(BenchmarkDef::Crc32 { words: 32, seed: 3 });
+    urgent.cells.push(CellDef {
+        benchmark: crc,
+        model: FaultModel::StatisticalDta,
+        freq_mhz: info.sta_limit_mhz * 1.05,
+        vdd: info.nominal_vdd,
+        noise_sigma_mv: 10.0,
+        budget: BudgetDef::fixed(5),
+    });
+    let urgent_ticket = client
+        .submit_with(&urgent, Priority::High, Some("quickstart"))
+        .expect("accepted");
+    let urgent_status = client.wait(urgent_ticket.job).expect("terminal");
+    println!(
+        "high-priority job {} finished: {} ({} trials, {} preemption(s))",
+        urgent_status.job,
+        urgent_status.state.as_str(),
+        urgent_status.executed_trials,
+        urgent_status.preemptions
+    );
+
+    // 4. Stream the first job's per-cell results as the engine finishes
+    //    them.
     let state = client
         .stream(ticket.job, |cell| {
             let index = cell.get("cell").and_then(Json::as_u64).unwrap_or(0);
