@@ -15,6 +15,7 @@
 //! configuration (scaled-down case study, few trials).
 
 use sfi_bench::perf::{self, PerfArgs};
+use sfi_core::json::Json;
 
 fn main() {
     let args = PerfArgs::from_env();
@@ -26,6 +27,37 @@ fn main() {
         Err(err) => {
             eprintln!("error: failed to write {out}: {err}");
             std::process::exit(1);
+        }
+    }
+    if let Some(path) = &args.baseline {
+        let doc = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()))
+            .unwrap_or_else(|err| {
+                eprintln!("error: cannot read baseline {path}: {err}");
+                std::process::exit(1);
+            });
+        match perf::check_baseline(&report, &doc, args.tolerance) {
+            Ok(verdict) if verdict.pass => println!(
+                "baseline gate: pass ({:.1} trials/s vs {:.1} baseline, tolerance {:.0}%)",
+                verdict.current_tps,
+                verdict.baseline_tps,
+                100.0 * args.tolerance
+            ),
+            Ok(verdict) => {
+                eprintln!(
+                    "error: throughput regression: {:.1} trials/s is more than {:.0}% below \
+                     the baseline {:.1} ({path})",
+                    verdict.current_tps,
+                    100.0 * args.tolerance,
+                    verdict.baseline_tps
+                );
+                std::process::exit(1);
+            }
+            Err(message) => {
+                eprintln!("error: baseline {path}: {message}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -19,7 +19,7 @@ use std::time::Instant;
 pub const FORMAT_VERSION: u64 = 1;
 
 /// Command-line options of the `perf-report` binary.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfArgs {
     /// CI smoke configuration: scaled-down case study, small kernels, few
     /// trials.
@@ -30,16 +30,38 @@ pub struct PerfArgs {
     /// `BENCH_iss.json` baseline for full runs, `BENCH_iss_quick.json` for
     /// `--quick` — quick smoke numbers must never clobber the baseline).
     pub out: Option<String>,
+    /// Baseline report to gate against (`None` = no gate).  The gate is
+    /// one-sided: only a throughput *drop* beyond the tolerance fails —
+    /// the baseline may have been recorded on slower hardware, so running
+    /// faster is never an error.
+    pub baseline: Option<String>,
+    /// Allowed fractional throughput drop vs the baseline (default 0.05).
+    pub tolerance: f64,
+}
+
+impl Default for PerfArgs {
+    fn default() -> Self {
+        PerfArgs {
+            quick: false,
+            trials: None,
+            out: None,
+            baseline: None,
+            tolerance: 0.05,
+        }
+    }
 }
 
 /// The flag reference printed by `perf-report --help`.
 pub const USAGE: &str = "\
 options:
-  --quick      CI smoke configuration (8-bit case study, small kernels, few trials)
-  --trials N   timed trials per cell (default: 30, quick: 6)
-  --out FILE   output path of the JSON report
-               (default: BENCH_iss.json, or BENCH_iss_quick.json with --quick)
-  --help       print this help
+  --quick           CI smoke configuration (8-bit case study, small kernels, few trials)
+  --trials N        timed trials per cell (default: 30, quick: 6)
+  --out FILE        output path of the JSON report
+                    (default: BENCH_iss.json, or BENCH_iss_quick.json with --quick)
+  --baseline FILE   fail (exit 1) if totals.trials_per_sec drops more than the
+                    tolerance below FILE's; running faster than the baseline passes
+  --tolerance FRAC  allowed fractional drop for --baseline (default 0.05)
+  --help            print this help
 ";
 
 impl PerfArgs {
@@ -84,6 +106,20 @@ impl PerfArgs {
                 "--out" => {
                     i += 1;
                     args.out = Some(argv.get(i).ok_or("--out needs a value")?.clone());
+                }
+                "--baseline" => {
+                    i += 1;
+                    args.baseline = Some(argv.get(i).ok_or("--baseline needs a value")?.clone());
+                }
+                "--tolerance" => {
+                    i += 1;
+                    args.tolerance = argv
+                        .get(i)
+                        .ok_or("--tolerance needs a value")?
+                        .parse()
+                        .ok()
+                        .filter(|t: &f64| (0.0..1.0).contains(t))
+                        .ok_or("--tolerance needs a fraction in [0, 1)")?;
                 }
                 other => return Err(format!("unknown flag '{other}'")),
             }
@@ -296,6 +332,45 @@ pub fn to_json(report: &PerfReport) -> Json {
     ])
 }
 
+/// The outcome of a one-sided baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineVerdict {
+    /// `totals.trials_per_sec` of the baseline document.
+    pub baseline_tps: f64,
+    /// `totals.trials_per_sec` of the current report.
+    pub current_tps: f64,
+    /// Whether the current throughput is within the tolerated drop.
+    pub pass: bool,
+}
+
+/// Gates the report against a baseline document, one-sided: fails only if
+/// the current total throughput drops more than `tolerance` below the
+/// baseline's.  Running *faster* always passes — baselines recorded on
+/// slower hardware must not fail an uphill comparison.
+pub fn check_baseline(
+    report: &PerfReport,
+    baseline: &Json,
+    tolerance: f64,
+) -> Result<BaselineVerdict, String> {
+    let baseline_tps = baseline
+        .get("totals")
+        .and_then(|t| t.get("trials_per_sec"))
+        .and_then(Json::as_f64)
+        .filter(|tps| tps.is_finite() && *tps > 0.0)
+        .ok_or("baseline has no positive totals.trials_per_sec")?;
+    let current = to_json(report);
+    let current_tps = current
+        .get("totals")
+        .and_then(|t| t.get("trials_per_sec"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    Ok(BaselineVerdict {
+        baseline_tps,
+        current_tps,
+        pass: current_tps >= baseline_tps * (1.0 - tolerance),
+    })
+}
+
 /// Writes the JSON document to `path` atomically (temp file + rename).
 pub fn write_json(report: &PerfReport, path: &str) -> std::io::Result<()> {
     let text = to_json(report).to_string();
@@ -349,6 +424,56 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(quick.timed_trials(), 6);
+    }
+
+    #[test]
+    fn parse_accepts_the_baseline_gate() {
+        let args = PerfArgs::parse(&argv(&[
+            "--baseline",
+            "BENCH_iss.json",
+            "--tolerance",
+            "0.1",
+        ]))
+        .unwrap();
+        assert_eq!(args.baseline.as_deref(), Some("BENCH_iss.json"));
+        assert!((args.tolerance - 0.1).abs() < 1e-12);
+        assert!((PerfArgs::default().tolerance - 0.05).abs() < 1e-12);
+        for bad in [
+            &["--baseline"][..],
+            &["--tolerance"],
+            &["--tolerance", "1.5"],
+            &["--tolerance", "-0.1"],
+        ] {
+            assert!(PerfArgs::parse(&argv(bad)).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn baseline_gate_is_one_sided() {
+        let report = PerfReport {
+            study: "fast-8bit",
+            cells: vec![PerfCell {
+                benchmark: "median".into(),
+                scenario: "below_limit",
+                freq_mhz: 700.0,
+                trials: 10,
+                elapsed_s: 1.0, // 10 trials/sec
+                trials_per_sec: 10.0,
+                cycles_per_sec: 1e6,
+                mean_cycles: 1e5,
+                correct_fraction: 1.0,
+            }],
+        };
+        let baseline =
+            |tps: f64| Json::obj([("totals", Json::obj([("trials_per_sec", Json::Num(tps))]))]);
+        // Slight drop within tolerance: pass.
+        assert!(check_baseline(&report, &baseline(10.4), 0.05).unwrap().pass);
+        // Drop beyond tolerance: fail.
+        assert!(!check_baseline(&report, &baseline(11.0), 0.05).unwrap().pass);
+        // Much faster than the baseline: always pass (one-sided).
+        assert!(check_baseline(&report, &baseline(1.0), 0.05).unwrap().pass);
+        // A baseline without totals is an error, not a silent pass.
+        assert!(check_baseline(&report, &Json::Null, 0.05).is_err());
     }
 
     #[test]

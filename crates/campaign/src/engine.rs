@@ -593,6 +593,7 @@ impl<'a> Shared<'a> {
             let victim = (own + offset) % shards;
             // Steal from the back to reduce contention with the owner.
             if let Some(job) = self.queues[victim].lock().expect("queue lock").pop_back() {
+                sfi_obs::metrics().engine_steals.inc();
                 return Some(job);
             }
         }
@@ -694,6 +695,10 @@ fn execute_job(
                     state.done = true;
                     state.stopped_early = early;
                     finished_cell = true;
+                    if early {
+                        let saved = cell_spec.budget.max_trials - state.completed;
+                        sfi_obs::metrics().engine_trials_saved.add(saved as u64);
+                    }
                     if sink.is_some() || shared.progress.is_some() {
                         checkpoint_snapshot = Some(snapshot_cell(cell_index, &state));
                     }
@@ -715,6 +720,7 @@ fn execute_job(
     }
 
     if finished_cell {
+        sfi_obs::metrics().engine_cells_finished.inc();
         if let (Some(sink), Some(snapshot)) = (sink, &checkpoint_snapshot) {
             write_checkpoint(shared, sink, snapshot);
         }
@@ -790,5 +796,7 @@ fn write_checkpoint(shared: &Shared<'_>, sink: &CheckpointSink<'_>, cell: &CellR
     if let Err(err) = checkpoint::store_text(sink.path, &text) {
         // Non-fatal: a lost checkpoint must not kill the campaign.
         eprintln!("warning: failed to write campaign checkpoint: {err}");
+    } else {
+        sfi_obs::metrics().engine_checkpoint_writes.inc();
     }
 }

@@ -2,7 +2,7 @@
 //! detection.
 
 use crate::study::CaseStudy;
-use sfi_cpu::{Core, FaultInjector, NoFaultInjector, RunConfig};
+use sfi_cpu::{Core, FaultInjector, NoFaultInjector, RunConfig, RunOutcome};
 use sfi_fault::{
     FixedProbabilityModel, OperatingPoint, StaPeriodViolationModel, StaWithNoiseModel,
     StatisticalDtaModel,
@@ -174,6 +174,14 @@ fn run_prepared_trial<F: FaultInjector + ?Sized>(
         ..RunConfig::default()
     };
     let outcome = core.run_with_injector(&config, injector);
+    // Sharded per-thread counters: one relaxed add each, no measurable
+    // cost next to the trial just simulated.
+    let obs = sfi_obs::metrics();
+    obs.trials.inc();
+    obs.iss_cycles.add(core.stats().cycles);
+    if matches!(outcome, RunOutcome::Watchdog { .. }) {
+        obs.iss_watchdog_trips.inc();
+    }
     let finished = outcome.finished();
     let output_error = if finished {
         benchmark.output_error(core.memory())
@@ -356,8 +364,25 @@ impl TrialContext {
         };
         let result =
             run_prepared_trial(core, benchmark, slot.injector.as_injector_mut(), max_cycles);
+        let faults = core.stats().injected_faults;
+        if faults > 0 {
+            sfi_obs::metrics()
+                .iss_faults_for(model_metric_index(model))
+                .add(faults);
+        }
         self.injector = Some(slot);
         result
+    }
+}
+
+/// The [`sfi_obs::FAULT_MODEL_LABELS`] index of a fault model.
+fn model_metric_index(model: FaultModel) -> usize {
+    match model {
+        FaultModel::None => 0,
+        FaultModel::FixedProbability(_) => 1,
+        FaultModel::StaPeriodViolation => 2,
+        FaultModel::StaWithNoise => 3,
+        FaultModel::StatisticalDta => 4,
     }
 }
 

@@ -1,0 +1,55 @@
+//! A process-wide monotonic clock.
+//!
+//! Every timestamp the observability layer records — event times, job
+//! wait/run latencies — comes from one [`Instant`]-backed epoch pinned at
+//! first use.  Unlike `SystemTime`, the readings can never jump backwards
+//! under wall-clock adjustment, so latency differences are always
+//! non-negative and event streams are totally ordered within a process.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process epoch: pinned the first time any obs timestamp is taken.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since the process epoch (first obs timestamp).
+///
+/// Monotonically non-decreasing across all threads.  The `u64` range
+/// covers more than 500 000 years of uptime, so the narrowing cast from
+/// `u128` microseconds is unobservable.
+pub fn now_micros() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// The seconds between two [`now_micros`] readings, clamped at zero.
+///
+/// The clamp is belt-and-braces: readings are monotonic, but callers that
+/// persist timestamps across restarts could otherwise manufacture a
+/// negative interval.
+pub fn seconds_between(start_us: u64, end_us: u64) -> f64 {
+    end_us.saturating_sub(start_us) as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readings_are_monotonic() {
+        let mut last = now_micros();
+        for _ in 0..1000 {
+            let next = now_micros();
+            assert!(next >= last);
+            last = next;
+        }
+    }
+
+    #[test]
+    fn intervals_never_go_negative() {
+        assert_eq!(seconds_between(10, 4), 0.0);
+        assert_eq!(seconds_between(1_000_000, 3_500_000), 2.5);
+    }
+}

@@ -1,0 +1,44 @@
+//! Observability substrate of the sfi workspace.
+//!
+//! The statistical machinery of the reproduction — PoFF estimates,
+//! failure-probability grids, the serve-mode scheduler — is only as
+//! trustworthy as the campaign pipeline producing it, so this crate gives
+//! every layer one cheap, always-on place to report what it is doing:
+//!
+//! * [`metric`] — lock-free primitives: atomic [`Counter`]/[`Gauge`], the
+//!   per-thread [`ShardedCounter`] for the ISS trial hot path (one
+//!   uncontended relaxed add per update, folded on read), and fixed-bucket
+//!   [`Histogram`]s with Prometheus `le` semantics.
+//! * [`registry`] — the process-wide [`Metrics`] struct: one field per
+//!   family, built once ([`metrics`]), sampled without locks
+//!   ([`Metrics::snapshot`]).  Families cover the three layers that
+//!   matter: the ISS (trials, cycles, per-model injected faults, watchdog
+//!   trips), the campaign engine (steals, cells, adaptive-stop savings,
+//!   checkpoints) and the serve scheduler (queue depths, quotas,
+//!   preemptions, evictions, cache hits, wait/run latencies).
+//! * [`event`] — a bounded ring ([`events`]) of structured [`Event`]s with
+//!   monotonic timestamps and per-job/per-cell span ids, for post-mortem
+//!   of cancelled or evicted jobs.
+//! * [`clock`] — the shared monotonic clock behind every timestamp.
+//! * [`prometheus`] — text exposition rendering of a snapshot.
+//!
+//! The overhead contract: nothing in this crate takes a lock on a
+//! per-trial path, and per-trial updates are a handful of relaxed atomic
+//! adds on thread-private cache lines — the campaign hot loop shows no
+//! measurable regression against the tracked `BENCH_iss.json` baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod event;
+pub mod metric;
+pub mod prometheus;
+pub mod registry;
+
+pub use event::{Event, EventRing, FieldValue};
+pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, ShardedCounter};
+pub use registry::{
+    events, metrics, Family, FamilyKind, Metrics, Sample, SampleValue, Snapshot,
+    DEFAULT_EVENT_CAPACITY, FAULT_MODEL_LABELS, PRIORITY_LABELS,
+};

@@ -1,0 +1,308 @@
+//! The metric primitives: atomic counters and gauges, per-thread sharded
+//! hot-path counters, and fixed-bucket histograms.
+//!
+//! Everything here is lock-free on the write path: a metric update is one
+//! (or, for histograms, three) relaxed atomic operations.  Reads fold the
+//! atomics without stopping writers, so a snapshot is a consistent-enough
+//! point-in-time view — each individual value is exact, but values read
+//! microseconds apart may straddle concurrent updates.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge: a value that can move both ways (queue depths, running
+/// slots, retained bytes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the gauge to `value`.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative) to the gauge.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of shards of a [`ShardedCounter`]; threads are assigned
+/// round-robin, so contention only appears beyond this many concurrent
+/// writers.
+const SHARDS: usize = 32;
+
+/// One shard, padded to a cache line so neighbouring shards never
+/// false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Shard(AtomicU64);
+
+/// The calling thread's stable shard index.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    INDEX.with(|cell| {
+        if cell.get() == usize::MAX {
+            cell.set(NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS);
+        }
+        cell.get()
+    })
+}
+
+/// A counter sharded per thread for write-heavy hot paths (the ISS trial
+/// loop): each thread adds to its own cache-line-padded shard, and reads
+/// fold all shards.  Updates cost one uncontended relaxed `fetch_add`.
+#[derive(Debug)]
+pub struct ShardedCounter {
+    shards: Vec<Shard>,
+}
+
+impl Default for ShardedCounter {
+    fn default() -> Self {
+        ShardedCounter::new()
+    }
+}
+
+impl ShardedCounter {
+    /// A sharded counter starting at zero.
+    pub fn new() -> Self {
+        ShardedCounter {
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    /// Adds `n` to the calling thread's shard.
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the calling thread's shard.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The folded value: the sum over all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A point-in-time view of a [`Histogram`], in Prometheus shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// `(upper bound, cumulative count)` per bucket; the final bound is
+    /// `f64::INFINITY` and its count equals `count`.
+    pub buckets: Vec<(f64, u64)>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// A fixed-bucket histogram with inclusive upper bounds (Prometheus `le`
+/// semantics): an observation equal to a bound lands in that bound's
+/// bucket.  The bucket layout is fixed at construction; observing is
+/// lock-free.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One per bound plus the overflow (`+Inf`) bucket; *non*-cumulative
+    /// internally, folded into cumulative form by [`Histogram::snapshot`].
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations as `f64` bits, updated with a CAS loop.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given strictly increasing finite upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, non-increasing or contains a
+    /// non-finite bound (the `+Inf` bucket is implicit).
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "a histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (+Inf is implicit)"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.  `NaN` observations are dropped (they
+    /// carry no magnitude to bucket).
+    pub fn observe(&self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        // First bucket whose bound is >= value: Prometheus-inclusive `le`.
+        let index = self.bounds.partition_point(|bound| value > *bound);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let updated = (f64::from_bits(current) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                updated,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// The current cumulative-bucket view.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut cumulative = 0u64;
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, bucket)| {
+                cumulative += bucket.load(Ordering::Relaxed);
+                let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                (bound, cumulative)
+            })
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_fold_updates() {
+        let counter = Counter::new();
+        counter.inc();
+        counter.add(9);
+        assert_eq!(counter.get(), 10);
+
+        let gauge = Gauge::new();
+        gauge.set(5);
+        gauge.add(-8);
+        assert_eq!(gauge.get(), -3);
+    }
+
+    #[test]
+    fn sharded_counter_folds_across_threads() {
+        let counter = std::sync::Arc::new(ShardedCounter::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let counter = std::sync::Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        counter.inc();
+                    }
+                })
+            })
+            .collect();
+        // Reads are safe mid-flight (they fold whatever has landed)...
+        assert!(counter.get() <= 80_000);
+        for thread in threads {
+            thread.join().expect("worker finishes");
+        }
+        // ...and exact once all writers are done.
+        assert_eq!(counter.get(), 80_000);
+    }
+
+    #[test]
+    fn histogram_bounds_are_inclusive_upper_bounds() {
+        let histogram = Histogram::new(&[1.0, 5.0, 10.0]);
+        // On-boundary observations land in that boundary's bucket.
+        for value in [0.5, 1.0, 5.0, 5.1, 10.0, 11.0, f64::INFINITY] {
+            histogram.observe(value);
+        }
+        let snapshot = histogram.snapshot();
+        assert_eq!(
+            snapshot.buckets,
+            vec![
+                (1.0, 2),           // 0.5, 1.0 (inclusive)
+                (5.0, 3),           // + 5.0 (inclusive); 5.1 spills over
+                (10.0, 5),          // + 5.1, 10.0
+                (f64::INFINITY, 7), // + 11.0 and the Inf observation
+            ]
+        );
+        assert_eq!(snapshot.count, 7);
+
+        // NaN is dropped, Inf lands in the overflow bucket (counted above).
+        histogram.observe(f64::NAN);
+        assert_eq!(histogram.snapshot().count, 7);
+    }
+
+    #[test]
+    fn histogram_sum_accumulates() {
+        let histogram = Histogram::new(&[1.0]);
+        histogram.observe(0.25);
+        histogram.observe(4.0);
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.sum, 4.25);
+        assert_eq!(snapshot.count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Prometheus text exposition (version 0.0.4) rendering of a registry
+//! [`Snapshot`].
+
+use crate::registry::{SampleValue, Snapshot};
+use std::fmt::Write as _;
+
+/// The `Content-Type` of the rendered exposition.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Renders a snapshot in Prometheus text exposition format.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for family in &snapshot.families {
+        let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(family.help));
+        let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+        for sample in &family.samples {
+            match &sample.value {
+                SampleValue::Counter(value) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {value}",
+                        family.name,
+                        label_set(&sample.labels, None)
+                    );
+                }
+                SampleValue::Gauge(value) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {value}",
+                        family.name,
+                        label_set(&sample.labels, None)
+                    );
+                }
+                SampleValue::Histogram(histogram) => {
+                    for (bound, cumulative) in &histogram.buckets {
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {cumulative}",
+                            family.name,
+                            label_set(&sample.labels, Some(*bound))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        family.name,
+                        label_set(&sample.labels, None),
+                        histogram.sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        family.name,
+                        label_set(&sample.labels, None),
+                        histogram.count
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders a `{name="value",...}` label set, empty when there are no
+/// labels; `le` appends the histogram bucket bound.
+fn label_set(labels: &[(&'static str, String)], le: Option<f64>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(name, value)| format!("{name}=\"{}\"", escape_label(value)))
+        .collect();
+    if let Some(bound) = le {
+        let rendered = if bound.is_infinite() {
+            "+Inf".to_string()
+        } else {
+            format!("{bound}")
+        };
+        pairs.push(format!("le=\"{rendered}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(text: &str) -> String {
+    text.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::HistogramSnapshot;
+    use crate::registry::{Family, FamilyKind, Sample};
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let snapshot = Snapshot {
+            families: vec![
+                Family {
+                    name: "sfi_trials_total",
+                    help: "Monte-Carlo trials simulated",
+                    kind: FamilyKind::Counter,
+                    samples: vec![Sample {
+                        labels: Vec::new(),
+                        value: SampleValue::Counter(42),
+                    }],
+                },
+                Family {
+                    name: "sfi_sched_queue_depth",
+                    help: "Queued jobs, by priority class",
+                    kind: FamilyKind::Gauge,
+                    samples: vec![Sample {
+                        labels: vec![("priority", "high".to_string())],
+                        value: SampleValue::Gauge(-1),
+                    }],
+                },
+                Family {
+                    name: "sfi_sched_job_wait_seconds",
+                    help: "Seconds jobs spent queued",
+                    kind: FamilyKind::Histogram,
+                    samples: vec![Sample {
+                        labels: Vec::new(),
+                        value: SampleValue::Histogram(HistogramSnapshot {
+                            buckets: vec![(0.01, 1), (f64::INFINITY, 3)],
+                            sum: 1.25,
+                            count: 3,
+                        }),
+                    }],
+                },
+            ],
+        };
+        let text = render(&snapshot);
+        assert!(text.contains("# HELP sfi_trials_total Monte-Carlo trials simulated\n"));
+        assert!(text.contains("# TYPE sfi_trials_total counter\n"));
+        assert!(text.contains("\nsfi_trials_total 42\n"));
+        assert!(text.contains("sfi_sched_queue_depth{priority=\"high\"} -1\n"));
+        assert!(text.contains("sfi_sched_job_wait_seconds_bucket{le=\"0.01\"} 1\n"));
+        assert!(text.contains("sfi_sched_job_wait_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("sfi_sched_job_wait_seconds_sum 1.25\n"));
+        assert!(text.contains("sfi_sched_job_wait_seconds_count 3\n"));
+    }
+
+    #[test]
+    fn help_and_label_values_are_escaped() {
+        assert_eq!(escape_help("a\nb\\c"), "a\\nb\\\\c");
+        assert_eq!(escape_label("say \"hi\""), "say \\\"hi\\\"");
+    }
+}

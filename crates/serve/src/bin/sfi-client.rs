@@ -26,6 +26,11 @@ commands:
   stream JOB            stream a job's cells as JSON lines to stdout
   result JOB            print a finished job's full result document
   cancel JOB            cancel a queued or running job
+  metrics               print a snapshot of the daemon's metrics registry (engine,
+                        scheduler and ISS counters, gauges and latency histograms)
+  events                print recent structured events, oldest first, as JSON lines
+      [--limit N]                    at most N events (default 100)
+      [--job JOB]                    only events tagged with this job id
   poff KERNEL LO HI     bisect the point of first failure of a builtin kernel
                         (KERNEL: median | matmul8 | matmul16 | kmeans | dijkstra
                                  | fft | fir | crc32 | bitonic)
@@ -120,6 +125,69 @@ fn print_status(status: &sfi_serve::jobs::JobStatus) {
     );
 }
 
+/// Pretty-prints a metrics snapshot document (`{"families": [...]}`): one
+/// line per sample, histograms as count/sum plus their cumulative buckets.
+fn print_metrics(snapshot: &Json) {
+    let empty = Vec::new();
+    let families = snapshot
+        .get("families")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    for family in families {
+        let name = family.get("name").and_then(Json::as_str).unwrap_or("?");
+        let kind = family.get("kind").and_then(Json::as_str).unwrap_or("?");
+        let samples = family
+            .get("samples")
+            .and_then(Json::as_arr)
+            .unwrap_or(&empty);
+        for sample in samples {
+            let labels = match sample.get("labels") {
+                Some(Json::Obj(map)) if !map.is_empty() => {
+                    let pairs: Vec<String> = map
+                        .iter()
+                        .map(|(k, v)| format!("{k}={}", v.as_str().unwrap_or("?")))
+                        .collect();
+                    format!("{{{}}}", pairs.join(","))
+                }
+                _ => String::new(),
+            };
+            match kind {
+                "histogram" => {
+                    let value = sample.get("value");
+                    let count = value
+                        .and_then(|v| v.get("count"))
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0);
+                    let sum = value
+                        .and_then(|v| v.get("sum"))
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0);
+                    println!("{name}{labels}  count {count}, sum {sum:.6}");
+                    let buckets = value
+                        .and_then(|v| v.get("buckets"))
+                        .and_then(Json::as_arr)
+                        .unwrap_or(&empty);
+                    for bucket in buckets {
+                        println!(
+                            "  le {:>8}  {}",
+                            bucket.get("le").and_then(Json::as_str).unwrap_or("?"),
+                            bucket.get("count").and_then(Json::as_u64).unwrap_or(0),
+                        );
+                    }
+                }
+                _ => {
+                    let value = match sample.get("value") {
+                        Some(Json::Str(s)) => s.clone(),
+                        Some(Json::Num(n)) => format!("{n}"),
+                        _ => "?".into(),
+                    };
+                    println!("{name}{labels}  {value}");
+                }
+            }
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let mut addr = "127.0.0.1:7433".to_string();
@@ -188,6 +256,12 @@ fn run(
                     Some(n) => format!(" of {n} cap"),
                     None => " (no cap)".into(),
                 },
+            );
+            println!(
+                "observability: Prometheus listener {}, {} preemption(s), {} eviction(s)",
+                if info.metrics_enabled { "on" } else { "off" },
+                info.preemptions_total,
+                info.evictions_total,
             );
         }
         "submit" => {
@@ -276,6 +350,48 @@ fn run(
             let job = parse_job(args.first());
             client.cancel(job)?;
             println!("job {job} cancelled");
+        }
+        "metrics" => {
+            let snapshot = client.metrics()?;
+            print_metrics(&snapshot);
+        }
+        "events" => {
+            let mut limit = None;
+            let mut job = None;
+            let mut i = 0;
+            while i < args.len() {
+                let value = |i: &mut usize| -> String {
+                    *i += 1;
+                    args.get(*i)
+                        .cloned()
+                        .unwrap_or_else(|| usage_fail("flag needs a value"))
+                };
+                match args[i].as_str() {
+                    "--limit" => {
+                        limit = Some(
+                            value(&mut i)
+                                .parse()
+                                .unwrap_or_else(|_| usage_fail("--limit")),
+                        )
+                    }
+                    "--job" => {
+                        job = Some(
+                            value(&mut i)
+                                .parse()
+                                .unwrap_or_else(|_| usage_fail("--job")),
+                        )
+                    }
+                    other => usage_fail(format!("unknown flag '{other}'")),
+                }
+                i += 1;
+            }
+            let (events, dropped) = client.events(limit, job)?;
+            for event in events.as_arr().unwrap_or_default() {
+                println!("{event}");
+            }
+            if dropped > 0 {
+                eprintln!("({dropped} older event(s) dropped by the ring buffer)");
+            }
         }
         "poff" => {
             if args.len() < 3 {

@@ -29,6 +29,10 @@ options:
   --cache-dir DIR            persistent characterization cache (restarts skip the DTA
                              rebuild)
   --checkpoint-dir DIR       per-job campaign checkpoints (identical re-submissions resume)
+  --metrics-addr HOST:PORT   serve the Prometheus text exposition on this address (the
+                             'metrics' wire frame works without it; port 0 = ephemeral)
+  --event-buffer N           capacity of the structured-event ring buffer (default 1024;
+                             overflow drops the oldest events and counts them)
   --help                     print this help
 
 Scheduling: submitted jobs carry a priority class (low/normal/high); dispatch is strict
@@ -94,6 +98,14 @@ fn main() {
             "--cache-dir" => config.cache_dir = Some(PathBuf::from(value(&mut i, "--cache-dir"))),
             "--checkpoint-dir" => {
                 config.checkpoint_dir = Some(PathBuf::from(value(&mut i, "--checkpoint-dir")))
+            }
+            "--metrics-addr" => config.metrics_addr = Some(value(&mut i, "--metrics-addr")),
+            "--event-buffer" => {
+                let n = unsigned(&mut i, "--event-buffer");
+                if n == 0 {
+                    fail("--event-buffer must be at least 1");
+                }
+                config.event_buffer = Some(n);
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

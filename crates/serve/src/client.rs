@@ -207,6 +207,30 @@ impl Client {
         }
     }
 
+    /// Fetches a point-in-time snapshot of the daemon's metrics registry
+    /// (the `snapshot` document of the `metrics` frame).
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        self.send(&Request::Metrics)?;
+        match self.receive()? {
+            Response::Metrics { snapshot } => Ok(snapshot),
+            other => Self::unexpected("metrics", &other),
+        }
+    }
+
+    /// Fetches recent structured events (oldest first) and the cumulative
+    /// overflow-drop count; both arguments are optional on the wire.
+    pub fn events(
+        &mut self,
+        limit: Option<u64>,
+        job: Option<u64>,
+    ) -> Result<(Json, u64), ClientError> {
+        self.send(&Request::Events { limit, job })?;
+        match self.receive()? {
+            Response::Events { events, dropped } => Ok((events, dropped)),
+            other => Self::unexpected("events", &other),
+        }
+    }
+
     /// Cancels a queued or running job.
     pub fn cancel(&mut self, job: u64) -> Result<(), ClientError> {
         self.send(&Request::Cancel(job))?;

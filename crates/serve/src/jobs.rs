@@ -45,6 +45,8 @@
 use sfi_campaign::{checkpoint, CampaignEngine, CampaignSpec, CellResult};
 use sfi_core::json::Json;
 use sfi_core::CaseStudy;
+use sfi_obs::clock;
+use sfi_obs::Event;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -213,6 +215,16 @@ struct JobEntry {
     evicted: bool,
     /// LRU stamp, bumped on every result/stream fetch.
     last_access: u64,
+    /// Monotonic time ([`clock::now_micros`]) the job was (re)enqueued;
+    /// feeds the wait-latency histogram at dispatch.  Monotonic by
+    /// construction, so the latency can never go negative under
+    /// wall-clock adjustment.
+    enqueued_us: u64,
+    /// Monotonic time the current running segment started.
+    started_us: u64,
+    /// Running time accumulated across preemption segments, observed
+    /// into the run-latency histogram once the job is terminal.
+    run_accum_us: u64,
 }
 
 impl JobEntry {
@@ -257,6 +269,10 @@ struct Inner {
     retained_total: usize,
     /// Monotonic clock for LRU stamps.
     lru_clock: u64,
+    /// Cumulative preemptions since daemon start (reported by `pong`).
+    preemptions_total: u64,
+    /// Cumulative result evictions since daemon start.
+    evictions_total: u64,
 }
 
 impl Inner {
@@ -298,13 +314,42 @@ impl Inner {
                 .map(|(&id, _)| id);
             let Some(id) = victim else { break };
             let entry = self.jobs.get_mut(&id).expect("victim exists");
-            self.retained_total -= entry.retained_bytes;
+            let released = entry.retained_bytes;
+            self.retained_total -= released;
             entry.retained_bytes = 0;
             entry.result = None;
             entry.cells = Vec::new();
             entry.evicted = true;
+            self.evictions_total += 1;
+            let metrics = sfi_obs::metrics();
+            metrics.sched_evictions.inc();
+            metrics.sched_evicted_bytes.add(released as u64);
+            sfi_obs::events().push(
+                Event::new("result_evicted")
+                    .job(id)
+                    .field("bytes", released),
+            );
         }
     }
+
+    /// Mirrors the queue depths and running-slot count into the metric
+    /// gauges; called after every queue/running mutation.
+    fn sync_gauges(&self) {
+        let metrics = sfi_obs::metrics();
+        for (gauge, queue) in metrics.sched_queue_depth.iter().zip(&self.queues) {
+            gauge.set(queue.len() as i64);
+        }
+        metrics.sched_running.set(self.running.len() as i64);
+    }
+}
+
+/// Cumulative scheduler totals since daemon start (reported by `pong`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableTotals {
+    /// Cooperative preemptions performed.
+    pub preemptions: u64,
+    /// Retained results evicted under the byte cap.
+    pub evictions: u64,
 }
 
 /// The shared job table: priority queues, per-job state, streaming
@@ -370,6 +415,8 @@ impl JobTable {
                 jobs: BTreeMap::new(),
                 retained_total: 0,
                 lru_clock: 0,
+                preemptions_total: 0,
+                evictions_total: 0,
             }),
             limits,
             scheduler_wake: Condvar::new(),
@@ -403,6 +450,7 @@ impl JobTable {
         }
         if let Some(max) = self.limits.max_queued_per_client {
             if inner.queued_count(client) >= max {
+                sfi_obs::metrics().sched_quota_rejections.inc();
                 return Err(SubmitRejected::QuotaExceeded(format!(
                     "client '{client}' already has {max} queued job(s)"
                 )));
@@ -431,9 +479,21 @@ impl JobTable {
                 retained_bytes: 0,
                 evicted: false,
                 last_access: 0,
+                enqueued_us: clock::now_micros(),
+                started_us: 0,
+                run_accum_us: 0,
             },
         );
         inner.queues[priority.index()].push_back(id);
+        sfi_obs::metrics().sched_jobs_submitted.inc();
+        inner.sync_gauges();
+        sfi_obs::events().push(
+            Event::new("job_submitted")
+                .job(id)
+                .field("priority", priority.as_str())
+                .field("client", client)
+                .field("cells", total_cells),
+        );
         self.scheduler_wake.notify_all();
         Ok(id)
     }
@@ -478,6 +538,8 @@ impl JobTable {
             for queue in &mut inner.queues {
                 queue.retain(|&q| q != id);
             }
+            inner.sync_gauges();
+            sfi_obs::events().push(Event::new("job_cancelled").job(id).field("state", "queued"));
         }
         self.update.notify_all();
         true
@@ -499,6 +561,7 @@ impl JobTable {
                 entry.spec = CampaignSpec::new(String::new(), 0);
             }
         }
+        inner.sync_gauges();
         self.scheduler_wake.notify_all();
         self.update.notify_all();
     }
@@ -521,6 +584,15 @@ impl JobTable {
     /// Total retained result bytes across all finished jobs.
     pub fn retained_bytes(&self) -> usize {
         self.lock().retained_total
+    }
+
+    /// Cumulative preemption/eviction totals since the table was created.
+    pub fn totals(&self) -> TableTotals {
+        let inner = self.lock();
+        TableTotals {
+            preemptions: inner.preemptions_total,
+            evictions: inner.evictions_total,
+        }
     }
 
     /// Blocks until cell `index` of job `id` exists (returning it), the
@@ -642,6 +714,16 @@ fn pick(inner: &mut Inner, limits: &TableLimits, max_jobs: usize) -> Dispatch {
                 .expect("position valid");
             let entry = inner.jobs.get_mut(&id).expect("queued job exists");
             entry.state = JobState::Running;
+            let now = clock::now_micros();
+            entry.started_us = now;
+            let wait_s = clock::seconds_between(entry.enqueued_us, now);
+            sfi_obs::metrics().job_wait_seconds.observe(wait_s);
+            sfi_obs::events().push(
+                Event::new("job_started")
+                    .job(id)
+                    .field("priority", entry.priority.as_str())
+                    .field("wait_s", wait_s),
+            );
             let spec = entry.spec.clone();
             let cancel = entry.cancel.clone();
             // Completed cells of a preempted earlier attempt seed the
@@ -653,6 +735,7 @@ fn pick(inner: &mut Inner, limits: &TableLimits, max_jobs: usize) -> Dispatch {
                 .filter_map(checkpoint::cell_from_json)
                 .collect();
             inner.running.push(id);
+            inner.sync_gauges();
             return Dispatch::Start {
                 id,
                 spec,
@@ -797,6 +880,7 @@ fn run_job(
     let stop = inner.stop;
     let mut requeue_class = None;
     let mut retained = 0usize;
+    let mut preempted = false;
     if let Some(entry) = inner.jobs.get_mut(&id) {
         let cell_bytes = |entry: &JobEntry| {
             entry
@@ -805,6 +889,8 @@ fn run_job(
                 .map(|c| c.to_string().len())
                 .sum::<usize>()
         };
+        let now = clock::now_micros();
+        entry.run_accum_us += now.saturating_sub(entry.started_us);
         match outcome {
             Ok(result) => {
                 entry.executed_trials += result.metrics.executed_trials;
@@ -817,7 +903,15 @@ fn run_job(
                         entry.preemptions += 1;
                         entry.state = JobState::Queued;
                         entry.cancel = Arc::new(AtomicBool::new(false));
+                        entry.enqueued_us = now;
                         requeue_class = Some(entry.priority.index());
+                        preempted = true;
+                        sfi_obs::metrics().sched_preemptions.inc();
+                        sfi_obs::events().push(
+                            Event::new("job_preempted")
+                                .job(id)
+                                .field("completed_cells", entry.cells.len()),
+                        );
                     } else {
                         entry.state = JobState::Cancelled;
                         retained = cell_bytes(entry);
@@ -848,7 +942,22 @@ fn run_job(
             // failed jobs count toward the cap just like done results.
             entry.spec = CampaignSpec::new(String::new(), 0);
             entry.retained_bytes = retained;
+            let run_s = entry.run_accum_us as f64 / 1e6;
+            sfi_obs::metrics().job_run_seconds.observe(run_s);
+            sfi_obs::events().push(
+                Event::new(match entry.state {
+                    JobState::Done => "job_done",
+                    JobState::Failed => "job_failed",
+                    _ => "job_cancelled",
+                })
+                .job(id)
+                .field("run_s", run_s)
+                .field("trials", entry.executed_trials),
+            );
         }
+    }
+    if preempted {
+        inner.preemptions_total += 1;
     }
     if let Some(class) = requeue_class {
         inner.queues[class].push_front(id);
@@ -860,6 +969,7 @@ fn run_job(
             inner.evict_to_cap(cap);
         }
     }
+    inner.sync_gauges();
     drop(inner);
     table.scheduler_wake.notify_all();
     table.update.notify_all();
@@ -1058,6 +1168,9 @@ mod tests {
                     retained_bytes: 100,
                     evicted: false,
                     last_access: id,
+                    enqueued_us: 0,
+                    started_us: 0,
+                    run_accum_us: 0,
                 },
             );
             inner.retained_total += 100;

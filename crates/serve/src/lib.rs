@@ -26,6 +26,9 @@
 //!   eviction of retained results under a byte cap.
 //! * [`server`] / [`client`] — the daemon and the typed client library
 //!   (shipped as the `sfi-client` binary).
+//! * [`metrics`] — the observability surface: the `metrics`/`events`
+//!   frame encodings over the global `sfi_obs` registry, and the
+//!   optional Prometheus text-exposition listener (`--metrics-addr`).
 //!
 //! Everything is `std::net` + worker threads — the workspace is offline
 //! and dependency-free by design.
@@ -65,6 +68,7 @@
 
 pub mod client;
 pub mod jobs;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod wire;

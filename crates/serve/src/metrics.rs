@@ -1,0 +1,260 @@
+//! The daemon's observability surface: JSON encodings of registry
+//! snapshots and event rings for the `metrics`/`events` wire frames, and
+//! the optional Prometheus text-exposition listener (`--metrics-addr`).
+//!
+//! The wire encoding follows the workspace JSON conventions: 64-bit
+//! integers travel as decimal strings (JSON numbers are doubles and lose
+//! precision past 2^53 — counters of simulated cycles get there), and
+//! non-finite histogram bounds are spelled out (`"+Inf"`) because the
+//! canonical encoder maps non-finite floats to `null`.
+
+use sfi_core::json::Json;
+use sfi_obs::{Event, FieldValue, Sample, SampleValue, Snapshot};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+/// Formats a histogram upper bound the way Prometheus spells `le` labels.
+fn le_string(bound: f64) -> String {
+    if bound.is_infinite() {
+        "+Inf".into()
+    } else {
+        format!("{bound}")
+    }
+}
+
+fn sample_to_json(sample: &Sample) -> Json {
+    let labels = Json::obj(
+        sample
+            .labels
+            .iter()
+            .map(|(name, value)| (*name, Json::Str(value.clone())))
+            .collect::<Vec<_>>(),
+    );
+    let value = match &sample.value {
+        SampleValue::Counter(v) => Json::Str(v.to_string()),
+        SampleValue::Gauge(v) => Json::Num(*v as f64),
+        SampleValue::Histogram(h) => Json::obj([
+            (
+                "buckets",
+                Json::Arr(
+                    h.buckets
+                        .iter()
+                        .map(|&(le, count)| {
+                            Json::obj([
+                                ("le", Json::Str(le_string(le))),
+                                ("count", Json::Str(count.to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("sum", Json::Num(h.sum)),
+            ("count", Json::Str(h.count.to_string())),
+        ]),
+    };
+    Json::obj([("labels", labels), ("value", value)])
+}
+
+/// Encodes a registry snapshot as the `metrics` frame's `snapshot` member:
+/// `{"families": [{"name", "help", "kind", "samples": [...]}]}`.
+pub fn snapshot_to_json(snapshot: &Snapshot) -> Json {
+    Json::obj([(
+        "families",
+        Json::Arr(
+            snapshot
+                .families
+                .iter()
+                .map(|family| {
+                    Json::obj([
+                        ("name", Json::Str(family.name.into())),
+                        ("help", Json::Str(family.help.into())),
+                        ("kind", Json::Str(family.kind.as_str().into())),
+                        (
+                            "samples",
+                            Json::Arr(family.samples.iter().map(sample_to_json).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// Encodes one structured event: timestamp, kind, optional job/cell span
+/// ids, and the free-form fields.
+pub fn event_to_json(event: &Event) -> Json {
+    let mut pairs = vec![
+        ("ts_us", Json::Str(event.ts_us.to_string())),
+        ("kind", Json::Str(event.kind.into())),
+    ];
+    if let Some(job) = event.job {
+        pairs.push(("job", Json::Str(job.to_string())));
+    }
+    if let Some(cell) = event.cell {
+        pairs.push(("cell", Json::Str(cell.to_string())));
+    }
+    pairs.push((
+        "fields",
+        Json::obj(
+            event
+                .fields
+                .iter()
+                .map(|(name, value)| {
+                    let encoded = match value {
+                        FieldValue::U64(v) => Json::Str(v.to_string()),
+                        FieldValue::F64(v) => Json::Num(*v),
+                        FieldValue::Str(v) => Json::Str(v.clone()),
+                    };
+                    (*name, encoded)
+                })
+                .collect::<Vec<_>>(),
+        ),
+    ));
+    Json::obj(pairs)
+}
+
+/// Encodes a batch of events (oldest first) as the `events` frame's
+/// `events` member.
+pub fn events_to_json(events: &[Event]) -> Json {
+    Json::Arr(events.iter().map(event_to_json).collect())
+}
+
+/// A minimal HTTP/1.x listener serving the Prometheus text exposition of
+/// the global registry on every request.
+///
+/// One thread, one connection at a time: scrapes are a few kilobytes every
+/// few seconds, and the snapshot itself is lock-free, so there is nothing
+/// to parallelize.  Dropping the listener stops the thread.
+pub struct PrometheusListener {
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl PrometheusListener {
+    /// Binds `addr` (port 0 for ephemeral) and starts serving scrapes.
+    pub fn start(addr: &str) -> io::Result<PrometheusListener> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stopping = stopping.clone();
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stopping.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = serve_scrape(stream);
+                }
+            })
+        };
+        Ok(PrometheusListener {
+            addr,
+            stopping,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for PrometheusListener {
+    fn drop(&mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Answers one scrape: drains the request head, renders the registry.
+fn serve_scrape(stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    // Consume the request line and headers up to the blank line; the
+    // method and path are irrelevant — every request gets the metrics.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line.trim().is_empty() {
+            break;
+        }
+    }
+    let body = sfi_obs::prometheus::render(&sfi_obs::metrics().snapshot());
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        sfi_obs::prometheus::CONTENT_TYPE,
+        body.len()
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    #[test]
+    fn snapshot_encodes_counters_as_decimal_strings() {
+        sfi_obs::metrics().trials.inc();
+        let doc = snapshot_to_json(&sfi_obs::metrics().snapshot());
+        let families = doc.get("families").and_then(Json::as_arr).expect("array");
+        let trials = families
+            .iter()
+            .find(|f| f.get("name").and_then(Json::as_str) == Some("sfi_trials_total"))
+            .expect("sfi_trials_total present");
+        assert_eq!(trials.get("kind").and_then(Json::as_str), Some("counter"));
+        let samples = trials.get("samples").and_then(Json::as_arr).expect("array");
+        let value = samples[0].get("value").expect("value");
+        let count: u64 = value.as_str().expect("string").parse().expect("decimal");
+        assert!(count >= 1);
+    }
+
+    #[test]
+    fn histogram_bounds_spell_infinity() {
+        sfi_obs::metrics().job_wait_seconds.observe(0.002);
+        let doc = snapshot_to_json(&sfi_obs::metrics().snapshot());
+        let text = doc.to_string();
+        assert!(text.contains("\"+Inf\""), "{text}");
+        // The canonical encoder must never see a non-finite number.
+        assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn events_encode_span_ids_and_fields() {
+        let event = Event::new("unit_test").job(7).cell(3).field("bytes", 42u64);
+        let doc = event_to_json(&event);
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("unit_test"));
+        assert_eq!(doc.get("job").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("cell").and_then(Json::as_u64), Some(3));
+        let fields = doc.get("fields").expect("fields");
+        assert_eq!(fields.get("bytes").and_then(Json::as_u64), Some(42));
+    }
+
+    #[test]
+    fn prometheus_listener_serves_a_wellformed_scrape() {
+        sfi_obs::metrics().trials.inc();
+        let listener = PrometheusListener::start("127.0.0.1:0").expect("binds");
+        let mut stream = TcpStream::connect(listener.local_addr()).expect("connects");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("writes");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("reads");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains(sfi_obs::prometheus::CONTENT_TYPE));
+        let body = response.split("\r\n\r\n").nth(1).expect("has body");
+        assert!(body.contains("# TYPE sfi_trials_total counter"), "{body}");
+        assert!(body.contains("sfi_trials_total "), "{body}");
+    }
+}

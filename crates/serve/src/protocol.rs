@@ -17,6 +17,8 @@
 //! | `stream`   | `job`                                | `cell`* then `end`                 |
 //! | `result`   | `job`                                | `result` (full checkpoint document)|
 //! | `poff`     | [`PoffRequest`] fields               | `poff` (bisection outcome)         |
+//! | `metrics`  | —                                    | `metrics` (full registry snapshot) |
+//! | `events`   | `limit`?, `job`?                     | `events` (recent structured events)|
 //! | `cancel`   | `job`                                | `cancelled`                        |
 //! | `shutdown` | —                                    | `bye`, then the daemon exits       |
 //!
@@ -319,6 +321,15 @@ pub enum Request {
     Result(u64),
     /// Run a PoFF bisection query synchronously.
     Poff(PoffRequest),
+    /// Fetch a snapshot of the daemon's metrics registry.
+    Metrics,
+    /// Fetch recent structured events from the daemon's event ring.
+    Events {
+        /// Maximum events to return (absent = the daemon default, 100).
+        limit: Option<u64>,
+        /// Only events tagged with this job id (absent = all events).
+        job: Option<u64>,
+    },
     /// Cancel a queued or running job.
     Cancel(u64),
     /// Stop the daemon gracefully.
@@ -356,6 +367,17 @@ impl Request {
             Request::Stream(job) => with_job("stream", *job),
             Request::Result(job) => with_job("result", *job),
             Request::Poff(req) => req.to_json(),
+            Request::Metrics => typed("metrics"),
+            Request::Events { limit, job } => {
+                let mut pairs = vec![("type", Json::Str("events".into()))];
+                if let Some(limit) = limit {
+                    pairs.push(("limit", Json::Num(*limit as f64)));
+                }
+                if let Some(job) = job {
+                    pairs.push(("job", Json::Str(job.to_string())));
+                }
+                Json::obj(pairs)
+            }
             Request::Cancel(job) => with_job("cancel", *job),
             Request::Shutdown => typed("shutdown"),
         }
@@ -412,6 +434,23 @@ impl Request {
             "stream" => Ok(Request::Stream(u64_member(value, "job")?)),
             "result" => Ok(Request::Result(u64_member(value, "job")?)),
             "poff" => Ok(Request::Poff(PoffRequest::from_json(value)?)),
+            "metrics" => Ok(Request::Metrics),
+            "events" => {
+                Ok(Request::Events {
+                    limit: match value.get("limit") {
+                        None => None,
+                        Some(v) => Some(v.as_u64().ok_or_else(|| {
+                            WireError("'limit' must be an unsigned integer".into())
+                        })?),
+                    },
+                    job: match value.get("job") {
+                        None => None,
+                        Some(v) => Some(v.as_u64().ok_or_else(|| {
+                            WireError("'job' must be an unsigned integer".into())
+                        })?),
+                    },
+                })
+            }
             "cancel" => Ok(Request::Cancel(u64_member(value, "job")?)),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(WireError(format!("unknown request type '{other}'"))),
@@ -450,6 +489,13 @@ pub struct ServerInfo {
     pub result_cap_bytes: Option<usize>,
     /// Result bytes currently retained.
     pub retained_result_bytes: usize,
+    /// Whether a Prometheus listener (`--metrics-addr`) is serving.
+    /// The `metrics`/`events` frames are always available.
+    pub metrics_enabled: bool,
+    /// Cooperative preemptions performed since daemon start.
+    pub preemptions_total: u64,
+    /// Retained results evicted under the byte cap since daemon start.
+    pub evictions_total: u64,
 }
 
 impl ServerInfo {
@@ -488,6 +534,12 @@ impl ServerInfo {
                 "retained_result_bytes",
                 Json::Num(self.retained_result_bytes as f64),
             ),
+            ("metrics_enabled", Json::Bool(self.metrics_enabled)),
+            (
+                "preemptions_total",
+                Json::Num(self.preemptions_total as f64),
+            ),
+            ("evictions_total", Json::Num(self.evictions_total as f64)),
         ])
     }
 
@@ -519,6 +571,20 @@ impl ServerInfo {
                 .map(|n| n as usize),
             result_cap_bytes: opt_u64_member(value, "result_cap_bytes")?.map(|n| n as usize),
             retained_result_bytes: u64_member(value, "retained_result_bytes")? as usize,
+            // Absent on frames from pre-observability daemons: the three
+            // members below are additive, so decoding defaults them.
+            metrics_enabled: value
+                .get("metrics_enabled")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            preemptions_total: value
+                .get("preemptions_total")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            evictions_total: value
+                .get("evictions_total")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
         })
     }
 }
@@ -590,6 +656,23 @@ pub enum Response {
     },
     /// Reply to `poff`.
     Poff(PoffReply),
+    /// Reply to `metrics`: a point-in-time registry snapshot.
+    ///
+    /// The snapshot document is carried verbatim (see
+    /// `crate::metrics::snapshot_to_json` for its layout) so the frame
+    /// round-trips byte-exactly regardless of which metric families a
+    /// future daemon adds.
+    Metrics {
+        /// The snapshot document: `{"families": [...]}`.
+        snapshot: Json,
+    },
+    /// Reply to `events`: recent structured events, oldest first.
+    Events {
+        /// The event documents, oldest first.
+        events: Json,
+        /// Events discarded because the ring overflowed (cumulative).
+        dropped: u64,
+    },
     /// Acknowledgement of a `cancel`.
     Cancelled {
         /// The cancelled job.
@@ -698,6 +781,15 @@ impl Response {
                     ),
                 ),
             ]),
+            Response::Metrics { snapshot } => Json::obj([
+                ("type", Json::Str("metrics".into())),
+                ("snapshot", snapshot.clone()),
+            ]),
+            Response::Events { events, dropped } => Json::obj([
+                ("type", Json::Str("events".into())),
+                ("events", events.clone()),
+                ("dropped", Json::Num(*dropped as f64)),
+            ]),
             Response::Cancelled { job } => Json::obj([
                 ("type", Json::Str("cancelled".into())),
                 ("job", Json::Str(job.to_string())),
@@ -805,6 +897,19 @@ impl Response {
                         .collect::<Result<_, WireError>>()?,
                 }))
             }
+            "metrics" => Ok(Response::Metrics {
+                snapshot: value
+                    .get("snapshot")
+                    .cloned()
+                    .ok_or_else(|| WireError("missing member 'snapshot'".into()))?,
+            }),
+            "events" => Ok(Response::Events {
+                events: value
+                    .get("events")
+                    .cloned()
+                    .ok_or_else(|| WireError("missing member 'events'".into()))?,
+                dropped: u64_member(value, "dropped")?,
+            }),
             "cancelled" => Ok(Response::Cancelled {
                 job: u64_member(value, "job")?,
             }),
@@ -869,6 +974,15 @@ mod tests {
                 trials: 4,
                 seed: 11,
             }),
+            Request::Metrics,
+            Request::Events {
+                limit: None,
+                job: None,
+            },
+            Request::Events {
+                limit: Some(25),
+                job: Some(7),
+            },
             Request::Cancel(7),
             Request::Shutdown,
         ];
@@ -913,6 +1027,9 @@ mod tests {
                 max_running_per_client: None,
                 result_cap_bytes: Some(1 << 20),
                 retained_result_bytes: 12345,
+                metrics_enabled: true,
+                preemptions_total: 4,
+                evictions_total: 1,
             }),
             Response::Submitted {
                 job: 7,
@@ -960,6 +1077,22 @@ mod tests {
                 cells_evaluated: 2,
                 evaluated: Vec::new(),
             }),
+            Response::Metrics {
+                snapshot: Json::obj([(
+                    "families",
+                    Json::Arr(vec![Json::obj([
+                        ("name", Json::Str("sfi_trials_total".into())),
+                        ("kind", Json::Str("counter".into())),
+                    ])]),
+                )]),
+            },
+            Response::Events {
+                events: Json::Arr(vec![Json::obj([
+                    ("kind", Json::Str("job_submitted".into())),
+                    ("ts_us", Json::Str("12".into())),
+                ])]),
+                dropped: 3,
+            },
             Response::Cancelled { job: 7 },
             Response::Bye,
             Response::error(ErrorCode::QuotaExceeded, "client 'alice' is full"),

@@ -10,6 +10,7 @@
 //! exits.
 
 use crate::jobs::{self, JobTable, NextCell, ResultFetch, SchedulerConfig, TableLimits};
+use crate::metrics::{self, PrometheusListener};
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, PoffPoint, PoffReply, PoffRequest, Request, Response,
     ServerInfo, PROTOCOL_VERSION,
@@ -50,6 +51,12 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Per-job campaign checkpoint directory.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Address for the Prometheus text-exposition listener (`None` = no
+    /// listener; the `metrics` wire frame works either way).
+    pub metrics_addr: Option<String>,
+    /// Capacity of the structured-event ring (`None` = keep the default,
+    /// [`sfi_obs::DEFAULT_EVENT_CAPACITY`]).
+    pub event_buffer: Option<usize>,
     /// Suppress the startup log lines.
     pub quiet: bool,
 }
@@ -66,6 +73,8 @@ impl Default for ServeConfig {
             result_cap_bytes: None,
             cache_dir: None,
             checkpoint_dir: None,
+            metrics_addr: None,
+            event_buffer: None,
             quiet: false,
         }
     }
@@ -92,12 +101,16 @@ impl ServeConfig {
     }
 }
 
+/// Events an `events` request returns when it does not name a `limit`.
+const DEFAULT_EVENT_LIMIT: u64 = 100;
+
 /// Shared server context handed to every connection handler.
 struct Context {
     study: Arc<CaseStudy>,
     table: Arc<JobTable>,
     scheduler: SchedulerConfig,
     cache_hit: bool,
+    metrics_enabled: bool,
 }
 
 /// A running daemon.
@@ -108,6 +121,7 @@ pub struct Server {
     scheduler: Option<JoinHandle<()>>,
     stopping: Arc<AtomicBool>,
     cache_hit: bool,
+    metrics: Option<PrometheusListener>,
 }
 
 impl Server {
@@ -119,6 +133,18 @@ impl Server {
             None => CaseStudy::build(config.study.clone()),
         });
         let cache_hit = study.characterization_cache_hit();
+        if cache_hit {
+            sfi_obs::metrics().cache_hits.inc();
+        } else {
+            sfi_obs::metrics().cache_misses.inc();
+        }
+        if let Some(capacity) = config.event_buffer {
+            sfi_obs::events().set_capacity(capacity);
+        }
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => Some(PrometheusListener::start(addr)?),
+            None => None,
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let scheduler_config = SchedulerConfig {
@@ -155,6 +181,12 @@ impl Server {
                     None => "unlimited".into(),
                 },
             );
+            if let Some(listener) = &metrics_listener {
+                println!(
+                    "metrics: Prometheus exposition on {}",
+                    listener.local_addr()
+                );
+            }
         }
 
         let table = Arc::new(JobTable::with_limits(config.limits()));
@@ -172,6 +204,7 @@ impl Server {
                 table: table.clone(),
                 scheduler: scheduler_config,
                 cache_hit,
+                metrics_enabled: metrics_listener.is_some(),
             });
             let stopping = stopping.clone();
             thread::spawn(move || {
@@ -205,6 +238,7 @@ impl Server {
             scheduler: Some(scheduler),
             stopping,
             cache_hit,
+            metrics: metrics_listener,
         })
     }
 
@@ -216,6 +250,11 @@ impl Server {
     /// Whether the characterization came from the persistent cache.
     pub fn cache_hit(&self) -> bool {
         self.cache_hit
+    }
+
+    /// The bound Prometheus listener address, if `metrics_addr` was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(PrometheusListener::local_addr)
     }
 
     /// Parks until the daemon shuts down (via a client `shutdown` request
@@ -299,6 +338,7 @@ fn handle_connection(
                 let study = &context.study;
                 let config = study.config();
                 let limits = context.table.limits();
+                let totals = context.table.totals();
                 let info = ServerInfo {
                     v: PROTOCOL_VERSION,
                     study_fingerprint: config.fingerprint(),
@@ -314,6 +354,9 @@ fn handle_connection(
                     max_running_per_client: limits.max_running_per_client,
                     result_cap_bytes: limits.result_cap_bytes,
                     retained_result_bytes: context.table.retained_bytes(),
+                    metrics_enabled: context.metrics_enabled,
+                    preemptions_total: totals.preemptions,
+                    evictions_total: totals.evictions,
                 };
                 reply(&mut writer, &Response::Pong(info))?;
             }
@@ -409,6 +452,22 @@ fn handle_connection(
             Request::Poff(request) => {
                 let response = run_poff(context, &request);
                 reply(&mut writer, &response)?;
+            }
+            Request::Metrics => {
+                let snapshot = metrics::snapshot_to_json(&sfi_obs::metrics().snapshot());
+                reply(&mut writer, &Response::Metrics { snapshot })?;
+            }
+            Request::Events { limit, job } => {
+                let ring = sfi_obs::events();
+                let limit = limit.unwrap_or(DEFAULT_EVENT_LIMIT) as usize;
+                let events = ring.recent(limit, job);
+                reply(
+                    &mut writer,
+                    &Response::Events {
+                        events: metrics::events_to_json(&events),
+                        dropped: ring.dropped(),
+                    },
+                )?;
             }
             Request::Cancel(job) => {
                 if context.table.cancel(job) {

@@ -64,6 +64,8 @@ fn round_trips_as_request(doc: &Json) -> Option<&'static str> {
         Request::Stream(_) => "stream",
         Request::Result(_) => "result",
         Request::Poff(_) => "poff",
+        Request::Metrics => "metrics",
+        Request::Events { .. } => "events",
         Request::Cancel(_) => "cancel",
         Request::Shutdown => "shutdown",
     })
@@ -81,6 +83,8 @@ fn round_trips_as_response(doc: &Json) -> Option<(&'static str, Option<&'static 
         Response::End { .. } => ("end", None),
         Response::ResultDoc { .. } => ("result", None),
         Response::Poff(_) => ("poff", None),
+        Response::Metrics { .. } => ("metrics", None),
+        Response::Events { .. } => ("events", None),
         Response::Cancelled { .. } => ("cancelled", None),
         Response::Bye => ("bye", None),
         Response::Error { code, .. } => ("error", Some(code.as_str())),
@@ -167,7 +171,8 @@ fn every_json_example_in_the_protocol_doc_round_trips_through_the_wire_types() {
 
     // Coverage: the document must exercise the complete vocabulary.
     for kind in [
-        "ping", "submit", "status", "stream", "result", "poff", "cancel", "shutdown",
+        "ping", "submit", "status", "stream", "result", "poff", "metrics", "events", "cancel",
+        "shutdown",
     ] {
         assert!(
             request_kinds.contains(&kind),
@@ -182,6 +187,8 @@ fn every_json_example_in_the_protocol_doc_round_trips_through_the_wire_types() {
         "end",
         "result",
         "poff",
+        "metrics",
+        "events",
         "cancelled",
         "bye",
         "error",

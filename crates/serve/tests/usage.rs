@@ -33,6 +33,8 @@ fn sfi_serve_help_mentions_every_accepted_flag() {
         "--result-cap-bytes",
         "--cache-dir",
         "--checkpoint-dir",
+        "--metrics-addr",
+        "--event-buffer",
         "--help",
     ];
     let help = help_output(env!("CARGO_BIN_EXE_sfi-serve"));
@@ -46,7 +48,8 @@ fn sfi_client_help_mentions_every_command_and_flag() {
     // Keep in sync with the command dispatch and the per-command flag
     // loops in crates/serve/src/bin/sfi-client.rs.
     let commands = [
-        "ping", "submit", "demo", "status", "stream", "result", "cancel", "poff", "shutdown",
+        "ping", "submit", "demo", "status", "stream", "result", "cancel", "poff", "metrics",
+        "events", "shutdown",
     ];
     let flags = [
         "--addr",
@@ -58,6 +61,8 @@ fn sfi_client_help_mentions_every_command_and_flag() {
         "--trials",
         "--seed",
         "--model",
+        "--limit",
+        "--job",
     ];
     let help = help_output(env!("CARGO_BIN_EXE_sfi-client"));
     for command in commands {
