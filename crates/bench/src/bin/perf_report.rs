@@ -22,6 +22,9 @@ fn main() {
     let out = args.out_path();
     let report = perf::run(&args);
     perf::print_table(&report);
+    if args.profile {
+        perf::print_profile();
+    }
     match perf::write_json(&report, out) {
         Ok(()) => println!("\nwrote {out}"),
         Err(err) => {

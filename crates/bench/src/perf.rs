@@ -37,6 +37,10 @@ pub struct PerfArgs {
     pub baseline: Option<String>,
     /// Allowed fractional throughput drop vs the baseline (default 0.05).
     pub tolerance: f64,
+    /// Print a per-phase time-attribution table built from the tracing
+    /// spans the measurement (characterization, STA, per-cell sweeps)
+    /// emitted.
+    pub profile: bool,
 }
 
 impl Default for PerfArgs {
@@ -47,6 +51,7 @@ impl Default for PerfArgs {
             out: None,
             baseline: None,
             tolerance: 0.05,
+            profile: false,
         }
     }
 }
@@ -61,6 +66,8 @@ options:
   --baseline FILE   fail (exit 1) if totals.trials_per_sec drops more than the
                     tolerance below FILE's; running faster than the baseline passes
   --tolerance FRAC  allowed fractional drop for --baseline (default 0.05)
+  --profile         print a per-phase time-attribution table (characterization,
+                    STA, per-cell sweeps) built from the tracing spans
   --help            print this help
 ";
 
@@ -121,6 +128,7 @@ impl PerfArgs {
                         .filter(|t: &f64| (0.0..1.0).contains(t))
                         .ok_or("--tolerance needs a fraction in [0, 1)")?;
                 }
+                "--profile" => args.profile = true,
                 other => return Err(format!("unknown flag '{other}'")),
             }
             i += 1;
@@ -222,6 +230,14 @@ pub fn run(args: &PerfArgs) -> PerfReport {
             // derive for this cell, so before/after comparisons simulate
             // identical fault sequences.
             let cell_index = (bench_index * SCENARIOS.len() + scenario_index) as u64;
+            // One span per measured cell; `--profile` attributes the
+            // report's wall-clock across these and the characterization
+            // phases.  The span's clock reads sit outside the throughput
+            // timer below, so the measurement itself is untouched.
+            let _cell_span = sfi_obs::Span::begin("perf_cell", "bench")
+                .arg("benchmark", bench.name())
+                .arg("scenario", *scenario)
+                .arg("cell", cell_index);
             let mut trial = |index: u64| {
                 context.run_trial(
                     &study,
@@ -284,6 +300,79 @@ pub fn print_table(report: &PerfReport) {
             cell.trials_per_sec,
             cell.cycles_per_sec,
             100.0 * cell.correct_fraction
+        );
+    }
+}
+
+/// One aggregated row of the `--profile` table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Span category (`core`, `bench`, …).
+    pub cat: &'static str,
+    /// Span name (`study_build`, `sta`, `perf_cell`, …).
+    pub name: &'static str,
+    /// Spans aggregated into this row.
+    pub count: usize,
+    /// Total time across all spans of this phase, microseconds.
+    pub total_us: u64,
+}
+
+/// Aggregates trace records into per-phase rows, longest total first.
+/// Only spans contribute; counter records carry no duration.
+pub fn profile_rows(records: &[sfi_obs::TraceRecord]) -> Vec<ProfileRow> {
+    let mut rows: Vec<ProfileRow> = Vec::new();
+    for record in records {
+        let sfi_obs::TraceRecord::Span(span) = record else {
+            continue;
+        };
+        match rows
+            .iter_mut()
+            .find(|row| row.cat == span.cat && row.name == span.name)
+        {
+            Some(row) => {
+                row.count += 1;
+                row.total_us += span.dur_us;
+            }
+            None => rows.push(ProfileRow {
+                cat: span.cat,
+                name: span.name,
+                count: 1,
+                total_us: span.dur_us,
+            }),
+        }
+    }
+    rows.sort_by_key(|row| std::cmp::Reverse(row.total_us));
+    rows
+}
+
+/// Prints the per-phase time-attribution table from the global trace
+/// store (the `--profile` mode of `perf-report`).
+///
+/// Percentages are relative to the longest phase, not a grand total:
+/// phases nest (`study_build` contains `characterize_voltage`), so their
+/// durations intentionally double-count.
+pub fn print_profile() {
+    sfi_obs::span::flush_thread();
+    let records = sfi_obs::span::trace().snapshot(usize::MAX, None);
+    let rows = profile_rows(&records);
+    println!("\n=== profile: per-phase time attribution ===");
+    let Some(longest) = rows.first().map(|row| row.total_us.max(1)) else {
+        println!("(no spans recorded)");
+        return;
+    };
+    println!(
+        "{:<8} {:<28} {:>7} {:>12} {:>12} {:>7}",
+        "cat", "phase", "count", "total ms", "mean us", "rel"
+    );
+    for row in &rows {
+        println!(
+            "{:<8} {:<28} {:>7} {:>12.3} {:>12.1} {:>6.1}%",
+            row.cat,
+            row.name,
+            row.count,
+            row.total_us as f64 / 1e3,
+            row.total_us as f64 / row.count as f64,
+            100.0 * row.total_us as f64 / longest as f64,
         );
     }
 }
@@ -474,6 +563,41 @@ mod tests {
         assert!(check_baseline(&report, &baseline(1.0), 0.05).unwrap().pass);
         // A baseline without totals is an error, not a silent pass.
         assert!(check_baseline(&report, &Json::Null, 0.05).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_profile() {
+        assert!(PerfArgs::parse(&argv(&["--profile"])).unwrap().profile);
+        assert!(!PerfArgs::default().profile);
+    }
+
+    #[test]
+    fn profile_rows_aggregate_spans_by_phase() {
+        use sfi_obs::{SpanRecord, TraceRecord};
+        let span = |name: &'static str, dur_us: u64| {
+            TraceRecord::Span(SpanRecord {
+                id: 1,
+                parent: 0,
+                name,
+                cat: "bench",
+                tid: 1,
+                job: None,
+                start_us: 0,
+                dur_us,
+                args: Vec::new(),
+            })
+        };
+        let rows = profile_rows(&[
+            span("perf_cell", 100),
+            span("perf_cell", 300),
+            span("study_build", 250),
+        ]);
+        assert_eq!(rows.len(), 2);
+        // Longest total first.
+        assert_eq!(rows[0].name, "perf_cell");
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].total_us, 400);
+        assert_eq!(rows[1].name, "study_build");
     }
 
     #[test]

@@ -134,6 +134,7 @@ pub struct CampaignEngine {
     progress: Option<ProgressHook>,
     cancel: Option<Arc<AtomicBool>>,
     seed_cells: Vec<CellResult>,
+    trace_job: Option<u64>,
 }
 
 impl std::fmt::Debug for CampaignEngine {
@@ -144,6 +145,7 @@ impl std::fmt::Debug for CampaignEngine {
             .field("progress", &self.progress.as_ref().map(|_| "<hook>"))
             .field("cancel", &self.cancel)
             .field("seed_cells", &self.seed_cells.len())
+            .field("trace_job", &self.trace_job)
             .finish()
     }
 }
@@ -166,6 +168,7 @@ impl CampaignEngine {
             progress: None,
             cancel: None,
             seed_cells: Vec::new(),
+            trace_job: None,
         }
     }
 
@@ -177,6 +180,7 @@ impl CampaignEngine {
             progress: None,
             cancel: None,
             seed_cells: Vec::new(),
+            trace_job: None,
         }
     }
 
@@ -249,6 +253,14 @@ impl CampaignEngine {
         self
     }
 
+    /// Attributes every span and counter record this run emits to a serve
+    /// job id, so per-job trace filters (`sfi-client trace --job`) pick up
+    /// the engine's cell and trial spans.
+    pub fn with_trace_job(mut self, job: u64) -> Self {
+        self.trace_job = Some(job);
+        self
+    }
+
     /// The configured worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -268,6 +280,13 @@ impl CampaignEngine {
     /// does not provide, or if a worker thread panics.
     pub fn run(&self, study: &CaseStudy, spec: &CampaignSpec) -> CampaignResult {
         let fingerprint = spec.fingerprint();
+        let mut campaign_span = sfi_obs::Span::begin("campaign", "engine")
+            .arg("name", spec.name.as_str())
+            .arg("cells", spec.cells().len() as u64)
+            .arg("threads", self.threads as u64);
+        if let Some(job) = self.trace_job {
+            campaign_span = campaign_span.job(job);
+        }
         let mut restored: Vec<Option<CellResult>> = match &self.checkpoint_path {
             Some(path) => checkpoint::load_cells(path, spec, fingerprint),
             None => vec![None; spec.cells().len()],
@@ -326,6 +345,8 @@ impl CampaignEngine {
             restored,
             self.progress.clone(),
             self.cancel.clone(),
+            campaign_span.id(),
+            self.trace_job,
         );
 
         if shared.open_cells.load(Ordering::SeqCst) > 0 {
@@ -366,6 +387,12 @@ impl CampaignEngine {
             .cancel
             .as_ref()
             .is_some_and(|flag| flag.load(Ordering::SeqCst));
+        campaign_span.set_arg(
+            "executed_trials",
+            shared.executed_trials.load(Ordering::SeqCst) as u64,
+        );
+        campaign_span.finish();
+        sfi_obs::span::flush_thread();
         CampaignResult {
             name: spec.name.clone(),
             seed: spec.seed,
@@ -418,6 +445,8 @@ struct CellState {
     done: bool,
     stopped_early: bool,
     from_checkpoint: bool,
+    /// When the cell's first trials were scheduled, for the cell span.
+    started_us: u64,
 }
 
 impl CellState {
@@ -476,9 +505,14 @@ struct Shared<'a> {
     progress: Option<ProgressHook>,
     /// External cancellation flag, if any.
     cancel: Option<Arc<AtomicBool>>,
+    /// Span id of the enclosing campaign span (parent of cell/trial spans).
+    trace_parent: u64,
+    /// Serve job id the run's trace records are attributed to, if any.
+    trace_job: Option<u64>,
 }
 
 impl<'a> Shared<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         study: &'a CaseStudy,
         spec: &'a CampaignSpec,
@@ -486,6 +520,8 @@ impl<'a> Shared<'a> {
         restored: Vec<Option<CellResult>>,
         progress: Option<ProgressHook>,
         cancel: Option<Arc<AtomicBool>>,
+        trace_parent: u64,
+        trace_job: Option<u64>,
     ) -> Self {
         let mut cells = Vec::with_capacity(spec.cells().len());
         let mut open = 0usize;
@@ -507,6 +543,7 @@ impl<'a> Shared<'a> {
                         done: true,
                         stopped_early: result.stopped_early,
                         from_checkpoint: true,
+                        started_us: 0,
                     }));
                 }
                 None => {
@@ -526,6 +563,7 @@ impl<'a> Shared<'a> {
                         done: false,
                         stopped_early: false,
                         from_checkpoint: false,
+                        started_us: sfi_obs::clock::now_micros(),
                     }));
                     open += 1;
                 }
@@ -547,6 +585,8 @@ impl<'a> Shared<'a> {
             panic_payload: Mutex::new(None),
             progress,
             cancel,
+            trace_parent,
+            trace_job,
         }
         .with_initial_jobs(initial_jobs)
     }
@@ -608,39 +648,65 @@ fn worker_loop(worker: usize, shared: &Shared<'_>, sink: Option<&CheckpointSink<
     // core/injector is indistinguishable from a fresh one — so results do
     // not depend on which worker ran which trial.
     let mut context = TrialContext::new();
+    // Utilization accounting: thread-local micros, flushed to the sharded
+    // registry counters and a per-worker trace counter event at exit.
+    let mut busy_us = 0u64;
+    let mut idle_us = 0u64;
+    let mut steal_us = 0u64;
     loop {
         if shared.aborted.load(Ordering::SeqCst) || shared.is_cancelled() {
-            return;
+            break;
         }
-        match shared.pop_job(worker) {
+        let pop_start = sfi_obs::clock::now_micros();
+        let popped = shared.pop_job(worker);
+        let pop_end = sfi_obs::clock::now_micros();
+        steal_us += pop_end.saturating_sub(pop_start);
+        match popped {
             Some(job) => {
                 // A panicking trial (e.g. a model asking for an
                 // uncharacterized voltage) must abort the whole campaign,
                 // not leave the other workers waiting forever for the
                 // panicked cell to finish.
-                if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| {
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
                     execute_job(worker, shared, sink, &mut context, job)
-                })) {
+                }));
+                busy_us += sfi_obs::clock::now_micros().saturating_sub(pop_end);
+                if let Err(payload) = outcome {
                     let mut slot = shared
                         .panic_payload
                         .lock()
                         .unwrap_or_else(|poisoned| poisoned.into_inner());
                     slot.get_or_insert(payload);
                     shared.aborted.store(true, Ordering::SeqCst);
-                    return;
+                    break;
                 }
             }
             None => {
                 if shared.open_cells.load(Ordering::SeqCst) == 0 {
-                    return;
+                    break;
                 }
                 // Open cells but no runnable job: another worker is
                 // finishing a batch that may schedule more. Back off
                 // briefly instead of spinning on the queue locks.
                 thread::sleep(Duration::from_micros(50));
+                idle_us += sfi_obs::clock::now_micros().saturating_sub(pop_end);
             }
         }
     }
+    let metrics = sfi_obs::metrics();
+    metrics.engine_worker_busy_us.add(busy_us);
+    metrics.engine_worker_idle_us.add(idle_us);
+    metrics.engine_worker_steal_us.add(steal_us);
+    sfi_obs::span::record_counter(
+        "worker_utilization",
+        shared.trace_job,
+        vec![
+            ("busy_us", busy_us as f64),
+            ("idle_us", idle_us as f64),
+            ("steal_us", steal_us as f64),
+        ],
+    );
+    sfi_obs::span::flush_thread();
 }
 
 fn execute_job(
@@ -660,6 +726,7 @@ fn execute_job(
     shared.max_in_flight.fetch_max(in_flight, Ordering::SeqCst);
     shared.worker_used[worker % shared.worker_used.len()].fetch_add(1, Ordering::Relaxed);
 
+    let trial_start = sfi_obs::clock::now_micros();
     let result = context.run_trial(
         shared.study,
         benchmark,
@@ -669,12 +736,30 @@ fn execute_job(
         max_cycles,
         trial_seed,
     );
+    // One span per trial: two clock reads and a push on the thread-local
+    // buffer (drained at its capacity or cell boundaries — never a lock
+    // per trial).
+    sfi_obs::span::record_span(
+        "trial",
+        "engine",
+        trial_start,
+        sfi_obs::clock::now_micros().saturating_sub(trial_start),
+        shared.trace_parent,
+        shared.trace_job,
+        vec![
+            ("cell", sfi_obs::FieldValue::U64(cell_index as u64)),
+            ("trial", sfi_obs::FieldValue::U64(job.trial as u64)),
+        ],
+    );
 
     shared.in_flight.fetch_sub(1, Ordering::SeqCst);
     shared.executed_trials.fetch_add(1, Ordering::SeqCst);
 
     let mut finished_cell = false;
     let mut checkpoint_snapshot: Option<CellResult> = None;
+    // `(started_us, trials, stopped_early)` of the finishing cell, for
+    // the cell span emitted outside the lock.
+    let mut cell_span: Option<(u64, usize, bool)> = None;
     {
         let mut state = shared.cells[cell_index].lock().expect("cell lock");
         debug_assert!(state.results[job.trial as usize].is_none());
@@ -695,6 +780,7 @@ fn execute_job(
                     state.done = true;
                     state.stopped_early = early;
                     finished_cell = true;
+                    cell_span = Some((state.started_us, state.completed, early));
                     if early {
                         let saved = cell_spec.budget.max_trials - state.completed;
                         sfi_obs::metrics().engine_trials_saved.add(saved as u64);
@@ -721,6 +807,27 @@ fn execute_job(
 
     if finished_cell {
         sfi_obs::metrics().engine_cells_finished.inc();
+        if let Some((started_us, trials, stopped_early)) = cell_span {
+            sfi_obs::span::record_span(
+                "cell",
+                "engine",
+                started_us,
+                sfi_obs::clock::now_micros().saturating_sub(started_us),
+                shared.trace_parent,
+                shared.trace_job,
+                vec![
+                    ("cell", sfi_obs::FieldValue::U64(cell_index as u64)),
+                    ("trials", sfi_obs::FieldValue::U64(trials as u64)),
+                    (
+                        "stopped_early",
+                        sfi_obs::FieldValue::U64(stopped_early as u64),
+                    ),
+                ],
+            );
+            // Cell completion is the engine's coarse boundary: drain the
+            // thread buffer so wire-fetched traces stay current.
+            sfi_obs::span::flush_thread();
+        }
         if let (Some(sink), Some(snapshot)) = (sink, &checkpoint_snapshot) {
             write_checkpoint(shared, sink, snapshot);
         }

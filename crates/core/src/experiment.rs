@@ -488,27 +488,40 @@ pub fn frequency_sweep(
     seed: u64,
 ) -> Vec<SweepPoint> {
     let golden = golden_cycles(benchmark);
+    let sweep_span = sfi_obs::Span::begin("frequency_sweep", "core")
+        .arg("points", freqs_mhz.len() as u64)
+        .arg("trials_per_point", trials as u64);
     // One scratch context for the whole sweep: the core is recycled across
     // all points, the injector across the trials of each point.
     let mut context = TrialContext::new();
-    freqs_mhz
+    let points = freqs_mhz
         .iter()
         .enumerate()
-        .map(|(cell_index, &f)| SweepPoint {
-            freq_mhz: f,
-            summary: run_cell_with_golden(
-                &mut context,
-                study,
-                benchmark,
-                model,
-                base_point.at_frequency(f),
-                trials,
-                seed,
-                cell_index as u64,
-                golden,
-            ),
+        .map(|(cell_index, &f)| {
+            // One span per swept cell; trials inside it are untraced so
+            // the per-trial hot path stays uninstrumented here.
+            let _cell_span = sweep_span
+                .child("sweep_cell", "core")
+                .arg("cell", cell_index as u64);
+            SweepPoint {
+                freq_mhz: f,
+                summary: run_cell_with_golden(
+                    &mut context,
+                    study,
+                    benchmark,
+                    model,
+                    base_point.at_frequency(f),
+                    trials,
+                    seed,
+                    cell_index as u64,
+                    golden,
+                ),
+            }
         })
-        .collect()
+        .collect();
+    sweep_span.finish();
+    sfi_obs::span::flush_thread();
+    points
 }
 
 /// The point of first failure: the lowest swept frequency at which the

@@ -157,32 +157,45 @@ impl CaseStudy {
             !config.voltages.is_empty(),
             "at least one supply voltage must be characterized"
         );
+        let build_span = sfi_obs::Span::begin("study_build", "core")
+            .arg("voltages", config.voltages.len() as u64)
+            .arg("alu_width", config.alu_width as u64);
         let scaling = VoltageScaling::default_28nm();
         let alu = AluDatapath::build(config.alu_width);
         let base_delays = DelayModel::default_28nm();
-        let node_multipliers = synthesis_node_multipliers(
-            &alu,
-            &base_delays,
-            &scaling,
-            config.nominal_vdd,
-            &config.budgets,
-        );
-        let delays = calibrate_delay_model_with_multipliers(
-            &alu,
-            &base_delays,
-            &scaling,
-            config.target_fmax_mhz,
-            config.nominal_vdd,
-            Some(&node_multipliers),
-        );
+        let (node_multipliers, delays) = {
+            let _span = build_span.child("calibrate_delay_model", "core");
+            let node_multipliers = synthesis_node_multipliers(
+                &alu,
+                &base_delays,
+                &scaling,
+                config.nominal_vdd,
+                &config.budgets,
+            );
+            let delays = calibrate_delay_model_with_multipliers(
+                &alu,
+                &base_delays,
+                &scaling,
+                config.target_fmax_mhz,
+                config.nominal_vdd,
+                Some(&node_multipliers),
+            );
+            (node_multipliers, delays)
+        };
         let curve = VddDelayCurve::from_scaling(&scaling, 0.6, 1.0, 5);
-        let restored = cache_dir.and_then(|dir| crate::cache::load(dir, &config));
+        let restored = {
+            let _span = build_span.child("characterization_cache_load", "core");
+            cache_dir.and_then(|dir| crate::cache::load(dir, &config))
+        };
         let cache_hit = restored.is_some();
         let characterizations = restored.unwrap_or_else(|| {
             let chars: Vec<(f64, TimingCharacterization)> = config
                 .voltages
                 .iter()
                 .map(|&vdd| {
+                    let _span = build_span
+                        .child("characterize_voltage", "core")
+                        .arg("vdd_mv", (vdd * 1000.0).round() as u64);
                     let cfg = CharacterizationConfig {
                         cycles_per_op: config.cycles_per_op,
                         vdd,
@@ -208,6 +221,15 @@ impl CaseStudy {
             }
             chars
         });
+        let voltages = {
+            let _span = build_span.child("fault_tables", "core");
+            characterizations
+                .into_iter()
+                .map(|(vdd, ch)| VoltageData::new(vdd, ch))
+                .collect()
+        };
+        build_span.finish();
+        sfi_obs::span::flush_thread();
         CaseStudy {
             config,
             alu,
@@ -215,10 +237,7 @@ impl CaseStudy {
             delays,
             node_multipliers,
             curve: Arc::new(curve),
-            voltages: characterizations
-                .into_iter()
-                .map(|(vdd, ch)| VoltageData::new(vdd, ch))
-                .collect(),
+            voltages,
             cache_hit,
         }
     }
@@ -299,6 +318,8 @@ impl CaseStudy {
     /// A fresh STA run at an arbitrary voltage (used by the power model to
     /// translate voltage scaling into equivalent frequency scaling).
     pub fn sta_at(&self, vdd: f64) -> StaticTimingAnalysis {
+        let _span =
+            sfi_obs::Span::begin("sta", "core").arg("vdd_mv", (vdd * 1000.0).round() as u64);
         StaticTimingAnalysis::run_with_multipliers(
             self.alu.netlist(),
             &self.delays,

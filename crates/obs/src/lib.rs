@@ -19,26 +19,44 @@
 //! * [`event`] — a bounded ring ([`events`]) of structured [`Event`]s with
 //!   monotonic timestamps and per-job/per-cell span ids, for post-mortem
 //!   of cancelled or evicted jobs.
+//! * [`span`] — lightweight start/stop spans ([`Span`]) with parent
+//!   links, buffered per thread and drained into the bounded process-wide
+//!   trace store ([`trace`]), plus sampled counter tracks and a Chrome
+//!   trace-event serializer ([`chrome_trace_json`]) loadable in
+//!   `chrome://tracing` / Perfetto.
+//! * [`alerts`] — declarative threshold rules ([`AlertRule`]: gauge above
+//!   a limit for N seconds, counter rate above a limit) evaluated against
+//!   registry snapshots into firing/resolved [`AlertStatus`] state.
 //! * [`clock`] — the shared monotonic clock behind every timestamp.
 //! * [`prometheus`] — text exposition rendering of a snapshot.
 //!
 //! The overhead contract: nothing in this crate takes a lock on a
 //! per-trial path, and per-trial updates are a handful of relaxed atomic
-//! adds on thread-private cache lines — the campaign hot loop shows no
-//! measurable regression against the tracked `BENCH_iss.json` baseline.
+//! adds on thread-private cache lines — recording a span is two clock
+//! reads and a push onto a thread-private buffer, and the trace-store
+//! mutex is only touched at coarse boundaries (buffer overflow, cell
+//! completion, worker exit) — the campaign hot loop shows no measurable
+//! regression against the tracked `BENCH_iss.json` baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alerts;
 pub mod clock;
 pub mod event;
 pub mod metric;
 pub mod prometheus;
 pub mod registry;
+pub mod span;
 
+pub use alerts::{default_rules, AlertCondition, AlertRule, AlertStatus, Alerts};
 pub use event::{Event, EventRing, FieldValue};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, ShardedCounter};
 pub use registry::{
     events, metrics, Family, FamilyKind, Metrics, Sample, SampleValue, Snapshot,
     DEFAULT_EVENT_CAPACITY, FAULT_MODEL_LABELS, PRIORITY_LABELS,
+};
+pub use span::{
+    chrome_trace_json, trace, CounterRecord, Span, SpanRecord, TraceRecord, TraceStore,
+    DEFAULT_TRACE_CAPACITY,
 };

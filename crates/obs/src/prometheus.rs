@@ -152,4 +152,84 @@ mod tests {
         assert_eq!(escape_help("a\nb\\c"), "a\\nb\\\\c");
         assert_eq!(escape_label("say \"hi\""), "say \\\"hi\\\"");
     }
+
+    #[test]
+    fn rendered_label_values_escape_quotes_backslashes_and_newlines() {
+        let snapshot = Snapshot {
+            families: vec![Family {
+                name: "sfi_test_labels",
+                help: "backslash \\ and\nnewline in help",
+                kind: FamilyKind::Gauge,
+                samples: vec![Sample {
+                    labels: vec![
+                        ("quoted", "say \"hi\"".to_string()),
+                        ("path", "C:\\tmp".to_string()),
+                        ("multiline", "a\nb".to_string()),
+                    ],
+                    value: SampleValue::Gauge(1),
+                }],
+            }],
+        };
+        let text = render(&snapshot);
+        // The help line is one physical line with escaped specials.
+        assert!(text.contains("# HELP sfi_test_labels backslash \\\\ and\\nnewline in help\n"));
+        // Every label value survives as one exposition token.
+        assert!(text.contains(
+            "sfi_test_labels{quoted=\"say \\\"hi\\\"\",path=\"C:\\\\tmp\",multiline=\"a\\nb\"} 1\n"
+        ));
+        // No raw (unescaped) newline leaks into the middle of a sample
+        // line: every physical line is a comment or ends after the value.
+        assert!(text
+            .lines()
+            .all(|line| { line.starts_with('#') || line.ends_with(" 1") || line.is_empty() }));
+    }
+
+    #[test]
+    fn histogram_sum_renders_nonfinite_values_verbatim() {
+        // A NaN sum (e.g. a poisoned CAS-accumulated f64) must not panic
+        // the renderer; Prometheus' text format accepts NaN/Inf tokens.
+        let histogram = |sum: f64| Snapshot {
+            families: vec![Family {
+                name: "sfi_test_hist",
+                help: "h",
+                kind: FamilyKind::Histogram,
+                samples: vec![Sample {
+                    labels: Vec::new(),
+                    value: SampleValue::Histogram(HistogramSnapshot {
+                        buckets: vec![(1.0, 0), (f64::INFINITY, 2)],
+                        sum,
+                        count: 2,
+                    }),
+                }],
+            }],
+        };
+        let text = render(&histogram(f64::NAN));
+        assert!(text.contains("sfi_test_hist_sum NaN\n"));
+        assert!(text.contains("sfi_test_hist_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("sfi_test_hist_count 2\n"));
+        let text = render(&histogram(f64::INFINITY));
+        assert!(text.contains("sfi_test_hist_sum inf\n"));
+    }
+
+    #[test]
+    fn infinite_bucket_bounds_always_spell_plus_inf() {
+        // `+Inf` is the required spelling even when labels precede it.
+        let snapshot = Snapshot {
+            families: vec![Family {
+                name: "sfi_test_labelled_hist",
+                help: "h",
+                kind: FamilyKind::Histogram,
+                samples: vec![Sample {
+                    labels: vec![("model", "dta".to_string())],
+                    value: SampleValue::Histogram(HistogramSnapshot {
+                        buckets: vec![(f64::INFINITY, 1)],
+                        sum: 0.5,
+                        count: 1,
+                    }),
+                }],
+            }],
+        };
+        let text = render(&snapshot);
+        assert!(text.contains("sfi_test_labelled_hist_bucket{model=\"dta\",le=\"+Inf\"} 1\n"));
+    }
 }

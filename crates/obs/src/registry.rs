@@ -44,6 +44,12 @@ pub struct Metrics {
     pub engine_trials_saved: Counter,
     /// Checkpoint documents written.
     pub engine_checkpoint_writes: Counter,
+    /// Microseconds campaign workers spent executing trials.
+    pub engine_worker_busy_us: ShardedCounter,
+    /// Microseconds campaign workers spent asleep with nothing to do.
+    pub engine_worker_idle_us: ShardedCounter,
+    /// Microseconds campaign workers spent looking for (stealing) work.
+    pub engine_worker_steal_us: ShardedCounter,
 
     // — serve scheduler —
     /// Queued jobs per priority class ([`PRIORITY_LABELS`] order).
@@ -82,6 +88,9 @@ impl Metrics {
             engine_cells_finished: Counter::new(),
             engine_trials_saved: Counter::new(),
             engine_checkpoint_writes: Counter::new(),
+            engine_worker_busy_us: ShardedCounter::new(),
+            engine_worker_idle_us: ShardedCounter::new(),
+            engine_worker_steal_us: ShardedCounter::new(),
             sched_queue_depth: std::array::from_fn(|_| Gauge::new()),
             sched_running: Gauge::new(),
             sched_jobs_submitted: Counter::new(),
@@ -180,6 +189,21 @@ impl Metrics {
                 "Campaign checkpoint documents written",
                 self.engine_checkpoint_writes.get(),
             ),
+            counter(
+                "sfi_engine_worker_busy_micros_total",
+                "Microseconds campaign workers spent executing trials",
+                self.engine_worker_busy_us.get(),
+            ),
+            counter(
+                "sfi_engine_worker_idle_micros_total",
+                "Microseconds campaign workers spent asleep with nothing to do",
+                self.engine_worker_idle_us.get(),
+            ),
+            counter(
+                "sfi_engine_worker_steal_micros_total",
+                "Microseconds campaign workers spent looking for work",
+                self.engine_worker_steal_us.get(),
+            ),
             Family {
                 name: "sfi_sched_queue_depth",
                 help: "Queued jobs, by priority class",
@@ -232,6 +256,16 @@ impl Metrics {
                 "sfi_characterization_cache_misses_total",
                 "Characterization cache misses at daemon start",
                 self.cache_misses.get(),
+            ),
+            counter(
+                "sfi_events_dropped_total",
+                "Events evicted from the bounded in-memory ring",
+                events().dropped(),
+            ),
+            counter(
+                "sfi_trace_records_dropped_total",
+                "Trace records evicted from the bounded trace store",
+                crate::span::trace().dropped(),
             ),
             histogram(
                 "sfi_sched_job_wait_seconds",
@@ -356,8 +390,13 @@ mod tests {
         for name in [
             "sfi_iss_cycles_total",
             "sfi_engine_steals_total",
+            "sfi_engine_worker_busy_micros_total",
+            "sfi_engine_worker_idle_micros_total",
+            "sfi_engine_worker_steal_micros_total",
             "sfi_sched_queue_depth",
             "sfi_sched_job_wait_seconds",
+            "sfi_events_dropped_total",
+            "sfi_trace_records_dropped_total",
         ] {
             let _ = family(name);
         }

@@ -33,6 +33,12 @@ options:
                              'metrics' wire frame works without it; port 0 = ephemeral)
   --event-buffer N           capacity of the structured-event ring buffer (default 1024;
                              overflow drops the oldest events and counts them)
+  --alert-queue-depth N      queue-depth level (total queued jobs) above which the
+                             scheduler_queue_saturated alert arms (default 8)
+  --alert-hold-seconds S     seconds the queue must stay saturated before the alert fires
+                             (default 5; 0 = fire on the first saturated evaluation)
+  --alert-drop-rate R        event-ring drop rate (events/second) above which the
+                             event_ring_dropping alert fires (default 0 = any drops)
   --help                     print this help
 
 Scheduling: submitted jobs carry a priority class (low/normal/high); dispatch is strict
@@ -45,6 +51,16 @@ fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("sfi-serve: {message}");
     eprintln!("{USAGE}");
     exit(2);
+}
+
+/// Parses the next argument as a finite non-negative float (alert
+/// thresholds and hold durations).
+fn nonnegative(argv: &[String], i: &mut usize, flag: &str) -> f64 {
+    *i += 1;
+    argv.get(*i)
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .unwrap_or_else(|| fail(format!("{flag} needs a non-negative number")))
 }
 
 fn main() {
@@ -106,6 +122,15 @@ fn main() {
                     fail("--event-buffer must be at least 1");
                 }
                 config.event_buffer = Some(n);
+            }
+            "--alert-queue-depth" => {
+                config.alert_queue_depth = nonnegative(&argv, &mut i, "--alert-queue-depth")
+            }
+            "--alert-hold-seconds" => {
+                config.alert_hold_seconds = nonnegative(&argv, &mut i, "--alert-hold-seconds")
+            }
+            "--alert-drop-rate" => {
+                config.alert_drop_rate = nonnegative(&argv, &mut i, "--alert-drop-rate")
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

@@ -231,6 +231,29 @@ impl Client {
         }
     }
 
+    /// Fetches recent trace records (oldest first) and the cumulative
+    /// store-overflow drop count; both arguments are optional on the wire.
+    pub fn trace(
+        &mut self,
+        limit: Option<u64>,
+        job: Option<u64>,
+    ) -> Result<(Json, u64), ClientError> {
+        self.send(&Request::Trace { limit, job })?;
+        match self.receive()? {
+            Response::Trace { spans, dropped } => Ok((spans, dropped)),
+            other => Self::unexpected("trace", &other),
+        }
+    }
+
+    /// Evaluates the daemon's alert rules and fetches their statuses.
+    pub fn alerts(&mut self) -> Result<Json, ClientError> {
+        self.send(&Request::Alerts)?;
+        match self.receive()? {
+            Response::Alerts { alerts } => Ok(alerts),
+            other => Self::unexpected("alerts", &other),
+        }
+    }
+
     /// Cancels a queued or running job.
     pub fn cancel(&mut self, job: u64) -> Result<(), ClientError> {
         self.send(&Request::Cancel(job))?;

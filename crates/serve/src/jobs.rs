@@ -225,6 +225,10 @@ struct JobEntry {
     /// Running time accumulated across preemption segments, observed
     /// into the run-latency histogram once the job is terminal.
     run_accum_us: u64,
+    /// Monotonic time of the original client submission; anchors the
+    /// `job_lifetime` trace span (preemptions reset `enqueued_us`, never
+    /// this).
+    submitted_us: u64,
 }
 
 impl JobEntry {
@@ -459,6 +463,7 @@ impl JobTable {
         let id = inner.next_id;
         inner.next_id += 1;
         let total_cells = spec.cells().len();
+        let now = clock::now_micros();
         inner.jobs.insert(
             id,
             JobEntry {
@@ -479,9 +484,10 @@ impl JobTable {
                 retained_bytes: 0,
                 evicted: false,
                 last_access: 0,
-                enqueued_us: clock::now_micros(),
+                enqueued_us: now,
                 started_us: 0,
                 run_accum_us: 0,
+                submitted_us: now,
             },
         );
         inner.queues[priority.index()].push_back(id);
@@ -718,6 +724,21 @@ fn pick(inner: &mut Inner, limits: &TableLimits, max_jobs: usize) -> Dispatch {
             entry.started_us = now;
             let wait_s = clock::seconds_between(entry.enqueued_us, now);
             sfi_obs::metrics().job_wait_seconds.observe(wait_s);
+            // The queued segment just ended: record it retroactively with
+            // its true start so the trace shows the wait, then dispatch.
+            sfi_obs::span::record_span(
+                "job_queued",
+                "sched",
+                entry.enqueued_us,
+                now.saturating_sub(entry.enqueued_us),
+                0,
+                Some(id),
+                vec![(
+                    "priority",
+                    sfi_obs::FieldValue::Str(entry.priority.as_str().to_string()),
+                )],
+            );
+            sfi_obs::span::flush_thread();
             sfi_obs::events().push(
                 Event::new("job_started")
                     .job(id)
@@ -855,7 +876,8 @@ fn run_job(
     let mut engine = CampaignEngine::new()
         .with_threads(config.threads_per_job())
         .with_cancel(cancel)
-        .with_seed_cells(seeds);
+        .with_seed_cells(seeds)
+        .with_trace_job(id);
     if let Some(dir) = &config.checkpoint_dir {
         let _ = std::fs::create_dir_all(dir);
         engine = engine.with_checkpoint(dir.join(format!("job-{:016x}.json", spec.fingerprint())));
@@ -891,6 +913,17 @@ fn run_job(
         };
         let now = clock::now_micros();
         entry.run_accum_us += now.saturating_sub(entry.started_us);
+        // One `job_running` span per dispatch segment; a preempted job
+        // accumulates several of these between its `job_queued` spans.
+        sfi_obs::span::record_span(
+            "job_running",
+            "sched",
+            entry.started_us,
+            now.saturating_sub(entry.started_us),
+            0,
+            Some(id),
+            Vec::new(),
+        );
         match outcome {
             Ok(result) => {
                 entry.executed_trials += result.metrics.executed_trials;
@@ -944,6 +977,25 @@ fn run_job(
             entry.retained_bytes = retained;
             let run_s = entry.run_accum_us as f64 / 1e6;
             sfi_obs::metrics().job_run_seconds.observe(run_s);
+            sfi_obs::span::record_span(
+                "job_lifetime",
+                "sched",
+                entry.submitted_us,
+                now.saturating_sub(entry.submitted_us),
+                0,
+                Some(id),
+                vec![
+                    (
+                        "state",
+                        sfi_obs::FieldValue::Str(entry.state.as_str().to_string()),
+                    ),
+                    ("preemptions", sfi_obs::FieldValue::U64(entry.preemptions)),
+                    (
+                        "trials",
+                        sfi_obs::FieldValue::U64(entry.executed_trials as u64),
+                    ),
+                ],
+            );
             sfi_obs::events().push(
                 Event::new(match entry.state {
                     JobState::Done => "job_done",
@@ -971,6 +1023,9 @@ fn run_job(
     }
     inner.sync_gauges();
     drop(inner);
+    // Runner threads are short-lived; hand their span buffer to the
+    // global store now instead of waiting for thread teardown.
+    sfi_obs::span::flush_thread();
     table.scheduler_wake.notify_all();
     table.update.notify_all();
 }
@@ -1171,6 +1226,7 @@ mod tests {
                     enqueued_us: 0,
                     started_us: 0,
                     run_accum_us: 0,
+                    submitted_us: 0,
                 },
             );
             inner.retained_total += 100;

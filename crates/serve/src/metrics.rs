@@ -9,7 +9,7 @@
 //! canonical encoder maps non-finite floats to `null`.
 
 use sfi_core::json::Json;
-use sfi_obs::{Event, FieldValue, Sample, SampleValue, Snapshot};
+use sfi_obs::{AlertStatus, Event, FieldValue, Sample, SampleValue, Snapshot, TraceRecord};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -122,8 +122,120 @@ pub fn events_to_json(events: &[Event]) -> Json {
     Json::Arr(events.iter().map(event_to_json).collect())
 }
 
-/// A minimal HTTP/1.x listener serving the Prometheus text exposition of
-/// the global registry on every request.
+/// Encodes one trace record for the `trace` frame's `spans` member.
+///
+/// The `ph` member keeps the Chrome trace-event phase vocabulary (`"X"`
+/// complete span, `"C"` counter series) so clients can convert records to
+/// a `chrome://tracing` file mechanically; timestamps and span ids travel
+/// as decimal strings per the workspace u64 convention.
+fn trace_record_to_json(record: &TraceRecord) -> Json {
+    match record {
+        TraceRecord::Span(span) => {
+            let mut pairs = vec![
+                ("ph", Json::Str("X".into())),
+                ("name", Json::Str(span.name.into())),
+                ("cat", Json::Str(span.cat.into())),
+                ("tid", Json::Num(span.tid as f64)),
+                ("ts_us", Json::Str(span.start_us.to_string())),
+                ("dur_us", Json::Str(span.dur_us.to_string())),
+                ("id", Json::Str(span.id.to_string())),
+                ("parent", Json::Str(span.parent.to_string())),
+            ];
+            if let Some(job) = span.job {
+                pairs.push(("job", Json::Str(job.to_string())));
+            }
+            pairs.push((
+                "args",
+                Json::obj(
+                    span.args
+                        .iter()
+                        .map(|(name, value)| {
+                            let encoded = match value {
+                                FieldValue::U64(v) => Json::Str(v.to_string()),
+                                FieldValue::F64(v) => Json::Num(*v),
+                                FieldValue::Str(v) => Json::Str(v.clone()),
+                            };
+                            (*name, encoded)
+                        })
+                        .collect::<Vec<_>>(),
+                ),
+            ));
+            Json::obj(pairs)
+        }
+        TraceRecord::Counter(counter) => {
+            let mut pairs = vec![
+                ("ph", Json::Str("C".into())),
+                ("name", Json::Str(counter.name.into())),
+                ("tid", Json::Num(counter.tid as f64)),
+                ("ts_us", Json::Str(counter.ts_us.to_string())),
+            ];
+            if let Some(job) = counter.job {
+                pairs.push(("job", Json::Str(job.to_string())));
+            }
+            pairs.push((
+                "series",
+                Json::obj(
+                    counter
+                        .series
+                        .iter()
+                        .map(|&(name, value)| (name, Json::Num(value)))
+                        .collect::<Vec<_>>(),
+                ),
+            ));
+            Json::obj(pairs)
+        }
+    }
+}
+
+/// Encodes a batch of trace records (oldest first) as the `trace` frame's
+/// `spans` member.
+pub fn trace_to_json(records: &[TraceRecord]) -> Json {
+    Json::Arr(records.iter().map(trace_record_to_json).collect())
+}
+
+/// Encodes alert-rule statuses as the `alerts` frame's `alerts` member.
+pub fn alerts_to_json(statuses: &[AlertStatus]) -> Json {
+    Json::Arr(
+        statuses
+            .iter()
+            .map(|status| {
+                Json::obj([
+                    ("rule", Json::Str(status.rule.clone())),
+                    ("family", Json::Str(status.family.clone())),
+                    ("kind", Json::Str(status.kind.into())),
+                    ("threshold", Json::Num(status.threshold)),
+                    (
+                        "value",
+                        if status.value.is_finite() {
+                            Json::Num(status.value)
+                        } else {
+                            Json::Null
+                        },
+                    ),
+                    ("firing", Json::Bool(status.firing)),
+                    (
+                        "since_us",
+                        match status.since_us {
+                            Some(us) => Json::Str(us.to_string()),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("fired_total", Json::Str(status.fired_total.to_string())),
+                    (
+                        "resolved_total",
+                        Json::Str(status.resolved_total.to_string()),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// A minimal HTTP/1.x listener serving the daemon's observability routes:
+/// `GET /metrics` (Prometheus text exposition), `GET /healthz` (liveness
+/// JSON), `GET /trace` (Chrome trace-event JSON of the trace store) and
+/// `GET /alerts` (alert-rule statuses).  Unknown paths get 404, non-GET
+/// methods 405.
 ///
 /// One thread, one connection at a time: scrapes are a few kilobytes every
 /// few seconds, and the snapshot itself is lock-free, so there is nothing
@@ -176,27 +288,90 @@ impl Drop for PrometheusListener {
     }
 }
 
-/// Answers one scrape: drains the request head, renders the registry.
+/// Answers one request: parses the request line, routes on method and
+/// path, drains the remaining headers, writes one response and closes.
 fn serve_scrape(stream: TcpStream) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    // Consume the request line and headers up to the blank line; the
-    // method and path are irrelevant — every request gets the metrics.
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers up to the blank line; none of them affect routing.
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 || line.trim().is_empty() {
             break;
         }
     }
-    let body = sfi_obs::prometheus::render(&sfi_obs::metrics().snapshot());
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    // Route on the path alone; ignore any `?query` suffix.
+    let target = parts.next().unwrap_or("");
+    let path = target.split('?').next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed; only GET is served\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                sfi_obs::prometheus::CONTENT_TYPE,
+                sfi_obs::prometheus::render(&sfi_obs::metrics().snapshot()),
+            ),
+            "/healthz" => ("200 OK", "application/json", healthz_body()),
+            "/trace" => (
+                "200 OK",
+                "application/json",
+                sfi_obs::chrome_trace_json(&sfi_obs::span::trace().snapshot(usize::MAX, None)),
+            ),
+            "/alerts" => {
+                let statuses = sfi_obs::alerts::alerts().evaluate(&sfi_obs::metrics().snapshot());
+                ("200 OK", "application/json", {
+                    let mut text = alerts_to_json(&statuses).to_string();
+                    text.push('\n');
+                    text
+                })
+            }
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "unknown path; try /metrics, /healthz, /trace or /alerts\n".to_string(),
+            ),
+        }
+    };
     let head = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        sfi_obs::prometheus::CONTENT_TYPE,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     writer.write_all(head.as_bytes())?;
     writer.write_all(body.as_bytes())?;
     writer.flush()
+}
+
+/// The `/healthz` body: uptime plus scheduler liveness gauges, readable by
+/// humans and machine-checkable by the CI smoke.
+fn healthz_body() -> String {
+    let metrics = sfi_obs::metrics();
+    let queued: i64 = metrics
+        .sched_queue_depth
+        .iter()
+        .map(sfi_obs::Gauge::get)
+        .sum();
+    let uptime = sfi_obs::clock::now_micros() as f64 / 1e6;
+    let doc = Json::obj([
+        ("status", Json::Str("ok".into())),
+        ("uptime_seconds", Json::Num((uptime * 1e3).round() / 1e3)),
+        ("queued_jobs", Json::Num(queued as f64)),
+        (
+            "running_jobs",
+            Json::Num(metrics.sched_running.get() as f64),
+        ),
+    ]);
+    let mut text = doc.to_string();
+    text.push('\n');
+    text
 }
 
 #[cfg(test)]
@@ -239,6 +414,120 @@ mod tests {
         assert_eq!(doc.get("cell").and_then(Json::as_u64), Some(3));
         let fields = doc.get("fields").expect("fields");
         assert_eq!(fields.get("bytes").and_then(Json::as_u64), Some(42));
+    }
+
+    #[test]
+    fn trace_records_encode_with_phase_discriminators() {
+        use sfi_obs::{CounterRecord, SpanRecord};
+        let records = [
+            TraceRecord::Span(SpanRecord {
+                id: 9,
+                parent: 2,
+                name: "trial",
+                cat: "engine",
+                tid: 3,
+                job: Some(7),
+                start_us: 100,
+                dur_us: 42,
+                args: vec![("cell", FieldValue::U64(1))],
+            }),
+            TraceRecord::Counter(CounterRecord {
+                name: "worker_utilization",
+                tid: 3,
+                job: None,
+                ts_us: 150,
+                series: vec![("busy_us", 40.0)],
+            }),
+        ];
+        let doc = trace_to_json(&records);
+        let arr = doc.as_arr().expect("array");
+        assert_eq!(arr[0].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(arr[0].get("ts_us").and_then(Json::as_u64), Some(100));
+        assert_eq!(arr[0].get("dur_us").and_then(Json::as_u64), Some(42));
+        assert_eq!(arr[0].get("job").and_then(Json::as_u64), Some(7));
+        let args = arr[0].get("args").expect("args");
+        assert_eq!(args.get("cell").and_then(Json::as_u64), Some(1));
+        assert_eq!(arr[1].get("ph").and_then(Json::as_str), Some("C"));
+        assert!(arr[1].get("job").is_none(), "untagged counter omits job");
+        let series = arr[1].get("series").expect("series");
+        assert_eq!(series.get("busy_us").and_then(Json::as_f64), Some(40.0));
+        // The document survives the canonical encoder round trip.
+        assert!(Json::parse(&doc.to_string()).is_ok());
+    }
+
+    #[test]
+    fn alert_statuses_encode_state_and_counters() {
+        let statuses = [sfi_obs::AlertStatus {
+            rule: "scheduler_queue_saturated".into(),
+            family: "sfi_sched_queue_depth".into(),
+            kind: "gauge_above",
+            threshold: 8.0,
+            value: 11.0,
+            firing: true,
+            since_us: Some(1_000_000),
+            fired_total: 2,
+            resolved_total: 1,
+        }];
+        let doc = alerts_to_json(&statuses);
+        let status = &doc.as_arr().expect("array")[0];
+        assert_eq!(status.get("firing").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            status.get("since_us").and_then(Json::as_u64),
+            Some(1_000_000)
+        );
+        assert_eq!(status.get("fired_total").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            status.get("kind").and_then(Json::as_str),
+            Some("gauge_above")
+        );
+    }
+
+    fn http_get(addr: std::net::SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        stream.write_all(request.as_bytes()).expect("writes");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("reads");
+        response
+    }
+
+    #[test]
+    fn listener_routes_healthz_trace_and_rejections() {
+        let listener = PrometheusListener::start("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr();
+
+        let health = http_get(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        let body = health.split("\r\n\r\n").nth(1).expect("has body");
+        let doc = Json::parse(body.trim()).expect("healthz is JSON");
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        assert!(doc.get("uptime_seconds").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert!(doc.get("queued_jobs").is_some());
+        assert!(doc.get("running_jobs").is_some());
+
+        let trace = http_get(addr, "GET /trace HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(trace.starts_with("HTTP/1.1 200 OK\r\n"), "{trace}");
+        let body = trace.split("\r\n\r\n").nth(1).expect("has body");
+        assert!(Json::parse(body).expect("trace is JSON").as_arr().is_some());
+
+        let alerts = http_get(addr, "GET /alerts HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(alerts.starts_with("HTTP/1.1 200 OK\r\n"), "{alerts}");
+        let body = alerts.split("\r\n\r\n").nth(1).expect("has body");
+        assert!(Json::parse(body.trim())
+            .expect("alerts is JSON")
+            .as_arr()
+            .is_some());
+
+        let missing = http_get(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(
+            missing.starts_with("HTTP/1.1 404 Not Found\r\n"),
+            "{missing}"
+        );
+
+        let posted = http_get(addr, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(
+            posted.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"),
+            "{posted}"
+        );
     }
 
     #[test]

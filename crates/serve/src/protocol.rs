@@ -330,6 +330,16 @@ pub enum Request {
         /// Only events tagged with this job id (absent = all events).
         job: Option<u64>,
     },
+    /// Fetch recent trace records (spans and utilization counters)
+    /// from the daemon's bounded trace store.
+    Trace {
+        /// Maximum records to return (absent = the daemon default, 1000).
+        limit: Option<u64>,
+        /// Only records tagged with this job id (absent = all records).
+        job: Option<u64>,
+    },
+    /// Evaluate the daemon's alert rules and fetch their statuses.
+    Alerts,
     /// Cancel a queued or running job.
     Cancel(u64),
     /// Stop the daemon gracefully.
@@ -378,6 +388,17 @@ impl Request {
                 }
                 Json::obj(pairs)
             }
+            Request::Trace { limit, job } => {
+                let mut pairs = vec![("type", Json::Str("trace".into()))];
+                if let Some(limit) = limit {
+                    pairs.push(("limit", Json::Num(*limit as f64)));
+                }
+                if let Some(job) = job {
+                    pairs.push(("job", Json::Str(job.to_string())));
+                }
+                Json::obj(pairs)
+            }
+            Request::Alerts => typed("alerts"),
             Request::Cancel(job) => with_job("cancel", *job),
             Request::Shutdown => typed("shutdown"),
         }
@@ -451,6 +472,23 @@ impl Request {
                     },
                 })
             }
+            "trace" => {
+                Ok(Request::Trace {
+                    limit: match value.get("limit") {
+                        None => None,
+                        Some(v) => Some(v.as_u64().ok_or_else(|| {
+                            WireError("'limit' must be an unsigned integer".into())
+                        })?),
+                    },
+                    job: match value.get("job") {
+                        None => None,
+                        Some(v) => Some(v.as_u64().ok_or_else(|| {
+                            WireError("'job' must be an unsigned integer".into())
+                        })?),
+                    },
+                })
+            }
+            "alerts" => Ok(Request::Alerts),
             "cancel" => Ok(Request::Cancel(u64_member(value, "job")?)),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(WireError(format!("unknown request type '{other}'"))),
@@ -496,6 +534,9 @@ pub struct ServerInfo {
     pub preemptions_total: u64,
     /// Retained results evicted under the byte cap since daemon start.
     pub evictions_total: u64,
+    /// Events discarded from the bounded in-memory ring since daemon
+    /// start (also exported as `sfi_events_dropped_total`).
+    pub events_dropped_total: u64,
 }
 
 impl ServerInfo {
@@ -540,6 +581,10 @@ impl ServerInfo {
                 Json::Num(self.preemptions_total as f64),
             ),
             ("evictions_total", Json::Num(self.evictions_total as f64)),
+            (
+                "events_dropped_total",
+                Json::Num(self.events_dropped_total as f64),
+            ),
         ])
     }
 
@@ -571,7 +616,7 @@ impl ServerInfo {
                 .map(|n| n as usize),
             result_cap_bytes: opt_u64_member(value, "result_cap_bytes")?.map(|n| n as usize),
             retained_result_bytes: u64_member(value, "retained_result_bytes")? as usize,
-            // Absent on frames from pre-observability daemons: the three
+            // Absent on frames from pre-observability daemons: the four
             // members below are additive, so decoding defaults them.
             metrics_enabled: value
                 .get("metrics_enabled")
@@ -583,6 +628,10 @@ impl ServerInfo {
                 .unwrap_or(0),
             evictions_total: value
                 .get("evictions_total")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            events_dropped_total: value
+                .get("events_dropped_total")
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
         })
@@ -672,6 +721,22 @@ pub enum Response {
         events: Json,
         /// Events discarded because the ring overflowed (cumulative).
         dropped: u64,
+    },
+    /// Reply to `trace`: recent trace records, oldest first.
+    ///
+    /// The record documents are carried verbatim (see
+    /// `crate::metrics::trace_to_json` for their layout) so the frame
+    /// round-trips byte-exactly as the span vocabulary grows.
+    Trace {
+        /// The trace record documents, oldest first.
+        spans: Json,
+        /// Records discarded because the store overflowed (cumulative).
+        dropped: u64,
+    },
+    /// Reply to `alerts`: one status document per installed rule.
+    Alerts {
+        /// The rule status documents (see `crate::metrics::alerts_to_json`).
+        alerts: Json,
     },
     /// Acknowledgement of a `cancel`.
     Cancelled {
@@ -789,6 +854,15 @@ impl Response {
                 ("type", Json::Str("events".into())),
                 ("events", events.clone()),
                 ("dropped", Json::Num(*dropped as f64)),
+            ]),
+            Response::Trace { spans, dropped } => Json::obj([
+                ("type", Json::Str("trace".into())),
+                ("spans", spans.clone()),
+                ("dropped", Json::Num(*dropped as f64)),
+            ]),
+            Response::Alerts { alerts } => Json::obj([
+                ("type", Json::Str("alerts".into())),
+                ("alerts", alerts.clone()),
             ]),
             Response::Cancelled { job } => Json::obj([
                 ("type", Json::Str("cancelled".into())),
@@ -910,6 +984,19 @@ impl Response {
                     .ok_or_else(|| WireError("missing member 'events'".into()))?,
                 dropped: u64_member(value, "dropped")?,
             }),
+            "trace" => Ok(Response::Trace {
+                spans: value
+                    .get("spans")
+                    .cloned()
+                    .ok_or_else(|| WireError("missing member 'spans'".into()))?,
+                dropped: u64_member(value, "dropped")?,
+            }),
+            "alerts" => Ok(Response::Alerts {
+                alerts: value
+                    .get("alerts")
+                    .cloned()
+                    .ok_or_else(|| WireError("missing member 'alerts'".into()))?,
+            }),
             "cancelled" => Ok(Response::Cancelled {
                 job: u64_member(value, "job")?,
             }),
@@ -983,6 +1070,15 @@ mod tests {
                 limit: Some(25),
                 job: Some(7),
             },
+            Request::Trace {
+                limit: None,
+                job: None,
+            },
+            Request::Trace {
+                limit: Some(500),
+                job: Some(7),
+            },
+            Request::Alerts,
             Request::Cancel(7),
             Request::Shutdown,
         ];
@@ -1030,6 +1126,7 @@ mod tests {
                 metrics_enabled: true,
                 preemptions_total: 4,
                 evictions_total: 1,
+                events_dropped_total: 2,
             }),
             Response::Submitted {
                 job: 7,
@@ -1092,6 +1189,23 @@ mod tests {
                     ("ts_us", Json::Str("12".into())),
                 ])]),
                 dropped: 3,
+            },
+            Response::Trace {
+                spans: Json::Arr(vec![Json::obj([
+                    ("cat", Json::Str("engine".into())),
+                    ("dur_us", Json::Str("42".into())),
+                    ("name", Json::Str("trial".into())),
+                    ("ph", Json::Str("X".into())),
+                    ("tid", Json::Num(2.0)),
+                    ("ts_us", Json::Str("12".into())),
+                ])]),
+                dropped: 1,
+            },
+            Response::Alerts {
+                alerts: Json::Arr(vec![Json::obj([
+                    ("firing", Json::Bool(false)),
+                    ("rule", Json::Str("scheduler_queue_saturated".into())),
+                ])]),
             },
             Response::Cancelled { job: 7 },
             Response::Bye,

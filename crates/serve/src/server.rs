@@ -57,6 +57,15 @@ pub struct ServeConfig {
     /// Capacity of the structured-event ring (`None` = keep the default,
     /// [`sfi_obs::DEFAULT_EVENT_CAPACITY`]).
     pub event_buffer: Option<usize>,
+    /// Queue-depth gauge level (total queued jobs, all priorities) above
+    /// which the `scheduler_queue_saturated` alert arms.
+    pub alert_queue_depth: f64,
+    /// Seconds the queue depth must stay above the limit before the alert
+    /// fires (0 = fire on the first saturated evaluation).
+    pub alert_hold_seconds: f64,
+    /// Event-ring drop rate (events per second) above which the
+    /// `event_ring_dropping` alert fires (0 = fire on any drops).
+    pub alert_drop_rate: f64,
     /// Suppress the startup log lines.
     pub quiet: bool,
 }
@@ -75,6 +84,9 @@ impl Default for ServeConfig {
             checkpoint_dir: None,
             metrics_addr: None,
             event_buffer: None,
+            alert_queue_depth: 8.0,
+            alert_hold_seconds: 5.0,
+            alert_drop_rate: 0.0,
             quiet: false,
         }
     }
@@ -103,6 +115,10 @@ impl ServeConfig {
 
 /// Events an `events` request returns when it does not name a `limit`.
 const DEFAULT_EVENT_LIMIT: u64 = 100;
+
+/// Trace records a `trace` request returns when it does not name a
+/// `limit`.
+const DEFAULT_TRACE_LIMIT: u64 = 1000;
 
 /// Shared server context handed to every connection handler.
 struct Context {
@@ -141,6 +157,11 @@ impl Server {
         if let Some(capacity) = config.event_buffer {
             sfi_obs::events().set_capacity(capacity);
         }
+        sfi_obs::alerts::alerts().install(sfi_obs::default_rules(
+            config.alert_queue_depth,
+            config.alert_hold_seconds,
+            config.alert_drop_rate,
+        ));
         let metrics_listener = match &config.metrics_addr {
             Some(addr) => Some(PrometheusListener::start(addr)?),
             None => None,
@@ -357,6 +378,7 @@ fn handle_connection(
                     metrics_enabled: context.metrics_enabled,
                     preemptions_total: totals.preemptions,
                     evictions_total: totals.evictions,
+                    events_dropped_total: sfi_obs::events().dropped(),
                 };
                 reply(&mut writer, &Response::Pong(info))?;
             }
@@ -466,6 +488,30 @@ fn handle_connection(
                     &Response::Events {
                         events: metrics::events_to_json(&events),
                         dropped: ring.dropped(),
+                    },
+                )?;
+            }
+            Request::Trace { limit, job } => {
+                // Handler threads may hold un-flushed span buffers; flush
+                // this one so its own frames are visible, then snapshot.
+                sfi_obs::span::flush_thread();
+                let store = sfi_obs::span::trace();
+                let limit = limit.unwrap_or(DEFAULT_TRACE_LIMIT) as usize;
+                let records = store.snapshot(limit, job);
+                reply(
+                    &mut writer,
+                    &Response::Trace {
+                        spans: metrics::trace_to_json(&records),
+                        dropped: store.dropped(),
+                    },
+                )?;
+            }
+            Request::Alerts => {
+                let statuses = sfi_obs::alerts::alerts().evaluate(&sfi_obs::metrics().snapshot());
+                reply(
+                    &mut writer,
+                    &Response::Alerts {
+                        alerts: metrics::alerts_to_json(&statuses),
                     },
                 )?;
             }

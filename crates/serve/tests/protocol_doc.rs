@@ -66,6 +66,8 @@ fn round_trips_as_request(doc: &Json) -> Option<&'static str> {
         Request::Poff(_) => "poff",
         Request::Metrics => "metrics",
         Request::Events { .. } => "events",
+        Request::Trace { .. } => "trace",
+        Request::Alerts => "alerts",
         Request::Cancel(_) => "cancel",
         Request::Shutdown => "shutdown",
     })
@@ -85,6 +87,8 @@ fn round_trips_as_response(doc: &Json) -> Option<(&'static str, Option<&'static 
         Response::Poff(_) => ("poff", None),
         Response::Metrics { .. } => ("metrics", None),
         Response::Events { .. } => ("events", None),
+        Response::Trace { .. } => ("trace", None),
+        Response::Alerts { .. } => ("alerts", None),
         Response::Cancelled { .. } => ("cancelled", None),
         Response::Bye => ("bye", None),
         Response::Error { code, .. } => ("error", Some(code.as_str())),
@@ -171,8 +175,8 @@ fn every_json_example_in_the_protocol_doc_round_trips_through_the_wire_types() {
 
     // Coverage: the document must exercise the complete vocabulary.
     for kind in [
-        "ping", "submit", "status", "stream", "result", "poff", "metrics", "events", "cancel",
-        "shutdown",
+        "ping", "submit", "status", "stream", "result", "poff", "metrics", "events", "trace",
+        "alerts", "cancel", "shutdown",
     ] {
         assert!(
             request_kinds.contains(&kind),
@@ -189,6 +193,8 @@ fn every_json_example_in_the_protocol_doc_round_trips_through_the_wire_types() {
         "poff",
         "metrics",
         "events",
+        "trace",
+        "alerts",
         "cancelled",
         "bye",
         "error",

@@ -35,6 +35,9 @@ fn sfi_serve_help_mentions_every_accepted_flag() {
         "--checkpoint-dir",
         "--metrics-addr",
         "--event-buffer",
+        "--alert-queue-depth",
+        "--alert-hold-seconds",
+        "--alert-drop-rate",
         "--help",
     ];
     let help = help_output(env!("CARGO_BIN_EXE_sfi-serve"));
@@ -49,7 +52,7 @@ fn sfi_client_help_mentions_every_command_and_flag() {
     // loops in crates/serve/src/bin/sfi-client.rs.
     let commands = [
         "ping", "submit", "demo", "status", "stream", "result", "cancel", "poff", "metrics",
-        "events", "shutdown",
+        "events", "trace", "alerts", "shutdown",
     ];
     let flags = [
         "--addr",
@@ -63,6 +66,7 @@ fn sfi_client_help_mentions_every_command_and_flag() {
         "--model",
         "--limit",
         "--job",
+        "--chrome",
     ];
     let help = help_output(env!("CARGO_BIN_EXE_sfi-client"));
     for command in commands {
