@@ -1,0 +1,148 @@
+//! `sfi-lint`: static analysis of guest programs from the command line.
+//!
+//! Lints the built-in benchmark kernels (default), a named subset of
+//! them, or an arbitrary word stream (`--words FILE`), and reports the
+//! `sfi-verify` findings as a human-readable report or a JSON document
+//! (`--json`).  Exit status: 0 when every target is clean, 1 when any
+//! finding was reported, 2 on usage errors.
+
+use sfi_bench::lint::{
+    builtin_targets, lint_to_json, render_human, words_target, LintTarget, LINT_USAGE,
+};
+use std::process::ExitCode;
+
+struct Args {
+    json: bool,
+    words: Option<String>,
+    dmem: usize,
+    fi_window: Option<(u32, u32)>,
+    targets: Vec<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
+    let mut args = Args {
+        json: false,
+        words: None,
+        dmem: 4_096,
+        fi_window: None,
+        targets: Vec::new(),
+    };
+    let mut i = 0;
+    let value = |argv: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--json" => args.json = true,
+            "--words" => args.words = Some(value(argv, &mut i, "--words")?),
+            "--dmem" => {
+                let raw = value(argv, &mut i, "--dmem")?;
+                args.dmem = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--dmem needs a positive word count, got '{raw}'"))?;
+            }
+            "--fi-window" => {
+                let raw = value(argv, &mut i, "--fi-window")?;
+                let parsed = raw
+                    .split_once(':')
+                    .and_then(|(lo, hi)| Some((lo.parse::<u32>().ok()?, hi.parse::<u32>().ok()?)));
+                args.fi_window = Some(parsed.ok_or_else(|| {
+                    format!("--fi-window needs LO:HI instruction addresses, got '{raw}'")
+                })?);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            name => args.targets.push(name.to_string()),
+        }
+        i += 1;
+    }
+    if args.words.is_some() && !args.targets.is_empty() {
+        return Err("--words and named built-in targets are mutually exclusive".into());
+    }
+    Ok(Some(args))
+}
+
+fn collect_targets(args: &Args) -> Result<Vec<LintTarget>, String> {
+    if let Some(path) = &args.words {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let window = args.fi_window.map(|(lo, hi)| lo..hi);
+        return Ok(vec![words_target(path, &text, args.dmem, window)?]);
+    }
+    let builtins = builtin_targets();
+    if args.targets.is_empty() {
+        return Ok(builtins);
+    }
+    let known: Vec<&str> = builtins.iter().map(|t| t.name.as_str()).collect();
+    let mut picked = Vec::new();
+    for name in &args.targets {
+        match builtins.iter().position(|t| &t.name == name) {
+            Some(_) => picked.push(name.clone()),
+            None => {
+                return Err(format!(
+                    "unknown built-in kernel '{name}' (known: {})",
+                    known.join(", ")
+                ))
+            }
+        }
+    }
+    Ok(builtin_targets()
+        .into_iter()
+        .filter(|t| picked.contains(&t.name))
+        .collect())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{LINT_USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("sfi-lint: {message}");
+            eprint!("{LINT_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let targets = match collect_targets(&args) {
+        Ok(targets) => targets,
+        Err(message) => {
+            eprintln!("sfi-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let results: Vec<_> = targets
+        .into_iter()
+        .map(|target| {
+            let report = target.verify();
+            (target, report)
+        })
+        .collect();
+    let findings: usize = results.iter().map(|(_, r)| r.diagnostics.len()).sum();
+
+    if args.json {
+        println!("{}", lint_to_json(&results));
+    } else {
+        for (target, report) in &results {
+            print!("{}", render_human(target, report));
+        }
+        let errors: usize = results.iter().map(|(_, r)| r.error_count()).sum();
+        let warnings: usize = results.iter().map(|(_, r)| r.warning_count()).sum();
+        println!(
+            "{} target(s), {errors} error(s), {warnings} warning(s)",
+            results.len()
+        );
+    }
+    if findings > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod lint;
 pub mod perf;
 
 use sfi_campaign::CampaignEngine;

@@ -1,0 +1,273 @@
+//! The `sfi-lint` front end: runs the `sfi-verify` static analyzer over
+//! guest programs and renders the findings for humans or machines.
+//!
+//! Two kinds of lint target exist: the built-in benchmark kernels (the
+//! paper suite plus the extended workload zoo, at their served sizes) and
+//! arbitrary word streams read from a file with `--words`.  CI lints every
+//! built-in kernel and fails on *any* finding — warnings included — so the
+//! shipped kernels stay at the strictest bar the analyzer can express.
+
+use sfi_core::json::Json;
+use sfi_isa::Program;
+use sfi_verify::{verify, Report, VerifyConfig};
+use std::ops::Range;
+
+/// Version stamp of the `--json` report shape.
+pub const LINT_REPORT_VERSION: u64 = 1;
+
+/// The flag reference printed by `sfi-lint --help`.
+pub const LINT_USAGE: &str = "\
+usage: sfi-lint [options] [TARGET...]
+
+Statically analyzes guest programs with sfi-verify and reports the
+findings.  Without --words, lints the built-in benchmark kernels
+(all of them, or just the named TARGETs).
+
+options:
+  --json            emit a machine-readable JSON report on stdout
+  --words FILE      lint the encoded instruction words in FILE instead of
+                    built-in kernels (whitespace-separated, decimal or 0x hex)
+  --dmem N          declared data-memory words for --words (default 4096)
+  --fi-window LO:HI fault-injection window to validate for --words
+  --help            print this reference
+
+exit status: 0 all targets clean, 1 findings reported, 2 usage error
+";
+
+/// One program to lint, with the context the analyzer checks it against.
+#[derive(Debug, Clone)]
+pub struct LintTarget {
+    /// Target name shown in reports (kernel name or the word file).
+    pub name: String,
+    /// The decoded program.
+    pub program: Program,
+    /// Declared data-memory size in words.
+    pub dmem_words: usize,
+    /// Fault-injection window to validate, if declared.
+    pub fi_window: Option<Range<u32>>,
+}
+
+impl LintTarget {
+    /// Runs the analyzer over this target.
+    pub fn verify(&self) -> Report {
+        let mut config = VerifyConfig::new(self.dmem_words);
+        if let Some(window) = &self.fi_window {
+            config = config.with_fi_window(window.clone());
+        }
+        verify(&self.program, &config)
+    }
+}
+
+/// The built-in benchmark kernels as lint targets: the paper suite plus
+/// the extended workload zoo, at the sizes the daemon serves.
+pub fn builtin_targets() -> Vec<LintTarget> {
+    sfi_kernels::extended_suite(3)
+        .into_iter()
+        .map(|bench| LintTarget {
+            name: bench.name().to_string(),
+            program: bench.program().clone(),
+            dmem_words: bench.dmem_words(),
+            fi_window: Some(bench.fi_window()),
+        })
+        .collect()
+}
+
+/// Parses the whitespace-separated instruction words of a `--words` file
+/// (decimal or `0x`-prefixed hex) into a lint target.
+pub fn words_target(
+    name: &str,
+    text: &str,
+    dmem_words: usize,
+    fi_window: Option<Range<u32>>,
+) -> Result<LintTarget, String> {
+    let mut words = Vec::new();
+    for token in text.split_whitespace() {
+        let parsed = match token
+            .strip_prefix("0x")
+            .or_else(|| token.strip_prefix("0X"))
+        {
+            Some(hex) => u32::from_str_radix(hex, 16),
+            None => token.parse::<u32>(),
+        };
+        words.push(parsed.map_err(|_| format!("'{token}' is not a 32-bit instruction word"))?);
+    }
+    let program =
+        Program::from_words(&words).map_err(|error| format!("{name} does not decode: {error}"))?;
+    Ok(LintTarget {
+        name: name.to_string(),
+        program,
+        dmem_words,
+        fi_window,
+    })
+}
+
+/// Renders one target's report for humans: a summary line plus one
+/// indented line per finding.
+pub fn render_human(target: &LintTarget, report: &Report) -> String {
+    let mut out = String::new();
+    let cycles = match report.max_straightline_cycles {
+        Some(cycles) => format!("<= {cycles} cycles"),
+        None => "loops (dynamic watchdog applies)".to_string(),
+    };
+    out.push_str(&format!(
+        "{}: {} instructions, {} blocks ({} reachable), {}\n",
+        target.name, report.instructions, report.blocks, report.reachable_blocks, cycles
+    ));
+    out.push_str(&format!(
+        "  mix: {:.0}% compute / {:.0}% control ({} alu, {} load, {} store, {} branch, {} jump, {} nop)\n",
+        report.mix.compute_fraction() * 100.0,
+        report.mix.control_fraction() * 100.0,
+        report.mix.alu,
+        report.mix.load,
+        report.mix.store,
+        report.mix.branch,
+        report.mix.jump,
+        report.mix.nop,
+    ));
+    for diagnostic in &report.diagnostics {
+        out.push_str(&format!("  {diagnostic}\n"));
+    }
+    if report.is_clean() {
+        out.push_str("  clean\n");
+    } else {
+        out.push_str(&format!(
+            "  {} error(s), {} warning(s)\n",
+            report.error_count(),
+            report.warning_count()
+        ));
+    }
+    out
+}
+
+/// One target's report as JSON, mirroring the wire gate's `detail` shape
+/// for the findings.
+pub fn report_to_json(target: &LintTarget, report: &Report) -> Json {
+    let findings = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            Json::obj([
+                ("code", Json::Str(d.rule.code().into())),
+                ("severity", Json::Str(d.severity().to_string())),
+                ("start_pc", Json::Num(f64::from(d.span.start))),
+                ("end_pc", Json::Num(f64::from(d.span.end))),
+                ("message", Json::Str(d.message.clone())),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("name", Json::Str(target.name.clone())),
+        ("instructions", Json::Num(report.instructions as f64)),
+        ("blocks", Json::Num(report.blocks as f64)),
+        (
+            "reachable_instructions",
+            Json::Num(report.reachable_instructions as f64),
+        ),
+        ("has_loops", Json::Bool(report.has_loops)),
+        (
+            "max_straightline_cycles",
+            match report.max_straightline_cycles {
+                Some(cycles) => Json::Num(cycles as f64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "mix",
+            Json::obj([
+                ("alu", Json::Num(report.mix.alu as f64)),
+                ("load", Json::Num(report.mix.load as f64)),
+                ("store", Json::Num(report.mix.store as f64)),
+                ("branch", Json::Num(report.mix.branch as f64)),
+                ("jump", Json::Num(report.mix.jump as f64)),
+                ("nop", Json::Num(report.mix.nop as f64)),
+                ("compute_fraction", Json::Num(report.mix.compute_fraction())),
+                ("control_fraction", Json::Num(report.mix.control_fraction())),
+            ]),
+        ),
+        ("findings", Json::Arr(findings)),
+        ("clean", Json::Bool(report.is_clean())),
+    ])
+}
+
+/// The full `--json` document over all linted targets.
+pub fn lint_to_json(results: &[(LintTarget, Report)]) -> Json {
+    let errors: usize = results.iter().map(|(_, r)| r.error_count()).sum();
+    let warnings: usize = results.iter().map(|(_, r)| r.warning_count()).sum();
+    Json::obj([
+        ("version", Json::Num(LINT_REPORT_VERSION as f64)),
+        (
+            "targets",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|(target, report)| report_to_json(target, report))
+                    .collect(),
+            ),
+        ),
+        ("errors", Json::Num(errors as f64)),
+        ("warnings", Json::Num(warnings as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_targets_cover_the_full_zoo_and_lint_clean() {
+        let targets = builtin_targets();
+        assert_eq!(targets.len(), 9);
+        for target in &targets {
+            let report = target.verify();
+            assert!(
+                report.is_clean(),
+                "{} has findings: {:?}",
+                target.name,
+                report.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn words_parsing_accepts_hex_and_decimal_and_rejects_junk() {
+        let nop = sfi_isa::encode(sfi_isa::Instruction::Nop);
+        let text = format!("{nop:#010x}\n{nop}\n");
+        let target = words_target("stream", &text, 64, None).expect("parses");
+        assert_eq!(target.program.len(), 2);
+
+        assert!(words_target("stream", "banana", 64, None).is_err());
+        assert!(words_target("stream", "99999999999", 64, None).is_err());
+        // A word that decodes to nothing is a decode error, not a panic.
+        assert!(words_target("stream", "0xffffffff", 64, None)
+            .unwrap_err()
+            .contains("does not decode"));
+    }
+
+    #[test]
+    fn reports_render_for_humans_and_machines() {
+        let target = words_target(
+            "demo",
+            &format!("{}", sfi_isa::encode(sfi_isa::Instruction::Nop)),
+            16,
+            None,
+        )
+        .expect("parses");
+        let report = target.verify();
+        let human = render_human(&target, &report);
+        assert!(human.contains("demo: 1 instructions"), "{human}");
+        assert!(human.contains("clean"), "{human}");
+
+        let doc = lint_to_json(&[(target, report)]);
+        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("errors").and_then(Json::as_u64), Some(0));
+        let targets = doc.get("targets").and_then(Json::as_arr).expect("targets");
+        assert_eq!(targets.len(), 1);
+        assert_eq!(
+            targets[0].get("clean").and_then(|j| match j {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            }),
+            Some(true)
+        );
+    }
+}

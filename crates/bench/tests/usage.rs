@@ -1,6 +1,6 @@
-//! Usage-text drift test: `perf-report --help` must exit 0 and mention
-//! every flag the parser accepts, so the USAGE string cannot silently
-//! fall behind `PerfArgs::parse`.
+//! Usage-text drift tests: `perf-report --help` and `sfi-lint --help`
+//! must exit 0 and mention every flag their parsers accept, so the USAGE
+//! strings cannot silently fall behind the argument matchers.
 
 use std::process::Command;
 
@@ -33,4 +33,48 @@ fn perf_report_help_mentions_every_accepted_flag() {
             "perf-report --help must mention {flag}"
         );
     }
+}
+
+#[test]
+fn sfi_lint_help_mentions_every_accepted_flag() {
+    let bin = env!("CARGO_BIN_EXE_sfi-lint");
+    let output = Command::new(bin)
+        .arg("--help")
+        .output()
+        .unwrap_or_else(|err| panic!("cannot run {bin} --help: {err}"));
+    assert!(
+        output.status.success(),
+        "sfi-lint --help must exit 0, got {:?}",
+        output.status
+    );
+    let help = String::from_utf8(output.stdout).expect("help is UTF-8");
+    // Keep in sync with the `match argv[i].as_str()` arms in
+    // crates/bench/src/bin/sfi_lint.rs.
+    for flag in ["--json", "--words", "--dmem", "--fi-window", "--help"] {
+        assert!(help.contains(flag), "sfi-lint --help must mention {flag}");
+    }
+}
+
+#[test]
+fn sfi_lint_over_the_builtin_kernels_is_clean() {
+    let bin = env!("CARGO_BIN_EXE_sfi-lint");
+    let output = Command::new(bin)
+        .output()
+        .unwrap_or_else(|err| panic!("cannot run {bin}: {err}"));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "built-in kernels must lint clean:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("9 target(s), 0 error(s), 0 warning(s)"),
+        "{stdout}"
+    );
+
+    // An unknown kernel name is a usage error (exit 2), not a panic.
+    let output = Command::new(bin)
+        .arg("no_such_kernel")
+        .output()
+        .expect("runs");
+    assert_eq!(output.status.code(), Some(2));
 }

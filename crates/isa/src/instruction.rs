@@ -123,8 +123,10 @@ pub enum InstructionKind {
 /// One instruction of the OpenRISC-like ISA.
 ///
 /// Branch and jump offsets are expressed in instruction words relative to
-/// the *next* instruction (i.e. an offset of `-1` branches back to the
-/// branch itself's predecessor... more precisely `target = pc + 1 + offset`).
+/// the *next* instruction: `target = pc + 1 + offset`. An offset of `0`
+/// therefore falls through to the next instruction, an offset of `-1`
+/// re-executes the branch itself, and an offset of `-2` targets the
+/// instruction immediately before the branch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instruction {
     /// `l.add rd, ra, rb` — `rd = ra + rb`.
@@ -494,6 +496,64 @@ impl Instruction {
         self.alu_class().is_some_and(AluClass::is_set_flag)
     }
 
+    /// Whether the instruction reads the branch flag.
+    pub fn reads_flag(&self) -> bool {
+        matches!(self, Instruction::Bf { .. } | Instruction::Bnf { .. })
+    }
+
+    /// The word offset of a pc-relative branch or jump, if any.
+    ///
+    /// The resolved target is `pc + 1 + offset`. Returns `None` for
+    /// everything else, including `l.jr` whose target is dynamic.
+    pub fn relative_offset(&self) -> Option<i32> {
+        use Instruction::*;
+        match self {
+            Bf { offset } | Bnf { offset } | J { offset } | Jal { offset } => Some(*offset),
+            _ => None,
+        }
+    }
+
+    /// The registers read by this instruction, in operand order.
+    ///
+    /// At most two registers are ever read; absent slots are `None`. The
+    /// branch flag is not a register — see [`Instruction::reads_flag`].
+    pub fn sources(&self) -> [Option<Reg>; 2] {
+        use Instruction::*;
+        match self {
+            Add { ra, rb, .. }
+            | Sub { ra, rb, .. }
+            | And { ra, rb, .. }
+            | Or { ra, rb, .. }
+            | Xor { ra, rb, .. }
+            | Mul { ra, rb, .. }
+            | Sll { ra, rb, .. }
+            | Srl { ra, rb, .. }
+            | Sra { ra, rb, .. }
+            | Sfeq { ra, rb }
+            | Sfne { ra, rb }
+            | Sfltu { ra, rb }
+            | Sfgeu { ra, rb }
+            | Sfgtu { ra, rb }
+            | Sfleu { ra, rb }
+            | Sflts { ra, rb }
+            | Sfges { ra, rb }
+            | Sfgts { ra, rb }
+            | Sfles { ra, rb }
+            | Sw { ra, rb, .. } => [Some(*ra), Some(*rb)],
+            Addi { ra, .. }
+            | Andi { ra, .. }
+            | Ori { ra, .. }
+            | Xori { ra, .. }
+            | Muli { ra, .. }
+            | Slli { ra, .. }
+            | Srli { ra, .. }
+            | Srai { ra, .. }
+            | Lwz { ra, .. }
+            | Jr { ra } => [Some(*ra), None],
+            Movhi { .. } | Bf { .. } | Bnf { .. } | J { .. } | Jal { .. } | Nop => [None, None],
+        }
+    }
+
     /// The register written by this instruction, if any.
     pub fn destination(&self) -> Option<Reg> {
         use Instruction::*;
@@ -651,6 +711,46 @@ mod tests {
             "l.lwz r5, 12(r2)"
         );
         assert_eq!(AluClass::Mul.to_string(), "mul");
+    }
+
+    #[test]
+    fn sources_and_flag_reads() {
+        let add = Instruction::Add {
+            rd: Reg(3),
+            ra: Reg(1),
+            rb: Reg(2),
+        };
+        assert_eq!(add.sources(), [Some(Reg(1)), Some(Reg(2))]);
+        let sw = Instruction::Sw {
+            ra: Reg(4),
+            rb: Reg(5),
+            offset: 8,
+        };
+        assert_eq!(sw.sources(), [Some(Reg(4)), Some(Reg(5))]);
+        let lwz = Instruction::Lwz {
+            rd: Reg(6),
+            ra: Reg(7),
+            offset: 0,
+        };
+        assert_eq!(lwz.sources(), [Some(Reg(7)), None]);
+        let jr = Instruction::Jr { ra: Reg(9) };
+        assert_eq!(jr.sources(), [Some(Reg(9)), None]);
+        assert_eq!(Instruction::Nop.sources(), [None, None]);
+        let movhi = Instruction::Movhi {
+            rd: Reg(1),
+            imm: 0xffff,
+        };
+        assert_eq!(movhi.sources(), [None, None]);
+
+        assert!(Instruction::Bf { offset: 1 }.reads_flag());
+        assert!(Instruction::Bnf { offset: -2 }.reads_flag());
+        assert!(!Instruction::J { offset: 1 }.reads_flag());
+        assert!(!add.reads_flag());
+
+        assert_eq!(Instruction::Bf { offset: -3 }.relative_offset(), Some(-3));
+        assert_eq!(Instruction::Jal { offset: 7 }.relative_offset(), Some(7));
+        assert_eq!(jr.relative_offset(), None);
+        assert_eq!(add.relative_offset(), None);
     }
 
     #[test]

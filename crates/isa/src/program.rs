@@ -51,11 +51,25 @@ impl Program {
     }
 
     /// A human-readable assembly listing with addresses.
+    ///
+    /// Pc-relative branches and jumps are annotated with the resolved
+    /// absolute target address (`target = pc + 1 + offset`) so the raw
+    /// relative offset and its destination can be read side by side:
+    ///
+    /// ```text
+    ///     2:  l.bf -3                ; -> 0
+    /// ```
     pub fn listing(&self) -> String {
         self.instructions
             .iter()
             .enumerate()
-            .map(|(pc, i)| format!("{pc:5}:  {i}\n"))
+            .map(|(pc, i)| match i.relative_offset() {
+                Some(offset) => {
+                    let target = pc as i64 + 1 + i64::from(offset);
+                    format!("{pc:5}:  {:<22} ; -> {target}\n", i.to_string())
+                }
+                None => format!("{pc:5}:  {i}\n"),
+            })
             .collect()
     }
 
@@ -332,6 +346,26 @@ mod tests {
         let words = program.to_words();
         let back = Program::from_words(&words).expect("valid encoding");
         assert_eq!(back, program);
+    }
+
+    #[test]
+    fn listing_resolves_branch_targets() {
+        let mut p = ProgramBuilder::new();
+        let head = p.label();
+        p.push(Instruction::Nop);
+        p.push(Instruction::Nop);
+        p.branch_if_flag(head);
+        let end = p.forward_label();
+        p.jump(end);
+        p.bind(end);
+        let listing = p.build().listing();
+        // Branch at 2 back to 0; jump at 3 to the program end (= exit).
+        assert!(listing.contains("l.bf -3"), "listing:\n{listing}");
+        assert!(listing.contains("; -> 0"), "listing:\n{listing}");
+        assert!(listing.contains("l.j 0"), "listing:\n{listing}");
+        assert!(listing.contains("; -> 4"), "listing:\n{listing}");
+        // Non-control instructions carry no target annotation.
+        assert!(listing.lines().next().unwrap().ends_with("l.nop"));
     }
 
     #[test]

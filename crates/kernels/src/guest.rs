@@ -1,0 +1,285 @@
+//! User-submitted guest programs as benchmarks.
+//!
+//! Every other kernel in this crate is a hand-built Rust recipe; a
+//! [`GuestProgramBenchmark`] instead wraps an arbitrary [`Program`]
+//! (typically decoded from instruction-memory words submitted over the
+//! wire) together with explicit input data and an output region. The
+//! golden reference is computed by one bounded fault-free run at
+//! construction time, so the per-trial hot path stays identical to the
+//! built-in kernels.
+//!
+//! Construction deliberately does **not** verify the program statically —
+//! that is `sfi-verify`'s job, and the serve submission gate runs it
+//! *before* building the benchmark so hostile programs cannot even burn
+//! the golden-run watchdog budget.
+
+use crate::Benchmark;
+use sfi_cpu::{Core, Memory, RunConfig, RunOutcome};
+use sfi_isa::Program;
+use std::fmt;
+use std::ops::Range;
+
+/// Watchdog budget for the construction-time golden run, in cycles.
+///
+/// Deliberately below the trial default (10 M) so a pathological but
+/// terminating program costs bounded time at submission.
+pub const GOLDEN_RUN_MAX_CYCLES: u64 = 4_000_000;
+
+/// Why a guest program could not be turned into a benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuestProgramError {
+    /// The input data does not fit the declared data memory.
+    InputTooLarge {
+        /// Number of input words supplied.
+        input_words: usize,
+        /// Declared data-memory size in words.
+        dmem_words: usize,
+    },
+    /// The output region is empty or escapes the declared data memory.
+    OutputOutOfRange {
+        /// The offending word range.
+        output: Range<u32>,
+        /// Declared data-memory size in words.
+        dmem_words: usize,
+    },
+    /// The fault-free golden run did not complete normally.
+    GoldenRunFailed {
+        /// How the run ended instead.
+        outcome: RunOutcome,
+    },
+}
+
+impl fmt::Display for GuestProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuestProgramError::InputTooLarge {
+                input_words,
+                dmem_words,
+            } => write!(
+                f,
+                "input of {input_words} words does not fit the declared data \
+                 memory of {dmem_words} words"
+            ),
+            GuestProgramError::OutputOutOfRange { output, dmem_words } => write!(
+                f,
+                "output region {}..{} is empty or escapes the declared data \
+                 memory of {dmem_words} words",
+                output.start, output.end
+            ),
+            GuestProgramError::GoldenRunFailed { outcome } => write!(
+                f,
+                "the fault-free golden run did not complete normally: {outcome:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GuestProgramError {}
+
+/// An arbitrary guest [`Program`] packaged as a [`Benchmark`].
+///
+/// Inputs are written to data-memory words `0..input.len()`; the output
+/// error metric is the fraction of mismatched words in the declared
+/// output region against the golden reference.
+#[derive(Debug, Clone)]
+pub struct GuestProgramBenchmark {
+    program: Program,
+    dmem_words: usize,
+    fi_window: Range<u32>,
+    input: Vec<u32>,
+    output: Range<u32>,
+    golden: Vec<u32>,
+}
+
+impl GuestProgramBenchmark {
+    /// Builds a guest benchmark and computes its golden reference with one
+    /// bounded fault-free run.
+    ///
+    /// `output` is a range of data-memory *word* indices compared against
+    /// the golden run; `input` is written to words `0..input.len()` before
+    /// every run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GuestProgramError`] when the input or output region
+    /// does not fit `dmem_words`, or the golden run does not finish within
+    /// [`GOLDEN_RUN_MAX_CYCLES`].
+    pub fn new(
+        program: Program,
+        dmem_words: usize,
+        fi_window: Range<u32>,
+        input: Vec<u32>,
+        output: Range<u32>,
+    ) -> Result<Self, GuestProgramError> {
+        if input.len() > dmem_words {
+            return Err(GuestProgramError::InputTooLarge {
+                input_words: input.len(),
+                dmem_words,
+            });
+        }
+        if output.start >= output.end || output.end as usize > dmem_words {
+            return Err(GuestProgramError::OutputOutOfRange { output, dmem_words });
+        }
+
+        let mut bench = GuestProgramBenchmark {
+            program,
+            dmem_words,
+            fi_window,
+            input,
+            output,
+            golden: Vec::new(),
+        };
+
+        let mut core = Core::new(bench.program.clone(), dmem_words);
+        bench.initialize(core.memory_mut());
+        let config = RunConfig {
+            max_cycles: GOLDEN_RUN_MAX_CYCLES,
+            ..RunConfig::default()
+        };
+        let outcome = core.run(&config);
+        if !outcome.finished() {
+            return Err(GuestProgramError::GoldenRunFailed { outcome });
+        }
+        bench.golden = core
+            .memory()
+            .read_block(bench.output.start * 4, bench.output.len())
+            .expect("output region validated against dmem size");
+        Ok(bench)
+    }
+
+    /// The golden output words computed at construction.
+    pub fn golden(&self) -> &[u32] {
+        &self.golden
+    }
+
+    /// The declared output region (data-memory word indices).
+    pub fn output_region(&self) -> Range<u32> {
+        self.output.clone()
+    }
+}
+
+impl Benchmark for GuestProgramBenchmark {
+    fn name(&self) -> &'static str {
+        "guest_program"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn fi_window(&self) -> Range<u32> {
+        self.fi_window.clone()
+    }
+
+    fn dmem_words(&self) -> usize {
+        self.dmem_words
+    }
+
+    fn initialize(&self, memory: &mut Memory) {
+        memory
+            .write_block(0, &self.input)
+            .expect("input validated against dmem size");
+    }
+
+    fn try_output_error(&self, memory: &Memory) -> Option<f64> {
+        let got = memory
+            .read_block(self.output.start * 4, self.output.len())
+            .ok()?;
+        let mismatched = got.iter().zip(&self.golden).filter(|(a, b)| a != b).count();
+        Some(mismatched as f64 / self.golden.len() as f64)
+    }
+
+    fn error_metric(&self) -> &'static str {
+        "output-word mismatch fraction"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_isa::{Instruction, ProgramBuilder, Reg};
+
+    /// Stores `value` to data-memory word 0 and exits.
+    fn store_program(value: u32) -> Program {
+        let mut p = ProgramBuilder::new();
+        p.load_immediate(Reg(3), value);
+        p.push(Instruction::Sw {
+            ra: Reg(0),
+            rb: Reg(3),
+            offset: 0,
+        });
+        p.build()
+    }
+
+    #[test]
+    fn golden_run_and_metric() {
+        let bench =
+            GuestProgramBenchmark::new(store_program(0xDEAD_BEEF), 4, 0..3, vec![], 0..1).unwrap();
+        assert_eq!(bench.golden(), &[0xDEAD_BEEF]);
+        assert_eq!(bench.name(), "guest_program");
+        assert_eq!(bench.dmem_words(), 4);
+        assert_eq!(bench.output_region(), 0..1);
+
+        let mut core = Core::new(bench.program().clone(), bench.dmem_words());
+        bench.initialize(core.memory_mut());
+        assert!(core.run(&RunConfig::default()).finished());
+        assert_eq!(bench.try_output_error(core.memory()), Some(0.0));
+        assert!(bench.is_correct(core.memory()));
+
+        // A corrupted output word is a 100% mismatch over a 1-word region.
+        core.memory_mut().store_word(0, 1).unwrap();
+        assert_eq!(bench.try_output_error(core.memory()), Some(1.0));
+    }
+
+    #[test]
+    fn inputs_are_loaded_before_the_run() {
+        // Program: load word 0, add 1, store to word 1.
+        let mut p = ProgramBuilder::new();
+        p.push(Instruction::Lwz {
+            rd: Reg(3),
+            ra: Reg(0),
+            offset: 0,
+        });
+        p.push(Instruction::Addi {
+            rd: Reg(3),
+            ra: Reg(3),
+            imm: 1,
+        });
+        p.push(Instruction::Sw {
+            ra: Reg(0),
+            rb: Reg(3),
+            offset: 4,
+        });
+        let bench = GuestProgramBenchmark::new(p.build(), 4, 0..3, vec![41], 1..2).unwrap();
+        assert_eq!(bench.golden(), &[42]);
+    }
+
+    #[test]
+    fn oversized_input_is_rejected() {
+        let err =
+            GuestProgramBenchmark::new(store_program(1), 2, 0..1, vec![0; 3], 0..1).unwrap_err();
+        assert!(matches!(err, GuestProgramError::InputTooLarge { .. }));
+        assert!(err.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn bad_output_region_is_rejected() {
+        let err = GuestProgramBenchmark::new(store_program(1), 4, 0..1, vec![], 3..9).unwrap_err();
+        assert!(matches!(err, GuestProgramError::OutputOutOfRange { .. }));
+        let err = GuestProgramBenchmark::new(store_program(1), 4, 0..1, vec![], 2..2).unwrap_err();
+        assert!(matches!(err, GuestProgramError::OutputOutOfRange { .. }));
+    }
+
+    #[test]
+    fn non_terminating_golden_run_is_rejected() {
+        let spin = Program::new(vec![Instruction::J { offset: -1 }]);
+        let err = GuestProgramBenchmark::new(spin, 4, 0..1, vec![], 0..1).unwrap_err();
+        assert!(matches!(
+            err,
+            GuestProgramError::GoldenRunFailed {
+                outcome: RunOutcome::Watchdog { .. }
+            }
+        ));
+        assert!(err.to_string().contains("golden run"));
+    }
+}

@@ -47,6 +47,7 @@ pub mod data;
 pub mod dijkstra;
 pub mod fft;
 pub mod fir;
+pub mod guest;
 pub mod kmeans;
 pub mod matmul;
 pub mod median;

@@ -35,6 +35,9 @@ pub enum ClientError {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Structured rejection payload, when the server sent one (e.g.
+        /// the analyzer findings of a refused guest program).
+        detail: Option<Json>,
     },
 }
 
@@ -53,7 +56,9 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(err) => write!(f, "transport error: {err}"),
             ClientError::Protocol(message) => write!(f, "protocol error: {message}"),
-            ClientError::Server { code, message } => write!(f, "server error ({code}): {message}"),
+            ClientError::Server { code, message, .. } => {
+                write!(f, "server error ({code}): {message}")
+            }
         }
     }
 }
@@ -106,7 +111,15 @@ impl Client {
             Some(Err(WireError(message))) => return Err(ClientError::Protocol(message)),
         };
         match Response::from_json(&frame) {
-            Ok(Response::Error { code, message }) => Err(ClientError::Server { code, message }),
+            Ok(Response::Error {
+                code,
+                message,
+                detail,
+            }) => Err(ClientError::Server {
+                code,
+                message,
+                detail,
+            }),
             Ok(response) => Ok(response),
             Err(WireError(message)) => Err(ClientError::Protocol(message)),
         }

@@ -751,6 +751,11 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Optional structured payload describing the rejection (e.g. the
+        /// analyzer findings of a refused guest program).  Additive in v1:
+        /// the member is absent when there is nothing structured to say,
+        /// and v1 clients that only read `code`/`message` keep working.
+        detail: Option<Json>,
     },
 }
 
@@ -760,6 +765,20 @@ impl Response {
         Response::Error {
             code,
             message: message.into(),
+            detail: None,
+        }
+    }
+
+    /// An error frame carrying a structured `detail` payload.
+    pub fn error_with_detail(
+        code: ErrorCode,
+        message: impl Into<String>,
+        detail: Json,
+    ) -> Response {
+        Response::Error {
+            code,
+            message: message.into(),
+            detail: Some(detail),
         }
     }
 
@@ -869,11 +888,21 @@ impl Response {
                 ("job", Json::Str(job.to_string())),
             ]),
             Response::Bye => Json::obj([("type", Json::Str("bye".into()))]),
-            Response::Error { code, message } => Json::obj([
-                ("type", Json::Str("error".into())),
-                ("code", Json::Str(code.as_str().into())),
-                ("message", Json::Str(message.clone())),
-            ]),
+            Response::Error {
+                code,
+                message,
+                detail,
+            } => {
+                let mut members = vec![
+                    ("type", Json::Str("error".into())),
+                    ("code", Json::Str(code.as_str().into())),
+                    ("message", Json::Str(message.clone())),
+                ];
+                if let Some(detail) = detail {
+                    members.push(("detail", detail.clone()));
+                }
+                Json::obj(members)
+            }
         }
     }
 
@@ -1008,6 +1037,10 @@ impl Response {
                         .ok_or_else(|| WireError(format!("unknown error code '{name}'")))?
                 },
                 message: str_member(value, "message")?.to_string(),
+                detail: match value.get("detail") {
+                    None | Some(Json::Null) => None,
+                    Some(detail) => Some(detail.clone()),
+                },
             }),
             other => Err(WireError(format!("unknown response type '{other}'"))),
         }

@@ -15,8 +15,9 @@ use crate::protocol::{
     read_frame, write_frame, ErrorCode, PoffPoint, PoffReply, PoffRequest, Request, Response,
     ServerInfo, PROTOCOL_VERSION,
 };
-use crate::wire::WireError;
+use crate::wire::{BenchmarkDef, WireError};
 use sfi_campaign::{adaptive_poff, CampaignEngine, PoffSearch, TrialBudget};
+use sfi_core::json::Json;
 use sfi_core::study::{CaseStudy, CaseStudyConfig};
 use sfi_fault::OperatingPoint;
 use std::io::{self, BufReader};
@@ -384,6 +385,10 @@ fn handle_connection(
             }
             Request::Submit(submit) => {
                 let client = submit.client.as_deref().unwrap_or("anonymous");
+                if let Err(response) = verify_guest_programs(&submit.spec.benchmarks) {
+                    reply(&mut writer, &response)?;
+                    continue;
+                }
                 match validate_voltages(context, &submit.spec)
                     .and_then(|()| submit.spec.instantiate())
                 {
@@ -594,6 +599,76 @@ fn stream_job(writer: &mut TcpStream, context: &Context, job: u64) -> io::Result
     }
 }
 
+/// Statically verifies every guest program among the given benchmark
+/// definitions *before* anything is instantiated, so a hostile program is
+/// rejected before its construction-time golden run can even start.
+///
+/// Built-in recipes pass through untouched.  The first guest program that
+/// fails to decode yields a plain `bad_request`; the first one with
+/// error-level analyzer findings yields a `bad_request` whose structured
+/// `detail` payload lists every finding (warnings included, so the
+/// submitter sees the full report).
+fn verify_guest_programs(defs: &[BenchmarkDef]) -> Result<(), Response> {
+    for (index, def) in defs.iter().enumerate() {
+        let BenchmarkDef::Program {
+            words,
+            dmem_words,
+            fi_window,
+            ..
+        } = def
+        else {
+            continue;
+        };
+        let program = match sfi_isa::Program::from_words(words) {
+            Ok(program) => program,
+            Err(error) => {
+                return Err(Response::error(
+                    ErrorCode::BadRequest,
+                    format!("benchmark {index}: guest program does not decode: {error}"),
+                ));
+            }
+        };
+        let config =
+            sfi_verify::VerifyConfig::new(*dmem_words).with_fi_window(fi_window.0..fi_window.1);
+        let report = sfi_verify::verify(&program, &config);
+        if report.has_errors() {
+            return Err(Response::error_with_detail(
+                ErrorCode::BadRequest,
+                format!(
+                    "benchmark {index}: guest program rejected by static verification \
+                     ({} error(s), {} warning(s))",
+                    report.error_count(),
+                    report.warning_count()
+                ),
+                verification_detail(index, &report),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The structured `detail` payload of a verification rejection.
+fn verification_detail(benchmark: usize, report: &sfi_verify::Report) -> Json {
+    let findings = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            Json::obj([
+                ("code", Json::Str(d.rule.code().into())),
+                ("severity", Json::Str(d.severity().to_string())),
+                ("start_pc", Json::Num(f64::from(d.span.start))),
+                ("end_pc", Json::Num(f64::from(d.span.end))),
+                ("message", Json::Str(d.message.clone())),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("kind", Json::Str("verification".into())),
+        ("benchmark", Json::Num(benchmark as f64)),
+        ("findings", Json::Arr(findings)),
+    ])
+}
+
 /// Runs a PoFF bisection synchronously on the handler thread (the engine
 /// underneath still parallelizes each evaluated cell's trials within one
 /// job's thread budget).
@@ -613,6 +688,13 @@ fn run_poff(context: &Context, request: &PoffRequest) -> Response {
             ),
         );
     }
+    if let Err(response) = verify_guest_programs(std::slice::from_ref(&request.benchmark)) {
+        return response;
+    }
+    let benchmark = match request.benchmark.instantiate() {
+        Ok(benchmark) => benchmark,
+        Err(WireError(message)) => return Response::error(ErrorCode::BadRequest, message),
+    };
     let engine = CampaignEngine::new().with_threads(context.scheduler.threads_per_job());
     let search = PoffSearch {
         lo_mhz: request.lo_mhz,
@@ -625,7 +707,7 @@ fn run_poff(context: &Context, request: &PoffRequest) -> Response {
     let outcome = adaptive_poff(
         &engine,
         &context.study,
-        request.benchmark.instantiate(),
+        benchmark,
         request.model,
         base_point,
         search,

@@ -22,6 +22,7 @@ use sfi_kernels::crc32::Crc32Benchmark;
 use sfi_kernels::dijkstra::DijkstraBenchmark;
 use sfi_kernels::fft::FftBenchmark;
 use sfi_kernels::fir::FirBenchmark;
+use sfi_kernels::guest::GuestProgramBenchmark;
 use sfi_kernels::kmeans::KMeansBenchmark;
 use sfi_kernels::matmul::{ElementWidth, MatrixMultiplyBenchmark};
 use sfi_kernels::median::MedianBenchmark;
@@ -46,6 +47,12 @@ pub const MAX_TRIALS_PER_CELL: usize = 50_000;
 /// Hard cap on the `client` id of a `submit` frame, so per-client quota
 /// accounting cannot be made to allocate without bound.
 pub const MAX_CLIENT_ID_BYTES: usize = 64;
+
+/// Hard cap on a submitted guest program, in instruction words.
+pub const MAX_PROGRAM_WORDS: usize = 4_096;
+
+/// Hard cap on a guest program's declared data memory, in words.
+pub const MAX_GUEST_DMEM_WORDS: usize = 65_536;
 
 /// A malformed or out-of-range wire value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +101,50 @@ fn get_str<'a>(value: &'a Json, key: &str) -> Result<&'a str, WireError> {
     get(value, key)?
         .as_str()
         .ok_or_else(|| WireError(format!("'{key}' must be a string")))
+}
+
+fn get_u32_array(
+    value: &Json,
+    key: &str,
+    min_len: usize,
+    max_len: usize,
+) -> Result<Vec<u32>, WireError> {
+    let arr = get(value, key)?
+        .as_arr()
+        .ok_or_else(|| WireError(format!("'{key}' must be an array")))?;
+    if arr.len() < min_len || arr.len() > max_len {
+        return err(format!(
+            "'{key}' must hold {min_len}..={max_len} words, got {}",
+            arr.len()
+        ));
+    }
+    arr.iter()
+        .enumerate()
+        .map(|(i, v)| {
+            v.as_u64()
+                .filter(|&x| x <= u64::from(u32::MAX))
+                .map(|x| x as u32)
+                .ok_or_else(|| WireError(format!("'{key}[{i}]' must be a 32-bit unsigned integer")))
+        })
+        .collect()
+}
+
+/// Decodes a `{"start": .., "end": ..}` half-open range of u32 indices.
+fn get_range(value: &Json, key: &str) -> Result<(u32, u32), WireError> {
+    let obj = get(value, key)?;
+    let bound = |k: &str| -> Result<u32, WireError> {
+        get_u64(obj, k)?
+            .try_into()
+            .map_err(|_| WireError(format!("'{key}.{k}' must fit in 32 bits")))
+    };
+    Ok((bound("start")?, bound("end")?))
+}
+
+fn range_to_json(range: (u32, u32)) -> Json {
+    Json::obj([
+        ("start", Json::Num(f64::from(range.0))),
+        ("end", Json::Num(f64::from(range.1))),
+    ])
 }
 
 /// A benchmark kernel by name and construction parameters.
@@ -161,6 +212,28 @@ pub enum BenchmarkDef {
         /// Number of values (a power of two in 4..=256).
         n: usize,
         /// Input-data seed.
+        seed: u64,
+    },
+    /// [`GuestProgramBenchmark`]: an arbitrary submitted program as
+    /// encoded instruction-memory words.
+    ///
+    /// Unlike the built-in recipes, a guest program is untrusted: the
+    /// submission gate runs the `sfi-verify` static analyzer over the
+    /// decoded program before this definition is instantiated.
+    Program {
+        /// Encoded instruction-memory words (see `sfi_isa::encoding`).
+        words: Vec<u32>,
+        /// Declared data-memory size in words.
+        dmem_words: usize,
+        /// Fault-injection window, as a half-open pc range.
+        fi_window: (u32, u32),
+        /// Input data written to data-memory words `0..input.len()`.
+        input: Vec<u32>,
+        /// Output region compared against the golden run, as a half-open
+        /// range of data-memory word indices.
+        output: (u32, u32),
+        /// Reserved for forward compatibility; guest inputs are explicit,
+        /// so the seed does not influence the benchmark.
         seed: u64,
     },
 }
@@ -275,6 +348,40 @@ const KIND_RECIPES: &[KindRecipe] = &[
             Ok(BenchmarkDef::Median { values, seed })
         },
     },
+    KindRecipe {
+        kind: "program",
+        decode: |value, seed| {
+            let words = get_u32_array(value, "words", 1, MAX_PROGRAM_WORDS)?;
+            let dmem_words = get_usize(value, "dmem_words", MAX_GUEST_DMEM_WORDS)?;
+            let fi_window = get_range(value, "fi_window")?;
+            if fi_window.0 >= fi_window.1 || fi_window.1 as usize > words.len() {
+                return err(format!(
+                    "'fi_window' {}..{} must be a non-empty pc range within the \
+                     {}-word program",
+                    fi_window.0,
+                    fi_window.1,
+                    words.len()
+                ));
+            }
+            let output = get_range(value, "output")?;
+            if output.0 >= output.1 || output.1 as usize > dmem_words {
+                return err(format!(
+                    "'output' {}..{} must be a non-empty word range within the \
+                     declared data memory of {dmem_words} words",
+                    output.0, output.1
+                ));
+            }
+            let input = get_u32_array(value, "input", 0, dmem_words)?;
+            Ok(BenchmarkDef::Program {
+                words,
+                dmem_words,
+                fi_window,
+                input,
+                output,
+                seed,
+            })
+        },
+    },
 ];
 
 /// Every benchmark kind the wire protocol can instantiate, alphabetical.
@@ -343,6 +450,28 @@ impl BenchmarkDef {
                 ("n", Json::Num(n as f64)),
                 ("seed", Json::Str(seed.to_string())),
             ]),
+            BenchmarkDef::Program {
+                ref words,
+                dmem_words,
+                fi_window,
+                ref input,
+                output,
+                seed,
+            } => Json::obj([
+                ("kind", Json::Str("program".into())),
+                (
+                    "words",
+                    Json::Arr(words.iter().map(|&w| Json::Num(f64::from(w))).collect()),
+                ),
+                ("dmem_words", Json::Num(dmem_words as f64)),
+                ("fi_window", range_to_json(fi_window)),
+                (
+                    "input",
+                    Json::Arr(input.iter().map(|&w| Json::Num(f64::from(w))).collect()),
+                ),
+                ("output", range_to_json(output)),
+                ("seed", Json::Str(seed.to_string())),
+            ]),
         }
     }
 
@@ -360,8 +489,14 @@ impl BenchmarkDef {
     }
 
     /// Instantiates the real kernel.
-    pub fn instantiate(&self) -> sfi_campaign::SharedBenchmark {
-        match *self {
+    ///
+    /// Built-in recipes cannot fail (their decoders mirror the kernel
+    /// constructors' bounds); a guest [`BenchmarkDef::Program`] can — its
+    /// words may not decode, and its bounded fault-free golden run may not
+    /// terminate.  The submission gate runs `sfi-verify` first, so over the
+    /// wire these failures surface as analyzer diagnostics instead.
+    pub fn instantiate(&self) -> Result<sfi_campaign::SharedBenchmark, WireError> {
+        Ok(match *self {
             BenchmarkDef::Median { values, seed } => {
                 std::sync::Arc::new(MedianBenchmark::new(values, seed))
             }
@@ -398,7 +533,27 @@ impl BenchmarkDef {
             BenchmarkDef::Bitonic { n, seed } => {
                 std::sync::Arc::new(BitonicSortBenchmark::new(n, seed))
             }
-        }
+            BenchmarkDef::Program {
+                ref words,
+                dmem_words,
+                fi_window,
+                ref input,
+                output,
+                seed: _,
+            } => {
+                let program = sfi_isa::Program::from_words(words)
+                    .map_err(|e| WireError(format!("guest program does not decode: {e}")))?;
+                let bench = GuestProgramBenchmark::new(
+                    program,
+                    dmem_words,
+                    fi_window.0..fi_window.1,
+                    input.clone(),
+                    output.0..output.1,
+                )
+                .map_err(|e| WireError(format!("guest program rejected: {e}")))?;
+                std::sync::Arc::new(bench)
+            }
+        })
     }
 }
 
@@ -734,7 +889,7 @@ impl CampaignDef {
         }
         let mut spec = CampaignSpec::new(self.name.clone(), self.seed);
         for def in &self.benchmarks {
-            spec.add_shared_benchmark(def.instantiate());
+            spec.add_shared_benchmark(def.instantiate()?);
         }
         for (cell, budget) in self.cells.iter().zip(budgets) {
             spec.add_cell(CellSpec {
@@ -884,7 +1039,32 @@ mod tests {
         ] {
             let back = BenchmarkDef::from_json(&good.to_json()).expect("round trips");
             assert_eq!(back, good);
-            let _ = back.instantiate();
+            back.instantiate().expect("boundary value instantiates");
+        }
+    }
+
+    /// A tiny valid guest program: store 7 to data-memory word 0 and exit.
+    fn tiny_guest_def(seed: u64) -> BenchmarkDef {
+        let words = sfi_isa::Program::new(vec![
+            sfi_isa::Instruction::Addi {
+                rd: sfi_isa::Reg(3),
+                ra: sfi_isa::Reg(0),
+                imm: 7,
+            },
+            sfi_isa::Instruction::Sw {
+                ra: sfi_isa::Reg(0),
+                rb: sfi_isa::Reg(3),
+                offset: 0,
+            },
+        ])
+        .to_words();
+        BenchmarkDef::Program {
+            words,
+            dmem_words: 4,
+            fi_window: (0, 2),
+            input: vec![],
+            output: (0, 1),
+            seed,
         }
     }
 
@@ -915,6 +1095,7 @@ mod tests {
             },
             BenchmarkDef::Crc32 { words: 8, seed: 2 },
             BenchmarkDef::Bitonic { n: 8, seed: 2 },
+            tiny_guest_def(2),
         ];
         // One definition per registered kind — the registry and the enum
         // stay in sync.
@@ -933,8 +1114,106 @@ mod tests {
         for def in defs {
             let back = BenchmarkDef::from_json(&def.to_json()).expect("round trips");
             assert_eq!(back, def);
-            let _ = back.instantiate();
+            back.instantiate().expect("instantiates");
         }
+    }
+
+    #[test]
+    fn guest_program_structural_bounds_are_enforced() {
+        let good = tiny_guest_def(1).to_json();
+        BenchmarkDef::from_json(&good).expect("valid guest program decodes");
+
+        let mutate = |key: &str, value: Json| {
+            let mut fields: Vec<(&str, Json)> = Vec::new();
+            for k in [
+                "kind",
+                "words",
+                "dmem_words",
+                "fi_window",
+                "input",
+                "output",
+                "seed",
+            ] {
+                let v = if k == key {
+                    value.clone()
+                } else {
+                    good.get(k).expect("member present").clone()
+                };
+                fields.push((k, v));
+            }
+            Json::obj(fields)
+        };
+
+        let empty_words = mutate("words", Json::Arr(vec![]));
+        assert!(
+            BenchmarkDef::from_json(&empty_words).is_err(),
+            "empty words"
+        );
+
+        let huge_word = mutate("words", Json::Arr(vec![Json::Num(2.0_f64.powi(33))]));
+        assert!(BenchmarkDef::from_json(&huge_word).is_err(), "non-u32 word");
+
+        let bad_window = mutate(
+            "fi_window",
+            Json::obj([("start", Json::Num(0.0)), ("end", Json::Num(99.0))]),
+        );
+        assert!(
+            BenchmarkDef::from_json(&bad_window).is_err(),
+            "fi_window past the program end"
+        );
+
+        let empty_output = mutate(
+            "output",
+            Json::obj([("start", Json::Num(1.0)), ("end", Json::Num(1.0))]),
+        );
+        assert!(
+            BenchmarkDef::from_json(&empty_output).is_err(),
+            "empty output"
+        );
+
+        let fat_input = mutate("input", Json::Arr(vec![Json::Num(0.0); 5]));
+        assert!(
+            BenchmarkDef::from_json(&fat_input).is_err(),
+            "input larger than dmem"
+        );
+
+        let tiny_dmem = mutate("dmem_words", Json::Num(0.0));
+        assert!(BenchmarkDef::from_json(&tiny_dmem).is_err(), "zero dmem");
+    }
+
+    #[test]
+    fn guest_program_instantiation_failures_are_wire_errors() {
+        // 0xFFFF_FFFF is not a valid instruction encoding.
+        let undecodable = BenchmarkDef::Program {
+            words: vec![u32::MAX],
+            dmem_words: 4,
+            fi_window: (0, 1),
+            input: vec![],
+            output: (0, 1),
+            seed: 1,
+        };
+        let message = match undecodable.instantiate() {
+            Err(error) => error.to_string(),
+            Ok(_) => panic!("an undecodable program must not instantiate"),
+        };
+        assert!(message.contains("does not decode"), "{message}");
+
+        // `l.j -1` decodes fine but spins forever: the golden run hits the
+        // watchdog and instantiation reports it.
+        let spin = sfi_isa::Program::new(vec![sfi_isa::Instruction::J { offset: -1 }]).to_words();
+        let non_terminating = BenchmarkDef::Program {
+            words: spin,
+            dmem_words: 4,
+            fi_window: (0, 1),
+            input: vec![],
+            output: (0, 1),
+            seed: 1,
+        };
+        let message = match non_terminating.instantiate() {
+            Err(error) => error.to_string(),
+            Ok(_) => panic!("a non-terminating golden run must not instantiate"),
+        };
+        assert!(message.contains("golden run"), "{message}");
     }
 
     #[test]

@@ -231,6 +231,11 @@ fn the_documented_limits_match_the_implementation() {
         ("max benchmarks", sfi_serve::wire::MAX_BENCHMARKS),
         ("max trials per cell", sfi_serve::wire::MAX_TRIALS_PER_CELL),
         ("max client id bytes", sfi_serve::wire::MAX_CLIENT_ID_BYTES),
+        ("max program words", sfi_serve::wire::MAX_PROGRAM_WORDS),
+        (
+            "max guest dmem words",
+            sfi_serve::wire::MAX_GUEST_DMEM_WORDS,
+        ),
     ] {
         // Accept the thousands-separated spelling used in prose tables.
         let plain = value.to_string();

@@ -1,0 +1,330 @@
+//! Loopback tests of the static-verification submission gate: guest
+//! programs with error-level analyzer findings are rejected with a typed
+//! `detail` payload before any job is enqueued, every error rule is
+//! demonstrable over the wire, and clean guest programs run end to end.
+//!
+//! This file is deliberately its own test binary: the scheduler metrics
+//! it asserts on (`sfi_sched_jobs_submitted_total`) are process-global,
+//! so sharing a process with the other loopback suites would make the
+//! "metric unchanged" assertions racy.
+
+use sfi_core::json::Json;
+use sfi_core::FaultModel;
+use sfi_isa::{Instruction, Program, Reg};
+use sfi_serve::client::{Client, ClientError};
+use sfi_serve::jobs::JobState;
+use sfi_serve::protocol::ErrorCode;
+use sfi_serve::server::{ServeConfig, Server};
+use sfi_serve::wire::{BenchmarkDef, BudgetDef, CampaignDef, CellDef};
+
+/// Wraps instructions into a one-benchmark, one-cell campaign definition.
+fn guest_def(
+    name: &str,
+    instructions: Vec<Instruction>,
+    fi_window: (u32, u32),
+    freq_mhz: f64,
+) -> CampaignDef {
+    let words = Program::new(instructions).to_words();
+    let mut def = CampaignDef::new(name, 7);
+    let benchmark = def.add_benchmark(BenchmarkDef::Program {
+        words,
+        dmem_words: 16,
+        fi_window,
+        input: vec![40, 2],
+        output: (3, 4),
+        seed: 1,
+    });
+    def.cells.push(CellDef {
+        benchmark,
+        model: FaultModel::StatisticalDta,
+        freq_mhz,
+        vdd: 0.7,
+        noise_sigma_mv: 10.0,
+        budget: BudgetDef::fixed(4),
+    });
+    def
+}
+
+/// Unpacks a server-side rejection into `(code, message, detail)`.
+fn rejection(error: ClientError) -> (ErrorCode, String, Option<Json>) {
+    match error {
+        ClientError::Server {
+            code,
+            message,
+            detail,
+        } => (code, message, detail),
+        other => panic!("expected a server rejection, got {other}"),
+    }
+}
+
+/// The rule codes of a `verification` detail payload's findings, with the
+/// payload shape asserted along the way.
+fn finding_codes(detail: &Json) -> Vec<String> {
+    assert_eq!(
+        detail.get("kind").and_then(Json::as_str),
+        Some("verification")
+    );
+    assert_eq!(detail.get("benchmark").and_then(Json::as_u64), Some(0));
+    let findings = detail
+        .get("findings")
+        .and_then(Json::as_arr)
+        .expect("findings array");
+    findings
+        .iter()
+        .map(|f| {
+            assert!(f.get("severity").and_then(Json::as_str).is_some());
+            assert!(f.get("message").and_then(Json::as_str).is_some());
+            assert!(f.get("start_pc").and_then(Json::as_u64).is_some());
+            assert!(f.get("end_pc").and_then(Json::as_u64).is_some());
+            f.get("code")
+                .and_then(Json::as_str)
+                .expect("finding code")
+                .to_string()
+        })
+        .collect()
+}
+
+fn sched_jobs_submitted(snapshot: &Json) -> u64 {
+    let families = snapshot
+        .get("families")
+        .and_then(Json::as_arr)
+        .expect("families array");
+    families
+        .iter()
+        .find(|f| f.get("name").and_then(Json::as_str) == Some("sfi_sched_jobs_submitted_total"))
+        .and_then(|f| f.get("samples"))
+        .and_then(Json::as_arr)
+        .and_then(|samples| samples.first())
+        .and_then(|s| s.get("value"))
+        .and_then(Json::as_u64)
+        .expect("submitted-jobs counter")
+}
+
+#[test]
+fn guest_programs_are_gated_by_static_verification() {
+    let server = Server::start(ServeConfig::fast_for_tests()).expect("daemon starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    let info = client.ping().expect("pong");
+    let freq = info.sta_limit_mhz * 0.9;
+    let before = client.metrics().expect("metrics frame");
+    let mut accepted_jobs = 0u64;
+
+    // --- A broken program is rejected with the full typed report. ------
+    // `l.bf +100` dangles (V001) and tests an undefined flag (V006);
+    // `l.add r3,r7,r0` reads the never-written r7 (V004).
+    let broken = guest_def(
+        "broken",
+        vec![
+            Instruction::Bf { offset: 100 },
+            Instruction::Add {
+                rd: Reg(3),
+                ra: Reg(7),
+                rb: Reg(0),
+            },
+        ],
+        (0, 2),
+        freq,
+    );
+    let (code, message, detail) = rejection(client.submit(&broken).expect_err("gated"));
+    assert_eq!(code, ErrorCode::BadRequest);
+    assert!(
+        message.contains("static verification"),
+        "message names the gate: {message}"
+    );
+    assert!(message.contains("3 error(s)"), "{message}");
+    let codes = finding_codes(&detail.expect("typed rejection payload"));
+    assert_eq!(codes, ["V001", "V006", "V004"], "ordered by pc, then rule");
+
+    // --- Every wire-reachable error rule is demonstrable. --------------
+    // (V009 cannot travel: an empty `words` array fails the structural
+    // bounds at decode; an out-of-program fi_window likewise, so V008 is
+    // shown via a window covering only unreachable code.)
+    let set_flag = Instruction::Sfeq {
+        ra: Reg(0),
+        rb: Reg(0),
+    };
+    let rule_cases: Vec<(&str, Vec<Instruction>, (u32, u32))> = vec![
+        (
+            "V001",
+            vec![set_flag, Instruction::Bf { offset: 100 }, Instruction::Nop],
+            (0, 3),
+        ),
+        ("V002", vec![Instruction::J { offset: -1 }], (0, 1)),
+        (
+            "V004",
+            vec![Instruction::Add {
+                rd: Reg(3),
+                ra: Reg(4),
+                rb: Reg(5),
+            }],
+            (0, 1),
+        ),
+        (
+            "V006",
+            vec![Instruction::Bf { offset: 0 }, Instruction::Nop],
+            (0, 2),
+        ),
+        (
+            "V007",
+            vec![
+                // dmem is 16 words = 64 bytes; byte address 64 is one past
+                // the end.
+                Instruction::Addi {
+                    rd: Reg(3),
+                    ra: Reg(0),
+                    imm: 64,
+                },
+                Instruction::Sw {
+                    ra: Reg(3),
+                    rb: Reg(0),
+                    offset: 0,
+                },
+            ],
+            (0, 2),
+        ),
+        (
+            "V008",
+            vec![
+                Instruction::J { offset: 1 },
+                Instruction::Nop,
+                Instruction::Nop,
+            ],
+            (1, 2),
+        ),
+    ];
+    for (rule, instructions, window) in rule_cases {
+        let def = guest_def(rule, instructions, window, freq);
+        let (code, _, detail) = rejection(client.submit(&def).expect_err("gated"));
+        assert_eq!(code, ErrorCode::BadRequest, "{rule}");
+        let codes = finding_codes(&detail.unwrap_or_else(|| panic!("{rule}: typed payload")));
+        assert!(codes.contains(&rule.to_string()), "{rule} in {codes:?}");
+    }
+
+    // --- Undecodable words are a plain bad_request (no analyzer ran). --
+    let mut undecodable = guest_def("undecodable", vec![Instruction::Nop], (0, 1), freq);
+    undecodable.benchmarks[0] = BenchmarkDef::Program {
+        words: vec![u32::MAX],
+        dmem_words: 16,
+        fi_window: (0, 1),
+        input: vec![],
+        output: (3, 4),
+        seed: 1,
+    };
+    let (code, message, detail) = rejection(client.submit(&undecodable).expect_err("gated"));
+    assert_eq!(code, ErrorCode::BadRequest);
+    assert!(message.contains("does not decode"), "{message}");
+    assert!(detail.is_none(), "decode failures carry no findings");
+
+    // None of the rejections enqueued anything.
+    assert_eq!(client.ping().expect("pong").jobs, 0, "no job enqueued");
+    let mid = client.metrics().expect("metrics frame");
+    assert_eq!(
+        sched_jobs_submitted(&mid),
+        sched_jobs_submitted(&before),
+        "rejected submissions never reach the scheduler"
+    );
+
+    // --- A clean guest program runs end to end. ------------------------
+    // Adds input words 0 and 1, stores the sum to output word 3.
+    let clean = guest_def(
+        "clean",
+        vec![
+            Instruction::Lwz {
+                rd: Reg(3),
+                ra: Reg(0),
+                offset: 0,
+            },
+            Instruction::Lwz {
+                rd: Reg(4),
+                ra: Reg(0),
+                offset: 4,
+            },
+            Instruction::Add {
+                rd: Reg(5),
+                ra: Reg(3),
+                rb: Reg(4),
+            },
+            Instruction::Sw {
+                ra: Reg(0),
+                rb: Reg(5),
+                offset: 12,
+            },
+        ],
+        (0, 4),
+        freq,
+    );
+    let ticket = client.submit(&clean).expect("clean program accepted");
+    accepted_jobs += 1;
+    assert_eq!(ticket.total_cells, 1);
+    let status = client.wait(ticket.job).expect("terminal");
+    assert_eq!(status.state, JobState::Done);
+    assert_eq!(status.executed_trials, 4);
+
+    // --- Warnings alone do not reject. ---------------------------------
+    // r3 is read before its first write (V005, warning) but written later,
+    // so the program is accepted and still runs.
+    let warned = guest_def(
+        "warnings-only",
+        vec![
+            Instruction::Addi {
+                rd: Reg(4),
+                ra: Reg(3),
+                imm: 1,
+            },
+            Instruction::Addi {
+                rd: Reg(3),
+                ra: Reg(0),
+                imm: 7,
+            },
+        ],
+        (0, 2),
+        freq,
+    );
+    let ticket = client.submit(&warned).expect("warnings are advisory");
+    accepted_jobs += 1;
+    let status = client.wait(ticket.job).expect("terminal");
+    assert_eq!(status.state, JobState::Done);
+
+    let after = client.metrics().expect("metrics frame");
+    assert_eq!(
+        sched_jobs_submitted(&after) - sched_jobs_submitted(&before),
+        accepted_jobs,
+        "exactly the accepted submissions reached the scheduler"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn poff_requests_are_gated_too() {
+    let server = Server::start(ServeConfig::fast_for_tests()).expect("daemon starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    let info = client.ping().expect("pong");
+
+    let spin = BenchmarkDef::Program {
+        words: Program::new(vec![Instruction::J { offset: -1 }]).to_words(),
+        dmem_words: 16,
+        fi_window: (0, 1),
+        input: vec![],
+        output: (0, 1),
+        seed: 1,
+    };
+    let request = sfi_serve::protocol::PoffRequest {
+        benchmark: spin,
+        model: FaultModel::StatisticalDta,
+        vdd: 0.7,
+        noise_sigma_mv: 10.0,
+        lo_mhz: info.sta_limit_mhz * 0.8,
+        hi_mhz: info.sta_limit_mhz * 1.2,
+        resolution_mhz: 50.0,
+        trials: 4,
+        seed: 1,
+    };
+    let (code, message, detail) = rejection(client.poff(&request).expect_err("gated"));
+    assert_eq!(code, ErrorCode::BadRequest);
+    assert!(message.contains("static verification"), "{message}");
+    let codes = finding_codes(&detail.expect("typed rejection payload"));
+    assert!(codes.contains(&"V002".to_string()), "{codes:?}");
+
+    server.shutdown();
+}

@@ -1,0 +1,309 @@
+//! Forward dataflow over the CFG: definitely-initialized registers, flag
+//! definedness, and a block-local constant propagation that resolves
+//! statically-known load/store addresses for bounds checking.
+
+use crate::cfg::{Cfg, EXIT};
+use crate::{Diagnostic, Rule, Span};
+use sfi_isa::{Instruction, Program, Reg};
+
+/// Abstract state at one program point: a bitmask of registers that are
+/// definitely written on every path from entry, plus whether the branch
+/// flag is definitely defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct State {
+    regs: u32,
+    flag: bool,
+}
+
+impl State {
+    /// The lattice top (before any path constrains the state): everything
+    /// assumed initialized, so that the meet only ever removes facts.
+    const TOP: State = State {
+        regs: u32::MAX,
+        flag: true,
+    };
+
+    /// Entry state: only the hard-wired `r0` is initialized, the flag is
+    /// architecturally cleared but *treated* as undefined so programs
+    /// cannot silently rely on its reset value.
+    const ENTRY: State = State {
+        regs: 1,
+        flag: false,
+    };
+
+    fn meet(self, other: State) -> State {
+        State {
+            regs: self.regs & other.regs,
+            flag: self.flag && other.flag,
+        }
+    }
+
+    fn has(self, reg: Reg) -> bool {
+        reg.is_valid() && self.regs & (1u32 << reg.0) != 0
+    }
+
+    fn define(&mut self, reg: Reg) {
+        if reg.is_valid() {
+            self.regs |= 1u32 << reg.0;
+        }
+    }
+}
+
+/// Applies one block's effect on the abstract state (definitions only;
+/// reads are checked in the reporting pass).
+fn transfer(program: &Program, start: u32, end: u32, mut state: State) -> State {
+    for pc in start..end {
+        let instr = program.instructions()[pc as usize];
+        if let Some(rd) = instr.destination() {
+            state.define(rd);
+        }
+        if instr.writes_flag() {
+            state.flag = true;
+        }
+    }
+    state
+}
+
+/// Runs the register/flag dataflow and constant-address memory checks,
+/// appending [`Rule::V004`], [`Rule::V005`], [`Rule::V006`] and
+/// [`Rule::V007`] findings.
+pub(crate) fn check(program: &Program, cfg: &Cfg, dmem_words: usize, diags: &mut Vec<Diagnostic>) {
+    let nblocks = cfg.blocks.len();
+
+    // Union of all registers written anywhere in reachable code; reads of
+    // registers outside this set can never observe a written value.
+    let mut ever_written = 1u32; // r0 is hard-wired.
+    for block in cfg.blocks.iter().filter(|b| b.reachable) {
+        for pc in block.start..block.end {
+            if let Some(rd) = program.instructions()[pc as usize].destination() {
+                if rd.is_valid() {
+                    ever_written |= 1u32 << rd.0;
+                }
+            }
+        }
+    }
+
+    // Predecessor lists over the reachable subgraph.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+    for (idx, block) in cfg.blocks.iter().enumerate().filter(|(_, b)| b.reachable) {
+        for &s in &block.succs {
+            if s != EXIT {
+                preds[s].push(idx);
+            }
+        }
+    }
+
+    // Round-robin fixpoint: states only ever move down the lattice.
+    let mut inputs = vec![State::TOP; nblocks];
+    inputs[0] = State::ENTRY;
+    loop {
+        let mut changed = false;
+        for idx in (0..nblocks).filter(|&i| cfg.blocks[i].reachable) {
+            let mut input = if idx == 0 { State::ENTRY } else { State::TOP };
+            for &p in &preds[idx] {
+                let out = transfer(program, cfg.blocks[p].start, cfg.blocks[p].end, inputs[p]);
+                input = input.meet(out);
+            }
+            if input != inputs[idx] {
+                inputs[idx] = input;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Reporting pass with the converged states; constant propagation is
+    // block-local (registers reset to "unknown" at each block entry).
+    for (idx, block) in cfg.blocks.iter().enumerate().filter(|(_, b)| b.reachable) {
+        let mut state = inputs[idx];
+        let mut consts: [Option<u32>; 32] = [None; 32];
+        consts[0] = Some(0);
+        for pc in block.start..block.end {
+            let instr = program.instructions()[pc as usize];
+
+            let [a, b] = instr.sources();
+            for (slot, src) in [a, b].into_iter().enumerate() {
+                let Some(src) = src else { continue };
+                if src.is_zero() || !src.is_valid() {
+                    continue;
+                }
+                if slot == 1 && a == Some(src) {
+                    continue; // same register in both operand slots
+                }
+                if !state.has(src) {
+                    if ever_written & (1u32 << src.0) == 0 {
+                        diags.push(Diagnostic::new(
+                            Rule::V004,
+                            Span::at(pc),
+                            format!(
+                                "`{instr}` at pc {pc} reads {src}, which is never \
+                                 written anywhere in the program"
+                            ),
+                        ));
+                    } else {
+                        diags.push(Diagnostic::new(
+                            Rule::V005,
+                            Span::at(pc),
+                            format!(
+                                "`{instr}` at pc {pc} may read {src} before it is \
+                                 first written (registers reset to 0, but relying \
+                                 on that is fragile)"
+                            ),
+                        ));
+                    }
+                }
+            }
+
+            if instr.reads_flag() && !state.flag {
+                diags.push(Diagnostic::new(
+                    Rule::V006,
+                    Span::at(pc),
+                    format!(
+                        "`{instr}` at pc {pc} tests the branch flag, but no `l.sf*` \
+                         defines it on every path from entry"
+                    ),
+                ));
+            }
+
+            check_memory_access(instr, pc, &consts, dmem_words, diags);
+            step_consts(instr, pc, &mut consts);
+
+            if let Some(rd) = instr.destination() {
+                state.define(rd);
+            }
+            if instr.writes_flag() {
+                state.flag = true;
+            }
+        }
+    }
+}
+
+/// Reports [`Rule::V007`] when a load/store address is statically known
+/// and escapes the declared data memory or is misaligned.
+fn check_memory_access(
+    instr: Instruction,
+    pc: u32,
+    consts: &[Option<u32>; 32],
+    dmem_words: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let (ra, offset) = match instr {
+        Instruction::Lwz { ra, offset, .. } | Instruction::Sw { ra, offset, .. } => (ra, offset),
+        _ => return,
+    };
+    let Some(base) = reg_const(consts, ra) else {
+        return;
+    };
+    let addr = base.wrapping_add(offset as i32 as u32);
+    if addr % 4 != 0 {
+        diags.push(Diagnostic::new(
+            Rule::V007,
+            Span::at(pc),
+            format!(
+                "`{instr}` at pc {pc} accesses byte address {addr}, which is not \
+                 word-aligned"
+            ),
+        ));
+    } else if (addr / 4) as usize >= dmem_words {
+        diags.push(Diagnostic::new(
+            Rule::V007,
+            Span::at(pc),
+            format!(
+                "`{instr}` at pc {pc} accesses byte address {addr}, outside the \
+                 declared data memory ({dmem_words} words = {} bytes)",
+                dmem_words * 4
+            ),
+        ));
+    }
+}
+
+fn reg_const(consts: &[Option<u32>; 32], reg: Reg) -> Option<u32> {
+    if reg.is_valid() {
+        consts[reg.0 as usize]
+    } else {
+        None
+    }
+}
+
+fn set_const(consts: &mut [Option<u32>; 32], reg: Reg, value: Option<u32>) {
+    // Writes to r0 are architecturally ignored; it stays constant zero.
+    if reg.is_valid() && !reg.is_zero() {
+        consts[reg.0 as usize] = value;
+    }
+}
+
+/// Evaluates one instruction over the block-local constant lattice.
+fn step_consts(instr: Instruction, pc: u32, consts: &mut [Option<u32>; 32]) {
+    use Instruction::*;
+    let bin = |consts: &[Option<u32>; 32], ra: Reg, rb: Reg, f: fn(u32, u32) -> u32| {
+        Some(f(reg_const(consts, ra)?, reg_const(consts, rb)?))
+    };
+    let un = |consts: &[Option<u32>; 32], ra: Reg, f: &dyn Fn(u32) -> u32| {
+        Some(f(reg_const(consts, ra)?))
+    };
+    match instr {
+        Add { rd, ra, rb } => set_const(consts, rd, bin(consts, ra, rb, u32::wrapping_add)),
+        Sub { rd, ra, rb } => set_const(consts, rd, bin(consts, ra, rb, u32::wrapping_sub)),
+        And { rd, ra, rb } => set_const(consts, rd, bin(consts, ra, rb, |a, b| a & b)),
+        Or { rd, ra, rb } => set_const(consts, rd, bin(consts, ra, rb, |a, b| a | b)),
+        Xor { rd, ra, rb } => set_const(consts, rd, bin(consts, ra, rb, |a, b| a ^ b)),
+        Mul { rd, ra, rb } => set_const(consts, rd, bin(consts, ra, rb, u32::wrapping_mul)),
+        Sll { rd, ra, rb } => set_const(consts, rd, bin(consts, ra, rb, |a, b| a << (b % 32))),
+        Srl { rd, ra, rb } => set_const(consts, rd, bin(consts, ra, rb, |a, b| a >> (b % 32))),
+        Sra { rd, ra, rb } => set_const(
+            consts,
+            rd,
+            bin(consts, ra, rb, |a, b| ((a as i32) >> (b % 32)) as u32),
+        ),
+        Addi { rd, ra, imm } => set_const(
+            consts,
+            rd,
+            un(consts, ra, &|a| a.wrapping_add(imm as i32 as u32)),
+        ),
+        Andi { rd, ra, imm } => set_const(consts, rd, un(consts, ra, &|a| a & u32::from(imm))),
+        Ori { rd, ra, imm } => set_const(consts, rd, un(consts, ra, &|a| a | u32::from(imm))),
+        Xori { rd, ra, imm } => set_const(consts, rd, un(consts, ra, &|a| a ^ u32::from(imm))),
+        Muli { rd, ra, imm } => set_const(
+            consts,
+            rd,
+            un(consts, ra, &|a| a.wrapping_mul(imm as i32 as u32)),
+        ),
+        Slli { rd, ra, shamt } => set_const(
+            consts,
+            rd,
+            un(consts, ra, &|a| a.wrapping_shl(u32::from(shamt))),
+        ),
+        Srli { rd, ra, shamt } => set_const(
+            consts,
+            rd,
+            un(consts, ra, &|a| a.wrapping_shr(u32::from(shamt))),
+        ),
+        Srai { rd, ra, shamt } => set_const(
+            consts,
+            rd,
+            un(consts, ra, &|a| ((a as i32) >> (shamt % 32)) as u32),
+        ),
+        Movhi { rd, imm } => set_const(consts, rd, Some(u32::from(imm) << 16)),
+        Lwz { rd, .. } => set_const(consts, rd, None),
+        // The link register holds the return address in instruction words.
+        Jal { .. } => set_const(consts, Instruction::LINK_REGISTER, Some(pc + 1)),
+        Sfeq { .. }
+        | Sfne { .. }
+        | Sfltu { .. }
+        | Sfgeu { .. }
+        | Sfgtu { .. }
+        | Sfleu { .. }
+        | Sflts { .. }
+        | Sfges { .. }
+        | Sfgts { .. }
+        | Sfles { .. }
+        | Sw { .. }
+        | Bf { .. }
+        | Bnf { .. }
+        | J { .. }
+        | Jr { .. }
+        | Nop => {}
+    }
+}
