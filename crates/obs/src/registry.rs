@@ -75,6 +75,21 @@ pub struct Metrics {
     /// Seconds jobs spent actually running (summed across preemption
     /// segments, observed once at the terminal state).
     pub job_run_seconds: Histogram,
+
+    // — serve durability and connection robustness —
+    /// Records appended (and fsync'd) to the durable job journal.
+    pub journal_appends: Counter,
+    /// Journal records replayed during restart recovery.
+    pub journal_replayed: Counter,
+    /// Jobs restored from the journal at daemon restart.
+    pub recovered_jobs: Counter,
+    /// Connections closed by the per-connection read/write deadline.
+    pub conn_timeouts: Counter,
+    /// Client-side retry attempts (reconnect + resubmit) performed by
+    /// the retry policy.
+    pub client_retries: Counter,
+    /// Whether the daemon is draining (1) or accepting submits (0).
+    pub draining: Gauge,
 }
 
 impl Metrics {
@@ -102,6 +117,12 @@ impl Metrics {
             cache_misses: Counter::new(),
             job_wait_seconds: Histogram::new(&LATENCY_BOUNDS_S),
             job_run_seconds: Histogram::new(&LATENCY_BOUNDS_S),
+            journal_appends: Counter::new(),
+            journal_replayed: Counter::new(),
+            recovered_jobs: Counter::new(),
+            conn_timeouts: Counter::new(),
+            client_retries: Counter::new(),
+            draining: Gauge::new(),
         }
     }
 
@@ -277,6 +298,36 @@ impl Metrics {
                 "Seconds jobs spent running, summed across preemption segments",
                 self.job_run_seconds.snapshot(),
             ),
+            counter(
+                "sfi_journal_appends_total",
+                "Records appended to the durable job journal",
+                self.journal_appends.get(),
+            ),
+            counter(
+                "sfi_journal_replayed_records_total",
+                "Journal records replayed during restart recovery",
+                self.journal_replayed.get(),
+            ),
+            counter(
+                "sfi_recovered_jobs_total",
+                "Jobs restored from the journal at daemon restart",
+                self.recovered_jobs.get(),
+            ),
+            counter(
+                "sfi_conn_timeouts_total",
+                "Connections closed by the per-connection read/write deadline",
+                self.conn_timeouts.get(),
+            ),
+            counter(
+                "sfi_client_retries_total",
+                "Client-side retry attempts performed by the retry policy",
+                self.client_retries.get(),
+            ),
+            gauge(
+                "sfi_draining",
+                "Whether the daemon is draining (1) or accepting submits (0)",
+                self.draining.get(),
+            ),
         ];
         Snapshot { families }
     }
@@ -397,6 +448,12 @@ mod tests {
             "sfi_sched_job_wait_seconds",
             "sfi_events_dropped_total",
             "sfi_trace_records_dropped_total",
+            "sfi_journal_appends_total",
+            "sfi_journal_replayed_records_total",
+            "sfi_recovered_jobs_total",
+            "sfi_conn_timeouts_total",
+            "sfi_client_retries_total",
+            "sfi_draining",
         ] {
             let _ = family(name);
         }

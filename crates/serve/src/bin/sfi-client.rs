@@ -21,6 +21,8 @@ commands:
                         print the job id
       [--priority low|normal|high]   scheduling class (default normal; high may preempt)
       [--client ID]                  client id the per-client quotas are accounted against
+      [--key KEY]                    idempotency key: resubmitting the same (client, key)
+                                     returns the original job instead of a duplicate
   demo                  submit a small builtin median campaign, stream it, print a summary
   status JOB            print one job-status line (state, priority, progress, preemptions)
   stream JOB            stream a job's cells as JSON lines to stdout
@@ -43,7 +45,11 @@ commands:
                         (KERNEL: median | matmul8 | matmul16 | kmeans | dijkstra
                                  | fft | fir | crc32 | bitonic)
       [--vdd V] [--noise MV] [--resolution MHZ] [--trials N] [--seed S] [--model b|b+|c]
-  shutdown              stop the daemon gracefully
+  drain                 stop the daemon gracefully: refuse new submits (typed 'draining'
+                        error), let running jobs finish within the daemon's
+                        --drain-timeout, journal queued jobs for a restart, then exit
+  shutdown              stop the daemon immediately (running jobs are cancelled at the
+                        next trial boundary; with --state-dir their cells are journaled)
 
 default address: 127.0.0.1:7433
 ";
@@ -347,6 +353,9 @@ fn run(
                 info.preemptions_total,
                 info.evictions_total,
             );
+            if info.draining {
+                println!("state: DRAINING (new submits are refused)");
+            }
         }
         "submit" => {
             let path = args
@@ -354,6 +363,7 @@ fn run(
                 .unwrap_or_else(|| usage_fail("submit needs a FILE"));
             let mut priority = Priority::Normal;
             let mut client_id: Option<String> = None;
+            let mut key: Option<String> = None;
             let mut i = 1;
             while i < args.len() {
                 let value = |i: &mut usize| -> String {
@@ -372,6 +382,7 @@ fn run(
                         });
                     }
                     "--client" => client_id = Some(value(&mut i)),
+                    "--key" => key = Some(value(&mut i)),
                     other => usage_fail(format!("unknown flag '{other}'")),
                 }
                 i += 1;
@@ -382,7 +393,8 @@ fn run(
                 .unwrap_or_else(|err| fail(format!("{path} is not valid JSON: {err}")));
             let def =
                 CampaignDef::from_json(&doc).unwrap_or_else(|err| fail(format!("{path}: {err}")));
-            let ticket = client.submit_with(&def, priority, client_id.as_deref())?;
+            let ticket =
+                client.submit_keyed(&def, priority, client_id.as_deref(), key.as_deref())?;
             println!(
                 "job {} submitted ({} cells, {} priority)",
                 ticket.job,
@@ -642,6 +654,10 @@ fn run(
                     point.freq_mhz, point.correct_fraction
                 );
             }
+        }
+        "drain" => {
+            let running = client.drain()?;
+            println!("drain started ({running} job(s) still running)");
         }
         "shutdown" => {
             client.shutdown()?;

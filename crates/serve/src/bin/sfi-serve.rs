@@ -29,6 +29,19 @@ options:
   --cache-dir DIR            persistent characterization cache (restarts skip the DTA
                              rebuild)
   --checkpoint-dir DIR       per-job campaign checkpoints (identical re-submissions resume)
+  --state-dir DIR            durable job journal: every transition is fsync'd here, and a
+                             restarted daemon replays it — queued jobs come back queued,
+                             interrupted jobs resume from their completed cells with
+                             bit-identical results
+  --drain-timeout S          seconds a 'drain' waits for running jobs before cancelling
+                             them and exiting anyway (default 30)
+  --conn-timeout S           per-connection read/write deadline in seconds; silent peers
+                             are disconnected past it (default 300; 0 = no deadline)
+  --max-connections N        cap on concurrently served connections; excess connections
+                             get one quota_exceeded error frame and are closed
+                             (0 or omitted = unlimited)
+  --drain-on-stdin           begin a drain when stdin reaches EOF — lets a supervisor
+                             trigger graceful shutdown by closing the daemon's stdin
   --metrics-addr HOST:PORT   serve the Prometheus text exposition on this address (the
                              'metrics' wire frame works without it; port 0 = ephemeral)
   --event-buffer N           capacity of the structured-event ring buffer (default 1024;
@@ -65,6 +78,7 @@ fn nonnegative(argv: &[String], i: &mut usize, flag: &str) -> f64 {
 
 fn main() {
     let mut config = ServeConfig::default();
+    let mut drain_on_stdin = false;
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     let value = |i: &mut usize, flag: &str| -> String {
@@ -115,6 +129,18 @@ fn main() {
             "--checkpoint-dir" => {
                 config.checkpoint_dir = Some(PathBuf::from(value(&mut i, "--checkpoint-dir")))
             }
+            "--state-dir" => config.state_dir = Some(PathBuf::from(value(&mut i, "--state-dir"))),
+            "--drain-timeout" => {
+                config.drain_timeout_seconds = nonnegative(&argv, &mut i, "--drain-timeout")
+            }
+            "--conn-timeout" => {
+                config.conn_timeout_seconds = nonnegative(&argv, &mut i, "--conn-timeout")
+            }
+            "--max-connections" => {
+                let n = unsigned(&mut i, "--max-connections");
+                config.max_connections = (n > 0).then_some(n);
+            }
+            "--drain-on-stdin" => drain_on_stdin = true,
             "--metrics-addr" => config.metrics_addr = Some(value(&mut i, "--metrics-addr")),
             "--event-buffer" => {
                 let n = unsigned(&mut i, "--event-buffer");
@@ -142,7 +168,23 @@ fn main() {
     }
 
     match Server::start(config) {
-        Ok(server) => server.join(),
+        Ok(server) => {
+            if drain_on_stdin {
+                // The workspace is unsafe-free, so there is no SIGTERM
+                // handler; supervisors that want a graceful stop keep the
+                // daemon's stdin open and close it to trigger a drain
+                // (delivered through the daemon's own wire protocol).
+                let addr = server.local_addr();
+                std::thread::spawn(move || {
+                    let mut sink = Vec::new();
+                    let _ = std::io::Read::read_to_end(&mut std::io::stdin(), &mut sink);
+                    if let Ok(mut client) = sfi_serve::client::Client::connect(addr) {
+                        let _ = client.drain();
+                    }
+                });
+            }
+            server.join()
+        }
         Err(err) => {
             eprintln!("sfi-serve: failed to start: {err}");
             exit(1);

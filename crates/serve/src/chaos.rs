@@ -1,0 +1,253 @@
+//! A fault-injecting TCP proxy for robustness tests.
+//!
+//! [`ChaosProxy`] sits between a client and the daemon and forwards
+//! bytes both ways while injecting faults from a [`FaultPlan`]: fixed
+//! per-chunk delays, a one-shot mid-stream disconnect after a byte
+//! offset, and one-shot byte corruption at an offset.  The disconnect
+//! and corruption are *one-shot across the proxy's lifetime*: the first
+//! connection to reach the offset takes the fault, later connections
+//! forward cleanly — exactly the shape a retrying client must survive.
+//!
+//! The proxy is deterministic (no randomness, no clocks beyond the
+//! configured delay), so chaos tests assert exact outcomes instead of
+//! flakiness statistics.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// The faults one [`ChaosProxy`] injects into client→server traffic.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Sleep this long before forwarding each client→server chunk.
+    pub delay: Option<Duration>,
+    /// Close the connection (both directions) after forwarding this many
+    /// client→server bytes — a mid-frame disconnect when the offset lands
+    /// inside a frame.  One-shot: only the first connection to reach the
+    /// offset is cut.
+    pub cut_after: Option<usize>,
+    /// XOR `0x20` into the client→server byte at this stream offset,
+    /// corrupting one frame in flight.  One-shot, like `cut_after`.
+    pub corrupt_at: Option<usize>,
+}
+
+struct Shared {
+    plan: FaultPlan,
+    cut_taken: AtomicBool,
+    corrupt_taken: AtomicBool,
+    stop: AtomicBool,
+}
+
+/// A running proxy: accepts on an ephemeral local port and forwards to
+/// the upstream address, faults included.  Dropping it stops the accept
+/// loop; in-flight pump threads exit when either side closes.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral local port and starts proxying to `upstream`.
+    pub fn start(upstream: SocketAddr, plan: FaultPlan) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            plan,
+            cut_taken: AtomicBool::new(false),
+            corrupt_taken: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        });
+        let accept = {
+            let shared = shared.clone();
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(client) = stream else { continue };
+                    let Ok(server) = TcpStream::connect(upstream) else {
+                        continue;
+                    };
+                    let (Ok(client_r), Ok(server_r)) = (client.try_clone(), server.try_clone())
+                    else {
+                        continue;
+                    };
+                    let shared = shared.clone();
+                    thread::spawn(move || pump_with_faults(client_r, server, &shared));
+                    thread::spawn(move || pump_clean(server_r, client));
+                }
+            })
+        };
+        Ok(ChaosProxy {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The proxy's listen address — point the client here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the one-shot disconnect fault has fired.
+    pub fn cut_taken(&self) -> bool {
+        self.shared.cut_taken.load(Ordering::SeqCst)
+    }
+
+    /// Whether the one-shot corruption fault has fired.
+    pub fn corrupt_taken(&self) -> bool {
+        self.shared.corrupt_taken.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Forwards client→server chunks, applying the fault plan.
+fn pump_with_faults(mut from: TcpStream, mut to: TcpStream, shared: &Shared) {
+    let mut offset = 0usize;
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let chunk = &mut buf[..n];
+        if let Some(delay) = shared.plan.delay {
+            thread::sleep(delay);
+        }
+        if let Some(at) = shared.plan.corrupt_at {
+            if offset <= at && at < offset + n && !shared.corrupt_taken.swap(true, Ordering::SeqCst)
+            {
+                chunk[at - offset] ^= 0x20;
+            }
+        }
+        if let Some(at) = shared.plan.cut_after {
+            if offset + n >= at && !shared.cut_taken.swap(true, Ordering::SeqCst) {
+                // Forward the prefix up to the cut offset, then drop the
+                // connection on the floor mid-frame.
+                let keep = at.saturating_sub(offset).min(n);
+                let _ = to.write_all(&chunk[..keep]);
+                let _ = to.shutdown(Shutdown::Both);
+                let _ = from.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+        if to.write_all(chunk).is_err() {
+            break;
+        }
+        offset += n;
+    }
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+/// Forwards server→client chunks untouched.
+fn pump_clean(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        let handle = thread::spawn(move || {
+            // Serve exactly one connection, then exit.
+            if let Some(stream) = listener.incoming().flatten().next() {
+                let mut read = stream.try_clone().expect("clones");
+                let mut write = stream;
+                let mut buf = [0u8; 4096];
+                loop {
+                    match read.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            if write.write_all(&buf[..n]).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn a_clean_plan_forwards_bytes_unchanged() {
+        let (upstream, server) = echo_server();
+        let proxy = ChaosProxy::start(upstream, FaultPlan::default()).expect("starts");
+        let mut stream = TcpStream::connect(proxy.local_addr()).expect("connects");
+        stream.write_all(b"hello journal\n").expect("writes");
+        let mut reply = [0u8; 14];
+        stream.read_exact(&mut reply).expect("reads");
+        assert_eq!(&reply, b"hello journal\n");
+        drop(stream);
+        server.join().expect("echo exits");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte_once() {
+        let (upstream, server) = echo_server();
+        let plan = FaultPlan {
+            corrupt_at: Some(1),
+            ..FaultPlan::default()
+        };
+        let proxy = ChaosProxy::start(upstream, plan).expect("starts");
+        let mut stream = TcpStream::connect(proxy.local_addr()).expect("connects");
+        stream.write_all(b"abcd").expect("writes");
+        let mut reply = [0u8; 4];
+        stream.read_exact(&mut reply).expect("reads");
+        assert_eq!(&reply, b"aBcd", "byte 1 XOR 0x20 flips case");
+        assert!(proxy.corrupt_taken());
+        drop(stream);
+        server.join().expect("echo exits");
+    }
+
+    #[test]
+    fn the_cut_drops_the_connection_mid_stream() {
+        let (upstream, server) = echo_server();
+        let plan = FaultPlan {
+            cut_after: Some(2),
+            ..FaultPlan::default()
+        };
+        let proxy = ChaosProxy::start(upstream, plan).expect("starts");
+        let mut stream = TcpStream::connect(proxy.local_addr()).expect("connects");
+        stream
+            .write_all(b"abcdef")
+            .expect("the local write buffers");
+        let mut reply = Vec::new();
+        let n = stream.read_to_end(&mut reply).unwrap_or(0);
+        assert!(
+            n <= 2,
+            "at most the pre-cut prefix echoes back, got {reply:?}"
+        );
+        assert!(proxy.cut_taken());
+        drop(stream);
+        server.join().expect("echo exits");
+    }
+}

@@ -182,6 +182,9 @@ pub enum SubmitRejected {
     QuotaExceeded(String),
     /// The daemon is shutting down.
     ShuttingDown,
+    /// The daemon is draining: running jobs finish but new submissions
+    /// are refused.
+    Draining,
 }
 
 struct JobEntry {
@@ -265,6 +268,10 @@ pub struct TableLimits {
 struct Inner {
     next_id: u64,
     stop: bool,
+    /// Draining: running jobs finish, queued jobs stay queued (the
+    /// journal carries them to the next daemon generation), and new
+    /// submissions are refused with [`SubmitRejected::Draining`].
+    draining: bool,
     /// One FIFO queue per priority class, indexed by `Priority::index`.
     queues: [VecDeque<u64>; 3],
     running: Vec<u64>,
@@ -277,6 +284,13 @@ struct Inner {
     preemptions_total: u64,
     /// Cumulative result evictions since daemon start.
     evictions_total: u64,
+    /// Idempotency-key deduplication: `client\0key` → assigned job id.
+    idempotency_keys: BTreeMap<String, u64>,
+}
+
+/// The deduplication map key of one `(client, idempotency key)` pair.
+fn idempotency_map_key(client: &str, key: &str) -> String {
+    format!("{client}\u{0}{key}")
 }
 
 impl Inner {
@@ -307,8 +321,10 @@ impl Inner {
     }
 
     /// Evicts least-recently-fetched finished results until the retained
-    /// total fits under the cap again.
-    fn evict_to_cap(&mut self, cap: usize) {
+    /// total fits under the cap again; returns the evicted job ids so the
+    /// caller can journal them outside the lock.
+    fn evict_to_cap(&mut self, cap: usize) -> Vec<u64> {
+        let mut evicted = Vec::new();
         while self.retained_total > cap {
             let victim = self
                 .jobs
@@ -333,7 +349,9 @@ impl Inner {
                     .job(id)
                     .field("bytes", released),
             );
+            evicted.push(id);
         }
+        evicted
     }
 
     /// Mirrors the queue depths and running-slot count into the metric
@@ -361,6 +379,8 @@ pub struct TableTotals {
 pub struct JobTable {
     inner: Mutex<Inner>,
     limits: TableLimits,
+    /// The durable job journal, when the daemon runs with `--state-dir`.
+    journal: Option<Arc<crate::journal::Journal>>,
     /// Wakes the scheduler when a job is queued, a slot frees up or the
     /// daemon stops.
     scheduler_wake: Condvar,
@@ -414,6 +434,7 @@ impl JobTable {
             inner: Mutex::new(Inner {
                 next_id: 1,
                 stop: false,
+                draining: false,
                 queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
                 running: Vec::new(),
                 jobs: BTreeMap::new(),
@@ -421,11 +442,26 @@ impl JobTable {
                 lru_clock: 0,
                 preemptions_total: 0,
                 evictions_total: 0,
+                idempotency_keys: BTreeMap::new(),
             }),
             limits,
+            journal: None,
             scheduler_wake: Condvar::new(),
             update: Condvar::new(),
         }
+    }
+
+    /// Attaches the durable job journal: every submit/start/cell/
+    /// preempt/done/evict transition is appended (and fsync'd) from now
+    /// on.
+    pub fn with_journal(mut self, journal: Arc<crate::journal::Journal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The attached journal, if the daemon runs with `--state-dir`.
+    pub fn journal(&self) -> Option<&crate::journal::Journal> {
+        self.journal.as_deref()
     }
 
     /// The limits this table enforces.
@@ -441,16 +477,43 @@ impl JobTable {
 
     /// Enqueues an instantiated campaign for `client` at `priority`;
     /// returns the job id, or the typed rejection if the client's queued
-    /// quota is exhausted or the daemon is stopping.
+    /// quota is exhausted or the daemon is stopping/draining.
     pub fn submit(
         &self,
         spec: CampaignSpec,
         priority: Priority,
         client: &str,
     ) -> Result<u64, SubmitRejected> {
+        self.submit_keyed(spec, priority, client, None, None)
+    }
+
+    /// [`submit`](Self::submit) with durability extras: `idempotency_key`
+    /// deduplicates retried submissions (the same `(client, key)` pair
+    /// returns the already-assigned job id), and `spec_doc` is the wire
+    /// campaign definition recorded in the journal so a restarted daemon
+    /// can re-instantiate the job.
+    pub fn submit_keyed(
+        &self,
+        spec: CampaignSpec,
+        priority: Priority,
+        client: &str,
+        idempotency_key: Option<&str>,
+        spec_doc: Option<&Json>,
+    ) -> Result<u64, SubmitRejected> {
         let mut inner = self.lock();
         if inner.stop {
             return Err(SubmitRejected::ShuttingDown);
+        }
+        if inner.draining {
+            return Err(SubmitRejected::Draining);
+        }
+        if let Some(key) = idempotency_key {
+            if let Some(&existing) = inner
+                .idempotency_keys
+                .get(&idempotency_map_key(client, key))
+            {
+                return Ok(existing);
+            }
         }
         if let Some(max) = self.limits.max_queued_per_client {
             if inner.queued_count(client) >= max {
@@ -462,6 +525,11 @@ impl JobTable {
         }
         let id = inner.next_id;
         inner.next_id += 1;
+        if let Some(key) = idempotency_key {
+            inner
+                .idempotency_keys
+                .insert(idempotency_map_key(client, key), id);
+        }
         let total_cells = spec.cells().len();
         let now = clock::now_micros();
         inner.jobs.insert(
@@ -500,6 +568,18 @@ impl JobTable {
                 .field("client", client)
                 .field("cells", total_cells),
         );
+        // Journaled under the table lock so the submit record always
+        // precedes the job's cell records (the scheduler cannot dispatch
+        // the job until the lock is released).
+        if let (Some(journal), Some(doc)) = (&self.journal, spec_doc) {
+            journal.append_best_effort(&crate::journal::submit_record(
+                id,
+                doc,
+                priority,
+                client,
+                idempotency_key,
+            ));
+        }
         self.scheduler_wake.notify_all();
         Ok(id)
     }
@@ -575,6 +655,151 @@ impl JobTable {
     /// Whether [`JobTable::stop`] was called.
     pub fn stopped(&self) -> bool {
         self.lock().stop
+    }
+
+    /// Begins draining: new submissions are refused with
+    /// [`SubmitRejected::Draining`], queued jobs stay queued (the journal
+    /// carries them to the next daemon generation), and running jobs
+    /// finish normally.  Idempotent.
+    pub fn drain(&self) {
+        let mut inner = self.lock();
+        if !inner.draining {
+            inner.draining = true;
+            sfi_obs::metrics().draining.set(1);
+            sfi_obs::events().push(
+                Event::new("drain_begin")
+                    .field("running", inner.running.len())
+                    .field(
+                        "queued",
+                        inner.queues.iter().map(VecDeque::len).sum::<usize>(),
+                    ),
+            );
+        }
+        self.scheduler_wake.notify_all();
+        self.update.notify_all();
+    }
+
+    /// Whether [`JobTable::drain`] was called.
+    pub fn draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Blocks until no job is running or `timeout` elapses; returns
+    /// whether the running set drained in time.  (Queued jobs do not
+    /// count: a draining daemon leaves them for its successor.)
+    pub fn wait_drained(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            if inner.running.is_empty() {
+                return true;
+            }
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return false;
+            };
+            inner = self
+                .update
+                .wait_timeout(inner, remaining)
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .0;
+        }
+    }
+
+    /// Restores one journaled job during restart recovery.
+    ///
+    /// Non-terminal jobs come back queued with their completed cells as
+    /// resume seeds; terminal jobs keep their final status but report
+    /// `evicted` (result bytes are not journaled, only transitions).
+    pub fn restore(&self, job: crate::journal::RecoveredJob, spec: Option<CampaignSpec>) {
+        let mut inner = self.lock();
+        let id = job.id;
+        inner.next_id = inner.next_id.max(id + 1);
+        if let Some(key) = &job.idempotency_key {
+            inner
+                .idempotency_keys
+                .insert(idempotency_map_key(&job.client, key), id);
+        }
+        let terminal = job.terminal.as_ref().and_then(|(state, error)| {
+            JobState::parse(state)
+                .filter(|s| s.is_terminal())
+                .map(|s| (s, error.clone()))
+        });
+        let seen_cells: BTreeSet<usize> = job
+            .cells
+            .iter()
+            .filter_map(|cell| cell.get("cell").and_then(Json::as_u64))
+            .map(|index| index as usize)
+            .collect();
+        let executed_trials = job
+            .cells
+            .iter()
+            .filter_map(|cell| cell.get("trials").and_then(Json::as_arr))
+            .map(|trials| trials.len())
+            .sum();
+        let now = clock::now_micros();
+        let (state, error, spec, evicted) = match (&terminal, spec) {
+            (Some((state, error)), _) => (
+                *state,
+                error.clone(),
+                CampaignSpec::new(String::new(), 0),
+                true,
+            ),
+            (None, Some(spec)) => (JobState::Queued, None, spec, false),
+            // A live job whose spec no longer instantiates (e.g. the
+            // daemon restarted against a different study): keep the id
+            // and status, but fail it instead of wedging the restart.
+            (None, None) => (
+                JobState::Failed,
+                Some("journal recovery could not re-instantiate the campaign".to_string()),
+                CampaignSpec::new(String::new(), 0),
+                true,
+            ),
+        };
+        let total_cells = if state == JobState::Queued {
+            spec.cells().len()
+        } else {
+            seen_cells.len().max(job.cells.len())
+        };
+        inner.jobs.insert(
+            id,
+            JobEntry {
+                spec,
+                state,
+                priority: job.priority,
+                client: job.client.clone(),
+                total_cells,
+                cells: job.cells.clone(),
+                seen_cells,
+                result: None,
+                executed_trials,
+                error,
+                cancel: Arc::new(AtomicBool::new(false)),
+                user_cancelled: false,
+                preempt_requested: false,
+                preemptions: job.preemptions,
+                retained_bytes: 0,
+                evicted,
+                last_access: 0,
+                enqueued_us: now,
+                started_us: 0,
+                run_accum_us: 0,
+                submitted_us: now,
+            },
+        );
+        if state == JobState::Queued {
+            inner.queues[job.priority.index()].push_back(id);
+        }
+        inner.sync_gauges();
+        sfi_obs::metrics().recovered_jobs.inc();
+        sfi_obs::events().push(
+            Event::new("job_recovered")
+                .job(id)
+                .field("state", state.as_str())
+                .field("cells", job.cells.len())
+                .field("resumed", if job.started { "yes" } else { "no" }),
+        );
+        self.scheduler_wake.notify_all();
+        self.update.notify_all();
     }
 
     /// Number of jobs ever submitted.
@@ -703,6 +928,12 @@ enum Dispatch {
 /// clients at their running quota) and either claims a job for a free
 /// slot or requests preemption of a lower-priority running job.
 fn pick(inner: &mut Inner, limits: &TableLimits, max_jobs: usize) -> Dispatch {
+    if inner.draining {
+        // A draining daemon starts nothing new: running jobs finish,
+        // queued jobs wait for the next daemon generation (the journal
+        // carries them across the restart).
+        return Dispatch::Wait;
+    }
     for class in (0..inner.queues.len()).rev() {
         let candidate = inner.queues[class].iter().copied().position(|id| {
             let Some(entry) = inner.jobs.get(&id) else {
@@ -850,6 +1081,9 @@ pub fn run_scheduler(study: Arc<CaseStudy>, table: Arc<JobTable>, config: Schedu
                 cancel,
                 seeds,
             } => {
+                if let Some(journal) = table.journal() {
+                    journal.append_best_effort(&crate::journal::start_record(id));
+                }
                 table.update.notify_all();
                 let study = study.clone();
                 let table = table.clone();
@@ -884,16 +1118,27 @@ fn run_job(
     }
     let hook_table = table.clone();
     let engine = engine.with_progress(Arc::new(move |cell: &CellResult| {
-        let mut inner = hook_table.lock();
-        if let Some(entry) = inner.jobs.get_mut(&id) {
-            // Seeded (and checkpoint-restored) cells the client already
-            // streamed are announced again on resume; `seen_cells` keeps
-            // every cell exactly once in the stream.
-            if entry.seen_cells.insert(cell.cell) {
-                entry.cells.push(checkpoint::cell_to_json(cell));
+        let mut journal_doc = None;
+        {
+            let mut inner = hook_table.lock();
+            if let Some(entry) = inner.jobs.get_mut(&id) {
+                // Seeded (and checkpoint-restored) cells the client
+                // already streamed are announced again on resume;
+                // `seen_cells` keeps every cell exactly once in the
+                // stream (and exactly once in the journal).
+                if entry.seen_cells.insert(cell.cell) {
+                    let doc = checkpoint::cell_to_json(cell);
+                    journal_doc = Some(doc.clone());
+                    entry.cells.push(doc);
+                }
             }
+            hook_table.update.notify_all();
         }
-        hook_table.update.notify_all();
+        // The fsync happens outside the table lock: a slow disk must not
+        // stall status/stream handlers.
+        if let (Some(journal), Some(doc)) = (hook_table.journal(), journal_doc) {
+            journal.append_best_effort(&crate::journal::cell_record(id, &doc));
+        }
     }));
 
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| engine.run(study, &spec)));
@@ -903,6 +1148,8 @@ fn run_job(
     let mut requeue_class = None;
     let mut retained = 0usize;
     let mut preempted = false;
+    let mut terminal: Option<(JobState, Option<String>)> = None;
+    let mut evicted_ids = Vec::new();
     if let Some(entry) = inner.jobs.get_mut(&id) {
         let cell_bytes = |entry: &JobEntry| {
             entry
@@ -969,6 +1216,7 @@ fn run_job(
             }
         }
         if entry.state.is_terminal() {
+            terminal = Some((entry.state, entry.error.clone()));
             // A terminal job never runs again: drop the instantiated spec
             // (benchmark tables hold kernel input data) and account every
             // byte it still retains — the streamed cells of cancelled and
@@ -1018,11 +1266,27 @@ fn run_job(
         inner.retained_total += retained;
         inner.touch(id);
         if let Some(cap) = table.limits.result_cap_bytes {
-            inner.evict_to_cap(cap);
+            evicted_ids = inner.evict_to_cap(cap);
         }
     }
     inner.sync_gauges();
     drop(inner);
+    // Journal the terminal transition (fsync outside the table lock).
+    if let Some(journal) = table.journal() {
+        if preempted {
+            journal.append_best_effort(&crate::journal::preempt_record(id));
+        }
+        if let Some((state, error)) = &terminal {
+            journal.append_best_effort(&crate::journal::done_record(
+                id,
+                state.as_str(),
+                error.as_deref(),
+            ));
+        }
+        for evicted in &evicted_ids {
+            journal.append_best_effort(&crate::journal::evict_record(*evicted));
+        }
+    }
     // Runner threads are short-lived; hand their span buffer to the
     // global store now instead of waiting for thread teardown.
     sfi_obs::span::flush_thread();
@@ -1075,6 +1339,128 @@ mod tests {
             table.submit(tiny_spec("c"), Priority::Normal, "test"),
             Err(SubmitRejected::ShuttingDown)
         );
+    }
+
+    #[test]
+    fn drain_refuses_submits_but_keeps_the_queue() {
+        let table = JobTable::new();
+        let queued = submit(&table, "a", Priority::Normal, "test");
+        table.drain();
+        assert!(table.draining());
+        assert_eq!(
+            table.submit(tiny_spec("b"), Priority::Normal, "test"),
+            Err(SubmitRejected::Draining)
+        );
+        // Unlike stop, drain leaves queued jobs queued: the journal
+        // carries them to the next daemon generation.
+        assert_eq!(table.status(queued).unwrap().state, JobState::Queued);
+        // And the scheduler must not dispatch anything while draining.
+        let mut inner = table.lock();
+        assert!(matches!(pick(&mut inner, &table.limits, 1), Dispatch::Wait));
+        drop(inner);
+        // Nothing is running, so the drain completes immediately.
+        assert!(table.wait_drained(std::time::Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn wait_drained_times_out_while_a_job_runs() {
+        let table = JobTable::new();
+        let id = submit(&table, "a", Priority::Normal, "test");
+        {
+            let mut inner = table.lock();
+            let Dispatch::Start { .. } = pick(&mut inner, &table.limits, 1) else {
+                panic!("dispatches");
+            };
+            assert_eq!(inner.running, vec![id]);
+        }
+        table.drain();
+        assert!(!table.wait_drained(std::time::Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn idempotency_keys_deduplicate_resubmissions_per_client() {
+        let table = JobTable::new();
+        let first = table
+            .submit_keyed(tiny_spec("a"), Priority::Normal, "alice", Some("k1"), None)
+            .expect("submits");
+        let retried = table
+            .submit_keyed(tiny_spec("a"), Priority::Normal, "alice", Some("k1"), None)
+            .expect("deduplicates");
+        assert_eq!(first, retried, "the retry returns the original job id");
+        assert_eq!(table.job_count(), 1);
+        // Different client, same key: a distinct job.
+        let other = table
+            .submit_keyed(tiny_spec("a"), Priority::Normal, "bob", Some("k1"), None)
+            .expect("submits");
+        assert_ne!(first, other);
+        // Different key, same client: a distinct job.
+        let fresh = table
+            .submit_keyed(tiny_spec("a"), Priority::Normal, "alice", Some("k2"), None)
+            .expect("submits");
+        assert_ne!(first, fresh);
+    }
+
+    #[test]
+    fn restore_requeues_live_jobs_and_preserves_terminal_status() {
+        use crate::journal::RecoveredJob;
+        let table = JobTable::new();
+        let spec_doc = Json::obj([("name", Json::Str("r".into()))]);
+        let cell = Json::obj([
+            ("cell", Json::Num(0.0)),
+            (
+                "trials",
+                Json::Arr(vec![Json::Arr(Vec::new()), Json::Arr(Vec::new())]),
+            ),
+        ]);
+        table.restore(
+            RecoveredJob {
+                id: 5,
+                spec: spec_doc.clone(),
+                priority: Priority::High,
+                client: "alice".into(),
+                idempotency_key: Some("k1".into()),
+                cells: vec![cell],
+                preemptions: 2,
+                started: true,
+                terminal: None,
+            },
+            Some(tiny_spec("r")),
+        );
+        table.restore(
+            RecoveredJob {
+                id: 7,
+                spec: spec_doc,
+                priority: Priority::Normal,
+                client: "bob".into(),
+                idempotency_key: None,
+                cells: Vec::new(),
+                preemptions: 0,
+                started: true,
+                terminal: Some(("failed".into(), Some("boom".into()))),
+            },
+            None,
+        );
+
+        let live = table.status(5).expect("restored");
+        assert_eq!(live.state, JobState::Queued);
+        assert_eq!(live.priority, Priority::High);
+        assert_eq!(live.completed_cells, 1);
+        assert_eq!(live.executed_trials, 2, "derived from journaled trials");
+        assert_eq!(live.preemptions, 2);
+
+        let dead = table.status(7).expect("restored");
+        assert_eq!(dead.state, JobState::Failed);
+        assert_eq!(dead.error.as_deref(), Some("boom"));
+        assert!(dead.evicted, "journals carry transitions, not result bytes");
+
+        // Fresh ids continue above the restored ones, and the restored
+        // idempotency key still deduplicates.
+        let next = submit(&table, "n", Priority::Normal, "carol");
+        assert_eq!(next, 8);
+        let deduped = table
+            .submit_keyed(tiny_spec("a"), Priority::Normal, "alice", Some("k1"), None)
+            .expect("deduplicates");
+        assert_eq!(deduped, 5);
     }
 
     #[test]

@@ -24,11 +24,23 @@
 //!   [`sfi_campaign::CampaignEngine`]s, per-client queued/running
 //!   quotas, cooperative preemption with bit-identical resume, and LRU
 //!   eviction of retained results under a byte cap.
+//! * [`journal`] — the durable job journal behind `--state-dir`: an
+//!   append-only, fsync'd, CRC-framed log of every job transition.  A
+//!   restarted daemon replays it (tolerating a torn tail), requeues
+//!   interrupted jobs with their completed cells as seeds, and — because
+//!   the engine is deterministic — produces results byte-identical to an
+//!   uninterrupted run.
 //! * [`server`] / [`client`] — the daemon and the typed client library
-//!   (shipped as the `sfi-client` binary).
+//!   (shipped as the `sfi-client` binary).  The client includes
+//!   [`client::RetryPolicy`] / [`client::RetryingClient`]: capped
+//!   exponential backoff with deterministic jitter, transparent
+//!   reconnection, and idempotency-keyed resubmission.
 //! * [`metrics`] — the observability surface: the `metrics`/`events`
 //!   frame encodings over the global `sfi_obs` registry, and the
 //!   optional Prometheus text-exposition listener (`--metrics-addr`).
+//! * [`chaos`] — a fault-injecting TCP proxy for robustness tests:
+//!   deterministic delays, mid-frame disconnects and byte corruption
+//!   between a client and the daemon.
 //!
 //! Everything is `std::net` + worker threads — the workspace is offline
 //! and dependency-free by design.
@@ -66,8 +78,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod jobs;
+pub mod journal;
 pub mod metrics;
 pub mod protocol;
 pub mod server;

@@ -290,7 +290,13 @@ impl Drop for PrometheusListener {
 
 /// Answers one request: parses the request line, routes on method and
 /// path, drains the remaining headers, writes one response and closes.
+///
+/// The listener serves one connection at a time, so a silent peer would
+/// wedge every later scrape; a fixed deadline bounds the damage.
 fn serve_scrape(stream: TcpStream) -> io::Result<()> {
+    let deadline = Some(std::time::Duration::from_secs(10));
+    stream.set_read_timeout(deadline)?;
+    stream.set_write_timeout(deadline)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut request_line = String::new();
@@ -360,8 +366,13 @@ fn healthz_body() -> String {
         .map(sfi_obs::Gauge::get)
         .sum();
     let uptime = sfi_obs::clock::now_micros() as f64 / 1e6;
+    let draining = metrics.draining.get() != 0;
     let doc = Json::obj([
-        ("status", Json::Str("ok".into())),
+        (
+            "status",
+            Json::Str(if draining { "draining" } else { "ok" }.into()),
+        ),
+        ("draining", Json::Bool(draining)),
         ("uptime_seconds", Json::Num((uptime * 1e3).round() / 1e3)),
         ("queued_jobs", Json::Num(queued as f64)),
         (
@@ -499,7 +510,13 @@ mod tests {
         assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
         let body = health.split("\r\n\r\n").nth(1).expect("has body");
         let doc = Json::parse(body.trim()).expect("healthz is JSON");
-        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        // The drain gauge is process-global and other tests may flip it,
+        // so assert the status/draining members agree rather than pin one.
+        let draining = doc.get("draining").and_then(Json::as_bool).expect("bool");
+        assert_eq!(
+            doc.get("status").and_then(Json::as_str),
+            Some(if draining { "draining" } else { "ok" })
+        );
         assert!(doc.get("uptime_seconds").and_then(Json::as_f64).unwrap() >= 0.0);
         assert!(doc.get("queued_jobs").is_some());
         assert!(doc.get("running_jobs").is_some());

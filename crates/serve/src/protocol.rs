@@ -20,6 +20,8 @@
 //! | `metrics`  | —                                    | `metrics` (full registry snapshot) |
 //! | `events`   | `limit`?, `job`?                     | `events` (recent structured events)|
 //! | `cancel`   | `job`                                | `cancelled`                        |
+//! | `drain`    | —                                    | `drain_started`, then the daemon   |
+//! |            |                                      | finishes running jobs and exits    |
 //! | `shutdown` | —                                    | `bye`, then the daemon exits       |
 //!
 //! The human-readable reference (every frame with worked examples, all
@@ -112,6 +114,10 @@ pub enum ErrorCode {
     ResultTooLarge,
     /// The daemon is shutting down and accepts no new work.
     ShuttingDown,
+    /// The daemon is draining: running jobs finish (or are checkpointed)
+    /// but new submissions are refused.  Clients should retry against
+    /// the restarted daemon.
+    Draining,
 }
 
 impl ErrorCode {
@@ -125,6 +131,7 @@ impl ErrorCode {
             ErrorCode::NoResult => "no_result",
             ErrorCode::ResultTooLarge => "result_too_large",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Draining => "draining",
         }
     }
 
@@ -138,6 +145,7 @@ impl ErrorCode {
             "no_result" => Some(ErrorCode::NoResult),
             "result_too_large" => Some(ErrorCode::ResultTooLarge),
             "shutting_down" => Some(ErrorCode::ShuttingDown),
+            "draining" => Some(ErrorCode::Draining),
             _ => None,
         }
     }
@@ -293,6 +301,11 @@ pub struct SubmitRequest {
     /// Client id the quotas are accounted against (absent on the wire =
     /// the daemon-side default, `"anonymous"`).
     pub client: Option<String>,
+    /// Client-supplied idempotency key.  Re-submitting with the same
+    /// `(client, key)` pair returns the already-assigned job id instead
+    /// of creating a duplicate job, which makes retrying a `submit`
+    /// whose acknowledgement was lost safe.  Absent = no deduplication.
+    pub idempotency_key: Option<String>,
 }
 
 impl SubmitRequest {
@@ -302,6 +315,7 @@ impl SubmitRequest {
             spec,
             priority: Priority::Normal,
             client: None,
+            idempotency_key: None,
         }
     }
 }
@@ -342,6 +356,8 @@ pub enum Request {
     Alerts,
     /// Cancel a queued or running job.
     Cancel(u64),
+    /// Begin draining: refuse new submits, finish running jobs, exit.
+    Drain,
     /// Stop the daemon gracefully.
     Shutdown,
 }
@@ -370,6 +386,9 @@ impl Request {
                 }
                 if let Some(client) = &submit.client {
                     pairs.push(("client", Json::Str(client.clone())));
+                }
+                if let Some(key) = &submit.idempotency_key {
+                    pairs.push(("idempotency_key", Json::Str(key.clone())));
                 }
                 Json::obj(pairs)
             }
@@ -400,6 +419,7 @@ impl Request {
             }
             Request::Alerts => typed("alerts"),
             Request::Cancel(job) => with_job("cancel", *job),
+            Request::Drain => typed("drain"),
             Request::Shutdown => typed("shutdown"),
         }
     }
@@ -445,10 +465,25 @@ impl Request {
                         Some(id.to_string())
                     }
                 };
+                let idempotency_key = match value.get("idempotency_key") {
+                    None => None,
+                    Some(k) => {
+                        let key = k.as_str().ok_or_else(|| {
+                            WireError("'idempotency_key' must be a string".into())
+                        })?;
+                        if key.is_empty() || key.len() > MAX_CLIENT_ID_BYTES {
+                            return Err(WireError(format!(
+                                "'idempotency_key' must be 1..={MAX_CLIENT_ID_BYTES} bytes"
+                            )));
+                        }
+                        Some(key.to_string())
+                    }
+                };
                 Ok(Request::Submit(SubmitRequest {
                     spec,
                     priority,
                     client,
+                    idempotency_key,
                 }))
             }
             "status" => Ok(Request::Status(u64_member(value, "job")?)),
@@ -490,6 +525,7 @@ impl Request {
             }
             "alerts" => Ok(Request::Alerts),
             "cancel" => Ok(Request::Cancel(u64_member(value, "job")?)),
+            "drain" => Ok(Request::Drain),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(WireError(format!("unknown request type '{other}'"))),
         }
@@ -537,6 +573,9 @@ pub struct ServerInfo {
     /// Events discarded from the bounded in-memory ring since daemon
     /// start (also exported as `sfi_events_dropped_total`).
     pub events_dropped_total: u64,
+    /// Whether the daemon is draining: running jobs finish but new
+    /// submissions are refused with the `draining` error code.
+    pub draining: bool,
 }
 
 impl ServerInfo {
@@ -585,6 +624,7 @@ impl ServerInfo {
                 "events_dropped_total",
                 Json::Num(self.events_dropped_total as f64),
             ),
+            ("draining", Json::Bool(self.draining)),
         ])
     }
 
@@ -634,6 +674,10 @@ impl ServerInfo {
                 .get("events_dropped_total")
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
+            draining: value
+                .get("draining")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
         })
     }
 }
@@ -742,6 +786,12 @@ pub enum Response {
     Cancelled {
         /// The cancelled job.
         job: u64,
+    },
+    /// Acknowledgement of `drain`: the daemon now refuses new submits,
+    /// finishes (or checkpoints) its running jobs, then exits.
+    DrainStarted {
+        /// Jobs that were running when the drain began.
+        running_jobs: usize,
     },
     /// Acknowledgement of `shutdown`; the daemon exits afterwards.
     Bye,
@@ -887,6 +937,10 @@ impl Response {
                 ("type", Json::Str("cancelled".into())),
                 ("job", Json::Str(job.to_string())),
             ]),
+            Response::DrainStarted { running_jobs } => Json::obj([
+                ("type", Json::Str("drain_started".into())),
+                ("running_jobs", Json::Num(*running_jobs as f64)),
+            ]),
             Response::Bye => Json::obj([("type", Json::Str("bye".into()))]),
             Response::Error {
                 code,
@@ -1029,6 +1083,9 @@ impl Response {
             "cancelled" => Ok(Response::Cancelled {
                 job: u64_member(value, "job")?,
             }),
+            "drain_started" => Ok(Response::DrainStarted {
+                running_jobs: u64_member(value, "running_jobs")? as usize,
+            }),
             "bye" => Ok(Response::Bye),
             "error" => Ok(Response::Error {
                 code: {
@@ -1076,6 +1133,13 @@ mod tests {
                 spec: demo_def(),
                 priority: Priority::High,
                 client: Some("alice".into()),
+                idempotency_key: None,
+            }),
+            Request::Submit(SubmitRequest {
+                spec: demo_def(),
+                priority: Priority::Normal,
+                client: Some("alice".into()),
+                idempotency_key: Some("alice-campaign-1".into()),
             }),
             Request::Status(7),
             Request::Stream(7),
@@ -1113,6 +1177,7 @@ mod tests {
             },
             Request::Alerts,
             Request::Cancel(7),
+            Request::Drain,
             Request::Shutdown,
         ];
         // All frames through one pipe, in order.
@@ -1160,6 +1225,7 @@ mod tests {
                 preemptions_total: 4,
                 evictions_total: 1,
                 events_dropped_total: 2,
+                draining: true,
             }),
             Response::Submitted {
                 job: 7,
@@ -1241,8 +1307,10 @@ mod tests {
                 ])]),
             },
             Response::Cancelled { job: 7 },
+            Response::DrainStarted { running_jobs: 2 },
             Response::Bye,
             Response::error(ErrorCode::QuotaExceeded, "client 'alice' is full"),
+            Response::error(ErrorCode::Draining, "the daemon is draining"),
         ];
         for response in &responses {
             let doc = response.to_json();
@@ -1263,6 +1331,7 @@ mod tests {
             ErrorCode::NoResult,
             ErrorCode::ResultTooLarge,
             ErrorCode::ShuttingDown,
+            ErrorCode::Draining,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }

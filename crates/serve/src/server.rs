@@ -23,9 +23,10 @@ use sfi_fault::OperatingPoint;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -52,6 +53,21 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Per-job campaign checkpoint directory.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Durable-state directory: every job transition is journaled here
+    /// (fsync'd), and a restarted daemon replays the journal to restore
+    /// queued jobs and resume interrupted ones (`None` = no journal).
+    pub state_dir: Option<PathBuf>,
+    /// Seconds a `drain` waits for running jobs to finish before
+    /// cancelling them and exiting anyway (their completed cells are
+    /// journaled, so a successor daemon resumes where they stopped).
+    pub drain_timeout_seconds: f64,
+    /// Per-connection read/write deadline in seconds; a peer that stays
+    /// silent longer is disconnected (slow-loris/dead-peer protection).
+    /// `0` disables the deadline.
+    pub conn_timeout_seconds: f64,
+    /// Maximum concurrently served connections; excess connections get
+    /// one typed error frame and are closed (`None` = unlimited).
+    pub max_connections: Option<usize>,
     /// Address for the Prometheus text-exposition listener (`None` = no
     /// listener; the `metrics` wire frame works either way).
     pub metrics_addr: Option<String>,
@@ -83,6 +99,10 @@ impl Default for ServeConfig {
             result_cap_bytes: None,
             cache_dir: None,
             checkpoint_dir: None,
+            state_dir: None,
+            drain_timeout_seconds: 30.0,
+            conn_timeout_seconds: 300.0,
+            max_connections: None,
             metrics_addr: None,
             event_buffer: None,
             alert_queue_depth: 8.0,
@@ -128,6 +148,24 @@ struct Context {
     scheduler: SchedulerConfig,
     cache_hit: bool,
     metrics_enabled: bool,
+    /// The daemon's own listen address, used to poke the accept loop
+    /// awake when a drain completes and the daemon should exit.
+    addr: SocketAddr,
+    /// How long a drain waits for running jobs before cancelling them.
+    drain_timeout: Duration,
+    /// Ensures only one drainer thread is ever spawned, however many
+    /// clients send `drain`.
+    drainer_spawned: AtomicBool,
+}
+
+/// Decrements the live-connection counter when a handler thread exits,
+/// whichever way it exits.
+struct ConnectionSlot(Arc<AtomicUsize>);
+
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A running daemon.
@@ -211,7 +249,46 @@ impl Server {
             }
         }
 
-        let table = Arc::new(JobTable::with_limits(config.limits()));
+        // Journal recovery happens before the scheduler thread exists, so
+        // restored jobs are queued (and their seed cells attached) before
+        // anything can be dispatched.  The replay is compacted into a
+        // fresh journal so the file does not grow across generations.
+        let journal_state = match &config.state_dir {
+            Some(state_dir) => {
+                let records = crate::journal::replay_file(state_dir)?;
+                let recovered = crate::journal::recover(&records);
+                let compacted = crate::journal::compaction_records(&recovered);
+                let journal = crate::journal::Journal::rewrite(state_dir, &compacted)?;
+                Some((Arc::new(journal), recovered))
+            }
+            None => None,
+        };
+        let mut table = JobTable::with_limits(config.limits());
+        if let Some((journal, _)) = &journal_state {
+            table = table.with_journal(journal.clone());
+        }
+        let table = Arc::new(table);
+        if let Some((journal, recovered)) = journal_state {
+            let total = recovered.len();
+            let live = recovered
+                .iter()
+                .filter(|job| job.terminal.is_none())
+                .count();
+            for job in recovered {
+                let spec = if job.terminal.is_none() {
+                    instantiate_recovered(&study, &job.spec)
+                } else {
+                    None
+                };
+                table.restore(job, spec);
+            }
+            if !config.quiet && total > 0 {
+                println!(
+                    "journal: recovered {total} job(s) ({live} live) from {}",
+                    journal.path().display()
+                );
+            }
+        }
         let scheduler = {
             let study = study.clone();
             let table = table.clone();
@@ -220,6 +297,12 @@ impl Server {
         };
 
         let stopping = Arc::new(AtomicBool::new(false));
+        let conn_timeout = if config.conn_timeout_seconds > 0.0 {
+            Some(Duration::from_secs_f64(config.conn_timeout_seconds))
+        } else {
+            None
+        };
+        let max_connections = config.max_connections;
         let accept = {
             let context = Arc::new(Context {
                 study,
@@ -227,24 +310,61 @@ impl Server {
                 scheduler: scheduler_config,
                 cache_hit,
                 metrics_enabled: metrics_listener.is_some(),
+                addr,
+                drain_timeout: Duration::from_secs_f64(config.drain_timeout_seconds.max(0.0)),
+                drainer_spawned: AtomicBool::new(false),
             });
             let stopping = stopping.clone();
+            let live_connections = Arc::new(AtomicUsize::new(0));
             thread::spawn(move || {
                 for stream in listener.incoming() {
                     if stopping.load(Ordering::SeqCst) {
                         return;
                     }
                     let Ok(stream) = stream else { continue };
+                    // Deadlines apply to every read and write on the
+                    // connection, so a dead or stalled peer cannot pin a
+                    // handler thread (or a connection slot) forever.
+                    if let Some(timeout) = conn_timeout {
+                        let _ = stream.set_read_timeout(Some(timeout));
+                        let _ = stream.set_write_timeout(Some(timeout));
+                    }
+                    let slot = ConnectionSlot(live_connections.clone());
+                    if let Some(cap) = max_connections {
+                        if live_connections.fetch_add(1, Ordering::SeqCst) >= cap {
+                            let mut stream = stream;
+                            let _ = reply(
+                                &mut stream,
+                                &Response::error(
+                                    ErrorCode::QuotaExceeded,
+                                    format!("the daemon is serving {cap} connections; retry later"),
+                                ),
+                            );
+                            drop(slot);
+                            continue;
+                        }
+                    } else {
+                        live_connections.fetch_add(1, Ordering::SeqCst);
+                    }
                     let context = context.clone();
                     let stopping = stopping.clone();
                     thread::spawn(move || {
+                        let _slot = slot;
                         let peer = stream.peer_addr().ok();
                         if let Err(err) = handle_connection(stream, &context, &stopping) {
-                            // Disconnects are routine; only log real errors.
-                            if err.kind() != io::ErrorKind::UnexpectedEof
+                            // A peer that goes silent past the deadline is
+                            // disconnected and counted, not logged as an
+                            // error.
+                            if err.kind() == io::ErrorKind::WouldBlock
+                                || err.kind() == io::ErrorKind::TimedOut
+                            {
+                                sfi_obs::metrics().conn_timeouts.inc();
+                            } else if err.kind() != io::ErrorKind::UnexpectedEof
                                 && err.kind() != io::ErrorKind::BrokenPipe
                                 && err.kind() != io::ErrorKind::ConnectionReset
                             {
+                                // Disconnects are routine; only log real
+                                // errors.
                                 eprintln!("sfi-serve: connection {peer:?}: {err}");
                             }
                         }
@@ -328,7 +448,7 @@ fn unknown_job(writer: &mut TcpStream, job: u64) -> io::Result<()> {
 /// Serves one connection until EOF, a transport error, or shutdown.
 fn handle_connection(
     stream: TcpStream,
-    context: &Context,
+    context: &Arc<Context>,
     stopping: &Arc<AtomicBool>,
 ) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -380,6 +500,7 @@ fn handle_connection(
                     preemptions_total: totals.preemptions,
                     evictions_total: totals.evictions,
                     events_dropped_total: sfi_obs::events().dropped(),
+                    draining: context.table.draining(),
                 };
                 reply(&mut writer, &Response::Pong(info))?;
             }
@@ -389,7 +510,7 @@ fn handle_connection(
                     reply(&mut writer, &response)?;
                     continue;
                 }
-                match validate_voltages(context, &submit.spec)
+                match validate_voltages(&context.study, &submit.spec)
                     .and_then(|()| submit.spec.instantiate())
                 {
                     Ok(spec) => {
@@ -397,8 +518,21 @@ fn handle_connection(
                         let fingerprint = spec.fingerprint();
                         // The instantiated spec travels into the job table;
                         // the scheduler runs it as-is instead of
-                        // re-instantiating from the definition.
-                        match context.table.submit(spec, submit.priority, client) {
+                        // re-instantiating from the definition.  The wire
+                        // definition is what the journal records, since
+                        // that is what a restarted daemon re-instantiates.
+                        let spec_doc = if context.table.journal().is_some() {
+                            Some(submit.spec.to_json())
+                        } else {
+                            None
+                        };
+                        match context.table.submit_keyed(
+                            spec,
+                            submit.priority,
+                            client,
+                            submit.idempotency_key.as_deref(),
+                            spec_doc.as_ref(),
+                        ) {
                             Ok(job) => reply(
                                 &mut writer,
                                 &Response::Submitted {
@@ -417,6 +551,13 @@ fn handle_connection(
                                 &Response::error(
                                     ErrorCode::ShuttingDown,
                                     "the daemon is shutting down",
+                                ),
+                            )?,
+                            Err(jobs::SubmitRejected::Draining) => reply(
+                                &mut writer,
+                                &Response::error(
+                                    ErrorCode::Draining,
+                                    "the daemon is draining and refuses new jobs",
                                 ),
                             )?,
                         }
@@ -527,6 +668,32 @@ fn handle_connection(
                     unknown_job(&mut writer, job)?;
                 }
             }
+            Request::Drain => {
+                let running_jobs = context.table.running_count();
+                context.table.drain();
+                // One drainer thread per daemon, however many clients ask:
+                // it waits for the running set to empty (or the timeout),
+                // then shuts the daemon down.  Queued jobs stay journaled
+                // for the successor.
+                if !context.drainer_spawned.swap(true, Ordering::SeqCst) {
+                    let context = context.clone();
+                    let stopping = stopping.clone();
+                    thread::spawn(move || {
+                        let drained = context.table.wait_drained(context.drain_timeout);
+                        if !drained {
+                            eprintln!(
+                                "sfi-serve: drain timeout after {:.1}s; cancelling running jobs",
+                                context.drain_timeout.as_secs_f64()
+                            );
+                        }
+                        stopping.store(true, Ordering::SeqCst);
+                        context.table.stop();
+                        // Unblock the accept loop so the daemon can exit.
+                        let _ = TcpStream::connect(context.addr);
+                    });
+                }
+                reply(&mut writer, &Response::DrainStarted { running_jobs })?;
+            }
             Request::Shutdown => {
                 stopping.store(true, Ordering::SeqCst);
                 context.table.stop();
@@ -544,8 +711,8 @@ fn handle_connection(
 /// Rejects campaign cells whose fault model needs a characterization this
 /// daemon does not have, so the failure surfaces as a clean `error` frame
 /// at submit time instead of a failed job at run time.
-fn validate_voltages(context: &Context, def: &crate::wire::CampaignDef) -> Result<(), WireError> {
-    let voltages = &context.study.config().voltages;
+fn validate_voltages(study: &CaseStudy, def: &crate::wire::CampaignDef) -> Result<(), WireError> {
+    let voltages = &study.config().voltages;
     for (index, cell) in def.cells.iter().enumerate() {
         let needs_characterization = matches!(
             cell.model,
@@ -562,6 +729,18 @@ fn validate_voltages(context: &Context, def: &crate::wire::CampaignDef) -> Resul
         }
     }
     Ok(())
+}
+
+/// Re-instantiates a journaled wire definition during restart recovery.
+///
+/// `None` means the job cannot be resurrected on this daemon — the
+/// definition no longer parses, names an uncharacterized voltage, or
+/// fails instantiation — and it is restored as failed instead of queued.
+fn instantiate_recovered(study: &CaseStudy, spec: &Json) -> Option<sfi_campaign::CampaignSpec> {
+    let def = crate::wire::CampaignDef::from_json(spec).ok()?;
+    validate_voltages(study, &def).ok()?;
+    verify_guest_programs(&def.benchmarks).ok()?;
+    def.instantiate().ok()
 }
 
 /// Streams job cells in completion order, then the terminating `end`.
@@ -608,7 +787,7 @@ fn stream_job(writer: &mut TcpStream, context: &Context, job: u64) -> io::Result
 /// error-level analyzer findings yields a `bad_request` whose structured
 /// `detail` payload lists every finding (warnings included, so the
 /// submitter sees the full report).
-fn verify_guest_programs(defs: &[BenchmarkDef]) -> Result<(), Response> {
+fn verify_guest_programs(defs: &[BenchmarkDef]) -> Result<(), Box<Response>> {
     for (index, def) in defs.iter().enumerate() {
         let BenchmarkDef::Program {
             words,
@@ -622,17 +801,17 @@ fn verify_guest_programs(defs: &[BenchmarkDef]) -> Result<(), Response> {
         let program = match sfi_isa::Program::from_words(words) {
             Ok(program) => program,
             Err(error) => {
-                return Err(Response::error(
+                return Err(Box::new(Response::error(
                     ErrorCode::BadRequest,
                     format!("benchmark {index}: guest program does not decode: {error}"),
-                ));
+                )));
             }
         };
         let config =
             sfi_verify::VerifyConfig::new(*dmem_words).with_fi_window(fi_window.0..fi_window.1);
         let report = sfi_verify::verify(&program, &config);
         if report.has_errors() {
-            return Err(Response::error_with_detail(
+            return Err(Box::new(Response::error_with_detail(
                 ErrorCode::BadRequest,
                 format!(
                     "benchmark {index}: guest program rejected by static verification \
@@ -641,7 +820,7 @@ fn verify_guest_programs(defs: &[BenchmarkDef]) -> Result<(), Response> {
                     report.warning_count()
                 ),
                 verification_detail(index, &report),
-            ));
+            )));
         }
     }
     Ok(())
@@ -689,7 +868,7 @@ fn run_poff(context: &Context, request: &PoffRequest) -> Response {
         );
     }
     if let Err(response) = verify_guest_programs(std::slice::from_ref(&request.benchmark)) {
-        return response;
+        return *response;
     }
     let benchmark = match request.benchmark.instantiate() {
         Ok(benchmark) => benchmark,

@@ -69,6 +69,7 @@ fn round_trips_as_request(doc: &Json) -> Option<&'static str> {
         Request::Trace { .. } => "trace",
         Request::Alerts => "alerts",
         Request::Cancel(_) => "cancel",
+        Request::Drain => "drain",
         Request::Shutdown => "shutdown",
     })
 }
@@ -90,6 +91,7 @@ fn round_trips_as_response(doc: &Json) -> Option<(&'static str, Option<&'static 
         Response::Trace { .. } => ("trace", None),
         Response::Alerts { .. } => ("alerts", None),
         Response::Cancelled { .. } => ("cancelled", None),
+        Response::DrainStarted { .. } => ("drain_started", None),
         Response::Bye => ("bye", None),
         Response::Error { code, .. } => ("error", Some(code.as_str())),
     })
@@ -176,7 +178,7 @@ fn every_json_example_in_the_protocol_doc_round_trips_through_the_wire_types() {
     // Coverage: the document must exercise the complete vocabulary.
     for kind in [
         "ping", "submit", "status", "stream", "result", "poff", "metrics", "events", "trace",
-        "alerts", "cancel", "shutdown",
+        "alerts", "cancel", "drain", "shutdown",
     ] {
         assert!(
             request_kinds.contains(&kind),
@@ -196,6 +198,7 @@ fn every_json_example_in_the_protocol_doc_round_trips_through_the_wire_types() {
         "trace",
         "alerts",
         "cancelled",
+        "drain_started",
         "bye",
         "error",
     ] {
@@ -212,6 +215,7 @@ fn every_json_example_in_the_protocol_doc_round_trips_through_the_wire_types() {
         "no_result",
         "result_too_large",
         "shutting_down",
+        "draining",
     ] {
         assert!(
             error_codes.contains(&code),

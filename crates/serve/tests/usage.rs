@@ -33,6 +33,11 @@ fn sfi_serve_help_mentions_every_accepted_flag() {
         "--result-cap-bytes",
         "--cache-dir",
         "--checkpoint-dir",
+        "--state-dir",
+        "--drain-timeout",
+        "--conn-timeout",
+        "--max-connections",
+        "--drain-on-stdin",
         "--metrics-addr",
         "--event-buffer",
         "--alert-queue-depth",
@@ -52,12 +57,13 @@ fn sfi_client_help_mentions_every_command_and_flag() {
     // loops in crates/serve/src/bin/sfi-client.rs.
     let commands = [
         "ping", "submit", "demo", "status", "stream", "result", "cancel", "poff", "metrics",
-        "events", "trace", "alerts", "shutdown",
+        "events", "trace", "alerts", "drain", "shutdown",
     ];
     let flags = [
         "--addr",
         "--priority",
         "--client",
+        "--key",
         "--vdd",
         "--noise",
         "--resolution",

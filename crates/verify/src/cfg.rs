@@ -85,8 +85,8 @@ pub(crate) fn build(program: &Program, diags: &mut Vec<Diagnostic>) -> Cfg {
     // Pass 2: block extents.
     let mut blocks = Vec::new();
     let mut start = 0u32;
-    for pc in 1..n {
-        if leader[pc] {
+    for (pc, &leads) in leader.iter().enumerate().skip(1) {
+        if leads {
             blocks.push(Block {
                 start,
                 end: pc as u32,

@@ -11,7 +11,7 @@ fn all_builtin_kernels_verify_clean() {
     assert!(suite.len() >= 9, "expected the full workload zoo");
     for bench in &suite {
         let config = VerifyConfig::new(bench.dmem_words()).with_fi_window(bench.fi_window());
-        let report = verify(&bench.program(), &config);
+        let report = verify(bench.program(), &config);
         let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
         assert!(
             report.is_clean(),
@@ -28,7 +28,7 @@ fn all_builtin_kernels_verify_clean() {
 fn builtin_kernels_report_sensible_statistics() {
     for bench in sfi_kernels::extended_suite(3) {
         let config = VerifyConfig::new(bench.dmem_words()).with_fi_window(bench.fi_window());
-        let report = verify(&bench.program(), &config);
+        let report = verify(bench.program(), &config);
         // Every kernel iterates, so the watchdog estimate must defer to the
         // dynamic budget, and the mix must contain both compute and control.
         assert!(report.has_loops, "kernel `{}` should loop", bench.name());
