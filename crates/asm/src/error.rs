@@ -1,0 +1,232 @@
+//! Typed, span-carrying assembly errors with rendered caret context.
+
+use std::fmt;
+
+/// A half-open character range on one source line, used to point error
+/// messages at the offending token.
+///
+/// Lines and columns are 1-based (editor convention); `len` is the number
+/// of characters the caret underline covers and is always at least 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceSpan {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based character column of the first offending character.
+    pub col: u32,
+    /// Number of characters covered (>= 1).
+    pub len: u32,
+}
+
+impl SourceSpan {
+    /// A span covering `len` characters at `line:col`.
+    pub fn new(line: u32, col: u32, len: u32) -> Self {
+        SourceSpan {
+            line,
+            col,
+            len: len.max(1),
+        }
+    }
+}
+
+impl fmt::Display for SourceSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// What went wrong, independent of where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// A token in instruction position is not a known mnemonic.
+    UnknownMnemonic(String),
+    /// A `.`-prefixed token is not a known directive.
+    UnknownDirective(String),
+    /// The same label name was defined twice.
+    DuplicateLabel {
+        /// The label name.
+        name: String,
+        /// Line of the first definition.
+        first_line: u32,
+    },
+    /// A branch or directive referenced a label that is never defined.
+    UndefinedLabel(String),
+    /// An operand in register position is not `r0`–`r31`.
+    BadRegister(String),
+    /// A numeric operand does not parse as a (decimal or `0x` hex) number.
+    BadNumber(String),
+    /// A numeric operand parsed but does not fit its field.
+    ImmediateOutOfRange {
+        /// The operand as written.
+        text: String,
+        /// Description of the field it must fit ("signed 16-bit", …).
+        field: &'static str,
+    },
+    /// A resolved branch offset does not fit the 26-bit encoding.
+    OffsetOutOfRange {
+        /// The resolved word offset.
+        offset: i64,
+    },
+    /// A `.word` value does not decode to a valid instruction.
+    WordDoesNotDecode(u32),
+    /// A one-shot directive (`.dmem`, `.output`, `.fi_window`) appeared twice.
+    DuplicateDirective {
+        /// The directive name, including the leading dot.
+        directive: &'static str,
+        /// Line of the first occurrence.
+        first_line: u32,
+    },
+    /// A listing-style `N:` address annotation disagrees with the actual
+    /// instruction address at that point.
+    AddressAnnotationMismatch {
+        /// The annotated address.
+        annotated: u64,
+        /// The actual next instruction address.
+        actual: u32,
+    },
+    /// The parser expected one thing and found another.
+    Expected {
+        /// What the grammar required here.
+        expected: &'static str,
+        /// The token actually found, or `<end of line>`.
+        found: String,
+    },
+}
+
+impl fmt::Display for AsmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            AsmErrorKind::DuplicateLabel { name, first_line } => {
+                write!(
+                    f,
+                    "duplicate label `{name}` (first defined on line {first_line})"
+                )
+            }
+            AsmErrorKind::UndefinedLabel(name) => write!(f, "undefined label `{name}`"),
+            AsmErrorKind::BadRegister(t) => {
+                write!(f, "`{t}` is not a register (expected r0–r31)")
+            }
+            AsmErrorKind::BadNumber(t) => {
+                write!(f, "`{t}` is not a number (expected decimal or 0x hex)")
+            }
+            AsmErrorKind::ImmediateOutOfRange { text, field } => {
+                write!(f, "`{text}` does not fit a {field} field")
+            }
+            AsmErrorKind::OffsetOutOfRange { offset } => {
+                write!(f, "branch offset {offset} does not fit the 26-bit encoding")
+            }
+            AsmErrorKind::WordDoesNotDecode(w) => {
+                write!(f, "word {w:#010x} does not decode to an instruction")
+            }
+            AsmErrorKind::DuplicateDirective {
+                directive,
+                first_line,
+            } => {
+                write!(
+                    f,
+                    "duplicate `{directive}` directive (first on line {first_line})"
+                )
+            }
+            AsmErrorKind::AddressAnnotationMismatch { annotated, actual } => write!(
+                f,
+                "address annotation `{annotated}:` does not match the next \
+                 instruction address {actual}"
+            ),
+            AsmErrorKind::Expected { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+/// An assembly error: a typed [`AsmErrorKind`] pinned to a [`SourceSpan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+    /// Where it went wrong.
+    pub span: SourceSpan,
+}
+
+impl AsmError {
+    /// Builds an error at `span`.
+    pub fn new(kind: AsmErrorKind, span: SourceSpan) -> Self {
+        AsmError { kind, span }
+    }
+
+    /// Renders the error with caret context, rustc-style:
+    ///
+    /// ```text
+    /// error: unknown directive `.bogus`
+    ///   --> bad.s:3:1
+    ///    |
+    ///  3 | .bogus 1
+    ///    | ^^^^^^
+    /// ```
+    ///
+    /// `name` is the display name of the source (usually the file path);
+    /// `source` is the full source text the error was produced from.
+    pub fn render(&self, name: &str, source: &str) -> String {
+        let line_no = self.span.line as usize;
+        let line_text = source.lines().nth(line_no.saturating_sub(1)).unwrap_or("");
+        let gutter_width = line_no.to_string().len().max(2);
+        let gutter = " ".repeat(gutter_width);
+        let underline_pad = " ".repeat(self.span.col.saturating_sub(1) as usize);
+        let underline = "^".repeat(self.span.len as usize);
+        format!(
+            "error: {kind}\n{gutter}--> {name}:{line}:{col}\n{gutter} |\n{line_no:>width$} | {line_text}\n{gutter} | {underline_pad}{underline}\n",
+            kind = self.kind,
+            line = self.span.line,
+            col = self.span.col,
+            width = gutter_width,
+        )
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.span, self.kind)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_token() {
+        let source = "l.nop\n.bogus 1\n";
+        let err = AsmError::new(
+            AsmErrorKind::UnknownDirective(".bogus".into()),
+            SourceSpan::new(2, 1, 6),
+        );
+        let rendered = err.render("bad.s", source);
+        assert!(
+            rendered.contains("error: unknown directive `.bogus`"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("--> bad.s:2:1"), "{rendered}");
+        assert!(rendered.contains(" 2 | .bogus 1"), "{rendered}");
+        assert!(rendered.contains("| ^^^^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn display_carries_line_and_column() {
+        let err = AsmError::new(
+            AsmErrorKind::BadRegister("r99".into()),
+            SourceSpan::new(7, 10, 3),
+        );
+        assert_eq!(
+            err.to_string(),
+            "line 7:10: `r99` is not a register (expected r0–r31)"
+        );
+    }
+
+    #[test]
+    fn span_len_is_at_least_one() {
+        assert_eq!(SourceSpan::new(1, 1, 0).len, 1);
+    }
+}

@@ -1,0 +1,778 @@
+//! Two-pass parser: tokenize and parse each line, then resolve labels.
+
+use crate::error::{AsmError, AsmErrorKind, SourceSpan};
+use crate::Assembly;
+use sfi_isa::{Instruction, Program, Reg};
+use std::collections::BTreeMap;
+
+/// Largest branch offset representable in the 26-bit encoding.
+const BRANCH_MAX: i64 = (1 << 25) - 1;
+/// Smallest branch offset representable in the 26-bit encoding.
+const BRANCH_MIN: i64 = -(1 << 25);
+
+/// One token on a source line: a word or a single punctuation character
+/// (`,`, `:`, `(`, `)`), with its 1-based starting column.
+#[derive(Debug, Clone)]
+struct Tok {
+    text: String,
+    col: u32,
+}
+
+impl Tok {
+    fn span(&self, line: u32) -> SourceSpan {
+        SourceSpan::new(line, self.col, self.text.chars().count() as u32)
+    }
+
+    fn is_punct(&self) -> bool {
+        matches!(self.text.as_str(), "," | ":" | "(" | ")")
+    }
+}
+
+/// Splits one line into tokens, dropping `;`/`#` comments and whitespace.
+fn tokenize(line: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut cur = String::new();
+    let mut cur_col = 0u32;
+    let flush = |cur: &mut String, cur_col: u32, toks: &mut Vec<Tok>| {
+        if !cur.is_empty() {
+            toks.push(Tok {
+                text: std::mem::take(cur),
+                col: cur_col,
+            });
+        }
+    };
+    for (idx, ch) in line.chars().enumerate() {
+        let col = idx as u32 + 1;
+        if ch == ';' || ch == '#' {
+            break;
+        }
+        if ch.is_whitespace() || matches!(ch, ',' | ':' | '(' | ')') {
+            flush(&mut cur, cur_col, &mut toks);
+            if !ch.is_whitespace() {
+                toks.push(Tok {
+                    text: ch.to_string(),
+                    col,
+                });
+            }
+        } else {
+            if cur.is_empty() {
+                cur_col = col;
+            }
+            cur.push(ch);
+        }
+    }
+    flush(&mut cur, cur_col, &mut toks);
+    toks
+}
+
+/// Parses `text` as a decimal or `0x`/`0X` hexadecimal integer with an
+/// optional leading minus sign.
+fn parse_int(text: &str) -> Option<i64> {
+    let (neg, digits) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let magnitude = if let Some(hex) = digits
+        .strip_prefix("0x")
+        .or_else(|| digits.strip_prefix("0X"))
+    {
+        if hex.is_empty() {
+            return None;
+        }
+        u64::from_str_radix(hex, 16).ok()?
+    } else {
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        digits.parse::<u64>().ok()?
+    };
+    let value = i64::try_from(magnitude).ok()?;
+    Some(if neg { -value } else { value })
+}
+
+/// Whether a token looks like a number rather than a label reference.
+fn is_numeric(text: &str) -> bool {
+    text.strip_prefix('-')
+        .unwrap_or(text)
+        .starts_with(|c: char| c.is_ascii_digit())
+}
+
+/// Whether a token is a valid label name: starts with a letter or `_`,
+/// continues with letters, digits, `_`, `$` or `.`.
+fn is_label_name(text: &str) -> bool {
+    let mut chars = text.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '$' | '.'))
+}
+
+/// Sequential token reader over one line, producing spanned errors.
+struct Cursor<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(toks: &'a [Tok], line: u32, start: usize) -> Self {
+        Cursor {
+            toks,
+            i: start,
+            line,
+        }
+    }
+
+    /// Span of the current token, or of the end of the line.
+    fn span_here(&self) -> SourceSpan {
+        match self.toks.get(self.i) {
+            Some(t) => t.span(self.line),
+            None => {
+                let col = self
+                    .toks
+                    .last()
+                    .map(|t| t.col + t.text.chars().count() as u32)
+                    .unwrap_or(1);
+                SourceSpan::new(self.line, col, 1)
+            }
+        }
+    }
+
+    fn expected(&self, expected: &'static str) -> AsmError {
+        let found = match self.toks.get(self.i) {
+            Some(t) => format!("`{}`", t.text),
+            None => "end of line".to_string(),
+        };
+        AsmError::new(AsmErrorKind::Expected { expected, found }, self.span_here())
+    }
+
+    /// Consumes a word token (not punctuation).
+    fn word(&mut self, what: &'static str) -> Result<&'a Tok, AsmError> {
+        match self.toks.get(self.i) {
+            Some(t) if !t.is_punct() => {
+                self.i += 1;
+                Ok(t)
+            }
+            _ => Err(self.expected(what)),
+        }
+    }
+
+    /// Consumes one punctuation token.
+    fn punct(&mut self, p: &str, what: &'static str) -> Result<(), AsmError> {
+        match self.toks.get(self.i) {
+            Some(t) if t.text == p => {
+                self.i += 1;
+                Ok(())
+            }
+            _ => Err(self.expected(what)),
+        }
+    }
+
+    /// Consumes a register operand (`r0`–`r31`).
+    fn reg(&mut self) -> Result<Reg, AsmError> {
+        let tok = self.word("a register (r0–r31)")?;
+        let number = tok
+            .text
+            .strip_prefix('r')
+            .filter(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+            .and_then(|rest| rest.parse::<u8>().ok())
+            .filter(|&n| n < 32);
+        match number {
+            Some(n) => Ok(Reg(n)),
+            None => Err(AsmError::new(
+                AsmErrorKind::BadRegister(tok.text.clone()),
+                tok.span(self.line),
+            )),
+        }
+    }
+
+    /// Consumes a numeric operand and returns `(value, token)`.
+    fn int(&mut self, what: &'static str) -> Result<(i64, &'a Tok), AsmError> {
+        let tok = self.word(what)?;
+        match parse_int(&tok.text) {
+            Some(v) => Ok((v, tok)),
+            None => Err(AsmError::new(
+                AsmErrorKind::BadNumber(tok.text.clone()),
+                tok.span(self.line),
+            )),
+        }
+    }
+
+    /// Consumes a numeric operand constrained to `range`.
+    fn int_in(
+        &mut self,
+        what: &'static str,
+        field: &'static str,
+        range: std::ops::RangeInclusive<i64>,
+    ) -> Result<i64, AsmError> {
+        let (value, tok) = self.int(what)?;
+        if range.contains(&value) {
+            Ok(value)
+        } else {
+            Err(AsmError::new(
+                AsmErrorKind::ImmediateOutOfRange {
+                    text: tok.text.clone(),
+                    field,
+                },
+                tok.span(self.line),
+            ))
+        }
+    }
+
+    /// Signed 16-bit immediate: `-32768..=65535`, high values reinterpreted
+    /// as their two's-complement bit pattern (GNU as convention).
+    fn imm_s16(&mut self) -> Result<i16, AsmError> {
+        let value = self.int_in("a signed 16-bit immediate", "signed 16-bit", -32768..=65535)?;
+        Ok(value as u16 as i16)
+    }
+
+    fn imm_u16(&mut self) -> Result<u16, AsmError> {
+        let value = self.int_in("an unsigned 16-bit immediate", "unsigned 16-bit", 0..=65535)?;
+        Ok(value as u16)
+    }
+
+    fn shamt(&mut self) -> Result<u8, AsmError> {
+        let value = self.int_in("a shift amount (0–31)", "5-bit shift amount", 0..=31)?;
+        Ok(value as u8)
+    }
+
+    fn u32_word(
+        &mut self,
+        what: &'static str,
+        field: &'static str,
+    ) -> Result<(u32, &'a Tok), AsmError> {
+        let (value, tok) = self.int(what)?;
+        match u32::try_from(value) {
+            Ok(v) => Ok((v, tok)),
+            Err(_) => Err(AsmError::new(
+                AsmErrorKind::ImmediateOutOfRange {
+                    text: tok.text.clone(),
+                    field,
+                },
+                tok.span(self.line),
+            )),
+        }
+    }
+
+    fn comma(&mut self) -> Result<(), AsmError> {
+        self.punct(",", "`,`")
+    }
+
+    /// Asserts the line is fully consumed.
+    fn end(&self) -> Result<(), AsmError> {
+        if self.i == self.toks.len() {
+            Ok(())
+        } else {
+            Err(self.expected("end of line"))
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.i == self.toks.len()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BranchKind {
+    Bf,
+    Bnf,
+    J,
+    Jal,
+}
+
+impl BranchKind {
+    fn build(self, offset: i32) -> Instruction {
+        match self {
+            BranchKind::Bf => Instruction::Bf { offset },
+            BranchKind::Bnf => Instruction::Bnf { offset },
+            BranchKind::J => Instruction::J { offset },
+            BranchKind::Jal => Instruction::Jal { offset },
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Fixup {
+    pc: u32,
+    label: String,
+    span: SourceSpan,
+    kind: BranchKind,
+}
+
+/// A `.fi_window` bound: a literal pc or a label resolved in pass 2.
+#[derive(Debug)]
+enum FiBound {
+    Pc(u32),
+    Label(String, SourceSpan),
+}
+
+#[derive(Default)]
+pub(crate) struct Parser {
+    instructions: Vec<Instruction>,
+    line_map: Vec<u32>,
+    labels: BTreeMap<String, (u32, u32)>,
+    fixups: Vec<Fixup>,
+    dmem: Option<(usize, u32)>,
+    input: Vec<u32>,
+    output: Option<((u32, u32), u32)>,
+    fi_window: Option<((FiBound, FiBound), u32, SourceSpan)>,
+}
+
+impl Parser {
+    pub(crate) fn assemble(source: &str) -> Result<Assembly, AsmError> {
+        let mut parser = Parser::default();
+        for (idx, line) in source.lines().enumerate() {
+            parser.line(idx as u32 + 1, line)?;
+        }
+        parser.finish()
+    }
+
+    fn here(&self) -> u32 {
+        self.instructions.len() as u32
+    }
+
+    fn push(&mut self, line: u32, instruction: Instruction) {
+        self.instructions.push(instruction);
+        self.line_map.push(line);
+    }
+
+    fn line(&mut self, line_no: u32, line: &str) -> Result<(), AsmError> {
+        let toks = tokenize(line);
+        let mut start = 0usize;
+        // Leading `name:` label definitions and listing-style `N:` address
+        // annotations (both may repeat).
+        while start + 1 < toks.len() && toks[start + 1].text == ":" && !toks[start].is_punct() {
+            let tok = &toks[start];
+            if is_numeric(&tok.text) {
+                let annotated = parse_int(&tok.text).filter(|&v| v >= 0).ok_or_else(|| {
+                    AsmError::new(AsmErrorKind::BadNumber(tok.text.clone()), tok.span(line_no))
+                })? as u64;
+                if annotated != u64::from(self.here()) {
+                    return Err(AsmError::new(
+                        AsmErrorKind::AddressAnnotationMismatch {
+                            annotated,
+                            actual: self.here(),
+                        },
+                        tok.span(line_no),
+                    ));
+                }
+            } else if is_label_name(&tok.text) {
+                if let Some(&(_, first_line)) = self.labels.get(&tok.text) {
+                    return Err(AsmError::new(
+                        AsmErrorKind::DuplicateLabel {
+                            name: tok.text.clone(),
+                            first_line,
+                        },
+                        tok.span(line_no),
+                    ));
+                }
+                self.labels.insert(tok.text.clone(), (self.here(), line_no));
+            } else {
+                break;
+            }
+            start += 2;
+        }
+        let mut cur = Cursor::new(&toks, line_no, start);
+        if cur.at_end() {
+            return Ok(());
+        }
+        let head = cur.word("an instruction, directive or label")?;
+        if head.text.starts_with('.') {
+            self.directive(head, &mut cur)?;
+        } else {
+            self.instruction(head, &mut cur)?;
+        }
+        cur.end()
+    }
+
+    fn instruction(&mut self, mnem: &Tok, cur: &mut Cursor) -> Result<(), AsmError> {
+        use Instruction::*;
+        let line = cur.line;
+        let name = mnem.text.as_str();
+        type Rrr = fn(Reg, Reg, Reg) -> Instruction;
+        type Rri16 = fn(Reg, Reg, i16) -> Instruction;
+        type Rru16 = fn(Reg, Reg, u16) -> Instruction;
+        type RrSh = fn(Reg, Reg, u8) -> Instruction;
+        type Rr = fn(Reg, Reg) -> Instruction;
+        let rrr: Option<Rrr> = match name {
+            "l.add" => Some(|rd, ra, rb| Add { rd, ra, rb }),
+            "l.sub" => Some(|rd, ra, rb| Sub { rd, ra, rb }),
+            "l.and" => Some(|rd, ra, rb| And { rd, ra, rb }),
+            "l.or" => Some(|rd, ra, rb| Or { rd, ra, rb }),
+            "l.xor" => Some(|rd, ra, rb| Xor { rd, ra, rb }),
+            "l.mul" => Some(|rd, ra, rb| Mul { rd, ra, rb }),
+            "l.sll" => Some(|rd, ra, rb| Sll { rd, ra, rb }),
+            "l.srl" => Some(|rd, ra, rb| Srl { rd, ra, rb }),
+            "l.sra" => Some(|rd, ra, rb| Sra { rd, ra, rb }),
+            _ => None,
+        };
+        if let Some(build) = rrr {
+            let rd = cur.reg()?;
+            cur.comma()?;
+            let ra = cur.reg()?;
+            cur.comma()?;
+            let rb = cur.reg()?;
+            self.push(line, build(rd, ra, rb));
+            return Ok(());
+        }
+        let rri: Option<Rri16> = match name {
+            "l.addi" => Some(|rd, ra, imm| Addi { rd, ra, imm }),
+            "l.muli" => Some(|rd, ra, imm| Muli { rd, ra, imm }),
+            _ => None,
+        };
+        if let Some(build) = rri {
+            let rd = cur.reg()?;
+            cur.comma()?;
+            let ra = cur.reg()?;
+            cur.comma()?;
+            let imm = cur.imm_s16()?;
+            self.push(line, build(rd, ra, imm));
+            return Ok(());
+        }
+        let rru: Option<Rru16> = match name {
+            "l.andi" => Some(|rd, ra, imm| Andi { rd, ra, imm }),
+            "l.ori" => Some(|rd, ra, imm| Ori { rd, ra, imm }),
+            "l.xori" => Some(|rd, ra, imm| Xori { rd, ra, imm }),
+            _ => None,
+        };
+        if let Some(build) = rru {
+            let rd = cur.reg()?;
+            cur.comma()?;
+            let ra = cur.reg()?;
+            cur.comma()?;
+            let imm = cur.imm_u16()?;
+            self.push(line, build(rd, ra, imm));
+            return Ok(());
+        }
+        let rrsh: Option<RrSh> = match name {
+            "l.slli" => Some(|rd, ra, shamt| Slli { rd, ra, shamt }),
+            "l.srli" => Some(|rd, ra, shamt| Srli { rd, ra, shamt }),
+            "l.srai" => Some(|rd, ra, shamt| Srai { rd, ra, shamt }),
+            _ => None,
+        };
+        if let Some(build) = rrsh {
+            let rd = cur.reg()?;
+            cur.comma()?;
+            let ra = cur.reg()?;
+            cur.comma()?;
+            let shamt = cur.shamt()?;
+            self.push(line, build(rd, ra, shamt));
+            return Ok(());
+        }
+        let rr: Option<Rr> = match name {
+            "l.sfeq" => Some(|ra, rb| Sfeq { ra, rb }),
+            "l.sfne" => Some(|ra, rb| Sfne { ra, rb }),
+            "l.sfltu" => Some(|ra, rb| Sfltu { ra, rb }),
+            "l.sfgeu" => Some(|ra, rb| Sfgeu { ra, rb }),
+            "l.sfgtu" => Some(|ra, rb| Sfgtu { ra, rb }),
+            "l.sfleu" => Some(|ra, rb| Sfleu { ra, rb }),
+            "l.sflts" => Some(|ra, rb| Sflts { ra, rb }),
+            "l.sfges" => Some(|ra, rb| Sfges { ra, rb }),
+            "l.sfgts" => Some(|ra, rb| Sfgts { ra, rb }),
+            "l.sfles" => Some(|ra, rb| Sfles { ra, rb }),
+            _ => None,
+        };
+        if let Some(build) = rr {
+            let ra = cur.reg()?;
+            cur.comma()?;
+            let rb = cur.reg()?;
+            self.push(line, build(ra, rb));
+            return Ok(());
+        }
+        let branch = match name {
+            "l.bf" => Some(BranchKind::Bf),
+            "l.bnf" => Some(BranchKind::Bnf),
+            "l.j" => Some(BranchKind::J),
+            "l.jal" => Some(BranchKind::Jal),
+            _ => None,
+        };
+        if let Some(kind) = branch {
+            let tok = cur.word("a branch target (offset or label)")?;
+            if is_numeric(&tok.text) {
+                let offset = parse_int(&tok.text).ok_or_else(|| {
+                    AsmError::new(AsmErrorKind::BadNumber(tok.text.clone()), tok.span(line))
+                })?;
+                if !(BRANCH_MIN..=BRANCH_MAX).contains(&offset) {
+                    return Err(AsmError::new(
+                        AsmErrorKind::OffsetOutOfRange { offset },
+                        tok.span(line),
+                    ));
+                }
+                self.push(line, kind.build(offset as i32));
+            } else if is_label_name(&tok.text) {
+                self.fixups.push(Fixup {
+                    pc: self.here(),
+                    label: tok.text.clone(),
+                    span: tok.span(line),
+                    kind,
+                });
+                self.push(line, kind.build(0));
+            } else {
+                return Err(AsmError::new(
+                    AsmErrorKind::Expected {
+                        expected: "a branch target (offset or label)",
+                        found: format!("`{}`", tok.text),
+                    },
+                    tok.span(line),
+                ));
+            }
+            return Ok(());
+        }
+        match name {
+            "l.movhi" => {
+                let rd = cur.reg()?;
+                cur.comma()?;
+                let imm = cur.imm_u16()?;
+                self.push(line, Movhi { rd, imm });
+                Ok(())
+            }
+            "l.lwz" => {
+                let rd = cur.reg()?;
+                cur.comma()?;
+                let offset = cur.imm_s16()?;
+                cur.punct("(", "`(` before the base register")?;
+                let ra = cur.reg()?;
+                cur.punct(")", "`)` after the base register")?;
+                self.push(line, Lwz { rd, ra, offset });
+                Ok(())
+            }
+            "l.sw" => {
+                let offset = cur.imm_s16()?;
+                cur.punct("(", "`(` before the base register")?;
+                let ra = cur.reg()?;
+                cur.punct(")", "`)` after the base register")?;
+                cur.comma()?;
+                let rb = cur.reg()?;
+                self.push(line, Sw { ra, rb, offset });
+                Ok(())
+            }
+            "l.jr" => {
+                let ra = cur.reg()?;
+                self.push(line, Jr { ra });
+                Ok(())
+            }
+            "l.nop" => {
+                self.push(line, Nop);
+                Ok(())
+            }
+            _ => Err(AsmError::new(
+                AsmErrorKind::UnknownMnemonic(mnem.text.clone()),
+                mnem.span(line),
+            )),
+        }
+    }
+
+    fn directive(&mut self, head: &Tok, cur: &mut Cursor) -> Result<(), AsmError> {
+        let line = cur.line;
+        match head.text.as_str() {
+            ".dmem" => {
+                if let Some((_, first_line)) = self.dmem {
+                    return Err(AsmError::new(
+                        AsmErrorKind::DuplicateDirective {
+                            directive: ".dmem",
+                            first_line,
+                        },
+                        head.span(line),
+                    ));
+                }
+                let (words, tok) =
+                    cur.u32_word("a data-memory size in words", "data-memory size")?;
+                if words == 0 {
+                    return Err(AsmError::new(
+                        AsmErrorKind::ImmediateOutOfRange {
+                            text: tok.text.clone(),
+                            field: "positive data-memory size",
+                        },
+                        tok.span(line),
+                    ));
+                }
+                self.dmem = Some((words as usize, line));
+                Ok(())
+            }
+            ".word" => {
+                let (word, tok) = cur.u32_word("a 32-bit instruction word", "32-bit word")?;
+                let mut pending = vec![(word, tok.span(line))];
+                while !cur.at_end() {
+                    let (word, tok) = cur.u32_word("a 32-bit instruction word", "32-bit word")?;
+                    pending.push((word, tok.span(line)));
+                }
+                for (word, span) in pending {
+                    let instruction = sfi_isa::decode(word)
+                        .map_err(|_| AsmError::new(AsmErrorKind::WordDoesNotDecode(word), span))?;
+                    self.push(line, instruction);
+                }
+                Ok(())
+            }
+            ".input" => {
+                let (word, _) = cur.u32_word("a 32-bit data word", "32-bit word")?;
+                self.input.push(word);
+                while !cur.at_end() {
+                    let (word, _) = cur.u32_word("a 32-bit data word", "32-bit word")?;
+                    self.input.push(word);
+                }
+                Ok(())
+            }
+            ".output" => {
+                if let Some((_, first_line)) = self.output {
+                    return Err(AsmError::new(
+                        AsmErrorKind::DuplicateDirective {
+                            directive: ".output",
+                            first_line,
+                        },
+                        head.span(line),
+                    ));
+                }
+                let (lo, lo_tok) = cur.u32_word("a data-memory word index", "word index")?;
+                cur.punct(":", "`:` between the range bounds")?;
+                let (hi, _) = cur.u32_word("a data-memory word index", "word index")?;
+                if lo >= hi {
+                    return Err(AsmError::new(
+                        AsmErrorKind::Expected {
+                            expected: "a non-empty `lo:hi` word range (lo < hi)",
+                            found: format!("`{lo}:{hi}`"),
+                        },
+                        lo_tok.span(line),
+                    ));
+                }
+                self.output = Some(((lo, hi), line));
+                Ok(())
+            }
+            ".fi_window" => {
+                if let Some((_, first_line, _)) = self.fi_window {
+                    return Err(AsmError::new(
+                        AsmErrorKind::DuplicateDirective {
+                            directive: ".fi_window",
+                            first_line,
+                        },
+                        head.span(line),
+                    ));
+                }
+                let lo = self.fi_bound(cur)?;
+                cur.punct(":", "`:` between the range bounds")?;
+                let hi = self.fi_bound(cur)?;
+                self.fi_window = Some(((lo, hi), line, head.span(line)));
+                Ok(())
+            }
+            other => Err(AsmError::new(
+                AsmErrorKind::UnknownDirective(other.to_string()),
+                head.span(line),
+            )),
+        }
+    }
+
+    fn fi_bound(&mut self, cur: &mut Cursor) -> Result<FiBound, AsmError> {
+        let tok = cur.word("a pc bound (number or label)")?;
+        if is_numeric(&tok.text) {
+            let (value, span) = (parse_int(&tok.text), tok.span(cur.line));
+            let pc = value
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| AsmError::new(AsmErrorKind::BadNumber(tok.text.clone()), span))?;
+            Ok(FiBound::Pc(pc))
+        } else if is_label_name(&tok.text) {
+            Ok(FiBound::Label(tok.text.clone(), tok.span(cur.line)))
+        } else {
+            Err(AsmError::new(
+                AsmErrorKind::Expected {
+                    expected: "a pc bound (number or label)",
+                    found: format!("`{}`", tok.text),
+                },
+                tok.span(cur.line),
+            ))
+        }
+    }
+
+    fn lookup(&self, label: &str, span: SourceSpan) -> Result<u32, AsmError> {
+        self.labels
+            .get(label)
+            .map(|&(pc, _)| pc)
+            .ok_or_else(|| AsmError::new(AsmErrorKind::UndefinedLabel(label.to_string()), span))
+    }
+
+    fn finish(mut self) -> Result<Assembly, AsmError> {
+        for fixup in std::mem::take(&mut self.fixups) {
+            let target = self.lookup(&fixup.label, fixup.span)?;
+            let offset = i64::from(target) - (i64::from(fixup.pc) + 1);
+            if !(BRANCH_MIN..=BRANCH_MAX).contains(&offset) {
+                return Err(AsmError::new(
+                    AsmErrorKind::OffsetOutOfRange { offset },
+                    fixup.span,
+                ));
+            }
+            self.instructions[fixup.pc as usize] = fixup.kind.build(offset as i32);
+        }
+        let len = self.here();
+        let fi_window = match self.fi_window.take() {
+            None => None,
+            Some(((lo, hi), _, span)) => {
+                let lo = match lo {
+                    FiBound::Pc(pc) => pc,
+                    FiBound::Label(name, span) => self.lookup(&name, span)?,
+                };
+                let hi = match hi {
+                    FiBound::Pc(pc) => pc,
+                    FiBound::Label(name, span) => self.lookup(&name, span)?,
+                };
+                if lo >= hi || hi > len {
+                    return Err(AsmError::new(
+                        AsmErrorKind::Expected {
+                            expected: "a non-empty pc range within the program",
+                            found: format!("`{lo}:{hi}` (program has {len} instructions)"),
+                        },
+                        span,
+                    ));
+                }
+                Some((lo, hi))
+            }
+        };
+        Ok(Assembly {
+            program: Program::new(self.instructions),
+            line_map: self.line_map,
+            dmem_words: self.dmem.map(|(words, _)| words),
+            input: self.input,
+            output: self.output.map(|(range, _)| range),
+            fi_window,
+            labels: self
+                .labels
+                .into_iter()
+                .map(|(name, (pc, _))| (name, pc))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_splits_punctuation_and_comments() {
+        let toks = tokenize("loop: l.lwz r5, -8(r2) ; fetch");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["loop", ":", "l.lwz", "r5", ",", "-8", "(", "r2", ")"]
+        );
+        assert_eq!(toks[0].col, 1);
+        assert_eq!(toks[2].col, 7);
+    }
+
+    #[test]
+    fn parse_int_accepts_decimal_and_hex() {
+        assert_eq!(parse_int("42"), Some(42));
+        assert_eq!(parse_int("-3"), Some(-3));
+        assert_eq!(parse_int("0xFF"), Some(255));
+        assert_eq!(parse_int("-0x10"), Some(-16));
+        assert_eq!(parse_int("0x"), None);
+        assert_eq!(parse_int(""), None);
+        assert_eq!(parse_int("abc"), None);
+        assert_eq!(parse_int("1_000"), None);
+    }
+
+    #[test]
+    fn label_names() {
+        assert!(is_label_name("loop"));
+        assert!(is_label_name("_start"));
+        assert!(is_label_name("a.b$1"));
+        assert!(!is_label_name("3loop"));
+        assert!(!is_label_name(".dmem"));
+        assert!(!is_label_name("-x"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Differential round-trip properties: `assemble(listing(p)) == p`.
+//!
+//! The listing printed by [`sfi_isa::Program::listing`] — address
+//! annotations, `; -> target` comments and all — must assemble back to a
+//! bit-identical program, for every builtin kernel and for random valid
+//! programs. A third property feeds the assembler random token soup and
+//! asserts it never panics.
+
+use proptest::prelude::*;
+use sfi_asm::assemble;
+use sfi_isa::{Instruction, Program, Reg};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg)
+}
+
+fn branch_offset() -> impl Strategy<Value = i32> {
+    -(1i32 << 25)..(1i32 << 25)
+}
+
+/// A strategy covering every `Instruction` variant (all 36).
+fn instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instruction::Add { rd, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instruction::Sub { rd, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instruction::And { rd, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instruction::Or { rd, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instruction::Xor { rd, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instruction::Mul { rd, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instruction::Sll { rd, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instruction::Srl { rd, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instruction::Sra { rd, ra, rb }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rd, ra, imm)| Instruction::Addi { rd, ra, imm }),
+        (reg(), reg(), any::<u16>()).prop_map(|(rd, ra, imm)| Instruction::Andi { rd, ra, imm }),
+        (reg(), reg(), any::<u16>()).prop_map(|(rd, ra, imm)| Instruction::Ori { rd, ra, imm }),
+        (reg(), reg(), any::<u16>()).prop_map(|(rd, ra, imm)| Instruction::Xori { rd, ra, imm }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rd, ra, imm)| Instruction::Muli { rd, ra, imm }),
+        (reg(), reg(), 0u8..32).prop_map(|(rd, ra, shamt)| Instruction::Slli { rd, ra, shamt }),
+        (reg(), reg(), 0u8..32).prop_map(|(rd, ra, shamt)| Instruction::Srli { rd, ra, shamt }),
+        (reg(), reg(), 0u8..32).prop_map(|(rd, ra, shamt)| Instruction::Srai { rd, ra, shamt }),
+        (reg(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Movhi { rd, imm }),
+        (reg(), reg()).prop_map(|(ra, rb)| Instruction::Sfeq { ra, rb }),
+        (reg(), reg()).prop_map(|(ra, rb)| Instruction::Sfne { ra, rb }),
+        (reg(), reg()).prop_map(|(ra, rb)| Instruction::Sfltu { ra, rb }),
+        (reg(), reg()).prop_map(|(ra, rb)| Instruction::Sfgeu { ra, rb }),
+        (reg(), reg()).prop_map(|(ra, rb)| Instruction::Sfgtu { ra, rb }),
+        (reg(), reg()).prop_map(|(ra, rb)| Instruction::Sfleu { ra, rb }),
+        (reg(), reg()).prop_map(|(ra, rb)| Instruction::Sflts { ra, rb }),
+        (reg(), reg()).prop_map(|(ra, rb)| Instruction::Sfges { ra, rb }),
+        (reg(), reg()).prop_map(|(ra, rb)| Instruction::Sfgts { ra, rb }),
+        (reg(), reg()).prop_map(|(ra, rb)| Instruction::Sfles { ra, rb }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rd, ra, offset)| Instruction::Lwz {
+            rd,
+            ra,
+            offset
+        }),
+        (reg(), reg(), any::<i16>()).prop_map(|(ra, rb, offset)| Instruction::Sw {
+            ra,
+            rb,
+            offset
+        }),
+        branch_offset().prop_map(|offset| Instruction::Bf { offset }),
+        branch_offset().prop_map(|offset| Instruction::Bnf { offset }),
+        branch_offset().prop_map(|offset| Instruction::J { offset }),
+        branch_offset().prop_map(|offset| Instruction::Jal { offset }),
+        reg().prop_map(|ra| Instruction::Jr { ra }),
+        Just(Instruction::Nop),
+    ]
+}
+
+/// Asserts `assemble(p.listing())` reproduces `p` with identical words.
+fn assert_roundtrip(program: &Program, what: &str) {
+    let listing = program.listing();
+    let asm = assemble(&listing)
+        .unwrap_or_else(|err| panic!("{what}: listing must assemble: {err}\n{listing}"));
+    assert_eq!(&asm.program, program, "{what}: instruction mismatch");
+    assert_eq!(
+        asm.program.to_words(),
+        program.to_words(),
+        "{what}: words not bit-identical"
+    );
+}
+
+#[test]
+fn every_builtin_kernel_roundtrips_through_its_listing() {
+    let suite = sfi_kernels::extended_suite(3);
+    assert!(suite.len() >= 9, "expected the full extended suite");
+    for bench in &suite {
+        assert_roundtrip(bench.program(), bench.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn random_programs_roundtrip_through_their_listing(
+        instructions in prop::collection::vec(instruction(), 0..40)
+    ) {
+        let program = Program::new(instructions);
+        assert_roundtrip(&program, "random program");
+    }
+
+    #[test]
+    fn assembler_never_panics_on_token_soup(
+        fragments in prop::collection::vec(
+            prop::sample::select(vec![
+                "l.add", "l.addi", "l.bogus", "l.sw", "l.movhi", ".dmem", ".word",
+                ".fi_window", ".bogus", "r3", "r31", "r32", "loop", "loop:", ":",
+                ",", "(", ")", "-1", "0xffffffff", "65536", "-32769", ";", "#",
+                "0x", "--", "l.", ".", "9999999999999999999999", "\n", "\t",
+            ]),
+            0..24,
+        ),
+        joiner in prop::sample::select(vec![" ", "", "\n"]),
+    ) {
+        // Outcome (Ok or typed Err) is irrelevant — it must simply return.
+        let source = fragments.join(joiner);
+        let _ = assemble(&source);
+    }
+
+    #[test]
+    fn assemble_of_arbitrary_bytes_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..128)
+    ) {
+        let _ = assemble(&String::from_utf8_lossy(&bytes));
+    }
+}

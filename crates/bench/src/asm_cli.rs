@@ -1,0 +1,187 @@
+//! The `sfi-asm` front end: assembles `.s` text assembly and renders the
+//! result as encoded words, a resolved listing, or a serve `program`
+//! recipe object, optionally gated by the `sfi-verify` analyzer.
+
+use sfi_asm::Assembly;
+use sfi_core::json::Json;
+use sfi_serve::wire::BenchmarkDef;
+use sfi_verify::{verify, Report, VerifyConfig};
+
+/// The flag reference printed by `sfi-asm --help`.
+pub const ASM_USAGE: &str = "\
+usage: sfi-asm [options] FILE.s
+
+Assembles .s text assembly (labels, register/immediate operands and the
+.dmem/.word/.input/.output/.fi_window directives) into a validated
+program.  See docs/ASM.md for the grammar.
+
+options:
+  --words           print the encoded instruction words, one per line
+                    (the default output)
+  --listing         print the resolved listing with addresses and targets
+  --json            print a serve 'program' benchmark recipe object
+                    (requires a .output directive in FILE)
+  --verify          additionally run the sfi-verify analyzer; findings are
+                    printed to stderr with source lines and exit status 1
+  --dmem N          data-memory words when FILE has no .dmem directive
+                    (default 4096)
+  --seed SEED       seed stamped into the --json recipe (default 1)
+  --out FILE        write the output to FILE instead of stdout
+  --help            print this reference
+
+exit status: 0 assembled (and clean under --verify), 1 verify findings,
+             2 usage or assembly errors (with source span output)
+";
+
+/// How `sfi-asm` renders an assembled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsmOutput {
+    /// Encoded instruction words, one `0x%08x` per line.
+    Words,
+    /// The resolved `Program::listing()`.
+    Listing,
+    /// A serve `program` benchmark recipe JSON object.
+    Recipe,
+}
+
+/// Renders the assembled program in the requested output format.
+///
+/// # Errors
+///
+/// [`AsmOutput::Recipe`] requires a `.output` directive — without it the
+/// recipe has no result region to compare against the golden run.
+pub fn render_output(
+    asm: &Assembly,
+    output: AsmOutput,
+    default_dmem: usize,
+    seed: u64,
+) -> Result<String, String> {
+    match output {
+        AsmOutput::Words => Ok(asm
+            .program
+            .to_words()
+            .iter()
+            .map(|w| format!("{w:#010x}\n"))
+            .collect()),
+        AsmOutput::Listing => Ok(asm.program.listing()),
+        AsmOutput::Recipe => Ok(format!("{}\n", recipe_json(asm, default_dmem, seed)?)),
+    }
+}
+
+/// Builds the serve `program` recipe object for an assembled program, the
+/// exact JSON a `sfi-client submit` campaign embeds as its benchmark.
+///
+/// # Errors
+///
+/// The assembly must declare a `.output` region.
+pub fn recipe_json(asm: &Assembly, default_dmem: usize, seed: u64) -> Result<Json, String> {
+    let output = asm.output.ok_or_else(|| {
+        "a serve recipe needs a .output LO:HI directive (the dmem region \
+         holding the result)"
+            .to_string()
+    })?;
+    let def = BenchmarkDef::Program {
+        words: asm.program.to_words(),
+        dmem_words: asm.resolved_dmem_words(default_dmem),
+        fi_window: asm.resolved_fi_window(),
+        input: asm.input.clone(),
+        output,
+        seed,
+    };
+    Ok(def.to_json())
+}
+
+/// Runs the analyzer over an assembly with its own directives as config.
+pub fn verify_assembly(asm: &Assembly, default_dmem: usize) -> Report {
+    let mut config = VerifyConfig::new(asm.resolved_dmem_words(default_dmem));
+    if let Some((lo, hi)) = asm.fi_window {
+        config = config.with_fi_window(lo..hi);
+    }
+    verify(&asm.program, &config)
+}
+
+/// Renders verify findings with source-line mapping, one per line:
+/// `path:line: V004 ...`.
+pub fn render_findings(path: &str, asm: &Assembly, report: &Report) -> String {
+    report
+        .diagnostics
+        .iter()
+        .map(|d| match asm.line_for_pc(d.span.start) {
+            Some(line) => format!("{path}:{line}: {d}\n"),
+            None => format!("{path}: {d}\n"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SOURCE: &str = "\
+.dmem 8
+.input 5
+.output 1:2
+l.lwz  r3, 0(r0)
+l.sw   4(r0), r3
+";
+
+    fn asm() -> Assembly {
+        sfi_asm::assemble(SOURCE).expect("assembles")
+    }
+
+    #[test]
+    fn words_output_is_hex_per_line() {
+        let out = render_output(&asm(), AsmOutput::Words, 4096, 1).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.starts_with("0x")), "{out}");
+    }
+
+    #[test]
+    fn listing_output_roundtrips() {
+        let out = render_output(&asm(), AsmOutput::Listing, 4096, 1).unwrap();
+        let again = sfi_asm::assemble(&out).expect("listing reassembles");
+        assert_eq!(again.program, asm().program);
+    }
+
+    #[test]
+    fn recipe_output_parses_as_a_program_benchmark() {
+        let out = render_output(&asm(), AsmOutput::Recipe, 4096, 7).unwrap();
+        let doc = Json::parse(&out).expect("valid JSON");
+        let def = BenchmarkDef::from_json(&doc).expect("valid recipe");
+        match def {
+            BenchmarkDef::Program {
+                words,
+                dmem_words,
+                fi_window,
+                input,
+                output,
+                seed,
+            } => {
+                assert_eq!(words.len(), 2);
+                assert_eq!(dmem_words, 8);
+                assert_eq!(fi_window, (0, 2));
+                assert_eq!(input, vec![5]);
+                assert_eq!(output, (1, 2));
+                assert_eq!(seed, 7);
+            }
+            other => panic!("expected a program recipe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recipe_requires_an_output_directive() {
+        let asm = sfi_asm::assemble("l.nop\n").expect("assembles");
+        let err = render_output(&asm, AsmOutput::Recipe, 4096, 1).unwrap_err();
+        assert!(err.contains(".output"), "{err}");
+    }
+
+    #[test]
+    fn findings_carry_source_lines() {
+        let asm = sfi_asm::assemble("l.nop\nl.add r1, r7, r7\n").expect("assembles");
+        let report = verify_assembly(&asm, 64);
+        assert!(!report.is_clean());
+        let rendered = render_findings("x.s", &asm, &report);
+        assert!(rendered.contains("x.s:2: "), "{rendered}");
+    }
+}

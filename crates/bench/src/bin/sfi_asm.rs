@@ -1,0 +1,134 @@
+//! `sfi-asm`: the text-assembly front end from the command line.
+//!
+//! Assembles a `.s` file into encoded instruction words (default), a
+//! resolved listing (`--listing`), or a serve `program` recipe object
+//! (`--json`), optionally running the `sfi-verify` analyzer (`--verify`)
+//! with findings mapped back to source lines.  Exit status: 0 on success,
+//! 1 when `--verify` reports findings, 2 on usage or assembly errors.
+
+use sfi_bench::asm_cli::{render_findings, render_output, verify_assembly, AsmOutput, ASM_USAGE};
+use std::process::ExitCode;
+
+struct Args {
+    output: AsmOutput,
+    verify: bool,
+    dmem: usize,
+    seed: u64,
+    out: Option<String>,
+    file: String,
+}
+
+fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
+    let mut output = None;
+    let mut verify = false;
+    let mut dmem = 4_096usize;
+    let mut seed = 1u64;
+    let mut out = None;
+    let mut file = None;
+    let mut i = 0;
+    let value = |argv: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let set_output = |slot: &mut Option<AsmOutput>, mode: AsmOutput| -> Result<(), String> {
+        match slot.replace(mode) {
+            None => Ok(()),
+            Some(_) => Err("--words, --listing and --json are mutually exclusive".into()),
+        }
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--words" => set_output(&mut output, AsmOutput::Words)?,
+            "--listing" => set_output(&mut output, AsmOutput::Listing)?,
+            "--json" => set_output(&mut output, AsmOutput::Recipe)?,
+            "--verify" => verify = true,
+            "--dmem" => {
+                let raw = value(argv, &mut i, "--dmem")?;
+                dmem = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--dmem needs a positive word count, got '{raw}'"))?;
+            }
+            "--seed" => {
+                let raw = value(argv, &mut i, "--seed")?;
+                seed = raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed needs a 64-bit integer, got '{raw}'"))?;
+            }
+            "--out" => out = Some(value(argv, &mut i, "--out")?),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            path => {
+                if file.replace(path.to_string()).is_some() {
+                    return Err("exactly one FILE.s argument is expected".into());
+                }
+            }
+        }
+        i += 1;
+    }
+    let file = file.ok_or_else(|| "a FILE.s argument is required".to_string())?;
+    Ok(Some(Args {
+        output: output.unwrap_or(AsmOutput::Words),
+        verify,
+        dmem,
+        seed,
+        out,
+        file,
+    }))
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    let source = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+    let asm = match sfi_asm::assemble(&source) {
+        Ok(asm) => asm,
+        Err(error) => return Err(error.render(&args.file, &source)),
+    };
+    let rendered = render_output(&asm, args.output, args.dmem, args.seed)?;
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?
+        }
+        None => print!("{rendered}"),
+    }
+    if args.verify {
+        let report = verify_assembly(&asm, args.dmem);
+        if !report.is_clean() {
+            eprint!("{}", render_findings(&args.file, &asm, &report));
+            eprintln!(
+                "{}: {} error(s), {} warning(s)",
+                args.file,
+                report.error_count(),
+                report.warning_count()
+            );
+            return Ok(ExitCode::from(1));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{ASM_USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("sfi-asm: {message}");
+            eprint!("{ASM_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,19 +1,22 @@
 //! `sfi-lint`: static analysis of guest programs from the command line.
 //!
 //! Lints the built-in benchmark kernels (default), a named subset of
-//! them, or an arbitrary word stream (`--words FILE`), and reports the
-//! `sfi-verify` findings as a human-readable report or a JSON document
-//! (`--json`).  Exit status: 0 when every target is clean, 1 when any
-//! finding was reported, 2 on usage errors.
+//! them, an arbitrary word stream (`--words FILE`), or `.s` text assembly
+//! (`--asm FILE`, assembled with `sfi-asm` and findings mapped back to
+//! source lines), and reports the `sfi-verify` findings as a
+//! human-readable report or a JSON document (`--json`).  Exit status: 0
+//! when every target is clean, 1 when any finding was reported, 2 on
+//! usage (or assembly) errors.
 
 use sfi_bench::lint::{
-    builtin_targets, lint_to_json, render_human, words_target, LintTarget, LINT_USAGE,
+    asm_target, builtin_targets, lint_to_json, render_human, words_target, LintTarget, LINT_USAGE,
 };
 use std::process::ExitCode;
 
 struct Args {
     json: bool,
     words: Option<String>,
+    asm: Option<String>,
     dmem: usize,
     fi_window: Option<(u32, u32)>,
     targets: Vec<String>,
@@ -23,6 +26,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
     let mut args = Args {
         json: false,
         words: None,
+        asm: None,
         dmem: 4_096,
         fi_window: None,
         targets: Vec::new(),
@@ -39,6 +43,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
             "--help" | "-h" => return Ok(None),
             "--json" => args.json = true,
             "--words" => args.words = Some(value(argv, &mut i, "--words")?),
+            "--asm" => args.asm = Some(value(argv, &mut i, "--asm")?),
             "--dmem" => {
                 let raw = value(argv, &mut i, "--dmem")?;
                 args.dmem = raw
@@ -61,13 +66,21 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         }
         i += 1;
     }
-    if args.words.is_some() && !args.targets.is_empty() {
-        return Err("--words and named built-in targets are mutually exclusive".into());
+    if (args.words.is_some() || args.asm.is_some()) && !args.targets.is_empty() {
+        return Err("--words/--asm and named built-in targets are mutually exclusive".into());
+    }
+    if args.words.is_some() && args.asm.is_some() {
+        return Err("--words and --asm are mutually exclusive".into());
     }
     Ok(Some(args))
 }
 
 fn collect_targets(args: &Args) -> Result<Vec<LintTarget>, String> {
+    if let Some(path) = &args.asm {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let window = args.fi_window.map(|(lo, hi)| lo..hi);
+        return Ok(vec![asm_target(path, &text, args.dmem, window)?]);
+    }
     if let Some(path) = &args.words {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let window = args.fi_window.map(|(lo, hi)| lo..hi);

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod asm_cli;
 pub mod lint;
 pub mod perf;
 

@@ -1,11 +1,13 @@
 //! The `sfi-lint` front end: runs the `sfi-verify` static analyzer over
 //! guest programs and renders the findings for humans or machines.
 //!
-//! Two kinds of lint target exist: the built-in benchmark kernels (the
-//! paper suite plus the extended workload zoo, at their served sizes) and
-//! arbitrary word streams read from a file with `--words`.  CI lints every
-//! built-in kernel and fails on *any* finding — warnings included — so the
-//! shipped kernels stay at the strictest bar the analyzer can express.
+//! Three kinds of lint target exist: the built-in benchmark kernels (the
+//! paper suite plus the extended workload zoo, at their served sizes),
+//! arbitrary word streams read from a file with `--words`, and `.s` text
+//! assembly read with `--asm` (assembled by `sfi-asm`, with findings
+//! mapped back to source lines).  CI lints every built-in kernel and
+//! fails on *any* finding — warnings included — so the shipped kernels
+//! stay at the strictest bar the analyzer can express.
 
 use sfi_core::json::Json;
 use sfi_isa::Program;
@@ -27,12 +29,35 @@ options:
   --json            emit a machine-readable JSON report on stdout
   --words FILE      lint the encoded instruction words in FILE instead of
                     built-in kernels (whitespace-separated, decimal or 0x hex)
-  --dmem N          declared data-memory words for --words (default 4096)
-  --fi-window LO:HI fault-injection window to validate for --words
+  --asm FILE        assemble the .s text assembly in FILE with sfi-asm and
+                    lint it; findings are mapped back to source lines
+  --dmem N          declared data-memory words for --words / --asm without
+                    a .dmem directive (default 4096)
+  --fi-window LO:HI fault-injection window to validate for --words / --asm
+                    (overrides a .fi_window directive)
   --help            print this reference
 
 exit status: 0 all targets clean, 1 findings reported, 2 usage error
 ";
+
+/// Source context of an `--asm` target, used to map pc-based findings
+/// back to the lines of the `.s` file that produced them.
+#[derive(Debug, Clone)]
+pub struct AsmSource {
+    /// Path of the assembled file.
+    pub path: String,
+    /// 1-based source line per pc (`sfi_asm::Assembly::line_map`).
+    pub line_map: Vec<u32>,
+}
+
+impl AsmSource {
+    /// The `path:line` location of the instruction at `pc`, if known.
+    pub fn location(&self, pc: u32) -> Option<String> {
+        self.line_map
+            .get(pc as usize)
+            .map(|line| format!("{}:{line}", self.path))
+    }
+}
 
 /// One program to lint, with the context the analyzer checks it against.
 #[derive(Debug, Clone)]
@@ -45,6 +70,8 @@ pub struct LintTarget {
     pub dmem_words: usize,
     /// Fault-injection window to validate, if declared.
     pub fi_window: Option<Range<u32>>,
+    /// Assembly source mapping for `--asm` targets.
+    pub asm: Option<AsmSource>,
 }
 
 impl LintTarget {
@@ -68,6 +95,7 @@ pub fn builtin_targets() -> Vec<LintTarget> {
             program: bench.program().clone(),
             dmem_words: bench.dmem_words(),
             fi_window: Some(bench.fi_window()),
+            asm: None,
         })
         .collect()
 }
@@ -98,6 +126,34 @@ pub fn words_target(
         program,
         dmem_words,
         fi_window,
+        asm: None,
+    })
+}
+
+/// Assembles `.s` source into a lint target carrying the source mapping.
+///
+/// A `.dmem` directive in the file wins over `default_dmem`; an explicit
+/// `fi_override` (the `--fi-window` flag) wins over a `.fi_window`
+/// directive.  Assembly failures are returned pre-rendered with caret
+/// context, ready for stderr.
+pub fn asm_target(
+    path: &str,
+    source: &str,
+    default_dmem: usize,
+    fi_override: Option<Range<u32>>,
+) -> Result<LintTarget, String> {
+    let asm = sfi_asm::assemble(source).map_err(|error| error.render(path, source))?;
+    let dmem_words = asm.resolved_dmem_words(default_dmem);
+    let fi_window = fi_override.or_else(|| asm.fi_window.map(|(lo, hi)| lo..hi));
+    Ok(LintTarget {
+        name: path.to_string(),
+        program: asm.program,
+        dmem_words,
+        fi_window,
+        asm: Some(AsmSource {
+            path: path.to_string(),
+            line_map: asm.line_map,
+        }),
     })
 }
 
@@ -125,7 +181,14 @@ pub fn render_human(target: &LintTarget, report: &Report) -> String {
         report.mix.nop,
     ));
     for diagnostic in &report.diagnostics {
-        out.push_str(&format!("  {diagnostic}\n"));
+        match target
+            .asm
+            .as_ref()
+            .and_then(|asm| asm.location(diagnostic.span.start))
+        {
+            Some(location) => out.push_str(&format!("  {diagnostic} ({location})\n")),
+            None => out.push_str(&format!("  {diagnostic}\n")),
+        }
     }
     if report.is_clean() {
         out.push_str("  clean\n");
@@ -146,13 +209,19 @@ pub fn report_to_json(target: &LintTarget, report: &Report) -> Json {
         .diagnostics
         .iter()
         .map(|d| {
-            Json::obj([
+            let mut fields = vec![
                 ("code", Json::Str(d.rule.code().into())),
                 ("severity", Json::Str(d.severity().to_string())),
                 ("start_pc", Json::Num(f64::from(d.span.start))),
                 ("end_pc", Json::Num(f64::from(d.span.end))),
                 ("message", Json::Str(d.message.clone())),
-            ])
+            ];
+            if let Some(asm) = &target.asm {
+                if let Some(&line) = asm.line_map.get(d.span.start as usize) {
+                    fields.push(("line", Json::Num(f64::from(line))));
+                }
+            }
+            Json::obj(fields)
         })
         .collect();
     Json::obj([
@@ -241,6 +310,45 @@ mod tests {
         assert!(words_target("stream", "0xffffffff", 64, None)
             .unwrap_err()
             .contains("does not decode"));
+    }
+
+    #[test]
+    fn asm_targets_map_findings_back_to_source_lines() {
+        // Line 3 reads r7, which is never written anywhere: V004.
+        let source = "; a bad program\nl.sfeq r0, r0\nl.add r1, r7, r7\n";
+        let target = asm_target("bad.s", source, 64, None).expect("assembles");
+        assert_eq!(target.dmem_words, 64);
+        let report = target.verify();
+        assert!(!report.is_clean(), "expected findings: {report:?}");
+        let human = render_human(&target, &report);
+        assert!(human.contains("(bad.s:3)"), "{human}");
+        let doc = report_to_json(&target, &report);
+        let findings = doc
+            .get("findings")
+            .and_then(Json::as_arr)
+            .expect("findings");
+        assert!(findings
+            .iter()
+            .any(|f| f.get("line").and_then(Json::as_u64) == Some(3)));
+    }
+
+    #[test]
+    fn asm_target_errors_are_rendered_with_carets() {
+        let err = asm_target("oops.s", ".bogus 1\n", 64, None).unwrap_err();
+        assert!(err.contains("error: unknown directive `.bogus`"), "{err}");
+        assert!(err.contains("oops.s:1:1"), "{err}");
+        assert!(err.contains('^'), "{err}");
+    }
+
+    #[test]
+    fn asm_directives_feed_the_lint_config() {
+        let source = ".dmem 8\n.fi_window 0:1\nl.nop\n";
+        let target = asm_target("ok.s", source, 4096, None).expect("assembles");
+        assert_eq!(target.dmem_words, 8);
+        assert_eq!(target.fi_window, Some(0..1));
+        // The --fi-window flag wins over the directive.
+        let target = asm_target("ok.s", source, 4096, Some(0..1)).expect("assembles");
+        assert_eq!(target.fi_window, Some(0..1));
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Machine-checked documentation: every fenced ```asm block in
+//! `docs/ASM.md` must assemble, so the grammar examples cannot drift
+//! from the `sfi_asm` implementation.
+
+use std::path::PathBuf;
+
+fn asm_doc() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs/ASM.md");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Extracts the contents of every ```asm fenced block, with the line
+/// number where each block starts.
+fn asm_blocks(doc: &str) -> Vec<(usize, String)> {
+    let mut blocks = Vec::new();
+    let mut current: Option<(usize, String)> = None;
+    for (index, line) in doc.lines().enumerate() {
+        match &mut current {
+            None if line.trim() == "```asm" => current = Some((index + 2, String::new())),
+            Some(_) if line.trim() == "```" => blocks.push(current.take().unwrap()),
+            Some((_, body)) => {
+                body.push_str(line);
+                body.push('\n');
+            }
+            None => {}
+        }
+    }
+    assert!(current.is_none(), "unterminated ```asm block");
+    blocks
+}
+
+#[test]
+fn every_asm_example_in_the_docs_assembles() {
+    let doc = asm_doc();
+    let blocks = asm_blocks(&doc);
+    assert!(
+        blocks.len() >= 4,
+        "docs/ASM.md should carry several ```asm examples, found {}",
+        blocks.len()
+    );
+    for (line, source) in &blocks {
+        if let Err(error) = sfi_asm::assemble(source) {
+            panic!(
+                "docs/ASM.md example starting at line {line} does not assemble:\n{}",
+                error.render("docs/ASM.md (block)", source)
+            );
+        }
+    }
+}
+
+#[test]
+fn the_quick_start_example_verifies_clean_and_runs() {
+    // The first block is the dot-product quick start; beyond assembling
+    // it must be a *good* example: clean under the analyzer and
+    // producing the right answer on the core.
+    let doc = asm_doc();
+    let (_, source) = &asm_blocks(&doc)[0];
+    let asm = sfi_asm::assemble(source).expect("quick start assembles");
+    let dmem = asm.resolved_dmem_words(4096);
+
+    let mut config = sfi_verify::VerifyConfig::new(dmem);
+    if let Some((lo, hi)) = asm.fi_window {
+        config = config.with_fi_window(lo..hi);
+    }
+    let report = sfi_verify::verify(&asm.program, &config);
+    assert!(
+        report.is_clean(),
+        "quick start example must verify clean:\n{:?}",
+        report.diagnostics
+    );
+
+    let mut core = sfi_cpu::Core::new(asm.program.clone(), dmem);
+    core.memory_mut()
+        .write_block(0, &asm.input)
+        .expect("input fits");
+    let outcome = core.run(&sfi_cpu::RunConfig::default());
+    assert!(outcome.finished(), "quick start must finish: {outcome:?}");
+    let (lo, _) = asm.output.expect("quick start declares .output");
+    // 1·10 + 2·20 + 3·30
+    assert_eq!(
+        core.memory().load_word(4 * lo).expect("result readable"),
+        140,
+        "dot product result"
+    );
+}

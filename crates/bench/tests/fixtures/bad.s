@@ -1,0 +1,6 @@
+; Known-bad fixture: assembles fine but fails sfi-verify.
+; CI runs `sfi-lint --asm` over this file and asserts exit status 1.
+.dmem 4
+.output 0:1
+l.add  r1, r7, r7      ; V004: r7 is read but never written anywhere
+l.sw   0(r0), r1

@@ -1,0 +1,11 @@
+; Known-good fixture: a countdown loop that assembles and verifies clean.
+; dmem[0] holds the input; the result (always 0) lands in dmem[1].
+.dmem 4
+.input 5
+.output 1:2
+        l.lwz   r3, 0(r0)       ; r3 = dmem[0]
+loop:
+        l.addi  r3, r3, -1
+        l.sfne  r3, r0
+        l.bf    loop
+        l.sw    4(r0), r3       ; dmem[1] = 0

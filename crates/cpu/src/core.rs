@@ -126,6 +126,13 @@ impl Core {
         &mut self.memory
     }
 
+    /// Mutable access to the architectural state, used by the ISA
+    /// conformance suite to establish a row's pre-state (registers, flag)
+    /// before running a table fragment.
+    pub fn state_mut(&mut self) -> &mut CpuState {
+        &mut self.state
+    }
+
     /// The program loaded into the instruction memory.
     pub fn program(&self) -> &Program {
         &self.program

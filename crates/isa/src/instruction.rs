@@ -406,9 +406,63 @@ pub enum Instruction {
     Nop,
 }
 
+/// Every assembly mnemonic of the ISA, in opcode order. One entry per
+/// [`Instruction`] variant; conformance suites use this to assert full
+/// coverage of the instruction set.
+pub const MNEMONICS: [&str; 36] = [
+    "l.add", "l.sub", "l.and", "l.or", "l.xor", "l.mul", "l.sll", "l.srl", "l.sra", "l.addi",
+    "l.andi", "l.ori", "l.xori", "l.muli", "l.slli", "l.srli", "l.srai", "l.movhi", "l.sfeq",
+    "l.sfne", "l.sfltu", "l.sfgeu", "l.sfgtu", "l.sfleu", "l.sflts", "l.sfges", "l.sfgts",
+    "l.sfles", "l.lwz", "l.sw", "l.bf", "l.bnf", "l.j", "l.jal", "l.jr", "l.nop",
+];
+
 impl Instruction {
     /// The link register written by [`Instruction::Jal`].
     pub const LINK_REGISTER: Reg = Reg(9);
+
+    /// The assembly mnemonic of this instruction (always an element of
+    /// [`MNEMONICS`]); the first token of the [`fmt::Display`] form.
+    pub fn mnemonic(&self) -> &'static str {
+        use Instruction::*;
+        match self {
+            Add { .. } => "l.add",
+            Sub { .. } => "l.sub",
+            And { .. } => "l.and",
+            Or { .. } => "l.or",
+            Xor { .. } => "l.xor",
+            Mul { .. } => "l.mul",
+            Sll { .. } => "l.sll",
+            Srl { .. } => "l.srl",
+            Sra { .. } => "l.sra",
+            Addi { .. } => "l.addi",
+            Andi { .. } => "l.andi",
+            Ori { .. } => "l.ori",
+            Xori { .. } => "l.xori",
+            Muli { .. } => "l.muli",
+            Slli { .. } => "l.slli",
+            Srli { .. } => "l.srli",
+            Srai { .. } => "l.srai",
+            Movhi { .. } => "l.movhi",
+            Sfeq { .. } => "l.sfeq",
+            Sfne { .. } => "l.sfne",
+            Sfltu { .. } => "l.sfltu",
+            Sfgeu { .. } => "l.sfgeu",
+            Sfgtu { .. } => "l.sfgtu",
+            Sfleu { .. } => "l.sfleu",
+            Sflts { .. } => "l.sflts",
+            Sfges { .. } => "l.sfges",
+            Sfgts { .. } => "l.sfgts",
+            Sfles { .. } => "l.sfles",
+            Lwz { .. } => "l.lwz",
+            Sw { .. } => "l.sw",
+            Bf { .. } => "l.bf",
+            Bnf { .. } => "l.bnf",
+            J { .. } => "l.j",
+            Jal { .. } => "l.jal",
+            Jr { .. } => "l.jr",
+            Nop => "l.nop",
+        }
+    }
 
     /// Coarse classification of the instruction.
     pub fn kind(&self) -> InstructionKind {
@@ -751,6 +805,41 @@ mod tests {
         assert_eq!(Instruction::Jal { offset: 7 }.relative_offset(), Some(7));
         assert_eq!(jr.relative_offset(), None);
         assert_eq!(add.relative_offset(), None);
+    }
+
+    #[test]
+    fn mnemonic_is_the_display_head() {
+        let samples = [
+            Instruction::Add {
+                rd: Reg(1),
+                ra: Reg(2),
+                rb: Reg(3),
+            },
+            Instruction::Movhi { rd: Reg(1), imm: 7 },
+            Instruction::Sfles {
+                ra: Reg(1),
+                rb: Reg(2),
+            },
+            Instruction::Sw {
+                ra: Reg(1),
+                rb: Reg(2),
+                offset: 4,
+            },
+            Instruction::Jr { ra: Reg(9) },
+            Instruction::Nop,
+        ];
+        for i in samples {
+            assert!(MNEMONICS.contains(&i.mnemonic()));
+            assert_eq!(
+                i.to_string().split_whitespace().next().unwrap(),
+                i.mnemonic()
+            );
+        }
+        // The canonical list has no duplicates.
+        let mut unique: Vec<&str> = MNEMONICS.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), MNEMONICS.len());
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub mod program;
 pub mod registers;
 
 pub use encoding::{decode, encode, DecodeError};
-pub use instruction::{AluClass, Instruction, InstructionKind};
+pub use instruction::{AluClass, Instruction, InstructionKind, MNEMONICS};
 pub use program::{Program, ProgramBuilder};
 pub use registers::Reg;

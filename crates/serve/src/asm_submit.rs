@@ -1,0 +1,208 @@
+//! Assemble-and-submit support: turns a `.s` text-assembly source into a
+//! one-cell `program` campaign definition, and maps the verification
+//! gate's rejection payload back to assembly source lines.
+//!
+//! This is the glue `sfi-client submit FILE.s` uses; it lives in the
+//! library so loopback tests can drive the exact same path.
+
+use crate::wire::{BenchmarkDef, BudgetDef, CampaignDef, CellDef};
+use sfi_asm::Assembly;
+use sfi_core::json::Json;
+use sfi_core::FaultModel;
+
+/// Campaign-cell parameters for an assembled submission (everything the
+/// `.s` file itself cannot express).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsmCellParams {
+    /// Fault model of the single cell.
+    pub model: FaultModel,
+    /// Cell clock frequency in MHz.
+    pub freq_mhz: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Voltage-noise sigma in millivolts.
+    pub noise_sigma_mv: f64,
+    /// Monte-Carlo trials of the cell.
+    pub trials: usize,
+    /// Campaign seed, also stamped into the program recipe.
+    pub seed: u64,
+    /// Data-memory words when the source has no `.dmem` directive.
+    pub default_dmem_words: usize,
+}
+
+impl Default for AsmCellParams {
+    fn default() -> Self {
+        AsmCellParams {
+            model: FaultModel::StatisticalDta,
+            freq_mhz: 100.0,
+            vdd: 0.7,
+            noise_sigma_mv: 0.0,
+            trials: 20,
+            seed: 1,
+            default_dmem_words: 4_096,
+        }
+    }
+}
+
+/// Assembles `source` and wraps it into a one-benchmark, one-cell
+/// campaign definition.
+///
+/// Returns the definition together with the [`Assembly`] so callers can
+/// map later findings back through its line table.
+///
+/// # Errors
+///
+/// Assembly errors come back pre-rendered with caret context against
+/// `path`; a missing `.output` directive is an error because the golden
+/// run has no result region to compare without it.
+pub fn campaign_from_asm(
+    name: &str,
+    path: &str,
+    source: &str,
+    params: &AsmCellParams,
+) -> Result<(CampaignDef, Assembly), String> {
+    let assembly = sfi_asm::assemble(source).map_err(|e| e.render(path, source))?;
+    let output = assembly.output.ok_or_else(|| {
+        format!("{path}: a submission needs a .output LO:HI directive (the dmem region holding the result)")
+    })?;
+    let mut def = CampaignDef::new(name, params.seed);
+    let benchmark = def.add_benchmark(BenchmarkDef::Program {
+        words: assembly.program.to_words(),
+        dmem_words: assembly.resolved_dmem_words(params.default_dmem_words),
+        fi_window: assembly.resolved_fi_window(),
+        input: assembly.input.clone(),
+        output,
+        seed: params.seed,
+    });
+    def.cells.push(CellDef {
+        benchmark,
+        model: params.model,
+        freq_mhz: params.freq_mhz,
+        vdd: params.vdd,
+        noise_sigma_mv: params.noise_sigma_mv,
+        budget: BudgetDef::fixed(params.trials),
+    });
+    Ok((def, assembly))
+}
+
+/// Maps the findings of a `verification` rejection `detail` payload back
+/// to assembly source lines, one rendered `path:line: CODE message` per
+/// finding.
+///
+/// Findings whose pc does not map (for example on a benchmark that was
+/// not assembled from this source) degrade to `path: CODE message`.
+pub fn findings_with_lines(path: &str, assembly: &Assembly, detail: &Json) -> Vec<String> {
+    let Some(findings) = detail.get("findings").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    findings
+        .iter()
+        .map(|finding| {
+            let code = finding.get("code").and_then(Json::as_str).unwrap_or("V???");
+            let message = finding
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("(no message)");
+            let line = finding
+                .get("start_pc")
+                .and_then(Json::as_u64)
+                .and_then(|pc| u32::try_from(pc).ok())
+                .and_then(|pc| assembly.line_for_pc(pc));
+            match line {
+                Some(line) => format!("{path}:{line}: {code} {message}"),
+                None => format!("{path}: {code} {message}"),
+            }
+        })
+        .collect()
+}
+
+/// Whether a server rejection `detail` payload is a verification report
+/// (the submission gate's typed rejection).
+pub fn is_verification_detail(detail: &Json) -> bool {
+    detail.get("kind").and_then(Json::as_str) == Some("verification")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SOURCE: &str = "\
+.dmem 8
+.input 5
+.output 1:2
+l.lwz  r3, 0(r0)
+l.addi r3, r3, 1
+l.sw   4(r0), r3
+";
+
+    #[test]
+    fn campaigns_wrap_the_assembled_program() {
+        let params = AsmCellParams {
+            trials: 7,
+            seed: 11,
+            ..AsmCellParams::default()
+        };
+        let (def, assembly) = campaign_from_asm("t", "t.s", SOURCE, &params).expect("builds");
+        assert_eq!(def.seed, 11);
+        assert_eq!(def.cells.len(), 1);
+        assert_eq!(def.benchmarks.len(), 1);
+        match &def.benchmarks[0] {
+            BenchmarkDef::Program {
+                words,
+                dmem_words,
+                input,
+                output,
+                seed,
+                ..
+            } => {
+                assert_eq!(*words, assembly.program.to_words());
+                assert_eq!(*dmem_words, 8);
+                assert_eq!(*input, vec![5]);
+                assert_eq!(*output, (1, 2));
+                assert_eq!(*seed, 11);
+            }
+            other => panic!("expected a program benchmark, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_output_directive_is_an_error() {
+        let err = campaign_from_asm("t", "t.s", "l.nop\n", &AsmCellParams::default()).unwrap_err();
+        assert!(err.contains(".output"), "{err}");
+    }
+
+    #[test]
+    fn assembly_errors_are_rendered_with_carets() {
+        let err = campaign_from_asm(
+            "t",
+            "t.s",
+            ".output 1:2\nl.frob r1\n",
+            &AsmCellParams::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("t.s:2"), "{err}");
+        assert!(err.contains('^'), "{err}");
+    }
+
+    #[test]
+    fn rejection_findings_map_back_to_source_lines() {
+        let (_, assembly) =
+            campaign_from_asm("t", "t.s", SOURCE, &AsmCellParams::default()).expect("builds");
+        // A synthetic verification payload pointing at pc 1 (line 5).
+        let detail = Json::parse(
+            r#"{"kind":"verification","findings":[
+                {"code":"V004","severity":"error","message":"reads r7","start_pc":1,"end_pc":1},
+                {"code":"V009","severity":"error","message":"empty","start_pc":99,"end_pc":99}
+            ]}"#,
+        )
+        .expect("parses");
+        assert!(is_verification_detail(&detail));
+        let lines = findings_with_lines("t.s", &assembly, &detail);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "t.s:5: V004 reads r7");
+        assert_eq!(
+            lines[1], "t.s: V009 empty",
+            "unmappable pc degrades gracefully"
+        );
+    }
+}

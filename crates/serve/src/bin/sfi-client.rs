@@ -5,6 +5,9 @@
 
 use sfi_core::json::Json;
 use sfi_core::FaultModel;
+use sfi_serve::asm_submit::{
+    campaign_from_asm, findings_with_lines, is_verification_detail, AsmCellParams,
+};
 use sfi_serve::client::Client;
 use sfi_serve::jobs::Priority;
 use sfi_serve::protocol::PoffRequest;
@@ -18,11 +21,22 @@ commands:
   ping                  print server info (STA limit, cache status, scheduler slots,
                         quotas, retained result bytes)
   submit FILE           submit a campaign definition (JSON, see docs/PROTOCOL.md) and
-                        print the job id
+                        print the job id; a FILE ending in .s is assembled into a
+                        one-cell 'program' campaign first (see docs/ASM.md), and a
+                        verification rejection is mapped back to source lines
       [--priority low|normal|high]   scheduling class (default normal; high may preempt)
       [--client ID]                  client id the per-client quotas are accounted against
       [--key KEY]                    idempotency key: resubmitting the same (client, key)
                                      returns the original job instead of a duplicate
+                        flags for .s submissions only:
+      [--freq MHZ]                   cell clock (default 0.95 × the server's STA limit)
+      [--vdd V]                      supply voltage (default 0.7)
+      [--noise MV]                   voltage-noise sigma in mV (default 0)
+      [--model b|b+|c]               fault model (default c, statistical DTA)
+      [--trials N]                   Monte-Carlo trials of the cell (default 20)
+      [--seed S]                     campaign + program seed (default 1)
+      [--dmem N]                     data-memory words when FILE has no .dmem (default 4096)
+      [--name NAME]                  campaign name (default: the file stem)
   demo                  submit a small builtin median campaign, stream it, print a summary
   status JOB            print one job-status line (state, priority, progress, preemptions)
   stream JOB            stream a job's cells as JSON lines to stdout
@@ -361,9 +375,13 @@ fn run(
             let path = args
                 .first()
                 .unwrap_or_else(|| usage_fail("submit needs a FILE"));
+            let is_asm = path.ends_with(".s");
             let mut priority = Priority::Normal;
             let mut client_id: Option<String> = None;
             let mut key: Option<String> = None;
+            let mut params = AsmCellParams::default();
+            let mut freq: Option<f64> = None;
+            let mut name: Option<String> = None;
             let mut i = 1;
             while i < args.len() {
                 let value = |i: &mut usize| -> String {
@@ -371,6 +389,11 @@ fn run(
                     args.get(*i)
                         .cloned()
                         .unwrap_or_else(|| usage_fail("flag needs a value"))
+                };
+                let asm_only = |flag: &str| {
+                    if !is_asm {
+                        usage_fail(format!("{flag} only applies to .s submissions"));
+                    }
                 };
                 match args[i].as_str() {
                     "--priority" => {
@@ -383,18 +406,113 @@ fn run(
                     }
                     "--client" => client_id = Some(value(&mut i)),
                     "--key" => key = Some(value(&mut i)),
+                    "--freq" => {
+                        asm_only("--freq");
+                        freq = Some(
+                            value(&mut i)
+                                .parse()
+                                .unwrap_or_else(|_| usage_fail("--freq")),
+                        );
+                    }
+                    "--vdd" => {
+                        asm_only("--vdd");
+                        params.vdd = value(&mut i)
+                            .parse()
+                            .unwrap_or_else(|_| usage_fail("--vdd"));
+                    }
+                    "--noise" => {
+                        asm_only("--noise");
+                        params.noise_sigma_mv = value(&mut i)
+                            .parse()
+                            .unwrap_or_else(|_| usage_fail("--noise"));
+                    }
+                    "--model" => {
+                        asm_only("--model");
+                        params.model = match value(&mut i).as_str() {
+                            "b" => FaultModel::StaPeriodViolation,
+                            "b+" => FaultModel::StaWithNoise,
+                            "c" => FaultModel::StatisticalDta,
+                            other => usage_fail(format!("unknown model '{other}'")),
+                        };
+                    }
+                    "--trials" => {
+                        asm_only("--trials");
+                        params.trials = value(&mut i)
+                            .parse()
+                            .unwrap_or_else(|_| usage_fail("--trials"));
+                    }
+                    "--seed" => {
+                        asm_only("--seed");
+                        params.seed = value(&mut i)
+                            .parse()
+                            .unwrap_or_else(|_| usage_fail("--seed"));
+                    }
+                    "--dmem" => {
+                        asm_only("--dmem");
+                        params.default_dmem_words = value(&mut i)
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage_fail("--dmem"));
+                    }
+                    "--name" => {
+                        asm_only("--name");
+                        name = Some(value(&mut i));
+                    }
                     other => usage_fail(format!("unknown flag '{other}'")),
                 }
                 i += 1;
             }
             let text = std::fs::read_to_string(path)
                 .unwrap_or_else(|err| fail(format!("cannot read {path}: {err}")));
-            let doc = Json::parse(&text)
-                .unwrap_or_else(|err| fail(format!("{path} is not valid JSON: {err}")));
-            let def =
-                CampaignDef::from_json(&doc).unwrap_or_else(|err| fail(format!("{path}: {err}")));
-            let ticket =
-                client.submit_keyed(&def, priority, client_id.as_deref(), key.as_deref())?;
+            let (def, assembly) = if is_asm {
+                params.freq_mhz = match freq {
+                    Some(freq) => freq,
+                    // Default to a deterministic just-below-the-STA-limit
+                    // clock so a plain submit runs fault-free.
+                    None => client.ping()?.sta_limit_mhz * 0.95,
+                };
+                let name = name.unwrap_or_else(|| {
+                    std::path::Path::new(path)
+                        .file_stem()
+                        .map(|stem| stem.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| "asm".into())
+                });
+                let (def, assembly) = campaign_from_asm(&name, path, &text, &params)
+                    .unwrap_or_else(|err| {
+                        eprintln!("{err}");
+                        exit(2);
+                    });
+                (def, Some(assembly))
+            } else {
+                let doc = Json::parse(&text)
+                    .unwrap_or_else(|err| fail(format!("{path} is not valid JSON: {err}")));
+                let def = CampaignDef::from_json(&doc)
+                    .unwrap_or_else(|err| fail(format!("{path}: {err}")));
+                (def, None)
+            };
+            let submitted =
+                client.submit_keyed(&def, priority, client_id.as_deref(), key.as_deref());
+            // A verification rejection of an assembled submission is
+            // reported with findings mapped back to source lines.
+            if let (
+                Some(assembly),
+                Err(sfi_serve::client::ClientError::Server {
+                    message,
+                    detail: Some(detail),
+                    ..
+                }),
+            ) = (&assembly, &submitted)
+            {
+                if is_verification_detail(detail) {
+                    eprintln!("sfi-client: {message}");
+                    for line in findings_with_lines(path, assembly, detail) {
+                        eprintln!("{line}");
+                    }
+                    exit(1);
+                }
+            }
+            let ticket = submitted?;
             println!(
                 "job {} submitted ({} cells, {} priority)",
                 ticket.job,

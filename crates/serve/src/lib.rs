@@ -78,6 +78,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod asm_submit;
 pub mod chaos;
 pub mod client;
 pub mod jobs;

@@ -1,0 +1,190 @@
+//! Loopback tests of the assemble-and-submit path: `sfi-client submit
+//! FILE.s` must produce byte-identical results to a hand-encoded
+//! `program` recipe campaign, and a verification rejection must come
+//! back with findings mapped to assembly source lines.
+
+use sfi_core::FaultModel;
+use sfi_isa::{Instruction, Program, Reg};
+use sfi_serve::client::Client;
+use sfi_serve::server::{ServeConfig, Server};
+use sfi_serve::wire::{BenchmarkDef, BudgetDef, CampaignDef, CellDef};
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The text-assembly source of the loopback program: sum two input
+/// words into the output region.
+const SOURCE: &str = "\
+.dmem 8
+.input 40 2
+.output 3:4
+        l.lwz   r1, 0(r0)
+        l.lwz   r2, 4(r0)
+        l.add   r3, r1, r2
+        l.sw    12(r0), r3
+";
+
+/// The same program, hand-encoded.
+fn hand_encoded() -> Vec<Instruction> {
+    vec![
+        Instruction::Lwz {
+            rd: Reg(1),
+            ra: Reg(0),
+            offset: 0,
+        },
+        Instruction::Lwz {
+            rd: Reg(2),
+            ra: Reg(0),
+            offset: 4,
+        },
+        Instruction::Add {
+            rd: Reg(3),
+            ra: Reg(1),
+            rb: Reg(2),
+        },
+        Instruction::Sw {
+            ra: Reg(0),
+            rb: Reg(3),
+            offset: 12,
+        },
+    ]
+}
+
+fn temp_file(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "sfi-asm-submit-{}-{:?}-{name}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&path, contents).expect("write temp asm");
+    path
+}
+
+/// Runs `sfi-client` against `addr` and returns (status, stdout, stderr).
+fn run_client(addr: &str, args: &[&str]) -> (Option<i32>, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_sfi-client"))
+        .args(["--addr", addr])
+        .args(args)
+        .output()
+        .expect("sfi-client runs");
+    (
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn asm_submissions_match_hand_encoded_program_recipes_byte_for_byte() {
+    let server = Server::start(ServeConfig::fast_for_tests()).expect("daemon starts");
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).expect("connects");
+
+    // The hand-encoded twin: same name, seed, cell and recipe the client
+    // binary is expected to build from the .s file and its flags.
+    let mut def = CampaignDef::new("asm-loopback", 9);
+    let benchmark = def.add_benchmark(BenchmarkDef::Program {
+        words: Program::new(hand_encoded()).to_words(),
+        dmem_words: 8,
+        fi_window: (0, 4),
+        input: vec![40, 2],
+        output: (3, 4),
+        seed: 9,
+    });
+    def.cells.push(CellDef {
+        benchmark,
+        model: FaultModel::StatisticalDta,
+        freq_mhz: 77.5,
+        vdd: 0.7,
+        noise_sigma_mv: 0.0,
+        budget: BudgetDef::fixed(4),
+    });
+    let hand_job = client.submit(&def).expect("hand-encoded twin accepted").job;
+
+    // The same campaign through `sfi-client submit FILE.s`.
+    let path = temp_file("sum.s", SOURCE);
+    let (code, stdout, stderr) = run_client(
+        &addr,
+        &[
+            "submit",
+            path.to_str().expect("utf-8 temp path"),
+            "--freq",
+            "77.5",
+            "--trials",
+            "4",
+            "--seed",
+            "9",
+            "--name",
+            "asm-loopback",
+        ],
+    );
+    assert_eq!(code, Some(0), "submit failed:\n{stdout}{stderr}");
+    let asm_job: u64 = stdout
+        .split_whitespace()
+        .nth(1)
+        .and_then(|id| id.parse().ok())
+        .unwrap_or_else(|| panic!("no job id in: {stdout}"));
+    assert!(stdout.contains("1 cells"), "{stdout}");
+
+    // Wait for both and compare the full result documents byte for byte.
+    for job in [hand_job, asm_job] {
+        let state = client.stream(job, |_| {}).expect("streams");
+        assert_eq!(state, "done", "job {job}");
+    }
+    let hand_result = client.result(hand_job).expect("hand result").to_string();
+    let asm_result = client.result(asm_job).expect("asm result").to_string();
+    assert_eq!(
+        hand_result, asm_result,
+        "assembled submission must be byte-identical to the hand-encoded recipe"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn rejected_asm_submissions_map_findings_to_source_lines() {
+    let server = Server::start(ServeConfig::fast_for_tests()).expect("daemon starts");
+    let addr = server.local_addr().to_string();
+
+    // `l.add r1, r7, r7` reads the never-written r7 (V004): the daemon's
+    // verification gate rejects it, and the client maps the finding back
+    // through the assembler's line table (the l.add sits on line 3).
+    let source = "\
+.dmem 4
+.output 0:1
+l.add  r1, r7, r7
+l.sw   0(r0), r1
+";
+    let path = temp_file("bad.s", source);
+    let (code, stdout, stderr) =
+        run_client(&addr, &["submit", path.to_str().expect("utf-8 temp path")]);
+    assert_eq!(code, Some(1), "expected a rejection:\n{stdout}{stderr}");
+    assert!(
+        stderr.contains("static verification"),
+        "names the gate:\n{stderr}"
+    );
+    let expected = format!("{}:3: V004", path.display());
+    assert!(
+        stderr.contains(&expected),
+        "finding must carry the source line ({expected}):\n{stderr}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn asm_submission_assembly_errors_exit_2_with_spans() {
+    let server = Server::start(ServeConfig::fast_for_tests()).expect("daemon starts");
+    let addr = server.local_addr().to_string();
+
+    let path = temp_file("broken.s", ".output 0:1\nl.frobnicate r1\n");
+    let (code, _, stderr) = run_client(&addr, &["submit", path.to_str().expect("utf-8 temp path")]);
+    assert_eq!(
+        code,
+        Some(2),
+        "assembly errors are usage-class errors:\n{stderr}"
+    );
+    assert!(stderr.contains("unknown mnemonic"), "{stderr}");
+    assert!(
+        stderr.contains(":2:") && stderr.contains('^'),
+        "expected a rendered span:\n{stderr}"
+    );
+    std::fs::remove_file(&path).ok();
+}

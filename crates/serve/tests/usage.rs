@@ -64,12 +64,15 @@ fn sfi_client_help_mentions_every_command_and_flag() {
         "--priority",
         "--client",
         "--key",
+        "--freq",
         "--vdd",
         "--noise",
         "--resolution",
         "--trials",
         "--seed",
         "--model",
+        "--dmem",
+        "--name",
         "--limit",
         "--job",
         "--chrome",

@@ -36,6 +36,16 @@
 //! [`Severity`], and a stable [`Rule`] code (`V001`…) that wire clients
 //! and CI can match on.
 //!
+//! # Never-panics contract
+//!
+//! [`verify`] is total: for **any** decodable program and **any**
+//! [`VerifyConfig`] — empty programs, self-branches, offsets at the
+//! encoding extremes, degenerate or reversed fault windows, zero-sized
+//! data memories — it returns a [`Report`] and never panics or overflows.
+//! It runs on the untrusted submission path, so a crash here is a
+//! denial-of-service primitive; the contract is enforced by the fuzz suite
+//! in `tests/fuzz_verify.rs`.
+//!
 //! # Example
 //!
 //! ```

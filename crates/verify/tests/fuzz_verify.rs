@@ -1,0 +1,148 @@
+//! Never-panics fuzzing of the static analyzer.
+//!
+//! `sfi_verify::verify` sits on the untrusted-submission path: whatever a
+//! client manages to get past wire decoding must produce diagnostics, never
+//! a panic or an arithmetic overflow (these tests run with debug
+//! assertions, so overflow would abort the test). Hostile shapes covered:
+//! empty programs, self-branches, branch offsets at the 26-bit extremes,
+//! out-of-bounds memory offsets, degenerate `dmem`/`fi_window` configs,
+//! and arbitrary word streams filtered through `decode`.
+
+use proptest::prelude::*;
+use sfi_isa::{Instruction, Program, Reg};
+use sfi_verify::{verify, Rule, VerifyConfig};
+
+/// Runs `verify` under a spread of benign and degenerate configs.
+fn verify_all_configs(program: &Program) {
+    let len = program.len() as u32;
+    let configs = [
+        VerifyConfig::new(0),
+        VerifyConfig::new(1),
+        VerifyConfig::new(64),
+        VerifyConfig::new(usize::MAX / 8),
+        VerifyConfig::new(64).with_fi_window(0..len.max(1)),
+        VerifyConfig::new(64).with_fi_window(len..len + 10),
+        #[allow(clippy::reversed_empty_ranges)]
+        VerifyConfig::new(64).with_fi_window(7..2),
+        VerifyConfig::new(64).with_fi_window(0..u32::MAX),
+    ];
+    for config in &configs {
+        let report = verify(program, config);
+        // Sanity: counters are consistent, not just "did not panic".
+        assert!(report.reachable_blocks <= report.blocks);
+        assert!(report.reachable_instructions <= report.instructions);
+        assert_eq!(report.instructions, program.len());
+    }
+}
+
+#[test]
+fn empty_program_yields_v009_and_no_panic() {
+    let program = Program::new(vec![]);
+    let report = verify(&program, &VerifyConfig::new(0));
+    assert_eq!(report.findings(Rule::V009).count(), 1);
+    verify_all_configs(&program);
+}
+
+#[test]
+fn self_branches_and_tight_loops() {
+    let hostile = [
+        vec![Instruction::J { offset: -1 }],
+        vec![Instruction::Bf { offset: -1 }],
+        vec![Instruction::Bnf { offset: -1 }],
+        vec![Instruction::Jal { offset: -1 }],
+        vec![Instruction::J { offset: 0 }, Instruction::J { offset: -2 }],
+    ];
+    for instructions in hostile {
+        let program = Program::new(instructions);
+        let report = verify(&program, &VerifyConfig::new(64));
+        assert!(
+            report.has_loops || !report.diagnostics.is_empty(),
+            "a self-loop must be visible in the report: {report:?}"
+        );
+        verify_all_configs(&program);
+    }
+    // `l.jr` targets are dynamic: the analyzer treats them conservatively
+    // (no loop claim), but must still not panic on a lone register jump.
+    verify_all_configs(&Program::new(vec![Instruction::Jr { ra: Reg(0) }]));
+}
+
+#[test]
+fn branch_offsets_at_the_26_bit_extremes_are_diagnosed() {
+    const MAX26: i32 = (1 << 25) - 1;
+    const MIN26: i32 = -(1 << 25);
+    for offset in [MAX26, MIN26, MAX26 - 1, MIN26 + 1] {
+        let program = Program::new(vec![
+            Instruction::Sfeq {
+                ra: Reg(0),
+                rb: Reg(0),
+            },
+            Instruction::Bf { offset },
+            Instruction::Nop,
+        ]);
+        let report = verify(&program, &VerifyConfig::new(64));
+        assert!(
+            report.findings(Rule::V001).count() >= 1,
+            "offset {offset} must be flagged as dangling"
+        );
+        verify_all_configs(&program);
+    }
+}
+
+#[test]
+fn oversized_memory_offsets_are_diagnosed_not_fatal() {
+    let program = Program::new(vec![
+        Instruction::Sw {
+            ra: Reg(0),
+            rb: Reg(0),
+            offset: i16::MAX,
+        },
+        Instruction::Sw {
+            ra: Reg(0),
+            rb: Reg(0),
+            offset: i16::MIN,
+        },
+        Instruction::Lwz {
+            rd: Reg(1),
+            ra: Reg(0),
+            offset: i16::MIN,
+        },
+    ]);
+    let report = verify(&program, &VerifyConfig::new(1));
+    assert!(report.has_errors(), "out-of-bounds accesses must error");
+    verify_all_configs(&program);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Arbitrary word streams: whatever survives `decode` must verify
+    /// without panicking under every config.
+    #[test]
+    fn decoded_word_streams_never_panic_the_verifier(
+        words in prop::collection::vec(any::<u32>(), 0..48)
+    ) {
+        let instructions: Vec<Instruction> =
+            words.iter().filter_map(|&w| sfi_isa::decode(w).ok()).collect();
+        verify_all_configs(&Program::new(instructions));
+    }
+
+    /// Valid-by-construction control-flow soup: branches with arbitrary
+    /// in-range offsets pointing anywhere (including outside the program).
+    #[test]
+    fn control_flow_soup_never_panics(
+        offsets in prop::collection::vec(-(1i32 << 25)..(1i32 << 25), 1..24),
+        flavors in prop::collection::vec(0u8..4, 1..24),
+    ) {
+        let instructions: Vec<Instruction> = offsets
+            .iter()
+            .zip(flavors.iter().chain(std::iter::repeat(&0)))
+            .map(|(&offset, &flavor)| match flavor {
+                0 => Instruction::Bf { offset },
+                1 => Instruction::Bnf { offset },
+                2 => Instruction::J { offset },
+                _ => Instruction::Jal { offset },
+            })
+            .collect();
+        verify_all_configs(&Program::new(instructions));
+    }
+}

@@ -5,6 +5,8 @@
 //! crate:
 //!
 //! * [`isa`] / [`cpu`] — the instruction set and the cycle-accurate ISS,
+//! * [`asm`] / [`verify`] — the text-assembly front end and the static
+//!   analyzer that gates submitted guest programs,
 //! * [`netlist`] / [`timing`] — the gate-level datapath and its timing
 //!   characterization,
 //! * [`fault`] — the paper's fault-injection models A, B, B+ and C,
@@ -16,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use sfi_asm as asm;
 pub use sfi_campaign as campaign;
 pub use sfi_core as core;
 pub use sfi_cpu as cpu;
@@ -24,3 +27,4 @@ pub use sfi_isa as isa;
 pub use sfi_kernels as kernels;
 pub use sfi_netlist as netlist;
 pub use sfi_timing as timing;
+pub use sfi_verify as verify;
